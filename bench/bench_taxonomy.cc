@@ -1,0 +1,62 @@
+// Table 1: tool capabilities against the §2 bug taxonomy, plus a live
+// demonstration: for one seeded bug of each class, which tools actually
+// detect it in this harness.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mumak;
+  const char* kTools[] = {"yat",     "agamotto", "xfdetector",
+                          "pmdebugger", "witcher",  "mumak"};
+  const BugClass kClasses[] = {
+      BugClass::kDurability,     BugClass::kAtomicity,
+      BugClass::kOrdering,       BugClass::kRedundantFlush,
+      BugClass::kRedundantFence, BugClass::kTransientData,
+  };
+
+  std::printf("=== Table 1: tool x taxonomy capability matrix ===\n");
+  std::printf("%-12s", "tool");
+  for (BugClass c : kClasses) {
+    std::printf("%18s", std::string(BugClassName(c)).c_str());
+  }
+  std::printf("%14s%14s\n", "app-agnostic", "lib-agnostic");
+  for (const char* tool_name : kTools) {
+    auto tool = CreateBaselineTool(tool_name);
+    std::printf("%-12s", tool_name);
+    for (BugClass c : kClasses) {
+      std::printf("%18s", Check(tool->DetectsClass(c)));
+    }
+    std::printf("%14s%14s\n", Check(tool->application_agnostic()),
+                Check(tool->library_agnostic()));
+  }
+
+  // Live demonstration: one representative seeded bug per class, analysed
+  // by Mumak (the only tool covering every column).
+  std::printf("\n=== live check: one seeded bug per class, Mumak ===\n");
+  const std::map<BugClass, std::string> kRepresentative = {
+      {BugClass::kDurability, "lh.c2_kv_unflushed"},
+      {BugClass::kAtomicity, "btree.split_unlogged"},
+      {BugClass::kOrdering, "hashmap_atomic.publish_before_init"},
+      {BugClass::kRedundantFlush, "lh.p1_rf_get_hit"},
+      {BugClass::kRedundantFence, "lh.p3_rfence_get"},
+      {BugClass::kTransientData, "lh.p17_transient_stats"},
+  };
+  for (const auto& [bug_class, id] : kRepresentative) {
+    for (const SeededBug& bug : AllSeededBugs()) {
+      if (bug.id != id) {
+        continue;
+      }
+      const MumakResult result = RunMumakOnSeededBug(bug, 400);
+      std::printf("%-18s %-40s %s\n",
+                  std::string(BugClassName(bug_class)).c_str(), id.c_str(),
+                  DetectedBy(bug, result.report) ? "detected" : "MISSED");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the figure/table reproduction benchmarks. Each bench
+// binary prints the rows/series of one artefact from the paper's
+// evaluation; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// The paper's 12-hour analysis cap is scaled to seconds (the targets run on
+// a simulated PM device, and the workloads are scaled down accordingly);
+// runs that exceed the scaled budget print as "inf", matching the infinity
+// markers in Figures 4a/4b.
+
+#ifndef MUMAK_BENCH_BENCH_UTIL_H_
+#define MUMAK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/analysis_tool.h"
+#include "src/core/coverage.h"
+
+namespace mumak {
+
+inline std::string FormatSeconds(double seconds, bool timed_out) {
+  if (timed_out) {
+    return "inf";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  return buffer;
+}
+
+inline std::string FormatMultiplier(double x) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1fx", x);
+  return buffer;
+}
+
+inline const char* Check(bool yes) { return yes ? "yes" : "-"; }
+
+// The scaled analysis cap (paper: 12 hours).
+inline constexpr double kScaledBudgetSeconds = 10.0;
+
+inline Budget ScaledBudget(double seconds = kScaledBudgetSeconds) {
+  Budget budget;
+  budget.time_budget_s = seconds;
+  return budget;
+}
+
+// Workload mix used throughout §6.1: equal parts puts, gets and deletes.
+inline WorkloadSpec EvaluationWorkload(uint64_t operations, bool spt) {
+  WorkloadSpec spec;
+  spec.operations = operations;
+  spec.put_pct = 34;
+  spec.get_pct = 33;
+  spec.delete_pct = 33;
+  spec.seed = 42;
+  spec.single_put_per_tx = spt;
+  spec.tx_batch = 1u << 20;  // the original variants: one large transaction
+  return spec;
+}
+
+inline TargetFactory MakeFactory(const std::string& target,
+                                 const TargetOptions& options) {
+  return [target, options] { return CreateTarget(target, options); };
+}
+
+}  // namespace mumak
+
+#endif  // MUMAK_BENCH_BENCH_UTIL_H_

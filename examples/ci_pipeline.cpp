@@ -1,0 +1,68 @@
+// Continuous-integration gate: the deployment mode the paper argues Mumak's
+// speed enables (§1, §7 — "amenable to be integrated in existing continuous
+// integration pipelines").
+//
+// Analyses a set of targets within a total time budget and exits non-zero
+// if any correctness or performance bug is found, printing a CI-style
+// summary. Run with a list of target names, or no arguments for the
+// default set:
+//
+//   ./ci_pipeline                 # btree rbtree hashmap_atomic cmap stree
+//   ./ci_pipeline redis rocksdb   # gate specific services
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/mumak.h"
+#include "src/targets/target.h"
+
+int main(int argc, char** argv) {
+  using namespace mumak;
+
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    targets.push_back(argv[i]);
+  }
+  if (targets.empty()) {
+    targets = {"btree", "rbtree", "hashmap_atomic", "cmap", "stree"};
+  }
+
+  WorkloadSpec workload;
+  workload.operations = 1000;
+
+  const auto start = std::chrono::steady_clock::now();
+  int failures = 0;
+  std::printf("mumak-ci: gating %zu target(s)\n", targets.size());
+  for (const std::string& name : targets) {
+    TargetOptions options;
+    options.pmdk_version = PmdkVersion::k16;
+    TargetPtr probe = CreateTarget(name, options);
+    if (probe == nullptr) {
+      std::printf("  %-24s SKIP (unknown target)\n", name.c_str());
+      continue;
+    }
+    MumakOptions mumak_options;
+    mumak_options.time_budget_s = 60;  // per-target CI budget
+    mumak_options.report_warnings = false;
+    Mumak mumak([name, options] { return CreateTarget(name, options); },
+                workload, mumak_options);
+    const MumakResult result = mumak.Analyze();
+    const uint64_t bugs = result.report.BugCount();
+    std::printf("  %-24s %-6s %5.2fs  %llu failure point(s) tested\n",
+                name.c_str(), bugs == 0 ? "PASS" : "FAIL", result.elapsed_s,
+                static_cast<unsigned long long>(
+                    result.fault_injection.failure_points));
+    if (bugs != 0) {
+      ++failures;
+      std::printf("%s", result.report.Render(false).c_str());
+    }
+  }
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("mumak-ci: %s in %.2fs\n",
+              failures == 0 ? "all targets clean" : "bugs found", total);
+  return failures == 0 ? 0 : 1;
+}

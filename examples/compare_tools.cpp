@@ -1,0 +1,67 @@
+// Runs every bundled analysis tool on the same buggy target and compares
+// what each finds, how long it takes and what it costs — a miniature of
+// the paper's §6 evaluation on a single scenario.
+//
+//   ./compare_tools [target] [bug-id]
+// defaults to hashmap_atomic with its publish-before-init ordering bug.
+
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/analysis_tool.h"
+#include "src/targets/target.h"
+
+int main(int argc, char** argv) {
+  using namespace mumak;
+
+  const std::string target = argc > 1 ? argv[1] : "hashmap_atomic";
+  const std::string bug =
+      argc > 2 ? argv[2] : "hashmap_atomic.publish_before_init";
+
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs.insert(bug);
+  if (CreateTarget(target, options) == nullptr) {
+    std::printf("unknown target '%s'\n", target.c_str());
+    return 1;
+  }
+
+  WorkloadSpec workload;
+  workload.operations = 400;
+  workload.put_pct = 50;
+  workload.get_pct = 20;
+  workload.delete_pct = 30;
+
+  Budget budget;
+  budget.time_budget_s = 15;
+
+  std::printf("target=%s  seeded bug=%s  budget=%.0fs\n\n", target.c_str(),
+              bug.c_str(), budget.time_budget_s);
+  std::printf("%-12s %10s %8s %10s %8s %8s  %s\n", "tool", "time", "bugs",
+              "warnings", "RAM x", "PM x", "notes");
+
+  for (const char* name :
+       {"mumak", "pmdebugger", "agamotto", "xfdetector", "witcher", "yat"}) {
+    auto tool = CreateBaselineTool(name);
+    if (!tool->SupportsTarget(target)) {
+      std::printf("%-12s %10s %8s %10s %8s %8s  %s\n", name, "-", "-", "-",
+                  "-", "-", "target not supported (see Table 1)");
+      continue;
+    }
+    ToolRunStats stats;
+    const Report report = tool->Analyze(
+        [target, options] { return CreateTarget(target, options); },
+        workload, budget, &stats);
+    char time_buffer[32];
+    std::snprintf(time_buffer, sizeof(time_buffer), "%s%.2fs",
+                  stats.timed_out ? ">" : "", stats.elapsed_s);
+    std::printf("%-12s %10s %8llu %10llu %7.1fx %7.1fx  %s\n", name,
+                time_buffer,
+                static_cast<unsigned long long>(report.BugCount()),
+                static_cast<unsigned long long>(report.WarningCount()),
+                stats.resources.ram_multiplier,
+                stats.resources.pm_multiplier, stats.note.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces the paper's Montage analysis (§6.4): Mumak, treating the
+// target as a black box, finds two crash-consistency bugs in a system that
+// does not use PMDK at all — its own epoch-based persistent allocator.
+// Walks through both bugs, showing the report the developer would receive,
+// then re-runs on the fixed version to show a clean bill.
+
+#include <cstdio>
+
+#include "src/core/mumak.h"
+#include "src/targets/target.h"
+
+namespace {
+
+mumak::MumakResult Analyze(const mumak::TargetOptions& options) {
+  mumak::WorkloadSpec workload;
+  workload.operations = 800;
+  mumak::Mumak mumak(
+      [options] { return mumak::CreateTarget("montage_hashtable", options); },
+      workload);
+  return mumak.Analyze();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mumak;
+
+  std::printf("== Montage bug #1: allocator breaks recoverability ==\n");
+  std::printf("(the allocator bitmap lives in DRAM; payloads survive a\n"
+              " crash that the allocator no longer accounts for)\n\n");
+  {
+    TargetOptions options;
+    options.bugs.insert("montage.allocator_recoverability");
+    const MumakResult result = Analyze(options);
+    std::printf("%s\n", result.report.Render(false).c_str());
+  }
+
+  std::printf("== Montage bug #2: allocator destruction window ==\n");
+  std::printf("(the clean-shutdown marker is persisted before the final\n"
+              " epoch sync; a crash in the window corrupts the table)\n\n");
+  {
+    TargetOptions options;
+    options.bugs.insert("montage.allocator_destruction");
+    const MumakResult result = Analyze(options);
+    std::printf("%s\n", result.report.Render(false).c_str());
+  }
+
+  std::printf("== after the upstream fixes ==\n\n");
+  {
+    TargetOptions options;  // no bugs enabled: the fixed code
+    const MumakResult result = Analyze(options);
+    std::printf("%s\n", result.report.Render(false).c_str());
+    std::printf("montage_hashtable is clean: %s\n",
+                result.report.BugCount() == 0 ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include <chrono>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "src/baselines/measure.h"
+#include "src/baselines/tools.h"
+#include "src/core/trace_analysis.h"
+
+namespace mumak {
+namespace {
+
+double Since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// One symbolic-execution state: a path through the operation space. The
+// pool image is retained per state (the forked-state memory SE engines pay
+// for, Table 2's 4-6x RAM), and expanding a state re-executes its path —
+// the execution cost that makes SE super-linear in depth.
+struct SeState {
+  std::vector<Op> path;
+  uint64_t pm_accesses = 0;  // priority: paths with more PM accesses first
+  size_t image_bytes = 0;
+};
+
+struct SeStateOrder {
+  bool operator()(const SeState& a, const SeState& b) const {
+    return a.pm_accesses < b.pm_accesses;
+  }
+};
+
+// Counts PM accesses along an execution.
+struct AccessCounter : EventSink {
+  uint64_t accesses = 0;
+  void OnEvent(const PmEvent& event) override {
+    (void)event;
+    ++accesses;
+  }
+};
+
+}  // namespace
+
+bool AgamottoLike::DetectsClass(BugClass bug_class) const {
+  switch (bug_class) {
+    case BugClass::kDurability:
+    case BugClass::kAtomicity:  // universal oracle for PMDK transactions
+    case BugClass::kRedundantFlush:
+    case BugClass::kRedundantFence:
+    case BugClass::kTransientData:  // reported as durability
+      return true;
+    case BugClass::kOrdering:
+      return false;
+  }
+  return false;
+}
+
+ErgonomicsRow AgamottoLike::ergonomics() const {
+  ErgonomicsRow row;
+  row.full_bug_path = true;
+  row.unique_bugs = true;
+  row.generic_workload = false;  // symbolic execution, no workload at all
+  row.changes_target_code = false;
+  row.changes_build = true;  // whole-program LLVM bitcode
+  return row;
+}
+
+Report AgamottoLike::Analyze(const TargetFactory& factory,
+                             const WorkloadSpec& spec, const Budget& budget,
+                             ToolRunStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = ProcessCpuSeconds();
+  const size_t vanilla = MeasureVanillaPeakBytes(factory, spec);
+
+  // The symbolic alphabet: puts/gets/deletes over a handful of symbolic
+  // keys. Agamotto does not use the user-provided workload (§4, Figure 1 —
+  // it is the exception among the compared tools).
+  std::vector<Op> alphabet;
+  for (uint64_t key = 0; key < 4; ++key) {
+    alphabet.push_back(Op{OpKind::kPut, key, 1000 + key});
+    alphabet.push_back(Op{OpKind::kDelete, key, 0});
+  }
+  (void)spec;
+
+  Report report;
+  std::set<std::string> dedup;
+  TraceAnalysisOptions analysis_options;
+  analysis_options.report_warnings = false;
+
+  std::priority_queue<SeState, std::vector<SeState>, SeStateOrder> frontier;
+  frontier.push(SeState{});
+  std::set<uint64_t> seen_images;  // state-merging by image hash
+  uint64_t states = 0;
+  size_t retained_bytes = 0;
+  size_t peak_bytes = 0;
+  bool timed_out = false;
+
+  // Baseline image for copy-on-write accounting: retained states share
+  // unmodified pages with the initial state, so each forked state costs
+  // only its dirty pages (KLEE-style state representation).
+  std::vector<uint8_t> base_image;
+  {
+    TargetPtr target = factory();
+    PmPool pool(target->DefaultPoolSize());
+    target->Setup(pool);
+    base_image = pool.PowerFailImage();
+  }
+
+  while (!frontier.empty()) {
+    if (Since(start) > budget.time_budget_s) {
+      timed_out = true;
+      break;
+    }
+    SeState state = frontier.top();
+    frontier.pop();
+    ++states;
+
+    for (const Op& op : alphabet) {
+      if (Since(start) > budget.time_budget_s) {
+        timed_out = true;
+        break;
+      }
+      // Fork: re-execute the extended path from the initial state.
+      SeState child;
+      child.path = state.path;
+      child.path.push_back(op);
+
+      TargetPtr target = factory();
+      PmPool pool(target->DefaultPoolSize());
+      TraceCollector trace;
+      AccessCounter counter;
+      bool path_ok = true;
+      try {
+        ScopedSink attach_trace(pool.hub(), &trace);
+        ScopedSink attach_counter(pool.hub(), &counter);
+        target->Setup(pool);
+        for (const Op& step : child.path) {
+          target->Execute(pool, step);
+        }
+        target->Finish(pool);
+      } catch (const std::exception&) {
+        path_ok = false;
+      }
+      if (!path_ok) {
+        continue;
+      }
+
+      // Universal oracles over the explored path's trace.
+      TraceAnalyzer analyzer(analysis_options);
+      Report path_report = analyzer.Analyze(trace.events(), nullptr);
+      for (const Finding& finding : path_report.findings()) {
+        const std::string key = std::string(FindingKindName(finding.kind)) +
+                                ":" + std::to_string(finding.pm_offset);
+        if (dedup.insert(key).second) {
+          report.Add(finding);
+        }
+      }
+
+      // State merging: identical durable images need not be explored
+      // twice. The same pass counts the state's dirty pages for the
+      // copy-on-write memory accounting.
+      const std::vector<uint8_t> image = pool.PowerFailImage();
+      uint64_t hash = 0xcbf29ce484222325ull;
+      size_t dirty_pages = 0;
+      constexpr size_t kPage = 4096;
+      for (size_t page = 0; page < image.size(); page += kPage) {
+        bool differs = false;
+        const size_t end = std::min(image.size(), page + kPage);
+        for (size_t i = page; i < end; ++i) {
+          hash = (hash ^ image[i]) * 0x100000001b3ull;
+          differs |= page < base_image.size() && image[i] != base_image[i];
+        }
+        dirty_pages += differs ? 1 : 0;
+      }
+      if (!seen_images.insert(hash).second) {
+        continue;
+      }
+      child.pm_accesses = counter.accesses;
+      child.image_bytes = dirty_pages * kPage;
+      retained_bytes += child.image_bytes + 4096;  // dirty pages + state
+      peak_bytes = std::max(peak_bytes, retained_bytes);
+      if (child.path.size() < 12) {
+        frontier.push(std::move(child));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->timed_out = timed_out;
+    stats->units_explored = states;
+    FinalizeResourceStats(stats, vanilla, peak_bytes, 0, 0, Since(start),
+                          ProcessCpuSeconds() - cpu_start);
+    if (timed_out) {
+      stats->note = "exceeded analysis budget (state exploration)";
+    }
+  }
+  return report;
+}
+
+}  // namespace mumak

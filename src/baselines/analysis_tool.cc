@@ -1,0 +1,29 @@
+#include "src/baselines/analysis_tool.h"
+
+#include "src/baselines/tools.h"
+
+namespace mumak {
+
+std::unique_ptr<AnalysisTool> CreateBaselineTool(std::string_view name) {
+  if (name == "mumak") {
+    return std::make_unique<MumakTool>();
+  }
+  if (name == "agamotto") {
+    return std::make_unique<AgamottoLike>();
+  }
+  if (name == "xfdetector") {
+    return std::make_unique<XfDetectorLike>();
+  }
+  if (name == "pmdebugger") {
+    return std::make_unique<PmDebuggerLike>();
+  }
+  if (name == "witcher") {
+    return std::make_unique<WitcherLike>();
+  }
+  if (name == "yat") {
+    return std::make_unique<YatLike>();
+  }
+  return nullptr;
+}
+
+}  // namespace mumak

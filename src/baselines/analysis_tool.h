@@ -1,0 +1,78 @@
+// Baseline PM bug-detection tools (§3, §6.1): in-simulator reimplementations
+// of the *approaches* the paper compares against — Agamotto's prioritised
+// state exploration, XFDetector's per-store cross-failure injection,
+// PMDebugger's annotation-driven array+AVL trace analysis, Witcher's
+// invariant inference + output equivalence, and Yat's exhaustive ordering
+// replay. Each tool performs the genuinely heavier work its design implies,
+// so the performance and coverage *shape* of Figures 4a/4b and Tables 1-3
+// is reproduced rather than hard-coded.
+
+#ifndef MUMAK_SRC_BASELINES_ANALYSIS_TOOL_H_
+#define MUMAK_SRC_BASELINES_ANALYSIS_TOOL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/fault_injection.h"
+#include "src/core/report.h"
+#include "src/core/resource_stats.h"
+#include "src/workload/workload.h"
+
+namespace mumak {
+
+struct Budget {
+  // The paper's 12-hour cap, scaled to simulator time.
+  double time_budget_s = 60.0;
+};
+
+struct ToolRunStats {
+  double elapsed_s = 0;
+  bool timed_out = false;
+  ResourceStats resources;
+  uint64_t units_explored = 0;  // tool-specific: states / injections / ops
+  std::string note;
+};
+
+// Table 3 row.
+struct ErgonomicsRow {
+  bool full_bug_path = false;
+  bool unique_bugs = false;
+  bool generic_workload = false;
+  bool changes_target_code = false;
+  bool changes_build = false;
+};
+
+class AnalysisTool {
+ public:
+  virtual ~AnalysisTool() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Table 1 capability matrix.
+  virtual bool DetectsClass(BugClass bug_class) const = 0;
+  virtual bool application_agnostic() const = 0;
+  virtual bool library_agnostic() const = 0;
+  // Table 3.
+  virtual ErgonomicsRow ergonomics() const = 0;
+
+  // Whether the tool can analyse this target at all (Witcher requires
+  // key-value semantics and a driver; PMDebugger requires pmemcheck's PMDK
+  // annotations).
+  virtual bool SupportsTarget(std::string_view target_name) const {
+    (void)target_name;
+    return true;
+  }
+
+  virtual Report Analyze(const TargetFactory& factory,
+                         const WorkloadSpec& spec, const Budget& budget,
+                         ToolRunStats* stats) = 0;
+};
+
+// Known names: "mumak", "agamotto", "xfdetector", "pmdebugger", "witcher",
+// "yat".
+std::unique_ptr<AnalysisTool> CreateBaselineTool(std::string_view name);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_BASELINES_ANALYSIS_TOOL_H_

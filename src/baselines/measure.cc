@@ -1,0 +1,74 @@
+#include "src/baselines/measure.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+
+#include "src/pmem/pm_pool.h"
+
+namespace mumak {
+namespace {
+
+// Samples the pool's volatile footprint during a vanilla execution.
+class VanillaSampler : public EventSink {
+ public:
+  VanillaSampler(const PmPool* pool, size_t* peak) : pool_(pool), peak_(peak) {}
+  void OnEvent(const PmEvent& event) override {
+    if ((event.seq & 0x3ff) == 0) {
+      *peak_ = std::max(*peak_, pool_->model().VolatileFootprintBytes());
+    }
+  }
+
+ private:
+  const PmPool* pool_;
+  size_t* peak_;
+};
+
+}  // namespace
+
+double ProcessCpuSeconds() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  auto to_s = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_s(usage.ru_utime) + to_s(usage.ru_stime);
+}
+
+size_t MeasureVanillaPeakBytes(const TargetFactory& factory,
+                               const WorkloadSpec& spec) {
+  TargetPtr target = factory();
+  PmPool pool(target->DefaultPoolSize());
+  size_t peak = 0;
+  VanillaSampler sampler(&pool, &peak);
+  ScopedSink attach(pool.hub(), &sampler);
+  FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
+  peak = std::max(peak, pool.model().VolatileFootprintBytes());
+  // Every execution carries some fixed volatile state (the target's own
+  // DRAM structures, stack, etc.).
+  return peak + (64u << 10);
+}
+
+void FinalizeResourceStats(ToolRunStats* stats, size_t vanilla_bytes,
+                           size_t tool_dram_bytes, size_t app_pm_bytes,
+                           size_t tool_pm_bytes, double wall_s,
+                           double cpu_s) {
+  if (stats == nullptr) {
+    return;
+  }
+  stats->elapsed_s = wall_s;
+  stats->resources.tool_bytes = tool_dram_bytes;
+  stats->resources.ram_multiplier =
+      static_cast<double>(vanilla_bytes + tool_dram_bytes) /
+      static_cast<double>(vanilla_bytes);
+  stats->resources.pm_multiplier =
+      app_pm_bytes == 0
+          ? 1.0
+          : static_cast<double>(app_pm_bytes + tool_pm_bytes) /
+                static_cast<double>(app_pm_bytes);
+  stats->resources.cpu_load =
+      wall_s > 0 ? std::max(1.0, cpu_s / wall_s) : 1.0;
+}
+
+}  // namespace mumak

@@ -1,0 +1,30 @@
+// Shared measurement helpers for the baseline tools' Table 2 accounting.
+
+#ifndef MUMAK_SRC_BASELINES_MEASURE_H_
+#define MUMAK_SRC_BASELINES_MEASURE_H_
+
+#include <cstddef>
+
+#include "src/baselines/analysis_tool.h"
+#include "src/core/fault_injection.h"
+#include "src/workload/workload.h"
+
+namespace mumak {
+
+// CPU time (user + system) of this process, in seconds.
+double ProcessCpuSeconds();
+
+// Peak volatile footprint of one uninstrumented execution — the Table 2
+// denominator ("relative to peak usage during vanilla execution").
+size_t MeasureVanillaPeakBytes(const TargetFactory& factory,
+                               const WorkloadSpec& spec);
+
+// Fills the resource ratios from absolute numbers.
+void FinalizeResourceStats(ToolRunStats* stats, size_t vanilla_bytes,
+                           size_t tool_dram_bytes, size_t app_pm_bytes,
+                           size_t tool_pm_bytes, double wall_s,
+                           double cpu_s);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_BASELINES_MEASURE_H_

@@ -1,0 +1,37 @@
+#include "src/baselines/tools.h"
+#include "src/core/mumak.h"
+
+namespace mumak {
+
+bool MumakTool::DetectsClass(BugClass bug_class) const {
+  (void)bug_class;
+  return true;  // Table 1: every column
+}
+
+ErgonomicsRow MumakTool::ergonomics() const {
+  ErgonomicsRow row;
+  row.full_bug_path = true;
+  row.unique_bugs = true;
+  row.generic_workload = true;
+  row.changes_target_code = false;
+  row.changes_build = false;
+  return row;
+}
+
+Report MumakTool::Analyze(const TargetFactory& factory,
+                          const WorkloadSpec& spec, const Budget& budget,
+                          ToolRunStats* stats) {
+  MumakOptions options;
+  options.time_budget_s = budget.time_budget_s;
+  Mumak mumak(factory, spec, options);
+  MumakResult result = mumak.Analyze();
+  if (stats != nullptr) {
+    stats->elapsed_s = result.elapsed_s;
+    stats->timed_out = result.budget_exhausted;
+    stats->resources = result.resources;
+    stats->units_explored = result.fault_injection.injections;
+  }
+  return result.report;
+}
+
+}  // namespace mumak

@@ -1,0 +1,236 @@
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <set>
+#include <vector>
+
+#include "src/baselines/measure.h"
+#include "src/baselines/tools.h"
+
+namespace mumak {
+namespace {
+
+// PMDebugger's two-tier bookkeeping (§3): stores land in a flat array for
+// cheap insertion; at each fence, persisted entries are cleared and the
+// survivors migrate into an AVL tree (std::map) for cheap long-term search.
+// Flush handling scans the array linearly — the design bet is that arrays
+// stay short because "for most stores, data durability is guaranteed by the
+// nearest fence". Long transactions break that bet, which is exactly the
+// Figure 4b cost profile (fast SPT variants, slow original variants).
+// pmobj-lite's undo-log state word: the address pmemcheck's transaction
+// annotations map to in this substrate (PMDebugger is PMDK-specific).
+constexpr uint64_t kTxStateOffset = 0x100;
+
+struct PendingStore {
+  uint64_t offset = 0;
+  uint32_t size = 0;
+  uint32_t site = 0;
+  uint64_t seq = 0;
+  bool flushed = false;
+};
+
+}  // namespace
+
+bool PmDebuggerLike::DetectsClass(BugClass bug_class) const {
+  switch (bug_class) {
+    case BugClass::kDurability:
+    case BugClass::kAtomicity:  // with extra annotations
+    case BugClass::kOrdering:   // with extra annotations
+    case BugClass::kRedundantFlush:
+    case BugClass::kRedundantFence:
+    case BugClass::kTransientData:  // reported as durability
+      return true;
+  }
+  return false;
+}
+
+ErgonomicsRow PmDebuggerLike::ergonomics() const {
+  ErgonomicsRow row;
+  row.full_bug_path = true;
+  row.unique_bugs = false;  // reports every occurrence
+  row.generic_workload = true;
+  row.changes_target_code = true;  // pmemcheck annotations in the library
+  row.changes_build = false;       // the annotations ship with PMDK
+  return row;
+}
+
+bool PmDebuggerLike::SupportsTarget(std::string_view target_name) const {
+  // pmemcheck's annotations come with PMDK; applications with their own
+  // persistence layer are invisible to it.
+  static const std::set<std::string, std::less<>> kPmdkTargets = {
+      "art",   "btree", "cmap",  "ctree",   "hashmap_atomic",
+      "hashmap_tx", "rbtree", "redis", "stree",
+  };
+  return kPmdkTargets.find(target_name) != kPmdkTargets.end();
+}
+
+namespace {
+
+// Analyses the event stream online, like the valgrind-based original: no
+// trace is retained; only the two bookkeeping tiers live in memory.
+struct PmDebuggerSink : EventSink {
+  Report* report = nullptr;
+  std::vector<PendingStore> array;       // short-term tier
+  std::map<uint64_t, PendingStore> avl;  // long-term tier (line -> store)
+  // Per-granule last-store index for dirty-overwrite detection (O(1), as
+  // in the original's hashed lookaside).
+  std::unordered_map<uint64_t, bool> granule_unpersisted;
+  uint64_t pending_flushes = 0;
+  uint64_t processed = 0;
+  size_t peak_bytes = 0;
+  std::chrono::steady_clock::time_point start;
+  double budget_s = 0;
+  bool timed_out = false;
+
+  struct BudgetExceeded {};
+
+  void AddFinding(FindingKind kind, uint64_t offset, uint64_t seq) {
+    Finding finding;
+    finding.source = FindingSource::kTraceAnalysis;
+    finding.kind = kind;
+    finding.pm_offset = offset;
+    finding.seq = seq;
+    report->Add(std::move(finding));  // no dedup: every occurrence reported
+  }
+
+  void OnEvent(const PmEvent& event) override;
+};
+
+}  // namespace
+
+Report PmDebuggerLike::Analyze(const TargetFactory& factory,
+                               const WorkloadSpec& spec, const Budget& budget,
+                               ToolRunStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = ProcessCpuSeconds();
+  const size_t vanilla = MeasureVanillaPeakBytes(factory, spec);
+
+  Report report;
+  PmDebuggerSink sink;
+  sink.report = &report;
+  sink.start = start;
+  sink.budget_s = budget.time_budget_s;
+
+  // Single instrumented execution, analysed online.
+  TargetPtr target = factory();
+  PmPool pool(target->DefaultPoolSize());
+  try {
+    ScopedSink attach(pool.hub(), &sink);
+    FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
+  } catch (const PmDebuggerSink::BudgetExceeded&) {
+    sink.timed_out = true;
+  }
+
+  // End of execution: whatever never persisted is a durability finding
+  // (PMDebugger reports transient data as durability, Table 1).
+  for (const PendingStore& store : sink.array) {
+    if (!store.flushed) {
+      sink.AddFinding(FindingKind::kUnflushedStore, store.offset, store.seq);
+    }
+  }
+  for (const auto& [line, store] : sink.avl) {
+    sink.AddFinding(FindingKind::kUnflushedStore, store.offset, store.seq);
+  }
+
+  if (stats != nullptr) {
+    stats->timed_out = sink.timed_out;
+    stats->units_explored = sink.processed;
+    FinalizeResourceStats(stats, vanilla, sink.peak_bytes, 0, 0,
+                          std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count(),
+                          ProcessCpuSeconds() - cpu_start);
+  }
+  return report;
+}
+
+void PmDebuggerSink::OnEvent(const PmEvent& event) {
+  {
+    if ((++processed & 0xfff) == 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() > budget_s) {
+      throw BudgetExceeded{};
+    }
+    auto add_finding = [&](FindingKind kind, uint64_t offset, uint64_t seq) {
+      AddFinding(kind, offset, seq);
+    };
+    switch (event.kind) {
+      case EventKind::kStore:
+      case EventKind::kNtStore: {
+        // The pmemcheck annotations mark transaction boundaries; in this
+        // substrate they correspond to the undo-log state word. At a
+        // boundary the segment's array is cleared: persisted entries are
+        // dropped and unflushed survivors migrate into the AVL tier.
+        if (event.offset == kTxStateOffset &&
+            event.size == sizeof(uint64_t)) {
+          for (const PendingStore& store : array) {
+            if (!store.flushed) {
+              avl[LineIndex(store.offset)] = store;
+            }
+          }
+          array.clear();
+          break;
+        }
+        // Dirty-overwrite detection (PMDebugger reports these, §2):
+        // constant-time granule lookup.
+        auto [granule_it, fresh] =
+            granule_unpersisted.try_emplace(event.offset & ~7ull, true);
+        if (!fresh && granule_it->second) {
+          add_finding(FindingKind::kDirtyOverwrite, event.offset, event.seq);
+        }
+        granule_it->second = true;
+        PendingStore store{event.offset, event.size, event.site, event.seq,
+                           false};
+        array.push_back(store);
+        break;
+      }
+      case EventKind::kClflush:
+      case EventKind::kClflushOpt:
+      case EventKind::kClwb: {
+        // Linear scan of the bookkeeping array. The array holds every
+        // store of the current *transaction segment* (pmemcheck's
+        // annotations delimit segments), so long transactions make each
+        // flush expensive — the Figure 4b cost profile.
+        bool any = false;
+        for (PendingStore& store : array) {
+          if (LineIndex(store.offset) == LineIndex(event.offset) &&
+              !store.flushed) {
+            store.flushed = true;
+            granule_unpersisted[store.offset & ~7ull] = false;
+            any = true;
+          }
+        }
+        auto it = avl.find(LineIndex(event.offset));
+        if (it != avl.end()) {
+          any = true;
+          avl.erase(it);
+        }
+        if (!any) {
+          add_finding(FindingKind::kRedundantFlush, event.offset, event.seq);
+        }
+        ++pending_flushes;
+        break;
+      }
+      case EventKind::kSfence:
+      case EventKind::kMfence: {
+        if (pending_flushes == 0) {
+          add_finding(FindingKind::kRedundantFence, 0, event.seq);
+        }
+        pending_flushes = 0;
+        break;
+      }
+      case EventKind::kRmw:
+        pending_flushes = 0;
+        break;
+      case EventKind::kLoad:
+        break;
+    }
+    peak_bytes = std::max(
+        peak_bytes, array.capacity() * sizeof(PendingStore) +
+                        avl.size() * (sizeof(PendingStore) + 48) +
+                        granule_unpersisted.size() * 24);
+  }
+}
+
+}  // namespace mumak

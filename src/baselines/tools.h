@@ -1,0 +1,108 @@
+// Concrete baseline tools. See analysis_tool.h for the framework.
+
+#ifndef MUMAK_SRC_BASELINES_TOOLS_H_
+#define MUMAK_SRC_BASELINES_TOOLS_H_
+
+#include "src/baselines/analysis_tool.h"
+
+namespace mumak {
+
+// Adapter exposing Mumak itself through the AnalysisTool interface so the
+// benchmarks can compare all tools uniformly.
+class MumakTool : public AnalysisTool {
+ public:
+  std::string_view name() const override { return "Mumak"; }
+  bool DetectsClass(BugClass bug_class) const override;
+  bool application_agnostic() const override { return true; }
+  bool library_agnostic() const override { return true; }
+  ErgonomicsRow ergonomics() const override;
+  Report Analyze(const TargetFactory& factory, const WorkloadSpec& spec,
+                 const Budget& budget, ToolRunStats* stats) override;
+};
+
+// XFDetector-like (Liu et al., ASPLOS'20): fault injection at *every store*
+// with an instrumented post-failure execution per failure point, shadow
+// memory tracking the persistency status of every address, and
+// cross-failure read checking. Analysis metadata lives in PM (a second
+// shadow pool), giving the ~2x PM overhead of Table 2.
+class XfDetectorLike : public AnalysisTool {
+ public:
+  std::string_view name() const override { return "XFDetector"; }
+  bool DetectsClass(BugClass bug_class) const override;
+  bool application_agnostic() const override { return false; }
+  bool library_agnostic() const override { return false; }
+  ErgonomicsRow ergonomics() const override;
+  Report Analyze(const TargetFactory& factory, const WorkloadSpec& spec,
+                 const Budget& budget, ToolRunStats* stats) override;
+};
+
+// PMDebugger-like (Di et al., ASPLOS'21): single-execution trace analysis
+// driven by pmemcheck's PMDK annotations. Short-lived bookkeeping lives in
+// an array cleared at each fence; long-lived addresses migrate into an AVL
+// tree. Its cost profile therefore depends directly on transaction length
+// (Figure 4b: fast on SPT variants, slow on the original single-large-
+// transaction applications).
+class PmDebuggerLike : public AnalysisTool {
+ public:
+  std::string_view name() const override { return "PMDebugger"; }
+  bool DetectsClass(BugClass bug_class) const override;
+  bool application_agnostic() const override { return true; }
+  bool library_agnostic() const override { return false; }  // needs PMDK
+  ErgonomicsRow ergonomics() const override;
+  bool SupportsTarget(std::string_view target_name) const override;
+  Report Analyze(const TargetFactory& factory, const WorkloadSpec& spec,
+                 const Budget& budget, ToolRunStats* stats) override;
+};
+
+// Agamotto-like (Neal et al., OSDI'20): symbolic-execution-style state
+// exploration. Does not use the user workload: it explores sequences of
+// operations over a small symbolic alphabet, forking pool states, with the
+// PM-access-prioritised search the paper credits for its early bug yield.
+// State retention gives the 4-6x RAM overhead of Table 2.
+class AgamottoLike : public AnalysisTool {
+ public:
+  std::string_view name() const override { return "Agamotto"; }
+  bool DetectsClass(BugClass bug_class) const override;
+  bool application_agnostic() const override { return true; }
+  bool library_agnostic() const override { return true; }
+  ErgonomicsRow ergonomics() const override;
+  Report Analyze(const TargetFactory& factory, const WorkloadSpec& spec,
+                 const Budget& budget, ToolRunStats* stats) override;
+};
+
+// Witcher-like (Fu et al., SOSP'21): key-value stores only. Infers likely
+// ordering/atomicity invariants from a per-operation trace, generates a
+// crash image per candidate violation, and validates each with full output
+// equivalence checking (re-executing the workload against an oracle map).
+// Aggressive parallelisation with per-worker state gives the unbounded
+// memory appetite of Table 2.
+class WitcherLike : public AnalysisTool {
+ public:
+  std::string_view name() const override { return "Witcher"; }
+  bool DetectsClass(BugClass bug_class) const override;
+  bool application_agnostic() const override { return false; }
+  bool library_agnostic() const override { return true; }
+  ErgonomicsRow ergonomics() const override;
+  bool SupportsTarget(std::string_view target_name) const override;
+  Report Analyze(const TargetFactory& factory, const WorkloadSpec& spec,
+                 const Budget& budget, ToolRunStats* stats) override;
+};
+
+// Yat-like (Lantz et al., ATC'14): replays all permissible persistence
+// orderings per fence window against the recovery checker. Exponential in
+// the number of unordered lines; usable only on tiny workloads (§3 — "it
+// is expected to require several years").
+class YatLike : public AnalysisTool {
+ public:
+  std::string_view name() const override { return "Yat"; }
+  bool DetectsClass(BugClass bug_class) const override;
+  bool application_agnostic() const override { return true; }
+  bool library_agnostic() const override { return true; }
+  ErgonomicsRow ergonomics() const override;
+  Report Analyze(const TargetFactory& factory, const WorkloadSpec& spec,
+                 const Budget& budget, ToolRunStats* stats) override;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_BASELINES_TOOLS_H_

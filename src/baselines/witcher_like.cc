@@ -1,0 +1,252 @@
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/measure.h"
+#include "src/baselines/tools.h"
+#include "src/instrument/trace.h"
+
+namespace mumak {
+namespace {
+
+double Since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Marks operation boundaries in the trace (Witcher requires a driver that
+// delimits operations — the Table 3 "requires a YCSB-like driver" row).
+struct OpBoundary {
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+  Op op;
+};
+
+// A likely ordering invariant: within an operation, the store to site A is
+// always persisted before the store to site B.
+struct OrderingInvariant {
+  uint32_t site_a = 0;
+  uint32_t site_b = 0;
+  bool operator<(const OrderingInvariant& other) const {
+    return std::tie(site_a, site_b) < std::tie(other.site_a, other.site_b);
+  }
+};
+
+}  // namespace
+
+bool WitcherLike::DetectsClass(BugClass bug_class) const {
+  switch (bug_class) {
+    case BugClass::kDurability:
+    case BugClass::kAtomicity:
+    case BugClass::kOrdering:
+    case BugClass::kRedundantFlush:  // via its persistence-op profiling
+      return true;
+    case BugClass::kRedundantFence:
+    case BugClass::kTransientData:
+      return false;
+  }
+  return false;
+}
+
+ErgonomicsRow WitcherLike::ergonomics() const {
+  ErgonomicsRow row;
+  row.full_bug_path = false;
+  row.unique_bugs = false;  // 4-5 GB of raw output in the paper's runs
+  row.generic_workload = false;  // deterministic driver required
+  row.changes_target_code = true;
+  row.changes_build = true;
+  return row;
+}
+
+bool WitcherLike::SupportsTarget(std::string_view target_name) const {
+  // Output equivalence checking presumes key-value semantics; targets
+  // without a KV driver cannot be analysed (§3).
+  static const std::set<std::string, std::less<>> kKvTargets = {
+      "btree",  "cceh",       "cmap",          "ctree",
+      "fast_fair", "hashmap_atomic", "hashmap_tx", "level_hashing",
+      "rbtree", "redis",      "stree",         "wort",
+  };
+  return kKvTargets.find(target_name) != kKvTargets.end();
+}
+
+Report WitcherLike::Analyze(const TargetFactory& factory,
+                            const WorkloadSpec& spec, const Budget& budget,
+                            ToolRunStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = ProcessCpuSeconds();
+  const size_t vanilla = MeasureVanillaPeakBytes(factory, spec);
+  Report report;
+  bool timed_out = false;
+
+  // Phase 1: per-operation trace collection with the deterministic driver.
+  TraceCollector trace;
+  std::vector<OpBoundary> boundaries;
+  {
+    TargetPtr target = factory();
+    PmPool pool(target->DefaultPoolSize());
+    ScopedSink attach(pool.hub(), &trace);
+    target->Setup(pool);
+    WorkloadGenerator generator(spec);
+    while (!generator.Done()) {
+      OpBoundary boundary;
+      boundary.op = generator.Next();
+      boundary.first_seq = pool.hub().seq();
+      target->Execute(pool, boundary.op);
+      boundary.last_seq = pool.hub().seq();
+      boundaries.push_back(boundary);
+    }
+    target->Finish(pool);
+  }
+
+  // Phase 2: infer likely ordering invariants — per operation, the order
+  // in which distinct store sites reach their first persist. A pair (A,B)
+  // that holds in every operation is a likely invariant; the candidate
+  // violations are the crash points between A's persist and B's.
+  std::map<OrderingInvariant, uint64_t> support;
+  std::set<OrderingInvariant> violated;
+  for (const OpBoundary& boundary : boundaries) {
+    if (Since(start) > budget.time_budget_s) {
+      timed_out = true;
+      break;
+    }
+    std::vector<uint32_t> persist_order;  // first-persisted store sites
+    std::set<uint32_t> seen;
+    for (uint64_t seq = boundary.first_seq; seq < boundary.last_seq &&
+                                            seq < trace.events().size();
+         ++seq) {
+      const PmEvent& event = trace.events()[seq];
+      if (IsStore(event.kind) && seen.insert(event.site).second) {
+        persist_order.push_back(event.site);
+      }
+    }
+    for (size_t i = 0; i < persist_order.size(); ++i) {
+      for (size_t j = i + 1; j < persist_order.size(); ++j) {
+        support[OrderingInvariant{persist_order[i], persist_order[j]}] += 1;
+        if (support.count(
+                OrderingInvariant{persist_order[j], persist_order[i]}) !=
+            0) {
+          violated.insert(
+              OrderingInvariant{persist_order[i], persist_order[j]});
+        }
+      }
+    }
+  }
+
+  // Phase 3: for each surviving invariant, generate a crash image at the
+  // candidate violation point and run output equivalence checking: replay
+  // the full workload against an oracle map on the recovered state. This
+  // is the expensive part — Witcher re-executes the workload per candidate
+  // — and it parallelises aggressively with per-worker pool copies, which
+  // is what exhausts memory in Table 2.
+  uint64_t candidates = 0;
+  size_t peak_bytes = trace.FootprintBytes() + support.size() * 48;
+  const unsigned workers = std::max(2u, std::thread::hardware_concurrency());
+  std::set<std::string> dedup;
+
+  std::vector<OrderingInvariant> to_check;
+  for (const auto& [invariant, count] : support) {
+    if (count >= 4 && violated.find(invariant) == violated.end()) {
+      to_check.push_back(invariant);
+    }
+  }
+
+  for (size_t batch = 0; batch < to_check.size() && !timed_out;
+       batch += workers) {
+    std::vector<std::thread> pool_threads;
+    std::vector<Report> worker_reports(workers);
+    for (unsigned w = 0; w < workers && batch + w < to_check.size(); ++w) {
+      const OrderingInvariant invariant = to_check[batch + w];
+      pool_threads.emplace_back([&, w, invariant] {
+        // Each worker re-executes the workload on its own pool (the
+        // memory-hungry parallelisation), crashes at the invariant's
+        // window, and output-checks the recovered state.
+        TargetPtr target = factory();
+        PmPool pool(target->DefaultPoolSize());
+        struct CrashAtSite : EventSink {
+          uint32_t site = 0;
+          bool armed = false;
+          void OnEvent(const PmEvent& event) override {
+            if (IsStore(event.kind) && event.site == site) {
+              armed = true;
+            } else if (armed && IsPersistencyInstruction(event.kind)) {
+              throw CrashSignal{0, event.seq};
+            }
+          }
+        } crasher;
+        crasher.site = invariant.site_b;
+        std::map<uint64_t, uint64_t> oracle;
+        bool crashed = false;
+        try {
+          ScopedSink attach(pool.hub(), &crasher);
+          target->Setup(pool);
+          WorkloadGenerator generator(spec);
+          while (!generator.Done()) {
+            const Op op = generator.Next();
+            target->Execute(pool, op);
+            if (op.kind == OpKind::kPut) {
+              oracle[op.key] = op.value;
+            } else if (op.kind == OpKind::kDelete) {
+              oracle.erase(op.key);
+            }
+          }
+          target->Finish(pool);
+        } catch (const CrashSignal&) {
+          crashed = true;
+        } catch (const std::exception&) {
+          return;
+        }
+        if (!crashed) {
+          return;
+        }
+        // Output equivalence: recovery must produce a state the oracle
+        // can explain (a prefix of the operation history).
+        PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+        TargetPtr fresh = factory();
+        const RecoveryResult result = RunRecoveryOracle(*fresh, recovered);
+        if (!result.ok()) {
+          Finding finding;
+          finding.source = FindingSource::kFaultInjection;
+          finding.kind = FindingKind::kRecoveryUnrecoverable;
+          finding.detail = result.detail;
+          worker_reports[w].Add(std::move(finding));
+        }
+      });
+    }
+    candidates += pool_threads.size();
+    // Per-worker pool copies: the accounted footprint grows with the
+    // worker count (Table 2's runaway RAM column).
+    TargetPtr probe = factory();
+    peak_bytes = std::max(
+        peak_bytes, trace.FootprintBytes() +
+                        pool_threads.size() * 3 * probe->DefaultPoolSize());
+    for (std::thread& thread : pool_threads) {
+      thread.join();
+    }
+    for (Report& worker_report : worker_reports) {
+      for (const Finding& finding : worker_report.findings()) {
+        report.Add(finding);  // no dedup: Witcher reports raw output
+      }
+    }
+    if (Since(start) > budget.time_budget_s) {
+      timed_out = true;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->timed_out = timed_out;
+    stats->units_explored = candidates;
+    FinalizeResourceStats(stats, vanilla, peak_bytes, 0, 0, Since(start),
+                          ProcessCpuSeconds() - cpu_start);
+    stats->resources.cpu_load =
+        std::max(stats->resources.cpu_load, static_cast<double>(workers));
+    if (timed_out) {
+      stats->note = "exceeded analysis budget (output equivalence checks)";
+    }
+  }
+  return report;
+}
+
+}  // namespace mumak

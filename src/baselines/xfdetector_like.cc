@@ -1,0 +1,230 @@
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "src/baselines/measure.h"
+#include "src/baselines/tools.h"
+#include "src/core/failure_point_tree.h"
+
+namespace mumak {
+namespace {
+
+double Since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Shadow memory: per-line persistency status, maintained *in PM* (the
+// paper's Table 2 notes XFDetector is the only tool storing analysis
+// metadata in PM, ~2x the application's PM footprint).
+class ShadowMemory {
+ public:
+  explicit ShadowMemory(size_t pool_size) : shadow_pool_(pool_size) {
+    shadow_pool_.hub().set_enabled(false);
+  }
+
+  void OnStore(uint64_t offset, uint32_t size) {
+    const uint64_t first = LineIndex(offset);
+    const uint64_t last = size == 0 ? first : LineIndex(offset + size - 1);
+    for (uint64_t line = first; line <= last; ++line) {
+      shadow_pool_.WriteU64((line % slots()) * 8, kDirty);
+    }
+  }
+
+  void OnFlush(uint64_t offset) {
+    shadow_pool_.WriteU64((LineIndex(offset) % slots()) * 8, kFlushed);
+  }
+
+  void OnFence() {
+    // A real shadow memory scans its pending set; scanning the shadow pool
+    // models that cost honestly.
+    for (uint64_t s = 0; s < slots(); s += 64) {
+      if (shadow_pool_.ReadU64(s * 8) == kFlushed) {
+        shadow_pool_.WriteU64(s * 8, kPersisted);
+      }
+    }
+  }
+
+  bool IsPersisted(uint64_t offset) const {
+    const uint64_t status =
+        shadow_pool_.ReadU64((LineIndex(offset) % slots()) * 8);
+    return status == kPersisted || status == 0;
+  }
+
+  size_t pm_bytes() const { return shadow_pool_.size(); }
+
+ private:
+  static constexpr uint64_t kDirty = 1;
+  static constexpr uint64_t kFlushed = 2;
+  static constexpr uint64_t kPersisted = 3;
+
+  uint64_t slots() const { return shadow_pool_.size() / 8; }
+
+  PmPool shadow_pool_;
+};
+
+// Pre-failure sink: feeds the shadow memory and throws at the chosen store.
+struct PreFailureSink : EventSink {
+  ShadowMemory* shadow = nullptr;
+  FailurePointTree* tree = nullptr;
+  std::vector<FrameId> stack_buffer;
+
+  void OnEvent(const PmEvent& event) override {
+    if (IsStore(event.kind)) {
+      shadow->OnStore(event.offset, event.size);
+      const auto frames = ShadowCallStack::Current().frames();
+      stack_buffer.assign(frames.begin(), frames.end());
+      stack_buffer.push_back(event.site);
+      FailurePointTree::NodeIndex node = tree->Find(stack_buffer);
+      if (node == FailurePointTree::kNotFound) {
+        node = tree->Insert(stack_buffer);
+      }
+      if (!tree->IsVisited(node)) {
+        tree->MarkVisited(node);
+        throw CrashSignal{node, event.seq};
+      }
+      return;
+    }
+    if (IsFlush(event.kind)) {
+      shadow->OnFlush(event.offset);
+    } else if (IsFence(event.kind)) {
+      shadow->OnFence();
+    }
+  }
+};
+
+// Post-failure sink: checks every PM read against the shadow memory
+// (cross-failure read detection).
+struct PostFailureSink : EventSink {
+  const ShadowMemory* shadow = nullptr;
+  std::set<uint64_t>* dirty_reads = nullptr;
+
+  void OnEvent(const PmEvent& event) override {
+    if (event.kind == EventKind::kLoad &&
+        !shadow->IsPersisted(event.offset)) {
+      dirty_reads->insert(LineIndex(event.offset));
+    }
+  }
+};
+
+}  // namespace
+
+bool XfDetectorLike::DetectsClass(BugClass bug_class) const {
+  switch (bug_class) {
+    case BugClass::kDurability:
+    case BugClass::kAtomicity:  // cross-failure semantic bugs (annotated)
+    case BugClass::kOrdering:   // annotated ordering assertions
+      return true;
+    default:
+      return false;
+  }
+}
+
+ErgonomicsRow XfDetectorLike::ergonomics() const {
+  ErgonomicsRow row;
+  row.full_bug_path = false;  // reports the annotation line only
+  row.unique_bugs = false;
+  row.generic_workload = true;
+  row.changes_target_code = true;  // annotations
+  row.changes_build = true;
+  return row;
+}
+
+Report XfDetectorLike::Analyze(const TargetFactory& factory,
+                               const WorkloadSpec& spec, const Budget& budget,
+                               ToolRunStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = ProcessCpuSeconds();
+  const size_t vanilla = MeasureVanillaPeakBytes(factory, spec);
+  size_t app_pm_bytes = 0;
+  Report report;
+  std::set<std::string> dedup;
+  uint64_t injections = 0;
+  bool timed_out = false;
+  size_t shadow_bytes = 0;
+  size_t peak_tool_bytes = 0;
+
+  // Store-granularity failure point tree (the ~10x larger space of
+  // Figure 3b) built lazily during the injection loop.
+  FailurePointTree tree;
+
+  while (true) {
+    if (Since(start) > budget.time_budget_s) {
+      timed_out = true;
+      break;
+    }
+    TargetPtr target = factory();
+    PmPool pool(target->DefaultPoolSize());
+    app_pm_bytes = pool.size();
+    ShadowMemory shadow(pool.size());
+    shadow_bytes = shadow.pm_bytes();
+    PreFailureSink sink;
+    sink.shadow = &shadow;
+    sink.tree = &tree;
+    bool crashed = false;
+    try {
+      ScopedSink attach(pool.hub(), &sink);
+      FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
+    } catch (const CrashSignal&) {
+      crashed = true;
+    }
+    if (!crashed) {
+      break;  // every store-level failure point visited
+    }
+    ++injections;
+
+    // Post-failure execution with full instrumentation: recovery runs with
+    // load tracing against the shadow memory.
+    PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+    recovered.set_trace_loads(true);
+    std::set<uint64_t> dirty_reads;
+    PostFailureSink post;
+    post.shadow = &shadow;
+    post.dirty_reads = &dirty_reads;
+    TargetPtr fresh = factory();
+    RecoveryResult result;
+    {
+      ScopedSink attach(recovered.hub(), &post);
+      result = RunRecoveryOracle(*fresh, recovered);
+    }
+    peak_tool_bytes =
+        std::max(peak_tool_bytes,
+                 tree.FootprintBytes() + dirty_reads.size() * 48);
+
+    if (!result.ok() && dedup.insert(result.detail).second) {
+      Finding finding;
+      finding.source = FindingSource::kFaultInjection;
+      finding.kind = FindingKind::kRecoveryUnrecoverable;
+      finding.detail = result.detail;
+      report.Add(std::move(finding));
+    }
+    for (uint64_t line : dirty_reads) {
+      const std::string key = "xf-read:" + std::to_string(line);
+      if (dedup.insert(key).second) {
+        Finding finding;
+        finding.source = FindingSource::kFaultInjection;
+        finding.kind = FindingKind::kUnflushedStore;
+        finding.pm_offset = line * kCacheLineSize;
+        finding.detail =
+            "post-failure execution read data that was not persisted "
+            "before the failure";
+        report.Add(std::move(finding));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->timed_out = timed_out;
+    stats->units_explored = injections;
+    FinalizeResourceStats(stats, vanilla, peak_tool_bytes, app_pm_bytes,
+                          shadow_bytes, Since(start),
+                          ProcessCpuSeconds() - cpu_start);
+    if (timed_out) {
+      stats->note = "exceeded analysis budget (per-store injection)";
+    }
+  }
+  return report;
+}
+
+}  // namespace mumak

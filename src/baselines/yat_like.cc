@@ -1,0 +1,135 @@
+#include <chrono>
+
+#include "src/baselines/measure.h"
+#include "src/baselines/tools.h"
+
+namespace mumak {
+namespace {
+
+double Since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+bool YatLike::DetectsClass(BugClass bug_class) const {
+  switch (bug_class) {
+    case BugClass::kDurability:
+    case BugClass::kAtomicity:
+    case BugClass::kOrdering:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ErgonomicsRow YatLike::ergonomics() const {
+  ErgonomicsRow row;
+  row.full_bug_path = false;
+  row.unique_bugs = false;
+  row.generic_workload = true;
+  row.changes_target_code = false;
+  row.changes_build = true;  // runs the system under a hypervisor
+  return row;
+}
+
+Report YatLike::Analyze(const TargetFactory& factory, const WorkloadSpec& spec,
+                        const Budget& budget, ToolRunStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const double cpu_start = ProcessCpuSeconds();
+  const size_t vanilla = MeasureVanillaPeakBytes(factory, spec);
+  Report report;
+  std::set<std::string> dedup;
+  uint64_t images_checked = 0;
+  bool timed_out = false;
+
+  // At every fence, Yat replays all permissible orderings of the pending
+  // (unordered) cache lines: every subset of the dirty lines may have
+  // reached the medium. Exponential in the per-window line count, which is
+  // why Yat needs "several years" for full coverage (§3).
+  struct FenceWindowEnumerator : EventSink {
+    PmPool* pool = nullptr;
+    const TargetFactory* factory = nullptr;
+    Report* report = nullptr;
+    std::set<std::string>* dedup = nullptr;
+    uint64_t* images_checked = nullptr;
+    std::chrono::steady_clock::time_point deadline_start;
+    double budget_s = 0;
+    bool* timed_out = nullptr;
+
+    void OnEvent(const PmEvent& event) override {
+      if (!IsFence(event.kind)) {
+        return;
+      }
+      const std::vector<uint64_t> dirty = pool->model().DirtyLines();
+      // Cap the exponent so a single window cannot run forever; windows
+      // beyond the cap are sampled at the cap.
+      const size_t bits = std::min<size_t>(dirty.size(), 12);
+      const uint64_t combos = 1ull << bits;
+      for (uint64_t mask = 0; mask < combos; ++mask) {
+        if (Since(deadline_start) > budget_s) {
+          *timed_out = true;
+          return;
+        }
+        std::vector<uint64_t> survivors;
+        for (size_t b = 0; b < bits; ++b) {
+          if ((mask >> b) & 1) {
+            survivors.push_back(dirty[b]);
+          }
+        }
+        PmPool crashed = PmPool::FromImage(
+            pool->model().PowerFailImageWithLines(survivors));
+        TargetPtr fresh = (*factory)();
+        const RecoveryResult result = RunRecoveryOracle(*fresh, crashed);
+        ++*images_checked;
+        if (!result.ok() && dedup->insert(result.detail).second) {
+          Finding finding;
+          finding.source = FindingSource::kFaultInjection;
+          finding.kind = FindingKind::kRecoveryUnrecoverable;
+          finding.detail = result.detail;
+          finding.seq = event.seq;
+          report->Add(std::move(finding));
+        }
+      }
+    }
+
+    static double Since(std::chrono::steady_clock::time_point from) {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - from)
+          .count();
+    }
+  };
+
+  TargetPtr target = factory();
+  PmPool pool(target->DefaultPoolSize());
+  FenceWindowEnumerator enumerator;
+  enumerator.pool = &pool;
+  enumerator.factory = &factory;
+  enumerator.report = &report;
+  enumerator.dedup = &dedup;
+  enumerator.images_checked = &images_checked;
+  enumerator.deadline_start = start;
+  enumerator.budget_s = budget.time_budget_s;
+  enumerator.timed_out = &timed_out;
+  try {
+    ScopedSink attach(pool.hub(), &enumerator);
+    FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
+  } catch (const std::exception&) {
+    // A corrupted replay must not abort the analysis.
+  }
+
+  if (stats != nullptr) {
+    stats->timed_out = timed_out;
+    stats->units_explored = images_checked;
+    FinalizeResourceStats(stats, vanilla, target->DefaultPoolSize(), 0, 0,
+                          Since(start), ProcessCpuSeconds() - cpu_start);
+    if (timed_out) {
+      stats->note = "exceeded analysis budget (ordering enumeration)";
+    }
+  }
+  return report;
+}
+
+}  // namespace mumak

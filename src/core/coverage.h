@@ -1,0 +1,37 @@
+// Coverage harness: runs Mumak (and baselines) against the seeded-bug
+// corpus and decides whether a given seeded bug was detected. Shared by the
+// test suite and the §6.2 coverage benchmark.
+
+#ifndef MUMAK_SRC_CORE_COVERAGE_H_
+#define MUMAK_SRC_CORE_COVERAGE_H_
+
+#include <string>
+
+#include "src/core/mumak.h"
+#include "src/targets/bug_registry.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+// A workload spec tuned so that every seeded bug site in `target` is
+// exercised (enough deletes for merge paths, enough keys for splits).
+WorkloadSpec CoverageWorkload(std::string_view target, uint64_t operations);
+
+// Base options for a target under coverage evaluation (PMDK 1.6 — the
+// version without library bugs — unless the bug requires otherwise).
+TargetOptions CoverageOptions(std::string_view target);
+
+// True when `result` contains a finding that detects `bug`:
+//  - atomicity/ordering  -> a fault-injection finding
+//  - durability          -> an unflushed-store / dirty-overwrite finding
+//  - redundant flush     -> a redundant-flush finding
+//  - redundant fence     -> a redundant-fence finding
+//  - transient data      -> a transient-data warning
+bool DetectedBy(const SeededBug& bug, const Report& report);
+
+// Runs Mumak on the target with exactly this one seeded bug enabled.
+MumakResult RunMumakOnSeededBug(const SeededBug& bug, uint64_t operations);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_CORE_COVERAGE_H_

@@ -1,0 +1,84 @@
+// Failure point tree (§4.1, Figure 2): a trie over call stacks leading to
+// failure points. Each unique root-to-leaf path is the call stack of one
+// unique failure point; leaves carry a visited flag driving the
+// one-injection-per-unique-path policy. The tree is serialisable so that
+// the profiling and injection executions can run as separate steps, exactly
+// as in the paper's pipeline (§5 discusses the serialisation constraints).
+
+#ifndef MUMAK_SRC_CORE_FAILURE_POINT_TREE_H_
+#define MUMAK_SRC_CORE_FAILURE_POINT_TREE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/instrument/shadow_call_stack.h"
+
+namespace mumak {
+
+class FailurePointTree {
+ public:
+  using NodeIndex = uint32_t;
+  static constexpr NodeIndex kRoot = 0;
+
+  FailurePointTree();
+
+  // Inserts a call stack; marks the terminal node as a failure point.
+  // Returns the terminal node index.
+  NodeIndex Insert(std::span<const FrameId> stack);
+
+  // Finds the terminal node for a stack; returns kNotFound if the path or
+  // its failure-point marking is absent.
+  static constexpr NodeIndex kNotFound = 0xffffffffu;
+  NodeIndex Find(std::span<const FrameId> stack) const;
+
+  bool IsVisited(NodeIndex node) const { return nodes_[node].visited; }
+  void MarkVisited(NodeIndex node) { nodes_[node].visited = true; }
+
+  // Number of failure points (unique paths).
+  uint64_t FailurePointCount() const { return failure_points_; }
+  uint64_t UnvisitedCount() const;
+
+  // All unvisited failure points, in insertion order. Parallel injection
+  // snapshots this list and partitions it across workers.
+  std::vector<NodeIndex> UnvisitedNodes() const;
+
+  // Reconstructs the stack (root-last order) for a node.
+  std::vector<FrameId> StackOf(NodeIndex node) const;
+
+  // Renders the stack as "leaf <- ... <- root" using the global registry.
+  std::string DescribePath(NodeIndex node) const;
+
+  // Byte footprint of the tree, for resource accounting. The paper
+  // pre-allocates this memory before instrumenting so that deserialisation
+  // does not shift application addresses (§5); we model that with a
+  // reserved arena.
+  size_t FootprintBytes() const;
+
+  // Serialisation (the profiling step persists the tree for the injection
+  // steps).
+  void Serialize(std::ostream& out) const;
+  static FailurePointTree Deserialize(std::istream& in);
+
+  // Pre-reserves arena capacity (the paper's pre-allocation knob).
+  void ReserveNodes(size_t count) { nodes_.reserve(count); }
+
+ private:
+  struct Node {
+    FrameId frame = kInvalidFrame;
+    NodeIndex parent = kNotFound;
+    bool is_failure_point = false;
+    bool visited = false;
+    std::map<FrameId, NodeIndex> children;
+  };
+
+  std::vector<Node> nodes_;
+  uint64_t failure_points_ = 0;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_CORE_FAILURE_POINT_TREE_H_

@@ -1,0 +1,273 @@
+#include "src/core/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace mumak {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+void FailurePointSink::OnEvent(const PmEvent& event) {
+  if (granularity_ == FailurePointGranularity::kStore) {
+    if (IsStore(event.kind)) {
+      HandleFailurePoint(event);
+    }
+    return;
+  }
+  if (IsStore(event.kind)) {
+    store_since_failure_point_ = true;
+    return;
+  }
+  if (!IsPersistencyInstruction(event.kind)) {
+    return;
+  }
+  if (!store_since_failure_point_) {
+    return;  // equivalent post-failure state, elided (§4.1)
+  }
+  store_since_failure_point_ = false;
+  HandleFailurePoint(event);
+}
+
+void FailurePointSink::HandleFailurePoint(const PmEvent& event) {
+  // Failure point identity = shadow call stack + instruction site.
+  const auto frames = ShadowCallStack::Current().frames();
+  stack_buffer_.assign(frames.begin(), frames.end());
+  stack_buffer_.push_back(event.site);
+
+  if (mode_ == Mode::kProfile) {
+    tree_->Insert(stack_buffer_);
+    return;
+  }
+  if (mode_ == Mode::kInjectAt) {
+    // Read-only lookup: the deterministic re-execution revisits every
+    // profiled path, so a miss only means this is not the assigned point.
+    const FailurePointTree::NodeIndex node = tree_->Find(stack_buffer_);
+    if (node == inject_target_) {
+      throw CrashSignal{node, event.seq};
+    }
+    return;
+  }
+  FailurePointTree::NodeIndex node = tree_->Find(stack_buffer_);
+  if (node == FailurePointTree::kNotFound) {
+    node = tree_->Insert(stack_buffer_);
+  }
+  if (!tree_->IsVisited(node)) {
+    tree_->MarkVisited(node);
+    throw CrashSignal{node, event.seq};
+  }
+}
+
+FaultInjectionEngine::FaultInjectionEngine(TargetFactory factory,
+                                           WorkloadSpec spec,
+                                           FaultInjectionOptions options)
+    : factory_(std::move(factory)), spec_(spec), options_(options) {}
+
+void FaultInjectionEngine::ExecuteWorkload(Target& target, PmPool& pool,
+                                           const WorkloadSpec& spec) {
+  target.Setup(pool);
+  WorkloadGenerator generator(spec);
+  while (!generator.Done()) {
+    target.Execute(pool, generator.Next());
+  }
+  target.Finish(pool);
+}
+
+FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
+  FailurePointTree tree;
+  TargetPtr target = factory_();
+  PmPool pool(target->DefaultPoolSize());
+  FailurePointSink sink(&tree, FailurePointSink::Mode::kProfile,
+                        options_.granularity);
+  ScopedSink attach_sink(pool.hub(), &sink);
+  if (trace != nullptr) {
+    pool.hub().AddSink(trace);
+  }
+  ExecuteWorkload(*target, pool, spec_);
+  if (trace != nullptr) {
+    pool.hub().RemoveSink(trace);
+  }
+  return tree;
+}
+
+Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
+                                       FaultInjectionStats* stats) {
+  if (options_.workers > 1) {
+    return InjectAllParallel(tree, stats);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Report report;
+  // Unique bugs only (Table 3): identical oracle outcomes from different
+  // failure points are collapsed into one finding that counts occurrences.
+  std::map<std::string, size_t> dedup;  // detail -> finding index
+
+  stats->failure_points = tree->FailurePointCount();
+  while (tree->UnvisitedCount() > 0) {
+    if (stats->injections >= options_.max_injections ||
+        Seconds(start, std::chrono::steady_clock::now()) >
+            options_.time_budget_s) {
+      stats->budget_exhausted = true;
+      break;
+    }
+    TargetPtr target = factory_();
+    PmPool pool(target->DefaultPoolSize());
+    FailurePointSink sink(tree, FailurePointSink::Mode::kInject,
+                          options_.granularity);
+    bool crashed = false;
+    CrashSignal crash;
+    try {
+      ScopedSink attach_sink(pool.hub(), &sink);
+      ExecuteWorkload(*target, pool, spec_);
+    } catch (const CrashSignal& signal) {
+      crashed = true;
+      crash = signal;
+    }
+    ++stats->executions;
+    if (!crashed) {
+      // Deterministic executions revisit every profiled failure point; a
+      // crash-free run means the remaining unvisited points are
+      // unreachable (should not happen), so stop.
+      break;
+    }
+    ++stats->injections;
+
+    // Graceful crash image: pending stores persisted, program order
+    // respected (§4.1). Recovery runs uninstrumented on a fresh pool.
+    PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+    TargetPtr fresh = factory_();
+    const RecoveryResult result = RunRecoveryOracle(*fresh, recovered);
+    if (!result.ok()) {
+      auto it = dedup.find(result.detail);
+      if (it != dedup.end()) {
+        continue;  // same root cause already reported
+      }
+      Finding finding;
+      finding.source = FindingSource::kFaultInjection;
+      finding.kind = result.status == RecoveryStatus::kUnrecoverable
+                         ? FindingKind::kRecoveryUnrecoverable
+                         : FindingKind::kRecoveryCrash;
+      finding.detail = result.detail;
+      finding.location = tree->DescribePath(crash.node);
+      finding.seq = crash.seq;
+      dedup.emplace(result.detail, report.findings().size());
+      report.Add(std::move(finding));
+    }
+  }
+  stats->bugs = report.BugCount();
+  stats->tree_bytes = tree->FootprintBytes();
+  stats->elapsed_s = Seconds(start, std::chrono::steady_clock::now());
+  return report;
+}
+
+Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
+                                               FaultInjectionStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  // Snapshot the work list; from here on the tree is read-only (kInjectAt
+  // executions only Find), so workers can share it without locking.
+  const std::vector<FailurePointTree::NodeIndex> pending =
+      tree->UnvisitedNodes();
+  stats->failure_points = tree->FailurePointCount();
+
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> injections{0};
+  std::atomic<uint64_t> executions{0};
+  std::atomic<bool> exhausted{false};
+  std::mutex report_mutex;
+  Report report;
+  std::map<std::string, size_t> dedup;
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= pending.size()) {
+        return;
+      }
+      if (injections.load(std::memory_order_relaxed) >=
+              options_.max_injections ||
+          Seconds(start, std::chrono::steady_clock::now()) >
+              options_.time_budget_s) {
+        exhausted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const FailurePointTree::NodeIndex assigned = pending[index];
+
+      TargetPtr target = factory_();
+      PmPool pool(target->DefaultPoolSize());
+      FailurePointSink sink(tree, FailurePointSink::Mode::kInjectAt,
+                            options_.granularity);
+      sink.set_inject_target(assigned);
+      bool crashed = false;
+      CrashSignal crash;
+      try {
+        ScopedSink attach_sink(pool.hub(), &sink);
+        ExecuteWorkload(*target, pool, spec_);
+      } catch (const CrashSignal& signal) {
+        crashed = true;
+        crash = signal;
+      }
+      executions.fetch_add(1, std::memory_order_relaxed);
+      // Each node is claimed by exactly one worker, so the visited flags
+      // stay single-writer even though the vector is shared.
+      tree->MarkVisited(assigned);
+      if (!crashed) {
+        continue;  // unreachable path (should not happen; see InjectAll)
+      }
+      injections.fetch_add(1, std::memory_order_relaxed);
+
+      PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+      TargetPtr fresh = factory_();
+      const RecoveryResult result = RunRecoveryOracle(*fresh, recovered);
+      if (!result.ok()) {
+        Finding finding;
+        finding.source = FindingSource::kFaultInjection;
+        finding.kind = result.status == RecoveryStatus::kUnrecoverable
+                           ? FindingKind::kRecoveryUnrecoverable
+                           : FindingKind::kRecoveryCrash;
+        finding.detail = result.detail;
+        finding.location = tree->DescribePath(crash.node);
+        finding.seq = crash.seq;
+        std::lock_guard<std::mutex> lock(report_mutex);
+        if (dedup.find(result.detail) == dedup.end()) {
+          dedup.emplace(result.detail, report.findings().size());
+          report.Add(std::move(finding));
+        }
+      }
+    }
+  };
+
+  const uint32_t thread_count = static_cast<uint32_t>(
+      std::min<size_t>(options_.workers, pending.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(thread_count);
+  for (uint32_t i = 0; i < thread_count; ++i) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  stats->injections = injections.load();
+  stats->executions += executions.load();
+  stats->budget_exhausted = exhausted.load();
+  stats->bugs = report.BugCount();
+  stats->tree_bytes = tree->FootprintBytes();
+  stats->elapsed_s =
+      Seconds(start, std::chrono::steady_clock::now());
+  return report;
+}
+
+Report FaultInjectionEngine::Run(FaultInjectionStats* stats) {
+  FailurePointTree tree = Profile();
+  ++stats->executions;
+  return InjectAll(&tree, stats);
+}
+
+}  // namespace mumak

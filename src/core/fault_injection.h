@@ -1,0 +1,135 @@
+// Fault injection phase (§4.1): execute the target, crash it gracefully at
+// unique failure points (persistency instructions with at least one store
+// since the previous failure point), and use the application's own recovery
+// procedure as the consistency oracle.
+
+#ifndef MUMAK_SRC_CORE_FAULT_INJECTION_H_
+#define MUMAK_SRC_CORE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/core/failure_point_tree.h"
+#include "src/core/report.h"
+#include "src/instrument/event_hub.h"
+#include "src/instrument/trace.h"
+#include "src/pmem/pm_pool.h"
+#include "src/targets/target.h"
+#include "src/workload/workload.h"
+
+namespace mumak {
+
+// Creates a fresh target instance; fault injection re-executes the workload
+// once per unique failure point, each time on a fresh target + pool.
+using TargetFactory = std::function<TargetPtr()>;
+
+// Failure point granularity (§4.1): persistency instructions give Mumak its
+// scalability; store granularity is the ablation (and what the Figure 3b
+// coverage series counts).
+enum class FailurePointGranularity {
+  kPersistencyInstruction,
+  kStore,
+};
+
+// Exception thrown by the injection sink to stop the target at a failure
+// point. The pool state at the throw site *is* the graceful crash image:
+// pending stores are treated as persisted, respecting program order.
+struct CrashSignal {
+  FailurePointTree::NodeIndex node = FailurePointTree::kNotFound;
+  uint64_t seq = 0;
+};
+
+// Event sink implementing failure-point detection. In kProfile mode it
+// builds the failure point tree; in kInject mode it throws CrashSignal at
+// the first unvisited failure point (marking it visited).
+class FailurePointSink : public EventSink {
+ public:
+  // kProfile builds the tree; kInject crashes at the first unvisited
+  // failure point; kInjectAt crashes at one pre-assigned failure point
+  // (parallel injection — the tree is read-only in this mode, so any
+  // number of kInjectAt executions can share it).
+  enum class Mode { kProfile, kInject, kInjectAt };
+
+  FailurePointSink(FailurePointTree* tree, Mode mode,
+                   FailurePointGranularity granularity)
+      : tree_(tree), mode_(mode), granularity_(granularity) {}
+
+  void OnEvent(const PmEvent& event) override;
+
+  // The failure point a kInjectAt execution crashes at.
+  void set_inject_target(FailurePointTree::NodeIndex node) {
+    inject_target_ = node;
+  }
+
+ private:
+  void HandleFailurePoint(const PmEvent& event);
+
+  FailurePointTree* tree_;
+  Mode mode_;
+  FailurePointGranularity granularity_;
+  FailurePointTree::NodeIndex inject_target_ = FailurePointTree::kNotFound;
+  // "Only consider a persistency instruction if there was at least one
+  // store performed to PM since the last failure point" (§4.1).
+  bool store_since_failure_point_ = false;
+  std::vector<FrameId> stack_buffer_;
+};
+
+struct FaultInjectionOptions {
+  FailurePointGranularity granularity =
+      FailurePointGranularity::kPersistencyInstruction;
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  uint64_t max_injections = std::numeric_limits<uint64_t>::max();
+  // Injection executions are mutually independent (each runs on a fresh
+  // pool and target and crashes at one pre-assigned failure point), so
+  // they parallelise embarrassingly; >1 partitions the unvisited failure
+  // points across this many threads (§7 positions Mumak for CI pipelines,
+  // where this is the relevant throughput knob).
+  uint32_t workers = 1;
+};
+
+struct FaultInjectionStats {
+  uint64_t failure_points = 0;
+  uint64_t injections = 0;
+  uint64_t executions = 0;  // full workload (re-)executions
+  uint64_t bugs = 0;
+  bool budget_exhausted = false;
+  double elapsed_s = 0;
+  size_t tree_bytes = 0;
+};
+
+class FaultInjectionEngine {
+ public:
+  FaultInjectionEngine(TargetFactory factory, WorkloadSpec spec,
+                       FaultInjectionOptions options = {});
+
+  // Profiling execution (Figure 1 steps 2-6): builds the failure point tree
+  // and optionally feeds the PM access trace to `trace` (an in-memory
+  // collector or a file spool) for the analysis phase.
+  FailurePointTree Profile(EventSink* trace = nullptr);
+
+  // Injection loop (Figure 1 steps 7-9) over every unvisited failure point.
+  // With options.workers > 1 the loop partitions failure points across
+  // worker threads; findings and stats are merged before returning.
+  Report InjectAll(FailurePointTree* tree, FaultInjectionStats* stats);
+
+  // Convenience: Profile + InjectAll.
+  Report Run(FaultInjectionStats* stats);
+
+  // Executes the full workload (setup, operations, finish) on a fresh pool
+  // and target. Exposed for baselines and benchmarks.
+  static void ExecuteWorkload(Target& target, PmPool& pool,
+                              const WorkloadSpec& spec);
+
+ private:
+  Report InjectAllParallel(FailurePointTree* tree, FaultInjectionStats* stats);
+
+  TargetFactory factory_;
+  WorkloadSpec spec_;
+  FaultInjectionOptions options_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_CORE_FAULT_INJECTION_H_

@@ -1,0 +1,209 @@
+#include "src/core/mumak.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <map>
+#include <set>
+
+namespace mumak {
+namespace {
+
+// Unique spool path per analysis (tmpfs-style staging).
+std::string TempTracePath() {
+  static std::atomic<uint64_t> counter{0};
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return dir + "/mumak_trace_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".bin";
+}
+
+// Sink that captures shadow-stack backtraces for a chosen set of
+// instruction counters (deterministic across re-executions, §5).
+class BacktraceSink : public EventSink {
+ public:
+  explicit BacktraceSink(const std::set<uint64_t>& seqs) : wanted_(seqs) {}
+
+  void OnEvent(const PmEvent& event) override {
+    if (wanted_.find(event.seq) == wanted_.end()) {
+      return;
+    }
+    std::string stack = ShadowCallStack::Current().Describe();
+    const std::string site = FrameRegistry::Global().Describe(event.site);
+    if (stack.empty()) {
+      stack = site;
+    } else {
+      stack = site + " <- " + stack;
+    }
+    backtraces_.emplace(event.seq, std::move(stack));
+  }
+
+  const std::map<uint64_t, std::string>& backtraces() const {
+    return backtraces_;
+  }
+
+ private:
+  std::set<uint64_t> wanted_;
+  std::map<uint64_t, std::string> backtraces_;
+};
+
+double CpuSeconds() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  auto to_s = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_s(usage.ru_utime) + to_s(usage.ru_stime);
+}
+
+// Samples the pool's volatile footprint periodically to approximate the
+// vanilla execution's peak RAM.
+class FootprintSampler : public EventSink {
+ public:
+  FootprintSampler(const PmPool* pool, PeakMemoryTracker* tracker)
+      : pool_(pool), tracker_(tracker) {}
+
+  void OnEvent(const PmEvent& event) override {
+    if ((event.seq & 0x3ff) == 0) {
+      tracker_->Sample(pool_->model().VolatileFootprintBytes());
+    }
+  }
+
+ private:
+  const PmPool* pool_;
+  PeakMemoryTracker* tracker_;
+};
+
+}  // namespace
+
+Mumak::Mumak(TargetFactory factory, WorkloadSpec spec, MumakOptions options)
+    : factory_(std::move(factory)), spec_(spec), options_(options) {}
+
+void Mumak::ResolveBacktraces(Report* report) {
+  std::set<uint64_t> wanted;
+  for (const Finding& finding : report->findings()) {
+    if (finding.source == FindingSource::kTraceAnalysis) {
+      wanted.insert(finding.seq);
+    }
+  }
+  if (wanted.empty()) {
+    return;
+  }
+  TargetPtr target = factory_();
+  PmPool pool(target->DefaultPoolSize());
+  BacktraceSink sink(wanted);
+  {
+    ScopedSink attach(pool.hub(), &sink);
+    FaultInjectionEngine::ExecuteWorkload(*target, pool, spec_);
+  }
+  Report resolved;
+  for (Finding finding : report->findings()) {
+    auto it = sink.backtraces().find(finding.seq);
+    if (finding.source == FindingSource::kTraceAnalysis &&
+        it != sink.backtraces().end()) {
+      finding.location = it->second;
+    }
+    resolved.Add(std::move(finding));
+  }
+  *report = std::move(resolved);
+}
+
+MumakResult Mumak::Analyze() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double cpu_start = CpuSeconds();
+  MumakResult result;
+
+  // Vanilla baseline for Table 2 accounting.
+  PeakMemoryTracker vanilla_peak;
+  {
+    TargetPtr target = factory_();
+    PmPool pool(target->DefaultPoolSize());
+    FootprintSampler sampler(&pool, &vanilla_peak);
+    ScopedSink attach(pool.hub(), &sampler);
+    FaultInjectionEngine::ExecuteWorkload(*target, pool, spec_);
+    vanilla_peak.Sample(pool.model().VolatileFootprintBytes());
+  }
+
+  // Step 1-6: one instrumented execution builds the failure point tree and
+  // spools the PM access trace to a temporary file (the paper stages this
+  // data on a tmpfs mount; only the analyzer's per-line state lives in
+  // DRAM).
+  FaultInjectionOptions fi_options;
+  fi_options.granularity = options_.granularity;
+  fi_options.time_budget_s = options_.time_budget_s;
+  fi_options.workers = options_.injection_workers;
+  FaultInjectionEngine engine(factory_, spec_, fi_options);
+  const std::string trace_path = TempTracePath();
+  std::optional<TraceFileSink> trace;
+  if (options_.trace_analysis) {
+    trace.emplace(trace_path);
+  }
+  FailurePointTree tree =
+      engine.Profile(options_.trace_analysis ? &*trace : nullptr);
+  if (trace.has_value()) {
+    trace->Close();
+  }
+  result.fault_injection.executions = 1;
+
+  // Optional phase separation: persist the tree and reload it, as the
+  // paper's pipeline does between the profiling and injection executions.
+  if (!options_.tree_path.empty()) {
+    {
+      std::ofstream out(options_.tree_path,
+                        std::ios::binary | std::ios::trunc);
+      tree.Serialize(out);
+    }
+    std::ifstream in(options_.tree_path, std::ios::binary);
+    tree = FailurePointTree::Deserialize(in);
+  }
+
+  // Steps 7-9: fault injection with the recovery oracle.
+  if (options_.fault_injection) {
+    Report injection_report = engine.InjectAll(&tree, &result.fault_injection);
+    result.report.Merge(injection_report);
+  }
+
+  // Steps 10-11: trace analysis (conceptually parallel in the paper's
+  // pipeline; sequential here).
+  if (options_.trace_analysis) {
+    TraceAnalysisOptions ta_options;
+    ta_options.report_warnings = options_.report_warnings;
+    ta_options.eadr_mode = options_.eadr_mode;
+    TraceAnalyzer analyzer(ta_options);
+    Report trace_report = analyzer.AnalyzeFile(trace_path, &result.trace);
+    if (options_.resolve_backtraces) {
+      ResolveBacktraces(&trace_report);
+    }
+    result.report.Merge(trace_report);
+    std::remove(trace_path.c_str());
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.elapsed_s = wall;
+  result.budget_exhausted = result.fault_injection.budget_exhausted;
+
+  // The trace itself lives on disk; the tool's DRAM is the failure point
+  // tree plus the analyzer's per-line state.
+  result.resources.tool_bytes =
+      result.fault_injection.tree_bytes + result.trace.footprint_bytes;
+  const size_t baseline = vanilla_peak.peak() + (64u << 10);
+  result.resources.ram_multiplier =
+      static_cast<double>(baseline + result.resources.tool_bytes) /
+      static_cast<double>(baseline);
+  result.resources.pm_multiplier = 1.0;  // Mumak stores no metadata in PM
+  const double cpu = CpuSeconds() - cpu_start;
+  result.resources.cpu_load = wall > 0 ? std::max(1.0, cpu / wall) : 1.0;
+  return result;
+}
+
+}  // namespace mumak

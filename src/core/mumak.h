@@ -1,0 +1,67 @@
+// The Mumak analysis pipeline (Figure 1): instrument, profile, inject
+// faults with the recovery oracle, analyse the trace, resolve backtraces,
+// and produce a combined report.
+
+#ifndef MUMAK_SRC_CORE_MUMAK_H_
+#define MUMAK_SRC_CORE_MUMAK_H_
+
+#include <string>
+
+#include "src/core/fault_injection.h"
+#include "src/core/report.h"
+#include "src/core/resource_stats.h"
+#include "src/core/trace_analysis.h"
+
+namespace mumak {
+
+struct MumakOptions {
+  FailurePointGranularity granularity =
+      FailurePointGranularity::kPersistencyInstruction;
+  bool fault_injection = true;
+  bool trace_analysis = true;
+  bool report_warnings = true;
+  // Analyse the trace under eADR persistency semantics (§4.3): flushes are
+  // overhead, durability is free, ordering still matters.
+  bool eadr_mode = false;
+  // Re-run the target with minimal instrumentation to attach call stacks to
+  // trace-analysis findings (the §5 instruction-counter optimisation:
+  // traces carry only counters; backtraces are recovered afterwards).
+  bool resolve_backtraces = true;
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  // Injection worker threads (see FaultInjectionOptions::workers).
+  uint32_t injection_workers = 1;
+  // When set, the failure point tree is serialised here after profiling
+  // and re-loaded before injection — the paper's pipeline runs the two
+  // phases as separate executions sharing the tree through a file (§5
+  // discusses the address-stability requirements this imposes).
+  std::string tree_path;
+};
+
+struct MumakResult {
+  Report report;
+  FaultInjectionStats fault_injection;
+  TraceStats trace;
+  ResourceStats resources;
+  double elapsed_s = 0;
+  bool budget_exhausted = false;
+};
+
+class Mumak {
+ public:
+  Mumak(TargetFactory factory, WorkloadSpec spec, MumakOptions options = {});
+
+  MumakResult Analyze();
+
+ private:
+  // Re-executes the workload collecting shadow-stack backtraces for the
+  // given instruction counters, then rewrites finding locations.
+  void ResolveBacktraces(Report* report);
+
+  TargetFactory factory_;
+  WorkloadSpec spec_;
+  MumakOptions options_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_CORE_MUMAK_H_

@@ -1,0 +1,36 @@
+// Resource accounting shared by Mumak and the baseline tools (Table 2):
+// average CPU load and peak RAM / PM usage relative to a vanilla execution.
+
+#ifndef MUMAK_SRC_CORE_RESOURCE_STATS_H_
+#define MUMAK_SRC_CORE_RESOURCE_STATS_H_
+
+#include <cstddef>
+
+namespace mumak {
+
+struct ResourceStats {
+  double cpu_load = 1.0;        // average CPU load during the analysis
+  double ram_multiplier = 1.0;  // peak RAM vs vanilla execution
+  double pm_multiplier = 1.0;   // peak PM vs vanilla execution
+  size_t tool_bytes = 0;        // tool bookkeeping bytes (absolute)
+};
+
+// Measures the vanilla execution's peak volatile footprint (the Table 2
+// denominator): pool cache/WPQ state plus the target's own DRAM state
+// approximation.
+class PeakMemoryTracker {
+ public:
+  void Sample(size_t bytes) {
+    if (bytes > peak_) {
+      peak_ = bytes;
+    }
+  }
+  size_t peak() const { return peak_; }
+
+ private:
+  size_t peak_ = 0;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_CORE_RESOURCE_STATS_H_

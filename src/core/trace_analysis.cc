@@ -1,0 +1,294 @@
+#include "src/core/trace_analysis.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/instrument/trace.h"
+#include "src/pmem/persistency_model.h"
+
+namespace mumak {
+namespace {
+
+std::string SiteLocation(uint32_t site) {
+  if (site == kInvalidFrame) {
+    return "";
+  }
+  return FrameRegistry::Global().Describe(site);
+}
+
+std::string HexOffset(uint64_t offset) {
+  std::ostringstream os;
+  os << "pm+0x" << std::hex << offset;
+  return os.str();
+}
+
+}  // namespace
+
+void TraceAnalyzer::AddFinding(FindingKind kind, uint32_t site,
+                               uint64_t offset, uint64_t seq,
+                               const std::string& detail) {
+  if (IsWarning(kind) && !options_.report_warnings) {
+    return;
+  }
+  // Deduplication: one finding per (pattern, instruction site).
+  const uint64_t key = (static_cast<uint64_t>(kind) << 32) | site;
+  if (!reported_.insert(key).second) {
+    return;
+  }
+  Finding finding;
+  finding.source = FindingSource::kTraceAnalysis;
+  finding.kind = kind;
+  finding.location = SiteLocation(site);
+  finding.detail = detail;
+  finding.pm_offset = offset;
+  finding.seq = seq;
+  report_.Add(std::move(finding));
+}
+
+void TraceAnalyzer::HandleFence(const PmEvent& event, bool check_redundant) {
+  if (check_redundant && pending_flushes_ == 0 && nt_since_fence_ == 0) {
+    AddFinding(FindingKind::kRedundantFence, event.site, 0, event.seq,
+               "fence with no buffered flush or non-temporal store since "
+               "the previous fence");
+  } else if (pending_flushes_ + nt_since_fence_ > 1) {
+    AddFinding(
+        FindingKind::kMultiFlushFence, event.site, 0, event.seq,
+        "fence orders " + std::to_string(pending_flushes_) +
+            " buffered flush(es) and " + std::to_string(nt_since_fence_) +
+            " non-temporal store(s); persist order between them is "
+            "non-deterministic and not covered by program-order fault "
+            "injection");
+  }
+  for (uint64_t line : pending_lines_) {
+    lines_[line].pending_flush = false;
+  }
+  pending_lines_.clear();
+  pending_flushes_ = 0;
+  nt_since_fence_ = 0;
+}
+
+void TraceAnalyzer::OnEvent(const PmEvent& event) {
+  ++events_;
+  if (options_.eadr_mode) {
+    OnEventEadr(event);
+  } else {
+    OnEventAdr(event);
+  }
+}
+
+void TraceAnalyzer::OnEventEadr(const PmEvent& event) {
+  switch (event.kind) {
+    case EventKind::kStore:
+    case EventKind::kNtStore:
+      ++stores_since_fence_;
+      break;
+    case EventKind::kClflush:
+    case EventKind::kClflushOpt:
+    case EventKind::kClwb:
+      // The persistence domain includes the caches: flushes only cost.
+      AddFinding(FindingKind::kRedundantFlush, event.site, event.offset,
+                 event.seq,
+                 "cache line flush on an eADR system: the caches are "
+                 "already in the persistence domain");
+      break;
+    case EventKind::kSfence:
+    case EventKind::kMfence:
+      if (stores_since_fence_ == 0) {
+        AddFinding(FindingKind::kRedundantFence, event.site, 0, event.seq,
+                   "fence with no store since the previous fence");
+      }
+      stores_since_fence_ = 0;
+      break;
+    case EventKind::kRmw:
+      stores_since_fence_ = 0;
+      break;
+    case EventKind::kLoad:
+      break;
+  }
+}
+
+void TraceAnalyzer::OnEventAdr(const PmEvent& event) {
+  switch (event.kind) {
+    case EventKind::kStore: {
+      uint64_t offset = event.offset;
+      uint64_t remaining = event.size;
+      while (remaining > 0) {
+        const uint64_t line = LineIndex(offset);
+        LineState& state = lines_[line];
+        const uint64_t line_end = (line + 1) * kCacheLineSize;
+        const uint64_t chunk =
+            std::min<uint64_t>(remaining, line_end - offset);
+        // Mark 8-byte granules; a re-store to a dirty granule is a dirty
+        // overwrite (§2).
+        const uint64_t first_granule =
+            (offset % kCacheLineSize) / kAtomicGranule;
+        const uint64_t last_granule =
+            ((offset + chunk - 1) % kCacheLineSize) / kAtomicGranule;
+        for (uint64_t g = first_granule; g <= last_granule; ++g) {
+          const uint8_t bit = static_cast<uint8_t>(1u << g);
+          if ((state.dirty_granules & bit) != 0 &&
+              options_.report_dirty_overwrites) {
+            AddFinding(FindingKind::kDirtyOverwrite, event.site, offset,
+                       event.seq,
+                       "store overwrites a previous store to " +
+                           HexOffset(line * kCacheLineSize +
+                                     g * kAtomicGranule) +
+                           " that was never persisted");
+          }
+          state.dirty_granules |= bit;
+        }
+        state.stores_since_flush += 1;
+        state.last_store_seq = event.seq;
+        state.last_store_site = event.site;
+        offset += chunk;
+        remaining -= chunk;
+      }
+      break;
+    }
+    case EventKind::kNtStore:
+      // Bypasses the cache; durable at the next fence.
+      ++nt_since_fence_;
+      last_nt_site_ = event.site;
+      last_nt_seq_ = event.seq;
+      break;
+    case EventKind::kClflush:
+    case EventKind::kClflushOpt:
+    case EventKind::kClwb: {
+      const uint64_t line = LineIndex(event.offset);
+      LineState& state = lines_[line];
+      if (state.stores_since_flush == 0) {
+        AddFinding(FindingKind::kRedundantFlush, event.site, event.offset,
+                   event.seq,
+                   "flush of a cache line with no store since its last "
+                   "flush (or never written)");
+      } else if (state.stores_since_flush > 1) {
+        AddFinding(FindingKind::kMultiStoreFlush, event.site, event.offset,
+                   event.seq,
+                   "one flush covers " +
+                       std::to_string(state.stores_since_flush) +
+                       " stores; whether a single flush suffices depends "
+                       "on the memory arrangement");
+      }
+      state.flushed_ever = true;
+      state.stores_since_flush = 0;
+      state.dirty_granules = 0;
+      if (event.kind != EventKind::kClflush && !state.pending_flush) {
+        state.pending_flush = true;
+        pending_lines_.push_back(line);
+        ++pending_flushes_;
+        last_flush_site_ = event.site;
+        last_flush_seq_ = event.seq;
+      }
+      break;
+    }
+    case EventKind::kSfence:
+    case EventKind::kMfence:
+      HandleFence(event, /*check_redundant=*/true);
+      break;
+    case EventKind::kRmw: {
+      // Fence semantics, but RMWs exist for atomicity: do not flag them
+      // as redundant fences. The written granule still needs a flush.
+      HandleFence(event, /*check_redundant=*/false);
+      const uint64_t line = LineIndex(event.offset);
+      LineState& state = lines_[line];
+      const uint64_t granule =
+          (event.offset % kCacheLineSize) / kAtomicGranule;
+      state.dirty_granules |= static_cast<uint8_t>(1u << granule);
+      state.stores_since_flush += 1;
+      state.last_store_seq = event.seq;
+      state.last_store_site = event.site;
+      break;
+    }
+    case EventKind::kLoad:
+      break;
+  }
+}
+
+Report TraceAnalyzer::Finish(TraceStats* stats) {
+  // End-of-trace checks (§4.2 pattern 1); not applicable under eADR.
+  if (!options_.eadr_mode) {
+    for (const auto& [line, state] : lines_) {
+      if (state.dirty_granules == 0) {
+        continue;
+      }
+      if (state.flushed_ever) {
+        AddFinding(FindingKind::kUnflushedStore, state.last_store_site,
+                   line * kCacheLineSize, state.last_store_seq,
+                   "store to " + HexOffset(line * kCacheLineSize) +
+                       " was never persisted, although the address is "
+                       "flushed elsewhere in the execution");
+      } else {
+        AddFinding(FindingKind::kTransientData, state.last_store_site,
+                   line * kCacheLineSize, state.last_store_seq,
+                   "PM address " + HexOffset(line * kCacheLineSize) +
+                       " is written but never flushed anywhere: either a "
+                       "durability bug or transient data that belongs in "
+                       "volatile memory");
+      }
+    }
+    if (pending_flushes_ > 0) {
+      AddFinding(FindingKind::kUnflushedStore, last_flush_site_, 0,
+                 last_flush_seq_,
+                 "buffered flush(es) never followed by a fence: durability "
+                 "is not guaranteed");
+    }
+    if (nt_since_fence_ > 0) {
+      AddFinding(FindingKind::kUnflushedStore, last_nt_site_, 0,
+                 last_nt_seq_,
+                 "non-temporal store(s) never followed by a fence: "
+                 "durability is not guaranteed");
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->events = events_;
+    stats->lines_tracked = lines_.size();
+    stats->findings = report_.findings().size();
+    stats->footprint_bytes =
+        lines_.size() * (sizeof(LineState) + sizeof(uint64_t) + 16) +
+        reported_.size() * 16 + pending_lines_.capacity() * 8;
+  }
+  return std::move(report_);
+}
+
+Report TraceAnalyzer::Analyze(const std::vector<PmEvent>& trace,
+                              TraceStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const PmEvent& event : trace) {
+    OnEvent(event);
+  }
+  Report report = Finish(stats);
+  if (stats != nullptr) {
+    stats->elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  return report;
+}
+
+Report TraceAnalyzer::AnalyzeFile(const std::string& path,
+                                  TraceStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  // Stream in bounded batches: analysis memory stays proportional to the
+  // tracked line set, never the trace length.
+  TraceFileReader reader(path);
+  std::vector<PmEvent> batch;
+  while (reader.NextChunk(&batch, 4096)) {
+    for (const PmEvent& event : batch) {
+      OnEvent(event);
+    }
+  }
+  Report report = Finish(stats);
+  if (stats != nullptr) {
+    stats->elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  return report;
+}
+
+}  // namespace mumak

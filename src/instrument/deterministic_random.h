@@ -1,0 +1,45 @@
+// Deterministic PRNG. The paper's implementation intercepts calls to random
+// number generators and replaces them with deterministic outputs so that
+// fault injection re-executions reach the same failure points; here all
+// target and workload randomness flows through this generator instead.
+
+#ifndef MUMAK_SRC_INSTRUMENT_DETERMINISTIC_RANDOM_H_
+#define MUMAK_SRC_INSTRUMENT_DETERMINISTIC_RANDOM_H_
+
+#include <cstdint>
+
+namespace mumak {
+
+// SplitMix64: tiny, fast, and good enough for workload generation. Two
+// generators constructed with the same seed produce identical sequences,
+// which is the reproducibility property fault injection depends on.
+class DeterministicRandom {
+ public:
+  explicit DeterministicRandom(uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be non-zero.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  void Reseed(uint64_t seed) { state_ = seed; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_INSTRUMENT_DETERMINISTIC_RANDOM_H_

@@ -1,0 +1,102 @@
+// EventHub: fan-out point between the emulated PM device and analysis
+// sinks. Equivalent to the Pin analysis-routine callbacks in the paper's
+// implementation: the pool publishes every PM access here, and the trace
+// collector / failure-point detector / fault injector subscribe.
+
+#ifndef MUMAK_SRC_INSTRUMENT_EVENT_HUB_H_
+#define MUMAK_SRC_INSTRUMENT_EVENT_HUB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/instrument/pm_event.h"
+
+namespace mumak {
+
+// Subscriber interface. Sinks may throw (the fault injector uses a
+// CrashSignal exception to stop the target at a failure point); the pool
+// applies the access to the persistency model *before* publishing, so a
+// throwing sink observes a state where the access has taken effect.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const PmEvent& event) = 0;
+};
+
+class EventHub {
+ public:
+  EventHub() = default;
+
+  EventHub(const EventHub&) = delete;
+  EventHub& operator=(const EventHub&) = delete;
+
+  void AddSink(EventSink* sink) { sinks_.push_back(sink); }
+
+  void RemoveSink(EventSink* sink) {
+    std::erase(sinks_, sink);
+  }
+
+  void Clear() { sinks_.clear(); }
+
+  // Disables publishing; used to run recovery without instrumentation
+  // ("vanilla recovery code", §4.1).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  uint64_t next_seq() { return seq_++; }
+  uint64_t seq() const { return seq_; }
+  void ResetSeq() { seq_ = 0; }
+
+  void Publish(const PmEvent& event) {
+    if (!enabled_) {
+      return;
+    }
+    for (EventSink* sink : sinks_) {
+      sink->OnEvent(event);
+    }
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+  bool enabled_ = true;
+  uint64_t seq_ = 0;
+};
+
+// RAII helper: attach a sink for the duration of a scope.
+class ScopedSink {
+ public:
+  ScopedSink(EventHub& hub, EventSink* sink) : hub_(hub), sink_(sink) {
+    hub_.AddSink(sink_);
+  }
+  ~ScopedSink() { hub_.RemoveSink(sink_); }
+
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  EventHub& hub_;
+  EventSink* sink_;
+};
+
+// RAII helper: disable instrumentation for the duration of a scope (used to
+// run recovery uninstrumented).
+class ScopedInstrumentationOff {
+ public:
+  explicit ScopedInstrumentationOff(EventHub& hub)
+      : hub_(hub), previous_(hub.enabled()) {
+    hub_.set_enabled(false);
+  }
+  ~ScopedInstrumentationOff() { hub_.set_enabled(previous_); }
+
+  ScopedInstrumentationOff(const ScopedInstrumentationOff&) = delete;
+  ScopedInstrumentationOff& operator=(const ScopedInstrumentationOff&) =
+      delete;
+
+ private:
+  EventHub& hub_;
+  bool previous_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_INSTRUMENT_EVENT_HUB_H_

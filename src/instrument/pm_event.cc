@@ -1,0 +1,29 @@
+#include "src/instrument/pm_event.h"
+
+namespace mumak {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStore:
+      return "store";
+    case EventKind::kNtStore:
+      return "nt-store";
+    case EventKind::kClflush:
+      return "clflush";
+    case EventKind::kClflushOpt:
+      return "clflushopt";
+    case EventKind::kClwb:
+      return "clwb";
+    case EventKind::kSfence:
+      return "sfence";
+    case EventKind::kMfence:
+      return "mfence";
+    case EventKind::kRmw:
+      return "rmw";
+    case EventKind::kLoad:
+      return "load";
+  }
+  return "unknown";
+}
+
+}  // namespace mumak

@@ -1,0 +1,134 @@
+#include "src/instrument/shadow_call_stack.h"
+
+#include <mutex>
+
+#include <cstdio>
+#include <sstream>
+
+namespace mumak {
+
+FrameId FrameRegistry::Intern(std::string_view function, std::string_view file,
+                              int line, const void* call_site) {
+  std::unique_lock lock(mutex_);
+  std::string key;
+  key.reserve(function.size() + file.size() + 32);
+  key.append(function);
+  key.push_back('@');
+  key.append(file);
+  key.push_back(':');
+  key.append(std::to_string(line));
+  if (call_site != nullptr) {
+    key.push_back('<');
+    key.append(std::to_string(reinterpret_cast<uintptr_t>(call_site)));
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  FrameId id = static_cast<FrameId>(frames_.size());
+  frames_.push_back(Frame{std::string(function), std::string(file), line});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+FrameId FrameRegistry::InternAddress(const void* address) {
+  const uintptr_t key = reinterpret_cast<uintptr_t>(address);
+  {
+    std::shared_lock lock(mutex_);
+    auto it = address_index_.find(key);
+    if (it != address_index_.end()) {
+      return it->second;
+    }
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "pc:%p", address);
+  const FrameId id = Intern(buffer, "", 0);
+  std::unique_lock lock(mutex_);
+  address_index_.emplace(key, id);
+  return id;
+}
+
+FrameId FrameRegistry::InternCallSite(const void* call_site,
+                                      std::string_view function,
+                                      std::string_view file, int line) {
+  if (call_site == nullptr) {
+    return Intern(function, file, line);
+  }
+  // Two different functions inlined into the same caller share a return
+  // address; mixing in the function name literal's address (stable for
+  // string literals) keeps their frames distinct.
+  const uintptr_t key =
+      reinterpret_cast<uintptr_t>(call_site) ^
+      (reinterpret_cast<uintptr_t>(function.data()) << 1);
+  {
+    std::shared_lock lock(mutex_);
+    auto it = call_site_index_.find(key);
+    if (it != call_site_index_.end()) {
+      return it->second;
+    }
+  }
+  const FrameId id = Intern(function, file, line, call_site);
+  std::unique_lock lock(mutex_);
+  call_site_index_.emplace(key, id);
+  return id;
+}
+
+std::string FrameRegistry::Describe(FrameId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= frames_.size()) {
+    return "<unknown frame>";
+  }
+  const Frame& f = frames_[id];
+  if (f.file.empty()) {
+    return f.function;  // raw instruction-address frame
+  }
+  // Strip directories from the path for readable reports.
+  std::string_view file = f.file;
+  size_t slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) {
+    file = file.substr(slash + 1);
+  }
+  std::ostringstream os;
+  os << f.function << " at " << file << ":" << f.line;
+  return os.str();
+}
+
+std::string_view FrameRegistry::FunctionName(FrameId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= frames_.size()) {
+    return "<unknown>";
+  }
+  return frames_[id].function;
+}
+
+FrameRegistry& FrameRegistry::Global() {
+  static FrameRegistry registry;
+  return registry;
+}
+
+std::string ShadowCallStack::Describe() const {
+  std::ostringstream os;
+  for (size_t i = frames_.size(); i-- > 0;) {
+    os << FrameRegistry::Global().Describe(frames_[i]);
+    if (i != 0) {
+      os << " <- ";
+    }
+  }
+  return os.str();
+}
+
+ShadowCallStack& ShadowCallStack::Current() {
+  static thread_local ShadowCallStack stack;
+  return stack;
+}
+
+ScopedFrame::ScopedFrame(std::string_view function, std::string_view file,
+                         int line, const void* call_site) {
+  const FrameId id =
+      FrameRegistry::Global().InternCallSite(call_site, function, file, line);
+  ShadowCallStack::Current().Push(id);
+}
+
+ScopedFrame::~ScopedFrame() { ShadowCallStack::Current().Pop(); }
+
+}  // namespace mumak

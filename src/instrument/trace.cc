@@ -1,0 +1,246 @@
+#include "src/instrument/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "src/instrument/shadow_call_stack.h"
+
+namespace mumak {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'M', 'U', 'M', 'A', 'K', 'T', 'R', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kFooterMagic = 0x53455449531f1e1dull;  // site table
+
+// Packed on-disk record: kind(1) pad(3) size(4) site(4) pad(4) offset(8)
+// seq(8) = 32 bytes.
+struct PackedEvent {
+  uint8_t kind;
+  uint8_t pad[3];
+  uint32_t size;
+  uint32_t site;
+  uint32_t pad2;
+  uint64_t offset;
+  uint64_t seq;
+};
+static_assert(sizeof(PackedEvent) == 32);
+
+}  // namespace
+
+bool TraceIo::Write(const std::vector<PmEvent>& events, std::ostream& out) {
+  out.write(kMagic.data(), kMagic.size());
+  uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  uint64_t count = events.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const PmEvent& ev : events) {
+    PackedEvent packed{};
+    packed.kind = static_cast<uint8_t>(ev.kind);
+    packed.size = ev.size;
+    packed.site = ev.site;
+    packed.offset = ev.offset;
+    packed.seq = ev.seq;
+    out.write(reinterpret_cast<const char*>(&packed), sizeof(packed));
+  }
+  return static_cast<bool>(out);
+}
+
+bool TraceIo::Read(std::istream& in, std::vector<PmEvent>* events) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    return false;
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    return false;
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    return false;
+  }
+  events->clear();
+  events->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PackedEvent packed{};
+    in.read(reinterpret_cast<char*>(&packed), sizeof(packed));
+    if (!in) {
+      return false;
+    }
+    PmEvent ev;
+    ev.kind = static_cast<EventKind>(packed.kind);
+    ev.size = packed.size;
+    ev.site = packed.site;
+    ev.offset = packed.offset;
+    ev.seq = packed.seq;
+    events->push_back(ev);
+  }
+  return true;
+}
+
+bool TraceIo::WriteFile(const std::vector<PmEvent>& events,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  return Write(events, out);
+}
+
+bool TraceIo::ReadFile(const std::string& path, std::vector<PmEvent>* events) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  return Read(in, events);
+}
+
+// -- TraceFileSink -------------------------------------------------------------
+
+TraceFileSink::TraceFileSink(const std::string& path) : path_(path) {
+  auto* out = new std::ofstream(path, std::ios::binary | std::ios::trunc);
+  out_ = out;
+  if (!*out) {
+    return;
+  }
+  out->write(kMagic.data(), kMagic.size());
+  const uint32_t version = kVersion;
+  out->write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t placeholder = 0;  // patched by Close()
+  out->write(reinterpret_cast<const char*>(&placeholder),
+             sizeof(placeholder));
+  ok_ = static_cast<bool>(*out);
+}
+
+TraceFileSink::~TraceFileSink() {
+  Close();
+  delete static_cast<std::ofstream*>(out_);
+}
+
+void TraceFileSink::OnEvent(const PmEvent& event) {
+  auto* out = static_cast<std::ofstream*>(out_);
+  sites_.insert(event.site);
+  PackedEvent packed{};
+  packed.kind = static_cast<uint8_t>(event.kind);
+  packed.size = event.size;
+  packed.site = event.site;
+  packed.offset = event.offset;
+  packed.seq = event.seq;
+  out->write(reinterpret_cast<const char*>(&packed), sizeof(packed));
+  ++count_;
+}
+
+void TraceFileSink::Close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  auto* out = static_cast<std::ofstream*>(out_);
+  // Footer: the site-name table, so offline consumers can resolve call
+  // sites without the producing process (whose code addresses are gone).
+  out->write(reinterpret_cast<const char*>(&kFooterMagic),
+             sizeof(kFooterMagic));
+  const uint32_t n = static_cast<uint32_t>(sites_.size());
+  out->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (uint32_t site : sites_) {
+    const std::string name = FrameRegistry::Global().Describe(site);
+    const uint32_t length = static_cast<uint32_t>(name.size());
+    out->write(reinterpret_cast<const char*>(&site), sizeof(site));
+    out->write(reinterpret_cast<const char*>(&length), sizeof(length));
+    out->write(name.data(), length);
+  }
+  out->seekp(kMagic.size() + sizeof(uint32_t));
+  out->write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+  out->flush();
+  ok_ = ok_ && static_cast<bool>(*out);
+  out->close();
+}
+
+// -- TraceFileReader -----------------------------------------------------------
+
+TraceFileReader::TraceFileReader(const std::string& path) {
+  auto* in = new std::ifstream(path, std::ios::binary);
+  in_ = in;
+  if (!*in) {
+    return;
+  }
+  std::array<char, 8> magic{};
+  in->read(magic.data(), magic.size());
+  if (!*in || magic != kMagic) {
+    return;
+  }
+  uint32_t version = 0;
+  in->read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!*in || version != kVersion) {
+    return;
+  }
+  in->read(reinterpret_cast<char*>(&total_), sizeof(total_));
+  ok_ = static_cast<bool>(*in);
+  if (!ok_) {
+    return;
+  }
+  // Load the optional site-name footer, then rewind to the records.
+  const std::streampos records_begin = in->tellg();
+  in->seekg(static_cast<std::streamoff>(records_begin) +
+            static_cast<std::streamoff>(total_ * sizeof(PackedEvent)));
+  uint64_t footer_magic = 0;
+  in->read(reinterpret_cast<char*>(&footer_magic), sizeof(footer_magic));
+  if (*in && footer_magic == kFooterMagic) {
+    uint32_t n = 0;
+    in->read(reinterpret_cast<char*>(&n), sizeof(n));
+    for (uint32_t i = 0; i < n && *in; ++i) {
+      uint32_t site = 0;
+      uint32_t length = 0;
+      in->read(reinterpret_cast<char*>(&site), sizeof(site));
+      in->read(reinterpret_cast<char*>(&length), sizeof(length));
+      if (!*in || length > 4096) {
+        break;
+      }
+      std::string name(length, '\0');
+      in->read(name.data(), length);
+      site_names_.emplace(site, std::move(name));
+    }
+  }
+  in->clear();
+  in->seekg(records_begin);
+}
+
+TraceFileReader::~TraceFileReader() {
+  delete static_cast<std::ifstream*>(in_);
+}
+
+bool TraceFileReader::NextChunk(std::vector<PmEvent>* out, size_t max) {
+  out->clear();
+  if (!ok_ || read_ >= total_) {
+    return false;
+  }
+  auto* in = static_cast<std::ifstream*>(in_);
+  const size_t want =
+      std::min<size_t>(max, static_cast<size_t>(total_ - read_));
+  out->reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    PackedEvent packed{};
+    in->read(reinterpret_cast<char*>(&packed), sizeof(packed));
+    if (!*in) {
+      ok_ = false;
+      break;
+    }
+    PmEvent ev;
+    ev.kind = static_cast<EventKind>(packed.kind);
+    ev.size = packed.size;
+    ev.site = packed.site;
+    ev.offset = packed.offset;
+    ev.seq = packed.seq;
+    out->push_back(ev);
+    ++read_;
+  }
+  return !out->empty();
+}
+
+}  // namespace mumak

@@ -1,0 +1,105 @@
+// PM access trace: in-memory collection plus a binary on-disk format.
+// Mumak's trace analysis phase (§4.2) consumes this; the file format lets
+// the trace be analysed offline, matching the paper's pipeline where trace
+// collection and analysis are separate steps.
+
+#ifndef MUMAK_SRC_INSTRUMENT_TRACE_H_
+#define MUMAK_SRC_INSTRUMENT_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/instrument/event_hub.h"
+#include "src/instrument/pm_event.h"
+
+namespace mumak {
+
+// Event sink that appends every access to an in-memory trace.
+class TraceCollector : public EventSink {
+ public:
+  TraceCollector() = default;
+
+  void OnEvent(const PmEvent& event) override { events_.push_back(event); }
+
+  const std::vector<PmEvent>& events() const { return events_; }
+  std::vector<PmEvent> TakeEvents() { return std::move(events_); }
+  void Clear() { events_.clear(); }
+  size_t size() const { return events_.size(); }
+
+  // Approximate bookkeeping footprint, used for the Table 2 resource
+  // accounting.
+  size_t FootprintBytes() const { return events_.capacity() * sizeof(PmEvent); }
+
+ private:
+  std::vector<PmEvent> events_;
+};
+
+// Binary trace serialisation. Format: 8-byte magic, 4-byte version, 8-byte
+// count, then packed records.
+class TraceIo {
+ public:
+  static bool Write(const std::vector<PmEvent>& events, std::ostream& out);
+  static bool Read(std::istream& in, std::vector<PmEvent>* events);
+
+  static bool WriteFile(const std::vector<PmEvent>& events,
+                        const std::string& path);
+  static bool ReadFile(const std::string& path, std::vector<PmEvent>* events);
+};
+
+// Event sink that spools the trace to a file as it is produced (the
+// paper's pipeline stages traces on a tmpfs mount rather than holding them
+// in DRAM). Close() finalises the header; the file is then readable with
+// TraceFileReader or TraceIo::ReadFile.
+class TraceFileSink : public EventSink {
+ public:
+  explicit TraceFileSink(const std::string& path);
+  ~TraceFileSink() override;
+
+  bool ok() const { return ok_; }
+  uint64_t count() const { return count_; }
+  void OnEvent(const PmEvent& event) override;
+  // Flushes buffered records and patches the header count.
+  void Close();
+
+ private:
+  std::string path_;
+  void* out_ = nullptr;  // std::ofstream, kept out of the header
+  uint64_t count_ = 0;
+  bool ok_ = false;
+  bool closed_ = false;
+  std::unordered_set<uint32_t> sites_;  // for the footer's name table
+};
+
+// Streaming reader over a trace file: bounded-memory iteration.
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::string& path);
+  ~TraceFileReader();
+
+  bool ok() const { return ok_; }
+  uint64_t total() const { return total_; }
+  // Fills `out` with up to `max` events; returns false when exhausted.
+  bool NextChunk(std::vector<PmEvent>* out, size_t max);
+
+  // Site-name table from the file footer (site id -> human-readable call
+  // site), letting offline consumers resolve locations without the
+  // producing process. Empty for traces without a footer.
+  const std::unordered_map<uint32_t, std::string>& site_names() const {
+    return site_names_;
+  }
+
+ private:
+  void* in_ = nullptr;  // std::ifstream
+  uint64_t total_ = 0;
+  uint64_t read_ = 0;
+  bool ok_ = false;
+  std::unordered_map<uint32_t, std::string> site_names_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_INSTRUMENT_TRACE_H_

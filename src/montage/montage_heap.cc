@@ -1,0 +1,395 @@
+#include "src/montage/montage_heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/instrument/shadow_call_stack.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kMontageMagic = 0x4547415440544e4dull;  // "MNT@AGE"
+
+constexpr uint64_t kHdrMagic = 0x00;
+constexpr uint64_t kHdrEpoch = 0x08;       // last persisted epoch
+constexpr uint64_t kHdrBlockCount = 0x10;
+// Two item-count slots indexed by epoch parity: the count commits together
+// with its epoch (a crash between the count write and the epoch advance
+// must leave the previous epoch's count in force).
+constexpr uint64_t kHdrItemCountA = 0x18;
+constexpr uint64_t kHdrCleanFlag = 0x20;
+constexpr uint64_t kHdrItemCountB = 0x28;
+constexpr uint64_t kBitmapBase = 0x40;
+
+constexpr uint64_t ItemCountSlot(uint64_t epoch) {
+  return (epoch % 2 == 0) ? kHdrItemCountA : kHdrItemCountB;
+}
+
+constexpr uint64_t AlignUp(uint64_t v, uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+MontageHeap MontageHeap::Create(PmPool* pm, const MontageConfig& config,
+                                uint64_t block_count) {
+  MontageHeap heap(pm, config);
+  heap.Format(block_count);
+  return heap;
+}
+
+MontageHeap MontageHeap::Open(PmPool* pm, const MontageConfig& config) {
+  MontageHeap heap(pm, config);
+  heap.Recover();
+  return heap;
+}
+
+uint64_t MontageHeap::BitmapWordOffset(uint64_t word_index) const {
+  return kBitmapBase + word_index * sizeof(uint64_t);
+}
+
+uint64_t MontageHeap::PayloadOffset(uint64_t index) const {
+  const uint64_t bitmap_words = (block_count_ + 63) / 64;
+  const uint64_t payload_base =
+      AlignUp(kBitmapBase + bitmap_words * sizeof(uint64_t), 64);
+  return payload_base + index * sizeof(MontagePayload);
+}
+
+void MontageHeap::Format(uint64_t block_count) {
+  MUMAK_FRAME();
+  block_count_ = block_count;
+  pm_->WriteU64(kHdrMagic, kMontageMagic);
+  pm_->WriteU64(kHdrEpoch, 0);
+  pm_->WriteU64(kHdrBlockCount, block_count);
+  pm_->WriteU64(kHdrItemCountA, 0);
+  pm_->WriteU64(kHdrItemCountB, 0);
+  pm_->WriteU64(kHdrCleanFlag, 0);
+  pm_->PersistRange(0, 0x40);
+  const uint64_t bitmap_words = (block_count_ + 63) / 64;
+  for (uint64_t w = 0; w < bitmap_words; ++w) {
+    pm_->WriteU64(BitmapWordOffset(w), 0);
+  }
+  pm_->PersistRange(kBitmapBase, bitmap_words * sizeof(uint64_t));
+  InitVolatileBitmap();
+  current_epoch_ = 1;  // epoch 0 is persisted (empty); epoch 1 is open
+}
+
+void MontageHeap::InitVolatileBitmap() {
+  if (!config_.allocator_recoverability_bug) {
+    return;
+  }
+  const uint64_t bitmap_words = (block_count_ + 63) / 64;
+  volatile_bitmap_.assign(bitmap_words, 0);
+  for (uint64_t w = 0; w < bitmap_words; ++w) {
+    volatile_bitmap_[w] = pm_->ReadU64(BitmapWordOffset(w));
+  }
+}
+
+bool MontageHeap::IsBlockUsed(uint64_t index) const {
+  if (config_.allocator_recoverability_bug && !volatile_bitmap_.empty()) {
+    return ((volatile_bitmap_[index / 64] >> (index % 64)) & 1) != 0;
+  }
+  return BitmapGet(index);
+}
+
+bool MontageHeap::BitmapGet(uint64_t index) const {
+  const uint64_t word = pm_->ReadU64(BitmapWordOffset(index / 64));
+  return (word >> (index % 64)) & 1;
+}
+
+void MontageHeap::BitmapSet(uint64_t index, bool used) {
+  MUMAK_FRAME();
+  const uint64_t word_index = index / 64;
+  uint64_t word = pm_->ReadU64(BitmapWordOffset(word_index));
+  const uint64_t bit = 1ull << (index % 64);
+  if (config_.allocator_recoverability_bug) {
+    // BUG (models urcs-sync/Montage PR #36, §6.4): the allocator tracks
+    // block ownership only in a DRAM shadow; the persistent bitmap is only
+    // written on clean shutdown. Any crash image therefore shows surviving
+    // payloads that the allocator does not account for.
+    volatile_bitmap_.resize((block_count_ + 63) / 64, 0);
+    uint64_t shadow = volatile_bitmap_[word_index];
+    shadow = used ? (shadow | bit) : (shadow & ~bit);
+    volatile_bitmap_[word_index] = shadow;
+    return;
+  }
+  word = used ? (word | bit) : (word & ~bit);
+  pm_->WriteU64(BitmapWordOffset(word_index), word);
+  if (std::find(dirty_bitmap_words_.begin(), dirty_bitmap_words_.end(),
+                word_index) == dirty_bitmap_words_.end()) {
+    dirty_bitmap_words_.push_back(word_index);
+  }
+}
+
+uint64_t MontageHeap::AllocBlock() {
+  MUMAK_FRAME();
+  for (uint64_t i = 0; i < block_count_; ++i) {
+    if (!IsBlockUsed(i)) {
+      BitmapSet(i, true);
+      return i;
+    }
+  }
+  throw PmdkError("montage heap out of blocks");
+}
+
+void MontageHeap::FreeBlock(uint64_t index) {
+  MUMAK_FRAME();
+  // Tombstone now; physical reclamation happens at the next epoch sync so
+  // that an uncommitted delete can be rolled back by recovery.
+  MontagePayload payload = ReadPayload(index);
+  payload.state = kMontageStateTombstone;
+  payload.epoch = current_epoch_;
+  pm_->WriteObject(PayloadOffset(index), payload);
+  dirty_blocks_.push_back(index);
+  pending_free_.push_back(index);
+}
+
+void MontageHeap::WritePayload(uint64_t index, uint64_t key, uint64_t value,
+                               uint64_t state) {
+  MUMAK_FRAME();
+  MontagePayload payload;
+  payload.epoch = current_epoch_;
+  payload.state = state;
+  payload.key = key;
+  payload.value = value;
+  payload.birth_epoch = current_epoch_;
+  pm_->WriteObject(PayloadOffset(index), payload);
+  dirty_blocks_.push_back(index);
+}
+
+MontagePayload MontageHeap::ReadPayload(uint64_t index) const {
+  return pm_->ReadObject<MontagePayload>(PayloadOffset(index));
+}
+
+void MontageHeap::FlushDirtyBitmapWords() {
+  // Several bitmap words share a cache line; flush each line once.
+  std::vector<uint64_t> lines;
+  lines.reserve(dirty_bitmap_words_.size());
+  for (uint64_t word_index : dirty_bitmap_words_) {
+    lines.push_back(LineBase(BitmapWordOffset(word_index)));
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (uint64_t line : lines) {
+    pm_->Clwb(line);
+  }
+}
+
+void MontageHeap::OpTick() {
+  if (++ops_in_epoch_ >= config_.epoch_length_ops) {
+    EpochSync();
+  }
+}
+
+void MontageHeap::EpochSync() {
+  MUMAK_FRAME();
+  // 1. Payloads of the open epoch become durable. A block can be dirtied
+  // more than once per epoch (update + tombstone), so flush each line once.
+  std::sort(dirty_blocks_.begin(), dirty_blocks_.end());
+  dirty_blocks_.erase(
+      std::unique(dirty_blocks_.begin(), dirty_blocks_.end()),
+      dirty_blocks_.end());
+  for (uint64_t index : dirty_blocks_) {
+    pm_->FlushRange(PayloadOffset(index), sizeof(MontagePayload));
+  }
+  if (!dirty_blocks_.empty()) {
+    pm_->Sfence();
+  }
+  dirty_blocks_.clear();
+
+  // 2. Allocator metadata + item counter become durable. The count goes
+  // into the slot of the epoch being committed, so it only takes effect
+  // together with the epoch advance below.
+  pm_->WriteU64(ItemCountSlot(current_epoch_), volatile_item_count_);
+  if (!config_.allocator_recoverability_bug) {
+    FlushDirtyBitmapWords();
+  }
+  dirty_bitmap_words_.clear();
+  pm_->PersistRange(ItemCountSlot(current_epoch_), sizeof(uint64_t));
+
+  // 3. Commit point: advance the persisted epoch.
+  pm_->WriteU64(kHdrEpoch, current_epoch_);
+  pm_->PersistRange(kHdrEpoch, sizeof(uint64_t));
+
+  // 4. Only after the epoch is committed may tombstoned blocks be
+  // reclaimed: reclaiming earlier would strand a crash image in which
+  // recovery must roll the delete back but the allocator no longer tracks
+  // the block.
+  for (uint64_t index : pending_free_) {
+    BitmapSet(index, false);
+  }
+  pending_free_.clear();
+  if (!config_.allocator_recoverability_bug && !dirty_bitmap_words_.empty()) {
+    FlushDirtyBitmapWords();
+    pm_->Sfence();
+    dirty_bitmap_words_.clear();
+  }
+
+  ++current_epoch_;
+  ops_in_epoch_ = 0;
+}
+
+void MontageHeap::Shutdown() {
+  MUMAK_FRAME();
+  if (config_.allocator_destruction_bug) {
+    // BUG (models urcs-sync/Montage commit 3384e50, §6.4): the destructor
+    // publishes the clean-shutdown marker before the final allocator and
+    // epoch sync. A crash in this narrow window makes recovery trust a
+    // stale allocator/item-count snapshot.
+    pm_->WriteU64(kHdrCleanFlag, 1);
+    pm_->PersistRange(kHdrCleanFlag, sizeof(uint64_t));
+    if (config_.allocator_recoverability_bug) {
+      FlushVolatileBitmap();
+    }
+    EpochSync();
+    return;
+  }
+  EpochSync();
+  if (config_.allocator_recoverability_bug) {
+    FlushVolatileBitmap();
+  }
+  pm_->WriteU64(kHdrCleanFlag, 1);
+  pm_->PersistRange(kHdrCleanFlag, sizeof(uint64_t));
+}
+
+void MontageHeap::FlushVolatileBitmap() {
+  MUMAK_FRAME();
+  const uint64_t bitmap_words = (block_count_ + 63) / 64;
+  volatile_bitmap_.resize(bitmap_words, 0);
+  for (uint64_t w = 0; w < bitmap_words; ++w) {
+    pm_->WriteU64(BitmapWordOffset(w), volatile_bitmap_[w]);
+  }
+  pm_->PersistRange(kBitmapBase, bitmap_words * sizeof(uint64_t));
+}
+
+uint64_t MontageHeap::persisted_epoch() const {
+  return pm_->ReadU64(kHdrEpoch);
+}
+
+uint64_t MontageHeap::item_count() const { return volatile_item_count_; }
+
+void MontageHeap::set_item_count(uint64_t count) {
+  volatile_item_count_ = count;
+}
+
+uint64_t MontageHeap::CountSurvivingPayloads() const {
+  const uint64_t persisted = persisted_epoch();
+  uint64_t survivors = 0;
+  for (uint64_t i = 0; i < block_count_; ++i) {
+    const MontagePayload payload = ReadPayload(i);
+    const bool committed = payload.epoch <= persisted;
+    if ((payload.state == kMontageStateUsed && committed) ||
+        (payload.state == kMontageStateTombstone && !committed)) {
+      ++survivors;
+    }
+  }
+  return survivors;
+}
+
+void MontageHeap::Recover() {
+  MUMAK_FRAME();
+  if (pm_->ReadU64(kHdrMagic) != kMontageMagic) {
+    throw RecoveryFailure("montage header magic mismatch");
+  }
+  block_count_ = pm_->ReadU64(kHdrBlockCount);
+  const uint64_t max_blocks =
+      (pm_->size() - PayloadOffset(0)) / sizeof(MontagePayload);
+  if (block_count_ == 0 || block_count_ > max_blocks) {
+    throw RecoveryFailure("montage block count out of bounds");
+  }
+
+  const uint64_t persisted = persisted_epoch();
+  const bool clean = pm_->ReadU64(kHdrCleanFlag) == 1;
+  const uint64_t recorded_items = pm_->ReadU64(ItemCountSlot(persisted));
+
+  uint64_t items = 0;
+  for (uint64_t i = 0; i < block_count_; ++i) {
+    MontagePayload payload = ReadPayload(i);
+    const bool committed = payload.epoch <= persisted;
+
+    if (clean) {
+      // A clean shutdown promises a full final sync: uncommitted payloads
+      // must not exist.
+      if (!committed && payload.state != kMontageStateFree) {
+        throw RecoveryFailure(
+            "clean-shutdown image contains uncommitted payloads");
+      }
+      if (payload.state == kMontageStateUsed) {
+        if (!BitmapGet(i)) {
+          throw RecoveryFailure(
+              "clean-shutdown payload not tracked by the allocator");
+        }
+        ++items;
+      }
+      continue;
+    }
+
+    switch (payload.state) {
+      case kMontageStateUsed:
+        if (committed) {
+          // Survivor: the allocator must account for it.
+          if (!BitmapGet(i)) {
+            throw RecoveryFailure(
+                "surviving payload not tracked by the allocator");
+          }
+          ++items;
+        } else {
+          // Uncommitted insert: discard.
+          payload.state = kMontageStateFree;
+          payload.epoch = 0;
+          pm_->WriteObject(PayloadOffset(i), payload);
+          pm_->PersistRange(PayloadOffset(i), sizeof(MontagePayload));
+          BitmapSet(i, false);
+        }
+        break;
+      case kMontageStateTombstone:
+        if (committed) {
+          // Committed delete whose reclamation did not finish: reclaim.
+          payload.state = kMontageStateFree;
+          pm_->WriteObject(PayloadOffset(i), payload);
+          pm_->PersistRange(PayloadOffset(i), sizeof(MontagePayload));
+          BitmapSet(i, false);
+        } else if (payload.birth_epoch > persisted) {
+          // Inserted and deleted within the same unfinished epoch: the
+          // item never committed, so the whole block is discarded.
+          payload.state = kMontageStateFree;
+          payload.epoch = 0;
+          pm_->WriteObject(PayloadOffset(i), payload);
+          pm_->PersistRange(PayloadOffset(i), sizeof(MontagePayload));
+          BitmapSet(i, false);
+        } else {
+          // Uncommitted delete of a committed item: it survives (key and
+          // value are intact under the tombstone).
+          if (!BitmapGet(i)) {
+            throw RecoveryFailure(
+                "rolled-back delete not tracked by the allocator");
+          }
+          payload.state = kMontageStateUsed;
+          payload.epoch = persisted;
+          pm_->WriteObject(PayloadOffset(i), payload);
+          pm_->PersistRange(PayloadOffset(i), sizeof(MontagePayload));
+          ++items;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (items != recorded_items) {
+    throw RecoveryFailure("montage item counter does not match payloads");
+  }
+
+  // Persist the repairs and reopen.
+  FlushDirtyBitmapWords();
+  dirty_bitmap_words_.clear();
+  pm_->Sfence();
+  pm_->WriteU64(kHdrCleanFlag, 0);
+  pm_->PersistRange(kHdrCleanFlag, sizeof(uint64_t));
+  volatile_item_count_ = items;
+  InitVolatileBitmap();
+  current_epoch_ = persisted + 1;
+  ops_in_epoch_ = 0;
+}
+
+}  // namespace mumak

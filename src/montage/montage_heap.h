@@ -1,0 +1,147 @@
+// montage-lite: a from-scratch reimplementation of the persistence core of
+// Montage (Wen et al., ICPP'21) — buffered durable data structures. Data
+// structure payloads are written to PM but only guaranteed durable at epoch
+// boundaries; on a crash, everything from unfinished epochs is discarded and
+// recovery rebuilds the structure from the payloads of the last persisted
+// epoch. Montage manages its own persistent allocator and does not use
+// PMDK, which is exactly why the paper uses it to demonstrate Mumak's
+// library-agnostic design (§6.4).
+//
+// Two real Montage bugs found by Mumak are modelled behind config flags:
+//  - allocator_recoverability_bug: allocator metadata (the block bitmap) is
+//    not persisted during epoch synchronisation, losing payloads on crash
+//    (fixed upstream by urcs-sync/Montage PR #36).
+//  - allocator_destruction_bug: during clean shutdown the "clean" marker is
+//    persisted before the final allocator sync, leaving a narrow crash
+//    window that corrupts the structure (fixed upstream by commit 3384e50).
+
+#ifndef MUMAK_SRC_MONTAGE_MONTAGE_HEAP_H_
+#define MUMAK_SRC_MONTAGE_MONTAGE_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pmdk/obj_pool.h"  // for RecoveryFailure
+#include "src/pmem/pm_pool.h"
+
+namespace mumak {
+
+struct MontageConfig {
+  // Operations per epoch before an automatic epoch sync.
+  uint64_t epoch_length_ops = 64;
+  bool allocator_recoverability_bug = false;
+  bool allocator_destruction_bug = false;
+};
+
+// One persistent payload block. Fixed 64-byte (one cache line) records, as
+// in Montage's payload blocks.
+struct MontagePayload {
+  uint64_t epoch = 0;  // epoch in which this payload was (re)written
+  uint64_t state = 0;  // 0 = free, 1 = used, 2 = tombstone
+  uint64_t key = 0;
+  uint64_t value = 0;
+  uint64_t birth_epoch = 0;  // epoch of the original insert (survives a
+                             // tombstone overwrite, so recovery can tell a
+                             // rolled-back delete from an insert+delete in
+                             // the same unfinished epoch)
+  uint64_t reserved[3] = {0, 0, 0};
+};
+static_assert(sizeof(MontagePayload) == 64);
+
+inline constexpr uint64_t kMontageStateFree = 0;
+inline constexpr uint64_t kMontageStateUsed = 1;
+inline constexpr uint64_t kMontageStateTombstone = 2;
+
+class MontageHeap {
+ public:
+  // Formats `pm` with `block_count` payload blocks.
+  static MontageHeap Create(PmPool* pm, const MontageConfig& config,
+                            uint64_t block_count);
+
+  // Opens a (possibly crashed) heap: validates the header, discards
+  // payloads from unfinished epochs, and cross-checks allocator metadata
+  // against the surviving payloads. Throws RecoveryFailure on
+  // inconsistency.
+  static MontageHeap Open(PmPool* pm, const MontageConfig& config);
+
+  PmPool& pm() { return *pm_; }
+
+  // -- Allocation --------------------------------------------------------
+
+  // Returns a free block index; marks it used in the (volatile-until-sync)
+  // bitmap. Throws PmdkError when the heap is full.
+  uint64_t AllocBlock();
+  void FreeBlock(uint64_t index);
+
+  // -- Payload access -------------------------------------------------------
+
+  // Writes a payload for the *current* (open) epoch. Not durable until the
+  // next EpochSync.
+  void WritePayload(uint64_t index, uint64_t key, uint64_t value,
+                    uint64_t state = kMontageStateUsed);
+  MontagePayload ReadPayload(uint64_t index) const;
+  uint64_t PayloadOffset(uint64_t index) const;
+
+  // -- Epochs -----------------------------------------------------------------
+
+  // Called once per data structure operation; triggers an EpochSync every
+  // `epoch_length_ops` operations.
+  void OpTick();
+
+  // Persists the epoch: flushes dirty payloads, persists the allocator
+  // bitmap (unless the recoverability bug is enabled), then advances the
+  // persisted-epoch marker.
+  void EpochSync();
+
+  // Clean shutdown: final sync plus the clean marker. The destruction bug
+  // inverts the marker/sync order.
+  void Shutdown();
+
+  uint64_t current_epoch() const { return current_epoch_; }
+  uint64_t persisted_epoch() const;
+  uint64_t block_count() const { return block_count_; }
+
+  // Number of blocks whose payload survived (used, epoch <= persisted).
+  uint64_t CountSurvivingPayloads() const;
+
+  // Persistent item counter maintained by the hosting data structure; it is
+  // persisted as part of EpochSync and used by recovery self-checks.
+  uint64_t item_count() const;
+  void set_item_count(uint64_t count);
+
+ private:
+  MontageHeap(PmPool* pm, const MontageConfig& config)
+      : pm_(pm), config_(config) {}
+
+  void Format(uint64_t block_count);
+  void Recover();
+  uint64_t BitmapWordOffset(uint64_t word_index) const;
+  bool BitmapGet(uint64_t index) const;
+  void BitmapSet(uint64_t index, bool used);
+  bool IsBlockUsed(uint64_t index) const;
+  void InitVolatileBitmap();
+  // With the recoverability bug enabled the DRAM shadow bitmap is only
+  // written back to PM here (clean shutdown).
+  void FlushVolatileBitmap();
+  // Flushes the lines covering the dirtied bitmap words, each line once.
+  void FlushDirtyBitmapWords();
+
+  PmPool* pm_ = nullptr;
+  MontageConfig config_;
+  uint64_t block_count_ = 0;
+  uint64_t current_epoch_ = 0;
+  uint64_t ops_in_epoch_ = 0;
+  // Blocks and bitmap words dirtied in the open epoch.
+  std::vector<uint64_t> dirty_blocks_;
+  std::vector<uint64_t> dirty_bitmap_words_;
+  // Blocks tombstoned in the open epoch, reclaimed at the next sync.
+  std::vector<uint64_t> pending_free_;
+  // DRAM shadow bitmap, only used when allocator_recoverability_bug is set.
+  std::vector<uint64_t> volatile_bitmap_;
+  // Volatile item counter, persisted at epoch sync.
+  uint64_t volatile_item_count_ = 0;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_MONTAGE_MONTAGE_HEAP_H_

@@ -1,0 +1,702 @@
+#include "src/pmdk/obj_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/instrument/shadow_call_stack.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kPoolMagic = 0x4b444d504d554d21ull;  // "!MUMPMDK"
+constexpr uint64_t kExtMagic = 0x4f4c54584554ull;       // "TEXTLO"
+
+// Header field offsets.
+constexpr uint64_t kHdrMagic = 0x00;
+constexpr uint64_t kHdrVersion = 0x08;
+constexpr uint64_t kHdrPoolSize = 0x10;
+constexpr uint64_t kHdrRoot = 0x18;
+constexpr uint64_t kHdrHeapHead = 0x20;
+constexpr uint64_t kHdrFreeList = 0x28;
+constexpr uint64_t kHdrUndoCapacity = 0x30;
+constexpr uint64_t kHdrChecksum = 0x38;
+constexpr uint64_t kHeaderBytes = 0x40;
+
+// Undo log header field offsets (relative to kUndoBase).
+constexpr uint64_t kUndoBase = 0x100;
+constexpr uint64_t kLogState = 0x00;
+constexpr uint64_t kLogEntryCount = 0x08;
+constexpr uint64_t kLogUsedBytes = 0x10;
+constexpr uint64_t kLogExtOffset = 0x18;
+constexpr uint64_t kLogExtCapacity = 0x20;
+constexpr uint64_t kLogExtUsed = 0x28;
+constexpr uint64_t kLogHeaderBytes = 0x40;
+
+constexpr uint64_t kLogStateIdle = 0;
+constexpr uint64_t kLogStateActive = 1;
+
+// Allocator block header: size_and_state (bit 63 = allocated), next_free.
+constexpr uint64_t kBlockHeaderBytes = 16;
+constexpr uint64_t kAllocatedBit = 1ull << 63;
+constexpr uint64_t kMinSplitRemainder = 48;
+
+constexpr uint64_t AlignUp(uint64_t v, uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+// -- Construction -------------------------------------------------------------
+
+ObjPool ObjPool::Create(PmPool* pm, const PmdkConfig& config) {
+  ObjPool pool(pm, config);
+  pool.Format();
+  return pool;
+}
+
+ObjPool ObjPool::Open(PmPool* pm, const PmdkConfig& config) {
+  ObjPool pool(pm, config);
+  pool.ValidateHeader();
+  pool.RecoverUndoLog();
+  pool.ValidateHeap();
+  return pool;
+}
+
+uint64_t ObjPool::heap_start() const {
+  return AlignUp(kUndoBase + kLogHeaderBytes + config_.undo_log_capacity, 64);
+}
+
+uint64_t ObjPool::heap_head() const { return pm_->ReadU64(kHdrHeapHead); }
+
+uint64_t ObjPool::ComputeHeaderChecksum() const {
+  uint8_t bytes[kHdrChecksum];
+  pm_->Read(0, bytes, sizeof(bytes));
+  return Fnv1a(bytes, sizeof(bytes));
+}
+
+void ObjPool::UpdateHeaderChecksum() {
+  pm_->WriteU64(kHdrChecksum, ComputeHeaderChecksum());
+  if (in_tx_) {
+    // Inside a transaction the header is flushed once at commit; flushing
+    // here would make the commit's flush redundant.
+    tx_ranges_.emplace_back(0, kHeaderBytes);
+    return;
+  }
+  pm_->PersistRange(0, kHeaderBytes);
+}
+
+void ObjPool::PersistHeaderField(uint64_t field_offset, uint64_t value) {
+  pm_->WriteU64(field_offset, value);
+  UpdateHeaderChecksum();
+}
+
+void ObjPool::PersistOrDefer(uint64_t offset, uint64_t size) {
+  if (in_tx_) {
+    // Inside a transaction the commit flushes every modified line exactly
+    // once; persisting here would make that flush redundant.
+    tx_ranges_.emplace_back(offset, size);
+    return;
+  }
+  pm_->PersistRange(offset, size);
+}
+
+void ObjPool::Format() {
+  MUMAK_FRAME();
+  pm_->WriteU64(kHdrMagic, kPoolMagic);
+  pm_->WriteU64(kHdrVersion, static_cast<uint64_t>(config_.version));
+  pm_->WriteU64(kHdrPoolSize, pm_->size());
+  pm_->WriteU64(kHdrRoot, kNullOff);
+  pm_->WriteU64(kHdrHeapHead, heap_start());
+  pm_->WriteU64(kHdrFreeList, kNullOff);
+  pm_->WriteU64(kHdrUndoCapacity, config_.undo_log_capacity);
+  UpdateHeaderChecksum();
+
+  pm_->WriteU64(kUndoBase + kLogState, kLogStateIdle);
+  pm_->WriteU64(kUndoBase + kLogEntryCount, 0);
+  pm_->WriteU64(kUndoBase + kLogUsedBytes, 0);
+  pm_->WriteU64(kUndoBase + kLogExtOffset, kNullOff);
+  pm_->WriteU64(kUndoBase + kLogExtCapacity, 0);
+  pm_->WriteU64(kUndoBase + kLogExtUsed, 0);
+  pm_->PersistRange(kUndoBase, kLogHeaderBytes);
+}
+
+void ObjPool::ValidateHeader() const {
+  if (pm_->ReadU64(kHdrMagic) != kPoolMagic) {
+    throw RecoveryFailure("pool header magic mismatch");
+  }
+  if (pm_->ReadU64(kHdrPoolSize) != pm_->size()) {
+    throw RecoveryFailure("pool size mismatch");
+  }
+  if (pm_->ReadU64(kHdrChecksum) != ComputeHeaderChecksum()) {
+    throw RecoveryFailure("pool header checksum mismatch");
+  }
+}
+
+// -- Root ----------------------------------------------------------------------
+
+uint64_t ObjPool::root() const { return pm_->ReadU64(kHdrRoot); }
+
+void ObjPool::set_root(uint64_t offset) {
+  MUMAK_FRAME();
+  if (in_tx_) {
+    AppendUndoEntry(kHdrRoot, sizeof(uint64_t));
+    pm_->WriteU64(kHdrRoot, offset);
+    UpdateHeaderChecksum();  // defers the flush to commit
+    return;
+  }
+  PersistHeaderField(kHdrRoot, offset);
+}
+
+// -- Undo log --------------------------------------------------------------------
+
+void ObjPool::TxBegin() {
+  MUMAK_FRAME();
+  if (in_tx_) {
+    throw PmdkError("nested transactions are not supported");
+  }
+  in_tx_ = true;
+  tx_ranges_.clear();
+  pm_->WriteU64(kUndoBase + kLogState, kLogStateActive);
+  pm_->PersistRange(kUndoBase + kLogState, sizeof(uint64_t));
+}
+
+uint64_t ObjPool::RawBumpAlloc(uint64_t size) {
+  MUMAK_FRAME();
+  const uint64_t total = AlignUp(size + kBlockHeaderBytes, 16);
+  const uint64_t head = pm_->ReadU64(kHdrHeapHead);
+  if (head + total > pm_->size()) {
+    throw PmdkError("pool out of memory");
+  }
+  pm_->WriteU64(head, total | kAllocatedBit);
+  pm_->WriteU64(head + 8, kNullOff);
+  pm_->PersistRange(head, kBlockHeaderBytes);
+  PersistHeaderField(kHdrHeapHead, head + total);
+  return head + kBlockHeaderBytes;
+}
+
+void ObjPool::EnsureUndoCapacity(uint64_t bytes) {
+  const bool spilled = pm_->ReadU64(kUndoBase + kLogExtOffset) != kNullOff;
+  if (!spilled) {
+    const uint64_t used = pm_->ReadU64(kUndoBase + kLogUsedBytes);
+    const uint64_t capacity = pm_->ReadU64(kHdrUndoCapacity);
+    if (used + bytes <= capacity) {
+      return;
+    }
+  } else {
+    const uint64_t ext_used = pm_->ReadU64(kUndoBase + kLogExtUsed);
+    const uint64_t ext_capacity = pm_->ReadU64(kUndoBase + kLogExtCapacity);
+    if (ext_used + bytes <= ext_capacity) {
+      return;
+    }
+  }
+  // Re-extend geometrically, preserving entries already spilled (growing
+  // one entry at a time would leak a quadratic number of abandoned
+  // extension blocks).
+  const uint64_t old_ext = pm_->ReadU64(kUndoBase + kLogExtOffset);
+  const uint64_t old_used =
+      old_ext != kNullOff ? pm_->ReadU64(kUndoBase + kLogExtUsed) : 0;
+  ExtendUndoLog(std::max(2 * old_used, old_used + bytes));
+  if (old_ext != kNullOff && old_used > 0) {
+    const uint64_t ext = pm_->ReadU64(kUndoBase + kLogExtOffset);
+    std::vector<uint8_t> copy(old_used);
+    pm_->Read(old_ext + 8, copy.data(), copy.size());
+    pm_->Write(ext + 8, copy.data(), copy.size());
+    pm_->PersistRange(ext + 8, copy.size());
+    pm_->WriteU64(kUndoBase + kLogExtUsed, old_used);
+    pm_->PersistRange(kUndoBase + kLogExtUsed, sizeof(uint64_t));
+  }
+}
+
+void ObjPool::ExtendUndoLog(uint64_t needed) {
+  MUMAK_FRAME();
+  const uint64_t ext_capacity =
+      std::max<uint64_t>(AlignUp(needed + 64, 1024),
+                         config_.undo_log_capacity);
+  // The extension block is carved from the heap (bump only, never the free
+  // list) without undo logging; a crash before the extension is linked
+  // merely leaks it (as in PMDK).
+  const uint64_t ext = RawBumpAlloc(ext_capacity + 8);
+  pm_->WriteU64(ext, kExtMagic);
+  pm_->PersistRange(ext, sizeof(uint64_t));
+  pm_->WriteU64(kUndoBase + kLogExtOffset, ext);
+  pm_->WriteU64(kUndoBase + kLogExtCapacity, ext_capacity);
+  pm_->WriteU64(kUndoBase + kLogExtUsed, 0);
+  pm_->PersistRange(kUndoBase + kLogExtOffset, 3 * sizeof(uint64_t));
+}
+
+void ObjPool::AppendUndoEntry(uint64_t offset, uint64_t size) {
+  MUMAK_FRAME();
+  if (!in_tx_) {
+    throw PmdkError("TxAddRange outside a transaction");
+  }
+  const uint64_t entry_bytes = AlignUp(16 + size, 8);
+  EnsureUndoCapacity(entry_bytes);
+  const uint64_t used = pm_->ReadU64(kUndoBase + kLogUsedBytes);
+  const uint64_t capacity = pm_->ReadU64(kHdrUndoCapacity);
+
+  uint64_t write_at = 0;
+  bool in_extension = false;
+  // Once the log has spilled into an extension, later entries must keep
+  // going there: recovery replays the fixed area before the extension, so
+  // interleaving would break the reverse-application order.
+  const bool spilled = pm_->ReadU64(kUndoBase + kLogExtOffset) != kNullOff;
+  if (!spilled && used + entry_bytes <= capacity) {
+    write_at = kUndoBase + kLogHeaderBytes + used;
+  } else {
+    in_extension = true;
+    const uint64_t ext = pm_->ReadU64(kUndoBase + kLogExtOffset);
+    const uint64_t ext_used = pm_->ReadU64(kUndoBase + kLogExtUsed);
+    write_at = ext + 8 + ext_used;
+  }
+
+  // Entry: {offset, size, old data}.
+  pm_->WriteU64(write_at, offset);
+  pm_->WriteU64(write_at + 8, size);
+  std::vector<uint8_t> old_data(size);
+  pm_->Read(offset, old_data.data(), size);
+  pm_->Write(write_at + 16, old_data.data(), size);
+  pm_->PersistRange(write_at, 16 + size);
+
+  // Only after the entry is durable do we publish it via the counters.
+  if (in_extension) {
+    const uint64_t ext_used = pm_->ReadU64(kUndoBase + kLogExtUsed);
+    pm_->WriteU64(kUndoBase + kLogExtUsed, ext_used + entry_bytes);
+  } else {
+    pm_->WriteU64(kUndoBase + kLogUsedBytes, used + entry_bytes);
+  }
+  const uint64_t count = pm_->ReadU64(kUndoBase + kLogEntryCount);
+  pm_->WriteU64(kUndoBase + kLogEntryCount, count + 1);
+  pm_->PersistRange(kUndoBase, kLogHeaderBytes);
+}
+
+void ObjPool::TxAddRange(uint64_t offset, uint64_t size) {
+  AppendUndoEntry(offset, size);
+  tx_ranges_.emplace_back(offset, size);
+}
+
+void ObjPool::TxCommit() {
+  MUMAK_FRAME();
+  if (!in_tx_) {
+    throw PmdkError("TxCommit outside a transaction");
+  }
+  // 1. Make every modified range durable. Ranges overlap (the same object
+  // is often snapshotted more than once), so flush each cache line once.
+  std::vector<uint64_t> lines;
+  for (const auto& [offset, size] : tx_ranges_) {
+    if (size == 0) {
+      continue;
+    }
+    const uint64_t first = LineBase(offset);
+    const uint64_t last = LineBase(offset + size - 1);
+    for (uint64_t line = first; line <= last; line += kCacheLineSize) {
+      lines.push_back(line);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  // Snapshot ranges are coarse (whole objects); flush only the lines that
+  // were actually modified — the runtime tracks store-dirtied lines, so
+  // clean lines inside a snapshotted range cost nothing.
+  bool flushed_any = false;
+  for (uint64_t line : lines) {
+    if (!pm_->model().IsLineDirty(LineIndex(line))) {
+      continue;
+    }
+    pm_->Clwb(line);
+    flushed_any = true;
+  }
+  if (flushed_any) {
+    pm_->Sfence();
+  }
+
+  const uint64_t ext = pm_->ReadU64(kUndoBase + kLogExtOffset);
+
+  if (tx_commit_extension_bug() && ext != kNullOff) {
+    // BUG (models pmem/pmdk#5461, §6.4): for large transactions that grew an
+    // undo-log extension, the extension is released and unlinked *before*
+    // the log is marked idle. A crash in this window leaves an active log
+    // whose extension pointer dangles into freed heap, which recovery cannot
+    // replay.
+    PushFreeList(ext - kBlockHeaderBytes, /*logged=*/false);
+    pm_->WriteU64(kUndoBase + kLogExtOffset, kNullOff);
+    pm_->WriteU64(kUndoBase + kLogExtCapacity, 0);
+    pm_->WriteU64(kUndoBase + kLogExtUsed, 0);
+    pm_->PersistRange(kUndoBase + kLogExtOffset, 3 * sizeof(uint64_t));
+    pm_->WriteU64(kUndoBase + kLogState, kLogStateIdle);
+    pm_->WriteU64(kUndoBase + kLogEntryCount, 0);
+    pm_->WriteU64(kUndoBase + kLogUsedBytes, 0);
+    pm_->PersistRange(kUndoBase, kLogHeaderBytes);
+  } else {
+    // 2. Invalidate the log atomically (single 8-byte state write).
+    pm_->WriteU64(kUndoBase + kLogState, kLogStateIdle);
+    pm_->PersistRange(kUndoBase + kLogState, sizeof(uint64_t));
+    // 3. Reset bookkeeping and release the extension.
+    pm_->WriteU64(kUndoBase + kLogEntryCount, 0);
+    pm_->WriteU64(kUndoBase + kLogUsedBytes, 0);
+    if (ext != kNullOff) {
+      pm_->WriteU64(kUndoBase + kLogExtOffset, kNullOff);
+      pm_->WriteU64(kUndoBase + kLogExtCapacity, 0);
+      pm_->WriteU64(kUndoBase + kLogExtUsed, 0);
+      pm_->PersistRange(kUndoBase, kLogHeaderBytes);
+      PushFreeList(ext - kBlockHeaderBytes, /*logged=*/false);
+    } else {
+      pm_->PersistRange(kUndoBase, kLogHeaderBytes);
+    }
+  }
+  in_tx_ = false;
+  tx_ranges_.clear();
+}
+
+void ObjPool::TxAbort() {
+  MUMAK_FRAME();
+  if (!in_tx_) {
+    throw PmdkError("TxAbort outside a transaction");
+  }
+  in_tx_ = false;
+  tx_ranges_.clear();
+  RecoverUndoLog();
+}
+
+void ObjPool::RecoverUndoLog() {
+  MUMAK_FRAME();
+  const uint64_t state = pm_->ReadU64(kUndoBase + kLogState);
+  if (state == kLogStateIdle) {
+    return;
+  }
+  if (state != kLogStateActive) {
+    throw RecoveryFailure("undo log state is corrupt");
+  }
+
+  struct Entry {
+    uint64_t offset;
+    uint64_t size;
+    uint64_t data_at;
+  };
+  std::vector<Entry> entries;
+
+  auto parse_area = [&](uint64_t base, uint64_t used) {
+    uint64_t cursor = 0;
+    while (cursor + 16 <= used) {
+      const uint64_t offset = pm_->ReadU64(base + cursor);
+      const uint64_t size = pm_->ReadU64(base + cursor + 8);
+      if (size == 0 || offset + size > pm_->size() ||
+          cursor + 16 + size > used) {
+        throw RecoveryFailure("undo log entry is corrupt");
+      }
+      entries.push_back(Entry{offset, size, base + cursor + 16});
+      cursor += AlignUp(16 + size, 8);
+    }
+  };
+
+  const uint64_t used = pm_->ReadU64(kUndoBase + kLogUsedBytes);
+  const uint64_t capacity = pm_->ReadU64(kHdrUndoCapacity);
+  if (used > capacity) {
+    throw RecoveryFailure("undo log used-bytes exceeds capacity");
+  }
+  parse_area(kUndoBase + kLogHeaderBytes, used);
+
+  const uint64_t ext = pm_->ReadU64(kUndoBase + kLogExtOffset);
+  if (ext != kNullOff) {
+    if (ext + 8 > pm_->size() || pm_->ReadU64(ext) != kExtMagic) {
+      throw RecoveryFailure("undo log extension is corrupt");
+    }
+    const uint64_t ext_used = pm_->ReadU64(kUndoBase + kLogExtUsed);
+    const uint64_t ext_capacity = pm_->ReadU64(kUndoBase + kLogExtCapacity);
+    if (ext_used > ext_capacity) {
+      throw RecoveryFailure("undo log extension used-bytes exceeds capacity");
+    }
+    parse_area(ext + 8, ext_used);
+  }
+
+  // Apply in reverse: later snapshots of the same range must lose to the
+  // earliest (pre-transaction) snapshot.
+  for (size_t i = entries.size(); i-- > 0;) {
+    const Entry& e = entries[i];
+    std::vector<uint8_t> old_data(e.size);
+    pm_->Read(e.data_at, old_data.data(), e.size);
+    pm_->Write(e.offset, old_data.data(), e.size);
+    pm_->PersistRange(e.offset, e.size);
+  }
+
+  pm_->WriteU64(kUndoBase + kLogState, kLogStateIdle);
+  pm_->PersistRange(kUndoBase + kLogState, sizeof(uint64_t));
+  pm_->WriteU64(kUndoBase + kLogEntryCount, 0);
+  pm_->WriteU64(kUndoBase + kLogUsedBytes, 0);
+  pm_->WriteU64(kUndoBase + kLogExtOffset, kNullOff);
+  pm_->WriteU64(kUndoBase + kLogExtCapacity, 0);
+  pm_->WriteU64(kUndoBase + kLogExtUsed, 0);
+  pm_->PersistRange(kUndoBase, kLogHeaderBytes);
+  // The header checksum covers the root pointer, which the undo replay may
+  // have restored without recomputing the checksum.
+  UpdateHeaderChecksum();
+}
+
+// -- Allocator ---------------------------------------------------------------
+
+uint64_t ObjPool::RawAlloc(uint64_t size, bool logged) {
+  MUMAK_FRAME();
+  const uint64_t total = AlignUp(size + kBlockHeaderBytes, 16);
+  if (logged) {
+    // Reserve undo space for every entry this allocation can append, so no
+    // log extension (which itself bumps the heap) happens mid-allocation.
+    EnsureUndoCapacity(256);
+  }
+
+  // First-fit over the free list.
+  uint64_t prev = kNullOff;
+  uint64_t block = pm_->ReadU64(kHdrFreeList);
+  while (block != kNullOff) {
+    const uint64_t block_size = pm_->ReadU64(block) & ~kAllocatedBit;
+    if (block_size >= total) {
+      const uint64_t next = pm_->ReadU64(block + 8);
+      if (logged) {
+        AppendUndoEntry(block, kBlockHeaderBytes);
+        if (prev != kNullOff) {
+          AppendUndoEntry(prev + 8, sizeof(uint64_t));
+        } else {
+          AppendUndoEntry(kHdrFreeList, sizeof(uint64_t));
+          AppendUndoEntry(kHdrChecksum, sizeof(uint64_t));
+        }
+      }
+      // Unlink.
+      if (prev != kNullOff) {
+        pm_->WriteU64(prev + 8, next);
+        PersistOrDefer(prev + 8, sizeof(uint64_t));
+      } else {
+        PersistHeaderField(kHdrFreeList, next);
+      }
+      // Split when worthwhile.
+      if (block_size - total >= kMinSplitRemainder) {
+        const uint64_t rest = block + total;
+        if (logged) {
+          AppendUndoEntry(rest, kBlockHeaderBytes);
+        }
+        pm_->WriteU64(rest, block_size - total);
+        pm_->WriteU64(rest + 8, kNullOff);
+        PersistOrDefer(rest, kBlockHeaderBytes);
+        PushFreeList(rest, logged);
+        pm_->WriteU64(block, total | kAllocatedBit);
+      } else {
+        pm_->WriteU64(block, block_size | kAllocatedBit);
+      }
+      pm_->WriteU64(block + 8, kNullOff);
+      PersistOrDefer(block, kBlockHeaderBytes);
+      return block + kBlockHeaderBytes;
+    }
+    prev = block;
+    block = pm_->ReadU64(block + 8);
+  }
+
+  // Bump allocation.
+  const uint64_t head = pm_->ReadU64(kHdrHeapHead);
+  if (head + total > pm_->size()) {
+    throw PmdkError("pool out of memory");
+  }
+  if (logged) {
+    AppendUndoEntry(kHdrHeapHead, sizeof(uint64_t));
+    AppendUndoEntry(kHdrChecksum, sizeof(uint64_t));
+    AppendUndoEntry(head, kBlockHeaderBytes);
+  }
+  pm_->WriteU64(head, total | kAllocatedBit);
+  pm_->WriteU64(head + 8, kNullOff);
+  PersistOrDefer(head, kBlockHeaderBytes);
+  PersistHeaderField(kHdrHeapHead, head + total);
+  return head + kBlockHeaderBytes;
+}
+
+void ObjPool::PushFreeList(uint64_t block, bool logged) {
+  MUMAK_FRAME();
+  if (logged) {
+    EnsureUndoCapacity(96);
+    AppendUndoEntry(block, kBlockHeaderBytes);
+    AppendUndoEntry(kHdrFreeList, sizeof(uint64_t));
+    AppendUndoEntry(kHdrChecksum, sizeof(uint64_t));
+  }
+  const uint64_t size = pm_->ReadU64(block) & ~kAllocatedBit;
+  const uint64_t head = pm_->ReadU64(kHdrFreeList);
+  pm_->WriteU64(block, size);  // clears the allocated bit
+  pm_->WriteU64(block + 8, head);
+  PersistOrDefer(block, kBlockHeaderBytes);
+  PersistHeaderField(kHdrFreeList, block);
+}
+
+uint64_t ObjPool::TxAlloc(uint64_t size) {
+  MUMAK_FRAME();
+  if (!in_tx_) {
+    throw PmdkError("TxAlloc outside a transaction");
+  }
+  const uint64_t payload = RawAlloc(size, /*logged=*/true);
+  pm_->Memset(payload, 0, size);
+  tx_ranges_.emplace_back(payload, size);
+  return payload;
+}
+
+void ObjPool::TxFree(uint64_t offset) {
+  MUMAK_FRAME();
+  if (!in_tx_) {
+    throw PmdkError("TxFree outside a transaction");
+  }
+  PushFreeList(offset - kBlockHeaderBytes, /*logged=*/true);
+}
+
+uint64_t ObjPool::AtomicAlloc(uint64_t size, uint64_t link_offset) {
+  MUMAK_FRAME();
+  const uint64_t head_before = pm_->ReadU64(kHdrHeapHead);
+  const uint64_t free_before = pm_->ReadU64(kHdrFreeList);
+
+  if (atomic_publish_bug()) {
+    // BUG (models the PMDK 1.8 hashmap_atomic breakage, §6.1): the block is
+    // carved and the link published before the allocator metadata is made
+    // durable in the right order. We reproduce the window by publishing the
+    // link first and only then persisting the bumped heap head.
+    const uint64_t total = AlignUp(size + kBlockHeaderBytes, 16);
+    const uint64_t head = pm_->ReadU64(kHdrHeapHead);
+    if (head + total > pm_->size()) {
+      throw PmdkError("pool out of memory");
+    }
+    pm_->WriteU64(head, total | kAllocatedBit);
+    pm_->WriteU64(head + 8, kNullOff);
+    pm_->PersistRange(head, kBlockHeaderBytes);
+    const uint64_t payload = head + kBlockHeaderBytes;
+    pm_->Memset(payload, 0, size);
+    pm_->PersistRange(payload, size);
+    // Publish before the heap head is durable: the failure point right
+    // after this fence exposes a state where the link refers to a block
+    // beyond the recorded heap head.
+    pm_->WriteU64(link_offset, payload);
+    pm_->PersistRange(link_offset, sizeof(uint64_t));
+    PersistHeaderField(kHdrHeapHead, head + total);
+    return payload;
+  }
+
+  // Correct ordering: allocate (durable), then publish the link. A crash
+  // before the publish leaks the block; leaks are reclaimed by a heap walk,
+  // not treated as corruption.
+  const uint64_t payload = RawAlloc(size, /*logged=*/false);
+  pm_->Memset(payload, 0, size);
+  pm_->PersistRange(payload, size);
+  (void)head_before;
+  (void)free_before;
+  pm_->WriteU64(link_offset, payload);
+  pm_->PersistRange(link_offset, sizeof(uint64_t));
+  return payload;
+}
+
+void ObjPool::AtomicFree(uint64_t offset, uint64_t link_offset,
+                         uint64_t new_link) {
+  MUMAK_FRAME();
+  // Unlink first (durable), then release: a crash in between leaks.
+  pm_->WriteU64(link_offset, new_link);
+  pm_->PersistRange(link_offset, sizeof(uint64_t));
+  PushFreeList(offset - kBlockHeaderBytes, /*logged=*/false);
+}
+
+uint64_t ObjPool::AtomicAllocRaw(uint64_t size) {
+  MUMAK_FRAME();
+  const uint64_t payload = RawAlloc(size, /*logged=*/false);
+  pm_->Memset(payload, 0, size);
+  pm_->PersistRange(payload, size);
+  return payload;
+}
+
+void ObjPool::AtomicFreeRaw(uint64_t offset) {
+  MUMAK_FRAME();
+  PushFreeList(offset - kBlockHeaderBytes, /*logged=*/false);
+}
+
+uint64_t ObjPool::AtomicAllocAtRoot(uint64_t size) {
+  MUMAK_FRAME();
+  const uint64_t payload = AtomicAllocRaw(size);
+  PersistHeaderField(kHdrRoot, payload);
+  return payload;
+}
+
+bool ObjPool::IsAllocatedBlock(uint64_t offset) const {
+  if (offset < heap_start() + kBlockHeaderBytes ||
+      offset >= pm_->ReadU64(kHdrHeapHead)) {
+    return false;
+  }
+  return (pm_->ReadU64(offset - kBlockHeaderBytes) & kAllocatedBit) != 0;
+}
+
+uint64_t ObjPool::BlockSize(uint64_t offset) const {
+  const uint64_t raw = pm_->ReadU64(offset - kBlockHeaderBytes);
+  return (raw & ~kAllocatedBit) - kBlockHeaderBytes;
+}
+
+uint64_t ObjPool::CountLiveBlocks() const {
+  uint64_t count = 0;
+  uint64_t cursor = heap_start();
+  const uint64_t head = pm_->ReadU64(kHdrHeapHead);
+  while (cursor < head) {
+    const uint64_t raw = pm_->ReadU64(cursor);
+    const uint64_t size = raw & ~kAllocatedBit;
+    if (size < kBlockHeaderBytes) {
+      throw RecoveryFailure("heap walk found an undersized block");
+    }
+    if (raw & kAllocatedBit) {
+      ++count;
+    }
+    cursor += size;
+  }
+  return count;
+}
+
+void ObjPool::ValidateHeap() const {
+  const uint64_t head = pm_->ReadU64(kHdrHeapHead);
+  if (head < heap_start() || head > pm_->size()) {
+    throw RecoveryFailure("heap head out of bounds");
+  }
+  // Walk every block; the walk must land exactly on the heap head.
+  uint64_t cursor = heap_start();
+  uint64_t blocks = 0;
+  while (cursor < head) {
+    const uint64_t raw = pm_->ReadU64(cursor);
+    const uint64_t size = raw & ~kAllocatedBit;
+    if (size < kBlockHeaderBytes || size % 16 != 0 || cursor + size > head) {
+      throw RecoveryFailure("heap walk found a corrupt block header");
+    }
+    cursor += size;
+    ++blocks;
+  }
+  if (cursor != head) {
+    throw RecoveryFailure("heap walk does not terminate at the heap head");
+  }
+  // Free list must be acyclic, in bounds, and reference free blocks.
+  uint64_t node = pm_->ReadU64(kHdrFreeList);
+  uint64_t steps = 0;
+  while (node != kNullOff) {
+    if (node < heap_start() || node >= head) {
+      throw RecoveryFailure("free list points outside the heap");
+    }
+    const uint64_t raw = pm_->ReadU64(node);
+    if (raw & kAllocatedBit) {
+      throw RecoveryFailure("free list references an allocated block");
+    }
+    if (++steps > blocks + 1) {
+      throw RecoveryFailure("free list contains a cycle");
+    }
+    node = pm_->ReadU64(node + 8);
+  }
+}
+
+bool ObjPool::atomic_publish_bug() const {
+  return config_.force_atomic_publish_bug ||
+         config_.version == PmdkVersion::k18;
+}
+
+bool ObjPool::tx_commit_extension_bug() const {
+  return config_.force_tx_commit_extension_bug ||
+         config_.version == PmdkVersion::k112;
+}
+
+}  // namespace mumak

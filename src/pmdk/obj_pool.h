@@ -1,0 +1,169 @@
+// pmobj-lite: a from-scratch transactional persistent object store standing
+// in for PMDK's libpmemobj. It provides the pieces the paper's targets and
+// experiments depend on: a pool with a checksummed header, a persistent
+// allocator, undo-log transactions with dynamic log extension, a recovery
+// path, and the version-specific library bugs discussed in the paper
+// (hashmap_atomic broken on 1.8, §6.1; the 1.12 pmemobj_tx_commit
+// large-transaction bug, §6.4).
+
+#ifndef MUMAK_SRC_PMDK_OBJ_POOL_H_
+#define MUMAK_SRC_PMDK_OBJ_POOL_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/pmem/pm_pool.h"
+
+namespace mumak {
+
+// Library versions evaluated in the paper. Each maps to a feature/bug set.
+enum class PmdkVersion : uint32_t {
+  k16 = 16,
+  k18 = 18,
+  k112 = 112,
+};
+
+struct PmdkConfig {
+  PmdkVersion version = PmdkVersion::k18;
+  // Undo log capacity in bytes before dynamic extension kicks in.
+  uint64_t undo_log_capacity = 4096;
+  // Overrides for the version-keyed bugs (set automatically from `version`
+  // unless forced). See ObjPool for the bug descriptions.
+  bool force_atomic_publish_bug = false;
+  bool force_tx_commit_extension_bug = false;
+};
+
+// Thrown when recovery determines the pool cannot be brought back to a
+// consistent state — this is precisely the signal Mumak's oracle consumes.
+class RecoveryFailure : public std::runtime_error {
+ public:
+  explicit RecoveryFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class PmdkError : public std::runtime_error {
+ public:
+  explicit PmdkError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Offset-based persistent pointer; 0 is the null offset.
+inline constexpr uint64_t kNullOff = 0;
+
+class ObjPool {
+ public:
+  // Formats `pm` as a fresh pool.
+  static ObjPool Create(PmPool* pm, const PmdkConfig& config);
+
+  // Opens an existing (possibly crashed) pool: verifies the header, replays
+  // or rolls back the undo log, and validates allocator metadata. Throws
+  // RecoveryFailure when the image is inconsistent.
+  static ObjPool Open(PmPool* pm, const PmdkConfig& config);
+
+  PmPool& pm() { return *pm_; }
+
+  // -- Root object ---------------------------------------------------------
+
+  uint64_t root() const;
+  void set_root(uint64_t offset);
+
+  // -- Persistent allocator -------------------------------------------------
+
+  // Transactional allocation: must be called inside a transaction; the
+  // allocator metadata updates are undo-logged, so a crash rolls them back.
+  uint64_t TxAlloc(uint64_t size);
+  void TxFree(uint64_t offset);
+
+  // Atomic allocation (libpmemobj POBJ_ALLOC style): allocates a block and
+  // publishes its offset into the u64 pool slot at `link_offset` such that a
+  // crash either shows the old link or a fully-allocated new block. With the
+  // 1.8 atomic-publish bug the link is published before the allocator state
+  // is persisted, leaving a crash window that corrupts the heap.
+  uint64_t AtomicAlloc(uint64_t size, uint64_t link_offset);
+  // Atomically unlinks (sets the slot to `new_link`) and frees `offset`.
+  void AtomicFree(uint64_t offset, uint64_t link_offset, uint64_t new_link);
+
+  // Atomic allocation without a link publish: the block is durable on
+  // return; a crash before the caller publishes it merely leaks it. This is
+  // the pmemobj_alloc-with-constructor pattern.
+  uint64_t AtomicAllocRaw(uint64_t size);
+
+  // Non-transactional free of a block no longer referenced.
+  void AtomicFreeRaw(uint64_t offset);
+
+  // Atomic allocation published as the pool root object.
+  uint64_t AtomicAllocAtRoot(uint64_t size);
+
+  uint64_t BlockSize(uint64_t offset) const;
+
+  // True when the block holding `offset`'s payload is marked allocated.
+  bool IsAllocatedBlock(uint64_t offset) const;
+
+  // -- Transactions ----------------------------------------------------------
+
+  void TxBegin();
+  // Snapshots [offset, offset+size) into the undo log. Must be called
+  // before modifying the range inside the transaction.
+  void TxAddRange(uint64_t offset, uint64_t size);
+  void TxCommit();
+  void TxAbort();
+  bool InTx() const { return in_tx_; }
+
+  // -- Introspection -----------------------------------------------------------
+
+  // First usable heap byte; exposed for targets that lay out fixed regions.
+  uint64_t heap_start() const;
+  uint64_t heap_head() const;
+  const PmdkConfig& config() const { return config_; }
+
+  // Number of allocated (live) blocks found by a heap walk. Used by target
+  // self-checks.
+  uint64_t CountLiveBlocks() const;
+
+  // Validates the heap: block headers sane, free list acyclic and in
+  // bounds, no overlapping blocks. Throws RecoveryFailure on violation.
+  void ValidateHeap() const;
+
+ private:
+  explicit ObjPool(PmPool* pm, const PmdkConfig& config)
+      : pm_(pm), config_(config) {}
+
+  void Format();
+  void RecoverUndoLog();
+  void ValidateHeader() const;
+  uint64_t ComputeHeaderChecksum() const;
+  void PersistHeaderField(uint64_t field_offset, uint64_t value);
+  void UpdateHeaderChecksum();
+  // Persists immediately outside a transaction; inside one, records the
+  // range so the commit's deduplicated flush covers it.
+  void PersistOrDefer(uint64_t offset, uint64_t size);
+
+  // Appends one undo entry; extends the log when the fixed area is full.
+  void AppendUndoEntry(uint64_t offset, uint64_t size);
+  // Guarantees the next `bytes` of undo entries fit without triggering a
+  // log extension (extensions allocate from the heap, which must not happen
+  // while an allocation is in flight).
+  void EnsureUndoCapacity(uint64_t bytes);
+  void ExtendUndoLog(uint64_t needed);
+  // Raw heap carve-out for user allocations.
+  uint64_t RawAlloc(uint64_t size, bool logged);
+  // Bump-only carve-out for undo log extensions: never touches the free
+  // list, so it is safe to call mid-allocation.
+  uint64_t RawBumpAlloc(uint64_t size);
+  void PushFreeList(uint64_t offset, bool logged);
+
+  bool atomic_publish_bug() const;
+  bool tx_commit_extension_bug() const;
+
+  PmPool* pm_ = nullptr;
+  PmdkConfig config_;
+  bool in_tx_ = false;
+  // Volatile mirror of the ranges touched by the running transaction, so
+  // commit can flush exactly those ranges.
+  std::vector<std::pair<uint64_t, uint64_t>> tx_ranges_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_PMDK_OBJ_POOL_H_

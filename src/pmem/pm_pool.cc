@@ -1,0 +1,79 @@
+#include "src/pmem/pm_pool.h"
+
+#include <array>
+#include <fstream>
+
+namespace mumak {
+
+void PmPool::Memset(uint64_t offset, uint8_t value, size_t size) {
+  std::array<uint8_t, 256> chunk;
+  chunk.fill(value);
+  size_t written = 0;
+  while (written < size) {
+    const size_t n = std::min(size - written, chunk.size());
+    Write(offset + written, chunk.data(), n);
+    written += n;
+  }
+}
+
+void PmPool::FlushRangeFrom(uint64_t offset, size_t size, const void* site) {
+  if (size == 0) {
+    return;
+  }
+  const uint64_t first = LineBase(offset);
+  const uint64_t last = LineBase(offset + size - 1);
+  for (uint64_t line = first; line <= last; line += kCacheLineSize) {
+    ClwbFrom(line, site);
+  }
+}
+
+void PmPool::PersistRangeFrom(uint64_t offset, size_t size,
+                              const void* site) {
+  FlushRangeFrom(offset, size, site);
+  SfenceFrom(site);
+}
+
+void PmPool::PersistRange(uint64_t offset, size_t size) {
+  PersistRangeFrom(offset, size, __builtin_return_address(0));
+}
+
+void PmPool::FlushRange(uint64_t offset, size_t size) {
+  FlushRangeFrom(offset, size, __builtin_return_address(0));
+}
+
+bool PmPool::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  // Only the durable medium survives a save/restore cycle, the same way only
+  // the persistent domain survives power loss.
+  const std::vector<uint8_t>& bytes = model_.durable_bytes();
+  uint64_t size = bytes.size();
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool PmPool::LoadFromFile(const std::string& path, PmPool* pool) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in) {
+    return false;
+  }
+  std::vector<uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) {
+    return false;
+  }
+  *pool = PmPool::FromImage(std::move(bytes));
+  return true;
+}
+
+}  // namespace mumak

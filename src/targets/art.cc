@@ -1,0 +1,518 @@
+#include "src/targets/art.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kFieldTreeRoot = 0;
+constexpr uint64_t kFieldItemCount = 8;
+
+// Per-type layout, all offsets relative to the node base:
+//   header:  type(8) count(8)                                   [0, 16)
+//   Node4/16:  bytes[16]            [16, 32)   children[16]     [32, 160)
+//   Node48:    index[256]           [16, 272)  children[48]     [272, 656)
+//              (index entry = child slot + 1; 0 = absent)
+//   Node256:   children[256]        [16, 2064)
+constexpr uint64_t kSmallBytes = 16;
+constexpr uint64_t kSmallChildren = 32;
+constexpr uint64_t kN48Index = 16;
+constexpr uint64_t kN48Children = 272;
+constexpr uint64_t kN256Children = 16;
+
+}  // namespace
+
+uint64_t ArtTarget::NodeBytes(uint64_t type) {
+  switch (type) {
+    case kType4:
+    case kType16:
+      return 160;
+    case kType48:
+      return 656;
+    default:
+      return 2064;
+  }
+}
+
+void ArtTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root = obj().TxAlloc(2 * sizeof(uint64_t));
+  const uint64_t tree_root = obj().TxAlloc(NodeBytes(kType4));
+  NodeHeader header;
+  pool.WriteObject(tree_root, header);
+  pool.WriteU64(root + kFieldTreeRoot, tree_root);
+  pool.WriteU64(root + kFieldItemCount, 0);
+  obj().set_root(root);
+  obj().TxCommit();
+}
+
+void ArtTarget::BumpItemCount(PmPool& pool, int64_t delta) {
+  const uint64_t count_off = root_obj() + kFieldItemCount;
+  obj().TxAddRange(count_off, sizeof(uint64_t));
+  pool.WriteU64(count_off, pool.ReadU64(count_off) +
+                               static_cast<uint64_t>(delta));
+}
+
+uint64_t ArtTarget::FindChildSlot(PmPool& pool, uint64_t node_off,
+                                  uint8_t byte) {
+  NodeHeader header = pool.ReadObject<NodeHeader>(node_off);
+  switch (header.type) {
+    case kType4:
+    case kType16: {
+      for (uint64_t i = 0; i < header.count && i < 16; ++i) {
+        uint8_t b = 0;
+        pool.Read(node_off + kSmallBytes + i, &b, 1);
+        if (b == byte) {
+          return node_off + kSmallChildren + i * 8;
+        }
+      }
+      return 0;
+    }
+    case kType48: {
+      uint8_t index = 0;
+      pool.Read(node_off + kN48Index + byte, &index, 1);
+      if (index == 0) {
+        return 0;
+      }
+      return node_off + kN48Children + (index - 1) * 8;
+    }
+    default: {
+      const uint64_t slot = node_off + kN256Children + byte * 8ull;
+      return pool.ReadU64(slot) != 0 ? slot : 0;
+    }
+  }
+}
+
+uint64_t ArtTarget::GrowNode(PmPool& pool, uint64_t node_off,
+                             uint64_t parent_slot) {
+  MUMAK_FRAME();
+  NodeHeader header = pool.ReadObject<NodeHeader>(node_off);
+
+  if (header.type == kType4 && BugEnabled("art.grow_count_early")) {
+    // BUG art.grow_count_early (models pmem/pmdk#5512): the full Node4's
+    // child count is bumped in place, unlogged, before the growth. A crash
+    // during the growth rolls back the parent swap but keeps the inflated
+    // count; recovery (like the paper's post-crash insert) then fails an
+    // assertion because the node claims more children than its type holds.
+    pool.WriteU64(node_off + offsetof(NodeHeader, count), header.count + 1);
+  }
+
+  const uint64_t new_type = header.type == kType4    ? kType16
+                            : header.type == kType16 ? kType48
+                                                     : kType256;
+  const uint64_t grown = obj().TxAlloc(NodeBytes(new_type));
+  NodeHeader grown_header;
+  grown_header.type = new_type;
+  grown_header.count = header.count;
+  pool.WriteObject(grown, grown_header);
+
+  // Copy the children into the new layout.
+  if (new_type == kType16) {
+    for (uint64_t i = 0; i < header.count; ++i) {
+      uint8_t b = 0;
+      pool.Read(node_off + kSmallBytes + i, &b, 1);
+      pool.Write(grown + kSmallBytes + i, &b, 1);
+      pool.WriteU64(grown + kSmallChildren + i * 8,
+                    pool.ReadU64(node_off + kSmallChildren + i * 8));
+    }
+  } else if (new_type == kType48) {
+    for (uint64_t i = 0; i < header.count; ++i) {
+      uint8_t b = 0;
+      pool.Read(node_off + kSmallBytes + i, &b, 1);
+      const uint8_t index = static_cast<uint8_t>(i + 1);
+      pool.Write(grown + kN48Index + b, &index, 1);
+      pool.WriteU64(grown + kN48Children + i * 8,
+                    pool.ReadU64(node_off + kSmallChildren + i * 8));
+    }
+  } else {
+    for (uint64_t b = 0; b < 256; ++b) {
+      uint8_t index = 0;
+      pool.Read(node_off + kN48Index + b, &index, 1);
+      if (index != 0) {
+        pool.WriteU64(grown + kN256Children + b * 8,
+                      pool.ReadU64(node_off + kN48Children +
+                                   (index - 1) * 8));
+      }
+    }
+  }
+
+  obj().TxAddRange(parent_slot, sizeof(uint64_t));
+  pool.WriteU64(parent_slot, grown);
+  obj().TxFree(node_off);
+  return grown;
+}
+
+void ArtTarget::AddChild(PmPool& pool, uint64_t node_off, uint8_t byte,
+                         uint64_t child_tagged, uint64_t parent_slot) {
+  MUMAK_FRAME();
+  NodeHeader header = pool.ReadObject<NodeHeader>(node_off);
+  switch (header.type) {
+    case kType4:
+    case kType16:
+      if (header.count == header.type) {
+        node_off = GrowNode(pool, node_off, parent_slot);
+        AddChild(pool, node_off, byte, child_tagged, parent_slot);
+        return;
+      }
+      obj().TxAddRange(node_off, NodeBytes(header.type));
+      pool.Write(node_off + kSmallBytes + header.count, &byte, 1);
+      pool.WriteU64(node_off + kSmallChildren + header.count * 8,
+                    child_tagged);
+      pool.WriteU64(node_off + offsetof(NodeHeader, count),
+                    header.count + 1);
+      return;
+    case kType48: {
+      if (header.count == 48) {
+        node_off = GrowNode(pool, node_off, parent_slot);
+        AddChild(pool, node_off, byte, child_tagged, parent_slot);
+        return;
+      }
+      obj().TxAddRange(node_off, NodeBytes(kType48));
+      const uint8_t index = static_cast<uint8_t>(header.count + 1);
+      pool.Write(node_off + kN48Index + byte, &index, 1);
+      pool.WriteU64(node_off + kN48Children + header.count * 8,
+                    child_tagged);
+      pool.WriteU64(node_off + offsetof(NodeHeader, count),
+                    header.count + 1);
+      return;
+    }
+    default:
+      obj().TxAddRange(node_off + kN256Children + byte * 8ull,
+                       sizeof(uint64_t));
+      obj().TxAddRange(node_off, sizeof(NodeHeader));
+      pool.WriteU64(node_off + kN256Children + byte * 8ull, child_tagged);
+      pool.WriteU64(node_off + offsetof(NodeHeader, count),
+                    header.count + 1);
+      return;
+  }
+}
+
+void ArtTarget::RemoveChild(PmPool& pool, uint64_t node_off, uint8_t byte) {
+  MUMAK_FRAME();
+  NodeHeader header = pool.ReadObject<NodeHeader>(node_off);
+  switch (header.type) {
+    case kType4:
+    case kType16: {
+      for (uint64_t i = 0; i < header.count; ++i) {
+        uint8_t b = 0;
+        pool.Read(node_off + kSmallBytes + i, &b, 1);
+        if (b != byte) {
+          continue;
+        }
+        obj().TxAddRange(node_off, NodeBytes(header.type));
+        // Compact: move the last child into the hole.
+        const uint64_t last = header.count - 1;
+        if (i != last) {
+          uint8_t last_byte = 0;
+          pool.Read(node_off + kSmallBytes + last, &last_byte, 1);
+          pool.Write(node_off + kSmallBytes + i, &last_byte, 1);
+          pool.WriteU64(node_off + kSmallChildren + i * 8,
+                        pool.ReadU64(node_off + kSmallChildren + last * 8));
+        }
+        pool.WriteU64(node_off + offsetof(NodeHeader, count), last);
+        return;
+      }
+      return;
+    }
+    case kType48: {
+      uint8_t index = 0;
+      pool.Read(node_off + kN48Index + byte, &index, 1);
+      if (index == 0) {
+        return;
+      }
+      obj().TxAddRange(node_off, NodeBytes(kType48));
+      const uint64_t hole = index - 1;
+      const uint64_t last = header.count - 1;
+      if (hole != last) {
+        // Move the last child slot into the hole and fix its index entry.
+        pool.WriteU64(node_off + kN48Children + hole * 8,
+                      pool.ReadU64(node_off + kN48Children + last * 8));
+        for (uint64_t b = 0; b < 256; ++b) {
+          uint8_t idx = 0;
+          pool.Read(node_off + kN48Index + b, &idx, 1);
+          if (idx == last + 1) {
+            const uint8_t fixed = static_cast<uint8_t>(hole + 1);
+            pool.Write(node_off + kN48Index + b, &fixed, 1);
+            break;
+          }
+        }
+      }
+      const uint8_t zero = 0;
+      pool.Write(node_off + kN48Index + byte, &zero, 1);
+      pool.WriteU64(node_off + offsetof(NodeHeader, count), last);
+      return;
+    }
+    default: {
+      obj().TxAddRange(node_off + kN256Children + byte * 8ull,
+                       sizeof(uint64_t));
+      obj().TxAddRange(node_off, sizeof(NodeHeader));
+      pool.WriteU64(node_off + kN256Children + byte * 8ull, 0);
+      pool.WriteU64(node_off + offsetof(NodeHeader, count),
+                    header.count - 1);
+      return;
+    }
+  }
+}
+
+void ArtTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  uint64_t parent_slot = root_obj() + kFieldTreeRoot;
+  uint64_t node_off = pool.ReadU64(parent_slot);
+  for (int depth = 0; depth < kKeyBytes; ++depth) {
+    const uint8_t byte = KeyByte(key, depth);
+    const uint64_t slot = FindChildSlot(pool, node_off, byte);
+    if (slot == 0) {
+      const uint64_t leaf = obj().TxAlloc(sizeof(Leaf));
+      Leaf fresh{key, value};
+      pool.WriteObject(leaf, fresh);
+      AddChild(pool, node_off, byte, leaf | kLeafTag, parent_slot);
+      BumpItemCount(pool, 1);
+      return;
+    }
+    const uint64_t tagged = pool.ReadU64(slot);
+    if (IsLeaf(tagged)) {
+      Leaf existing = pool.ReadObject<Leaf>(Untag(tagged));
+      if (existing.key == key) {
+        const uint64_t value_off = Untag(tagged) + offsetof(Leaf, value);
+        obj().TxAddRange(value_off, sizeof(uint64_t));
+        pool.WriteU64(value_off, value);
+        return;
+      }
+      // Interpose Node4s until the key bytes diverge.
+      int d = depth + 1;
+      while (d < kKeyBytes && KeyByte(existing.key, d) == KeyByte(key, d)) {
+        ++d;
+      }
+      if (d == kKeyBytes) {
+        throw PmdkError("art: identical key paths");
+      }
+      const uint64_t leaf = obj().TxAlloc(sizeof(Leaf));
+      Leaf fresh{key, value};
+      pool.WriteObject(leaf, fresh);
+      uint64_t below = 0;
+      {
+        const uint64_t bottom = obj().TxAlloc(NodeBytes(kType4));
+        NodeHeader bh;
+        bh.count = 2;
+        pool.WriteObject(bottom, bh);
+        uint8_t b0 = KeyByte(existing.key, d);
+        uint8_t b1 = KeyByte(key, d);
+        pool.Write(bottom + kSmallBytes + 0, &b0, 1);
+        pool.Write(bottom + kSmallBytes + 1, &b1, 1);
+        pool.WriteU64(bottom + kSmallChildren + 0, tagged);
+        pool.WriteU64(bottom + kSmallChildren + 8, leaf | kLeafTag);
+        below = bottom;
+      }
+      for (int up = d - 1; up > depth; --up) {
+        const uint64_t mid = obj().TxAlloc(NodeBytes(kType4));
+        NodeHeader mh;
+        mh.count = 1;
+        pool.WriteObject(mid, mh);
+        uint8_t b = KeyByte(key, up);
+        pool.Write(mid + kSmallBytes + 0, &b, 1);
+        pool.WriteU64(mid + kSmallChildren + 0, below);
+        below = mid;
+      }
+      obj().TxAddRange(slot, sizeof(uint64_t));
+      pool.WriteU64(slot, below);
+      BumpItemCount(pool, 1);
+      return;
+    }
+    parent_slot = slot;
+    node_off = tagged;
+  }
+  throw PmdkError("art: descent exceeded key length");
+}
+
+bool ArtTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  uint64_t node_off = pool.ReadU64(root_obj() + kFieldTreeRoot);
+  for (int depth = 0; depth < kKeyBytes; ++depth) {
+    const uint8_t byte = KeyByte(key, depth);
+    const uint64_t slot = FindChildSlot(pool, node_off, byte);
+    if (slot == 0) {
+      return false;
+    }
+    const uint64_t tagged = pool.ReadU64(slot);
+    if (IsLeaf(tagged)) {
+      Leaf leaf = pool.ReadObject<Leaf>(Untag(tagged));
+      if (leaf.key != key) {
+        return false;
+      }
+      RemoveChild(pool, node_off, byte);
+      obj().TxFree(Untag(tagged));
+      BumpItemCount(pool, -1);
+      return true;
+    }
+    node_off = tagged;
+  }
+  return false;
+}
+
+bool ArtTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  uint64_t node_off = pool.ReadU64(root_obj() + kFieldTreeRoot);
+  for (int depth = 0; depth < kKeyBytes; ++depth) {
+    const uint64_t slot = FindChildSlot(pool, node_off, KeyByte(key, depth));
+    if (slot == 0) {
+      return false;
+    }
+    const uint64_t tagged = pool.ReadU64(slot);
+    if (IsLeaf(tagged)) {
+      Leaf leaf = pool.ReadObject<Leaf>(Untag(tagged));
+      if (leaf.key != key) {
+        return false;
+      }
+      if (value != nullptr) {
+        *value = leaf.value;
+      }
+      if (BugEnabled("art.p1_rf_get")) {
+        // BUG art.p1_rf_get (redundant flush): lookups flush the leaf line.
+        pool.Clwb(Untag(tagged));
+        pool.Sfence();
+      }
+      return true;
+    }
+    node_off = tagged;
+  }
+  return false;
+}
+
+void ArtTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  switch (op.kind) {
+    case OpKind::kPut:
+      MutationBegin();
+      Put(pool, op.key + 1, op.value);
+      MutationEnd();
+      if (BugEnabled("art.p2_rfence_put")) {
+        // BUG art.p2_rfence_put (redundant fence).
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      MutationBegin();
+      Remove(pool, op.key + 1);
+      MutationEnd();
+      break;
+  }
+}
+
+uint64_t ArtTarget::ValidateSubtree(PmPool& pool, uint64_t tagged,
+                                    uint64_t prefix, int depth) {
+  if (depth > kKeyBytes) {
+    throw RecoveryFailure("art recovery: tree too deep");
+  }
+  if (Untag(tagged) == 0 ||
+      Untag(tagged) + sizeof(NodeHeader) > pool.size()) {
+    throw RecoveryFailure("art recovery: pointer out of bounds");
+  }
+  if (IsLeaf(tagged)) {
+    Leaf leaf = pool.ReadObject<Leaf>(Untag(tagged));
+    if (leaf.key == 0 || leaf.value == 0) {
+      throw RecoveryFailure("art recovery: uninitialised leaf");
+    }
+    const int bits = 8 * depth;
+    if (bits > 0 && (leaf.key >> (64 - bits)) != prefix) {
+      throw RecoveryFailure("art recovery: leaf violates its radix path");
+    }
+    return 1;
+  }
+  const uint64_t node_off = Untag(tagged);
+  NodeHeader header = pool.ReadObject<NodeHeader>(node_off);
+  if (header.type != kType4 && header.type != kType16 &&
+      header.type != kType48 && header.type != kType256) {
+    throw RecoveryFailure("art recovery: unknown node type");
+  }
+  if (header.count > header.type) {
+    // The assertion the paper's post-crash insert trips over: the node
+    // claims more children than its type can hold.
+    throw std::logic_error(
+        "art: assertion failed: node holds more children than its type "
+        "allows");
+  }
+  uint64_t items = 0;
+  if (header.type == kType4 || header.type == kType16) {
+    for (uint64_t i = 0; i < header.count; ++i) {
+      uint8_t b = 0;
+      pool.Read(node_off + kSmallBytes + i, &b, 1);
+      for (uint64_t j = i + 1; j < header.count; ++j) {
+        uint8_t other = 0;
+        pool.Read(node_off + kSmallBytes + j, &other, 1);
+        if (b == other) {
+          throw RecoveryFailure("art recovery: duplicate child byte");
+        }
+      }
+      items += ValidateSubtree(
+          pool, pool.ReadU64(node_off + kSmallChildren + i * 8),
+          (prefix << 8) | b, depth + 1);
+    }
+  } else if (header.type == kType48) {
+    uint64_t seen = 0;
+    for (uint64_t b = 0; b < 256; ++b) {
+      uint8_t index = 0;
+      pool.Read(node_off + kN48Index + b, &index, 1);
+      if (index == 0) {
+        continue;
+      }
+      if (index > header.count) {
+        throw RecoveryFailure("art recovery: node48 index out of range");
+      }
+      ++seen;
+      items += ValidateSubtree(
+          pool, pool.ReadU64(node_off + kN48Children + (index - 1) * 8),
+          (prefix << 8) | b, depth + 1);
+    }
+    if (seen != header.count) {
+      throw RecoveryFailure("art recovery: node48 count mismatch");
+    }
+  } else {
+    uint64_t seen = 0;
+    for (uint64_t b = 0; b < 256; ++b) {
+      const uint64_t child = pool.ReadU64(node_off + kN256Children + b * 8);
+      if (child == 0) {
+        continue;
+      }
+      ++seen;
+      items += ValidateSubtree(pool, child, (prefix << 8) | b, depth + 1);
+    }
+    if (seen != header.count) {
+      throw RecoveryFailure("art recovery: node256 count mismatch");
+    }
+  }
+  return items;
+}
+
+void ArtTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;
+  }
+  const uint64_t items =
+      ValidateSubtree(pool, pool.ReadU64(root + kFieldTreeRoot), 0, 0);
+  if (items != pool.ReadU64(root + kFieldItemCount)) {
+    throw RecoveryFailure("art recovery: item counter mismatch");
+  }
+}
+
+uint64_t ArtTarget::CountItems(PmPool& pool) {
+  return ValidateSubtree(pool, pool.ReadU64(root_obj() + kFieldTreeRoot), 0,
+                         0);
+}
+
+uint64_t ArtTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/art.cc", "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         1000);
+}
+
+}  // namespace mumak

@@ -1,0 +1,81 @@
+// ART (adaptive radix tree) analogue of PMDK's libart example (§6.4): a
+// byte-wise radix tree with the full adaptive node ladder — Node4 ->
+// Node16 -> Node48 -> Node256 — grown as children are added.
+// Transactional mutations on pmobj-lite. Carries the seeded analogue of
+// pmem/pmdk#5512: a crash during an insert's node growth leaves a node
+// claiming more children than its type allows, which makes the recovery
+// traversal (like the paper's post-crash insert) fail an assertion.
+
+#ifndef MUMAK_SRC_TARGETS_ART_H_
+#define MUMAK_SRC_TARGETS_ART_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class ArtTarget : public PmdkTargetBase {
+ public:
+  explicit ArtTarget(const TargetOptions& options) : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "art"; }
+  uint64_t DefaultPoolSize() const override { return 16ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kType4 = 4;
+  static constexpr uint64_t kType16 = 16;
+  static constexpr uint64_t kType48 = 48;
+  static constexpr uint64_t kType256 = 256;
+  static constexpr uint64_t kLeafTag = 1;
+  static constexpr int kKeyBytes = 8;
+
+  // Common node header; the byte index / child arrays follow, laid out per
+  // type (see art.cc).
+  struct NodeHeader {
+    uint64_t type = kType4;
+    uint64_t count = 0;
+  };
+
+  struct Leaf {
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  static bool IsLeaf(uint64_t tagged) { return (tagged & kLeafTag) != 0; }
+  static uint64_t Untag(uint64_t tagged) { return tagged & ~kLeafTag; }
+  static uint8_t KeyByte(uint64_t key, int depth) {
+    return static_cast<uint8_t>(key >> (56 - 8 * depth));
+  }
+  static uint64_t NodeBytes(uint64_t type);
+
+  uint64_t root_obj() { return obj().root(); }
+
+  // Returns the pool offset of the child slot for `byte`, or 0 if absent.
+  uint64_t FindChildSlot(PmPool& pool, uint64_t node_off, uint8_t byte);
+
+  // Adds a child, growing the node when full; updates `parent_slot` when
+  // the node is replaced.
+  void AddChild(PmPool& pool, uint64_t node_off, uint8_t byte,
+                uint64_t child_tagged, uint64_t parent_slot);
+  // Grows `node_off` to the next type and returns the new node offset.
+  uint64_t GrowNode(PmPool& pool, uint64_t node_off, uint64_t parent_slot);
+  void RemoveChild(PmPool& pool, uint64_t node_off, uint8_t byte);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+
+  uint64_t ValidateSubtree(PmPool& pool, uint64_t tagged, uint64_t prefix,
+                           int depth);
+
+  void BumpItemCount(PmPool& pool, int64_t delta);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_ART_H_

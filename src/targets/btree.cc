@@ -1,0 +1,570 @@
+#include "src/targets/btree.h"
+
+#include <unordered_set>
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+
+uint64_t BtreeTarget::root_object_offset(PmPool& pool) const {
+  (void)pool;
+  return const_cast<BtreeTarget*>(this)->obj().root();
+}
+
+BtreeTarget::Node BtreeTarget::ReadNode(PmPool& pool, uint64_t off) const {
+  return pool.ReadObject<Node>(off);
+}
+
+void BtreeTarget::WriteNode(PmPool& pool, uint64_t off, const Node& node) {
+  pool.WriteObject(off, node);
+}
+
+uint64_t BtreeTarget::AllocNode(bool leaf) {
+  MUMAK_FRAME();
+  const uint64_t off = obj().TxAlloc(sizeof(Node));
+  Node node;
+  node.is_leaf = leaf ? 1 : 0;
+  obj().pm().WriteObject(off, node);
+  return off;
+}
+
+void BtreeTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root_obj = obj().TxAlloc(sizeof(RootObject));
+  const uint64_t first_leaf = AllocNode(/*leaf=*/true);
+  RootObject root;
+  root.tree_root = first_leaf;
+  root.item_count = 0;
+  pool.WriteObject(root_obj, root);
+  obj().set_root(root_obj);
+  obj().TxCommit();
+}
+
+void BtreeTarget::BumpItemCount(PmPool& pool, int64_t delta) {
+  MUMAK_FRAME();
+  const uint64_t root_obj = root_object_offset(pool);
+  const uint64_t count_off = root_obj + offsetof(RootObject, item_count);
+  const uint64_t count = pool.ReadU64(count_off);
+  if (BugEnabled("btree.count_unlogged")) {
+    // BUG btree.count_unlogged (atomicity): the item counter is updated
+    // outside the transaction's undo log, so a rollback leaves it out of
+    // sync with the tree.
+    pool.WriteU64(count_off, count + static_cast<uint64_t>(delta));
+    pool.PersistRange(count_off, sizeof(uint64_t));
+    return;
+  }
+  obj().TxAddRange(count_off, sizeof(uint64_t));
+  pool.WriteU64(count_off, count + static_cast<uint64_t>(delta));
+}
+
+void BtreeTarget::SplitChild(PmPool& pool, uint64_t parent_off, int index) {
+  MUMAK_FRAME();
+  Node parent = ReadNode(pool, parent_off);
+  const uint64_t child_off = parent.children[index];
+  Node child = ReadNode(pool, child_off);
+  const uint64_t sibling_off = AllocNode(child.is_leaf != 0);
+  Node sibling = ReadNode(pool, sibling_off);
+
+  // Move the upper half of `child` into `sibling`.
+  const int mid = kMaxKeys / 2;  // 3
+  sibling.n = kMaxKeys - mid - 1;
+  for (uint64_t i = 0; i < sibling.n; ++i) {
+    sibling.keys[i] = child.keys[mid + 1 + i];
+    sibling.values[i] = child.values[mid + 1 + i];
+  }
+  if (child.is_leaf == 0) {
+    for (uint64_t i = 0; i <= sibling.n; ++i) {
+      sibling.children[i] = child.children[mid + 1 + i];
+    }
+  }
+  const uint64_t up_key = child.keys[mid];
+  const uint64_t up_value = child.values[mid];
+  child.n = mid;
+
+  // Shift the parent's keys/children to make room.
+  for (int i = static_cast<int>(parent.n); i > index; --i) {
+    parent.keys[i] = parent.keys[i - 1];
+    parent.values[i] = parent.values[i - 1];
+    parent.children[i + 1] = parent.children[i];
+  }
+  parent.keys[index] = up_key;
+  parent.values[index] = up_value;
+  parent.children[index + 1] = sibling_off;
+  parent.n += 1;
+
+  if (BugEnabled("btree.split_unlogged")) {
+    // BUG btree.split_unlogged (atomicity): the parent is modified *before*
+    // being added to the undo log — the classic write-before-TX_ADD bug. A
+    // crash while the children are snapshotted rolls them back but keeps
+    // the half-updated parent, duplicating the separator key.
+    WriteNode(pool, parent_off, parent);
+  } else {
+    obj().TxAddRange(parent_off, sizeof(Node));
+  }
+  obj().TxAddRange(child_off, sizeof(Node));
+  obj().TxAddRange(sibling_off, sizeof(Node));
+
+  WriteNode(pool, sibling_off, sibling);
+  WriteNode(pool, child_off, child);
+  if (!BugEnabled("btree.split_unlogged")) {
+    WriteNode(pool, parent_off, parent);
+  }
+
+  if (BugEnabled("btree.rf_split")) {
+    // BUG btree.rf_split (redundant flush): the sibling is eagerly flushed
+    // and then flushed a second time with nothing written in between.
+    pool.FlushRange(sibling_off, sizeof(Node));
+    pool.Clwb(sibling_off);
+    pool.Sfence();
+  }
+}
+
+bool BtreeTarget::InsertNonFull(PmPool& pool, uint64_t node_off, uint64_t key,
+                                uint64_t value) {
+  MUMAK_FRAME();
+  Node node = ReadNode(pool, node_off);
+  if (node.is_leaf != 0) {
+    // Overwrite when the key exists.
+    for (uint64_t i = 0; i < node.n; ++i) {
+      if (node.keys[i] == key) {
+        obj().TxAddRange(node_off, sizeof(Node));
+        node.values[i] = value;
+        WriteNode(pool, node_off, node);
+        return false;
+      }
+    }
+    obj().TxAddRange(node_off, sizeof(Node));
+    int i = static_cast<int>(node.n) - 1;
+    while (i >= 0 && node.keys[i] > key) {
+      node.keys[i + 1] = node.keys[i];
+      node.values[i + 1] = node.values[i];
+      --i;
+    }
+    node.keys[i + 1] = key;
+    node.values[i + 1] = value;
+    node.n += 1;
+    WriteNode(pool, node_off, node);
+    return true;
+  }
+
+  // Descend: find the child and split it first if full.
+  uint64_t i = 0;
+  while (i < node.n && key > node.keys[i]) {
+    ++i;
+  }
+  if (i < node.n && node.keys[i] == key) {
+    obj().TxAddRange(node_off, sizeof(Node));
+    node.values[i] = value;
+    WriteNode(pool, node_off, node);
+    return false;
+  }
+  Node child = ReadNode(pool, node.children[i]);
+  if (child.n == kMaxKeys) {
+    SplitChild(pool, node_off, static_cast<int>(i));
+    node = ReadNode(pool, node_off);
+    if (key == node.keys[i]) {
+      obj().TxAddRange(node_off, sizeof(Node));
+      node.values[i] = value;
+      WriteNode(pool, node_off, node);
+      return false;
+    }
+    if (key > node.keys[i]) {
+      ++i;
+    }
+  }
+  return InsertNonFull(pool, node.children[i], key, value);
+}
+
+void BtreeTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t root_obj = root_object_offset(pool);
+  RootObject root = pool.ReadObject<RootObject>(root_obj);
+  Node root_node = ReadNode(pool, root.tree_root);
+  if (root_node.n == kMaxKeys) {
+    // Grow the tree: new root with the old root as only child.
+    const uint64_t new_root = AllocNode(/*leaf=*/false);
+    Node fresh = ReadNode(pool, new_root);
+    fresh.children[0] = root.tree_root;
+    WriteNode(pool, new_root, fresh);
+    obj().TxAddRange(root_obj + offsetof(RootObject, tree_root),
+                     sizeof(uint64_t));
+    pool.WriteU64(root_obj + offsetof(RootObject, tree_root), new_root);
+    SplitChild(pool, new_root, 0);
+    if (InsertNonFull(pool, new_root, key, value)) {
+      BumpItemCount(pool, 1);
+    }
+    return;
+  }
+  if (InsertNonFull(pool, root.tree_root, key, value)) {
+    BumpItemCount(pool, 1);
+  }
+}
+
+void BtreeTarget::MergeChildren(PmPool& pool, uint64_t node_off, int index) {
+  MUMAK_FRAME();
+  Node node = ReadNode(pool, node_off);
+  const uint64_t left_off = node.children[index];
+  const uint64_t right_off = node.children[index + 1];
+  Node left = ReadNode(pool, left_off);
+  Node right = ReadNode(pool, right_off);
+
+  if (!BugEnabled("btree.merge_unlogged")) {
+    obj().TxAddRange(left_off, sizeof(Node));
+  }
+  // BUG btree.merge_unlogged (atomicity): the merged-into node is modified
+  // without undo logging; crashing mid-merge leaves keys duplicated between
+  // the merged node and the parent after rollback.
+  obj().TxAddRange(node_off, sizeof(Node));
+
+  left.keys[left.n] = node.keys[index];
+  left.values[left.n] = node.values[index];
+  for (uint64_t i = 0; i < right.n; ++i) {
+    left.keys[left.n + 1 + i] = right.keys[i];
+    left.values[left.n + 1 + i] = right.values[i];
+  }
+  if (left.is_leaf == 0) {
+    for (uint64_t i = 0; i <= right.n; ++i) {
+      left.children[left.n + 1 + i] = right.children[i];
+    }
+  }
+  left.n += right.n + 1;
+
+  for (uint64_t i = index; i + 1 < node.n; ++i) {
+    node.keys[i] = node.keys[i + 1];
+    node.values[i] = node.values[i + 1];
+  }
+  for (uint64_t i = index + 1; i < node.n; ++i) {
+    node.children[i] = node.children[i + 1];
+  }
+  node.n -= 1;
+
+  WriteNode(pool, left_off, left);
+  WriteNode(pool, node_off, node);
+  obj().TxFree(right_off);
+}
+
+void BtreeTarget::FillChild(PmPool& pool, uint64_t node_off, int index) {
+  MUMAK_FRAME();
+  Node node = ReadNode(pool, node_off);
+  // Borrow from the left sibling when possible.
+  if (index > 0) {
+    Node left = ReadNode(pool, node.children[index - 1]);
+    if (left.n > kMinKeys) {
+      const uint64_t child_off = node.children[index];
+      const uint64_t left_off = node.children[index - 1];
+      Node child = ReadNode(pool, child_off);
+      obj().TxAddRange(child_off, sizeof(Node));
+      obj().TxAddRange(left_off, sizeof(Node));
+      obj().TxAddRange(node_off, sizeof(Node));
+      for (int i = static_cast<int>(child.n) - 1; i >= 0; --i) {
+        child.keys[i + 1] = child.keys[i];
+        child.values[i + 1] = child.values[i];
+      }
+      if (child.is_leaf == 0) {
+        for (int i = static_cast<int>(child.n); i >= 0; --i) {
+          child.children[i + 1] = child.children[i];
+        }
+        child.children[0] = left.children[left.n];
+      }
+      child.keys[0] = node.keys[index - 1];
+      child.values[0] = node.values[index - 1];
+      node.keys[index - 1] = left.keys[left.n - 1];
+      node.values[index - 1] = left.values[left.n - 1];
+      child.n += 1;
+      left.n -= 1;
+      WriteNode(pool, child_off, child);
+      WriteNode(pool, left_off, left);
+      WriteNode(pool, node_off, node);
+      return;
+    }
+  }
+  // Borrow from the right sibling.
+  if (static_cast<uint64_t>(index) < node.n) {
+    Node right = ReadNode(pool, node.children[index + 1]);
+    if (right.n > kMinKeys) {
+      const uint64_t child_off = node.children[index];
+      const uint64_t right_off = node.children[index + 1];
+      Node child = ReadNode(pool, child_off);
+      obj().TxAddRange(child_off, sizeof(Node));
+      obj().TxAddRange(right_off, sizeof(Node));
+      obj().TxAddRange(node_off, sizeof(Node));
+      child.keys[child.n] = node.keys[index];
+      child.values[child.n] = node.values[index];
+      if (child.is_leaf == 0) {
+        child.children[child.n + 1] = right.children[0];
+      }
+      node.keys[index] = right.keys[0];
+      node.values[index] = right.values[0];
+      for (uint64_t i = 0; i + 1 < right.n; ++i) {
+        right.keys[i] = right.keys[i + 1];
+        right.values[i] = right.values[i + 1];
+      }
+      if (right.is_leaf == 0) {
+        for (uint64_t i = 0; i < right.n; ++i) {
+          right.children[i] = right.children[i + 1];
+        }
+      }
+      child.n += 1;
+      right.n -= 1;
+      WriteNode(pool, child_off, child);
+      WriteNode(pool, right_off, right);
+      WriteNode(pool, node_off, node);
+      return;
+    }
+  }
+  // Merge with a sibling.
+  if (static_cast<uint64_t>(index) < node.n) {
+    MergeChildren(pool, node_off, index);
+  } else {
+    MergeChildren(pool, node_off, index - 1);
+  }
+}
+
+bool BtreeTarget::RemoveFrom(PmPool& pool, uint64_t node_off, uint64_t key) {
+  MUMAK_FRAME();
+  Node node = ReadNode(pool, node_off);
+  uint64_t i = 0;
+  while (i < node.n && key > node.keys[i]) {
+    ++i;
+  }
+  if (i < node.n && node.keys[i] == key) {
+    if (node.is_leaf != 0) {
+      obj().TxAddRange(node_off, sizeof(Node));
+      for (uint64_t j = i; j + 1 < node.n; ++j) {
+        node.keys[j] = node.keys[j + 1];
+        node.values[j] = node.values[j + 1];
+      }
+      node.n -= 1;
+      WriteNode(pool, node_off, node);
+      return true;
+    }
+    // Internal node: replace with predecessor from the left subtree (after
+    // ensuring it can spare a key), then delete the predecessor.
+    Node left = ReadNode(pool, node.children[i]);
+    if (left.n > kMinKeys) {
+      // Find predecessor (max of left subtree).
+      uint64_t cur = node.children[i];
+      Node cur_node = ReadNode(pool, cur);
+      while (cur_node.is_leaf == 0) {
+        cur = cur_node.children[cur_node.n];
+        cur_node = ReadNode(pool, cur);
+      }
+      const uint64_t pred_key = cur_node.keys[cur_node.n - 1];
+      const uint64_t pred_value = cur_node.values[cur_node.n - 1];
+      obj().TxAddRange(node_off, sizeof(Node));
+      node.keys[i] = pred_key;
+      node.values[i] = pred_value;
+      WriteNode(pool, node_off, node);
+      return RemoveFrom(pool, node.children[i], pred_key);
+    }
+    Node right = ReadNode(pool, node.children[i + 1]);
+    if (right.n > kMinKeys) {
+      uint64_t cur = node.children[i + 1];
+      Node cur_node = ReadNode(pool, cur);
+      while (cur_node.is_leaf == 0) {
+        cur = cur_node.children[0];
+        cur_node = ReadNode(pool, cur);
+      }
+      const uint64_t succ_key = cur_node.keys[0];
+      const uint64_t succ_value = cur_node.values[0];
+      obj().TxAddRange(node_off, sizeof(Node));
+      node.keys[i] = succ_key;
+      node.values[i] = succ_value;
+      WriteNode(pool, node_off, node);
+      return RemoveFrom(pool, node.children[i + 1], succ_key);
+    }
+    MergeChildren(pool, node_off, static_cast<int>(i));
+    node = ReadNode(pool, node_off);
+    return RemoveFrom(pool, node.children[i], key);
+  }
+  if (node.is_leaf != 0) {
+    return false;  // key absent
+  }
+  Node child = ReadNode(pool, node.children[i]);
+  if (child.n <= kMinKeys) {
+    FillChild(pool, node_off, static_cast<int>(i));
+    // Borrow/merge moved separators around; re-search from this node to
+    // find which child now covers the key.
+    node = ReadNode(pool, node_off);
+    i = 0;
+    while (i < node.n && key > node.keys[i]) {
+      ++i;
+    }
+  }
+  return RemoveFrom(pool, node.children[i], key);
+}
+
+bool BtreeTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  const uint64_t root_obj = root_object_offset(pool);
+  RootObject root = pool.ReadObject<RootObject>(root_obj);
+  const bool removed = RemoveFrom(pool, root.tree_root, key);
+  // Shrink the tree when the root became an empty internal node.
+  Node root_node = ReadNode(pool, root.tree_root);
+  if (root_node.n == 0 && root_node.is_leaf == 0) {
+    const uint64_t old_root = root.tree_root;
+    obj().TxAddRange(root_obj + offsetof(RootObject, tree_root),
+                     sizeof(uint64_t));
+    pool.WriteU64(root_obj + offsetof(RootObject, tree_root),
+                  root_node.children[0]);
+    obj().TxFree(old_root);
+  }
+  if (removed) {
+    BumpItemCount(pool, -1);
+  }
+  return removed;
+}
+
+bool BtreeTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  const uint64_t root_obj = root_object_offset(pool);
+  RootObject root = pool.ReadObject<RootObject>(root_obj);
+  uint64_t node_off = root.tree_root;
+  while (node_off != kNullOff) {
+    Node node = ReadNode(pool, node_off);
+    uint64_t i = 0;
+    while (i < node.n && key > node.keys[i]) {
+      ++i;
+    }
+    if (i < node.n && node.keys[i] == key) {
+      if (value != nullptr) {
+        *value = node.values[i];
+      }
+      if (BugEnabled("btree.rf_get")) {
+        // BUG btree.rf_get (redundant flush): flushing a line the lookup
+        // never wrote.
+        pool.Clwb(node_off);
+        pool.Sfence();
+      }
+      return true;
+    }
+    if (node.is_leaf != 0) {
+      return false;
+    }
+    node_off = node.children[i];
+  }
+  return false;
+}
+
+void BtreeTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("btree.transient_stats")) {
+    // BUG btree.transient_stats (transient data): a per-operation counter
+    // kept in PM (scratch line at the end of the pool) but never flushed
+    // and never consulted by recovery — it belongs in DRAM.
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      MutationBegin();
+      Put(pool, op.key, op.value);
+      MutationEnd();
+      if (BugEnabled("btree.rfence_put")) {
+        // BUG btree.rfence_put (redundant fence): nothing is pending after
+        // the transaction commit's own fence.
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      if (!Get(pool, op.key, nullptr) && BugEnabled("btree.rfence_get")) {
+        // BUG btree.rfence_get (redundant fence) on the lookup miss path.
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kDelete:
+      MutationBegin();
+      Remove(pool, op.key);
+      MutationEnd();
+      if (BugEnabled("btree.rfence_delete")) {
+        // BUG btree.rfence_delete (redundant fence).
+        pool.Sfence();
+      }
+      if (BugEnabled("btree.rf_delete")) {
+        // BUG btree.rf_delete (redundant flush): the root object line is
+        // flushed again after the commit persisted it.
+        pool.Clwb(root_object_offset(pool));
+        pool.Sfence();
+      }
+      break;
+  }
+}
+
+uint64_t BtreeTarget::ValidateSubtree(PmPool& pool, uint64_t node_off,
+                                      uint64_t lower, uint64_t upper,
+                                      int depth, int* leaf_depth) {
+  if (depth > 64) {
+    throw RecoveryFailure("btree recovery: tree too deep (cycle?)");
+  }
+  if (node_off == kNullOff || node_off + sizeof(Node) > pool.size()) {
+    throw RecoveryFailure("btree recovery: node offset out of bounds");
+  }
+  Node node = ReadNode(pool, node_off);
+  if (node.n > kMaxKeys) {
+    throw RecoveryFailure("btree recovery: node key count out of range");
+  }
+  uint64_t items = node.n;
+  uint64_t previous = lower;
+  for (uint64_t i = 0; i < node.n; ++i) {
+    if (node.keys[i] < previous || node.keys[i] >= upper) {
+      throw RecoveryFailure("btree recovery: key order violated");
+    }
+    previous = node.keys[i] + 1;
+  }
+  if (node.is_leaf != 0) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      throw RecoveryFailure("btree recovery: leaves at different depths");
+    }
+    return items;
+  }
+  uint64_t child_lower = lower;
+  for (uint64_t i = 0; i <= node.n; ++i) {
+    const uint64_t child_upper = i < node.n ? node.keys[i] : upper;
+    items += ValidateSubtree(pool, node.children[i], child_lower, child_upper,
+                             depth + 1, leaf_depth);
+    child_lower = i < node.n ? node.keys[i] + 1 : child_lower;
+  }
+  return items;
+}
+
+void BtreeTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  // Library recovery: undo log replay + heap validation.
+  OpenObjPool(pool);
+  // Application recovery: structural walk cross-checked against the
+  // persisted item counter.
+  const uint64_t root_obj = obj().root();
+  if (root_obj == kNullOff) {
+    // Crash before the structure was created: the application initialises
+    // the tree on first use, so this state is recoverable.
+    return;
+  }
+  RootObject root = pool.ReadObject<RootObject>(root_obj);
+  int leaf_depth = -1;
+  const uint64_t items = ValidateSubtree(pool, root.tree_root, 0,
+                                         UINT64_MAX, 0, &leaf_depth);
+  if (items != root.item_count) {
+    throw RecoveryFailure("btree recovery: item counter mismatch");
+  }
+}
+
+uint64_t BtreeTarget::CountItems(PmPool& pool) {
+  const uint64_t root_obj = root_object_offset(pool);
+  RootObject root = pool.ReadObject<RootObject>(root_obj);
+  int leaf_depth = -1;
+  return ValidateSubtree(pool, root.tree_root, 0, UINT64_MAX, 0, &leaf_depth);
+}
+
+uint64_t BtreeTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/btree.cc", "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         900);
+}
+
+}  // namespace mumak

@@ -1,0 +1,71 @@
+// B-tree data store, the analogue of PMDK's libpmemobj btree example used
+// throughout the paper's evaluation (§6.1). Order-8 B-tree with
+// transactional insert/remove and a recovery procedure that validates the
+// structure against its persisted item counter.
+
+#ifndef MUMAK_SRC_TARGETS_BTREE_H_
+#define MUMAK_SRC_TARGETS_BTREE_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class BtreeTarget : public PmdkTargetBase {
+ public:
+  static constexpr int kOrder = 8;              // max children
+  static constexpr int kMaxKeys = kOrder - 1;   // 7
+  static constexpr int kMinKeys = kOrder / 2 - 1;  // 3
+
+  explicit BtreeTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "btree"; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  // Exposed for tests.
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  struct Node {
+    uint64_t n = 0;        // number of keys
+    uint64_t is_leaf = 1;
+    uint64_t keys[kMaxKeys] = {};
+    uint64_t values[kMaxKeys] = {};
+    uint64_t children[kOrder] = {};
+  };
+
+  struct RootObject {
+    uint64_t tree_root = 0;
+    uint64_t item_count = 0;
+    uint64_t op_counter = 0;  // btree.transient_stats seeding site
+  };
+
+  uint64_t root_object_offset(PmPool& pool) const;
+  Node ReadNode(PmPool& pool, uint64_t off) const;
+  void WriteNode(PmPool& pool, uint64_t off, const Node& node);
+  uint64_t AllocNode(bool leaf);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+
+  void SplitChild(PmPool& pool, uint64_t parent_off, int index);
+  bool InsertNonFull(PmPool& pool, uint64_t node_off, uint64_t key,
+                     uint64_t value);
+  bool RemoveFrom(PmPool& pool, uint64_t node_off, uint64_t key);
+  void FillChild(PmPool& pool, uint64_t node_off, int index);
+  void MergeChildren(PmPool& pool, uint64_t node_off, int index);
+
+  void BumpItemCount(PmPool& pool, int64_t delta);
+
+  // Recovery helpers.
+  uint64_t ValidateSubtree(PmPool& pool, uint64_t node_off, uint64_t lower,
+                           uint64_t upper, int depth, int* leaf_depth);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_BTREE_H_

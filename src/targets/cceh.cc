@@ -1,0 +1,466 @@
+#include "src/targets/cceh.h"
+
+#include <set>
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kCcehMagic = 0x4845454343ull;  // "CCEEH"
+
+constexpr uint64_t kHdrMagic = 0x00;
+constexpr uint64_t kHdrCount = 0x08;
+constexpr uint64_t kHdrDirty = 0x10;
+constexpr uint64_t kHdrHeapHead = 0x18;
+// Directory descriptor pointer on its own line (atomic swap target).
+constexpr uint64_t kHdrDesc = 0x40;
+constexpr uint64_t kHeaderBytes = 0x80;
+
+// Descriptor: {dir_off, global_depth}.
+constexpr uint64_t kDescDir = 0;
+constexpr uint64_t kDescDepth = 8;
+constexpr uint64_t kDescBytes = 16;
+
+constexpr uint64_t kInitialDepth = 2;  // 4 directory entries
+
+uint64_t HashKey(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xc2b2ae3d27d4eb4full;
+  key ^= key >> 29;
+  return key;
+}
+
+}  // namespace
+
+uint64_t CcehTarget::SlotOffset(uint64_t segment, uint64_t index) const {
+  return segment + sizeof(SegmentHeader) + index * sizeof(Slot);
+}
+
+uint64_t CcehTarget::AllocSegment(PmPool& pool, uint64_t local_depth,
+                                  uint64_t pattern) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  const uint64_t bytes =
+      sizeof(SegmentHeader) + kSegmentSlots * sizeof(Slot);
+  const uint64_t segment = heap.Alloc(bytes);
+  pool.Memset(segment, 0, bytes);
+  SegmentHeader header;
+  header.local_depth = local_depth;
+  header.pattern = pattern;
+  pool.WriteObject(segment, header);
+  pool.PersistRange(segment, bytes);
+  return segment;
+}
+
+void CcehTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  heap.Init(kHeaderBytes + 64);
+  const uint64_t entries = 1ull << kInitialDepth;
+  const uint64_t dir = heap.Alloc(entries * sizeof(uint64_t));
+  for (uint64_t i = 0; i < entries; ++i) {
+    const uint64_t segment = AllocSegment(pool, kInitialDepth, i);
+    pool.WriteU64(dir + i * 8, segment);
+  }
+  pool.PersistRange(dir, entries * sizeof(uint64_t));
+  const uint64_t desc = heap.Alloc(kDescBytes);
+  pool.WriteU64(desc + kDescDir, dir);
+  pool.WriteU64(desc + kDescDepth, kInitialDepth);
+  pool.PersistRange(desc, kDescBytes);
+  pool.WriteU64(kHdrMagic, kCcehMagic);
+  pool.WriteU64(kHdrDesc, desc);
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  counter.Init(/*persist=*/false);  // covered by the header persist below
+  pool.PersistRange(0, kHeaderBytes);
+}
+
+uint64_t CcehTarget::SegmentFor(PmPool& pool, uint64_t hash,
+                                uint64_t* dir_index, uint64_t* depth_out) {
+  const uint64_t desc = pool.ReadU64(kHdrDesc);
+  const uint64_t dir = pool.ReadU64(desc + kDescDir);
+  const uint64_t depth = pool.ReadU64(desc + kDescDepth);
+  const uint64_t index = hash >> (64 - depth);
+  if (dir_index != nullptr) {
+    *dir_index = index;
+  }
+  if (depth_out != nullptr) {
+    *depth_out = depth;
+  }
+  return pool.ReadU64(dir + index * 8);
+}
+
+void CcehTarget::DoubleDirectory(PmPool& pool) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  const uint64_t old_desc = pool.ReadU64(kHdrDesc);
+  const uint64_t old_dir = pool.ReadU64(old_desc + kDescDir);
+  const uint64_t depth = pool.ReadU64(old_desc + kDescDepth);
+  const uint64_t old_entries = 1ull << depth;
+  const uint64_t dir = heap.Alloc(2 * old_entries * sizeof(uint64_t));
+  for (uint64_t i = 0; i < old_entries; ++i) {
+    const uint64_t segment = pool.ReadU64(old_dir + i * 8);
+    pool.WriteU64(dir + (2 * i) * 8, segment);
+    pool.WriteU64(dir + (2 * i + 1) * 8, segment);
+  }
+  pool.PersistRange(dir, 2 * old_entries * sizeof(uint64_t));
+  const uint64_t desc = heap.Alloc(kDescBytes);
+  pool.WriteU64(desc + kDescDir, dir);
+  pool.WriteU64(desc + kDescDepth, depth + 1);
+  pool.PersistRange(desc, kDescBytes);
+  if (BugEnabled("cceh.p8_rf_dir_double")) {
+    // BUG cceh.p8_rf_dir_double (redundant flush): the new directory is
+    // flushed a second time.
+    pool.FlushRange(dir, 2 * old_entries * sizeof(uint64_t));
+    pool.Sfence();
+  }
+  // Atomic publish of the doubled directory.
+  pool.WriteU64(kHdrDesc, desc);
+  pool.PersistRange(kHdrDesc, sizeof(uint64_t));
+  if (BugEnabled("cceh.p9_rfence_dir")) {
+    // BUG cceh.p9_rfence_dir (redundant fence).
+    pool.Sfence();
+  }
+}
+
+void CcehTarget::SplitSegment(PmPool& pool, uint64_t dir_index) {
+  MUMAK_FRAME();
+  const uint64_t desc = pool.ReadU64(kHdrDesc);
+  const uint64_t dir = pool.ReadU64(desc + kDescDir);
+  const uint64_t depth = pool.ReadU64(desc + kDescDepth);
+  const uint64_t old_segment = pool.ReadU64(dir + dir_index * 8);
+  SegmentHeader old_header = pool.ReadObject<SegmentHeader>(old_segment);
+
+  if (old_header.local_depth == depth) {
+    DoubleDirectory(pool);
+    // Recompute under the doubled directory.
+    SplitSegment(pool, dir_index * 2);
+    return;
+  }
+
+  // New segment takes the patterns whose next bit is 1.
+  const uint64_t new_depth = old_header.local_depth + 1;
+  const uint64_t new_pattern = (old_header.pattern << 1) | 1;
+  const uint64_t new_segment = AllocSegment(pool, new_depth, new_pattern);
+
+  const uint64_t dir_now = pool.ReadU64(pool.ReadU64(kHdrDesc) + kDescDir);
+  const uint64_t depth_now =
+      pool.ReadU64(pool.ReadU64(kHdrDesc) + kDescDepth);
+  const uint64_t span = 1ull << (depth_now - old_header.local_depth);
+  const uint64_t first = (dir_index >> (depth_now - old_header.local_depth))
+                         << (depth_now - old_header.local_depth);
+
+  if (BugEnabled("cceh.c1_dir_update_before_segs")) {
+    // BUG cceh.c1_dir_update_before_segs (ordering): the directory entries
+    // are retargeted before the new segment holds the moved items; a crash
+    // in between makes the upper-half keys unreachable.
+    for (uint64_t i = first + span / 2; i < first + span; ++i) {
+      pool.WriteU64(dir_now + i * 8, new_segment);
+      pool.PersistRange(dir_now + i * 8, sizeof(uint64_t));
+    }
+  }
+
+  // Move the upper-half items into the new segment.
+  for (uint64_t s = 0; s < kSegmentSlots; ++s) {
+    Slot slot = pool.ReadObject<Slot>(SlotOffset(old_segment, s));
+    if (slot.key == 0) {
+      continue;
+    }
+    const uint64_t hash = HashKey(slot.key);
+    if (((hash >> (64 - new_depth)) & 1) == 0) {
+      continue;
+    }
+    // Place into the new segment at its probe position.
+    const uint64_t base = (hash >> 32) % kSegmentSlots;
+    for (uint64_t p = 0; p < kSegmentSlots; ++p) {
+      const uint64_t idx = (base + p) % kSegmentSlots;
+      Slot existing = pool.ReadObject<Slot>(SlotOffset(new_segment, idx));
+      if (existing.key == 0) {
+        pool.WriteU64(SlotOffset(new_segment, idx) + 8, slot.value);
+        pool.WriteU64(SlotOffset(new_segment, idx), slot.key);
+        pool.PersistRange(SlotOffset(new_segment, idx), sizeof(Slot));
+        break;
+      }
+    }
+  }
+  if (BugEnabled("cceh.p6_rf_split_double")) {
+    // BUG cceh.p6_rf_split_double (redundant flush): the new segment is
+    // flushed wholesale after its slots were already persisted.
+    pool.FlushRange(new_segment,
+                    sizeof(SegmentHeader) + kSegmentSlots * sizeof(Slot));
+    pool.Sfence();
+  }
+
+  if (BugEnabled("cceh.c5_dir_single_fence")) {
+    // BUG cceh.c5_dir_single_fence (ordering beyond program order): the new
+    // segment and the directory entries are flushed with clflushopt under
+    // one fence; the retarget may persist before the moved items.
+    pool.ClflushOpt(new_segment);
+    for (uint64_t i = first + span / 2; i < first + span; ++i) {
+      pool.WriteU64(dir_now + i * 8, new_segment);
+      pool.ClflushOpt(dir_now + i * 8);
+    }
+    pool.Sfence();
+  } else if (!BugEnabled("cceh.c1_dir_update_before_segs")) {
+    // Correct order: retarget the directory entries only once the moved
+    // items are durable; each entry update is an 8-byte atomic store.
+    for (uint64_t i = first + span / 2; i < first + span; ++i) {
+      pool.WriteU64(dir_now + i * 8, new_segment);
+      pool.PersistRange(dir_now + i * 8, sizeof(uint64_t));
+    }
+  }
+
+  // Bump the old segment's depth/pattern, then eagerly drop the moved
+  // items (stale duplicates are tolerated by recovery's key dedup).
+  SegmentHeader bumped = old_header;
+  bumped.local_depth = new_depth;
+  bumped.pattern = old_header.pattern << 1;
+  pool.WriteObject(old_segment, bumped);
+  pool.PersistRange(old_segment, sizeof(SegmentHeader));
+  for (uint64_t s = 0; s < kSegmentSlots; ++s) {
+    Slot slot = pool.ReadObject<Slot>(SlotOffset(old_segment, s));
+    if (slot.key == 0) {
+      continue;
+    }
+    const uint64_t hash = HashKey(slot.key);
+    if (((hash >> (64 - new_depth)) & 1) == 1) {
+      pool.WriteU64(SlotOffset(old_segment, s), 0);
+      pool.PersistRange(SlotOffset(old_segment, s), sizeof(uint64_t));
+    }
+  }
+  if (BugEnabled("cceh.p7_rfence_split")) {
+    // BUG cceh.p7_rfence_split (redundant fence).
+    pool.Sfence();
+  }
+}
+
+void CcehTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t hash = HashKey(key);
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    uint64_t dir_index = 0;
+    const uint64_t segment = SegmentFor(pool, hash, &dir_index, nullptr);
+    const uint64_t base = (hash >> 32) % kSegmentSlots;
+
+    // Update in place when present (probe the full segment so splits do
+    // not strand stale keys).
+    for (uint64_t p = 0; p < kSegmentSlots; ++p) {
+      const uint64_t idx = (base + p) % kSegmentSlots;
+      Slot slot = pool.ReadObject<Slot>(SlotOffset(segment, idx));
+      if (slot.key == key) {
+        pool.WriteU64(SlotOffset(segment, idx) + 8, value);
+        pool.PersistRange(SlotOffset(segment, idx) + 8, sizeof(uint64_t));
+        if (BugEnabled("cceh.p5_rf_slot_double")) {
+          // BUG cceh.p5_rf_slot_double (redundant flush).
+          pool.Clwb(SlotOffset(segment, idx));
+          pool.Sfence();
+        }
+        return;
+      }
+    }
+
+    // Probe a cache-line-sized window for an empty slot.
+    for (uint64_t p = 0; p < kProbeWindow; ++p) {
+      const uint64_t idx = (base + p) % kSegmentSlots;
+      Slot slot = pool.ReadObject<Slot>(SlotOffset(segment, idx));
+      if (slot.key != 0) {
+        continue;
+      }
+      if (!BugEnabled("cceh.c4_count_no_dirty")) {
+        counter.BeginInsert();
+      }
+      if (BugEnabled("cceh.c2_slot_key_first")) {
+        // BUG cceh.c2_slot_key_first (ordering): the key (the publishing
+        // store) is written and persisted before the value.
+        pool.WriteU64(SlotOffset(segment, idx), key);
+        pool.PersistRange(SlotOffset(segment, idx), sizeof(uint64_t));
+        pool.WriteU64(SlotOffset(segment, idx) + 8, value);
+        pool.PersistRange(SlotOffset(segment, idx) + 8, sizeof(uint64_t));
+      } else {
+        // Correct order: value first, then the key publishes the slot.
+        pool.WriteU64(SlotOffset(segment, idx) + 8, value);
+        pool.WriteU64(SlotOffset(segment, idx), key);
+        pool.PersistRange(SlotOffset(segment, idx), sizeof(Slot));
+        if (BugEnabled("cceh.p3_rf_insert_double")) {
+          // BUG cceh.p3_rf_insert_double (redundant flush).
+          pool.Clwb(SlotOffset(segment, idx));
+          pool.Sfence();
+        }
+      }
+      if (!BugEnabled("cceh.c4_count_no_dirty")) {
+        counter.CommitInsert();
+      } else {
+        // BUG cceh.c4_count_no_dirty (ordering): bare counter update.
+        pool.WriteU64(kHdrCount, pool.ReadU64(kHdrCount) + 1);
+        pool.PersistRange(kHdrCount, sizeof(uint64_t));
+      }
+      if (BugEnabled("cceh.p4_rfence_insert")) {
+        // BUG cceh.p4_rfence_insert (redundant fence).
+        pool.Sfence();
+      }
+      return;
+    }
+
+    SplitSegment(pool, dir_index);
+  }
+  throw PmdkError("cceh could not place key");
+}
+
+bool CcehTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  const uint64_t hash = HashKey(key);
+  const uint64_t segment = SegmentFor(pool, hash, nullptr, nullptr);
+  const uint64_t base = (hash >> 32) % kSegmentSlots;
+  for (uint64_t p = 0; p < kSegmentSlots; ++p) {
+    const uint64_t idx = (base + p) % kSegmentSlots;
+    Slot slot = pool.ReadObject<Slot>(SlotOffset(segment, idx));
+    if (slot.key != key) {
+      continue;
+    }
+    DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+    counter.BeginDelete();
+    pool.WriteU64(SlotOffset(segment, idx), 0);
+    if (BugEnabled("cceh.c3_delete_unflushed")) {
+      // BUG cceh.c3_delete_unflushed (durability): the slot clear is never
+      // flushed.
+    } else {
+      pool.PersistRange(SlotOffset(segment, idx), sizeof(uint64_t));
+      if (BugEnabled("cceh.p10_rf_delete_double")) {
+        // BUG cceh.p10_rf_delete_double (redundant flush).
+        pool.Clwb(SlotOffset(segment, idx));
+        pool.Sfence();
+      }
+    }
+    counter.CommitDelete();
+    if (BugEnabled("cceh.p11_rfence_delete")) {
+      // BUG cceh.p11_rfence_delete (redundant fence).
+      pool.Sfence();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool CcehTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  const uint64_t hash = HashKey(key);
+  const uint64_t segment = SegmentFor(pool, hash, nullptr, nullptr);
+  const uint64_t base = (hash >> 32) % kSegmentSlots;
+  for (uint64_t p = 0; p < kSegmentSlots; ++p) {
+    const uint64_t idx = (base + p) % kSegmentSlots;
+    Slot slot = pool.ReadObject<Slot>(SlotOffset(segment, idx));
+    if (slot.key == key) {
+      if (value != nullptr) {
+        *value = slot.value;
+      }
+      if (BugEnabled("cceh.p1_rf_probe")) {
+        // BUG cceh.p1_rf_probe (redundant flush): the probed line is
+        // flushed on a read path.
+        pool.Clwb(SlotOffset(segment, idx));
+        pool.Sfence();
+      }
+      return true;
+    }
+  }
+  if (BugEnabled("cceh.p2_rfence_get")) {
+    // BUG cceh.p2_rfence_get (redundant fence) on the miss path.
+    pool.Sfence();
+  }
+  return false;
+}
+
+void CcehTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("cceh.p12_transient_stats")) {
+    // BUG cceh.p12_transient_stats (transient data).
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  if (BugEnabled("cceh.p13_rf_header")) {
+    // BUG cceh.p13_rf_header (redundant flush): clean header line flushed
+    // every op.
+    pool.Clwb(kHdrMagic);
+    pool.Sfence();
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      Put(pool, op.key + 1, op.value);
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      Remove(pool, op.key + 1);
+      break;
+  }
+}
+
+uint64_t CcehTarget::CountUniqueKeys(PmPool& pool) {
+  const uint64_t desc = pool.ReadU64(kHdrDesc);
+  const uint64_t dir = pool.ReadU64(desc + kDescDir);
+  const uint64_t depth = pool.ReadU64(desc + kDescDepth);
+  if (depth == 0 || depth > 24 ||
+      dir + (1ull << depth) * 8 > pool.size()) {
+    throw RecoveryFailure("cceh recovery: directory geometry corrupt");
+  }
+  std::set<uint64_t> segments;
+  std::set<uint64_t> keys;
+  for (uint64_t i = 0; i < (1ull << depth); ++i) {
+    const uint64_t segment = pool.ReadU64(dir + i * 8);
+    const uint64_t bytes =
+        sizeof(SegmentHeader) + kSegmentSlots * sizeof(Slot);
+    if (segment == 0 || segment + bytes > pool.size()) {
+      throw RecoveryFailure("cceh recovery: directory entry out of bounds");
+    }
+    if (!segments.insert(segment).second) {
+      continue;
+    }
+    SegmentHeader header = pool.ReadObject<SegmentHeader>(segment);
+    if (header.local_depth > depth) {
+      throw RecoveryFailure("cceh recovery: local depth exceeds global");
+    }
+    for (uint64_t s = 0; s < kSegmentSlots; ++s) {
+      Slot slot = pool.ReadObject<Slot>(SlotOffset(segment, s));
+      if (slot.key == 0) {
+        continue;
+      }
+      if (slot.value == 0) {
+        throw RecoveryFailure(
+            "cceh recovery: live slot holds an uninitialised value");
+      }
+      // Count by routing: a key is reachable only if the directory entry
+      // for its hash leads to a segment that contains it. Stale split
+      // leftovers route elsewhere and are ignored.
+      const uint64_t route_index = HashKey(slot.key) >> (64 - depth);
+      if (pool.ReadU64(dir + route_index * 8) != segment) {
+        continue;
+      }
+      keys.insert(slot.key);
+    }
+  }
+  return keys.size();
+}
+
+void CcehTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  if (pool.ReadU64(kHdrMagic) != kCcehMagic) {
+    return;  // crash before initialisation
+  }
+  const uint64_t items = CountUniqueKeys(pool);
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  counter.ValidateAndRepair(items);
+}
+
+uint64_t CcehTarget::CountItems(PmPool& pool) { return CountUniqueKeys(pool); }
+
+uint64_t CcehTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/cceh.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         750);
+}
+
+}  // namespace mumak

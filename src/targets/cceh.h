@@ -1,0 +1,68 @@
+// CCEH (Nam et al., FAST'19) analogue: cacheline-conscious extendible
+// hashing. A directory of segment pointers indexed by the top bits of the
+// hash; fixed-size segments probed a cache line at a time; segment splits
+// move the upper-half pattern into a fresh segment and retarget directory
+// entries with 8-byte atomic stores; directory doubling swaps a descriptor
+// pointer atomically. No PMDK, no logging.
+
+#ifndef MUMAK_SRC_TARGETS_CCEH_H_
+#define MUMAK_SRC_TARGETS_CCEH_H_
+
+#include "src/targets/raw_heap.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+class CcehTarget : public Target {
+ public:
+  explicit CcehTarget(const TargetOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "cceh"; }
+  uint64_t DefaultPoolSize() const override { return 8ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override { (void)pool; }
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kSegmentSlots = 32;
+  static constexpr uint64_t kProbeWindow = 4;  // slots per cache line
+
+  struct Slot {
+    uint64_t key = 0;  // 0 = empty
+    uint64_t value = 0;
+  };
+
+  // Segment: one header line + slots.
+  struct SegmentHeader {
+    uint64_t local_depth = 0;
+    uint64_t pattern = 0;  // top `local_depth` bits identifying the segment
+    uint64_t pad[6] = {};
+  };
+
+  bool BugEnabled(std::string_view id) const {
+    return options_.BugEnabled(id);
+  }
+
+  uint64_t SlotOffset(uint64_t segment, uint64_t index) const;
+  uint64_t SegmentFor(PmPool& pool, uint64_t hash, uint64_t* dir_index,
+                      uint64_t* depth_out);
+  uint64_t AllocSegment(PmPool& pool, uint64_t local_depth, uint64_t pattern);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+  void SplitSegment(PmPool& pool, uint64_t dir_index);
+  void DoubleDirectory(PmPool& pool);
+
+  uint64_t CountUniqueKeys(PmPool& pool);
+
+  TargetOptions options_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_CCEH_H_

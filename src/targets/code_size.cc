@@ -1,0 +1,33 @@
+#include "src/targets/code_size.h"
+
+#include <fstream>
+
+namespace mumak {
+
+#ifndef MUMAK_SOURCE_DIR
+#define MUMAK_SOURCE_DIR "."
+#endif
+
+uint64_t CountStatements(const std::vector<std::string>& repo_relative_files,
+                         uint64_t fallback) {
+  uint64_t total = 0;
+  bool any = false;
+  for (const std::string& rel : repo_relative_files) {
+    std::ifstream in(std::string(MUMAK_SOURCE_DIR) + "/" + rel);
+    if (!in) {
+      continue;
+    }
+    any = true;
+    std::string line;
+    while (std::getline(in, line)) {
+      // Trim trailing whitespace.
+      size_t end = line.find_last_not_of(" \t\r");
+      if (end != std::string::npos && line[end] == ';') {
+        ++total;
+      }
+    }
+  }
+  return any ? total : fallback;
+}
+
+}  // namespace mumak

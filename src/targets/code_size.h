@@ -1,0 +1,23 @@
+// Code-size metric for the Figure 5 scalability experiment. The paper
+// measures "the number of lines ending in a semicolon for the target and
+// their PM dependencies"; we compute exactly that from the repository
+// sources at runtime.
+
+#ifndef MUMAK_SRC_TARGETS_CODE_SIZE_H_
+#define MUMAK_SRC_TARGETS_CODE_SIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mumak {
+
+// Counts lines ending in ';' across the given repository-relative source
+// files. Returns `fallback` when the sources are not available (e.g. an
+// installed binary running outside the repo).
+uint64_t CountStatements(const std::vector<std::string>& repo_relative_files,
+                         uint64_t fallback);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_CODE_SIZE_H_

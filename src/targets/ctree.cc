@@ -1,0 +1,280 @@
+#include "src/targets/ctree.h"
+
+#include <bit>
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kFieldTreeRoot = 0;
+constexpr uint64_t kFieldItemCount = 8;
+
+int BitOf(uint64_t key, uint64_t bit) {
+  return static_cast<int>((key >> bit) & 1);
+}
+
+}  // namespace
+
+void CtreeTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root = obj().TxAlloc(2 * sizeof(uint64_t));
+  pool.WriteU64(root + kFieldTreeRoot, 0);
+  pool.WriteU64(root + kFieldItemCount, 0);
+  obj().set_root(root);
+  obj().TxCommit();
+}
+
+uint64_t CtreeTarget::TreeRoot(PmPool& pool) {
+  return pool.ReadU64(root_obj() + kFieldTreeRoot);
+}
+
+void CtreeTarget::SetTreeRoot(PmPool& pool, uint64_t tagged) {
+  const uint64_t slot = root_obj() + kFieldTreeRoot;
+  obj().TxAddRange(slot, sizeof(uint64_t));
+  pool.WriteU64(slot, tagged);
+}
+
+void CtreeTarget::BumpItemCount(PmPool& pool, int64_t delta) {
+  const uint64_t slot = root_obj() + kFieldItemCount;
+  obj().TxAddRange(slot, sizeof(uint64_t));
+  pool.WriteU64(slot, pool.ReadU64(slot) + static_cast<uint64_t>(delta));
+}
+
+bool CtreeTarget::Insert(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t root_slot = root_obj() + kFieldTreeRoot;
+  uint64_t root = pool.ReadU64(root_slot);
+  if (root == 0) {
+    const uint64_t leaf = obj().TxAlloc(sizeof(Leaf));
+    Leaf fresh{key, value};
+    pool.WriteObject(leaf, fresh);
+    SetTreeRoot(pool, leaf | kLeafTag);
+    return true;
+  }
+
+  // Find the leaf the key would collide with.
+  uint64_t cursor = root;
+  while (!IsLeaf(cursor)) {
+    Internal node = pool.ReadObject<Internal>(Untag(cursor));
+    cursor = node.child[BitOf(key, node.bit)];
+  }
+  Leaf existing = pool.ReadObject<Leaf>(Untag(cursor));
+  if (existing.key == key) {
+    const uint64_t value_slot = Untag(cursor) + offsetof(Leaf, value);
+    obj().TxAddRange(value_slot, sizeof(uint64_t));
+    pool.WriteU64(value_slot, value);
+    return false;
+  }
+
+  // First differing bit decides where the new internal node goes.
+  const uint64_t crit =
+      63 - static_cast<uint64_t>(std::countl_zero(key ^ existing.key));
+
+  // Descend again until the next node's bit is below the crit bit.
+  uint64_t slot = root_slot;
+  cursor = pool.ReadU64(slot);
+  while (!IsLeaf(cursor)) {
+    Internal node = pool.ReadObject<Internal>(Untag(cursor));
+    if (node.bit < crit) {
+      break;
+    }
+    slot = Untag(cursor) + offsetof(Internal, child) +
+           static_cast<uint64_t>(BitOf(key, node.bit)) * sizeof(uint64_t);
+    cursor = pool.ReadU64(slot);
+  }
+
+  const uint64_t internal = obj().TxAlloc(sizeof(Internal));
+  if (BugEnabled("ctree.link_unlogged")) {
+    // BUG ctree.link_unlogged (atomicity): the parent slot is redirected to
+    // the new internal node before the slot is snapshotted and before the
+    // node is even initialised; a crash while the leaf is allocated leaves
+    // the slot pointing at a zeroed node after rollback.
+    pool.WriteU64(slot, internal);
+  }
+  const uint64_t leaf = obj().TxAlloc(sizeof(Leaf));
+  Leaf fresh{key, value};
+  pool.WriteObject(leaf, fresh);
+  Internal node;
+  node.bit = crit;
+  node.child[BitOf(key, crit)] = leaf | kLeafTag;
+  node.child[1 - BitOf(key, crit)] = cursor;
+  pool.WriteObject(internal, node);
+
+  if (!BugEnabled("ctree.link_unlogged")) {
+    obj().TxAddRange(slot, sizeof(uint64_t));
+    pool.WriteU64(slot, internal);
+  }
+  return true;
+}
+
+bool CtreeTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  const uint64_t root_slot = root_obj() + kFieldTreeRoot;
+  uint64_t cursor = pool.ReadU64(root_slot);
+  if (cursor == 0) {
+    return false;
+  }
+  if (IsLeaf(cursor)) {
+    Leaf leaf = pool.ReadObject<Leaf>(Untag(cursor));
+    if (leaf.key != key) {
+      return false;
+    }
+    SetTreeRoot(pool, 0);
+    obj().TxFree(Untag(cursor));
+    return true;
+  }
+  // Descend keeping the slot that points at the current internal node.
+  uint64_t gslot = root_slot;
+  while (true) {
+    Internal node = pool.ReadObject<Internal>(Untag(cursor));
+    const int side = BitOf(key, node.bit);
+    const uint64_t next = node.child[side];
+    if (IsLeaf(next)) {
+      Leaf leaf = pool.ReadObject<Leaf>(Untag(next));
+      if (leaf.key != key) {
+        return false;
+      }
+      obj().TxAddRange(gslot, sizeof(uint64_t));
+      pool.WriteU64(gslot, node.child[1 - side]);
+      obj().TxFree(Untag(next));
+      obj().TxFree(Untag(cursor));
+      return true;
+    }
+    gslot = Untag(cursor) + offsetof(Internal, child) +
+            static_cast<uint64_t>(side) * sizeof(uint64_t);
+    cursor = next;
+  }
+}
+
+bool CtreeTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  uint64_t cursor = TreeRoot(pool);
+  if (cursor == 0) {
+    return false;
+  }
+  while (!IsLeaf(cursor)) {
+    Internal node = pool.ReadObject<Internal>(Untag(cursor));
+    cursor = node.child[BitOf(key, node.bit)];
+  }
+  Leaf leaf = pool.ReadObject<Leaf>(Untag(cursor));
+  if (leaf.key != key) {
+    return false;
+  }
+  if (value != nullptr) {
+    *value = leaf.value;
+  }
+  return true;
+}
+
+void CtreeTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("ctree.transient_stats")) {
+    // BUG ctree.transient_stats (transient data).
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      MutationBegin();
+      if (Insert(pool, op.key, op.value)) {
+        BumpItemCount(pool, 1);
+      }
+      MutationEnd();
+      if (BugEnabled("ctree.rf_insert")) {
+        // BUG ctree.rf_insert (redundant flush): the root-object line is
+        // flushed again right after the commit persisted it.
+        pool.Clwb(root_obj());
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      if (!Get(pool, op.key, nullptr) && BugEnabled("ctree.rfence_get")) {
+        // BUG ctree.rfence_get (redundant fence) on the lookup miss path.
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kDelete:
+      MutationBegin();
+      if (Remove(pool, op.key)) {
+        BumpItemCount(pool, -1);
+      }
+      MutationEnd();
+      if (BugEnabled("ctree.rf_delete")) {
+        // BUG ctree.rf_delete (redundant flush): the root object line is
+        // flushed again after the commit.
+        pool.Clwb(root_obj());
+        pool.Sfence();
+      }
+      break;
+  }
+}
+
+uint64_t CtreeTarget::ValidateSubtree(PmPool& pool, uint64_t tagged,
+                                      uint64_t mask, uint64_t expect,
+                                      int depth) {
+  if (depth > 70) {
+    throw RecoveryFailure("ctree recovery: tree too deep (cycle?)");
+  }
+  if (Untag(tagged) == 0 || Untag(tagged) + sizeof(Internal) > pool.size()) {
+    throw RecoveryFailure("ctree recovery: node offset out of bounds");
+  }
+  if (IsLeaf(tagged)) {
+    Leaf leaf = pool.ReadObject<Leaf>(Untag(tagged));
+    if ((leaf.key & mask) != expect) {
+      throw RecoveryFailure("ctree recovery: leaf violates path prefix");
+    }
+    return 1;
+  }
+  Internal node = pool.ReadObject<Internal>(Untag(tagged));
+  if (node.bit > 63) {
+    throw RecoveryFailure("ctree recovery: invalid bit index");
+  }
+  const uint64_t bit_mask = 1ull << node.bit;
+  if ((mask & bit_mask) != 0) {
+    throw RecoveryFailure("ctree recovery: bit index repeats on path");
+  }
+  uint64_t items = 0;
+  items += ValidateSubtree(pool, node.child[0], mask | bit_mask, expect,
+                           depth + 1);
+  items += ValidateSubtree(pool, node.child[1], mask | bit_mask,
+                           expect | bit_mask, depth + 1);
+  return items;
+}
+
+void CtreeTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;
+  }
+  const uint64_t tree_root = pool.ReadU64(root + kFieldTreeRoot);
+  uint64_t items = 0;
+  if (tree_root != 0) {
+    items = ValidateSubtree(pool, tree_root, 0, 0, 0);
+  }
+  if (items != pool.ReadU64(root + kFieldItemCount)) {
+    throw RecoveryFailure("ctree recovery: item counter mismatch");
+  }
+}
+
+uint64_t CtreeTarget::CountItems(PmPool& pool) {
+  const uint64_t tree_root = pool.ReadU64(root_obj() + kFieldTreeRoot);
+  if (tree_root == 0) {
+    return 0;
+  }
+  return ValidateSubtree(pool, tree_root, 0, 0, 0);
+}
+
+uint64_t CtreeTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/ctree.cc", "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         800);
+}
+
+}  // namespace mumak

@@ -1,0 +1,60 @@
+// Crit-bit tree, the analogue of PMDK's ctree example: internal nodes hold
+// the index of the first bit in which their two subtrees differ; leaves
+// hold key/value pairs. Transactional mutations.
+
+#ifndef MUMAK_SRC_TARGETS_CTREE_H_
+#define MUMAK_SRC_TARGETS_CTREE_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class CtreeTarget : public PmdkTargetBase {
+ public:
+  explicit CtreeTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "ctree"; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  // Node kinds live in the low bit of the tagged offset.
+  static constexpr uint64_t kLeafTag = 1;
+
+  struct Internal {
+    uint64_t bit = 0;  // bit index tested at this node (63 = MSB)
+    uint64_t child[2] = {0, 0};
+  };
+
+  struct Leaf {
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  static bool IsLeaf(uint64_t tagged) { return (tagged & kLeafTag) != 0; }
+  static uint64_t Untag(uint64_t tagged) { return tagged & ~kLeafTag; }
+
+  uint64_t root_obj() { return obj().root(); }
+  uint64_t TreeRoot(PmPool& pool);
+  void SetTreeRoot(PmPool& pool, uint64_t tagged);
+  void BumpItemCount(PmPool& pool, int64_t delta);
+
+  bool Insert(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+
+  // Validates that every leaf under `tagged` satisfies (key & mask) ==
+  // expect and that bit indices do not repeat along the path; returns the
+  // leaf count.
+  uint64_t ValidateSubtree(PmPool& pool, uint64_t tagged, uint64_t mask,
+                           uint64_t expect, int depth);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_CTREE_H_

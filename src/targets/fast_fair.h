@@ -1,0 +1,81 @@
+// FAST&FAIR B+-tree (Hwang et al., FAST'18) analogue: log-free persistent
+// B+-tree where in-node inserts shift records in place with 8-byte stores
+// (Failure-Atomic ShifT) and splits link the sibling with a single atomic
+// next-pointer update before updating the parent (Failure-Atomic In-place
+// Rebalance). No PMDK, no logging — consistency comes purely from store
+// ordering and cache line flushes.
+
+#ifndef MUMAK_SRC_TARGETS_FAST_FAIR_H_
+#define MUMAK_SRC_TARGETS_FAST_FAIR_H_
+
+#include "src/targets/raw_heap.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+class FastFairTarget : public Target {
+ public:
+  explicit FastFairTarget(const TargetOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "fast_fair"; }
+  uint64_t DefaultPoolSize() const override { return 8ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override { (void)pool; }
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr int kRecords = 14;  // per node; key 0 terminates
+
+  struct Record {
+    uint64_t key = 0;  // 0 = unused (user keys are shifted by +1)
+    uint64_t value = 0;
+  };
+
+  // 256-byte node: header line + records.
+  struct NodeHeader {
+    uint64_t is_leaf = 1;
+    uint64_t sibling = 0;   // leaf chain / internal right sibling
+    uint64_t leftmost = 0;  // internal nodes: child left of records[0]
+    uint64_t pad = 0;
+  };
+
+  bool BugEnabled(std::string_view id) const {
+    return options_.BugEnabled(id);
+  }
+
+  uint64_t RecordOffset(uint64_t node, int index) const;
+  Record ReadRecord(PmPool& pool, uint64_t node, int index) const;
+  void WriteRecord(PmPool& pool, uint64_t node, int index,
+                   const Record& record);
+  int RecordCount(PmPool& pool, uint64_t node) const;
+
+  uint64_t AllocNode(PmPool& pool, bool leaf);
+  uint64_t FindLeaf(PmPool& pool, uint64_t key,
+                    std::vector<uint64_t>* path = nullptr);
+
+  // FAST in-place sorted insert with per-line write-backs.
+  void InsertIntoNode(PmPool& pool, uint64_t node, uint64_t key,
+                      uint64_t value);
+  void RemoveFromNode(PmPool& pool, uint64_t node, int index);
+
+  // FAIR split; returns the separator pushed to the parent.
+  uint64_t SplitNode(PmPool& pool, uint64_t node, uint64_t* sibling_out);
+  void InsertRecursive(PmPool& pool, uint64_t key, uint64_t value);
+
+  bool Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+
+  uint64_t ValidateSubtree(PmPool& pool, uint64_t node, uint64_t lower,
+                           uint64_t upper, int depth, int* leaf_depth);
+
+  TargetOptions options_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_FAST_FAIR_H_

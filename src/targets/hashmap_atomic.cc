@@ -1,0 +1,307 @@
+#include "src/targets/hashmap_atomic.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+uint64_t HashKey(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdull;
+  key ^= key >> 33;
+  return key;
+}
+
+// Root object field offsets.
+constexpr uint64_t kFieldBuckets = 0;
+constexpr uint64_t kFieldBucketCount = 8;
+constexpr uint64_t kFieldItemCount = 16;
+constexpr uint64_t kFieldCountDirty = 24;
+
+}  // namespace
+
+void HashmapAtomicTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  // The atomic flavour never uses transactions: the root object and bucket
+  // array are published with the library's atomic allocation API.
+  const uint64_t root = obj().AtomicAllocAtRoot(4 * sizeof(uint64_t));
+  const uint64_t buckets =
+      obj().AtomicAlloc(kBucketCount * sizeof(uint64_t),
+                        root + kFieldBuckets);
+  (void)buckets;
+  pool.WriteU64(root + kFieldBucketCount, kBucketCount);
+  pool.WriteU64(root + kFieldItemCount, 0);
+  pool.WriteU64(root + kFieldCountDirty, 0);
+  pool.PersistRange(root, 4 * sizeof(uint64_t));
+}
+
+uint64_t HashmapAtomicTarget::BucketSlot(PmPool& pool, uint64_t key) {
+  const uint64_t root = root_obj();
+  const uint64_t buckets = pool.ReadU64(root + kFieldBuckets);
+  const uint64_t count = pool.ReadU64(root + kFieldBucketCount);
+  return buckets + (HashKey(key) % count) * sizeof(uint64_t);
+}
+
+void HashmapAtomicTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t root = root_obj();
+  const uint64_t slot = BucketSlot(pool, key);
+
+  // In-place update when the key exists: a single 8-byte atomic store.
+  uint64_t cursor = pool.ReadU64(slot);
+  while (cursor != kNullOff) {
+    Entry entry = pool.ReadObject<Entry>(cursor);
+    if (entry.key == key) {
+      pool.WriteU64(cursor + offsetof(Entry, value), value);
+      pool.PersistRange(cursor + offsetof(Entry, value), sizeof(uint64_t));
+      return;
+    }
+    cursor = entry.next;
+  }
+
+  // The count-dirty protocol (as in PMDK's hashmap_atomic): recovery
+  // recounts the chains whenever the flag is set.
+  if (!BugEnabled("hashmap_atomic.count_dirty_skipped")) {
+    pool.WriteU64(root + kFieldCountDirty, 1);
+    pool.PersistRange(root + kFieldCountDirty, sizeof(uint64_t));
+  }
+  // BUG hashmap_atomic.count_dirty_skipped (ordering): without the dirty
+  // flag, a crash between the publish and the counter update leaves the
+  // counter permanently out of sync with the chains.
+
+  const uint64_t head = pool.ReadU64(slot);
+  const uint64_t entry_off = obj().AtomicAllocRaw(sizeof(Entry));
+
+  if (BugEnabled("hashmap_atomic.publish_before_init")) {
+    // BUG hashmap_atomic.publish_before_init (ordering): the bucket head is
+    // published before the entry fields are written; crashing right after
+    // the publish exposes a zeroed entry to readers and recovery.
+    pool.WriteU64(slot, entry_off);
+    pool.PersistRange(slot, sizeof(uint64_t));
+    Entry entry;
+    entry.key = key;
+    entry.value = value;
+    entry.next = head;
+    pool.WriteObject(entry_off, entry);
+    pool.PersistRange(entry_off, sizeof(Entry));
+  } else if (BugEnabled("hashmap_atomic.publish_single_fence")) {
+    // BUG hashmap_atomic.publish_single_fence (ordering beyond program
+    // order): entry and bucket head flushed with clflushopt under one
+    // fence — the hardware may persist the publish before the entry.
+    Entry entry;
+    entry.key = key;
+    entry.value = value;
+    entry.next = head;
+    pool.WriteObject(entry_off, entry);
+    pool.ClflushOpt(entry_off);
+    pool.WriteU64(slot, entry_off);
+    pool.ClflushOpt(slot);
+    pool.Sfence();
+  } else {
+    // Correct order: initialise and persist the entry, then publish with a
+    // single 8-byte atomic store.
+    Entry entry;
+    entry.key = key;
+    entry.value = value;
+    entry.next = head;
+    pool.WriteObject(entry_off, entry);
+    pool.PersistRange(entry_off, sizeof(Entry));
+    pool.WriteU64(slot, entry_off);
+    pool.PersistRange(slot, sizeof(uint64_t));
+    if (BugEnabled("hashmap_atomic.rf_publish")) {
+      // BUG hashmap_atomic.rf_publish (redundant flush): the bucket slot is
+      // flushed a second time after the publishing persist.
+      pool.Clwb(slot);
+      pool.Sfence();
+    }
+  }
+
+  pool.RmwAdd(root + kFieldItemCount, 1);
+  pool.FlushRange(root + kFieldItemCount, sizeof(uint64_t));
+  pool.Sfence();
+  if (!BugEnabled("hashmap_atomic.count_dirty_skipped")) {
+    pool.WriteU64(root + kFieldCountDirty, 0);
+    pool.PersistRange(root + kFieldCountDirty, sizeof(uint64_t));
+  }
+}
+
+bool HashmapAtomicTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  const uint64_t root = root_obj();
+  const uint64_t slot = BucketSlot(pool, key);
+  uint64_t prev_slot = slot;
+  uint64_t cursor = pool.ReadU64(slot);
+  while (cursor != kNullOff) {
+    Entry entry = pool.ReadObject<Entry>(cursor);
+    if (entry.key != key) {
+      prev_slot = cursor + offsetof(Entry, next);
+      cursor = entry.next;
+      continue;
+    }
+    if (!BugEnabled("hashmap_atomic.count_dirty_skipped")) {
+      pool.WriteU64(root + kFieldCountDirty, 1);
+      pool.PersistRange(root + kFieldCountDirty, sizeof(uint64_t));
+    }
+    if (BugEnabled("hashmap_atomic.free_before_unlink")) {
+      // BUG hashmap_atomic.free_before_unlink (ordering): the entry is
+      // released to the allocator while the chain still references it; a
+      // crash in between leaves a dangling chain link.
+      obj().AtomicFreeRaw(cursor);
+      pool.WriteU64(prev_slot, entry.next);
+      pool.PersistRange(prev_slot, sizeof(uint64_t));
+    } else {
+      // Correct order: unlink (8-byte atomic), then free.
+      pool.WriteU64(prev_slot, entry.next);
+      pool.PersistRange(prev_slot, sizeof(uint64_t));
+      obj().AtomicFreeRaw(cursor);
+    }
+    pool.RmwAdd(root + kFieldItemCount, static_cast<uint64_t>(-1));
+    pool.FlushRange(root + kFieldItemCount, sizeof(uint64_t));
+    pool.Sfence();
+    if (!BugEnabled("hashmap_atomic.count_dirty_skipped")) {
+      pool.WriteU64(root + kFieldCountDirty, 0);
+      pool.PersistRange(root + kFieldCountDirty, sizeof(uint64_t));
+    }
+    if (BugEnabled("hashmap_atomic.rf_delete_double")) {
+      // BUG hashmap_atomic.rf_delete_double (redundant flush): the bucket
+      // slot is flushed again after the unlink persisted it.
+      pool.Clwb(prev_slot);
+      pool.Sfence();
+    }
+    if (BugEnabled("hashmap_atomic.rfence_delete")) {
+      // BUG hashmap_atomic.rfence_delete (redundant fence).
+      pool.Sfence();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool HashmapAtomicTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  const uint64_t slot = BucketSlot(pool, key);
+  uint64_t cursor = pool.ReadU64(slot);
+  while (cursor != kNullOff) {
+    Entry entry = pool.ReadObject<Entry>(cursor);
+    if (entry.key == key) {
+      if (value != nullptr) {
+        *value = entry.value;
+      }
+      if (BugEnabled("hashmap_atomic.rf_get")) {
+        // BUG hashmap_atomic.rf_get (redundant flush): lookups flush the
+        // entry line they only read.
+        pool.Clwb(cursor);
+        pool.Sfence();
+      }
+      return true;
+    }
+    cursor = entry.next;
+  }
+  return false;
+}
+
+void HashmapAtomicTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("hashmap_atomic.transient_stats")) {
+    // BUG hashmap_atomic.transient_stats (transient data).
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      // Workload values are non-zero; key 0 maps to 1 so that a zero key
+      // always denotes an uninitialised entry.
+      Put(pool, op.key + 1, op.value);
+      if (BugEnabled("hashmap_atomic.rfence_put")) {
+        // BUG hashmap_atomic.rfence_put (redundant fence).
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      Remove(pool, op.key + 1);
+      break;
+  }
+}
+
+void HashmapAtomicTarget::Finish(PmPool& pool) { (void)pool; }
+
+uint64_t HashmapAtomicTarget::ValidateChains(PmPool& pool) {
+  const uint64_t root = root_obj();
+  const uint64_t buckets = pool.ReadU64(root + kFieldBuckets);
+  const uint64_t bucket_count = pool.ReadU64(root + kFieldBucketCount);
+  if (bucket_count == 0 || bucket_count > (1u << 20) ||
+      buckets + bucket_count * 8 > pool.size()) {
+    throw RecoveryFailure("hashmap_atomic recovery: bucket array corrupt");
+  }
+  uint64_t items = 0;
+  for (uint64_t b = 0; b < bucket_count; ++b) {
+    uint64_t cursor = pool.ReadU64(buckets + b * 8);
+    uint64_t steps = 0;
+    while (cursor != kNullOff) {
+      if (cursor + sizeof(Entry) > pool.size()) {
+        throw RecoveryFailure(
+            "hashmap_atomic recovery: entry offset out of bounds");
+      }
+      if (!obj().IsAllocatedBlock(cursor)) {
+        throw RecoveryFailure(
+            "hashmap_atomic recovery: chain references a freed entry");
+      }
+      Entry entry = pool.ReadObject<Entry>(cursor);
+      if (entry.key == 0 || entry.value == 0) {
+        throw RecoveryFailure(
+            "hashmap_atomic recovery: uninitialised entry in chain");
+      }
+      if (++steps > (1u << 20)) {
+        throw RecoveryFailure("hashmap_atomic recovery: chain cycle");
+      }
+      ++items;
+      cursor = entry.next;
+    }
+  }
+  return items;
+}
+
+void HashmapAtomicTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;  // crash before initialisation
+  }
+  if (pool.ReadU64(root + kFieldBuckets) == kNullOff ||
+      pool.ReadU64(root + kFieldBucketCount) == 0) {
+    return;  // crash before initialisation finished
+  }
+  const uint64_t items = ValidateChains(pool);
+  const uint64_t dirty = pool.ReadU64(root + kFieldCountDirty);
+  if (dirty != 0) {
+    // The recovery procedure repairs the counter by recounting.
+    pool.WriteU64(root + kFieldItemCount, items);
+    pool.WriteU64(root + kFieldCountDirty, 0);
+    pool.PersistRange(root, 4 * sizeof(uint64_t));
+    return;
+  }
+  if (items != pool.ReadU64(root + kFieldItemCount)) {
+    throw RecoveryFailure(
+        "hashmap_atomic recovery: item counter does not match chains");
+  }
+}
+
+uint64_t HashmapAtomicTarget::CountItems(PmPool& pool) {
+  return ValidateChains(pool);
+}
+
+uint64_t HashmapAtomicTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/hashmap_atomic.cc",
+                          "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         950);
+}
+
+}  // namespace mumak

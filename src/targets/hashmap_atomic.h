@@ -1,0 +1,56 @@
+// Hashmap with atomic (non-transactional) updates, the analogue of PMDK's
+// libpmemobj hashmap_atomic example (§6.1). Inserts allocate entries with
+// the library's atomic-alloc API and publish them into bucket chains with
+// 8-byte atomic stores; the item counter uses RMW instructions. Note the
+// paper's observation that this data store "does not work correctly with
+// PMDK 1.8" — reproduced here by the library's atomic-publish bug.
+
+#ifndef MUMAK_SRC_TARGETS_HASHMAP_ATOMIC_H_
+#define MUMAK_SRC_TARGETS_HASHMAP_ATOMIC_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class HashmapAtomicTarget : public PmdkTargetBase {
+ public:
+  explicit HashmapAtomicTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "hashmap_atomic"; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kBucketCount = 1024;
+
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint64_t next = 0;
+  };
+
+  struct RootObject {
+    uint64_t buckets = 0;      // offset of the bucket array
+    uint64_t bucket_count = 0;
+    uint64_t item_count = 0;   // updated with RMW
+  };
+
+  uint64_t root_obj() { return obj().root(); }
+  uint64_t BucketSlot(PmPool& pool, uint64_t key);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+
+  uint64_t ValidateChains(PmPool& pool);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_HASHMAP_ATOMIC_H_

@@ -1,0 +1,212 @@
+#include "src/targets/hashmap_tx.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+uint64_t HashKey(uint64_t key) {
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ull;
+  key ^= key >> 27;
+  return key;
+}
+
+constexpr uint64_t kFieldBuckets = 0;
+constexpr uint64_t kFieldBucketCount = 8;
+constexpr uint64_t kFieldItemCount = 16;
+
+}  // namespace
+
+void HashmapTxTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root = obj().TxAlloc(3 * sizeof(uint64_t));
+  const uint64_t buckets = obj().TxAlloc(kBucketCount * sizeof(uint64_t));
+  pool.WriteU64(root + kFieldBuckets, buckets);
+  pool.WriteU64(root + kFieldBucketCount, kBucketCount);
+  pool.WriteU64(root + kFieldItemCount, 0);
+  obj().set_root(root);
+  obj().TxCommit();
+}
+
+uint64_t HashmapTxTarget::BucketSlot(PmPool& pool, uint64_t key) {
+  const uint64_t root = root_obj();
+  const uint64_t buckets = pool.ReadU64(root + kFieldBuckets);
+  const uint64_t count = pool.ReadU64(root + kFieldBucketCount);
+  return buckets + (HashKey(key) % count) * sizeof(uint64_t);
+}
+
+void HashmapTxTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t root = root_obj();
+  const uint64_t slot = BucketSlot(pool, key);
+  uint64_t cursor = pool.ReadU64(slot);
+  while (cursor != kNullOff) {
+    Entry entry = pool.ReadObject<Entry>(cursor);
+    if (entry.key == key) {
+      obj().TxAddRange(cursor + offsetof(Entry, value), sizeof(uint64_t));
+      pool.WriteU64(cursor + offsetof(Entry, value), value);
+      return;
+    }
+    cursor = entry.next;
+  }
+  const uint64_t entry_off = obj().TxAlloc(sizeof(Entry));
+  Entry entry;
+  entry.key = key;
+  entry.value = value;
+  entry.next = pool.ReadU64(slot);
+  pool.WriteObject(entry_off, entry);
+  if (BugEnabled("hashmap_tx.prepend_unlogged")) {
+    // BUG hashmap_tx.prepend_unlogged (atomicity): the bucket head is
+    // overwritten before being snapshotted; rollback loses the rest of the
+    // chain or keeps a dangling head.
+    pool.WriteU64(slot, entry_off);
+  } else {
+    obj().TxAddRange(slot, sizeof(uint64_t));
+    pool.WriteU64(slot, entry_off);
+  }
+  obj().TxAddRange(root + kFieldItemCount, sizeof(uint64_t));
+  pool.WriteU64(root + kFieldItemCount,
+                pool.ReadU64(root + kFieldItemCount) + 1);
+}
+
+bool HashmapTxTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  const uint64_t root = root_obj();
+  const uint64_t slot = BucketSlot(pool, key);
+  uint64_t prev_slot = slot;
+  uint64_t cursor = pool.ReadU64(slot);
+  while (cursor != kNullOff) {
+    Entry entry = pool.ReadObject<Entry>(cursor);
+    if (entry.key != key) {
+      prev_slot = cursor + offsetof(Entry, next);
+      cursor = entry.next;
+      continue;
+    }
+    obj().TxAddRange(prev_slot, sizeof(uint64_t));
+    pool.WriteU64(prev_slot, entry.next);
+    obj().TxFree(cursor);
+    obj().TxAddRange(root + kFieldItemCount, sizeof(uint64_t));
+    pool.WriteU64(root + kFieldItemCount,
+                  pool.ReadU64(root + kFieldItemCount) - 1);
+    return true;
+  }
+  return false;
+}
+
+bool HashmapTxTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  uint64_t cursor = pool.ReadU64(BucketSlot(pool, key));
+  while (cursor != kNullOff) {
+    Entry entry = pool.ReadObject<Entry>(cursor);
+    if (entry.key == key) {
+      if (value != nullptr) {
+        *value = entry.value;
+      }
+      if (BugEnabled("hashmap_tx.rf_get")) {
+        // BUG hashmap_tx.rf_get (redundant flush): the hit entry line is
+        // flushed on a read path.
+        pool.Clwb(cursor);
+        pool.Sfence();
+      }
+      return true;
+    }
+    cursor = entry.next;
+  }
+  if (BugEnabled("hashmap_tx.rfence_get")) {
+    // BUG hashmap_tx.rfence_get (redundant fence): a fence on the lookup
+    // miss path with nothing pending.
+    pool.Sfence();
+  }
+  return false;
+}
+
+void HashmapTxTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  switch (op.kind) {
+    case OpKind::kPut:
+      MutationBegin();
+      Put(pool, op.key + 1, op.value);
+      MutationEnd();
+      if (BugEnabled("hashmap_tx.rf_put")) {
+        // BUG hashmap_tx.rf_put (redundant flush): the bucket slot line is
+        // flushed again after the commit already persisted it.
+        pool.Clwb(BucketSlot(pool, op.key + 1));
+        pool.Sfence();
+      }
+      if (BugEnabled("hashmap_tx.rfence_put_extra")) {
+        // BUG hashmap_tx.rfence_put_extra (redundant fence).
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      MutationBegin();
+      Remove(pool, op.key + 1);
+      MutationEnd();
+      break;
+  }
+}
+
+uint64_t HashmapTxTarget::ValidateChains(PmPool& pool) {
+  const uint64_t root = root_obj();
+  const uint64_t buckets = pool.ReadU64(root + kFieldBuckets);
+  const uint64_t bucket_count = pool.ReadU64(root + kFieldBucketCount);
+  if (bucket_count == 0 || buckets + bucket_count * 8 > pool.size()) {
+    throw RecoveryFailure("hashmap_tx recovery: bucket array corrupt");
+  }
+  uint64_t items = 0;
+  for (uint64_t b = 0; b < bucket_count; ++b) {
+    uint64_t cursor = pool.ReadU64(buckets + b * 8);
+    uint64_t steps = 0;
+    while (cursor != kNullOff) {
+      if (cursor + sizeof(Entry) > pool.size() ||
+          !obj().IsAllocatedBlock(cursor)) {
+        throw RecoveryFailure("hashmap_tx recovery: bad chain entry");
+      }
+      Entry entry = pool.ReadObject<Entry>(cursor);
+      if (entry.key == 0) {
+        throw RecoveryFailure("hashmap_tx recovery: uninitialised entry");
+      }
+      if (++steps > (1u << 20)) {
+        throw RecoveryFailure("hashmap_tx recovery: chain cycle");
+      }
+      ++items;
+      cursor = entry.next;
+    }
+  }
+  return items;
+}
+
+void HashmapTxTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;
+  }
+  const uint64_t items = ValidateChains(pool);
+  if (items != pool.ReadU64(root + kFieldItemCount)) {
+    throw RecoveryFailure(
+        "hashmap_tx recovery: item counter does not match chains");
+  }
+}
+
+uint64_t HashmapTxTarget::CountItems(PmPool& pool) {
+  return ValidateChains(pool);
+}
+
+uint64_t HashmapTxTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/hashmap_tx.cc",
+                          "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         850);
+}
+
+}  // namespace mumak

@@ -1,0 +1,43 @@
+// Transactional chained hashmap, the analogue of PMDK's hashmap_tx
+// example. Every mutation runs inside an undo-log transaction.
+
+#ifndef MUMAK_SRC_TARGETS_HASHMAP_TX_H_
+#define MUMAK_SRC_TARGETS_HASHMAP_TX_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class HashmapTxTarget : public PmdkTargetBase {
+ public:
+  explicit HashmapTxTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "hashmap_tx"; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kBucketCount = 1024;
+
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint64_t next = 0;
+  };
+
+  uint64_t root_obj() { return obj().root(); }
+  uint64_t BucketSlot(PmPool& pool, uint64_t key);
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+  uint64_t ValidateChains(PmPool& pool);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_HASHMAP_TX_H_

@@ -1,0 +1,669 @@
+#include "src/targets/level_hashing.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kLhMagic = 0x4853414856454cull;  // "LEVHASH"
+
+constexpr uint64_t kHdrMagic = 0x00;
+constexpr uint64_t kHdrItemCount = 0x08;
+constexpr uint64_t kHdrCountDirty = 0x10;
+constexpr uint64_t kHdrHeapHead = 0x18;
+constexpr uint64_t kHdrResizes = 0x20;
+// The descriptor pointer lives on its own cache line so that its persist
+// behaviour is independent of the counter bookkeeping.
+constexpr uint64_t kHdrDesc = 0x40;
+constexpr uint64_t kHeaderBytes = 0x80;
+
+// Level descriptor: {top_off, bottom_off, top_size}; swapped atomically via
+// the single kHdrDesc pointer so resizes are crash-atomic.
+constexpr uint64_t kDescTop = 0;
+constexpr uint64_t kDescBottom = 8;
+constexpr uint64_t kDescTopSize = 16;
+constexpr uint64_t kDescBytes = 24;
+
+constexpr uint64_t kInitialTopSize = 8;
+
+uint64_t Hash1(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdull;
+  key ^= key >> 33;
+  return key;
+}
+
+uint64_t Hash2(uint64_t key) {
+  key ^= key >> 31;
+  key *= 0x9e3779b97f4a7c15ull;
+  key ^= key >> 29;
+  return key;
+}
+
+}  // namespace
+
+uint64_t LevelHashingTarget::TopSize(PmPool& pool) const {
+  const uint64_t desc = pool.ReadU64(kHdrDesc);
+  return pool.ReadU64(desc + kDescTopSize);
+}
+
+uint64_t LevelHashingTarget::BucketOffset(uint64_t level_base,
+                                          uint64_t index) const {
+  return level_base + index * sizeof(Bucket);
+}
+
+LevelHashingTarget::Bucket LevelHashingTarget::ReadBucket(
+    PmPool& pool, uint64_t off) const {
+  return pool.ReadObject<Bucket>(off);
+}
+
+void LevelHashingTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  heap.Init(kHeaderBytes + 64);
+  const uint64_t top =
+      heap.Alloc(kInitialTopSize * sizeof(Bucket));
+  const uint64_t bottom =
+      heap.Alloc(kInitialTopSize / 2 * sizeof(Bucket));
+  pool.Memset(top, 0, kInitialTopSize * sizeof(Bucket));
+  pool.Memset(bottom, 0, kInitialTopSize / 2 * sizeof(Bucket));
+  pool.PersistRange(top, kInitialTopSize * sizeof(Bucket));
+  pool.PersistRange(bottom, kInitialTopSize / 2 * sizeof(Bucket));
+  const uint64_t desc = heap.Alloc(kDescBytes);
+  pool.WriteU64(desc + kDescTop, top);
+  pool.WriteU64(desc + kDescBottom, bottom);
+  pool.WriteU64(desc + kDescTopSize, kInitialTopSize);
+  pool.PersistRange(desc, kDescBytes);
+  pool.WriteU64(kHdrMagic, kLhMagic);
+  pool.WriteU64(kHdrDesc, desc);
+  pool.WriteU64(kHdrItemCount, 0);
+  pool.WriteU64(kHdrCountDirty, 0);
+  pool.WriteU64(kHdrResizes, 0);
+  pool.PersistRange(0, kHeaderBytes);
+}
+
+void LevelHashingTarget::SetCountDirty(PmPool& pool, uint64_t dirty) {
+  MUMAK_FRAME();
+  pool.WriteU64(kHdrCountDirty, dirty);
+  pool.PersistRange(kHdrCountDirty, sizeof(uint64_t));
+}
+
+void LevelHashingTarget::BumpCount(PmPool& pool, int64_t delta) {
+  MUMAK_FRAME();
+  const uint64_t count = pool.ReadU64(kHdrItemCount);
+  pool.WriteU64(kHdrItemCount, count + static_cast<uint64_t>(delta));
+  pool.PersistRange(kHdrItemCount, sizeof(uint64_t));
+}
+
+void LevelHashingTarget::FillSlot(PmPool& pool, uint64_t bucket_off, int slot,
+                                  uint64_t key, uint64_t value,
+                                  bool during_resize) {
+  MUMAK_FRAME();
+  const uint64_t key_off =
+      bucket_off + offsetof(Bucket, keys) + slot * sizeof(uint64_t);
+  const uint64_t value_off =
+      bucket_off + offsetof(Bucket, values) + slot * sizeof(uint64_t);
+  const uint64_t tokens_off = bucket_off + offsetof(Bucket, tokens);
+  const uint64_t token_bit = 1ull << slot;
+  const uint64_t tokens = pool.ReadU64(tokens_off);
+
+  if (BugEnabled("lh.c1_token_before_kv") && !during_resize) {
+    // BUG lh.c1_token_before_kv (ordering): the token is published before
+    // the key/value pair is written; a crash in between exposes a live slot
+    // with garbage contents.
+    pool.WriteU64(tokens_off, tokens | token_bit);
+    pool.PersistRange(tokens_off, sizeof(uint64_t));
+    pool.WriteU64(key_off, key);
+    pool.WriteU64(value_off, value);
+    pool.PersistRange(key_off, sizeof(uint64_t));  // line covers the value
+    return;
+  }
+  if (BugEnabled("lh.c14_b2t_publish_first") && during_resize) {
+    // BUG lh.c14_b2t_publish_first (ordering): same token-first pattern but
+    // on the movement/rehash path.
+    pool.WriteU64(tokens_off, tokens | token_bit);
+    pool.PersistRange(tokens_off, sizeof(uint64_t));
+    pool.WriteU64(key_off, key);
+    pool.WriteU64(value_off, value);
+    pool.PersistRange(key_off, 2 * sizeof(uint64_t));
+    return;
+  }
+
+  // Correct order: write and persist the pair, then publish the token.
+  pool.WriteU64(key_off, key);
+  pool.WriteU64(value_off, value);
+  if (BugEnabled("lh.c2_kv_unflushed") && !during_resize) {
+    // BUG lh.c2_kv_unflushed (durability): the key/value stores are never
+    // flushed; only the token is persisted.
+  } else if (BugEnabled("lh.c15_single_fence_insert") && !during_resize) {
+    // BUG lh.c15_single_fence_insert (ordering beyond program order): the
+    // pair and the token are flushed with clflushopt and ordered by a
+    // single fence, so the hardware may persist the token first.
+    pool.ClflushOpt(key_off);
+    pool.WriteU64(tokens_off, tokens | token_bit);
+    pool.ClflushOpt(tokens_off);
+    pool.Sfence();
+    return;
+  } else {
+    // keys[s] and values[s] share the bucket's second cache line, so one
+    // flush persists both.
+    pool.PersistRange(key_off, sizeof(uint64_t));
+    if (BugEnabled("lh.p4_rf_insert_double") && !during_resize) {
+      // BUG lh.p4_rf_insert_double (redundant flush).
+      pool.Clwb(key_off);
+      pool.Sfence();
+    }
+  }
+  pool.WriteU64(tokens_off, tokens | token_bit);
+  if (BugEnabled("lh.c3_token_unflushed") && !during_resize) {
+    // BUG lh.c3_token_unflushed (durability): the token store is never
+    // flushed; the slot may vanish on power failure.
+    return;
+  }
+  pool.PersistRange(tokens_off, sizeof(uint64_t));
+  if (BugEnabled("lh.p6_rf_token_double") && !during_resize) {
+    // BUG lh.p6_rf_token_double (redundant flush).
+    pool.Clwb(tokens_off);
+    pool.Sfence();
+  }
+  if (BugEnabled("lh.p11_rf_resize_double") && during_resize) {
+    // BUG lh.p11_rf_resize_double (redundant flush) on the rehash path.
+    pool.Clwb(tokens_off);
+    pool.Sfence();
+  }
+}
+
+bool LevelHashingTarget::FindSlot(PmPool& pool, uint64_t key,
+                                  uint64_t* bucket_off, int* slot) {
+  MUMAK_FRAME();
+  const uint64_t desc = pool.ReadU64(kHdrDesc);
+  const uint64_t top = pool.ReadU64(desc + kDescTop);
+  const uint64_t bottom = pool.ReadU64(desc + kDescBottom);
+  const uint64_t n = pool.ReadU64(desc + kDescTopSize);
+  const uint64_t candidates[4] = {
+      BucketOffset(top, Hash1(key) % n),
+      BucketOffset(top, Hash2(key) % n),
+      BucketOffset(bottom, Hash1(key) % (n / 2)),
+      BucketOffset(bottom, Hash2(key) % (n / 2)),
+  };
+  for (uint64_t off : candidates) {
+    Bucket bucket = ReadBucket(pool, off);
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if ((bucket.tokens >> s & 1) != 0 && bucket.keys[s] == key) {
+        *bucket_off = off;
+        *slot = s;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool LevelHashingTarget::InsertIntoBucket(PmPool& pool, uint64_t bucket_off,
+                                          uint64_t key, uint64_t value,
+                                          bool during_resize) {
+  Bucket bucket = ReadBucket(pool, bucket_off);
+  for (int s = 0; s < kSlotsPerBucket; ++s) {
+    if ((bucket.tokens >> s & 1) == 0) {
+      FillSlot(pool, bucket_off, s, key, value, during_resize);
+      return true;
+    }
+  }
+  return false;
+}
+
+void LevelHashingTarget::Resize(PmPool& pool) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  const uint64_t old_desc = pool.ReadU64(kHdrDesc);
+  const uint64_t old_top = pool.ReadU64(old_desc + kDescTop);
+  const uint64_t old_bottom = pool.ReadU64(old_desc + kDescBottom);
+  const uint64_t n = pool.ReadU64(old_desc + kDescTopSize);
+  const uint64_t new_n = n * 2;
+
+  const uint64_t new_top = heap.Alloc(new_n * sizeof(Bucket));
+  pool.Memset(new_top, 0, new_n * sizeof(Bucket));
+  pool.PersistRange(new_top, new_n * sizeof(Bucket));
+
+  const uint64_t desc = heap.Alloc(kDescBytes);
+  pool.WriteU64(desc + kDescTop, new_top);
+  pool.WriteU64(desc + kDescBottom, old_top);
+  pool.WriteU64(desc + kDescTopSize, new_n);
+  pool.PersistRange(desc, kDescBytes);
+
+  if (BugEnabled("lh.c7_resize_publish_first")) {
+    // BUG lh.c7_resize_publish_first (ordering): the descriptor is swapped
+    // in before the old bottom level is rehashed into the new top; a crash
+    // mid-rehash loses every item that was still in the old bottom.
+    pool.WriteU64(kHdrDesc, desc);
+    pool.PersistRange(kHdrDesc, sizeof(uint64_t));
+  }
+
+  // Rehash the old bottom level into the new top.
+  for (uint64_t b = 0; b < n / 2; ++b) {
+    const uint64_t bucket_off = BucketOffset(old_bottom, b);
+    Bucket bucket = ReadBucket(pool, bucket_off);
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if ((bucket.tokens >> s & 1) == 0) {
+        continue;
+      }
+      const uint64_t key = bucket.keys[s];
+      const uint64_t value = bucket.values[s];
+      if (BugEnabled("lh.c8_resize_clear_old_first")) {
+        // BUG lh.c8_resize_clear_old_first (ordering): the old slot's token
+        // is cleared before the new copy is durable.
+        const uint64_t tokens_off = bucket_off + offsetof(Bucket, tokens);
+        pool.WriteU64(tokens_off, bucket.tokens & ~(1ull << s));
+        pool.PersistRange(tokens_off, sizeof(uint64_t));
+      }
+      const uint64_t h1_off = BucketOffset(new_top, Hash1(key) % new_n);
+      if (!InsertIntoBucket(pool, h1_off, key, value,
+                            /*during_resize=*/true)) {
+        const uint64_t h2_off = BucketOffset(new_top, Hash2(key) % new_n);
+        if (!InsertIntoBucket(pool, h2_off, key, value,
+                              /*during_resize=*/true)) {
+          throw PmdkError("level hashing resize overflow");
+        }
+      }
+      if (BugEnabled("lh.c16_resize_single_fence")) {
+        // BUG lh.c16_resize_single_fence (ordering beyond program order):
+        // the rehash batches its flushes under one fence per item, leaving
+        // the persist order of copy and bookkeeping undefined.
+        pool.ClflushOpt(h1_off);
+        pool.ClflushOpt(bucket_off);
+        pool.Sfence();
+      }
+    }
+  }
+
+  if (!BugEnabled("lh.c7_resize_publish_first")) {
+    // Correct order: publish the new levels only after the rehash is
+    // durable, with a single atomic descriptor swap.
+    pool.WriteU64(kHdrDesc, desc);
+    if (!BugEnabled("lh.c9_resize_desc_unflushed")) {
+      pool.PersistRange(kHdrDesc, sizeof(uint64_t));
+    }
+    // BUG lh.c9_resize_desc_unflushed (durability): the descriptor swap is
+    // never flushed; a power failure rolls the table back to the old
+    // levels even though execution continued with the new ones.
+  }
+  pool.WriteU64(kHdrResizes, pool.ReadU64(kHdrResizes) + 1);
+  pool.PersistRange(kHdrResizes, sizeof(uint64_t));
+  if (BugEnabled("lh.p12_rfence_resize_extra")) {
+    // BUG lh.p12_rfence_resize_extra (redundant fence).
+    pool.Sfence();
+  }
+}
+
+void LevelHashingTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  uint64_t bucket_off = 0;
+  int slot = 0;
+  if (FindSlot(pool, key, &bucket_off, &slot)) {
+    if (BugEnabled("lh.c6_update_delins_order")) {
+      // BUG lh.c6_update_delins_order (ordering): the update is implemented
+      // as delete-then-insert; a crash in between loses the item.
+      const uint64_t tokens_off = bucket_off + offsetof(Bucket, tokens);
+      const uint64_t tokens = pool.ReadU64(tokens_off);
+      pool.WriteU64(tokens_off, tokens & ~(1ull << slot));
+      pool.PersistRange(tokens_off, sizeof(uint64_t));
+      FillSlot(pool, bucket_off, slot, key, value, /*during_resize=*/false);
+      return;
+    }
+    const uint64_t value_off =
+        bucket_off + offsetof(Bucket, values) + slot * sizeof(uint64_t);
+    pool.WriteU64(value_off, value);
+    if (BugEnabled("lh.c5_update_unflushed")) {
+      // BUG lh.c5_update_unflushed (durability): in-place updates are never
+      // flushed.
+      return;
+    }
+    pool.PersistRange(value_off, sizeof(uint64_t));
+    if (BugEnabled("lh.p9_rf_update_double")) {
+      // BUG lh.p9_rf_update_double (redundant flush).
+      pool.Clwb(value_off);
+      pool.Sfence();
+    }
+    if (BugEnabled("lh.p10_rfence_update_extra")) {
+      // BUG lh.p10_rfence_update_extra (redundant fence).
+      pool.Sfence();
+    }
+    return;
+  }
+
+  const bool use_dirty_protocol = !BugEnabled("lh.c13_dirty_flag_skipped");
+  // BUG lh.c13_dirty_flag_skipped (ordering): without the dirty flag, a
+  // crash between slot publish and counter update desynchronises them.
+
+  if (BugEnabled("lh.c11_insert_count_order")) {
+    // BUG lh.c11_insert_count_order (ordering): the counter is bumped and
+    // persisted before the slot exists, without any dirty marker.
+    BumpCount(pool, 1);
+  }
+  if (use_dirty_protocol) {
+    SetCountDirty(pool, 1);
+  }
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const uint64_t desc = pool.ReadU64(kHdrDesc);
+    const uint64_t top = pool.ReadU64(desc + kDescTop);
+    const uint64_t bottom = pool.ReadU64(desc + kDescBottom);
+    const uint64_t n = pool.ReadU64(desc + kDescTopSize);
+    const uint64_t candidates[4] = {
+        BucketOffset(top, Hash1(key) % n),
+        BucketOffset(top, Hash2(key) % n),
+        BucketOffset(bottom, Hash1(key) % (n / 2)),
+        BucketOffset(bottom, Hash2(key) % (n / 2)),
+    };
+    for (uint64_t off : candidates) {
+      if (InsertIntoBucket(pool, off, key, value, /*during_resize=*/false)) {
+        if (!BugEnabled("lh.c11_insert_count_order")) {
+          BumpCount(pool, 1);
+        }
+        if (use_dirty_protocol) {
+          SetCountDirty(pool, 0);
+        }
+        return;
+      }
+    }
+
+    // Bottom-to-top movement: make room by promoting an item from a full
+    // top candidate bucket into its alternative bottom bucket.
+    const uint64_t h1_top = candidates[0];
+    Bucket full = ReadBucket(pool, h1_top);
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      const uint64_t victim_key = full.keys[s];
+      const uint64_t alt_bottom =
+          BucketOffset(bottom, Hash1(victim_key) % (n / 2));
+      const uint64_t alt_bottom2 =
+          BucketOffset(bottom, Hash2(victim_key) % (n / 2));
+      const uint64_t tokens_off = h1_top + offsetof(Bucket, tokens);
+      if (BugEnabled("lh.c10_b2t_copy_order")) {
+        // BUG lh.c10_b2t_copy_order (ordering): the movement clears the old
+        // top slot *before* the bottom copy exists; a crash in between
+        // loses the victim item.
+        pool.WriteU64(tokens_off, full.tokens & ~(1ull << s));
+        pool.PersistRange(tokens_off, sizeof(uint64_t));
+      }
+      uint64_t moved_to = 0;
+      if (InsertIntoBucket(pool, alt_bottom, victim_key, full.values[s],
+                           /*during_resize=*/true)) {
+        moved_to = alt_bottom;
+      } else if (InsertIntoBucket(pool, alt_bottom2, victim_key,
+                                  full.values[s], /*during_resize=*/true)) {
+        moved_to = alt_bottom2;
+      }
+      if (moved_to == 0) {
+        if (BugEnabled("lh.c10_b2t_copy_order")) {
+          // Restore the token the buggy path cleared prematurely.
+          pool.WriteU64(tokens_off, full.tokens);
+          pool.PersistRange(tokens_off, sizeof(uint64_t));
+        }
+        continue;
+      }
+      if (!BugEnabled("lh.c10_b2t_copy_order")) {
+        // Correct order: the copy is durable first, then the old slot is
+        // retired.
+        pool.WriteU64(tokens_off, full.tokens & ~(1ull << s));
+        pool.PersistRange(tokens_off, sizeof(uint64_t));
+      }
+      FillSlot(pool, h1_top, s, key, value, /*during_resize=*/false);
+      if (!BugEnabled("lh.c11_insert_count_order")) {
+        BumpCount(pool, 1);
+      }
+      if (use_dirty_protocol) {
+        SetCountDirty(pool, 0);
+      }
+      if (BugEnabled("lh.p13_rf_b2t_double")) {
+        // BUG lh.p13_rf_b2t_double (redundant flush) on the movement path.
+        pool.Clwb(tokens_off);
+        pool.Sfence();
+      }
+      return;
+    }
+
+    Resize(pool);
+  }
+  throw PmdkError("level hashing could not place key");
+}
+
+bool LevelHashingTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  uint64_t bucket_off = 0;
+  int slot = 0;
+  if (!FindSlot(pool, key, &bucket_off, &slot)) {
+    return false;
+  }
+  const bool use_dirty_protocol = !BugEnabled("lh.c13_dirty_flag_skipped");
+  if (use_dirty_protocol && !BugEnabled("lh.c12_delete_count_order")) {
+    SetCountDirty(pool, 2);  // 2 = delete in flight
+  }
+  if (BugEnabled("lh.c12_delete_count_order")) {
+    // BUG lh.c12_delete_count_order (ordering): counter decremented and
+    // persisted before the token clear, with no dirty marker.
+    BumpCount(pool, -1);
+  }
+  const uint64_t tokens_off = bucket_off + offsetof(Bucket, tokens);
+  const uint64_t tokens = pool.ReadU64(tokens_off);
+  pool.WriteU64(tokens_off, tokens & ~(1ull << slot));
+  if (BugEnabled("lh.c4_delete_token_unflushed")) {
+    // BUG lh.c4_delete_token_unflushed (durability): the token clear is
+    // never flushed — a power failure resurrects the deleted item.
+  } else if (BugEnabled("lh.c17_delete_single_fence")) {
+    // BUG lh.c17_delete_single_fence (ordering beyond program order): token
+    // clear and counter update ordered by a single fence.
+    pool.ClflushOpt(tokens_off);
+    pool.WriteU64(kHdrItemCount, pool.ReadU64(kHdrItemCount) - 1);
+    pool.ClflushOpt(kHdrItemCount);
+    pool.Sfence();
+    if (use_dirty_protocol) {
+      SetCountDirty(pool, 0);
+    }
+    return true;
+  } else {
+    pool.PersistRange(tokens_off, sizeof(uint64_t));
+    if (BugEnabled("lh.p8_rf_delete_double")) {
+      // BUG lh.p8_rf_delete_double (redundant flush).
+      pool.Clwb(tokens_off);
+      pool.Sfence();
+    }
+  }
+  if (!BugEnabled("lh.c12_delete_count_order")) {
+    BumpCount(pool, -1);
+  }
+  if (use_dirty_protocol && !BugEnabled("lh.c12_delete_count_order")) {
+    SetCountDirty(pool, 0);
+  }
+  if (BugEnabled("lh.p7_rfence_delete_extra")) {
+    // BUG lh.p7_rfence_delete_extra (redundant fence).
+    pool.Sfence();
+  }
+  return true;
+}
+
+bool LevelHashingTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  uint64_t bucket_off = 0;
+  int slot = 0;
+  if (!FindSlot(pool, key, &bucket_off, &slot)) {
+    if (BugEnabled("lh.p2_rf_get_miss")) {
+      // BUG lh.p2_rf_get_miss (redundant flush): the miss path flushes a
+      // candidate bucket it never wrote.
+      const uint64_t desc = pool.ReadU64(kHdrDesc);
+      const uint64_t top = pool.ReadU64(desc + kDescTop);
+      const uint64_t n = pool.ReadU64(desc + kDescTopSize);
+      pool.Clwb(BucketOffset(top, Hash1(key) % n));
+      pool.Sfence();
+    }
+    return false;
+  }
+  if (value != nullptr) {
+    Bucket bucket = ReadBucket(pool, bucket_off);
+    *value = bucket.values[slot];
+  }
+  if (BugEnabled("lh.p1_rf_get_hit")) {
+    // BUG lh.p1_rf_get_hit (redundant flush): hits flush the bucket line.
+    pool.Clwb(bucket_off);
+    pool.Sfence();
+  }
+  if (BugEnabled("lh.p3_rfence_get")) {
+    // BUG lh.p3_rfence_get (redundant fence).
+    pool.Sfence();
+  }
+  if (BugEnabled("lh.p19_rf_desc")) {
+    // BUG lh.p19_rf_desc (redundant flush): the descriptor is flushed on
+    // every lookup.
+    pool.Clwb(pool.ReadU64(kHdrDesc));
+    pool.Sfence();
+  }
+  return true;
+}
+
+void LevelHashingTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("lh.p17_transient_stats")) {
+    // BUG lh.p17_transient_stats (transient data).
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  if (BugEnabled("lh.p18_transient_probe_log")) {
+    // BUG lh.p18_transient_probe_log (transient data): a probe log written
+    // to PM but never persisted or recovered.
+    const uint64_t off = pool.size() - 4 * kCacheLineSize;
+    pool.WriteU64(off, op.key);
+  }
+  if (BugEnabled("lh.p15_rf_header")) {
+    // BUG lh.p15_rf_header (redundant flush): the clean resize counter line
+    // is flushed on every operation.
+    pool.Clwb(kHdrResizes);
+    pool.Sfence();
+  }
+  if (BugEnabled("lh.p16_rfence_header")) {
+    // BUG lh.p16_rfence_header (redundant fence).
+    pool.Sfence();
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      Put(pool, op.key + 1, op.value);
+      if (BugEnabled("lh.p5_rfence_insert_extra")) {
+        // BUG lh.p5_rfence_insert_extra (redundant fence).
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      Remove(pool, op.key + 1);
+      break;
+  }
+}
+
+uint64_t LevelHashingTarget::WalkAndValidate(PmPool& pool) {
+  const uint64_t desc = pool.ReadU64(kHdrDesc);
+  if (desc + kDescBytes > pool.size()) {
+    throw RecoveryFailure("level_hashing recovery: descriptor out of bounds");
+  }
+  const uint64_t top = pool.ReadU64(desc + kDescTop);
+  const uint64_t bottom = pool.ReadU64(desc + kDescBottom);
+  const uint64_t n = pool.ReadU64(desc + kDescTopSize);
+  if (n == 0 || (n & (n - 1)) != 0 ||
+      top + n * sizeof(Bucket) > pool.size() ||
+      bottom + n / 2 * sizeof(Bucket) > pool.size()) {
+    throw RecoveryFailure("level_hashing recovery: level geometry corrupt");
+  }
+  uint64_t items = 0;
+  auto walk_level = [&](uint64_t base, uint64_t buckets, bool is_top) {
+    for (uint64_t b = 0; b < buckets; ++b) {
+      const uint64_t off = BucketOffset(base, b);
+      Bucket bucket = ReadBucket(pool, off);
+      if ((bucket.tokens >> kSlotsPerBucket) != 0) {
+        throw RecoveryFailure("level_hashing recovery: token word corrupt");
+      }
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if ((bucket.tokens >> s & 1) == 0) {
+          continue;
+        }
+        const uint64_t key = bucket.keys[s];
+        if (bucket.values[s] == 0 || key == 0) {
+          throw RecoveryFailure(
+              "level_hashing recovery: live slot holds uninitialised data");
+        }
+        // The key must hash to this bucket.
+        const uint64_t mod = is_top ? n : n / 2;
+        if (Hash1(key) % mod != b && Hash2(key) % mod != b) {
+          throw RecoveryFailure(
+              "level_hashing recovery: key placed in a foreign bucket");
+        }
+        ++items;
+      }
+    }
+  };
+  walk_level(top, n, /*is_top=*/true);
+  walk_level(bottom, n / 2, /*is_top=*/false);
+  return items;
+}
+
+void LevelHashingTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  if (!options_.with_recovery) {
+    // The original Level Hashing code has no recovery procedure at all:
+    // the oracle accepts every state (§6.2).
+    return;
+  }
+  // The ~20-line recovery the paper adds: traverse the structure, count the
+  // reachable items and compare with the persisted counters.
+  if (pool.ReadU64(kHdrMagic) != kLhMagic) {
+    return;  // crash before initialisation
+  }
+  const uint64_t items = WalkAndValidate(pool);
+  const uint64_t count = pool.ReadU64(kHdrItemCount);
+  const uint64_t dirty = pool.ReadU64(kHdrCountDirty);
+  if (dirty == 1) {
+    // An insert was in flight: the recount may exceed the counter by at
+    // most that one item (a duplicate from an interrupted movement also
+    // counts as the in-flight item). Anything else is lost data.
+    if (items != count && items != count + 1) {
+      throw RecoveryFailure(
+          "level_hashing recovery: recount outside the in-flight-insert "
+          "window");
+    }
+    pool.WriteU64(kHdrItemCount, items);
+    pool.WriteU64(kHdrCountDirty, 0);
+    pool.PersistRange(kHdrItemCount, 2 * sizeof(uint64_t));
+    return;
+  }
+  if (dirty == 2) {
+    // A delete was in flight: the recount may fall short by at most one.
+    if (items != count && items + 1 != count) {
+      throw RecoveryFailure(
+          "level_hashing recovery: recount outside the in-flight-delete "
+          "window");
+    }
+    pool.WriteU64(kHdrItemCount, items);
+    pool.WriteU64(kHdrCountDirty, 0);
+    pool.PersistRange(kHdrItemCount, 2 * sizeof(uint64_t));
+    return;
+  }
+  if (dirty != 0) {
+    throw RecoveryFailure("level_hashing recovery: dirty marker corrupt");
+  }
+  if (items != count) {
+    throw RecoveryFailure(
+        "level_hashing recovery: item counter does not match levels");
+  }
+}
+
+uint64_t LevelHashingTarget::CountItems(PmPool& pool) {
+  return WalkAndValidate(pool);
+}
+
+uint64_t LevelHashingTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/level_hashing.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         700);
+}
+
+}  // namespace mumak

@@ -1,0 +1,80 @@
+// Level Hashing (Zuo et al., OSDI'18) analogue: a two-level write-optimised
+// hash table with 4-slot buckets, per-bucket token words, two hash
+// functions, and a bottom level at half the size of the top; resizes
+// rebuild the levels in place. It manages PM directly (no PMDK).
+//
+// The original research code famously ships *without a recovery procedure*;
+// §6.2 of the Mumak paper shows that this blinds the recovery oracle (1/17
+// bugs found) and that ~20 lines of recovery code (a traversal counting
+// reachable items against the persisted counters) restore 90% coverage.
+// TargetOptions::with_recovery toggles exactly that ablation.
+
+#ifndef MUMAK_SRC_TARGETS_LEVEL_HASHING_H_
+#define MUMAK_SRC_TARGETS_LEVEL_HASHING_H_
+
+#include "src/targets/raw_heap.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+class LevelHashingTarget : public Target {
+ public:
+  explicit LevelHashingTarget(const TargetOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "level_hashing"; }
+  uint64_t DefaultPoolSize() const override { return 8ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override { (void)pool; }
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr int kSlotsPerBucket = 4;
+
+  // 4 slots (key,value) + token word; 128 bytes = 2 cache lines, with the
+  // token word on the first line and all keys/values on the second.
+  struct Bucket {
+    uint64_t tokens = 0;  // bit i set = slot i occupied
+    uint64_t pad[7] = {0, 0, 0, 0, 0, 0, 0};
+    uint64_t keys[kSlotsPerBucket] = {};
+    uint64_t values[kSlotsPerBucket] = {};
+  };
+  static_assert(sizeof(Bucket) == 128);
+
+  bool BugEnabled(std::string_view id) const {
+    return options_.BugEnabled(id);
+  }
+
+  uint64_t TopSize(PmPool& pool) const;
+  uint64_t BucketOffset(uint64_t level_base, uint64_t index) const;
+  Bucket ReadBucket(PmPool& pool, uint64_t off) const;
+
+  // Writes one slot + its token bit with the configured (possibly buggy)
+  // persistence pattern. Used by insert, b2t movement and resize.
+  void FillSlot(PmPool& pool, uint64_t bucket_off, int slot, uint64_t key,
+                uint64_t value, bool during_resize);
+
+  bool InsertIntoBucket(PmPool& pool, uint64_t bucket_off, uint64_t key,
+                        uint64_t value, bool during_resize);
+  bool FindSlot(PmPool& pool, uint64_t key, uint64_t* bucket_off, int* slot);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+  void Resize(PmPool& pool);
+
+  void SetCountDirty(PmPool& pool, uint64_t dirty);
+  void BumpCount(PmPool& pool, int64_t delta);
+
+  uint64_t WalkAndValidate(PmPool& pool);
+
+  TargetOptions options_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_LEVEL_HASHING_H_

@@ -1,0 +1,189 @@
+#include "src/targets/montage_targets.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kBlockCount = 4096;
+
+}  // namespace
+
+MontageHashtableBase::MontageHashtableBase(const TargetOptions& options)
+    : options_(options) {}
+
+MontageConfig MontageHashtableBase::MakeConfig() const {
+  MontageConfig config = options_.montage;
+  if (options_.BugEnabled("montage.allocator_recoverability")) {
+    config.allocator_recoverability_bug = true;
+  }
+  if (options_.BugEnabled("montage.allocator_destruction")) {
+    config.allocator_destruction_bug = true;
+  }
+  return config;
+}
+
+void MontageHashtableBase::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  heap_.emplace(MontageHeap::Create(&pool, MakeConfig(), kBlockCount));
+  index_.clear();
+}
+
+void MontageHashtableBase::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  switch (op.kind) {
+    case OpKind::kPut:
+      DoPut(pool, op.key + 1, op.value);
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      DoRemove(pool, op.key + 1);
+      break;
+  }
+  heap().OpTick();
+}
+
+bool MontageHashtableBase::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  (void)pool;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  if (value != nullptr) {
+    *value = heap().ReadPayload(it->second).value;
+  }
+  return true;
+}
+
+void MontageHashtableBase::Finish(PmPool& pool) {
+  MUMAK_FRAME();
+  (void)pool;
+  heap().Shutdown();
+}
+
+void MontageHashtableBase::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  // Montage's own recovery validates epochs, the allocator bitmap and the
+  // item counter, repairing uncommitted payloads. Then the structure's
+  // volatile index is rebuilt from the survivors.
+  heap_.emplace(MontageHeap::Open(&pool, MakeConfig()));
+  index_.clear();
+  for (uint64_t b = 0; b < heap().block_count(); ++b) {
+    MontagePayload payload = heap().ReadPayload(b);
+    if (payload.state == kMontageStateUsed) {
+      if (payload.key == 0 || payload.value == 0) {
+        throw RecoveryFailure(
+            "montage hashtable recovery: uninitialised payload");
+      }
+      if (!index_.emplace(payload.key, b).second) {
+        throw RecoveryFailure(
+            "montage hashtable recovery: duplicate key across payloads");
+      }
+    }
+  }
+}
+
+// -- Chained flavour ----------------------------------------------------------
+
+void MontageHashtableTarget::DoPut(PmPool& pool, uint64_t key,
+                                   uint64_t value) {
+  MUMAK_FRAME();
+  (void)pool;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Update: write a new payload, then retire the old block — Montage's
+    // out-of-place update keeps crash recovery epoch-consistent.
+    const uint64_t fresh = heap().AllocBlock();
+    heap().WritePayload(fresh, key, value);
+    heap().FreeBlock(it->second);
+    it->second = fresh;
+    return;
+  }
+  const uint64_t block = heap().AllocBlock();
+  heap().WritePayload(block, key, value);
+  index_.emplace(key, block);
+  heap().set_item_count(heap().item_count() + 1);
+}
+
+bool MontageHashtableTarget::DoRemove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  (void)pool;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  heap().FreeBlock(it->second);
+  index_.erase(it);
+  heap().set_item_count(heap().item_count() - 1);
+  return true;
+}
+
+uint64_t MontageHashtableTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/montage_targets.cc",
+                          "src/montage/montage_heap.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         900);
+}
+
+// -- Lock-free flavour ---------------------------------------------------------
+
+void MontageLfHashtableTarget::DoPut(PmPool& pool, uint64_t key,
+                                     uint64_t value) {
+  MUMAK_FRAME();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // The lock-free flavour claims the fresh payload's state word with a
+    // CAS (state transition free -> used happens atomically in PM), then
+    // retires the old block.
+    const uint64_t fresh = heap().AllocBlock();
+    heap().WritePayload(fresh, key, value, kMontageStateFree);
+    const uint64_t state_off =
+        heap().PayloadOffset(fresh) + offsetof(MontagePayload, state);
+    if (!pool.RmwCas(state_off, kMontageStateFree, kMontageStateUsed)) {
+      throw PmdkError("montage_lf: payload claim failed");
+    }
+    heap().FreeBlock(it->second);
+    it->second = fresh;
+    return;
+  }
+  const uint64_t block = heap().AllocBlock();
+  heap().WritePayload(block, key, value, kMontageStateFree);
+  const uint64_t state_off =
+      heap().PayloadOffset(block) + offsetof(MontagePayload, state);
+  if (!pool.RmwCas(state_off, kMontageStateFree, kMontageStateUsed)) {
+    throw PmdkError("montage_lf: payload claim failed");
+  }
+  index_.emplace(key, block);
+  heap().set_item_count(heap().item_count() + 1);
+}
+
+bool MontageLfHashtableTarget::DoRemove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  // CAS the payload into the tombstone state, then let the heap retire it.
+  const uint64_t state_off =
+      heap().PayloadOffset(it->second) + offsetof(MontagePayload, state);
+  pool.RmwCas(state_off, kMontageStateUsed, kMontageStateUsed);
+  heap().FreeBlock(it->second);
+  index_.erase(it);
+  heap().set_item_count(heap().item_count() - 1);
+  return true;
+}
+
+uint64_t MontageLfHashtableTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/montage_targets.cc",
+                          "src/montage/montage_heap.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         950);
+}
+
+}  // namespace mumak

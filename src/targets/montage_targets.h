@@ -1,0 +1,80 @@
+// Montage-based targets (§6.3, §6.4): two hashtable flavours built on
+// montage-lite's buffered persistence. Both keep a volatile index (DRAM)
+// over persistent payload blocks, as Montage structures do; recovery
+// rebuilds the index from the payloads of the last persisted epoch.
+//
+//  - montage_hashtable:    chained volatile index, plain stores
+//  - montage_lf_hashtable: open-addressing volatile index; persistent state
+//    transitions use RMW instructions (the lock-free flavour's instruction
+//    mix, single-threaded here for deterministic replay)
+//
+// The two §6.4 Montage bugs are enabled with the seeded-bug ids
+// "montage.allocator_recoverability" and "montage.allocator_destruction".
+
+#ifndef MUMAK_SRC_TARGETS_MONTAGE_TARGETS_H_
+#define MUMAK_SRC_TARGETS_MONTAGE_TARGETS_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/montage/montage_heap.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+class MontageHashtableBase : public Target {
+ public:
+  explicit MontageHashtableBase(const TargetOptions& options);
+
+  uint64_t DefaultPoolSize() const override { return 4ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override;
+  void Recover(PmPool& pool) override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+
+ protected:
+  virtual void DoPut(PmPool& pool, uint64_t key, uint64_t value) = 0;
+  virtual bool DoRemove(PmPool& pool, uint64_t key) = 0;
+
+  bool BugEnabled(std::string_view id) const {
+    return options_.BugEnabled(id);
+  }
+
+  MontageHeap& heap() { return *heap_; }
+  MontageConfig MakeConfig() const;
+
+  TargetOptions options_;
+  std::optional<MontageHeap> heap_;
+  // Volatile index: key -> payload block. Rebuilt on recovery.
+  std::unordered_map<uint64_t, uint64_t> index_;
+};
+
+class MontageHashtableTarget : public MontageHashtableBase {
+ public:
+  explicit MontageHashtableTarget(const TargetOptions& options)
+      : MontageHashtableBase(options) {}
+  std::string_view name() const override { return "montage_hashtable"; }
+  uint64_t CodeSizeStatements() const override;
+
+ protected:
+  void DoPut(PmPool& pool, uint64_t key, uint64_t value) override;
+  bool DoRemove(PmPool& pool, uint64_t key) override;
+};
+
+class MontageLfHashtableTarget : public MontageHashtableBase {
+ public:
+  explicit MontageLfHashtableTarget(const TargetOptions& options)
+      : MontageHashtableBase(options) {}
+  std::string_view name() const override { return "montage_lf_hashtable"; }
+  uint64_t CodeSizeStatements() const override;
+
+ protected:
+  void DoPut(PmPool& pool, uint64_t key, uint64_t value) override;
+  bool DoRemove(PmPool& pool, uint64_t key) override;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_MONTAGE_TARGETS_H_

@@ -1,0 +1,85 @@
+// Shared machinery for targets built on pmobj-lite: pool lifecycle and the
+// transaction-batching policy from §6.1 (the original PMDK examples run all
+// puts inside one large transaction; the "SPT" variants run a single put
+// per transaction).
+
+#ifndef MUMAK_SRC_TARGETS_PMDK_TARGET_BASE_H_
+#define MUMAK_SRC_TARGETS_PMDK_TARGET_BASE_H_
+
+#include <optional>
+
+#include "src/pmdk/obj_pool.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+class PmdkTargetBase : public Target {
+ public:
+  explicit PmdkTargetBase(const TargetOptions& options) : options_(options) {}
+
+  void Finish(PmPool& pool) override {
+    (void)pool;
+    if (tx_open_) {
+      obj().TxCommit();
+      tx_open_ = false;
+      batch_ops_ = 0;
+    }
+  }
+
+ protected:
+  PmdkConfig MakePmdkConfig() const {
+    PmdkConfig config;
+    config.version = options_.pmdk_version;
+    return config;
+  }
+
+  void CreateObjPool(PmPool& pool) {
+    obj_.emplace(ObjPool::Create(&pool, MakePmdkConfig()));
+  }
+
+  // Opens an existing pool, running pmobj-lite's own recovery (undo log
+  // replay + heap validation). Throws RecoveryFailure.
+  void OpenObjPool(PmPool& pool) {
+    obj_.emplace(ObjPool::Open(&pool, MakePmdkConfig()));
+  }
+
+  ObjPool& obj() { return *obj_; }
+
+  // Brackets one mutating operation in a transaction according to the
+  // batching policy.
+  void MutationBegin() {
+    if (!tx_open_) {
+      obj().TxBegin();
+      tx_open_ = true;
+    }
+  }
+
+  void MutationEnd() {
+    if (options_.single_put_per_tx) {
+      obj().TxCommit();
+      tx_open_ = false;
+      return;
+    }
+    if (++batch_ops_ >= options_.tx_batch) {
+      obj().TxCommit();
+      tx_open_ = false;
+      batch_ops_ = 0;
+    }
+  }
+
+  const TargetOptions& options() const { return options_; }
+  bool BugEnabled(std::string_view id) const {
+    return options_.BugEnabled(id);
+  }
+
+  TargetOptions options_;
+
+ private:
+  std::optional<ObjPool> obj_;
+  bool tx_open_ = false;
+  uint64_t batch_ops_ = 0;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_PMDK_TARGET_BASE_H_

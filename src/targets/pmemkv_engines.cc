@@ -1,0 +1,462 @@
+#include "src/targets/pmemkv_engines.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+uint64_t MixHash(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xd6e8feb86659fd93ull;
+  key ^= key >> 32;
+  return key;
+}
+
+constexpr uint64_t kFieldTable = 0;     // cmap: slot array offset
+constexpr uint64_t kFieldCapacity = 8;  // cmap
+constexpr uint64_t kFieldCount = 16;    // both engines
+
+constexpr uint64_t kFieldLeafHead = 0;  // stree: first leaf
+
+}  // namespace
+
+// -- cmap -----------------------------------------------------------------
+
+void CmapTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root = obj().TxAlloc(3 * sizeof(uint64_t));
+  const uint64_t table = obj().TxAlloc(kCapacity * sizeof(Slot));
+  pool.WriteU64(root + kFieldTable, table);
+  pool.WriteU64(root + kFieldCapacity, kCapacity);
+  pool.WriteU64(root + kFieldCount, 0);
+  obj().set_root(root);
+  obj().TxCommit();
+}
+
+uint64_t CmapTarget::SlotOffset(PmPool& pool, uint64_t index) {
+  const uint64_t table = pool.ReadU64(root_obj() + kFieldTable);
+  return table + index * sizeof(Slot);
+}
+
+uint64_t CmapTarget::HomeIndex(uint64_t key) const {
+  return MixHash(key) % kCapacity;
+}
+
+uint64_t CmapTarget::ProbeDistance(uint64_t key, uint64_t index) const {
+  const uint64_t home = HomeIndex(key);
+  return (index + kCapacity - home) % kCapacity;
+}
+
+void CmapTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  // Robin-hood insertion: displace richer entries as we probe.
+  uint64_t carry_key = key;
+  uint64_t carry_value = value;
+  uint64_t index = HomeIndex(key);
+  for (uint64_t probe = 0; probe < kMaxProbe; ++probe) {
+    const uint64_t off = SlotOffset(pool, index);
+    Slot slot = pool.ReadObject<Slot>(off);
+    if (slot.key == carry_key) {
+      obj().TxAddRange(off + offsetof(Slot, value), sizeof(uint64_t));
+      pool.WriteU64(off + offsetof(Slot, value), carry_value);
+      return;
+    }
+    if (slot.key == 0) {
+      obj().TxAddRange(off, sizeof(Slot));
+      Slot fresh{carry_key, carry_value};
+      pool.WriteObject(off, fresh);
+      const uint64_t count_off = root_obj() + kFieldCount;
+      obj().TxAddRange(count_off, sizeof(uint64_t));
+      pool.WriteU64(count_off, pool.ReadU64(count_off) + 1);
+      return;
+    }
+    if (ProbeDistance(slot.key, index) < ProbeDistance(carry_key, index)) {
+      // Swap: the carried entry takes this slot.
+      obj().TxAddRange(off, sizeof(Slot));
+      Slot fresh{carry_key, carry_value};
+      pool.WriteObject(off, fresh);
+      carry_key = slot.key;
+      carry_value = slot.value;
+    }
+    index = (index + 1) % kCapacity;
+  }
+  throw PmdkError("cmap probe limit exceeded");
+}
+
+bool CmapTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  uint64_t index = HomeIndex(key);
+  for (uint64_t probe = 0; probe < kMaxProbe; ++probe) {
+    const uint64_t off = SlotOffset(pool, index);
+    Slot slot = pool.ReadObject<Slot>(off);
+    if (slot.key == 0) {
+      return false;
+    }
+    if (slot.key == key) {
+      // Backward-shift deletion keeps the table tombstone-free.
+      uint64_t hole = index;
+      uint64_t next = (index + 1) % kCapacity;
+      while (true) {
+        Slot candidate = pool.ReadObject<Slot>(SlotOffset(pool, next));
+        if (candidate.key == 0 ||
+            ProbeDistance(candidate.key, next) == 0) {
+          break;
+        }
+        const uint64_t hole_off = SlotOffset(pool, hole);
+        obj().TxAddRange(hole_off, sizeof(Slot));
+        pool.WriteObject(hole_off, candidate);
+        hole = next;
+        next = (next + 1) % kCapacity;
+      }
+      const uint64_t hole_off = SlotOffset(pool, hole);
+      obj().TxAddRange(hole_off, sizeof(Slot));
+      Slot empty;
+      pool.WriteObject(hole_off, empty);
+      const uint64_t count_off = root_obj() + kFieldCount;
+      obj().TxAddRange(count_off, sizeof(uint64_t));
+      pool.WriteU64(count_off, pool.ReadU64(count_off) - 1);
+      return true;
+    }
+    index = (index + 1) % kCapacity;
+  }
+  return false;
+}
+
+bool CmapTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  uint64_t index = HomeIndex(key);
+  for (uint64_t probe = 0; probe < kMaxProbe; ++probe) {
+    Slot slot = pool.ReadObject<Slot>(SlotOffset(pool, index));
+    if (slot.key == 0) {
+      if (BugEnabled("cmap.p4_rfence_get")) {
+        // BUG cmap.p4_rfence_get (redundant fence) on the miss path.
+        pool.Sfence();
+      }
+      return false;
+    }
+    if (slot.key == key) {
+      if (value != nullptr) {
+        *value = slot.value;
+      }
+      if (BugEnabled("cmap.p1_rf_probe")) {
+        // BUG cmap.p1_rf_probe (redundant flush): the probed slot line is
+        // flushed on a read path.
+        pool.Clwb(SlotOffset(pool, index));
+        pool.Sfence();
+      }
+      return true;
+    }
+    index = (index + 1) % kCapacity;
+  }
+  return false;
+}
+
+void CmapTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  switch (op.kind) {
+    case OpKind::kPut:
+      MutationBegin();
+      Put(pool, op.key + 1, op.value);
+      MutationEnd();
+      if (BugEnabled("cmap.p2_rfence_put")) {
+        // BUG cmap.p2_rfence_put (redundant fence).
+        pool.Sfence();
+      }
+      if (BugEnabled("cmap.p3_rf_put_double")) {
+        // BUG cmap.p3_rf_put_double (redundant flush): the home slot line
+        // is flushed again after the commit.
+        pool.Clwb(SlotOffset(pool, HomeIndex(op.key + 1)));
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      MutationBegin();
+      Remove(pool, op.key + 1);
+      MutationEnd();
+      break;
+  }
+}
+
+uint64_t CmapTarget::ValidateTable(PmPool& pool) {
+  const uint64_t root = root_obj();
+  const uint64_t table = pool.ReadU64(root + kFieldTable);
+  const uint64_t capacity = pool.ReadU64(root + kFieldCapacity);
+  if (capacity == 0 || table + capacity * sizeof(Slot) > pool.size()) {
+    throw RecoveryFailure("cmap recovery: table geometry corrupt");
+  }
+  uint64_t items = 0;
+  for (uint64_t i = 0; i < capacity; ++i) {
+    Slot slot = pool.ReadObject<Slot>(table + i * sizeof(Slot));
+    if (slot.key == 0) {
+      continue;
+    }
+    if (slot.value == 0) {
+      throw RecoveryFailure("cmap recovery: uninitialised slot");
+    }
+    if (ProbeDistance(slot.key, i) >= kMaxProbe) {
+      throw RecoveryFailure("cmap recovery: entry beyond its probe window");
+    }
+    ++items;
+  }
+  return items;
+}
+
+void CmapTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;
+  }
+  const uint64_t items = ValidateTable(pool);
+  if (items != pool.ReadU64(root + kFieldCount)) {
+    throw RecoveryFailure("cmap recovery: item counter mismatch");
+  }
+}
+
+uint64_t CmapTarget::CountItems(PmPool& pool) { return ValidateTable(pool); }
+
+uint64_t CmapTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/pmemkv_engines.cc",
+                          "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         1000);
+}
+
+// -- stree ------------------------------------------------------------------
+
+void StreeTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root = obj().TxAlloc(3 * sizeof(uint64_t));
+  const uint64_t first = obj().TxAlloc(sizeof(Leaf));
+  Leaf leaf;
+  pool.WriteObject(first, leaf);
+  pool.WriteU64(root + kFieldLeafHead, first);
+  pool.WriteU64(root + kFieldCount, 0);
+  obj().set_root(root);
+  obj().TxCommit();
+}
+
+uint64_t StreeTarget::FindLeaf(PmPool& pool, uint64_t key,
+                               uint64_t* prev_out) {
+  MUMAK_FRAME();
+  uint64_t prev = kNullOff;
+  uint64_t cursor = pool.ReadU64(root_obj() + kFieldLeafHead);
+  uint64_t hops = 0;
+  while (cursor != kNullOff) {
+    Leaf leaf = pool.ReadObject<Leaf>(cursor);
+    // The key belongs to this leaf when it is within its range or the leaf
+    // is the last one.
+    if (leaf.next == kNullOff || leaf.n == 0 ||
+        key <= pool.ReadObject<Leaf>(leaf.next).keys[0] - 1) {
+      if (prev_out != nullptr) {
+        *prev_out = prev;
+      }
+      return cursor;
+    }
+    prev = cursor;
+    cursor = leaf.next;
+    if (++hops > (1u << 20)) {
+      throw PmdkError("stree leaf chain too long");
+    }
+  }
+  throw PmdkError("stree leaf chain broken");
+}
+
+void StreeTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  uint64_t leaf_off = FindLeaf(pool, key, nullptr);
+  Leaf leaf = pool.ReadObject<Leaf>(leaf_off);
+
+  // Update in place when present.
+  for (uint64_t i = 0; i < leaf.n; ++i) {
+    if (leaf.keys[i] == key) {
+      obj().TxAddRange(leaf_off, sizeof(Leaf));
+      leaf.values[i] = value;
+      pool.WriteObject(leaf_off, leaf);
+      return;
+    }
+  }
+
+  if (leaf.n == kLeafCapacity) {
+    // Split: the upper half moves to a fresh linked leaf.
+    const uint64_t sibling_off = obj().TxAlloc(sizeof(Leaf));
+    Leaf sibling;
+    const uint64_t mid = kLeafCapacity / 2;
+    sibling.n = kLeafCapacity - mid;
+    for (uint64_t i = 0; i < sibling.n; ++i) {
+      sibling.keys[i] = leaf.keys[mid + i];
+      sibling.values[i] = leaf.values[mid + i];
+    }
+    sibling.next = leaf.next;
+    pool.WriteObject(sibling_off, sibling);
+    obj().TxAddRange(leaf_off, sizeof(Leaf));
+    leaf.n = mid;
+    leaf.next = sibling_off;
+    pool.WriteObject(leaf_off, leaf);
+    if (key >= sibling.keys[0]) {
+      leaf_off = sibling_off;
+      leaf = sibling;
+    }
+  }
+
+  obj().TxAddRange(leaf_off, sizeof(Leaf));
+  uint64_t i = leaf.n;
+  while (i > 0 && leaf.keys[i - 1] > key) {
+    leaf.keys[i] = leaf.keys[i - 1];
+    leaf.values[i] = leaf.values[i - 1];
+    --i;
+  }
+  leaf.keys[i] = key;
+  leaf.values[i] = value;
+  leaf.n += 1;
+  pool.WriteObject(leaf_off, leaf);
+
+  const uint64_t count_off = root_obj() + kFieldCount;
+  obj().TxAddRange(count_off, sizeof(uint64_t));
+  pool.WriteU64(count_off, pool.ReadU64(count_off) + 1);
+}
+
+bool StreeTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  uint64_t prev = kNullOff;
+  const uint64_t leaf_off = FindLeaf(pool, key, &prev);
+  Leaf leaf = pool.ReadObject<Leaf>(leaf_off);
+  for (uint64_t i = 0; i < leaf.n; ++i) {
+    if (leaf.keys[i] != key) {
+      continue;
+    }
+    obj().TxAddRange(leaf_off, sizeof(Leaf));
+    for (uint64_t j = i; j + 1 < leaf.n; ++j) {
+      leaf.keys[j] = leaf.keys[j + 1];
+      leaf.values[j] = leaf.values[j + 1];
+    }
+    leaf.n -= 1;
+    pool.WriteObject(leaf_off, leaf);
+    // Unlink and free an emptied non-head leaf.
+    if (leaf.n == 0 && prev != kNullOff) {
+      obj().TxAddRange(prev + offsetof(Leaf, next), sizeof(uint64_t));
+      pool.WriteU64(prev + offsetof(Leaf, next), leaf.next);
+      obj().TxFree(leaf_off);
+    }
+    const uint64_t count_off = root_obj() + kFieldCount;
+    obj().TxAddRange(count_off, sizeof(uint64_t));
+    pool.WriteU64(count_off, pool.ReadU64(count_off) - 1);
+    return true;
+  }
+  return false;
+}
+
+bool StreeTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  const uint64_t leaf_off = FindLeaf(pool, key, nullptr);
+  Leaf leaf = pool.ReadObject<Leaf>(leaf_off);
+  for (uint64_t i = 0; i < leaf.n; ++i) {
+    if (leaf.keys[i] == key) {
+      if (value != nullptr) {
+        *value = leaf.values[i];
+      }
+      if (BugEnabled("stree.p3_rf_get_leaf")) {
+        // BUG stree.p3_rf_get_leaf (redundant flush): the hit leaf line is
+        // flushed on a read path.
+        pool.Clwb(leaf_off);
+        pool.Sfence();
+      }
+      return true;
+    }
+  }
+  if (BugEnabled("stree.p1_rfence_get")) {
+    // BUG stree.p1_rfence_get (redundant fence) on the miss path.
+    pool.Sfence();
+  }
+  return false;
+}
+
+void StreeTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  switch (op.kind) {
+    case OpKind::kPut:
+      MutationBegin();
+      Put(pool, op.key + 1, op.value);
+      MutationEnd();
+      if (BugEnabled("stree.p2_rf_put")) {
+        // BUG stree.p2_rf_put (redundant flush): the leaf-head line is
+        // flushed after the commit persisted everything.
+        pool.Clwb(pool.ReadU64(root_obj() + kFieldLeafHead));
+        pool.Sfence();
+      }
+      if (BugEnabled("stree.p4_rfence_put_extra")) {
+        // BUG stree.p4_rfence_put_extra (redundant fence).
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      MutationBegin();
+      Remove(pool, op.key + 1);
+      MutationEnd();
+      break;
+  }
+}
+
+uint64_t StreeTarget::ValidateChain(PmPool& pool) {
+  uint64_t cursor = pool.ReadU64(root_obj() + kFieldLeafHead);
+  uint64_t items = 0;
+  uint64_t previous = 0;
+  uint64_t hops = 0;
+  while (cursor != kNullOff) {
+    if (cursor + sizeof(Leaf) > pool.size() ||
+        !obj().IsAllocatedBlock(cursor) || ++hops > (1u << 20)) {
+      throw RecoveryFailure("stree recovery: leaf chain corrupt");
+    }
+    Leaf leaf = pool.ReadObject<Leaf>(cursor);
+    if (leaf.n > kLeafCapacity) {
+      throw RecoveryFailure("stree recovery: leaf overflow");
+    }
+    for (uint64_t i = 0; i < leaf.n; ++i) {
+      if (leaf.keys[i] <= previous) {
+        throw RecoveryFailure("stree recovery: key order violated");
+      }
+      previous = leaf.keys[i];
+      ++items;
+    }
+    cursor = leaf.next;
+  }
+  return items;
+}
+
+void StreeTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;
+  }
+  const uint64_t items = ValidateChain(pool);
+  if (items != pool.ReadU64(root + kFieldCount)) {
+    throw RecoveryFailure("stree recovery: item counter mismatch");
+  }
+}
+
+uint64_t StreeTarget::CountItems(PmPool& pool) { return ValidateChain(pool); }
+
+uint64_t StreeTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/pmemkv_engines.cc",
+                          "src/targets/btree.cc", "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         1200);
+}
+
+}  // namespace mumak

@@ -1,0 +1,80 @@
+// pmemkv engine analogues (§6.3): `cmap` — an open-addressing robin-hood
+// hash map — and `stree` — a sorted single-level B+-tree of chained leaf
+// pages. Both are built on pmobj-lite transactions, like the libpmemobj-cpp
+// engines they model.
+
+#ifndef MUMAK_SRC_TARGETS_PMEMKV_ENGINES_H_
+#define MUMAK_SRC_TARGETS_PMEMKV_ENGINES_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class CmapTarget : public PmdkTargetBase {
+ public:
+  explicit CmapTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "cmap"; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kCapacity = 8192;  // slots
+  static constexpr uint64_t kMaxProbe = 64;
+
+  struct Slot {
+    uint64_t key = 0;  // 0 = empty
+    uint64_t value = 0;
+  };
+
+  uint64_t root_obj() { return obj().root(); }
+  uint64_t SlotOffset(PmPool& pool, uint64_t index);
+  uint64_t HomeIndex(uint64_t key) const;
+  uint64_t ProbeDistance(uint64_t key, uint64_t index) const;
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+  uint64_t ValidateTable(PmPool& pool);
+};
+
+class StreeTarget : public PmdkTargetBase {
+ public:
+  explicit StreeTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "stree"; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr int kLeafCapacity = 16;
+
+  struct Leaf {
+    uint64_t next = 0;
+    uint64_t n = 0;
+    uint64_t keys[kLeafCapacity] = {};
+    uint64_t values[kLeafCapacity] = {};
+  };
+
+  uint64_t root_obj() { return obj().root(); }
+  uint64_t FindLeaf(PmPool& pool, uint64_t key, uint64_t* prev_out);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+  uint64_t ValidateChain(PmPool& pool);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_PMEMKV_ENGINES_H_

@@ -1,0 +1,135 @@
+// Minimal bump allocator over a raw PM pool, for targets that manage their
+// own persistent memory (the Recipe-style indexes and Montage do not use
+// PMDK — that independence is exactly what §6.4 exercises).
+
+#ifndef MUMAK_SRC_TARGETS_RAW_HEAP_H_
+#define MUMAK_SRC_TARGETS_RAW_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/pmdk/obj_pool.h"  // PmdkError / RecoveryFailure
+#include "src/pmem/pm_pool.h"
+
+namespace mumak {
+
+// The heap head lives at `head_offset` in the pool; allocation bumps it
+// (persisted). Freed memory is never reused — matching the research-code
+// allocators of the index structures this models.
+class RawHeap {
+ public:
+  RawHeap(PmPool* pool, uint64_t head_offset)
+      : pool_(pool), head_offset_(head_offset) {}
+
+  // Formats the heap to start allocating at `first_byte`.
+  void Init(uint64_t first_byte) {
+    pool_->WriteU64(head_offset_, AlignUp(first_byte));
+    pool_->PersistRange(head_offset_, sizeof(uint64_t));
+  }
+
+  uint64_t Alloc(uint64_t size) {
+    const uint64_t head = pool_->ReadU64(head_offset_);
+    const uint64_t next = AlignUp(head + size);
+    if (next > pool_->size()) {
+      throw PmdkError("raw heap out of memory");
+    }
+    pool_->WriteU64(head_offset_, next);
+    pool_->PersistRange(head_offset_, sizeof(uint64_t));
+    return head;
+  }
+
+  uint64_t head() const { return pool_->ReadU64(head_offset_); }
+
+ private:
+  static constexpr uint64_t AlignUp(uint64_t v) { return (v + 63) & ~63ull; }
+
+  PmPool* pool_;
+  uint64_t head_offset_;
+};
+
+// Persistent item counter with an op-kind dirty marker, the recovery oracle
+// idiom shared by the index targets: the marker records whether an insert
+// (1) or delete (2) is in flight, so recovery can tolerate exactly one
+// in-flight item and flag anything else as corruption.
+class DirtyCounter {
+ public:
+  DirtyCounter(PmPool* pool, uint64_t count_offset, uint64_t dirty_offset)
+      : pool_(pool), count_offset_(count_offset), dirty_offset_(dirty_offset) {}
+
+  // Writes the zeroed fields; when `persist` is false the caller covers
+  // them with its own header persist (avoiding a redundant flush).
+  void Init(bool persist = true) {
+    pool_->WriteU64(count_offset_, 0);
+    pool_->WriteU64(dirty_offset_, 0);
+    if (persist) {
+      pool_->PersistRange(std::min(count_offset_, dirty_offset_),
+                          sizeof(uint64_t));
+      if (LineBase(count_offset_) != LineBase(dirty_offset_)) {
+        pool_->PersistRange(std::max(count_offset_, dirty_offset_),
+                            sizeof(uint64_t));
+      }
+    }
+  }
+
+  void BeginInsert() { SetDirty(1); }
+  void BeginDelete() { SetDirty(2); }
+
+  void CommitInsert() {
+    Bump(1);
+    SetDirty(0);
+  }
+  void CommitDelete() {
+    Bump(static_cast<uint64_t>(-1));
+    SetDirty(0);
+  }
+  // Op found nothing to do; just clear the marker.
+  void Cancel() { SetDirty(0); }
+
+  uint64_t count() const { return pool_->ReadU64(count_offset_); }
+
+  // Recovery-side check: throws unless `items` is consistent with the
+  // counter given the recorded in-flight operation; repairs the counter.
+  void ValidateAndRepair(uint64_t items) {  // NOLINT
+    const uint64_t count = pool_->ReadU64(count_offset_);
+    const uint64_t dirty = pool_->ReadU64(dirty_offset_);
+    if (dirty == 0) {
+      if (items != count) {
+        throw RecoveryFailure("item counter does not match the structure");
+      }
+      return;
+    }
+    if (dirty == 1) {
+      if (items != count && items != count + 1) {
+        throw RecoveryFailure("recount outside the in-flight-insert window");
+      }
+    } else if (dirty == 2) {
+      if (items != count && items + 1 != count) {
+        throw RecoveryFailure("recount outside the in-flight-delete window");
+      }
+    } else {
+      throw RecoveryFailure("dirty marker corrupt");
+    }
+    pool_->WriteU64(count_offset_, items);
+    pool_->WriteU64(dirty_offset_, 0);
+    pool_->PersistRange(count_offset_, sizeof(uint64_t));
+    pool_->PersistRange(dirty_offset_, sizeof(uint64_t));
+  }
+
+ private:
+  void SetDirty(uint64_t value) {
+    pool_->WriteU64(dirty_offset_, value);
+    pool_->PersistRange(dirty_offset_, sizeof(uint64_t));
+  }
+  void Bump(uint64_t delta) {
+    pool_->WriteU64(count_offset_, pool_->ReadU64(count_offset_) + delta);
+    pool_->PersistRange(count_offset_, sizeof(uint64_t));
+  }
+
+  PmPool* pool_;
+  uint64_t count_offset_;
+  uint64_t dirty_offset_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_RAW_HEAP_H_

@@ -1,0 +1,659 @@
+#include "src/targets/rbtree.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+
+RbtreeTarget::Node RbtreeTarget::ReadNode(PmPool& pool, uint64_t off) const {
+  return pool.ReadObject<Node>(off);
+}
+
+void RbtreeTarget::LogNode(uint64_t off) {
+  obj().TxAddRange(off, sizeof(Node));
+}
+
+void RbtreeTarget::WriteNode(PmPool& pool, uint64_t off, const Node& node,
+                             bool logged) {
+  (void)logged;
+  pool.WriteObject(off, node);
+}
+
+uint64_t RbtreeTarget::TreeRoot(PmPool& pool) {
+  return pool.ReadU64(root_obj() + offsetof(RootObject, tree_root));
+}
+
+void RbtreeTarget::SetTreeRoot(PmPool& pool, uint64_t off) {
+  const uint64_t slot = root_obj() + offsetof(RootObject, tree_root);
+  obj().TxAddRange(slot, sizeof(uint64_t));
+  pool.WriteU64(slot, off);
+}
+
+void RbtreeTarget::BumpItemCount(PmPool& pool, int64_t delta) {
+  MUMAK_FRAME();
+  const uint64_t slot = root_obj() + offsetof(RootObject, item_count);
+  const uint64_t count = pool.ReadU64(slot);
+  if (BugEnabled("rbtree.count_unlogged")) {
+    // BUG rbtree.count_unlogged (atomicity): counter updated outside the
+    // undo log; rollback desynchronises it from the tree.
+    pool.WriteU64(slot, count + static_cast<uint64_t>(delta));
+    pool.PersistRange(slot, sizeof(uint64_t));
+    return;
+  }
+  obj().TxAddRange(slot, sizeof(uint64_t));
+  pool.WriteU64(slot, count + static_cast<uint64_t>(delta));
+}
+
+void RbtreeTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root = obj().TxAlloc(sizeof(RootObject));
+  RootObject fresh;
+  pool.WriteObject(root, fresh);
+  obj().set_root(root);
+  obj().TxCommit();
+}
+
+void RbtreeTarget::RotateLeft(PmPool& pool, uint64_t x_off) {
+  MUMAK_FRAME();
+  Node x = ReadNode(pool, x_off);
+  const uint64_t y_off = x.right;
+  Node y = ReadNode(pool, y_off);
+
+  const bool rotate_bug = BugEnabled("rbtree.rotate_unlogged");
+  if (rotate_bug && x.parent != kNullOff) {
+    // BUG rbtree.rotate_unlogged (atomicity): the parent's child link is
+    // redirected to y before anything is snapshotted (write-before-TX_ADD).
+    // A crash while the rotation is being logged rolls back every other
+    // node and leaves y referenced by two parents.
+    Node p = ReadNode(pool, x.parent);
+    if (p.left == x_off) {
+      p.left = y_off;
+    } else {
+      p.right = y_off;
+    }
+    WriteNode(pool, x.parent, p);
+  }
+  LogNode(x_off);
+  LogNode(y_off);
+
+  x.right = y.left;
+  if (y.left != kNullOff) {
+    LogNode(y.left);
+    Node yl = ReadNode(pool, y.left);
+    yl.parent = x_off;
+    WriteNode(pool, y.left, yl);
+  }
+  y.parent = x.parent;
+  if (x.parent == kNullOff) {
+    SetTreeRoot(pool, y_off);
+  } else if (!rotate_bug) {
+    LogNode(x.parent);
+    Node p = ReadNode(pool, x.parent);
+    if (p.left == x_off) {
+      p.left = y_off;
+    } else {
+      p.right = y_off;
+    }
+    WriteNode(pool, x.parent, p);
+  }
+  y.left = x_off;
+  x.parent = y_off;
+  WriteNode(pool, x_off, x);
+  WriteNode(pool, y_off, y);
+}
+
+void RbtreeTarget::RotateRight(PmPool& pool, uint64_t x_off) {
+  MUMAK_FRAME();
+  Node x = ReadNode(pool, x_off);
+  const uint64_t y_off = x.left;
+  Node y = ReadNode(pool, y_off);
+
+  LogNode(x_off);
+  LogNode(y_off);
+
+  x.left = y.right;
+  if (y.right != kNullOff) {
+    LogNode(y.right);
+    Node yr = ReadNode(pool, y.right);
+    yr.parent = x_off;
+    WriteNode(pool, y.right, yr);
+  }
+  y.parent = x.parent;
+  if (x.parent == kNullOff) {
+    SetTreeRoot(pool, y_off);
+  } else {
+    LogNode(x.parent);
+    Node p = ReadNode(pool, x.parent);
+    if (p.right == x_off) {
+      p.right = y_off;
+    } else {
+      p.left = y_off;
+    }
+    WriteNode(pool, x.parent, p);
+  }
+  y.right = x_off;
+  x.parent = y_off;
+  WriteNode(pool, x_off, x);
+  WriteNode(pool, y_off, y);
+}
+
+void RbtreeTarget::InsertFixup(PmPool& pool, uint64_t z_off) {
+  MUMAK_FRAME();
+  while (true) {
+    Node z = ReadNode(pool, z_off);
+    if (z.parent == kNullOff) {
+      break;
+    }
+    Node parent = ReadNode(pool, z.parent);
+    if (parent.color != kRed) {
+      break;
+    }
+    Node grand = ReadNode(pool, parent.parent);
+    if (z.parent == grand.left) {
+      const uint64_t uncle_off = grand.right;
+      Node uncle{};
+      if (uncle_off != kNullOff) {
+        uncle = ReadNode(pool, uncle_off);
+      }
+      if (uncle_off != kNullOff && uncle.color == kRed) {
+        LogNode(z.parent);
+        LogNode(uncle_off);
+        LogNode(parent.parent);
+        parent.color = kBlack;
+        uncle.color = kBlack;
+        grand.color = kRed;
+        WriteNode(pool, z.parent, parent);
+        WriteNode(pool, uncle_off, uncle);
+        WriteNode(pool, parent.parent, grand);
+        z_off = parent.parent;
+        continue;
+      }
+      if (z_off == parent.right) {
+        const uint64_t old_parent = z.parent;
+        RotateLeft(pool, z.parent);
+        z_off = old_parent;
+        z = ReadNode(pool, z_off);
+      }
+      z = ReadNode(pool, z_off);
+      LogNode(z.parent);
+      Node p2 = ReadNode(pool, z.parent);
+      p2.color = kBlack;
+      WriteNode(pool, z.parent, p2);
+      LogNode(p2.parent);
+      Node g2 = ReadNode(pool, p2.parent);
+      g2.color = kRed;
+      WriteNode(pool, p2.parent, g2);
+      RotateRight(pool, p2.parent);
+    } else {
+      const uint64_t uncle_off = grand.left;
+      Node uncle{};
+      if (uncle_off != kNullOff) {
+        uncle = ReadNode(pool, uncle_off);
+      }
+      if (uncle_off != kNullOff && uncle.color == kRed) {
+        LogNode(z.parent);
+        LogNode(uncle_off);
+        LogNode(parent.parent);
+        parent.color = kBlack;
+        uncle.color = kBlack;
+        grand.color = kRed;
+        WriteNode(pool, z.parent, parent);
+        WriteNode(pool, uncle_off, uncle);
+        WriteNode(pool, parent.parent, grand);
+        z_off = parent.parent;
+        continue;
+      }
+      if (z_off == parent.left) {
+        const uint64_t old_parent = z.parent;
+        RotateRight(pool, z.parent);
+        z_off = old_parent;
+        z = ReadNode(pool, z_off);
+      }
+      z = ReadNode(pool, z_off);
+      LogNode(z.parent);
+      Node p2 = ReadNode(pool, z.parent);
+      p2.color = kBlack;
+      WriteNode(pool, z.parent, p2);
+      LogNode(p2.parent);
+      Node g2 = ReadNode(pool, p2.parent);
+      g2.color = kRed;
+      WriteNode(pool, p2.parent, g2);
+      RotateLeft(pool, p2.parent);
+    }
+  }
+  const uint64_t root = TreeRoot(pool);
+  Node root_node = ReadNode(pool, root);
+  if (root_node.color != kBlack) {
+    LogNode(root);
+    root_node.color = kBlack;
+    WriteNode(pool, root, root_node);
+  }
+}
+
+bool RbtreeTarget::Insert(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  uint64_t parent = kNullOff;
+  uint64_t cursor = TreeRoot(pool);
+  while (cursor != kNullOff) {
+    Node node = ReadNode(pool, cursor);
+    if (node.key == key) {
+      LogNode(cursor);
+      node.value = value;
+      WriteNode(pool, cursor, node);
+      return false;
+    }
+    parent = cursor;
+    cursor = key < node.key ? node.left : node.right;
+  }
+  const uint64_t fresh = obj().TxAlloc(sizeof(Node));
+  Node node;
+  node.key = key;
+  node.value = value;
+  node.parent = parent;
+  node.color = kRed;
+  WriteNode(pool, fresh, node);
+  if (parent == kNullOff) {
+    SetTreeRoot(pool, fresh);
+  } else {
+    LogNode(parent);
+    Node p = ReadNode(pool, parent);
+    if (key < p.key) {
+      p.left = fresh;
+    } else {
+      p.right = fresh;
+    }
+    WriteNode(pool, parent, p);
+  }
+  InsertFixup(pool, fresh);
+  return true;
+}
+
+uint64_t RbtreeTarget::FindNode(PmPool& pool, uint64_t key) {
+  uint64_t cursor = TreeRoot(pool);
+  while (cursor != kNullOff) {
+    Node node = ReadNode(pool, cursor);
+    if (node.key == key) {
+      return cursor;
+    }
+    cursor = key < node.key ? node.left : node.right;
+  }
+  return kNullOff;
+}
+
+uint64_t RbtreeTarget::Minimum(PmPool& pool, uint64_t off) {
+  while (true) {
+    Node node = ReadNode(pool, off);
+    if (node.left == kNullOff) {
+      return off;
+    }
+    off = node.left;
+  }
+}
+
+void RbtreeTarget::Transplant(PmPool& pool, uint64_t u_off, uint64_t v_off) {
+  MUMAK_FRAME();
+  Node u = ReadNode(pool, u_off);
+  if (u.parent == kNullOff) {
+    SetTreeRoot(pool, v_off);
+  } else {
+    LogNode(u.parent);
+    Node p = ReadNode(pool, u.parent);
+    if (p.left == u_off) {
+      p.left = v_off;
+    } else {
+      p.right = v_off;
+    }
+    WriteNode(pool, u.parent, p);
+  }
+  if (v_off != kNullOff) {
+    LogNode(v_off);
+    Node v = ReadNode(pool, v_off);
+    v.parent = u.parent;
+    WriteNode(pool, v_off, v);
+  }
+}
+
+void RbtreeTarget::DeleteFixup(PmPool& pool, uint64_t x_off,
+                               uint64_t x_parent) {
+  MUMAK_FRAME();
+  while (x_off != TreeRoot(pool) &&
+         (x_off == kNullOff || ReadNode(pool, x_off).color == kBlack)) {
+    if (x_parent == kNullOff) {
+      break;
+    }
+    Node parent = ReadNode(pool, x_parent);
+    if (x_off == parent.left) {
+      uint64_t w_off = parent.right;
+      Node w = ReadNode(pool, w_off);
+      if (w.color == kRed) {
+        LogNode(w_off);
+        LogNode(x_parent);
+        w.color = kBlack;
+        parent.color = kRed;
+        WriteNode(pool, w_off, w);
+        WriteNode(pool, x_parent, parent);
+        RotateLeft(pool, x_parent);
+        parent = ReadNode(pool, x_parent);
+        w_off = parent.right;
+        w = ReadNode(pool, w_off);
+      }
+      const bool left_black =
+          w.left == kNullOff || ReadNode(pool, w.left).color == kBlack;
+      const bool right_black =
+          w.right == kNullOff || ReadNode(pool, w.right).color == kBlack;
+      if (left_black && right_black) {
+        LogNode(w_off);
+        w.color = kRed;
+        WriteNode(pool, w_off, w);
+        x_off = x_parent;
+        x_parent = ReadNode(pool, x_off).parent;
+        continue;
+      }
+      if (right_black) {
+        if (BugEnabled("rbtree.fixup_unlogged")) {
+          // BUG rbtree.fixup_unlogged (atomicity): the nephew recolouring
+          // is written before being snapshotted; a crash during the rest of
+          // this fixup case rolls everything else back and leaves a black
+          // height violation.
+          Node early = ReadNode(pool, w.left);
+          early.color = kBlack;
+          WriteNode(pool, w.left, early);
+        } else {
+          LogNode(w.left);
+          Node wl = ReadNode(pool, w.left);
+          wl.color = kBlack;
+          WriteNode(pool, w.left, wl);
+        }
+        LogNode(w_off);
+        w.color = kRed;
+        WriteNode(pool, w_off, w);
+        RotateRight(pool, w_off);
+        parent = ReadNode(pool, x_parent);
+        w_off = parent.right;
+        w = ReadNode(pool, w_off);
+      }
+      LogNode(w_off);
+      LogNode(x_parent);
+      w.color = parent.color;
+      parent.color = kBlack;
+      WriteNode(pool, w_off, w);
+      WriteNode(pool, x_parent, parent);
+      if (w.right != kNullOff) {
+        LogNode(w.right);
+        Node wr = ReadNode(pool, w.right);
+        wr.color = kBlack;
+        WriteNode(pool, w.right, wr);
+      }
+      RotateLeft(pool, x_parent);
+      break;
+    } else {
+      uint64_t w_off = parent.left;
+      Node w = ReadNode(pool, w_off);
+      if (w.color == kRed) {
+        LogNode(w_off);
+        LogNode(x_parent);
+        w.color = kBlack;
+        parent.color = kRed;
+        WriteNode(pool, w_off, w);
+        WriteNode(pool, x_parent, parent);
+        RotateRight(pool, x_parent);
+        parent = ReadNode(pool, x_parent);
+        w_off = parent.left;
+        w = ReadNode(pool, w_off);
+      }
+      const bool left_black =
+          w.left == kNullOff || ReadNode(pool, w.left).color == kBlack;
+      const bool right_black =
+          w.right == kNullOff || ReadNode(pool, w.right).color == kBlack;
+      if (left_black && right_black) {
+        LogNode(w_off);
+        w.color = kRed;
+        WriteNode(pool, w_off, w);
+        x_off = x_parent;
+        x_parent = ReadNode(pool, x_off).parent;
+        continue;
+      }
+      if (left_black) {
+        LogNode(w.right);
+        Node wr = ReadNode(pool, w.right);
+        wr.color = kBlack;
+        WriteNode(pool, w.right, wr);
+        LogNode(w_off);
+        w.color = kRed;
+        WriteNode(pool, w_off, w);
+        RotateLeft(pool, w_off);
+        parent = ReadNode(pool, x_parent);
+        w_off = parent.left;
+        w = ReadNode(pool, w_off);
+      }
+      LogNode(w_off);
+      LogNode(x_parent);
+      w.color = parent.color;
+      parent.color = kBlack;
+      WriteNode(pool, w_off, w);
+      WriteNode(pool, x_parent, parent);
+      if (w.left != kNullOff) {
+        LogNode(w.left);
+        Node wl = ReadNode(pool, w.left);
+        wl.color = kBlack;
+        WriteNode(pool, w.left, wl);
+      }
+      RotateRight(pool, x_parent);
+      break;
+    }
+  }
+  if (x_off != kNullOff) {
+    Node x = ReadNode(pool, x_off);
+    if (x.color != kBlack) {
+      LogNode(x_off);
+      x.color = kBlack;
+      WriteNode(pool, x_off, x);
+    }
+  }
+}
+
+bool RbtreeTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  const uint64_t z_off = FindNode(pool, key);
+  if (z_off == kNullOff) {
+    return false;
+  }
+  Node z = ReadNode(pool, z_off);
+  uint64_t y_off = z_off;
+  uint64_t y_color = z.color;
+  uint64_t x_off = kNullOff;
+  uint64_t x_parent = kNullOff;
+
+  if (z.left == kNullOff) {
+    x_off = z.right;
+    x_parent = z.parent;
+    Transplant(pool, z_off, z.right);
+  } else if (z.right == kNullOff) {
+    x_off = z.left;
+    x_parent = z.parent;
+    Transplant(pool, z_off, z.left);
+  } else {
+    y_off = Minimum(pool, z.right);
+    Node y = ReadNode(pool, y_off);
+    y_color = y.color;
+    x_off = y.right;
+    if (y.parent == z_off) {
+      x_parent = y_off;
+    } else {
+      x_parent = y.parent;
+      Transplant(pool, y_off, y.right);
+      LogNode(y_off);
+      y = ReadNode(pool, y_off);
+      y.right = z.right;
+      WriteNode(pool, y_off, y);
+      LogNode(y.right);
+      Node zr = ReadNode(pool, y.right);
+      zr.parent = y_off;
+      WriteNode(pool, y.right, zr);
+    }
+    Transplant(pool, z_off, y_off);
+    LogNode(y_off);
+    y = ReadNode(pool, y_off);
+    y.left = z.left;
+    y.color = z.color;
+    WriteNode(pool, y_off, y);
+    LogNode(z.left);
+    Node zl = ReadNode(pool, z.left);
+    zl.parent = y_off;
+    WriteNode(pool, z.left, zl);
+  }
+  obj().TxFree(z_off);
+  if (y_color == kBlack) {
+    DeleteFixup(pool, x_off, x_parent);
+  }
+  return true;
+}
+
+bool RbtreeTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  const uint64_t node_off = FindNode(pool, key);
+  if (node_off == kNullOff) {
+    return false;
+  }
+  if (value != nullptr) {
+    *value = ReadNode(pool, node_off).value;
+  }
+  if (BugEnabled("rbtree.rf_lookup")) {
+    // BUG rbtree.rf_lookup (redundant flush): lookups flush a line they
+    // never wrote.
+    pool.Clwb(node_off);
+    pool.Sfence();
+  }
+  return true;
+}
+
+void RbtreeTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("rbtree.transient_stats")) {
+    // BUG rbtree.transient_stats (transient data): never-persisted stats in
+    // PM.
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      MutationBegin();
+      if (Insert(pool, op.key, op.value)) {
+        BumpItemCount(pool, 1);
+      }
+      MutationEnd();
+      if (BugEnabled("rbtree.rfence_insert")) {
+        // BUG rbtree.rfence_insert (redundant fence).
+        pool.Sfence();
+      }
+      if (BugEnabled("rbtree.rf_insert_double")) {
+        // BUG rbtree.rf_insert_double (redundant flush): the root object is
+        // flushed again after the commit.
+        pool.Clwb(root_obj());
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kGet:
+      if (!Get(pool, op.key, nullptr) && BugEnabled("rbtree.rf_get_root")) {
+        // BUG rbtree.rf_get_root (redundant flush): the miss path flushes
+        // the clean root object line.
+        pool.Clwb(root_obj());
+        pool.Sfence();
+      }
+      break;
+    case OpKind::kDelete:
+      MutationBegin();
+      if (Remove(pool, op.key)) {
+        BumpItemCount(pool, -1);
+      }
+      MutationEnd();
+      if (BugEnabled("rbtree.rfence_delete")) {
+        // BUG rbtree.rfence_delete (redundant fence).
+        pool.Sfence();
+      }
+      break;
+  }
+}
+
+uint64_t RbtreeTarget::ValidateSubtree(PmPool& pool, uint64_t off,
+                                       uint64_t parent, uint64_t lower,
+                                       uint64_t upper, int depth,
+                                       int* black_height) {
+  if (off == kNullOff) {
+    *black_height = 1;
+    return 0;
+  }
+  if (depth > 128) {
+    throw RecoveryFailure("rbtree recovery: tree too deep (cycle?)");
+  }
+  if (off + sizeof(Node) > pool.size()) {
+    throw RecoveryFailure("rbtree recovery: node offset out of bounds");
+  }
+  Node node = ReadNode(pool, off);
+  if (node.parent != parent) {
+    throw RecoveryFailure("rbtree recovery: parent pointer mismatch");
+  }
+  if (node.key < lower || node.key >= upper) {
+    throw RecoveryFailure("rbtree recovery: key order violated");
+  }
+  if (node.color == kRed) {
+    const bool left_red = node.left != kNullOff &&
+                          ReadNode(pool, node.left).color == kRed;
+    const bool right_red = node.right != kNullOff &&
+                           ReadNode(pool, node.right).color == kRed;
+    if (left_red || right_red) {
+      throw RecoveryFailure("rbtree recovery: red-red violation");
+    }
+  }
+  int left_black = 0;
+  int right_black = 0;
+  uint64_t items = 1;
+  items += ValidateSubtree(pool, node.left, off, lower, node.key, depth + 1,
+                           &left_black);
+  items += ValidateSubtree(pool, node.right, off, node.key + 1, upper,
+                           depth + 1, &right_black);
+  if (left_black != right_black) {
+    throw RecoveryFailure("rbtree recovery: black height mismatch");
+  }
+  *black_height = left_black + (node.color == kBlack ? 1 : 0);
+  return items;
+}
+
+void RbtreeTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;  // crash before initialisation: recoverable fresh start
+  }
+  RootObject root_object = pool.ReadObject<RootObject>(root);
+  int black_height = 0;
+  const uint64_t items =
+      ValidateSubtree(pool, root_object.tree_root, kNullOff, 0, UINT64_MAX, 0,
+                      &black_height);
+  if (root_object.tree_root != kNullOff &&
+      ReadNode(pool, root_object.tree_root).color != kBlack) {
+    throw RecoveryFailure("rbtree recovery: root is not black");
+  }
+  if (items != root_object.item_count) {
+    throw RecoveryFailure("rbtree recovery: item counter mismatch");
+  }
+}
+
+uint64_t RbtreeTarget::CountItems(PmPool& pool) {
+  RootObject root_object = pool.ReadObject<RootObject>(obj().root());
+  int black_height = 0;
+  return ValidateSubtree(pool, root_object.tree_root, kNullOff, 0, UINT64_MAX,
+                         0, &black_height);
+}
+
+uint64_t RbtreeTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/rbtree.cc", "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         1100);
+}
+
+}  // namespace mumak

@@ -1,0 +1,72 @@
+// Red-black tree data store, the analogue of PMDK's libpmemobj rbtree
+// example (§6.1). Transactional insert/remove with CLRS-style rebalancing;
+// recovery validates BST order, parent pointers, red-black invariants and
+// the persisted item counter.
+
+#ifndef MUMAK_SRC_TARGETS_RBTREE_H_
+#define MUMAK_SRC_TARGETS_RBTREE_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class RbtreeTarget : public PmdkTargetBase {
+ public:
+  explicit RbtreeTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "rbtree"; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kRed = 0;
+  static constexpr uint64_t kBlack = 1;
+
+  struct Node {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint64_t left = 0;
+    uint64_t right = 0;
+    uint64_t parent = 0;
+    uint64_t color = kBlack;
+    uint64_t pad[2] = {0, 0};  // 64 bytes: one node per cache line
+  };
+
+  struct RootObject {
+    uint64_t tree_root = 0;  // kNullOff when empty
+    uint64_t item_count = 0;
+  };
+
+  uint64_t root_obj() { return obj().root(); }
+  Node ReadNode(PmPool& pool, uint64_t off) const;
+  void WriteNode(PmPool& pool, uint64_t off, const Node& node,
+                 bool logged = true);
+  void LogNode(uint64_t off);
+  uint64_t TreeRoot(PmPool& pool);
+  void SetTreeRoot(PmPool& pool, uint64_t off);
+  void BumpItemCount(PmPool& pool, int64_t delta);
+
+  void RotateLeft(PmPool& pool, uint64_t x_off);
+  void RotateRight(PmPool& pool, uint64_t x_off);
+  void InsertFixup(PmPool& pool, uint64_t z_off);
+  bool Insert(PmPool& pool, uint64_t key, uint64_t value);
+  uint64_t FindNode(PmPool& pool, uint64_t key);
+  uint64_t Minimum(PmPool& pool, uint64_t off);
+  void Transplant(PmPool& pool, uint64_t u_off, uint64_t v_off);
+  void DeleteFixup(PmPool& pool, uint64_t x_off, uint64_t x_parent);
+  bool Remove(PmPool& pool, uint64_t key);
+
+  uint64_t ValidateSubtree(PmPool& pool, uint64_t off, uint64_t parent,
+                           uint64_t lower, uint64_t upper, int depth,
+                           int* black_height);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_RBTREE_H_

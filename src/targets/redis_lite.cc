@@ -1,0 +1,320 @@
+#include "src/targets/redis_lite.h"
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+uint64_t HashKey(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdull;
+  key ^= key >> 33;
+  return key;
+}
+
+// Root object field offsets.
+constexpr uint64_t kFieldBuckets = 0x00;
+constexpr uint64_t kFieldBucketCount = 0x08;
+constexpr uint64_t kFieldItemCount = 0x10;
+constexpr uint64_t kFieldSeq = 0x18;       // last command applied to the dict
+constexpr uint64_t kFieldAof = 0x20;       // AOF ring offset
+constexpr uint64_t kFieldAofCap = 0x28;
+constexpr uint64_t kFieldAofSeqBlk = 0x30;  // block holding the AOF seq
+constexpr uint64_t kRootBytes = 0x40;
+
+constexpr uint64_t kOpSet = 1;
+constexpr uint64_t kOpDel = 2;
+
+}  // namespace
+
+void RedisLiteTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  CreateObjPool(pool);
+  obj().TxBegin();
+  const uint64_t root = obj().TxAlloc(kRootBytes);
+  const uint64_t buckets = obj().TxAlloc(kBucketCount * sizeof(uint64_t));
+  const uint64_t aof = obj().TxAlloc(kAofCapacity * sizeof(AofRecord));
+  // The AOF sequence lives on its own cache line so its persistence is
+  // independent of the dict bookkeeping.
+  const uint64_t aof_seq = obj().TxAlloc(kCacheLineSize);
+  pool.WriteU64(root + kFieldBuckets, buckets);
+  pool.WriteU64(root + kFieldBucketCount, kBucketCount);
+  pool.WriteU64(root + kFieldItemCount, 0);
+  pool.WriteU64(root + kFieldSeq, 0);
+  pool.WriteU64(root + kFieldAof, aof);
+  pool.WriteU64(root + kFieldAofCap, kAofCapacity);
+  pool.WriteU64(root + kFieldAofSeqBlk, aof_seq);
+  obj().set_root(root);
+  obj().TxCommit();
+}
+
+uint64_t RedisLiteTarget::BucketSlot(PmPool& pool, uint64_t key) {
+  const uint64_t root = root_obj();
+  const uint64_t buckets = pool.ReadU64(root + kFieldBuckets);
+  const uint64_t count = pool.ReadU64(root + kFieldBucketCount);
+  return buckets + (HashKey(key) % count) * sizeof(uint64_t);
+}
+
+void RedisLiteTarget::AppendAof(PmPool& pool, uint64_t op, uint64_t key,
+                                uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t root = root_obj();
+  const uint64_t aof = pool.ReadU64(root + kFieldAof);
+  const uint64_t cap = pool.ReadU64(root + kFieldAofCap);
+  const uint64_t seq_blk = pool.ReadU64(root + kFieldAofSeqBlk);
+  const uint64_t seq = pool.ReadU64(seq_blk) + 1;
+
+  AofRecord record{seq, op, key, value};
+  const uint64_t slot = aof + (seq % cap) * sizeof(AofRecord);
+  // The AOF is written with non-temporal stores, like pmem/redis's
+  // libpmem-based append path; the fence makes the record durable.
+  pool.WriteNt(slot, &record, sizeof(record));
+  pool.Sfence();
+  if (BugEnabled("redis.p1_rf_aof_double")) {
+    // BUG redis.p1_rf_aof_double (redundant flush): the NT-written record
+    // is flushed again even though it bypassed the cache.
+    pool.Clwb(slot);
+    pool.Sfence();
+  }
+
+  pool.WriteU64(seq_blk, seq);
+  if (BugEnabled("redis.c2_aof_seq_unflushed")) {
+    // BUG redis.c2_aof_seq_unflushed (durability): the AOF sequence update
+    // is never flushed; after power failure the tail of the log is
+    // invisible to recovery.
+    return;
+  }
+  pool.PersistRange(seq_blk, sizeof(uint64_t));
+  if (BugEnabled("redis.p8_rf_seq_double")) {
+    // BUG redis.p8_rf_seq_double (redundant flush).
+    pool.Clwb(seq_blk);
+    pool.Sfence();
+  }
+}
+
+void RedisLiteTarget::RewriteAof(PmPool& pool) {
+  MUMAK_FRAME();
+  // Log rewriting: the ring is reset once the dict has absorbed every
+  // command (compaction of the command history).
+  const uint64_t root = root_obj();
+  const uint64_t aof = pool.ReadU64(root + kFieldAof);
+  const uint64_t cap = pool.ReadU64(root + kFieldAofCap);
+  pool.Memset(aof, 0, cap * sizeof(AofRecord));
+  pool.PersistRange(aof, cap * sizeof(AofRecord));
+  if (BugEnabled("redis.p6_rf_rewrite_double")) {
+    // BUG redis.p6_rf_rewrite_double (redundant flush).
+    pool.FlushRange(aof, cap * sizeof(AofRecord));
+    pool.Sfence();
+  }
+  if (BugEnabled("redis.p7_rfence_rewrite")) {
+    // BUG redis.p7_rfence_rewrite (redundant fence).
+    pool.Sfence();
+  }
+}
+
+void RedisLiteTarget::SetCmd(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t root = root_obj();
+
+  if (!BugEnabled("redis.c1_dict_before_aof")) {
+    AppendAof(pool, kOpSet, key, value);
+  }
+
+  // Apply to the dict transactionally; the command sequence number commits
+  // with the dict change.
+  MutationBegin();
+  const uint64_t slot = BucketSlot(pool, key);
+  uint64_t cursor = pool.ReadU64(slot);
+  bool updated = false;
+  while (cursor != kNullOff) {
+    DictEntry entry = pool.ReadObject<DictEntry>(cursor);
+    if (entry.key == key) {
+      obj().TxAddRange(cursor + offsetof(DictEntry, value),
+                       sizeof(uint64_t));
+      pool.WriteU64(cursor + offsetof(DictEntry, value), value);
+      updated = true;
+      break;
+    }
+    cursor = entry.next;
+  }
+  if (!updated) {
+    const uint64_t fresh = obj().TxAlloc(sizeof(DictEntry));
+    DictEntry entry{key, value, pool.ReadU64(slot)};
+    pool.WriteObject(fresh, entry);
+    obj().TxAddRange(slot, sizeof(uint64_t));
+    pool.WriteU64(slot, fresh);
+    obj().TxAddRange(root + kFieldItemCount, sizeof(uint64_t));
+    pool.WriteU64(root + kFieldItemCount,
+                  pool.ReadU64(root + kFieldItemCount) + 1);
+  }
+  obj().TxAddRange(root + kFieldSeq, sizeof(uint64_t));
+  pool.WriteU64(root + kFieldSeq, pool.ReadU64(root + kFieldSeq) + 1);
+  MutationEnd();
+
+  if (BugEnabled("redis.c1_dict_before_aof")) {
+    // BUG redis.c1_dict_before_aof (ordering): the dict commits before the
+    // command is logged; a crash in between leaves the dict ahead of the
+    // AOF, which recovery flags (replication and PITR depend on the log
+    // covering every applied command).
+    AppendAof(pool, kOpSet, key, value);
+  }
+  if (BugEnabled("redis.p2_rfence_set")) {
+    // BUG redis.p2_rfence_set (redundant fence).
+    pool.Sfence();
+  }
+}
+
+bool RedisLiteTarget::DelCmd(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  const uint64_t root = root_obj();
+  const uint64_t slot = BucketSlot(pool, key);
+  uint64_t prev_slot = slot;
+  uint64_t cursor = pool.ReadU64(slot);
+  while (cursor != kNullOff) {
+    DictEntry entry = pool.ReadObject<DictEntry>(cursor);
+    if (entry.key != key) {
+      prev_slot = cursor + offsetof(DictEntry, next);
+      cursor = entry.next;
+      continue;
+    }
+    AppendAof(pool, kOpDel, key, 0);
+    MutationBegin();
+    obj().TxAddRange(prev_slot, sizeof(uint64_t));
+    pool.WriteU64(prev_slot, entry.next);
+    obj().TxFree(cursor);
+    obj().TxAddRange(root + kFieldItemCount, sizeof(uint64_t));
+    pool.WriteU64(root + kFieldItemCount,
+                  pool.ReadU64(root + kFieldItemCount) - 1);
+    obj().TxAddRange(root + kFieldSeq, sizeof(uint64_t));
+    pool.WriteU64(root + kFieldSeq, pool.ReadU64(root + kFieldSeq) + 1);
+    MutationEnd();
+    if (BugEnabled("redis.p5_rfence_del")) {
+      // BUG redis.p5_rfence_del (redundant fence).
+      pool.Sfence();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool RedisLiteTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  uint64_t cursor = pool.ReadU64(BucketSlot(pool, key));
+  while (cursor != kNullOff) {
+    DictEntry entry = pool.ReadObject<DictEntry>(cursor);
+    if (entry.key == key) {
+      if (value != nullptr) {
+        *value = entry.value;
+      }
+      if (BugEnabled("redis.p3_rf_get")) {
+        // BUG redis.p3_rf_get (redundant flush): GET flushes the entry.
+        pool.Clwb(cursor);
+        pool.Sfence();
+      }
+      return true;
+    }
+    cursor = entry.next;
+  }
+  if (BugEnabled("redis.p9_rfence_get")) {
+    // BUG redis.p9_rfence_get (redundant fence) on the GET miss path.
+    pool.Sfence();
+  }
+  return false;
+}
+
+void RedisLiteTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("redis.p4_transient_clients")) {
+    // BUG redis.p4_transient_clients (transient data): per-client stats
+    // written to PM but never persisted or recovered.
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      SetCmd(pool, op.key + 1, op.value);
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      DelCmd(pool, op.key + 1);
+      break;
+  }
+  // Periodic AOF rewrite, as the dict checkpoint absorbs the log.
+  const uint64_t seq_blk = pool.ReadU64(root_obj() + kFieldAofSeqBlk);
+  if (pool.ReadU64(seq_blk) % (kAofCapacity / 8) == kAofCapacity / 8 - 1) {
+    RewriteAof(pool);
+  }
+}
+
+void RedisLiteTarget::Finish(PmPool& pool) { PmdkTargetBase::Finish(pool); }
+
+uint64_t RedisLiteTarget::ValidateDict(PmPool& pool) {
+  const uint64_t root = root_obj();
+  const uint64_t buckets = pool.ReadU64(root + kFieldBuckets);
+  const uint64_t bucket_count = pool.ReadU64(root + kFieldBucketCount);
+  if (bucket_count == 0 || buckets + bucket_count * 8 > pool.size()) {
+    throw RecoveryFailure("redis recovery: dict bucket array corrupt");
+  }
+  uint64_t items = 0;
+  for (uint64_t b = 0; b < bucket_count; ++b) {
+    uint64_t cursor = pool.ReadU64(buckets + b * 8);
+    uint64_t steps = 0;
+    while (cursor != kNullOff) {
+      if (cursor + sizeof(DictEntry) > pool.size() ||
+          !obj().IsAllocatedBlock(cursor)) {
+        throw RecoveryFailure("redis recovery: bad dict entry");
+      }
+      DictEntry entry = pool.ReadObject<DictEntry>(cursor);
+      if (entry.key == 0) {
+        throw RecoveryFailure("redis recovery: uninitialised dict entry");
+      }
+      if (++steps > (1u << 20)) {
+        throw RecoveryFailure("redis recovery: dict chain cycle");
+      }
+      ++items;
+      cursor = entry.next;
+    }
+  }
+  return items;
+}
+
+void RedisLiteTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  OpenObjPool(pool);
+  const uint64_t root = obj().root();
+  if (root == kNullOff) {
+    return;
+  }
+  const uint64_t items = ValidateDict(pool);
+  if (items != pool.ReadU64(root + kFieldItemCount)) {
+    throw RecoveryFailure("redis recovery: keyspace counter mismatch");
+  }
+  // The AOF must cover every command applied to the dict (it may run ahead
+  // arbitrarily — replay is idempotent — but never behind: AOF-first write
+  // order).
+  const uint64_t dict_seq = pool.ReadU64(root + kFieldSeq);
+  const uint64_t aof_seq =
+      pool.ReadU64(pool.ReadU64(root + kFieldAofSeqBlk));
+  if (aof_seq < dict_seq) {
+    throw RecoveryFailure(
+        "redis recovery: dict is ahead of the append-only log");
+  }
+}
+
+uint64_t RedisLiteTarget::CountItems(PmPool& pool) {
+  return ValidateDict(pool);
+}
+
+uint64_t RedisLiteTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/redis_lite.cc",
+                          "src/targets/hashmap_tx.cc",
+                          "src/targets/ctree.cc", "src/pmdk/obj_pool.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         1600);
+}
+
+}  // namespace mumak

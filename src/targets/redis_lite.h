@@ -1,0 +1,61 @@
+// PM-Redis analogue (pmem/redis, §6.3): a key-value server core with the
+// pieces relevant to PM crash consistency — a transactional persistent dict
+// (the keyspace), a sequence-numbered append-only command log written with
+// non-temporal stores (the AOF), and periodic log rewriting (compaction).
+// Recovery cross-checks the dict against its counters and the AOF tail.
+
+#ifndef MUMAK_SRC_TARGETS_REDIS_LITE_H_
+#define MUMAK_SRC_TARGETS_REDIS_LITE_H_
+
+#include "src/targets/pmdk_target_base.h"
+
+namespace mumak {
+
+class RedisLiteTarget : public PmdkTargetBase {
+ public:
+  explicit RedisLiteTarget(const TargetOptions& options)
+      : PmdkTargetBase(options) {}
+
+  std::string_view name() const override { return "redis"; }
+  uint64_t DefaultPoolSize() const override { return 16ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override;
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kBucketCount = 512;
+  static constexpr uint64_t kAofCapacity = 512;  // records in the ring
+
+  struct DictEntry {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint64_t next = 0;
+  };
+
+  // AOF record: {seq, op, key, value} — 32 bytes, written non-temporally.
+  struct AofRecord {
+    uint64_t seq = 0;
+    uint64_t op = 0;  // 1 = set, 2 = del
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  uint64_t root_obj() { return obj().root(); }
+  uint64_t BucketSlot(PmPool& pool, uint64_t key);
+  void AppendAof(PmPool& pool, uint64_t op, uint64_t key, uint64_t value);
+  void RewriteAof(PmPool& pool);
+
+  void SetCmd(PmPool& pool, uint64_t key, uint64_t value);
+  bool DelCmd(PmPool& pool, uint64_t key);
+
+  uint64_t ValidateDict(PmPool& pool);
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_REDIS_LITE_H_

@@ -1,0 +1,414 @@
+#include "src/targets/rocksdb_lite.h"
+
+#include <vector>
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kRocksMagic = 0x42445f534b434f52ull;  // "ROCKS_DB"
+
+constexpr uint64_t kHdrMagic = 0x00;
+constexpr uint64_t kHdrCount = 0x08;
+constexpr uint64_t kHdrDirty = 0x10;
+constexpr uint64_t kHdrHeapHead = 0x18;
+constexpr uint64_t kHdrWal = 0x20;
+// The WAL sequence and the manifest descriptor each get their own cache
+// line: their persistence must be independent of other bookkeeping.
+constexpr uint64_t kHdrWalSeq = 0x40;
+constexpr uint64_t kHdrManifest = 0x80;
+constexpr uint64_t kHeaderBytes = 0xc0;
+
+// Manifest block: {flushed_seq, run_count, runs[kMaxRuns]}.
+constexpr uint64_t kManFlushedSeq = 0;
+constexpr uint64_t kManRunCount = 8;
+constexpr uint64_t kManRuns = 16;
+
+// Run block: {count, checksum, records...}.
+constexpr uint64_t kRunCount = 0;
+constexpr uint64_t kRunChecksum = 8;
+constexpr uint64_t kRunRecords = 16;
+
+uint64_t Fnv1a(const uint8_t* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void RocksDbLiteTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  memtable_.clear();
+  RawHeap heap(&pool, kHdrHeapHead);
+  heap.Init(kHeaderBytes + 64);
+  const uint64_t wal = heap.Alloc(kWalCapacity * sizeof(WalRecord));
+  pool.WriteU64(kHdrWal, wal);
+  pool.WriteU64(kHdrWalSeq, 0);
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  counter.Init(/*persist=*/false);
+  pool.PersistRange(0, 2 * kCacheLineSize);  // header + WAL-seq lines
+  PublishManifest(pool, {}, 0);
+  // The magic is published last: recovery treats a magic-less pool as an
+  // unfinished initialisation.
+  pool.WriteU64(kHdrMagic, kRocksMagic);
+  pool.PersistRange(kHdrMagic, sizeof(uint64_t));
+}
+
+uint64_t RocksDbLiteTarget::RunChecksum(PmPool& pool, uint64_t run) const {
+  const uint64_t count = pool.ReadU64(run + kRunCount);
+  std::vector<uint8_t> bytes(count * sizeof(RunRecord));
+  pool.Read(run + kRunRecords, bytes.data(), bytes.size());
+  return Fnv1a(bytes.data(), bytes.size());
+}
+
+uint64_t RocksDbLiteTarget::WriteRun(
+    PmPool& pool, const std::map<uint64_t, uint64_t>& entries) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  const uint64_t bytes = kRunRecords + entries.size() * sizeof(RunRecord);
+  const uint64_t run = heap.Alloc(bytes);
+  uint64_t at = run + kRunRecords;
+  for (const auto& [key, value] : entries) {
+    RunRecord record{key, value};
+    pool.WriteObject(at, record);
+    at += sizeof(RunRecord);
+  }
+  pool.WriteU64(run + kRunCount, entries.size());
+  pool.FlushRange(run + kRunRecords, entries.size() * sizeof(RunRecord));
+  pool.Sfence();
+  // The checksum is computed over the durable records and sealed last.
+  pool.WriteU64(run + kRunChecksum, RunChecksum(pool, run));
+  pool.PersistRange(run, 2 * sizeof(uint64_t));
+  if (BugEnabled("rocks.p3_rf_run_double")) {
+    // BUG rocks.p3_rf_run_double (redundant flush): the sealed run is
+    // flushed wholesale a second time.
+    pool.FlushRange(run, bytes);
+    pool.Sfence();
+  }
+  return run;
+}
+
+void RocksDbLiteTarget::PublishManifest(PmPool& pool,
+                                        const std::vector<uint64_t>& runs,
+                                        uint64_t flushed_seq) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  const uint64_t manifest =
+      heap.Alloc(kManRuns + kMaxRuns * sizeof(uint64_t));
+  pool.WriteU64(manifest + kManFlushedSeq, flushed_seq);
+  pool.WriteU64(manifest + kManRunCount, runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    pool.WriteU64(manifest + kManRuns + i * 8, runs[i]);
+  }
+  pool.PersistRange(manifest, kManRuns + runs.size() * sizeof(uint64_t));
+  if (BugEnabled("rocks.p6_rf_manifest_double")) {
+    // BUG rocks.p6_rf_manifest_double (redundant flush).
+    pool.Clwb(manifest);
+    pool.Sfence();
+  }
+  if (BugEnabled("rocks.c3_manifest_single_fence")) {
+    // BUG rocks.c3_manifest_single_fence (ordering beyond program order):
+    // the manifest block and its publishing pointer are flushed with
+    // clflushopt under a single fence.
+    pool.ClflushOpt(manifest);
+    pool.WriteU64(kHdrManifest, manifest);
+    pool.ClflushOpt(kHdrManifest);
+    pool.Sfence();
+    return;
+  }
+  // Single atomic store publishes the new manifest.
+  pool.WriteU64(kHdrManifest, manifest);
+  pool.PersistRange(kHdrManifest, sizeof(uint64_t));
+}
+
+void RocksDbLiteTarget::AppendWal(PmPool& pool, uint64_t op, uint64_t key,
+                                  uint64_t value) {
+  MUMAK_FRAME();
+  const uint64_t wal = pool.ReadU64(kHdrWal);
+  const uint64_t seq = pool.ReadU64(kHdrWalSeq) + 1;
+  WalRecord record{seq, op, key, value};
+  const uint64_t slot = wal + (seq % kWalCapacity) * sizeof(WalRecord);
+  pool.WriteObject(slot, record);
+  if (BugEnabled("rocks.c2_wal_unflushed") && op == 1) {
+    // BUG rocks.c2_wal_unflushed (durability): the WAL record store is not
+    // flushed on the put path (the delete path has the flush); a power
+    // failure silently drops the write.
+  } else {
+    pool.PersistRange(slot, sizeof(WalRecord));
+    if (BugEnabled("rocks.p1_rf_wal_double")) {
+      // BUG rocks.p1_rf_wal_double (redundant flush).
+      pool.Clwb(slot);
+      pool.Sfence();
+    }
+  }
+  pool.WriteU64(kHdrWalSeq, seq);
+  pool.PersistRange(kHdrWalSeq, sizeof(uint64_t));
+}
+
+void RocksDbLiteTarget::FlushMemtable(PmPool& pool) {
+  MUMAK_FRAME();
+  const uint64_t manifest = pool.ReadU64(kHdrManifest);
+  const uint64_t run_count = pool.ReadU64(manifest + kManRunCount);
+  if (run_count + 1 > kMaxRuns) {
+    Compact(pool);
+  }
+  const uint64_t current = pool.ReadU64(kHdrManifest);
+  const uint64_t flushed_seq = pool.ReadU64(kHdrWalSeq);
+
+  std::vector<uint64_t> runs;
+  const uint64_t n = pool.ReadU64(current + kManRunCount);
+  for (uint64_t i = 0; i < n; ++i) {
+    runs.push_back(pool.ReadU64(current + kManRuns + i * 8));
+  }
+
+  if (BugEnabled("rocks.c1_manifest_before_run")) {
+    // BUG rocks.c1_manifest_before_run (ordering): the manifest registers
+    // the new run before the run's records and checksum are written; a
+    // crash in between leaves the manifest pointing at garbage.
+    RawHeap heap(&pool, kHdrHeapHead);
+    const uint64_t bytes =
+        kRunRecords + memtable_.size() * sizeof(RunRecord);
+    const uint64_t run = heap.Alloc(bytes);
+    runs.push_back(run);
+    PublishManifest(pool, runs, flushed_seq);
+    // Records written only after the publish.
+    uint64_t at = run + kRunRecords;
+    for (const auto& [key, value] : memtable_) {
+      RunRecord record{key, value};
+      pool.WriteObject(at, record);
+      at += sizeof(RunRecord);
+    }
+    pool.WriteU64(run + kRunCount, memtable_.size());
+    pool.FlushRange(run, bytes);
+    pool.Sfence();
+    pool.WriteU64(run + kRunChecksum, RunChecksum(pool, run));
+    pool.PersistRange(run, 2 * sizeof(uint64_t));
+  } else {
+    const uint64_t run = WriteRun(pool, memtable_);
+    runs.push_back(run);
+    PublishManifest(pool, runs, flushed_seq);
+  }
+  memtable_.clear();
+  if (BugEnabled("rocks.p4_rfence_flush")) {
+    // BUG rocks.p4_rfence_flush (redundant fence).
+    pool.Sfence();
+  }
+}
+
+void RocksDbLiteTarget::Compact(PmPool& pool) {
+  MUMAK_FRAME();
+  const uint64_t manifest = pool.ReadU64(kHdrManifest);
+  const uint64_t flushed_seq = pool.ReadU64(manifest + kManFlushedSeq);
+  // Merge every run oldest-to-newest; tombstones drop out.
+  std::map<uint64_t, uint64_t> merged;
+  const uint64_t n = pool.ReadU64(manifest + kManRunCount);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t run = pool.ReadU64(manifest + kManRuns + i * 8);
+    const uint64_t count = pool.ReadU64(run + kRunCount);
+    for (uint64_t r = 0; r < count; ++r) {
+      RunRecord record =
+          pool.ReadObject<RunRecord>(run + kRunRecords +
+                                     r * sizeof(RunRecord));
+      if (record.value == 0) {
+        merged.erase(record.key);
+      } else {
+        merged[record.key] = record.value;
+      }
+    }
+  }
+  const uint64_t run = WriteRun(pool, merged);
+  PublishManifest(pool, {run}, flushed_seq);
+}
+
+void RocksDbLiteTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  const bool is_new = !Get(pool, key, nullptr);
+  if (is_new) {
+    counter.BeginInsert();
+  }
+  AppendWal(pool, 1, key, value);
+  memtable_[key] = value;
+  if (is_new) {
+    counter.CommitInsert();
+  }
+  if (BugEnabled("rocks.p2_rfence_put")) {
+    // BUG rocks.p2_rfence_put (redundant fence).
+    pool.Sfence();
+  }
+  if (memtable_.size() >= kMemtableLimit) {
+    FlushMemtable(pool);
+  }
+}
+
+void RocksDbLiteTarget::Delete(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  if (!Get(pool, key, nullptr)) {
+    return;
+  }
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  counter.BeginDelete();
+  AppendWal(pool, 2, key, 0);
+  memtable_[key] = 0;  // tombstone
+  counter.CommitDelete();
+  if (memtable_.size() >= kMemtableLimit) {
+    FlushMemtable(pool);
+  }
+}
+
+bool RocksDbLiteTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (it->second == 0) {
+      return false;  // tombstone
+    }
+    if (value != nullptr) {
+      *value = it->second;
+    }
+    return true;
+  }
+  // Runs, newest first.
+  const uint64_t manifest = pool.ReadU64(kHdrManifest);
+  const uint64_t n = pool.ReadU64(manifest + kManRunCount);
+  for (uint64_t i = n; i-- > 0;) {
+    const uint64_t run = pool.ReadU64(manifest + kManRuns + i * 8);
+    const uint64_t count = pool.ReadU64(run + kRunCount);
+    // Binary search over the sorted records.
+    uint64_t lo = 0, hi = count;
+    while (lo < hi) {
+      const uint64_t mid = (lo + hi) / 2;
+      RunRecord record = pool.ReadObject<RunRecord>(
+          run + kRunRecords + mid * sizeof(RunRecord));
+      if (record.key == key) {
+        if (record.value == 0) {
+          return false;  // tombstone
+        }
+        if (value != nullptr) {
+          *value = record.value;
+        }
+        return true;
+      }
+      if (record.key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  return false;
+}
+
+void RocksDbLiteTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("rocks.p5_transient_stats")) {
+    // BUG rocks.p5_transient_stats (transient data).
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      Put(pool, op.key + 1, op.value);
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      Delete(pool, op.key + 1);
+      break;
+  }
+}
+
+std::map<uint64_t, uint64_t> RocksDbLiteTarget::ReplayState(PmPool& pool,
+                                                            bool validate) {
+  std::map<uint64_t, uint64_t> state;
+  const uint64_t manifest = pool.ReadU64(kHdrManifest);
+  if (manifest == 0 || manifest + kManRuns + kMaxRuns * 8 > pool.size()) {
+    throw RecoveryFailure("rocksdb recovery: manifest out of bounds");
+  }
+  const uint64_t n = pool.ReadU64(manifest + kManRunCount);
+  if (n > kMaxRuns) {
+    throw RecoveryFailure("rocksdb recovery: manifest run count corrupt");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t run = pool.ReadU64(manifest + kManRuns + i * 8);
+    if (run == 0 || run + kRunRecords > pool.size()) {
+      throw RecoveryFailure("rocksdb recovery: run out of bounds");
+    }
+    const uint64_t count = pool.ReadU64(run + kRunCount);
+    if (run + kRunRecords + count * sizeof(RunRecord) > pool.size()) {
+      throw RecoveryFailure("rocksdb recovery: run length corrupt");
+    }
+    if (validate &&
+        pool.ReadU64(run + kRunChecksum) != RunChecksum(pool, run)) {
+      throw RecoveryFailure("rocksdb recovery: run checksum mismatch");
+    }
+    uint64_t previous = 0;
+    for (uint64_t r = 0; r < count; ++r) {
+      RunRecord record = pool.ReadObject<RunRecord>(
+          run + kRunRecords + r * sizeof(RunRecord));
+      if (validate && record.key <= previous) {
+        throw RecoveryFailure("rocksdb recovery: run not sorted");
+      }
+      previous = record.key;
+      if (record.value == 0) {
+        state.erase(record.key);
+      } else {
+        state[record.key] = record.value;
+      }
+    }
+  }
+  // WAL tail: records after the manifest's flushed sequence.
+  const uint64_t wal = pool.ReadU64(kHdrWal);
+  const uint64_t flushed_seq = pool.ReadU64(manifest + kManFlushedSeq);
+  const uint64_t wal_seq = pool.ReadU64(kHdrWalSeq);
+  if (wal_seq < flushed_seq || wal_seq - flushed_seq > kWalCapacity) {
+    throw RecoveryFailure("rocksdb recovery: WAL window corrupt");
+  }
+  for (uint64_t seq = flushed_seq + 1; seq <= wal_seq; ++seq) {
+    WalRecord record = pool.ReadObject<WalRecord>(
+        wal + (seq % kWalCapacity) * sizeof(WalRecord));
+    if (record.seq != seq) {
+      throw RecoveryFailure("rocksdb recovery: WAL record missing");
+    }
+    if (record.op == 2 || record.value == 0) {
+      state.erase(record.key);
+    } else {
+      state[record.key] = record.value;
+    }
+  }
+  return state;
+}
+
+void RocksDbLiteTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  if (pool.ReadU64(kHdrMagic) != kRocksMagic) {
+    return;  // crash before initialisation
+  }
+  const std::map<uint64_t, uint64_t> state =
+      ReplayState(pool, /*validate=*/true);
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  counter.ValidateAndRepair(state.size());
+  memtable_.clear();
+}
+
+uint64_t RocksDbLiteTarget::CountItems(PmPool& pool) {
+  return ReplayState(pool, /*validate=*/false).size();
+}
+
+uint64_t RocksDbLiteTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/rocksdb_lite.cc",
+                          "src/targets/fast_fair.cc",
+                          "src/targets/cceh.cc", "src/targets/wort.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         2200);
+}
+
+}  // namespace mumak

@@ -1,0 +1,77 @@
+// PM-RocksDB analogue (pmem/rocksdb, §6.3): an LSM tree whose write path
+// runs on persistent memory — a persisted write-ahead log, a volatile
+// memtable, sorted runs flushed to PM with checksummed footers, a manifest
+// published by atomic descriptor swap, and multi-run compaction. Manages
+// PM directly (the pmem/rocksdb WAL uses libpmem, not libpmemobj).
+
+#ifndef MUMAK_SRC_TARGETS_ROCKSDB_LITE_H_
+#define MUMAK_SRC_TARGETS_ROCKSDB_LITE_H_
+
+#include <map>
+
+#include "src/targets/raw_heap.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+class RocksDbLiteTarget : public Target {
+ public:
+  explicit RocksDbLiteTarget(const TargetOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "rocksdb"; }
+  uint64_t DefaultPoolSize() const override { return 16ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override { (void)pool; }
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr uint64_t kMemtableLimit = 48;
+  static constexpr uint64_t kMaxRuns = 8;
+  static constexpr uint64_t kWalCapacity = 4096;  // records
+
+  struct WalRecord {
+    uint64_t seq = 0;
+    uint64_t op = 0;  // 1 = put, 2 = delete (tombstone)
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  struct RunRecord {
+    uint64_t key = 0;
+    uint64_t value = 0;  // 0 = tombstone
+  };
+
+  bool BugEnabled(std::string_view id) const {
+    return options_.BugEnabled(id);
+  }
+
+  void AppendWal(PmPool& pool, uint64_t op, uint64_t key, uint64_t value);
+  void FlushMemtable(PmPool& pool);
+  void Compact(PmPool& pool);
+  // Writes a sorted run; returns its offset.
+  uint64_t WriteRun(PmPool& pool,
+                    const std::map<uint64_t, uint64_t>& entries);
+  // Publishes a new manifest {runs..., flushed_seq}.
+  void PublishManifest(PmPool& pool, const std::vector<uint64_t>& runs,
+                       uint64_t flushed_seq);
+
+  uint64_t RunChecksum(PmPool& pool, uint64_t run) const;
+  std::map<uint64_t, uint64_t> ReplayState(PmPool& pool, bool validate);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  void Delete(PmPool& pool, uint64_t key);
+
+  TargetOptions options_;
+  // Volatile memtable (value 0 = tombstone).
+  std::map<uint64_t, uint64_t> memtable_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_ROCKSDB_LITE_H_

@@ -1,0 +1,115 @@
+#include "src/targets/target.h"
+
+#include <functional>
+#include <map>
+
+#include "src/targets/art.h"
+#include "src/targets/btree.h"
+#include "src/targets/ctree.h"
+#include "src/targets/hashmap_atomic.h"
+#include "src/targets/hashmap_tx.h"
+#include "src/targets/cceh.h"
+#include "src/targets/fast_fair.h"
+#include "src/targets/level_hashing.h"
+#include "src/targets/montage_targets.h"
+#include "src/targets/pmemkv_engines.h"
+#include "src/targets/rbtree.h"
+#include "src/targets/redis_lite.h"
+#include "src/targets/rocksdb_lite.h"
+#include "src/targets/wort.h"
+
+namespace mumak {
+namespace {
+
+using Factory = std::function<TargetPtr(const TargetOptions&)>;
+
+const std::map<std::string, Factory, std::less<>>& Registry() {
+  static const std::map<std::string, Factory, std::less<>> registry = {
+      {"art",
+       [](const TargetOptions& o) { return std::make_unique<ArtTarget>(o); }},
+      {"btree",
+       [](const TargetOptions& o) { return std::make_unique<BtreeTarget>(o); }},
+      {"cmap",
+       [](const TargetOptions& o) { return std::make_unique<CmapTarget>(o); }},
+      {"ctree",
+       [](const TargetOptions& o) { return std::make_unique<CtreeTarget>(o); }},
+      {"hashmap_atomic",
+       [](const TargetOptions& o) {
+         return std::make_unique<HashmapAtomicTarget>(o);
+       }},
+      {"hashmap_tx",
+       [](const TargetOptions& o) {
+         return std::make_unique<HashmapTxTarget>(o);
+       }},
+      {"cceh",
+       [](const TargetOptions& o) { return std::make_unique<CcehTarget>(o); }},
+      {"fast_fair",
+       [](const TargetOptions& o) {
+         return std::make_unique<FastFairTarget>(o);
+       }},
+      {"level_hashing",
+       [](const TargetOptions& o) {
+         return std::make_unique<LevelHashingTarget>(o);
+       }},
+      {"montage_hashtable",
+       [](const TargetOptions& o) {
+         return std::make_unique<MontageHashtableTarget>(o);
+       }},
+      {"montage_lf_hashtable",
+       [](const TargetOptions& o) {
+         return std::make_unique<MontageLfHashtableTarget>(o);
+       }},
+      {"rbtree",
+       [](const TargetOptions& o) {
+         return std::make_unique<RbtreeTarget>(o);
+       }},
+      {"redis",
+       [](const TargetOptions& o) {
+         return std::make_unique<RedisLiteTarget>(o);
+       }},
+      {"rocksdb",
+       [](const TargetOptions& o) {
+         return std::make_unique<RocksDbLiteTarget>(o);
+       }},
+      {"stree",
+       [](const TargetOptions& o) { return std::make_unique<StreeTarget>(o); }},
+      {"wort",
+       [](const TargetOptions& o) { return std::make_unique<WortTarget>(o); }},
+  };
+  return registry;
+}
+
+}  // namespace
+
+TargetPtr CreateTarget(std::string_view name, const TargetOptions& options) {
+  auto it = Registry().find(name);
+  if (it == Registry().end()) {
+    return nullptr;
+  }
+  return it->second(options);
+}
+
+std::vector<std::string> AllTargetNames() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : Registry()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+RecoveryResult RunRecoveryOracle(Target& target, PmPool& pool) {
+  RecoveryResult result;
+  try {
+    target.Recover(pool);
+    result.status = RecoveryStatus::kOk;
+  } catch (const RecoveryFailure& failure) {
+    result.status = RecoveryStatus::kUnrecoverable;
+    result.detail = failure.what();
+  } catch (const std::exception& crash) {
+    result.status = RecoveryStatus::kCrashed;
+    result.detail = std::string("recovery crashed: ") + crash.what();
+  }
+  return result;
+}
+
+}  // namespace mumak

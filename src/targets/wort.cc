@@ -1,0 +1,360 @@
+#include "src/targets/wort.h"
+
+#include <vector>
+
+#include "src/instrument/shadow_call_stack.h"
+#include "src/targets/code_size.h"
+
+namespace mumak {
+namespace {
+
+constexpr uint64_t kWortMagic = 0x54524f57ull;  // "WORT"
+
+constexpr uint64_t kHdrMagic = 0x00;
+constexpr uint64_t kHdrRoot = 0x08;
+constexpr uint64_t kHdrCount = 0x10;
+constexpr uint64_t kHdrDirty = 0x18;
+constexpr uint64_t kHdrHeapHead = 0x20;
+constexpr uint64_t kHeaderBytes = 0x40;
+
+}  // namespace
+
+uint64_t WortTarget::AllocLeaf(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  const uint64_t leaf = heap.Alloc(sizeof(Leaf));
+  Leaf fresh{key, value};
+  pool.WriteObject(leaf, fresh);
+  pool.PersistRange(leaf, sizeof(Leaf));
+  return leaf;
+}
+
+uint64_t WortTarget::AllocNode(PmPool& pool) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  const uint64_t node = heap.Alloc(sizeof(Node));
+  pool.Memset(node, 0, sizeof(Node));
+  pool.PersistRange(node, sizeof(Node));
+  return node;
+}
+
+void WortTarget::Setup(PmPool& pool) {
+  MUMAK_FRAME();
+  RawHeap heap(&pool, kHdrHeapHead);
+  heap.Init(kHeaderBytes + 64);
+  const uint64_t root = AllocNode(pool);
+  pool.WriteU64(kHdrMagic, kWortMagic);
+  pool.WriteU64(kHdrRoot, root);
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  counter.Init(/*persist=*/false);  // covered by the header persist below
+  pool.PersistRange(0, kHeaderBytes);
+}
+
+void WortTarget::Put(PmPool& pool, uint64_t key, uint64_t value) {
+  MUMAK_FRAME();
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  uint64_t node = pool.ReadU64(kHdrRoot);
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    const uint64_t slot =
+        node + static_cast<uint64_t>(NibbleOf(key, depth)) * 8;
+    const uint64_t tagged = pool.ReadU64(slot);
+
+    if (tagged == 0) {
+      // Empty slot: create the leaf off-tree, then link atomically.
+      if (!BugEnabled("wort.c4_count_no_dirty")) {
+        counter.BeginInsert();
+      }
+      if (BugEnabled("wort.c1_link_before_init")) {
+        // BUG wort.c1_link_before_init (ordering): the slot is published
+        // before the leaf contents exist.
+        RawHeap heap(&pool, kHdrHeapHead);
+        const uint64_t leaf = heap.Alloc(sizeof(Leaf));
+        pool.WriteU64(slot, leaf | kLeafTag);
+        pool.PersistRange(slot, sizeof(uint64_t));
+        Leaf fresh{key, value};
+        pool.WriteObject(leaf, fresh);
+        pool.PersistRange(leaf, sizeof(Leaf));
+      } else if (BugEnabled("wort.c5_link_single_fence")) {
+        // BUG wort.c5_link_single_fence (ordering beyond program order):
+        // the leaf and the publishing slot are flushed with clflushopt and
+        // ordered by a single fence.
+        RawHeap heap(&pool, kHdrHeapHead);
+        const uint64_t leaf = heap.Alloc(sizeof(Leaf));
+        Leaf fresh{key, value};
+        pool.WriteObject(leaf, fresh);
+        pool.ClflushOpt(leaf);
+        pool.WriteU64(slot, leaf | kLeafTag);
+        pool.ClflushOpt(slot);
+        pool.Sfence();
+      } else {
+        const uint64_t leaf = AllocLeaf(pool, key, value);
+        pool.WriteU64(slot, leaf | kLeafTag);
+        pool.PersistRange(slot, sizeof(uint64_t));
+        if (BugEnabled("wort.p3_rf_insert_double")) {
+          // BUG wort.p3_rf_insert_double (redundant flush).
+          pool.Clwb(slot);
+          pool.Sfence();
+        }
+      }
+      if (!BugEnabled("wort.c4_count_no_dirty")) {
+        counter.CommitInsert();
+      } else {
+        // BUG wort.c4_count_no_dirty (ordering): bare counter update.
+        pool.WriteU64(kHdrCount, pool.ReadU64(kHdrCount) + 1);
+        pool.PersistRange(kHdrCount, sizeof(uint64_t));
+      }
+      if (BugEnabled("wort.p4_rfence_insert")) {
+        // BUG wort.p4_rfence_insert (redundant fence).
+        pool.Sfence();
+      }
+      return;
+    }
+
+    if (IsLeaf(tagged)) {
+      Leaf existing = pool.ReadObject<Leaf>(Untag(tagged));
+      if (existing.key == key) {
+        pool.WriteU64(Untag(tagged) + offsetof(Leaf, value), value);
+        if (BugEnabled("wort.c2_update_unflushed")) {
+          // BUG wort.c2_update_unflushed (durability): the in-place value
+          // update is never flushed.
+          return;
+        }
+        pool.PersistRange(Untag(tagged) + offsetof(Leaf, value),
+                          sizeof(uint64_t));
+        if (BugEnabled("wort.p10_rfence_update")) {
+          // BUG wort.p10_rfence_update (redundant fence).
+          pool.Sfence();
+        }
+        return;
+      }
+      // Collision: build the disambiguating chain of nodes off-tree down
+      // to the first differing nibble, then link it with one atomic store.
+      if (!BugEnabled("wort.c4_count_no_dirty")) {
+        counter.BeginInsert();
+      }
+      int d = depth + 1;
+      while (d < kMaxDepth &&
+             NibbleOf(existing.key, d) == NibbleOf(key, d)) {
+        ++d;
+      }
+      if (d == kMaxDepth) {
+        throw PmdkError("wort: duplicate full key path");
+      }
+      const uint64_t new_leaf = AllocLeaf(pool, key, value);
+      // Chain node addresses, top (depth+1) to bottom (d).
+      std::vector<uint64_t> chain;
+      for (int level = depth + 1; level <= d; ++level) {
+        chain.push_back(AllocNode(pool));
+      }
+      auto fill_chain = [&] {
+        // Persist exactly the slots written; the nodes were persisted
+        // (zeroed) when allocated.
+        const uint64_t bottom = chain.back();
+        const uint64_t slot_a =
+            bottom + static_cast<uint64_t>(NibbleOf(existing.key, d)) * 8;
+        const uint64_t slot_b =
+            bottom + static_cast<uint64_t>(NibbleOf(key, d)) * 8;
+        pool.WriteU64(slot_a, tagged);
+        pool.WriteU64(slot_b, new_leaf | kLeafTag);
+        pool.Clwb(slot_a);
+        if (LineBase(slot_b) != LineBase(slot_a)) {
+          pool.Clwb(slot_b);
+        }
+        pool.Sfence();
+        for (size_t i = chain.size() - 1; i-- > 0;) {
+          const int level = depth + 1 + static_cast<int>(i);
+          const uint64_t mid_slot =
+              chain[i] + static_cast<uint64_t>(NibbleOf(key, level)) * 8;
+          pool.WriteU64(mid_slot, chain[i + 1]);
+          pool.PersistRange(mid_slot, sizeof(uint64_t));
+        }
+      };
+      if (BugEnabled("wort.c3_chain_link_first")) {
+        // BUG wort.c3_chain_link_first (ordering): the chain is linked into
+        // the tree before its nodes are populated; a crash in between
+        // orphans the existing leaf behind an empty node chain.
+        pool.WriteU64(slot, chain.front());
+        pool.PersistRange(slot, sizeof(uint64_t));
+        fill_chain();
+      } else {
+        // Correct WORT order: the whole off-tree chain becomes durable,
+        // then one 8-byte store links it.
+        fill_chain();
+        if (BugEnabled("wort.p5_rf_chain_double")) {
+          // BUG wort.p5_rf_chain_double (redundant flush): the chain root
+          // is flushed again before the link.
+          pool.Clwb(chain.front());
+          pool.Sfence();
+        }
+        pool.WriteU64(slot, chain.front());
+        pool.PersistRange(slot, sizeof(uint64_t));
+      }
+      if (!BugEnabled("wort.c4_count_no_dirty")) {
+        counter.CommitInsert();
+      } else {
+        pool.WriteU64(kHdrCount, pool.ReadU64(kHdrCount) + 1);
+        pool.PersistRange(kHdrCount, sizeof(uint64_t));
+      }
+      return;
+    }
+
+    node = tagged;
+  }
+  throw PmdkError("wort: descent exceeded max depth");
+}
+
+bool WortTarget::Remove(PmPool& pool, uint64_t key) {
+  MUMAK_FRAME();
+  uint64_t node = pool.ReadU64(kHdrRoot);
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    const uint64_t slot =
+        node + static_cast<uint64_t>(NibbleOf(key, depth)) * 8;
+    const uint64_t tagged = pool.ReadU64(slot);
+    if (tagged == 0) {
+      return false;
+    }
+    if (IsLeaf(tagged)) {
+      Leaf leaf = pool.ReadObject<Leaf>(Untag(tagged));
+      if (leaf.key != key) {
+        return false;
+      }
+      DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+      counter.BeginDelete();
+      // One atomic store retires the leaf (the leaf itself is leaked, as
+      // in the original WORT, which has no reclamation).
+      pool.WriteU64(slot, 0);
+      pool.PersistRange(slot, sizeof(uint64_t));
+      if (BugEnabled("wort.p9_rf_delete_double")) {
+        // BUG wort.p9_rf_delete_double (redundant flush): the cleared slot
+        // line is flushed a second time.
+        pool.Clwb(slot);
+        pool.Sfence();
+      }
+      counter.CommitDelete();
+      if (BugEnabled("wort.p6_rfence_delete")) {
+        // BUG wort.p6_rfence_delete (redundant fence).
+        pool.Sfence();
+      }
+      return true;
+    }
+    node = tagged;
+  }
+  return false;
+}
+
+bool WortTarget::Get(PmPool& pool, uint64_t key, uint64_t* value) {
+  MUMAK_FRAME();
+  uint64_t node = pool.ReadU64(kHdrRoot);
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    const uint64_t slot =
+        node + static_cast<uint64_t>(NibbleOf(key, depth)) * 8;
+    const uint64_t tagged = pool.ReadU64(slot);
+    if (tagged == 0) {
+      if (BugEnabled("wort.p2_rfence_get")) {
+        // BUG wort.p2_rfence_get (redundant fence) on the miss path.
+        pool.Sfence();
+      }
+      return false;
+    }
+    if (IsLeaf(tagged)) {
+      Leaf leaf = pool.ReadObject<Leaf>(Untag(tagged));
+      if (leaf.key != key) {
+        return false;
+      }
+      if (value != nullptr) {
+        *value = leaf.value;
+      }
+      if (BugEnabled("wort.p1_rf_get")) {
+        // BUG wort.p1_rf_get (redundant flush): lookups flush the leaf.
+        pool.Clwb(Untag(tagged));
+        pool.Sfence();
+      }
+      return true;
+    }
+    node = tagged;
+  }
+  return false;
+}
+
+void WortTarget::Execute(PmPool& pool, const Op& op) {
+  MUMAK_FRAME();
+  if (BugEnabled("wort.p7_transient_stats")) {
+    // BUG wort.p7_transient_stats (transient data).
+    const uint64_t off = pool.size() - kCacheLineSize;
+    pool.WriteU64(off, pool.ReadU64(off) + 1);
+  }
+  if (BugEnabled("wort.p8_rf_root")) {
+    // BUG wort.p8_rf_root (redundant flush): the clean root node line is
+    // flushed every op.
+    pool.Clwb(pool.ReadU64(kHdrRoot));
+    pool.Sfence();
+  }
+  switch (op.kind) {
+    case OpKind::kPut:
+      Put(pool, op.key + 1, op.value);
+      break;
+    case OpKind::kGet:
+      Get(pool, op.key + 1, nullptr);
+      break;
+    case OpKind::kDelete:
+      Remove(pool, op.key + 1);
+      break;
+  }
+}
+
+uint64_t WortTarget::ValidateSubtree(PmPool& pool, uint64_t tagged,
+                                     uint64_t prefix, int depth) {
+  if (depth > kMaxDepth) {
+    throw RecoveryFailure("wort recovery: tree too deep");
+  }
+  if (Untag(tagged) == 0 || Untag(tagged) + sizeof(Node) > pool.size()) {
+    throw RecoveryFailure("wort recovery: pointer out of bounds");
+  }
+  if (IsLeaf(tagged)) {
+    Leaf leaf = pool.ReadObject<Leaf>(Untag(tagged));
+    if (leaf.key == 0 || leaf.value == 0) {
+      throw RecoveryFailure("wort recovery: uninitialised leaf");
+    }
+    // The leaf's key must match the nibble path that reaches it.
+    const int bits = 4 * depth;
+    if (bits > 0 && (leaf.key >> (64 - bits)) != prefix) {
+      throw RecoveryFailure("wort recovery: leaf violates its radix path");
+    }
+    return 1;
+  }
+  Node node = pool.ReadObject<Node>(Untag(tagged));
+  uint64_t items = 0;
+  for (int c = 0; c < kFanout; ++c) {
+    if (node.children[c] == 0) {
+      continue;
+    }
+    items += ValidateSubtree(pool, node.children[c],
+                             (prefix << 4) | static_cast<uint64_t>(c),
+                             depth + 1);
+  }
+  return items;
+}
+
+void WortTarget::Recover(PmPool& pool) {
+  MUMAK_FRAME();
+  if (pool.ReadU64(kHdrMagic) != kWortMagic) {
+    return;  // crash before initialisation
+  }
+  const uint64_t items =
+      ValidateSubtree(pool, pool.ReadU64(kHdrRoot), 0, 0);
+  DirtyCounter counter(&pool, kHdrCount, kHdrDirty);
+  counter.ValidateAndRepair(items);
+}
+
+uint64_t WortTarget::CountItems(PmPool& pool) {
+  return ValidateSubtree(pool, pool.ReadU64(kHdrRoot), 0, 0);
+}
+
+uint64_t WortTarget::CodeSizeStatements() const {
+  return CountStatements({"src/targets/wort.cc",
+                          "src/pmem/persistency_model.cc",
+                          "src/pmem/pm_pool.cc"},
+                         650);
+}
+
+}  // namespace mumak

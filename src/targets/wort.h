@@ -1,0 +1,67 @@
+// WORT (Lee et al., FAST'17) analogue: write-optimal radix tree. 4-bit
+// radix nodes over 64-bit keys; new subtrees are built and persisted
+// off-tree, then linked with a single 8-byte atomic store — the "one store
+// per update" persistence discipline that gives WORT its name. No PMDK.
+
+#ifndef MUMAK_SRC_TARGETS_WORT_H_
+#define MUMAK_SRC_TARGETS_WORT_H_
+
+#include "src/targets/raw_heap.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+
+class WortTarget : public Target {
+ public:
+  explicit WortTarget(const TargetOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "wort"; }
+  uint64_t DefaultPoolSize() const override { return 8ull << 20; }
+  void Setup(PmPool& pool) override;
+  void Execute(PmPool& pool, const Op& op) override;
+  void Finish(PmPool& pool) override { (void)pool; }
+  void Recover(PmPool& pool) override;
+  uint64_t CodeSizeStatements() const override;
+
+  bool Get(PmPool& pool, uint64_t key, uint64_t* value);
+  uint64_t CountItems(PmPool& pool);
+
+ private:
+  static constexpr int kFanout = 16;      // 4-bit chunks
+  static constexpr int kMaxDepth = 16;    // 64 / 4
+  static constexpr uint64_t kLeafTag = 1;
+
+  struct Node {
+    uint64_t children[kFanout] = {};
+  };
+
+  struct Leaf {
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  bool BugEnabled(std::string_view id) const {
+    return options_.BugEnabled(id);
+  }
+
+  static int NibbleOf(uint64_t key, int depth) {
+    return static_cast<int>((key >> (60 - 4 * depth)) & 0xf);
+  }
+  static bool IsLeaf(uint64_t tagged) { return (tagged & kLeafTag) != 0; }
+  static uint64_t Untag(uint64_t tagged) { return tagged & ~kLeafTag; }
+
+  uint64_t AllocLeaf(PmPool& pool, uint64_t key, uint64_t value);
+  uint64_t AllocNode(PmPool& pool);
+
+  void Put(PmPool& pool, uint64_t key, uint64_t value);
+  bool Remove(PmPool& pool, uint64_t key);
+
+  uint64_t ValidateSubtree(PmPool& pool, uint64_t tagged, uint64_t prefix,
+                           int depth);
+
+  TargetOptions options_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_TARGETS_WORT_H_

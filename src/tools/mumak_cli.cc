@@ -1,0 +1,263 @@
+// mumak — command line frontend (the paper's implementation couples the
+// Pin tools with a Bash driver; this binary plays that role for the
+// simulated substrate).
+//
+//   mumak --target btree --ops 2000
+//   mumak --target level_hashing --bug lh.c1_token_before_kv
+//   mumak --target rbtree --batched 1024 --pmdk 1.8 --no-warnings
+//   mumak --list-targets / --list-bugs
+//
+// Exit code: 0 when no bugs were found, 1 when bugs were found, 2 on usage
+// errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/mumak.h"
+#include "src/instrument/trace.h"
+#include "src/targets/bug_registry.h"
+#include "src/targets/target.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: mumak --target <name> [options]\n"
+      "\n"
+      "target and workload:\n"
+      "  --target <name>       target application (see --list-targets)\n"
+      "  --ops <n>             workload operations (default 2000)\n"
+      "  --mix <put,get,del>   percentages, default 34,33,33\n"
+      "  --keys <n>            key space (default ops/2)\n"
+      "  --seed <n>            workload seed (default 42)\n"
+      "  --zipfian             zipfian keys instead of uniform\n"
+      "  --batched <n>         batch puts into transactions of n ops\n"
+      "                        (default: single put per transaction)\n"
+      "  --pmdk <1.6|1.8|1.12> substrate version (default 1.6)\n"
+      "  --bug <id>            enable a seeded bug (repeatable)\n"
+      "\n"
+      "analysis:\n"
+      "  --store-granularity   failure points at every store (ablation)\n"
+      "  --no-fault-injection  trace analysis only\n"
+      "  --no-trace-analysis   fault injection only\n"
+      "  --no-warnings         report definite bugs only\n"
+      "  --json                machine-readable report on stdout\n"
+      "  --eadr                analyse under eADR persistency semantics\n"
+      "  --budget <seconds>    analysis time budget\n"
+      "  --jobs <n>            parallel fault-injection workers (default 1)\n"
+      "  --save-trace <file>   write the PM access trace (binary)\n"
+      "\n"
+      "introspection:\n"
+      "  --list-targets        registered targets\n"
+      "  --list-bugs           seeded bug corpus (optionally --target)\n");
+}
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mumak;
+
+  std::string target_name;
+  std::string save_trace;
+  WorkloadSpec spec;
+  spec.operations = 2000;
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  MumakOptions mumak_options;
+  bool list_targets = false;
+  bool list_bugs = false;
+  bool json_output = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mumak: %s requires a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--target") {
+      target_name = next("--target");
+    } else if (arg == "--ops") {
+      if (!ParseUint(next("--ops"), &spec.operations)) {
+        std::fprintf(stderr, "mumak: bad --ops\n");
+        return 2;
+      }
+    } else if (arg == "--keys") {
+      if (!ParseUint(next("--keys"), &spec.key_space)) {
+        std::fprintf(stderr, "mumak: bad --keys\n");
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      if (!ParseUint(next("--seed"), &spec.seed)) {
+        std::fprintf(stderr, "mumak: bad --seed\n");
+        return 2;
+      }
+    } else if (arg == "--mix") {
+      const char* mix = next("--mix");
+      if (std::sscanf(mix, "%d,%d,%d", &spec.put_pct, &spec.get_pct,
+                      &spec.delete_pct) != 3 ||
+          spec.put_pct + spec.get_pct + spec.delete_pct != 100) {
+        std::fprintf(stderr, "mumak: --mix must be three percentages "
+                             "summing to 100\n");
+        return 2;
+      }
+    } else if (arg == "--zipfian") {
+      spec.distribution = KeyDistribution::kZipfian;
+    } else if (arg == "--batched") {
+      uint64_t batch = 0;
+      if (!ParseUint(next("--batched"), &batch) || batch == 0) {
+        std::fprintf(stderr, "mumak: bad --batched\n");
+        return 2;
+      }
+      spec.single_put_per_tx = false;
+      options.single_put_per_tx = false;
+      options.tx_batch = batch;
+      spec.tx_batch = batch;
+    } else if (arg == "--pmdk") {
+      const std::string version = next("--pmdk");
+      if (version == "1.6") {
+        options.pmdk_version = PmdkVersion::k16;
+      } else if (version == "1.8") {
+        options.pmdk_version = PmdkVersion::k18;
+      } else if (version == "1.12") {
+        options.pmdk_version = PmdkVersion::k112;
+      } else {
+        std::fprintf(stderr, "mumak: unknown PMDK version '%s'\n",
+                     version.c_str());
+        return 2;
+      }
+    } else if (arg == "--bug") {
+      options.bugs.insert(next("--bug"));
+    } else if (arg == "--store-granularity") {
+      mumak_options.granularity = FailurePointGranularity::kStore;
+    } else if (arg == "--no-fault-injection") {
+      mumak_options.fault_injection = false;
+    } else if (arg == "--no-trace-analysis") {
+      mumak_options.trace_analysis = false;
+    } else if (arg == "--no-warnings") {
+      mumak_options.report_warnings = false;
+    } else if (arg == "--json") {
+      json_output = true;
+    } else if (arg == "--eadr") {
+      mumak_options.eadr_mode = true;
+    } else if (arg == "--budget") {
+      uint64_t seconds = 0;
+      if (!ParseUint(next("--budget"), &seconds)) {
+        std::fprintf(stderr, "mumak: bad --budget\n");
+        return 2;
+      }
+      mumak_options.time_budget_s = static_cast<double>(seconds);
+    } else if (arg == "--jobs") {
+      uint64_t jobs = 0;
+      if (!ParseUint(next("--jobs"), &jobs) || jobs == 0) {
+        std::fprintf(stderr, "mumak: bad --jobs\n");
+        return 2;
+      }
+      mumak_options.injection_workers = static_cast<uint32_t>(jobs);
+    } else if (arg == "--save-trace") {
+      save_trace = next("--save-trace");
+    } else if (arg == "--list-targets") {
+      list_targets = true;
+    } else if (arg == "--list-bugs") {
+      list_bugs = true;
+    } else {
+      std::fprintf(stderr, "mumak: unknown option '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (list_targets) {
+    for (const std::string& name : AllTargetNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (list_bugs) {
+    for (const SeededBug& bug : AllSeededBugs()) {
+      if (!target_name.empty() && bug.target != target_name) {
+        continue;
+      }
+      std::printf("%-42s %-16s %s\n", bug.id.c_str(),
+                  std::string(BugClassName(bug.bug_class)).c_str(),
+                  bug.description.c_str());
+    }
+    return 0;
+  }
+  if (target_name.empty()) {
+    std::fprintf(stderr, "mumak: --target is required\n");
+    PrintUsage();
+    return 2;
+  }
+  if (CreateTarget(target_name, options) == nullptr) {
+    std::fprintf(stderr, "mumak: unknown target '%s' (see --list-targets)\n",
+                 target_name.c_str());
+    return 2;
+  }
+
+  if (!json_output) {
+    std::printf("mumak: analysing %s (%llu ops, %s)\n", target_name.c_str(),
+                static_cast<unsigned long long>(spec.operations),
+                spec.single_put_per_tx ? "single put per transaction"
+                                       : "batched transactions");
+  }
+  Mumak mumak([target_name, options] {
+    return CreateTarget(target_name, options);
+  }, spec, mumak_options);
+  const MumakResult result = mumak.Analyze();
+
+  if (!save_trace.empty()) {
+    // Re-collect the trace for the archive (traces are not retained past
+    // analysis to bound memory). The spooled file carries a site-name
+    // footer so mumak-inspect can resolve locations offline.
+    TargetPtr target = CreateTarget(target_name, options);
+    PmPool pool(target->DefaultPoolSize());
+    TraceFileSink sink(save_trace);
+    {
+      ScopedSink attach(pool.hub(), &sink);
+      FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
+    }
+    sink.Close();
+    if (sink.ok()) {
+      std::printf("mumak: trace saved to %s (%llu events)\n",
+                  save_trace.c_str(),
+                  static_cast<unsigned long long>(sink.count()));
+    } else {
+      std::fprintf(stderr, "mumak: could not write %s\n",
+                   save_trace.c_str());
+    }
+  }
+
+  if (json_output) {
+    std::printf("%s\n",
+                result.report.RenderJson(mumak_options.report_warnings)
+                    .c_str());
+    return result.report.BugCount() == 0 ? 0 : 1;
+  }
+  std::printf("%s", result.report.Render(mumak_options.report_warnings)
+                        .c_str());
+  std::printf(
+      "mumak: %.2fs | %llu failure points, %llu injections | %llu trace "
+      "events | %llu bug(s), %llu warning(s)\n",
+      result.elapsed_s,
+      static_cast<unsigned long long>(result.fault_injection.failure_points),
+      static_cast<unsigned long long>(result.fault_injection.injections),
+      static_cast<unsigned long long>(result.trace.events),
+      static_cast<unsigned long long>(result.report.BugCount()),
+      static_cast<unsigned long long>(result.report.WarningCount()));
+  return result.report.BugCount() == 0 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#include "src/workload/workload.h"
+
+#include <cmath>
+
+namespace mumak {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
+    : spec_(spec), random_(spec.seed) {
+  if (spec_.distribution == KeyDistribution::kZipfian) {
+    const double n = static_cast<double>(spec_.EffectiveKeySpace());
+    zipf_zetan_ = 0;
+    for (uint64_t i = 1; i <= spec_.EffectiveKeySpace(); ++i) {
+      zipf_zetan_ += 1.0 / std::pow(static_cast<double>(i), zipf_theta_);
+    }
+    zipf_alpha_ = 1.0 / (1.0 - zipf_theta_);
+    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, zipf_theta_);
+    zipf_eta_ = (1.0 - std::pow(2.0 / n, 1.0 - zipf_theta_)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
+}
+
+void WorkloadGenerator::Reset() {
+  random_.Reseed(spec_.seed);
+  produced_ = 0;
+}
+
+uint64_t WorkloadGenerator::NextKey() {
+  const uint64_t n = spec_.EffectiveKeySpace();
+  if (spec_.distribution == KeyDistribution::kUniform) {
+    return random_.NextBelow(n);
+  }
+  // YCSB-style zipfian.
+  const double u = random_.NextDouble();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) {
+    return 1;
+  }
+  const double n_d = static_cast<double>(n);
+  return static_cast<uint64_t>(
+      n_d * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  const uint64_t roll = random_.NextBelow(100);
+  if (roll < static_cast<uint64_t>(spec_.put_pct)) {
+    op.kind = OpKind::kPut;
+  } else if (roll <
+             static_cast<uint64_t>(spec_.put_pct + spec_.get_pct)) {
+    op.kind = OpKind::kGet;
+  } else {
+    op.kind = OpKind::kDelete;
+  }
+  op.key = NextKey();
+  op.value = random_.Next() | 1;  // non-zero values
+  ++produced_;
+  return op;
+}
+
+std::vector<Op> WorkloadGenerator::Generate(const WorkloadSpec& spec) {
+  WorkloadGenerator gen(spec);
+  std::vector<Op> ops;
+  ops.reserve(spec.operations);
+  while (!gen.Done()) {
+    ops.push_back(gen.Next());
+  }
+  return ops;
+}
+
+std::string OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPut:
+      return "put";
+    case OpKind::kGet:
+      return "get";
+    case OpKind::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+}  // namespace mumak

@@ -1,0 +1,88 @@
+// Deterministic workload generation. Mumak requires a workload to drive the
+// target (§4, Figure 1 step 3); like the paper's evaluation we use key-value
+// operation mixes (equal parts put/get/delete by default, §6.1) generated
+// from a fixed seed so that fault-injection re-executions are reproducible.
+
+#ifndef MUMAK_SRC_WORKLOAD_WORKLOAD_H_
+#define MUMAK_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/instrument/deterministic_random.h"
+
+namespace mumak {
+
+enum class OpKind : uint8_t {
+  kPut = 0,
+  kGet = 1,
+  kDelete = 2,
+};
+
+struct Op {
+  OpKind kind = OpKind::kPut;
+  uint64_t key = 0;
+  uint64_t value = 0;
+};
+
+enum class KeyDistribution {
+  kUniform,
+  kZipfian,  // YCSB-style, theta = 0.99
+};
+
+struct WorkloadSpec {
+  uint64_t operations = 1000;
+  // 0 means operations / 2.
+  uint64_t key_space = 0;
+  uint64_t seed = 42;
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  // Percentages; must sum to 100.
+  int put_pct = 34;
+  int get_pct = 33;
+  int delete_pct = 33;
+  // Transaction batching for transactional targets: true = one transaction
+  // per put ("SPT", single put per transaction, §6.1); false = puts batched
+  // into transactions of `tx_batch` operations (the original PMDK example
+  // behaviour, which uses one large transaction).
+  bool single_put_per_tx = true;
+  uint64_t tx_batch = 1024;
+
+  uint64_t EffectiveKeySpace() const {
+    return key_space != 0 ? key_space : (operations / 2 == 0 ? 1
+                                                             : operations / 2);
+  }
+};
+
+// Streams the i-th operation of a spec; two generators over the same spec
+// yield identical sequences.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadSpec& spec);
+
+  Op Next();
+  bool Done() const { return produced_ >= spec_.operations; }
+  uint64_t produced() const { return produced_; }
+  void Reset();
+
+  // Materialises the whole workload.
+  static std::vector<Op> Generate(const WorkloadSpec& spec);
+
+ private:
+  uint64_t NextKey();
+
+  WorkloadSpec spec_;
+  DeterministicRandom random_;
+  uint64_t produced_ = 0;
+  // Zipfian state (Gray et al. incremental generator).
+  double zipf_zetan_ = 0;
+  double zipf_theta_ = 0.99;
+  double zipf_alpha_ = 0;
+  double zipf_eta_ = 0;
+};
+
+std::string OpKindName(OpKind kind);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_WORKLOAD_WORKLOAD_H_

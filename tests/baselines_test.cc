@@ -1,0 +1,197 @@
+// Tests for the baseline tools: each detects its documented bug classes,
+// respects its applicability limits, and carries the Table 1 / Table 3
+// metadata.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/tools.h"
+#include "src/core/coverage.h"
+
+namespace mumak {
+namespace {
+
+TargetFactory FactoryFor(const std::string& name, TargetOptions options) {
+  return [name, options] { return CreateTarget(name, options); };
+}
+
+WorkloadSpec SmallSpec(uint64_t ops = 200) {
+  WorkloadSpec spec;
+  spec.operations = ops;
+  spec.key_space = ops / 4;
+  spec.put_pct = 50;
+  spec.get_pct = 20;
+  spec.delete_pct = 30;
+  return spec;
+}
+
+TEST(BaselineRegistry, AllToolsConstruct) {
+  for (const char* name :
+       {"mumak", "agamotto", "xfdetector", "pmdebugger", "witcher", "yat"}) {
+    auto tool = CreateBaselineTool(name);
+    ASSERT_NE(tool, nullptr) << name;
+    EXPECT_FALSE(tool->name().empty());
+  }
+  EXPECT_EQ(CreateBaselineTool("nope"), nullptr);
+}
+
+TEST(BaselineRegistry, Table1CapabilityMatrix) {
+  // Spot checks against Table 1.
+  auto mumak = CreateBaselineTool("mumak");
+  for (BugClass c :
+       {BugClass::kDurability, BugClass::kAtomicity, BugClass::kOrdering,
+        BugClass::kRedundantFlush, BugClass::kRedundantFence,
+        BugClass::kTransientData}) {
+    EXPECT_TRUE(mumak->DetectsClass(c));
+  }
+  auto agamotto = CreateBaselineTool("agamotto");
+  EXPECT_FALSE(agamotto->DetectsClass(BugClass::kOrdering));
+  EXPECT_TRUE(agamotto->DetectsClass(BugClass::kRedundantFlush));
+  auto yat = CreateBaselineTool("yat");
+  EXPECT_FALSE(yat->DetectsClass(BugClass::kRedundantFence));
+  EXPECT_TRUE(yat->DetectsClass(BugClass::kOrdering));
+  auto xf = CreateBaselineTool("xfdetector");
+  EXPECT_FALSE(xf->DetectsClass(BugClass::kRedundantFlush));
+  EXPECT_FALSE(xf->library_agnostic());
+  EXPECT_TRUE(CreateBaselineTool("witcher")->library_agnostic());
+}
+
+TEST(BaselineRegistry, Table3Ergonomics) {
+  auto mumak = CreateBaselineTool("mumak");
+  const ErgonomicsRow row = mumak->ergonomics();
+  EXPECT_TRUE(row.full_bug_path);
+  EXPECT_TRUE(row.unique_bugs);
+  EXPECT_TRUE(row.generic_workload);
+  EXPECT_FALSE(row.changes_target_code);
+  EXPECT_FALSE(row.changes_build);
+
+  EXPECT_FALSE(CreateBaselineTool("witcher")->ergonomics().generic_workload);
+  EXPECT_TRUE(CreateBaselineTool("pmdebugger")->ergonomics().full_bug_path);
+  EXPECT_FALSE(CreateBaselineTool("xfdetector")->ergonomics().unique_bugs);
+}
+
+TEST(BaselineApplicability, WitcherIsKvOnly) {
+  auto witcher = CreateBaselineTool("witcher");
+  EXPECT_TRUE(witcher->SupportsTarget("btree"));
+  EXPECT_FALSE(witcher->SupportsTarget("rocksdb"));
+  EXPECT_FALSE(witcher->SupportsTarget("montage_hashtable"));
+}
+
+TEST(BaselineApplicability, PmDebuggerIsPmdkOnly) {
+  auto tool = CreateBaselineTool("pmdebugger");
+  EXPECT_TRUE(tool->SupportsTarget("btree"));
+  EXPECT_FALSE(tool->SupportsTarget("level_hashing"));
+  EXPECT_FALSE(tool->SupportsTarget("montage_hashtable"));
+}
+
+TEST(XfDetectorLikeTest, FindsStoreOrderingBug) {
+  TargetOptions options = CoverageOptions("hashmap_atomic");
+  options.bugs.insert("hashmap_atomic.publish_before_init");
+  auto tool = CreateBaselineTool("xfdetector");
+  Budget budget;
+  budget.time_budget_s = 30;
+  ToolRunStats stats;
+  Report report = tool->Analyze(FactoryFor("hashmap_atomic", options),
+                                SmallSpec(150), budget, &stats);
+  EXPECT_GT(report.BugCount(), 0u);
+  EXPECT_GT(stats.units_explored, 0u);
+  // XFDetector stores its shadow memory in PM (Table 2).
+  EXPECT_GT(stats.resources.pm_multiplier, 1.5);
+}
+
+TEST(PmDebuggerLikeTest, FindsDurabilityAndPerformanceBugs) {
+  TargetOptions options = CoverageOptions("btree");
+  options.bugs = {"btree.count_unlogged", "btree.rf_get",
+                  "btree.rfence_put"};
+  auto tool = CreateBaselineTool("pmdebugger");
+  Budget budget;
+  budget.time_budget_s = 30;
+  ToolRunStats stats;
+  Report report = tool->Analyze(FactoryFor("btree", options), SmallSpec(300),
+                                budget, &stats);
+  bool redundant_flush = false;
+  bool redundant_fence = false;
+  for (const Finding& f : report.findings()) {
+    redundant_flush |= f.kind == FindingKind::kRedundantFlush;
+    redundant_fence |= f.kind == FindingKind::kRedundantFence;
+  }
+  EXPECT_TRUE(redundant_flush);
+  EXPECT_TRUE(redundant_fence);
+}
+
+TEST(PmDebuggerLikeTest, ReportsEveryOccurrence) {
+  // Unlike Mumak, PMDebugger does not deduplicate (Table 3): the same
+  // seeded redundant flush shows up once per triggering operation.
+  TargetOptions options = CoverageOptions("btree");
+  options.bugs = {"btree.rf_get"};
+  auto tool = CreateBaselineTool("pmdebugger");
+  Budget budget;
+  ToolRunStats stats;
+  Report report = tool->Analyze(FactoryFor("btree", options), SmallSpec(300),
+                                budget, &stats);
+  uint64_t redundant_flushes = 0;
+  for (const Finding& f : report.findings()) {
+    redundant_flushes += f.kind == FindingKind::kRedundantFlush ? 1 : 0;
+  }
+  EXPECT_GT(redundant_flushes, 3u);
+}
+
+TEST(AgamottoLikeTest, FindsDurabilityBugWithoutWorkload) {
+  TargetOptions options = CoverageOptions("level_hashing");
+  options.bugs.insert("lh.c2_kv_unflushed");
+  auto tool = CreateBaselineTool("agamotto");
+  Budget budget;
+  budget.time_budget_s = 10;
+  ToolRunStats stats;
+  Report report = tool->Analyze(FactoryFor("level_hashing", options),
+                                SmallSpec(), budget, &stats);
+  bool unflushed = false;
+  for (const Finding& f : report.findings()) {
+    unflushed |= f.kind == FindingKind::kUnflushedStore ||
+                 f.kind == FindingKind::kTransientData;
+  }
+  EXPECT_TRUE(unflushed) << report.Render();
+  EXPECT_GT(stats.units_explored, 1u);
+}
+
+TEST(WitcherLikeTest, FindsOrderingBugViaOutputEquivalence) {
+  TargetOptions options = CoverageOptions("level_hashing");
+  options.bugs.insert("lh.c1_token_before_kv");
+  auto tool = CreateBaselineTool("witcher");
+  Budget budget;
+  budget.time_budget_s = 45;
+  ToolRunStats stats;
+  Report report = tool->Analyze(FactoryFor("level_hashing", options),
+                                SmallSpec(200), budget, &stats);
+  EXPECT_GT(report.findings().size(), 0u);
+  // Witcher's parallel workers give it a CPU load far above 1 (Table 2).
+  EXPECT_GT(stats.resources.cpu_load, 1.5);
+}
+
+TEST(YatLikeTest, EnumeratesOrderingsOnTinyWorkloads) {
+  TargetOptions options = CoverageOptions("level_hashing");
+  options.bugs.insert("lh.c3_token_unflushed");
+  auto tool = CreateBaselineTool("yat");
+  Budget budget;
+  budget.time_budget_s = 20;
+  ToolRunStats stats;
+  WorkloadSpec tiny = SmallSpec(30);
+  Report report = tool->Analyze(FactoryFor("level_hashing", options), tiny,
+                                budget, &stats);
+  EXPECT_GT(stats.units_explored, 100u);
+  EXPECT_GT(report.BugCount(), 0u) << report.Render();
+}
+
+TEST(MumakToolTest, AdapterMatchesDriver) {
+  TargetOptions options = CoverageOptions("btree");
+  options.bugs.insert("btree.split_unlogged");
+  auto tool = CreateBaselineTool("mumak");
+  Budget budget;
+  ToolRunStats stats;
+  Report report = tool->Analyze(FactoryFor("btree", options), SmallSpec(300),
+                                budget, &stats);
+  EXPECT_GT(report.BugCount(), 0u);
+  EXPECT_EQ(stats.resources.pm_multiplier, 1.0);  // no metadata in PM
+}
+
+}  // namespace
+}  // namespace mumak

@@ -1,0 +1,186 @@
+// Functional, recovery and fault-injection tests for the btree target.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/fault_injection.h"
+#include "src/targets/btree.h"
+#include "src/workload/workload.h"
+
+namespace mumak {
+namespace {
+
+TargetOptions CleanOptions() {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  return options;
+}
+
+class BtreeFunctionalTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BtreeFunctionalTest, MatchesReferenceMap) {
+  TargetOptions options = CleanOptions();
+  BtreeTarget target(options);
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+
+  WorkloadSpec spec;
+  spec.operations = 3000;
+  spec.seed = GetParam();
+  spec.key_space = 300;
+  std::map<uint64_t, uint64_t> reference;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    target.Execute(pool, op);
+    switch (op.kind) {
+      case OpKind::kPut:
+        reference[op.key] = op.value;
+        break;
+      case OpKind::kDelete:
+        reference.erase(op.key);
+        break;
+      case OpKind::kGet:
+        break;
+    }
+  }
+  target.Finish(pool);
+
+  EXPECT_EQ(target.CountItems(pool), reference.size());
+  for (const auto& [key, value] : reference) {
+    uint64_t got = 0;
+    ASSERT_TRUE(target.Get(pool, key, &got)) << "missing key " << key;
+    EXPECT_EQ(got, value);
+  }
+  // Absent keys must stay absent.
+  for (uint64_t key = 300; key < 320; ++key) {
+    EXPECT_FALSE(target.Get(pool, key, nullptr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeFunctionalTest,
+                         ::testing::Values(1, 7, 42, 1337, 2024));
+
+TEST(BtreeRecovery, CleanRunRecovers) {
+  TargetOptions options = CleanOptions();
+  BtreeTarget target(options);
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  WorkloadSpec spec;
+  spec.operations = 500;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    target.Execute(pool, op);
+  }
+  target.Finish(pool);
+
+  PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+  BtreeTarget fresh(options);
+  EXPECT_NO_THROW(fresh.Recover(recovered));
+}
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec spec;
+  spec.operations = 400;
+  spec.key_space = 60;
+  return spec;
+}
+
+FaultInjectionOptions FastOptions() {
+  FaultInjectionOptions options;
+  return options;
+}
+
+TEST(BtreeFaultInjection, BugFreeTargetHasNoFindings) {
+  TargetOptions options = CleanOptions();
+  FaultInjectionEngine engine(
+      [options] { return std::make_unique<BtreeTarget>(options); },
+      SmallSpec(), FastOptions());
+  FaultInjectionStats stats;
+  Report report = engine.Run(&stats);
+  EXPECT_EQ(report.BugCount(), 0u) << report.Render();
+  EXPECT_GT(stats.failure_points, 10u);
+  EXPECT_GT(stats.injections, 10u);
+}
+
+TEST(BtreeFaultInjection, DetectsUnloggedSplit) {
+  TargetOptions options = CleanOptions();
+  options.bugs.insert("btree.split_unlogged");
+  FaultInjectionEngine engine(
+      [options] { return std::make_unique<BtreeTarget>(options); },
+      SmallSpec(), FastOptions());
+  FaultInjectionStats stats;
+  Report report = engine.Run(&stats);
+  EXPECT_GT(report.BugCount(), 0u);
+  // The report must carry a stack trace through the split path.
+  bool has_location = false;
+  for (const Finding& f : report.Bugs()) {
+    if (!f.location.empty()) {
+      has_location = true;
+    }
+  }
+  EXPECT_TRUE(has_location);
+}
+
+TEST(BtreeFaultInjection, DetectsUnloggedMerge) {
+  TargetOptions options = CleanOptions();
+  options.bugs.insert("btree.merge_unlogged");
+  WorkloadSpec spec = SmallSpec();
+  spec.operations = 800;
+  spec.put_pct = 40;
+  spec.get_pct = 10;
+  spec.delete_pct = 50;
+  FaultInjectionEngine engine(
+      [options] { return std::make_unique<BtreeTarget>(options); }, spec,
+      FastOptions());
+  FaultInjectionStats stats;
+  Report report = engine.Run(&stats);
+  EXPECT_GT(report.BugCount(), 0u);
+}
+
+TEST(BtreeFaultInjection, DetectsUnloggedCounter) {
+  TargetOptions options = CleanOptions();
+  options.bugs.insert("btree.count_unlogged");
+  FaultInjectionEngine engine(
+      [options] { return std::make_unique<BtreeTarget>(options); },
+      SmallSpec(), FastOptions());
+  FaultInjectionStats stats;
+  Report report = engine.Run(&stats);
+  EXPECT_GT(report.BugCount(), 0u);
+}
+
+TEST(BtreeFaultInjection, DeterministicAcrossRuns) {
+  TargetOptions options = CleanOptions();
+  options.bugs.insert("btree.split_unlogged");
+  auto run = [&] {
+    FaultInjectionEngine engine(
+        [options] { return std::make_unique<BtreeTarget>(options); },
+        SmallSpec(), FastOptions());
+    FaultInjectionStats stats;
+    Report report = engine.Run(&stats);
+    return std::make_pair(stats.failure_points, report.BugCount());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+}
+
+TEST(BtreeBatchedTx, LargeTransactionsWork) {
+  TargetOptions options = CleanOptions();
+  options.single_put_per_tx = false;
+  options.tx_batch = 128;
+  BtreeTarget target(options);
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  WorkloadSpec spec;
+  spec.operations = 1000;
+  spec.key_space = 100;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    target.Execute(pool, op);
+  }
+  target.Finish(pool);
+  PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+  BtreeTarget fresh(options);
+  EXPECT_NO_THROW(fresh.Recover(recovered));
+}
+
+}  // namespace
+}  // namespace mumak

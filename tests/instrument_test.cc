@@ -1,0 +1,392 @@
+// Tests for the instrumentation layer: event stream semantics, shadow call
+// stack, frame registry, trace serialisation and deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/instrument/deterministic_random.h"
+#include "src/instrument/event_hub.h"
+#include "src/instrument/shadow_call_stack.h"
+#include "src/instrument/trace.h"
+#include "src/workload/workload.h"
+
+namespace mumak {
+namespace {
+
+TEST(EventKindTest, Classification) {
+  EXPECT_TRUE(IsPersistencyInstruction(EventKind::kClwb));
+  EXPECT_TRUE(IsPersistencyInstruction(EventKind::kSfence));
+  EXPECT_TRUE(IsPersistencyInstruction(EventKind::kRmw));
+  EXPECT_FALSE(IsPersistencyInstruction(EventKind::kStore));
+  EXPECT_FALSE(IsPersistencyInstruction(EventKind::kLoad));
+
+  EXPECT_TRUE(IsFence(EventKind::kMfence));
+  EXPECT_FALSE(IsFence(EventKind::kClflushOpt));
+  EXPECT_TRUE(IsFlush(EventKind::kClflush));
+  EXPECT_FALSE(IsFlush(EventKind::kSfence));
+  EXPECT_TRUE(IsStore(EventKind::kNtStore));
+}
+
+TEST(EventHubTest, SinksReceiveInOrder) {
+  EventHub hub;
+  struct Counter : EventSink {
+    int events = 0;
+    uint64_t last_seq = 0;
+    void OnEvent(const PmEvent& ev) override {
+      ++events;
+      last_seq = ev.seq;
+    }
+  } a, b;
+  hub.AddSink(&a);
+  hub.AddSink(&b);
+  PmEvent ev;
+  ev.seq = hub.next_seq();
+  hub.Publish(ev);
+  EXPECT_EQ(a.events, 1);
+  EXPECT_EQ(b.events, 1);
+  hub.RemoveSink(&a);
+  ev.seq = hub.next_seq();
+  hub.Publish(ev);
+  EXPECT_EQ(a.events, 1);
+  EXPECT_EQ(b.events, 2);
+  EXPECT_EQ(b.last_seq, 1u);
+}
+
+TEST(EventHubTest, ScopedSinkDetaches) {
+  EventHub hub;
+  struct Counter : EventSink {
+    int events = 0;
+    void OnEvent(const PmEvent&) override { ++events; }
+  } sink;
+  {
+    ScopedSink attach(hub, &sink);
+    hub.Publish(PmEvent{});
+  }
+  hub.Publish(PmEvent{});
+  EXPECT_EQ(sink.events, 1);
+}
+
+TEST(EventHubTest, DisableSuppressesPublish) {
+  EventHub hub;
+  struct Counter : EventSink {
+    int events = 0;
+    void OnEvent(const PmEvent&) override { ++events; }
+  } sink;
+  hub.AddSink(&sink);
+  {
+    ScopedInstrumentationOff off(hub);
+    hub.Publish(PmEvent{});
+    EXPECT_FALSE(hub.enabled());
+  }
+  EXPECT_TRUE(hub.enabled());
+  hub.Publish(PmEvent{});
+  EXPECT_EQ(sink.events, 1);
+}
+
+TEST(FrameRegistryTest, InterningIsStable) {
+  FrameRegistry registry;
+  const FrameId a = registry.Intern("Insert", "tree.cc", 10);
+  const FrameId b = registry.Intern("Insert", "tree.cc", 10);
+  const FrameId c = registry.Intern("Insert", "tree.cc", 11);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.Describe(a), "Insert at tree.cc:10");
+  EXPECT_EQ(registry.FunctionName(a), "Insert");
+}
+
+TEST(FrameRegistryTest, CallSitesDistinguishInvocations) {
+  // The same function marked from two call sites must intern differently —
+  // the precision the failure point tree depends on.
+  FrameRegistry registry;
+  int x = 0;
+  const FrameId a = registry.Intern("F", "f.cc", 1, &x);
+  const FrameId b = registry.Intern("F", "f.cc", 1, &x + 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(FrameRegistryTest, ConcurrentInterningIsConsistent) {
+  // Parallel fault-injection workers intern frames and call sites
+  // concurrently; identical inputs must resolve to one id no matter which
+  // thread got there first.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 32;
+  std::vector<std::vector<FrameId>> ids(kThreads,
+                                        std::vector<FrameId>(kNames));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] {
+      for (int n = 0; n < kNames; ++n) {
+        ids[t][n] = FrameRegistry::Global().Intern(
+            "concurrent_fn_" + std::to_string(n), "c.cc", n);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]);
+  }
+  // Describe resolves every id while other threads are still interning
+  // fresh names (shared/exclusive interleaving).
+  std::thread churn([] {
+    for (int n = 0; n < 256; ++n) {
+      FrameRegistry::Global().Intern("churn_fn_" + std::to_string(n),
+                                     "churn.cc", n);
+    }
+  });
+  for (int n = 0; n < kNames; ++n) {
+    EXPECT_NE(FrameRegistry::Global().Describe(ids[0][n]).find(
+                  "concurrent_fn_"),
+              std::string::npos);
+  }
+  churn.join();
+}
+
+TEST(FrameRegistryTest, ConcurrentAddressInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  static int dummy[16];  // stable addresses to intern
+  std::vector<std::vector<FrameId>> ids(kThreads, std::vector<FrameId>(16));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] {
+      for (int n = 0; n < 16; ++n) {
+        ids[t][n] = FrameRegistry::Global().InternAddress(&dummy[n]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]);
+  }
+}
+
+TEST(ShadowCallStackTest, PushPopAndDescribe) {
+  ShadowCallStack stack;
+  const FrameId f = FrameRegistry::Global().Intern("Outer", "a.cc", 1);
+  const FrameId g = FrameRegistry::Global().Intern("Inner", "a.cc", 9);
+  stack.Push(f);
+  stack.Push(g);
+  EXPECT_EQ(stack.depth(), 2u);
+  EXPECT_EQ(stack.frames()[0], f);
+  stack.Pop();
+  EXPECT_EQ(stack.depth(), 1u);
+  stack.Clear();
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(ShadowCallStackTest, ScopedFrameIsRaii) {
+  const size_t depth_before = ShadowCallStack::Current().depth();
+  {
+    MUMAK_FRAME();
+    EXPECT_EQ(ShadowCallStack::Current().depth(), depth_before + 1);
+  }
+  EXPECT_EQ(ShadowCallStack::Current().depth(), depth_before);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  std::vector<PmEvent> events;
+  for (uint64_t i = 0; i < 100; ++i) {
+    PmEvent ev;
+    ev.kind = static_cast<EventKind>(i % 8);
+    ev.offset = i * 64;
+    ev.size = 8;
+    ev.site = static_cast<uint32_t>(i);
+    ev.seq = i;
+    events.push_back(ev);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(TraceIo::Write(events, buffer));
+  std::vector<PmEvent> loaded;
+  ASSERT_TRUE(TraceIo::Read(buffer, &loaded));
+  ASSERT_EQ(loaded.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded[i].kind, events[i].kind);
+    EXPECT_EQ(loaded[i].offset, events[i].offset);
+    EXPECT_EQ(loaded[i].size, events[i].size);
+    EXPECT_EQ(loaded[i].site, events[i].site);
+    EXPECT_EQ(loaded[i].seq, events[i].seq);
+  }
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "not a trace";
+  std::vector<PmEvent> events;
+  EXPECT_FALSE(TraceIo::Read(buffer, &events));
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  std::vector<PmEvent> events(3);
+  events[1].seq = 7;
+  const std::string path = ::testing::TempDir() + "/trace.bin";
+  ASSERT_TRUE(TraceIo::WriteFile(events, path));
+  std::vector<PmEvent> loaded;
+  ASSERT_TRUE(TraceIo::ReadFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[1].seq, 7u);
+}
+
+TEST(TraceFileTest, SinkAndReaderRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spool.bin";
+  {
+    TraceFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    for (uint64_t i = 0; i < 10000; ++i) {
+      PmEvent ev;
+      ev.kind = EventKind::kStore;
+      ev.offset = i * 8;
+      ev.size = 8;
+      ev.site = static_cast<uint32_t>(i & 0xff);
+      ev.seq = i;
+      sink.OnEvent(ev);
+    }
+    sink.Close();
+    EXPECT_EQ(sink.count(), 10000u);
+  }
+  TraceFileReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.total(), 10000u);
+  std::vector<PmEvent> batch;
+  uint64_t seen = 0;
+  while (reader.NextChunk(&batch, 512)) {
+    ASSERT_LE(batch.size(), 512u);
+    for (const PmEvent& ev : batch) {
+      EXPECT_EQ(ev.seq, seen);
+      EXPECT_EQ(ev.offset, seen * 8);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 10000u);
+}
+
+TEST(TraceFileTest, SpooledFileReadableByTraceIo) {
+  const std::string path = ::testing::TempDir() + "/spool2.bin";
+  {
+    TraceFileSink sink(path);
+    PmEvent ev;
+    ev.seq = 5;
+    sink.OnEvent(ev);
+    sink.Close();
+  }
+  std::vector<PmEvent> events;
+  ASSERT_TRUE(TraceIo::ReadFile(path, &events));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 5u);
+}
+
+TEST(TraceFileTest, ReaderRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream out(path);
+    out << "junk";
+  }
+  TraceFileReader reader(path);
+  EXPECT_FALSE(reader.ok());
+  std::vector<PmEvent> batch;
+  EXPECT_FALSE(reader.NextChunk(&batch, 16));
+}
+
+TEST(DeterministicRandomTest, SameSeedSameStream) {
+  DeterministicRandom a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  DeterministicRandom c(100);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(DeterministicRandomTest, BoundsRespected) {
+  DeterministicRandom rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// -- Workload generator ------------------------------------------------------
+
+TEST(WorkloadTest, DeterministicAndPrefixStable) {
+  WorkloadSpec spec;
+  spec.operations = 500;
+  spec.key_space = 100;
+  const auto a = WorkloadGenerator::Generate(spec);
+  const auto b = WorkloadGenerator::Generate(spec);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+  // A longer workload with the same seed and key space extends the shorter.
+  WorkloadSpec longer = spec;
+  longer.operations = 1000;
+  const auto c = WorkloadGenerator::Generate(longer);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, c[i].key);
+  }
+}
+
+TEST(WorkloadTest, MixRoughlyHonoured) {
+  WorkloadSpec spec;
+  spec.operations = 30000;
+  spec.put_pct = 60;
+  spec.get_pct = 30;
+  spec.delete_pct = 10;
+  uint64_t puts = 0, gets = 0, dels = 0;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    puts += op.kind == OpKind::kPut;
+    gets += op.kind == OpKind::kGet;
+    dels += op.kind == OpKind::kDelete;
+    EXPECT_LT(op.key, spec.EffectiveKeySpace());
+    EXPECT_NE(op.value, 0u);
+  }
+  EXPECT_NEAR(static_cast<double>(puts) / spec.operations, 0.60, 0.02);
+  EXPECT_NEAR(static_cast<double>(gets) / spec.operations, 0.30, 0.02);
+  EXPECT_NEAR(static_cast<double>(dels) / spec.operations, 0.10, 0.02);
+}
+
+TEST(WorkloadTest, ZipfianSkews) {
+  WorkloadSpec spec;
+  spec.operations = 20000;
+  spec.key_space = 1000;
+  spec.distribution = KeyDistribution::kZipfian;
+  std::map<uint64_t, uint64_t> histogram;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    EXPECT_LT(op.key, 1000u);
+    ++histogram[op.key];
+  }
+  // The hottest key must be dramatically more frequent than uniform.
+  uint64_t hottest = 0;
+  for (const auto& [key, count] : histogram) {
+    hottest = std::max(hottest, count);
+  }
+  EXPECT_GT(hottest, 20000u / 1000u * 10);
+}
+
+TEST(WorkloadTest, ResetReplays) {
+  WorkloadSpec spec;
+  spec.operations = 50;
+  WorkloadGenerator gen(spec);
+  std::vector<uint64_t> first;
+  while (!gen.Done()) {
+    first.push_back(gen.Next().key);
+  }
+  gen.Reset();
+  for (uint64_t key : first) {
+    EXPECT_EQ(gen.Next().key, key);
+  }
+}
+
+}  // namespace
+}  // namespace mumak

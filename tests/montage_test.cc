@@ -1,0 +1,257 @@
+// Unit and property tests for montage-lite: epoch semantics, allocator
+// reclamation, crash recovery at every epoch boundary, and the two seeded
+// §6.4 bugs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/instrument/deterministic_random.h"
+#include "src/instrument/event_hub.h"
+#include "src/montage/montage_heap.h"
+
+namespace mumak {
+namespace {
+
+MontageConfig FastEpochs() {
+  MontageConfig config;
+  config.epoch_length_ops = 8;
+  return config;
+}
+
+TEST(MontageHeap, CreateAndReopen) {
+  PmPool pm(1 << 20);
+  MontageHeap heap = MontageHeap::Create(&pm, FastEpochs(), 128);
+  EXPECT_EQ(heap.block_count(), 128u);
+  EXPECT_EQ(heap.persisted_epoch(), 0u);
+  EXPECT_EQ(heap.current_epoch(), 1u);
+  heap.Shutdown();
+  PmPool reopened = PmPool::FromImage(pm.GracefulImage());
+  MontageHeap heap2 = MontageHeap::Open(&reopened, FastEpochs());
+  EXPECT_EQ(heap2.block_count(), 128u);
+}
+
+TEST(MontageHeap, PayloadsSurviveEpochSync) {
+  PmPool pm(1 << 20);
+  MontageHeap heap = MontageHeap::Create(&pm, FastEpochs(), 128);
+  const uint64_t block = heap.AllocBlock();
+  heap.WritePayload(block, 7, 70);
+  heap.set_item_count(1);
+  heap.EpochSync();
+  // Power failure after the sync: the payload must survive.
+  PmPool crashed = PmPool::FromImage(pm.PowerFailImage());
+  MontageHeap recovered = MontageHeap::Open(&crashed, FastEpochs());
+  EXPECT_EQ(recovered.CountSurvivingPayloads(), 1u);
+  const MontagePayload payload = recovered.ReadPayload(block);
+  EXPECT_EQ(payload.key, 7u);
+  EXPECT_EQ(payload.value, 70u);
+}
+
+TEST(MontageHeap, UncommittedEpochIsDiscarded) {
+  PmPool pm(1 << 20);
+  MontageHeap heap = MontageHeap::Create(&pm, FastEpochs(), 128);
+  const uint64_t a = heap.AllocBlock();
+  heap.WritePayload(a, 1, 10);
+  heap.set_item_count(1);
+  heap.EpochSync();
+  // Open-epoch write, never synced.
+  const uint64_t b = heap.AllocBlock();
+  heap.WritePayload(b, 2, 20);
+  heap.set_item_count(2);
+  PmPool crashed = PmPool::FromImage(pm.GracefulImage());
+  MontageHeap recovered = MontageHeap::Open(&crashed, FastEpochs());
+  // Only the committed item remains; the uncommitted insert was rolled
+  // back and its block reclaimed.
+  EXPECT_EQ(recovered.item_count(), 1u);
+  EXPECT_EQ(recovered.ReadPayload(b).state, kMontageStateFree);
+}
+
+TEST(MontageHeap, UncommittedDeleteIsRolledBack) {
+  PmPool pm(1 << 20);
+  MontageHeap heap = MontageHeap::Create(&pm, FastEpochs(), 128);
+  const uint64_t block = heap.AllocBlock();
+  heap.WritePayload(block, 5, 50);
+  heap.set_item_count(1);
+  heap.EpochSync();
+  heap.FreeBlock(block);  // uncommitted delete
+  heap.set_item_count(0);
+  PmPool crashed = PmPool::FromImage(pm.GracefulImage());
+  MontageHeap recovered = MontageHeap::Open(&crashed, FastEpochs());
+  EXPECT_EQ(recovered.item_count(), 1u);
+  EXPECT_EQ(recovered.ReadPayload(block).state, kMontageStateUsed);
+  EXPECT_EQ(recovered.ReadPayload(block).key, 5u);
+}
+
+TEST(MontageHeap, InsertAndDeleteInSameEpochIsNotResurrected) {
+  PmPool pm(1 << 20);
+  MontageHeap heap = MontageHeap::Create(&pm, FastEpochs(), 128);
+  const uint64_t block = heap.AllocBlock();
+  heap.WritePayload(block, 9, 90);
+  heap.FreeBlock(block);
+  // item count never changed: the item never existed durably.
+  PmPool crashed = PmPool::FromImage(pm.GracefulImage());
+  MontageHeap recovered = MontageHeap::Open(&crashed, FastEpochs());
+  EXPECT_EQ(recovered.item_count(), 0u);
+  EXPECT_EQ(recovered.ReadPayload(block).state, kMontageStateFree);
+}
+
+TEST(MontageHeap, BlocksAreReclaimedAfterCommittedDelete) {
+  PmPool pm(1 << 20);
+  MontageConfig config = FastEpochs();
+  MontageHeap heap = MontageHeap::Create(&pm, config, 4);
+  // Fill all blocks, delete them (committed), and re-allocate: reclamation
+  // must make the blocks reusable.
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back(heap.AllocBlock());
+    heap.WritePayload(blocks.back(), i + 1, 10);
+  }
+  heap.set_item_count(4);
+  heap.EpochSync();
+  for (uint64_t block : blocks) {
+    heap.FreeBlock(block);
+  }
+  heap.set_item_count(0);
+  heap.EpochSync();
+  heap.EpochSync();  // reclamation completes
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NO_THROW(heap.AllocBlock()) << "block " << i;
+  }
+}
+
+TEST(MontageHeap, CleanShutdownRoundTrip) {
+  PmPool pm(1 << 20);
+  MontageHeap heap = MontageHeap::Create(&pm, FastEpochs(), 128);
+  const uint64_t block = heap.AllocBlock();
+  heap.WritePayload(block, 3, 30);
+  heap.set_item_count(1);
+  heap.Shutdown();
+  PmPool crashed = PmPool::FromImage(pm.PowerFailImage());
+  MontageHeap recovered = MontageHeap::Open(&crashed, FastEpochs());
+  EXPECT_EQ(recovered.item_count(), 1u);
+}
+
+// Property: crash at every epoch boundary of a random workload recovers,
+// and the recovered item count matches the last committed epoch.
+class MontageCrashPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MontageCrashPropertyTest, EveryEpochPrefixRecovers) {
+  DeterministicRandom rng(GetParam());
+  PmPool pm(2 << 20);
+  MontageConfig config = FastEpochs();
+  MontageHeap heap = MontageHeap::Create(&pm, config, 512);
+
+  std::map<uint64_t, uint64_t> live;  // key -> block
+  std::vector<std::vector<uint8_t>> images;
+  std::vector<uint64_t> committed_counts;
+  uint64_t last_committed = 0;
+
+  for (int op = 0; op < 300; ++op) {
+    const uint64_t key = 1 + rng.NextBelow(64);
+    auto it = live.find(key);
+    if (it == live.end()) {
+      const uint64_t block = heap.AllocBlock();
+      heap.WritePayload(block, key, rng.Next() | 1);
+      live.emplace(key, block);
+      heap.set_item_count(live.size());
+    } else if (rng.NextBelow(2) == 0) {
+      heap.FreeBlock(it->second);
+      live.erase(it);
+      heap.set_item_count(live.size());
+    } else {
+      const uint64_t fresh = heap.AllocBlock();
+      heap.WritePayload(fresh, key, rng.Next() | 1);
+      heap.FreeBlock(it->second);
+      it->second = fresh;
+    }
+    heap.OpTick();
+    if ((op & 15) == 15) {
+      // Snapshot a graceful crash image mid-run.
+      images.push_back(pm.GracefulImage());
+      committed_counts.push_back(last_committed);
+    }
+    last_committed = heap.persisted_epoch();
+  }
+
+  for (auto& image : images) {
+    PmPool crashed = PmPool::FromImage(std::move(image));
+    EXPECT_NO_THROW(MontageHeap::Open(&crashed, config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MontageCrashPropertyTest,
+                         ::testing::Values(1, 2, 77, 4242));
+
+// -- The two §6.4 bugs -------------------------------------------------------
+
+TEST(MontageBugs, RecoverabilityBugLosesAllocatorState) {
+  PmPool pm(1 << 20);
+  MontageConfig config = FastEpochs();
+  config.allocator_recoverability_bug = true;
+  MontageHeap heap = MontageHeap::Create(&pm, config, 128);
+  const uint64_t block = heap.AllocBlock();
+  heap.WritePayload(block, 7, 70);
+  heap.set_item_count(1);
+  heap.EpochSync();
+  // Crash: the bitmap only lives in DRAM, so the surviving payload is
+  // untracked.
+  PmPool crashed = PmPool::FromImage(pm.GracefulImage());
+  EXPECT_THROW(MontageHeap::Open(&crashed, config), RecoveryFailure);
+}
+
+TEST(MontageBugs, DestructionBugWindow) {
+  PmPool pm(1 << 20);
+  MontageConfig config = FastEpochs();
+  config.allocator_destruction_bug = true;
+  MontageHeap heap = MontageHeap::Create(&pm, config, 128);
+  const uint64_t block = heap.AllocBlock();
+  heap.WritePayload(block, 7, 70);
+  heap.set_item_count(1);
+
+  // Snapshot a graceful image right after the clean flag is persisted but
+  // before the final sync (the buggy order) by capturing at each fence.
+  struct Grabber : EventSink {
+    PmPool* pm = nullptr;
+    std::vector<std::vector<uint8_t>> images;
+    void OnEvent(const PmEvent& ev) override {
+      if (IsFence(ev.kind)) {
+        images.push_back(pm->GracefulImage());
+      }
+    }
+  } grabber;
+  grabber.pm = &pm;
+  pm.hub().AddSink(&grabber);
+  heap.Shutdown();
+  pm.hub().RemoveSink(&grabber);
+
+  bool any_unrecoverable = false;
+  for (auto& image : grabber.images) {
+    PmPool crashed = PmPool::FromImage(image);
+    try {
+      MontageHeap::Open(&crashed, config);
+    } catch (const RecoveryFailure&) {
+      any_unrecoverable = true;
+    }
+  }
+  EXPECT_TRUE(any_unrecoverable);
+
+  // The fixed order has no such window.
+  PmPool pm2(1 << 20);
+  MontageConfig good = FastEpochs();
+  MontageHeap heap2 = MontageHeap::Create(&pm2, good, 128);
+  const uint64_t b2 = heap2.AllocBlock();
+  heap2.WritePayload(b2, 7, 70);
+  heap2.set_item_count(1);
+  Grabber grabber2;
+  grabber2.pm = &pm2;
+  pm2.hub().AddSink(&grabber2);
+  heap2.Shutdown();
+  pm2.hub().RemoveSink(&grabber2);
+  for (auto& image : grabber2.images) {
+    PmPool crashed = PmPool::FromImage(image);
+    EXPECT_NO_THROW(MontageHeap::Open(&crashed, good));
+  }
+}
+
+}  // namespace
+}  // namespace mumak

@@ -1,0 +1,390 @@
+// Tests for pmobj-lite: allocation, transactions, recovery, and the
+// version-keyed library bugs.
+
+#include <gtest/gtest.h>
+
+#include "src/instrument/deterministic_random.h"
+#include "src/pmdk/obj_pool.h"
+
+namespace mumak {
+namespace {
+
+PmdkConfig Config16() {
+  PmdkConfig config;
+  config.version = PmdkVersion::k16;
+  return config;
+}
+
+TEST(ObjPool, CreateAndReopen) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  EXPECT_EQ(pool.root(), kNullOff);
+  pool.set_root(1234);
+  PmPool reopened = PmPool::FromImage(pm.GracefulImage());
+  ObjPool pool2 = ObjPool::Open(&reopened, Config16());
+  EXPECT_EQ(pool2.root(), 1234u);
+}
+
+TEST(ObjPool, OpenRejectsGarbage) {
+  PmPool pm(1 << 20);
+  EXPECT_THROW(ObjPool::Open(&pm, Config16()), RecoveryFailure);
+}
+
+TEST(ObjPool, TxCommitPersists) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  pool.TxBegin();
+  const uint64_t obj = pool.TxAlloc(64);
+  pm.WriteU64(obj, 42);
+  pool.set_root(obj);
+  pool.TxCommit();
+  // Power-fail after commit: everything must be durable.
+  PmPool crashed = PmPool::FromImage(pm.PowerFailImage());
+  ObjPool reopened = ObjPool::Open(&crashed, Config16());
+  EXPECT_EQ(reopened.root(), obj);
+  EXPECT_EQ(crashed.ReadU64(obj), 42u);
+}
+
+TEST(ObjPool, TxAbortRollsBack) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  pool.TxBegin();
+  const uint64_t obj = pool.TxAlloc(64);
+  pm.WriteU64(obj, 42);
+  pool.set_root(obj);
+  pool.TxCommit();
+
+  pool.TxBegin();
+  pool.TxAddRange(obj, 8);
+  pm.WriteU64(obj, 99);
+  pool.set_root(kNullOff);
+  pool.TxAbort();
+  EXPECT_EQ(pm.ReadU64(obj), 42u);
+  EXPECT_EQ(pool.root(), obj);
+}
+
+TEST(ObjPool, CrashMidTransactionRollsBackOnRecovery) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  pool.TxBegin();
+  const uint64_t obj = pool.TxAlloc(64);
+  pm.WriteU64(obj, 42);
+  pool.set_root(obj);
+  pool.TxCommit();
+
+  pool.TxBegin();
+  pool.TxAddRange(obj, 8);
+  pm.WriteU64(obj, 99);
+  // Graceful crash before commit.
+  PmPool crashed = PmPool::FromImage(pm.GracefulImage());
+  ObjPool recovered = ObjPool::Open(&crashed, Config16());
+  EXPECT_EQ(crashed.ReadU64(obj), 42u);
+  EXPECT_EQ(recovered.root(), obj);
+  recovered.ValidateHeap();
+}
+
+TEST(ObjPool, UndoLogExtensionForLargeTransactions) {
+  PmPool pm(4 << 20);
+  PmdkConfig config = Config16();
+  config.undo_log_capacity = 512;  // force extension quickly
+  ObjPool pool = ObjPool::Create(&pm, config);
+  pool.TxBegin();
+  std::vector<uint64_t> objs;
+  for (int i = 0; i < 64; ++i) {
+    objs.push_back(pool.TxAlloc(64));
+    pm.WriteU64(objs.back(), i);
+  }
+  pool.TxCommit();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(pm.ReadU64(objs[i]), static_cast<uint64_t>(i));
+  }
+  pool.ValidateHeap();
+  // Crash mid large transaction: rollback must restore all 64 objects.
+  pool.TxBegin();
+  for (int i = 0; i < 64; ++i) {
+    pool.TxAddRange(objs[i], 8);
+    pm.WriteU64(objs[i], 1000 + i);
+  }
+  PmPool crashed = PmPool::FromImage(pm.GracefulImage());
+  ObjPool recovered = ObjPool::Open(&crashed, config);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(crashed.ReadU64(objs[i]), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(ObjPool, FreeListReuse) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  pool.TxBegin();
+  const uint64_t a = pool.TxAlloc(64);
+  pool.TxCommit();
+  pool.TxBegin();
+  pool.TxFree(a);
+  pool.TxCommit();
+  pool.TxBegin();
+  const uint64_t b = pool.TxAlloc(64);
+  pool.TxCommit();
+  EXPECT_EQ(a, b);  // first fit reuses the freed block
+  pool.ValidateHeap();
+}
+
+TEST(ObjPool, BlockSplitProducesValidHeap) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  pool.TxBegin();
+  const uint64_t big = pool.TxAlloc(1024);
+  pool.TxCommit();
+  pool.TxBegin();
+  pool.TxFree(big);
+  pool.TxCommit();
+  pool.TxBegin();
+  const uint64_t small = pool.TxAlloc(64);
+  pool.TxCommit();
+  EXPECT_EQ(small, big);  // split head
+  pool.ValidateHeap();
+  EXPECT_EQ(pool.CountLiveBlocks(), 1u);
+}
+
+TEST(ObjPool, AtomicAllocPublishesLink) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  // Use the root header slot as the link.
+  pool.TxBegin();
+  const uint64_t slot = pool.TxAlloc(8);
+  pool.set_root(slot);
+  pool.TxCommit();
+  const uint64_t payload = pool.AtomicAlloc(128, slot);
+  EXPECT_EQ(pm.ReadU64(slot), payload);
+  // Durable without any further fence.
+  PmPool crashed = PmPool::FromImage(pm.PowerFailImage());
+  ObjPool recovered = ObjPool::Open(&crashed, Config16());
+  EXPECT_EQ(crashed.ReadU64(recovered.root()), payload);
+}
+
+TEST(ObjPool, AtomicPublishBugIn18LeavesWindow) {
+  // With the PMDK-1.8 bug, crash right after the link publish (before the
+  // heap head is durable) yields a heap whose walk does not cover the
+  // published block. We reproduce the window with a power-fail image taken
+  // between the publish fence and the heap-head persist.
+  PmPool pm(1 << 20);
+  PmdkConfig config;
+  config.version = PmdkVersion::k18;
+  ObjPool pool = ObjPool::Create(&pm, config);
+  pool.TxBegin();
+  const uint64_t slot = pool.TxAlloc(8);
+  pool.set_root(slot);
+  pool.TxCommit();
+
+  // Count fences to stop after the link publish.
+  struct FenceCounter : EventSink {
+    uint64_t fences = 0;
+    std::vector<std::vector<uint8_t>> images;
+    PmPool* pm = nullptr;
+    void OnEvent(const PmEvent& ev) override {
+      if (IsFence(ev.kind)) {
+        ++fences;
+        images.push_back(pm->PowerFailImage());
+      }
+    }
+  } counter;
+  counter.pm = &pm;
+  pm.hub().AddSink(&counter);
+  pool.AtomicAlloc(128, slot);
+  pm.hub().RemoveSink(&counter);
+
+  // One of the intermediate power-fail images must be inconsistent: link
+  // published beyond the recorded heap head.
+  bool found_corrupt = false;
+  for (auto& image : counter.images) {
+    PmPool crashed = PmPool::FromImage(image);
+    try {
+      ObjPool reopened = ObjPool::Open(&crashed, config);
+      const uint64_t link = crashed.ReadU64(reopened.root());
+      if (link != kNullOff && link >= reopened.heap_head()) {
+        found_corrupt = true;
+      }
+    } catch (const RecoveryFailure&) {
+      found_corrupt = true;
+    }
+  }
+  EXPECT_TRUE(found_corrupt);
+}
+
+TEST(ObjPool, TxCommitExtensionBugIn112) {
+  // The §6.4 pmemobj_tx_commit bug: commit of a log-extended transaction
+  // frees the extension before invalidating the log. A graceful crash
+  // image taken in that window must be unrecoverable.
+  PmPool pm(4 << 20);
+  PmdkConfig config;
+  config.version = PmdkVersion::k112;
+  config.undo_log_capacity = 256;
+  ObjPool pool = ObjPool::Create(&pm, config);
+  pool.TxBegin();
+  std::vector<uint64_t> objs;
+  for (int i = 0; i < 32; ++i) {
+    objs.push_back(pool.TxAlloc(64));
+  }
+  // Snapshot images at every fence during commit.
+  struct ImageGrabber : EventSink {
+    PmPool* pm = nullptr;
+    std::vector<std::vector<uint8_t>> images;
+    void OnEvent(const PmEvent& ev) override {
+      if (IsFence(ev.kind)) {
+        images.push_back(pm->GracefulImage());
+      }
+    }
+  } grabber;
+  grabber.pm = &pm;
+  pm.hub().AddSink(&grabber);
+  pool.TxCommit();
+  pm.hub().RemoveSink(&grabber);
+
+  bool any_unrecoverable = false;
+  for (auto& image : grabber.images) {
+    PmPool crashed = PmPool::FromImage(image);
+    try {
+      ObjPool::Open(&crashed, config);
+    } catch (const RecoveryFailure&) {
+      any_unrecoverable = true;
+    }
+  }
+  EXPECT_TRUE(any_unrecoverable);
+
+  // The correct (1.6) implementation has no such window.
+  PmPool pm2(4 << 20);
+  PmdkConfig good = Config16();
+  good.undo_log_capacity = 256;
+  ObjPool pool2 = ObjPool::Create(&pm2, good);
+  pool2.TxBegin();
+  for (int i = 0; i < 32; ++i) {
+    pool2.TxAlloc(64);
+  }
+  ImageGrabber grabber2;
+  grabber2.pm = &pm2;
+  pm2.hub().AddSink(&grabber2);
+  pool2.TxCommit();
+  pm2.hub().RemoveSink(&grabber2);
+  for (auto& image : grabber2.images) {
+    PmPool crashed = PmPool::FromImage(image);
+    EXPECT_NO_THROW(ObjPool::Open(&crashed, good));
+  }
+}
+
+TEST(ObjPool, AtomicAllocRawAndIsAllocated) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  const uint64_t a = pool.AtomicAllocRaw(64);
+  EXPECT_TRUE(pool.IsAllocatedBlock(a));
+  EXPECT_EQ(pool.BlockSize(a) >= 64, true);
+  pool.AtomicFreeRaw(a);
+  EXPECT_FALSE(pool.IsAllocatedBlock(a));
+  // Out-of-heap offsets are never "allocated".
+  EXPECT_FALSE(pool.IsAllocatedBlock(0));
+  EXPECT_FALSE(pool.IsAllocatedBlock(pm.size() - 8));
+}
+
+TEST(ObjPool, AtomicAllocAtRootSurvivesPowerFailure) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  const uint64_t root = pool.AtomicAllocAtRoot(128);
+  pm.WriteU64(root, 77);
+  pm.PersistRange(root, 8);
+  PmPool crashed = PmPool::FromImage(pm.PowerFailImage());
+  ObjPool reopened = ObjPool::Open(&crashed, Config16());
+  EXPECT_EQ(reopened.root(), root);
+  EXPECT_EQ(crashed.ReadU64(root), 77u);
+}
+
+TEST(ObjPool, AtomicFreeUnlinksAtomically) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  const uint64_t slot_holder = pool.AtomicAllocAtRoot(8);
+  const uint64_t a = pool.AtomicAlloc(64, slot_holder);
+  EXPECT_EQ(pm.ReadU64(slot_holder), a);
+  pool.AtomicFree(a, slot_holder, kNullOff);
+  EXPECT_EQ(pm.ReadU64(slot_holder), kNullOff);
+  EXPECT_FALSE(pool.IsAllocatedBlock(a));
+  pool.ValidateHeap();
+}
+
+TEST(ObjPool, CountLiveBlocksTracksAllocations) {
+  PmPool pm(1 << 20);
+  ObjPool pool = ObjPool::Create(&pm, Config16());
+  EXPECT_EQ(pool.CountLiveBlocks(), 0u);
+  pool.TxBegin();
+  pool.TxAlloc(32);
+  const uint64_t b = pool.TxAlloc(32);
+  pool.TxCommit();
+  EXPECT_EQ(pool.CountLiveBlocks(), 2u);
+  pool.TxBegin();
+  pool.TxFree(b);
+  pool.TxCommit();
+  EXPECT_EQ(pool.CountLiveBlocks(), 1u);
+}
+
+// Property: crash at *any* event boundary during a transactional workload
+// must recover to an all-or-nothing state.
+class TxCrashPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TxCrashPropertyTest, EveryGracefulPrefixRecovers) {
+  const uint64_t seed = GetParam();
+  DeterministicRandom rng(seed);
+
+  // Snapshot a graceful image at every Nth fence, then recover each.
+  struct Grabber : EventSink {
+    PmPool* pm = nullptr;
+    uint64_t every = 3;
+    uint64_t count = 0;
+    std::vector<std::vector<uint8_t>> images;
+    void OnEvent(const PmEvent& ev) override {
+      if (IsFence(ev.kind) && (++count % every) == 0) {
+        images.push_back(pm->GracefulImage());
+      }
+    }
+  } grabber;
+
+  PmPool pm(4 << 20);
+  grabber.pm = &pm;
+  PmdkConfig config = Config16();
+  config.undo_log_capacity = 1024;
+  ObjPool pool = ObjPool::Create(&pm, config);
+  pool.TxBegin();
+  const uint64_t counter_obj = pool.TxAlloc(16);
+  pool.set_root(counter_obj);
+  pool.TxCommit();
+
+  pm.hub().AddSink(&grabber);
+  std::vector<uint64_t> objs;
+  for (int tx = 0; tx < 25; ++tx) {
+    pool.TxBegin();
+    // Each transaction bumps the counter and allocates/frees objects.
+    pool.TxAddRange(counter_obj, 8);
+    pm.WriteU64(counter_obj, pm.ReadU64(counter_obj) + 1);
+    if (!objs.empty() && rng.NextBelow(3) == 0) {
+      pool.TxFree(objs.back());
+      objs.pop_back();
+    } else {
+      objs.push_back(pool.TxAlloc(32 + rng.NextBelow(4) * 16));
+      pm.WriteU64(objs.back(), tx);
+    }
+    pool.TxCommit();
+  }
+  pm.hub().RemoveSink(&grabber);
+
+  ASSERT_FALSE(grabber.images.empty());
+  for (auto& image : grabber.images) {
+    PmPool crashed = PmPool::FromImage(image);
+    // Recovery must succeed and yield a valid heap; the counter must be an
+    // integer in [0, 25] (all-or-nothing per transaction).
+    ObjPool recovered = ObjPool::Open(&crashed, config);
+    recovered.ValidateHeap();
+    const uint64_t count = crashed.ReadU64(recovered.root());
+    EXPECT_LE(count, 25u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxCrashPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace mumak

@@ -1,0 +1,255 @@
+// Tests of the report layer: bug/warning classification across every
+// finding kind, rendering, merging, and the taxonomy mapping that the
+// Table 1 capability matrix and the §6.2 coverage accounting rely on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+
+namespace mumak {
+namespace {
+
+Finding MakeFinding(FindingKind kind, std::string detail = "detail",
+                    std::string location = "location") {
+  Finding finding;
+  finding.kind = kind;
+  finding.source = kind == FindingKind::kRecoveryUnrecoverable ||
+                           kind == FindingKind::kRecoveryCrash
+                       ? FindingSource::kFaultInjection
+                       : FindingSource::kTraceAnalysis;
+  finding.detail = std::move(detail);
+  finding.location = std::move(location);
+  return finding;
+}
+
+constexpr FindingKind kAllKinds[] = {
+    FindingKind::kRecoveryUnrecoverable, FindingKind::kRecoveryCrash,
+    FindingKind::kUnflushedStore,        FindingKind::kTransientData,
+    FindingKind::kDirtyOverwrite,        FindingKind::kRedundantFlush,
+    FindingKind::kMultiStoreFlush,       FindingKind::kRedundantFence,
+    FindingKind::kMultiFlushFence,
+};
+
+class FindingKindRow : public ::testing::TestWithParam<FindingKind> {};
+
+TEST_P(FindingKindRow, HasAUniqueName) {
+  std::set<std::string_view> names;
+  for (FindingKind kind : kAllKinds) {
+    names.insert(FindingKindName(kind));
+  }
+  EXPECT_EQ(names.size(), std::size(kAllKinds));
+  EXPECT_FALSE(FindingKindName(GetParam()).empty());
+}
+
+TEST_P(FindingKindRow, RendersItsNameAndLocation) {
+  Report report;
+  report.Add(MakeFinding(GetParam(), "the detail text", "Foo <- Bar"));
+  const std::string rendered = report.Render();
+  EXPECT_NE(rendered.find(FindingKindName(GetParam())), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("the detail text"), std::string::npos);
+  EXPECT_NE(rendered.find("Foo <- Bar"), std::string::npos);
+}
+
+TEST_P(FindingKindRow, CountsAsExactlyBugOrWarning) {
+  Report report;
+  report.Add(MakeFinding(GetParam()));
+  EXPECT_EQ(report.BugCount() + report.WarningCount(), 1u);
+  EXPECT_EQ(report.BugCount() == 1u, !IsWarning(GetParam()));
+}
+
+TEST_P(FindingKindRow, MapsOntoTheTaxonomy) {
+  // Every finding kind lands in a §2 bug class; the specific pairings the
+  // coverage accounting depends on are pinned below.
+  const BugClass bug_class = FindingBugClass(GetParam());
+  EXPECT_FALSE(BugClassName(bug_class).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FindingKindRow,
+                         ::testing::ValuesIn(kAllKinds));
+
+TEST(FindingClassification, WarningSetMatchesThePaper) {
+  // §4.2: transient data, multi-store flush, and multi-flush fence depend
+  // on intent/layout and are warnings; everything else is a definite bug.
+  EXPECT_TRUE(IsWarning(FindingKind::kTransientData));
+  EXPECT_TRUE(IsWarning(FindingKind::kMultiStoreFlush));
+  EXPECT_TRUE(IsWarning(FindingKind::kMultiFlushFence));
+  EXPECT_FALSE(IsWarning(FindingKind::kRecoveryUnrecoverable));
+  EXPECT_FALSE(IsWarning(FindingKind::kRecoveryCrash));
+  EXPECT_FALSE(IsWarning(FindingKind::kUnflushedStore));
+  EXPECT_FALSE(IsWarning(FindingKind::kRedundantFlush));
+  EXPECT_FALSE(IsWarning(FindingKind::kRedundantFence));
+}
+
+TEST(FindingClassification, TaxonomyPinnings) {
+  EXPECT_EQ(FindingBugClass(FindingKind::kUnflushedStore),
+            BugClass::kDurability);
+  EXPECT_EQ(FindingBugClass(FindingKind::kRecoveryUnrecoverable),
+            BugClass::kAtomicity);
+  EXPECT_EQ(FindingBugClass(FindingKind::kRedundantFlush),
+            BugClass::kRedundantFlush);
+  EXPECT_EQ(FindingBugClass(FindingKind::kRedundantFence),
+            BugClass::kRedundantFence);
+  EXPECT_EQ(FindingBugClass(FindingKind::kTransientData),
+            BugClass::kTransientData);
+  // Correctness kinds map to correctness classes and performance kinds to
+  // performance classes — the §6.2 split.
+  EXPECT_TRUE(IsCorrectnessClass(FindingBugClass(FindingKind::kRecoveryCrash)));
+  EXPECT_FALSE(
+      IsCorrectnessClass(FindingBugClass(FindingKind::kMultiFlushFence)));
+}
+
+TEST(Report, EmptyReportRendersCleanly) {
+  Report report;
+  EXPECT_EQ(report.BugCount(), 0u);
+  EXPECT_EQ(report.WarningCount(), 0u);
+  EXPECT_TRUE(report.Bugs().empty());
+  EXPECT_TRUE(report.Warnings().empty());
+  // Render never returns garbage on an empty report.
+  const std::string rendered = report.Render();
+  EXPECT_EQ(rendered.find("BUG"), std::string::npos);
+}
+
+TEST(Report, BugsAndWarningsPartitionTheFindings) {
+  Report report;
+  for (FindingKind kind : kAllKinds) {
+    report.Add(MakeFinding(kind));
+  }
+  EXPECT_EQ(report.findings().size(), std::size(kAllKinds));
+  EXPECT_EQ(report.BugCount() + report.WarningCount(),
+            report.findings().size());
+  EXPECT_EQ(report.Bugs().size(), report.BugCount());
+  EXPECT_EQ(report.Warnings().size(), report.WarningCount());
+  for (const Finding& finding : report.Bugs()) {
+    EXPECT_FALSE(IsWarning(finding.kind));
+  }
+  for (const Finding& finding : report.Warnings()) {
+    EXPECT_TRUE(IsWarning(finding.kind));
+  }
+}
+
+TEST(Report, RenderCanSuppressWarnings) {
+  Report report;
+  report.Add(MakeFinding(FindingKind::kUnflushedStore, "bug-detail"));
+  report.Add(MakeFinding(FindingKind::kTransientData, "warning-detail"));
+  const std::string with = report.Render(/*include_warnings=*/true);
+  const std::string without = report.Render(/*include_warnings=*/false);
+  EXPECT_NE(with.find("warning-detail"), std::string::npos);
+  EXPECT_EQ(without.find("warning-detail"), std::string::npos);
+  EXPECT_NE(without.find("bug-detail"), std::string::npos);
+}
+
+TEST(Report, MergeConcatenatesFindings) {
+  Report a;
+  a.Add(MakeFinding(FindingKind::kUnflushedStore, "from-a"));
+  Report b;
+  b.Add(MakeFinding(FindingKind::kRedundantFence, "from-b"));
+  b.Add(MakeFinding(FindingKind::kTransientData, "warning-b"));
+  a.Merge(b);
+  EXPECT_EQ(a.findings().size(), 3u);
+  EXPECT_EQ(a.BugCount(), 2u);
+  EXPECT_EQ(a.WarningCount(), 1u);
+  const std::string rendered = a.Render();
+  EXPECT_NE(rendered.find("from-a"), std::string::npos);
+  EXPECT_NE(rendered.find("from-b"), std::string::npos);
+}
+
+TEST(Report, MergeWithEmptyIsIdentity) {
+  Report a;
+  a.Add(MakeFinding(FindingKind::kRecoveryCrash, "only"));
+  Report empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.findings().size(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.findings().size(), 1u);
+  EXPECT_EQ(empty.findings()[0].detail, "only");
+}
+
+TEST(Report, RenderShowsPmOffsetWhenSet) {
+  Report report;
+  Finding finding = MakeFinding(FindingKind::kUnflushedStore);
+  finding.pm_offset = 0x1c40;
+  report.Add(std::move(finding));
+  const std::string rendered = report.Render();
+  EXPECT_NE(rendered.find("1c40"), std::string::npos) << rendered;
+}
+
+TEST(Report, FindingOrderIsPreserved) {
+  // Ergonomics: findings appear in discovery order so that the first
+  // entry is the first root cause the pipeline hit.
+  Report report;
+  report.Add(MakeFinding(FindingKind::kUnflushedStore, "first"));
+  report.Add(MakeFinding(FindingKind::kRedundantFlush, "second"));
+  report.Add(MakeFinding(FindingKind::kRecoveryCrash, "third"));
+  ASSERT_EQ(report.findings().size(), 3u);
+  EXPECT_EQ(report.findings()[0].detail, "first");
+  EXPECT_EQ(report.findings()[1].detail, "second");
+  EXPECT_EQ(report.findings()[2].detail, "third");
+  const std::string rendered = report.Render();
+  EXPECT_LT(rendered.find("first"), rendered.find("second"));
+  EXPECT_LT(rendered.find("second"), rendered.find("third"));
+}
+
+TEST(ReportJson, EmptyReport) {
+  Report report;
+  EXPECT_EQ(report.RenderJson(),
+            "{\"bugs\": 0, \"warnings\": 0, \"findings\": []}");
+}
+
+TEST(ReportJson, FindingFieldsAreSerialised) {
+  Report report;
+  Finding finding = MakeFinding(FindingKind::kUnflushedStore,
+                                "store never persisted", "Foo <- Bar");
+  finding.pm_offset = 0x40;
+  finding.seq = 1234;
+  report.Add(std::move(finding));
+  const std::string json = report.RenderJson();
+  EXPECT_NE(json.find("\"kind\": \"unflushed-store\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"severity\": \"bug\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\": \"trace-analysis\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pm_offset\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("store never persisted"), std::string::npos);
+}
+
+TEST(ReportJson, SpecialCharactersAreEscaped) {
+  Report report;
+  report.Add(MakeFinding(FindingKind::kRedundantFence,
+                         "quote \" backslash \\ newline \n tab \t done"));
+  const std::string json = report.RenderJson();
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n tab \\t done"),
+            std::string::npos)
+      << json;
+  // No raw control characters survive.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(ReportJson, WarningsCanBeExcluded) {
+  Report report;
+  report.Add(MakeFinding(FindingKind::kUnflushedStore, "the-bug"));
+  report.Add(MakeFinding(FindingKind::kTransientData, "the-warning"));
+  const std::string with = report.RenderJson(/*include_warnings=*/true);
+  const std::string without = report.RenderJson(/*include_warnings=*/false);
+  EXPECT_NE(with.find("the-warning"), std::string::npos);
+  EXPECT_EQ(without.find("the-warning"), std::string::npos);
+  EXPECT_NE(without.find("the-bug"), std::string::npos);
+  EXPECT_NE(without.find("\"warnings\": 0"), std::string::npos);
+}
+
+TEST(ReportJson, FaultInjectionSourceIsLabelled) {
+  Report report;
+  report.Add(MakeFinding(FindingKind::kRecoveryUnrecoverable));
+  EXPECT_NE(report.RenderJson().find("\"source\": \"fault-injection\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mumak

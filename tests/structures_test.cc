@@ -1,0 +1,286 @@
+// Functional tests for every target data structure: behaviour is checked
+// against a reference std::map over randomized workloads, and every
+// mid-run graceful crash image must recover. The btree has its own
+// dedicated suite (btree_test.cc); this file covers the other fifteen.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/coverage.h"
+#include "src/instrument/event_hub.h"
+#include "src/targets/art.h"
+#include "src/targets/cceh.h"
+#include "src/targets/ctree.h"
+#include "src/targets/fast_fair.h"
+#include "src/targets/hashmap_atomic.h"
+#include "src/targets/hashmap_tx.h"
+#include "src/targets/level_hashing.h"
+#include "src/targets/montage_targets.h"
+#include "src/targets/pmemkv_engines.h"
+#include "src/targets/rbtree.h"
+#include "src/targets/redis_lite.h"
+#include "src/targets/rocksdb_lite.h"
+#include "src/targets/wort.h"
+
+namespace mumak {
+namespace {
+
+// Runs `operations` random ops on `target`, mirroring them into a std::map,
+// then verifies every key through the target's own Get. `key_shift` is 1
+// for targets that reserve key 0 as the empty marker.
+template <typename TargetT>
+void CheckAgainstReference(TargetT& target, PmPool& pool,
+                           uint64_t operations, uint64_t key_shift,
+                           uint64_t seed) {
+  WorkloadSpec spec;
+  spec.operations = operations;
+  spec.seed = seed;
+  spec.key_space = operations / 8 + 16;
+  spec.put_pct = 50;
+  spec.get_pct = 20;
+  spec.delete_pct = 30;
+
+  std::map<uint64_t, uint64_t> reference;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    target.Execute(pool, op);
+    switch (op.kind) {
+      case OpKind::kPut:
+        reference[op.key + key_shift] = op.value;
+        break;
+      case OpKind::kDelete:
+        reference.erase(op.key + key_shift);
+        break;
+      case OpKind::kGet:
+        break;
+    }
+  }
+  target.Finish(pool);
+
+  for (const auto& [key, value] : reference) {
+    uint64_t got = 0;
+    ASSERT_TRUE(target.Get(pool, key, &got)) << "missing key " << key;
+    EXPECT_EQ(got, value) << "wrong value for key " << key;
+  }
+  // Keys outside the touched space must be absent.
+  for (uint64_t probe = spec.EffectiveKeySpace() + key_shift + 1;
+       probe < spec.EffectiveKeySpace() + key_shift + 16; ++probe) {
+    EXPECT_FALSE(target.Get(pool, probe, nullptr));
+  }
+}
+
+// Captures graceful crash images every `stride` fences and verifies each
+// recovers on a fresh target instance.
+template <typename TargetT>
+void CheckCrashPrefixes(const TargetOptions& options, uint64_t operations,
+                        uint64_t stride) {
+  struct Grabber : EventSink {
+    PmPool* pool = nullptr;
+    uint64_t stride = 16;
+    uint64_t fences = 0;
+    std::vector<std::vector<uint8_t>> images;
+    void OnEvent(const PmEvent& ev) override {
+      if (IsFence(ev.kind) && (++fences % stride) == 0 &&
+          images.size() < 64) {
+        images.push_back(pool->GracefulImage());
+      }
+    }
+  } grabber;
+  grabber.stride = stride;
+
+  TargetT target(options);
+  PmPool pool(target.DefaultPoolSize());
+  grabber.pool = &pool;
+  WorkloadSpec spec;
+  spec.operations = operations;
+  spec.put_pct = 45;
+  spec.get_pct = 10;
+  spec.delete_pct = 45;
+  {
+    ScopedSink attach(pool.hub(), &grabber);
+    target.Setup(pool);
+    for (const Op& op : WorkloadGenerator::Generate(spec)) {
+      target.Execute(pool, op);
+    }
+    target.Finish(pool);
+  }
+  ASSERT_FALSE(grabber.images.empty());
+  for (auto& image : grabber.images) {
+    PmPool crashed = PmPool::FromImage(std::move(image));
+    TargetT fresh(options);
+    EXPECT_NO_THROW(fresh.Recover(crashed));
+  }
+}
+
+TargetOptions Clean16() {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  return options;
+}
+
+class StructureSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructureSeedTest, Rbtree) {
+  RbtreeTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 0, GetParam());
+}
+
+TEST_P(StructureSeedTest, Ctree) {
+  CtreeTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 0, GetParam());
+}
+
+TEST_P(StructureSeedTest, Art) {
+  ArtTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, Wort) {
+  WortTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, FastFair) {
+  FastFairTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, Cceh) {
+  CcehTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, LevelHashing) {
+  LevelHashingTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 1500, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, Cmap) {
+  CmapTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, Stree) {
+  StreeTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, HashmapAtomic) {
+  HashmapAtomicTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, HashmapTx) {
+  HashmapTxTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 2000, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, Redis) {
+  RedisLiteTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 1500, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, RocksDb) {
+  RocksDbLiteTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 1500, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, MontageHashtable) {
+  MontageHashtableTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 1500, 1, GetParam());
+}
+
+TEST_P(StructureSeedTest, MontageLfHashtable) {
+  MontageLfHashtableTarget target(Clean16());
+  PmPool pool(target.DefaultPoolSize());
+  target.Setup(pool);
+  CheckAgainstReference(target, pool, 1500, 1, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructureSeedTest,
+                         ::testing::Values(3, 1009, 77777));
+
+// -- Mid-run crash images always recover ------------------------------------
+
+TEST(CrashPrefix, Rbtree) {
+  CheckCrashPrefixes<RbtreeTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, Ctree) {
+  CheckCrashPrefixes<CtreeTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, Art) { CheckCrashPrefixes<ArtTarget>(Clean16(), 500, 23); }
+
+TEST(CrashPrefix, Wort) {
+  CheckCrashPrefixes<WortTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, FastFair) {
+  CheckCrashPrefixes<FastFairTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, Cceh) {
+  CheckCrashPrefixes<CcehTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, LevelHashing) {
+  TargetOptions options = Clean16();
+  options.with_recovery = true;
+  CheckCrashPrefixes<LevelHashingTarget>(options, 500, 23);
+}
+
+TEST(CrashPrefix, Cmap) {
+  CheckCrashPrefixes<CmapTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, Stree) {
+  CheckCrashPrefixes<StreeTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, HashmapAtomic) {
+  CheckCrashPrefixes<HashmapAtomicTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, Redis) {
+  CheckCrashPrefixes<RedisLiteTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, RocksDb) {
+  CheckCrashPrefixes<RocksDbLiteTarget>(Clean16(), 500, 23);
+}
+
+TEST(CrashPrefix, MontageHashtable) {
+  CheckCrashPrefixes<MontageHashtableTarget>(Clean16(), 500, 23);
+}
+
+}  // namespace
+}  // namespace mumak

@@ -1,0 +1,131 @@
+// Generic conformance tests over every registered target:
+//  - functional correctness against a reference map (via recovery + count)
+//  - recovery succeeds on clean runs and on every graceful crash prefix
+//  - fault injection reports nothing on a bug-free target (the paper's
+//    no-false-positives property, §6.2)
+//  - every seeded bug in the registry is detected by Mumak, except the
+//    beyond-program-order ones, which must at least produce a warning
+
+#include <gtest/gtest.h>
+
+#include "src/core/coverage.h"
+#include "src/core/fault_injection.h"
+#include "src/core/mumak.h"
+#include "src/targets/bug_registry.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+namespace {
+
+class TargetConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TargetConformanceTest, CleanRunRecovers) {
+  const std::string name = GetParam();
+  TargetOptions options = CoverageOptions(name);
+  TargetPtr target = CreateTarget(name, options);
+  ASSERT_NE(target, nullptr);
+  PmPool pool(target->DefaultPoolSize());
+  WorkloadSpec spec = CoverageWorkload(name, 600);
+  FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
+
+  PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+  TargetPtr fresh = CreateTarget(name, options);
+  EXPECT_NO_THROW(fresh->Recover(recovered));
+}
+
+TEST_P(TargetConformanceTest, CleanFaultInjectionIsSilent) {
+  const std::string name = GetParam();
+  TargetOptions options = CoverageOptions(name);
+  WorkloadSpec spec = CoverageWorkload(name, 300);
+  FaultInjectionEngine engine(
+      [name, options] { return CreateTarget(name, options); }, spec);
+  FaultInjectionStats stats;
+  Report report = engine.Run(&stats);
+  EXPECT_EQ(report.BugCount(), 0u)
+      << name << " false positives:\n"
+      << report.Render();
+  EXPECT_GT(stats.failure_points, 5u);
+}
+
+TEST_P(TargetConformanceTest, CleanTraceAnalysisIsSilent) {
+  // The trace-analysis patterns must report no *bugs* on bug-free targets
+  // (warnings — multi-store flushes, multi-flush fences — are allowed;
+  // they flag layout- and ordering-dependent situations, §4.2).
+  const std::string name = GetParam();
+  TargetOptions options = CoverageOptions(name);
+  WorkloadSpec spec = CoverageWorkload(name, 300);
+  MumakOptions mumak_options;
+  mumak_options.fault_injection = false;
+  Mumak mumak([name, options] { return CreateTarget(name, options); }, spec,
+              mumak_options);
+  MumakResult result = mumak.Analyze();
+  EXPECT_EQ(result.report.BugCount(), 0u)
+      << name << " trace-analysis noise:\n"
+      << result.report.Render();
+}
+
+TEST_P(TargetConformanceTest, BatchedTransactionsAlsoRecover) {
+  const std::string name = GetParam();
+  TargetOptions options = CoverageOptions(name);
+  options.single_put_per_tx = false;
+  options.tx_batch = 64;
+  TargetPtr target = CreateTarget(name, options);
+  PmPool pool(target->DefaultPoolSize());
+  WorkloadSpec spec = CoverageWorkload(name, 600);
+  FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
+  PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+  TargetPtr fresh = CreateTarget(name, options);
+  EXPECT_NO_THROW(fresh->Recover(recovered));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, TargetConformanceTest,
+                         ::testing::ValuesIn(AllTargetNames()),
+                         [](const auto& info) { return info.param; });
+
+// -- Seeded bug corpus -------------------------------------------------------
+
+class SeededBugTest : public ::testing::TestWithParam<SeededBug> {};
+
+TEST_P(SeededBugTest, MumakDetectsSeededBug) {
+  const SeededBug& bug = GetParam();
+  MumakResult result = RunMumakOnSeededBug(bug, 450);
+  if (bug.beyond_program_order) {
+    // By design outside the guarantees: Mumak must at least warn (never
+    // stay silent), but full detection is not required.
+    EXPECT_GT(result.report.findings().size(), 0u) << bug.id;
+    return;
+  }
+  EXPECT_TRUE(DetectedBy(bug, result.report))
+      << bug.id << " (" << BugClassName(bug.bug_class) << ") not detected:\n"
+      << result.report.Render();
+}
+
+TEST_P(SeededBugTest, FaultInjectionStaysPreciseUnderSeeding) {
+  // Performance bugs must not trick fault injection into reporting a
+  // correctness bug (no false positives, §6.2).
+  const SeededBug& bug = GetParam();
+  if (IsCorrectnessClass(bug.bug_class)) {
+    GTEST_SKIP() << "correctness bug: fault-injection findings expected";
+  }
+  MumakResult result = RunMumakOnSeededBug(bug, 300);
+  for (const Finding& f : result.report.findings()) {
+    EXPECT_NE(f.source, FindingSource::kFaultInjection)
+        << bug.id << " caused a spurious fault-injection finding";
+  }
+}
+
+std::string BugTestName(const ::testing::TestParamInfo<SeededBug>& info) {
+  std::string name = info.param.id;
+  for (char& c : name) {
+    if (c == '.' || c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SeededBugTest,
+                         ::testing::ValuesIn(AllSeededBugs()), BugTestName);
+
+}  // namespace
+}  // namespace mumak

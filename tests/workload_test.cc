@@ -1,0 +1,240 @@
+// Tests of the deterministic workload generator. Reproducibility is the
+// property fault injection rests on (§4: every re-execution must reach the
+// same failure points), so determinism is checked first and hardest; the
+// distribution properties back Figure 3's coverage claims.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace mumak {
+namespace {
+
+bool OpsEqual(const Op& a, const Op& b) {
+  return a.kind == b.kind && a.key == b.key && a.value == b.value;
+}
+
+TEST(WorkloadGenerator, SameSpecYieldsIdenticalStreams) {
+  WorkloadSpec spec;
+  spec.operations = 500;
+  WorkloadGenerator first(spec);
+  WorkloadGenerator second(spec);
+  while (!first.Done()) {
+    ASSERT_FALSE(second.Done());
+    EXPECT_TRUE(OpsEqual(first.Next(), second.Next()));
+  }
+  EXPECT_TRUE(second.Done());
+}
+
+TEST(WorkloadGenerator, ResetReplaysTheStream) {
+  WorkloadSpec spec;
+  spec.operations = 200;
+  WorkloadGenerator generator(spec);
+  std::vector<Op> pass_one;
+  while (!generator.Done()) {
+    pass_one.push_back(generator.Next());
+  }
+  generator.Reset();
+  for (const Op& expected : pass_one) {
+    ASSERT_FALSE(generator.Done());
+    EXPECT_TRUE(OpsEqual(generator.Next(), expected));
+  }
+}
+
+TEST(WorkloadGenerator, GenerateMatchesStreaming) {
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.distribution = KeyDistribution::kZipfian;
+  const std::vector<Op> materialised = WorkloadGenerator::Generate(spec);
+  ASSERT_EQ(materialised.size(), spec.operations);
+  WorkloadGenerator generator(spec);
+  for (const Op& expected : materialised) {
+    EXPECT_TRUE(OpsEqual(generator.Next(), expected));
+  }
+}
+
+TEST(WorkloadGenerator, DifferentSeedsDiffer) {
+  WorkloadSpec a;
+  a.operations = 100;
+  a.seed = 1;
+  WorkloadSpec b = a;
+  b.seed = 2;
+  const std::vector<Op> ops_a = WorkloadGenerator::Generate(a);
+  const std::vector<Op> ops_b = WorkloadGenerator::Generate(b);
+  size_t differing = 0;
+  for (size_t i = 0; i < ops_a.size(); ++i) {
+    if (!OpsEqual(ops_a[i], ops_b[i])) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, ops_a.size() / 2);
+}
+
+TEST(WorkloadGenerator, KeysStayWithinKeySpace) {
+  WorkloadSpec spec;
+  spec.operations = 1000;
+  spec.key_space = 37;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    EXPECT_LT(op.key, spec.key_space);
+  }
+}
+
+TEST(WorkloadGenerator, DefaultKeySpaceIsHalfTheOperations) {
+  WorkloadSpec spec;
+  spec.operations = 400;
+  EXPECT_EQ(spec.EffectiveKeySpace(), 200u);
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    EXPECT_LT(op.key, 200u);
+  }
+  spec.operations = 0;
+  EXPECT_EQ(spec.EffectiveKeySpace(), 1u);  // never a zero modulus
+}
+
+TEST(WorkloadGenerator, PutValuesAreNonZero) {
+  // Several targets use value == 0 as a tombstone / empty marker; the
+  // generator must never produce it for puts.
+  WorkloadSpec spec;
+  spec.operations = 2000;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    if (op.kind == OpKind::kPut) {
+      EXPECT_NE(op.value, 0u);
+    }
+  }
+}
+
+TEST(WorkloadGenerator, OpKindNamesAreDistinct) {
+  EXPECT_NE(OpKindName(OpKind::kPut), OpKindName(OpKind::kGet));
+  EXPECT_NE(OpKindName(OpKind::kGet), OpKindName(OpKind::kDelete));
+  EXPECT_NE(OpKindName(OpKind::kPut), OpKindName(OpKind::kDelete));
+}
+
+// -- Mix convergence (parameterized over operation mixes) --------------------
+
+struct MixCase {
+  int put_pct;
+  int get_pct;
+  int delete_pct;
+};
+
+class WorkloadMix : public ::testing::TestWithParam<MixCase> {};
+
+TEST_P(WorkloadMix, ObservedMixConvergesToSpec) {
+  const MixCase mix = GetParam();
+  WorkloadSpec spec;
+  spec.operations = 20000;
+  spec.put_pct = mix.put_pct;
+  spec.get_pct = mix.get_pct;
+  spec.delete_pct = mix.delete_pct;
+  std::map<OpKind, uint64_t> counts;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    ++counts[op.kind];
+  }
+  const double n = static_cast<double>(spec.operations);
+  // 20k draws put the observed share within ~1.5 points of the spec with
+  // overwhelming probability; allow 2.
+  EXPECT_NEAR(100.0 * static_cast<double>(counts[OpKind::kPut]) / n,
+              mix.put_pct, 2.0);
+  EXPECT_NEAR(100.0 * static_cast<double>(counts[OpKind::kGet]) / n,
+              mix.get_pct, 2.0);
+  EXPECT_NEAR(100.0 * static_cast<double>(counts[OpKind::kDelete]) / n,
+              mix.delete_pct, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, WorkloadMix,
+    ::testing::Values(MixCase{34, 33, 33},   // the paper's default (§6.1)
+                      MixCase{100, 0, 0},    // insert-only (Figure 3 probes)
+                      MixCase{0, 100, 0},    // read-only
+                      MixCase{50, 50, 0},    // YCSB-A-like
+                      MixCase{5, 95, 0},     // YCSB-B-like
+                      MixCase{70, 10, 20},
+                      MixCase{25, 25, 50}));
+
+// -- Distribution properties --------------------------------------------------
+
+class WorkloadSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkloadSeeds, UniformKeysCoverTheKeySpace) {
+  WorkloadSpec spec;
+  spec.operations = 5000;
+  spec.key_space = 100;
+  spec.seed = GetParam();
+  std::set<uint64_t> seen;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    seen.insert(op.key);
+  }
+  // 5000 uniform draws over 100 keys miss a given key with p ≈ 2e-22.
+  EXPECT_EQ(seen.size(), spec.key_space);
+}
+
+TEST_P(WorkloadSeeds, UniformKeysHaveNoHeavyHitter) {
+  WorkloadSpec spec;
+  spec.operations = 10000;
+  spec.key_space = 100;
+  spec.seed = GetParam();
+  std::map<uint64_t, uint64_t> histogram;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    ++histogram[op.key];
+  }
+  for (const auto& [key, count] : histogram) {
+    // Expected 100 hits per key; 3× is far outside any plausible deviation
+    // for a uniform stream.
+    EXPECT_LT(count, 300u) << "key " << key;
+  }
+}
+
+TEST_P(WorkloadSeeds, ZipfianIsHeavilySkewed) {
+  WorkloadSpec spec;
+  spec.operations = 10000;
+  spec.key_space = 1000;
+  spec.seed = GetParam();
+  spec.distribution = KeyDistribution::kZipfian;
+  std::map<uint64_t, uint64_t> histogram;
+  for (const Op& op : WorkloadGenerator::Generate(spec)) {
+    EXPECT_LT(op.key, spec.key_space);
+    ++histogram[op.key];
+  }
+  std::vector<uint64_t> counts;
+  counts.reserve(histogram.size());
+  for (const auto& [key, count] : histogram) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  // YCSB theta=0.99: the hottest key draws a large multiple of the uniform
+  // share (10 hits/key here), and the top decile dominates.
+  EXPECT_GT(counts.front(), 100u);
+  uint64_t top_decile = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i < counts.size() / 10) {
+      top_decile += counts[i];
+    }
+    total += counts[i];
+  }
+  EXPECT_GT(top_decile * 2, total);  // > 50% of traffic on 10% of keys
+}
+
+TEST_P(WorkloadSeeds, ZipfianIsDeterministicToo) {
+  WorkloadSpec spec;
+  spec.operations = 500;
+  spec.seed = GetParam();
+  spec.distribution = KeyDistribution::kZipfian;
+  const std::vector<Op> a = WorkloadGenerator::Generate(spec);
+  const std::vector<Op> b = WorkloadGenerator::Generate(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(OpsEqual(a[i], b[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSeeds,
+                         ::testing::Values(1u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace mumak
