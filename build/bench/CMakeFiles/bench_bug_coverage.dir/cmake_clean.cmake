@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bug_coverage.dir/bench_bug_coverage.cc.o"
+  "CMakeFiles/bench_bug_coverage.dir/bench_bug_coverage.cc.o.d"
+  "bench_bug_coverage"
+  "bench_bug_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bug_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ergonomics.dir/bench_ergonomics.cc.o"
+  "CMakeFiles/bench_ergonomics.dir/bench_ergonomics.cc.o.d"
+  "bench_ergonomics"
+  "bench_ergonomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ergonomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_new_bugs.dir/bench_new_bugs.cc.o"
+  "CMakeFiles/bench_new_bugs.dir/bench_new_bugs.cc.o.d"
+  "bench_new_bugs"
+  "bench_new_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_new_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_pmdk18.dir/bench_perf_pmdk18.cc.o"
+  "CMakeFiles/bench_perf_pmdk18.dir/bench_perf_pmdk18.cc.o.d"
+  "bench_perf_pmdk18"
+  "bench_perf_pmdk18.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_pmdk18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadr_migration.dir/eadr_migration.cpp.o"
+  "CMakeFiles/eadr_migration.dir/eadr_migration.cpp.o.d"
+  "eadr_migration"
+  "eadr_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadr_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montage_bug_hunt.dir/montage_bug_hunt.cpp.o"
+  "CMakeFiles/montage_bug_hunt.dir/montage_bug_hunt.cpp.o.d"
+  "montage_bug_hunt"
+  "montage_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montage_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agamotto_like.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/agamotto_like.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/agamotto_like.cc.o.d"
+  "/root/repo/src/baselines/analysis_tool.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/analysis_tool.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/analysis_tool.cc.o.d"
+  "/root/repo/src/baselines/measure.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/measure.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/measure.cc.o.d"
+  "/root/repo/src/baselines/mumak_tool.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/mumak_tool.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/mumak_tool.cc.o.d"
+  "/root/repo/src/baselines/pmdebugger_like.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/pmdebugger_like.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/pmdebugger_like.cc.o.d"
+  "/root/repo/src/baselines/witcher_like.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/witcher_like.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/witcher_like.cc.o.d"
+  "/root/repo/src/baselines/xfdetector_like.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/xfdetector_like.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/xfdetector_like.cc.o.d"
+  "/root/repo/src/baselines/yat_like.cc" "src/baselines/CMakeFiles/mumak_baselines.dir/yat_like.cc.o" "gcc" "src/baselines/CMakeFiles/mumak_baselines.dir/yat_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mumak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/targets/CMakeFiles/mumak_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/montage/CMakeFiles/mumak_montage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdk/CMakeFiles/mumak_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mumak_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mumak_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/mumak_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

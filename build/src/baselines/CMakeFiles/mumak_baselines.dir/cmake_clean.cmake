@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_baselines.dir/agamotto_like.cc.o"
+  "CMakeFiles/mumak_baselines.dir/agamotto_like.cc.o.d"
+  "CMakeFiles/mumak_baselines.dir/analysis_tool.cc.o"
+  "CMakeFiles/mumak_baselines.dir/analysis_tool.cc.o.d"
+  "CMakeFiles/mumak_baselines.dir/measure.cc.o"
+  "CMakeFiles/mumak_baselines.dir/measure.cc.o.d"
+  "CMakeFiles/mumak_baselines.dir/mumak_tool.cc.o"
+  "CMakeFiles/mumak_baselines.dir/mumak_tool.cc.o.d"
+  "CMakeFiles/mumak_baselines.dir/pmdebugger_like.cc.o"
+  "CMakeFiles/mumak_baselines.dir/pmdebugger_like.cc.o.d"
+  "CMakeFiles/mumak_baselines.dir/witcher_like.cc.o"
+  "CMakeFiles/mumak_baselines.dir/witcher_like.cc.o.d"
+  "CMakeFiles/mumak_baselines.dir/xfdetector_like.cc.o"
+  "CMakeFiles/mumak_baselines.dir/xfdetector_like.cc.o.d"
+  "CMakeFiles/mumak_baselines.dir/yat_like.cc.o"
+  "CMakeFiles/mumak_baselines.dir/yat_like.cc.o.d"
+  "libmumak_baselines.a"
+  "libmumak_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

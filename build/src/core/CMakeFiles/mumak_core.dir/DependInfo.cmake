@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coverage.cc" "src/core/CMakeFiles/mumak_core.dir/coverage.cc.o" "gcc" "src/core/CMakeFiles/mumak_core.dir/coverage.cc.o.d"
+  "/root/repo/src/core/failure_point_tree.cc" "src/core/CMakeFiles/mumak_core.dir/failure_point_tree.cc.o" "gcc" "src/core/CMakeFiles/mumak_core.dir/failure_point_tree.cc.o.d"
+  "/root/repo/src/core/fault_injection.cc" "src/core/CMakeFiles/mumak_core.dir/fault_injection.cc.o" "gcc" "src/core/CMakeFiles/mumak_core.dir/fault_injection.cc.o.d"
+  "/root/repo/src/core/mumak.cc" "src/core/CMakeFiles/mumak_core.dir/mumak.cc.o" "gcc" "src/core/CMakeFiles/mumak_core.dir/mumak.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/mumak_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/mumak_core.dir/report.cc.o.d"
+  "/root/repo/src/core/trace_analysis.cc" "src/core/CMakeFiles/mumak_core.dir/trace_analysis.cc.o" "gcc" "src/core/CMakeFiles/mumak_core.dir/trace_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/mumak_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mumak_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/targets/CMakeFiles/mumak_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mumak_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/montage/CMakeFiles/mumak_montage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdk/CMakeFiles/mumak_pmdk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_core.dir/coverage.cc.o"
+  "CMakeFiles/mumak_core.dir/coverage.cc.o.d"
+  "CMakeFiles/mumak_core.dir/failure_point_tree.cc.o"
+  "CMakeFiles/mumak_core.dir/failure_point_tree.cc.o.d"
+  "CMakeFiles/mumak_core.dir/fault_injection.cc.o"
+  "CMakeFiles/mumak_core.dir/fault_injection.cc.o.d"
+  "CMakeFiles/mumak_core.dir/mumak.cc.o"
+  "CMakeFiles/mumak_core.dir/mumak.cc.o.d"
+  "CMakeFiles/mumak_core.dir/report.cc.o"
+  "CMakeFiles/mumak_core.dir/report.cc.o.d"
+  "CMakeFiles/mumak_core.dir/trace_analysis.cc.o"
+  "CMakeFiles/mumak_core.dir/trace_analysis.cc.o.d"
+  "libmumak_core.a"
+  "libmumak_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmumak_core.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/pm_event.cc" "src/instrument/CMakeFiles/mumak_instrument.dir/pm_event.cc.o" "gcc" "src/instrument/CMakeFiles/mumak_instrument.dir/pm_event.cc.o.d"
+  "/root/repo/src/instrument/shadow_call_stack.cc" "src/instrument/CMakeFiles/mumak_instrument.dir/shadow_call_stack.cc.o" "gcc" "src/instrument/CMakeFiles/mumak_instrument.dir/shadow_call_stack.cc.o.d"
+  "/root/repo/src/instrument/trace.cc" "src/instrument/CMakeFiles/mumak_instrument.dir/trace.cc.o" "gcc" "src/instrument/CMakeFiles/mumak_instrument.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_instrument.dir/pm_event.cc.o"
+  "CMakeFiles/mumak_instrument.dir/pm_event.cc.o.d"
+  "CMakeFiles/mumak_instrument.dir/shadow_call_stack.cc.o"
+  "CMakeFiles/mumak_instrument.dir/shadow_call_stack.cc.o.d"
+  "CMakeFiles/mumak_instrument.dir/trace.cc.o"
+  "CMakeFiles/mumak_instrument.dir/trace.cc.o.d"
+  "libmumak_instrument.a"
+  "libmumak_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/montage/montage_heap.cc" "src/montage/CMakeFiles/mumak_montage.dir/montage_heap.cc.o" "gcc" "src/montage/CMakeFiles/mumak_montage.dir/montage_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmem/CMakeFiles/mumak_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdk/CMakeFiles/mumak_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/mumak_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_montage.dir/montage_heap.cc.o"
+  "CMakeFiles/mumak_montage.dir/montage_heap.cc.o.d"
+  "libmumak_montage.a"
+  "libmumak_montage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_montage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

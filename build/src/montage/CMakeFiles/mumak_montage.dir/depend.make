@@ -1,0 +1,2 @@
+# Empty dependencies file for mumak_montage.
+# This may be replaced when dependencies are built.

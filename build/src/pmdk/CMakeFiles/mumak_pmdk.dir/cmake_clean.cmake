@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_pmdk.dir/obj_pool.cc.o"
+  "CMakeFiles/mumak_pmdk.dir/obj_pool.cc.o.d"
+  "libmumak_pmdk.a"
+  "libmumak_pmdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_pmdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

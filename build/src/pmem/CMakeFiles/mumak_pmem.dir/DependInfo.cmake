@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/persistency_model.cc" "src/pmem/CMakeFiles/mumak_pmem.dir/persistency_model.cc.o" "gcc" "src/pmem/CMakeFiles/mumak_pmem.dir/persistency_model.cc.o.d"
+  "/root/repo/src/pmem/pm_pool.cc" "src/pmem/CMakeFiles/mumak_pmem.dir/pm_pool.cc.o" "gcc" "src/pmem/CMakeFiles/mumak_pmem.dir/pm_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/mumak_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_pmem.dir/persistency_model.cc.o"
+  "CMakeFiles/mumak_pmem.dir/persistency_model.cc.o.d"
+  "CMakeFiles/mumak_pmem.dir/pm_pool.cc.o"
+  "CMakeFiles/mumak_pmem.dir/pm_pool.cc.o.d"
+  "libmumak_pmem.a"
+  "libmumak_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

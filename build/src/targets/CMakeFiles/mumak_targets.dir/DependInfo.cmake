@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/art.cc" "src/targets/CMakeFiles/mumak_targets.dir/art.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/art.cc.o.d"
+  "/root/repo/src/targets/btree.cc" "src/targets/CMakeFiles/mumak_targets.dir/btree.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/btree.cc.o.d"
+  "/root/repo/src/targets/bug_registry.cc" "src/targets/CMakeFiles/mumak_targets.dir/bug_registry.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/bug_registry.cc.o.d"
+  "/root/repo/src/targets/cceh.cc" "src/targets/CMakeFiles/mumak_targets.dir/cceh.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/cceh.cc.o.d"
+  "/root/repo/src/targets/code_size.cc" "src/targets/CMakeFiles/mumak_targets.dir/code_size.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/code_size.cc.o.d"
+  "/root/repo/src/targets/ctree.cc" "src/targets/CMakeFiles/mumak_targets.dir/ctree.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/ctree.cc.o.d"
+  "/root/repo/src/targets/fast_fair.cc" "src/targets/CMakeFiles/mumak_targets.dir/fast_fair.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/fast_fair.cc.o.d"
+  "/root/repo/src/targets/hashmap_atomic.cc" "src/targets/CMakeFiles/mumak_targets.dir/hashmap_atomic.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/hashmap_atomic.cc.o.d"
+  "/root/repo/src/targets/hashmap_tx.cc" "src/targets/CMakeFiles/mumak_targets.dir/hashmap_tx.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/hashmap_tx.cc.o.d"
+  "/root/repo/src/targets/level_hashing.cc" "src/targets/CMakeFiles/mumak_targets.dir/level_hashing.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/level_hashing.cc.o.d"
+  "/root/repo/src/targets/montage_targets.cc" "src/targets/CMakeFiles/mumak_targets.dir/montage_targets.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/montage_targets.cc.o.d"
+  "/root/repo/src/targets/pmemkv_engines.cc" "src/targets/CMakeFiles/mumak_targets.dir/pmemkv_engines.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/pmemkv_engines.cc.o.d"
+  "/root/repo/src/targets/rbtree.cc" "src/targets/CMakeFiles/mumak_targets.dir/rbtree.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/rbtree.cc.o.d"
+  "/root/repo/src/targets/redis_lite.cc" "src/targets/CMakeFiles/mumak_targets.dir/redis_lite.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/redis_lite.cc.o.d"
+  "/root/repo/src/targets/rocksdb_lite.cc" "src/targets/CMakeFiles/mumak_targets.dir/rocksdb_lite.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/rocksdb_lite.cc.o.d"
+  "/root/repo/src/targets/target_registry.cc" "src/targets/CMakeFiles/mumak_targets.dir/target_registry.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/target_registry.cc.o.d"
+  "/root/repo/src/targets/wort.cc" "src/targets/CMakeFiles/mumak_targets.dir/wort.cc.o" "gcc" "src/targets/CMakeFiles/mumak_targets.dir/wort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmdk/CMakeFiles/mumak_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/montage/CMakeFiles/mumak_montage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mumak_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mumak_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/mumak_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_cli.dir/mumak_cli.cc.o"
+  "CMakeFiles/mumak_cli.dir/mumak_cli.cc.o.d"
+  "mumak"
+  "mumak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_inspect.dir/mumak_inspect.cc.o"
+  "CMakeFiles/mumak_inspect.dir/mumak_inspect.cc.o.d"
+  "mumak-inspect"
+  "mumak-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

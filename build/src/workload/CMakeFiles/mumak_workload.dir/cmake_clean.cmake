@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mumak_workload.dir/workload.cc.o"
+  "CMakeFiles/mumak_workload.dir/workload.cc.o.d"
+  "libmumak_workload.a"
+  "libmumak_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mumak_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montage_test.dir/montage_test.cc.o"
+  "CMakeFiles/montage_test.dir/montage_test.cc.o.d"
+  "montage_test"
+  "montage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

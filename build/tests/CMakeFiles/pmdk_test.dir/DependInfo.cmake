@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pmdk_test.cc" "tests/CMakeFiles/pmdk_test.dir/pmdk_test.cc.o" "gcc" "tests/CMakeFiles/pmdk_test.dir/pmdk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mumak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/targets/CMakeFiles/mumak_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mumak_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/montage/CMakeFiles/mumak_montage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmdk/CMakeFiles/mumak_pmdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mumak_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mumak_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/mumak_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

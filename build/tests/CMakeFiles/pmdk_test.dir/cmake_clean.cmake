@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdk_test.dir/pmdk_test.cc.o"
+  "CMakeFiles/pmdk_test.dir/pmdk_test.cc.o.d"
+  "pmdk_test"
+  "pmdk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

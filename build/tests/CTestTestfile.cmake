@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(instrument_test "/root/repo/build/tests/instrument_test")
+set_tests_properties(instrument_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmem_test "/root/repo/build/tests/pmem_test")
+set_tests_properties(pmem_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(montage_test "/root/repo/build/tests/montage_test")
+set_tests_properties(montage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmdk_test "/root/repo/build/tests/pmdk_test")
+set_tests_properties(pmdk_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(btree_test "/root/repo/build/tests/btree_test")
+set_tests_properties(btree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(targets_test "/root/repo/build/tests/targets_test")
+set_tests_properties(targets_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(structures_test "/root/repo/build/tests/structures_test")
+set_tests_properties(structures_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(model_property_test "/root/repo/build/tests/model_property_test")
+set_tests_properties(model_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(report_test "/root/repo/build/tests/report_test")
+set_tests_properties(report_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trace_analysis_property_test "/root/repo/build/tests/trace_analysis_property_test")
+set_tests_properties(trace_analysis_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;26;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_test "/root/repo/build/tests/cli_test")
+set_tests_properties(cli_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;29;mumak_test;/root/repo/tests/CMakeLists.txt;0;")
