@@ -3,6 +3,7 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <string>
 
 #include "src/pmem/pm_pool.h"
 
@@ -69,6 +70,29 @@ void FinalizeResourceStats(ToolRunStats* stats, size_t vanilla_bytes,
                 static_cast<double>(app_pm_bytes);
   stats->resources.cpu_load =
       wall_s > 0 ? std::max(1.0, cpu_s / wall_s) : 1.0;
+}
+
+void PublishToolRunStats(MetricsRegistry* registry, std::string_view tool,
+                         const ToolRunStats& stats) {
+  if (registry == nullptr) {
+    return;
+  }
+  const std::string prefix = "tool." + std::string(tool) + ".";
+  auto set = [&](const char* name, uint64_t value) {
+    registry->GetGauge(prefix + name)->Set(value);
+  };
+  set("elapsed_us", static_cast<uint64_t>(stats.elapsed_s * 1e6));
+  set("units_explored", stats.units_explored);
+  set("tool_bytes", stats.resources.tool_bytes);
+  // Ratios are published scaled by 1000 (the registry stores integers);
+  // 1000 = parity with the vanilla execution.
+  set("ram_multiplier_x1000",
+      static_cast<uint64_t>(stats.resources.ram_multiplier * 1000));
+  set("pm_multiplier_x1000",
+      static_cast<uint64_t>(stats.resources.pm_multiplier * 1000));
+  set("cpu_load_x1000",
+      static_cast<uint64_t>(stats.resources.cpu_load * 1000));
+  set("timed_out", stats.timed_out ? 1 : 0);
 }
 
 }  // namespace mumak

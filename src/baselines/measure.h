@@ -4,9 +4,11 @@
 #define MUMAK_SRC_BASELINES_MEASURE_H_
 
 #include <cstddef>
+#include <string_view>
 
 #include "src/baselines/analysis_tool.h"
 #include "src/core/fault_injection.h"
+#include "src/observability/metrics.h"
 #include "src/workload/workload.h"
 
 namespace mumak {
@@ -24,6 +26,14 @@ void FinalizeResourceStats(ToolRunStats* stats, size_t vanilla_bytes,
                            size_t tool_dram_bytes, size_t app_pm_bytes,
                            size_t tool_pm_bytes, double wall_s,
                            double cpu_s);
+
+// Publishes one tool's Table 2 row into a metrics registry under
+// "tool.<name>.*" gauges (elapsed_us, units_explored, tool_bytes, the
+// ratio columns scaled by 1000, timed_out), so baseline comparisons share
+// the pipeline's observability layer instead of ad-hoc printing. No-op
+// when `registry` is null.
+void PublishToolRunStats(MetricsRegistry* registry, std::string_view tool,
+                         const ToolRunStats& stats);
 
 }  // namespace mumak
 

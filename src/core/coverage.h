@@ -5,7 +5,9 @@
 #ifndef MUMAK_SRC_CORE_COVERAGE_H_
 #define MUMAK_SRC_CORE_COVERAGE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/core/mumak.h"
 #include "src/targets/bug_registry.h"

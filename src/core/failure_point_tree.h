@@ -8,6 +8,7 @@
 #ifndef MUMAK_SRC_CORE_FAILURE_POINT_TREE_H_
 #define MUMAK_SRC_CORE_FAILURE_POINT_TREE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 
 namespace mumak {
@@ -12,6 +14,97 @@ namespace {
 double Seconds(std::chrono::steady_clock::time_point from,
                std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+uint64_t Micros(std::chrono::steady_clock::time_point from,
+                std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+std::string_view RecoveryStatusName(RecoveryStatus status) {
+  switch (status) {
+    case RecoveryStatus::kOk:
+      return "ok";
+    case RecoveryStatus::kUnrecoverable:
+      return "unrecoverable";
+    case RecoveryStatus::kCrashed:
+      return "crashed";
+  }
+  return "unknown";
+}
+
+// Injection-phase instruments, resolved once per InjectAll so the loop
+// bodies do a pointer check plus a relaxed fetch_add — never a name
+// lookup. All methods are no-ops when the registry is null.
+struct InjectionMetrics {
+  Counter* attempted = nullptr;
+  Counter* crashed = nullptr;
+  Counter* deduplicated = nullptr;
+  Counter* recovery_ok = nullptr;
+  Counter* recovery_unrecoverable = nullptr;
+  Counter* recovery_crashed = nullptr;
+  Histogram* run_us = nullptr;
+  Histogram* recovery_us = nullptr;
+
+  explicit InjectionMetrics(MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      return;
+    }
+    attempted = registry->GetCounter("inject.attempted");
+    crashed = registry->GetCounter("inject.crashed");
+    deduplicated = registry->GetCounter("inject.deduplicated");
+    recovery_ok = registry->GetCounter("recovery.ok");
+    recovery_unrecoverable = registry->GetCounter("recovery.unrecoverable");
+    recovery_crashed = registry->GetCounter("recovery.crashed");
+    run_us = registry->GetHistogram("inject.run_us");
+    recovery_us = registry->GetHistogram("recovery.run_us");
+  }
+
+  void CountAttempt() {
+    if (attempted != nullptr) {
+      attempted->Increment();
+    }
+  }
+  void CountCrash() {
+    if (crashed != nullptr) {
+      crashed->Increment();
+    }
+  }
+  void CountDeduplicated() {
+    if (deduplicated != nullptr) {
+      deduplicated->Increment();
+    }
+  }
+  void CountRecovery(RecoveryStatus status) {
+    Counter* counter = status == RecoveryStatus::kOk ? recovery_ok
+                       : status == RecoveryStatus::kUnrecoverable
+                           ? recovery_unrecoverable
+                           : recovery_crashed;
+    if (counter != nullptr) {
+      counter->Increment();
+    }
+  }
+  void ObserveRun(uint64_t us) {
+    if (run_us != nullptr) {
+      run_us->Observe(us);
+    }
+  }
+  void ObserveRecovery(uint64_t us) {
+    if (recovery_us != nullptr) {
+      recovery_us->Observe(us);
+    }
+  }
+};
+
+// Per-worker injection throughput ("inject.worker.<i>.injections").
+Counter* WorkerCounter(MetricsRegistry* registry, uint32_t worker) {
+  if (registry == nullptr) {
+    return nullptr;
+  }
+  return registry->GetCounter("inject.worker." + std::to_string(worker) +
+                              ".injections");
 }
 
 }  // namespace
@@ -82,9 +175,18 @@ void FaultInjectionEngine::ExecuteWorkload(Target& target, PmPool& pool,
 }
 
 FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
+  ScopedSpan span(options_.tracer, "profile");
   FailurePointTree tree;
   TargetPtr target = factory_();
   PmPool pool(target->DefaultPoolSize());
+  // Per-EventKind accounting of the instrumented execution's PM stream
+  // (the profiling run sees every event exactly once, so its counts are
+  // the workload's event mix).
+  std::optional<EventCounters> counters;
+  if (options_.metrics != nullptr) {
+    counters.emplace(options_.metrics);
+    pool.set_event_counters(&*counters);
+  }
   FailurePointSink sink(&tree, FailurePointSink::Mode::kProfile,
                         options_.granularity);
   ScopedSink attach_sink(pool.hub(), &sink);
@@ -95,6 +197,14 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
   if (trace != nullptr) {
     pool.hub().RemoveSink(trace);
   }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("fpt.failure_points")
+        ->Set(tree.FailurePointCount());
+    options_.metrics->GetGauge("fpt.bytes")->Set(tree.FootprintBytes());
+    options_.metrics->GetGauge("profile.pm_events")->Set(pool.hub().seq());
+  }
+  span.AddArg("failure_points", tree.FailurePointCount());
+  span.AddArg("pm_events", pool.hub().seq());
   return tree;
 }
 
@@ -109,7 +219,13 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
   // failure points are collapsed into one finding that counts occurrences.
   std::map<std::string, size_t> dedup;  // detail -> finding index
 
+  InjectionMetrics im(options_.metrics);
+  Counter* worker_injections = WorkerCounter(options_.metrics, 0);
   stats->failure_points = tree->FailurePointCount();
+  if (options_.progress != nullptr) {
+    options_.progress->BeginPhase("inject", tree->UnvisitedCount(),
+                                  options_.time_budget_s);
+  }
   while (tree->UnvisitedCount() > 0) {
     if (stats->injections >= options_.max_injections ||
         Seconds(start, std::chrono::steady_clock::now()) >
@@ -117,6 +233,8 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
       stats->budget_exhausted = true;
       break;
     }
+    const auto run_start = std::chrono::steady_clock::now();
+    ScopedSpan run_span(options_.tracer, "inject", "injection");
     TargetPtr target = factory_();
     PmPool pool(target->DefaultPoolSize());
     FailurePointSink sink(tree, FailurePointSink::Mode::kInject,
@@ -131,6 +249,10 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
       crash = signal;
     }
     ++stats->executions;
+    im.CountAttempt();
+    if (options_.progress != nullptr) {
+      options_.progress->Advance();
+    }
     if (!crashed) {
       // Deterministic executions revisit every profiled failure point; a
       // crash-free run means the remaining unvisited points are
@@ -138,15 +260,33 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
       break;
     }
     ++stats->injections;
+    im.CountCrash();
+    if (worker_injections != nullptr) {
+      worker_injections->Increment();
+    }
+    run_span.AddArg("failure_point", uint64_t{crash.node});
+    run_span.AddArg("seq", crash.seq);
 
     // Graceful crash image: pending stores persisted, program order
     // respected (§4.1). Recovery runs uninstrumented on a fresh pool.
-    PmPool recovered = PmPool::FromImage(pool.GracefulImage());
-    TargetPtr fresh = factory_();
-    const RecoveryResult result = RunRecoveryOracle(*fresh, recovered);
+    RecoveryResult result;
+    {
+      const auto recovery_start = std::chrono::steady_clock::now();
+      ScopedSpan recovery_span(options_.tracer, "recovery", "recovery");
+      PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+      TargetPtr fresh = factory_();
+      result = RunRecoveryOracle(*fresh, recovered);
+      recovery_span.AddArg("status",
+                           std::string(RecoveryStatusName(result.status)));
+      im.ObserveRecovery(
+          Micros(recovery_start, std::chrono::steady_clock::now()));
+    }
+    im.CountRecovery(result.status);
+    im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
     if (!result.ok()) {
       auto it = dedup.find(result.detail);
       if (it != dedup.end()) {
+        im.CountDeduplicated();
         continue;  // same root cause already reported
       }
       Finding finding;
@@ -160,6 +300,9 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
       dedup.emplace(result.detail, report.findings().size());
       report.Add(std::move(finding));
     }
+  }
+  if (options_.progress != nullptr) {
+    options_.progress->EndPhase();
   }
   stats->bugs = report.BugCount();
   stats->tree_bytes = tree->FootprintBytes();
@@ -184,7 +327,18 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
   Report report;
   std::map<std::string, size_t> dedup;
 
-  auto worker = [&] {
+  InjectionMetrics im(options_.metrics);
+  if (options_.progress != nullptr) {
+    options_.progress->BeginPhase("inject", pending.size(),
+                                  options_.time_budget_s);
+  }
+
+  auto worker = [&](uint32_t worker_index) {
+    // Span lane and throughput counter per worker: per-worker rates are
+    // the Table 2 scalability story (§7, CI throughput knob).
+    const uint32_t tid = worker_index + 1;
+    Counter* worker_injections = WorkerCounter(options_.metrics,
+                                               worker_index);
     for (;;) {
       const size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= pending.size()) {
@@ -199,6 +353,9 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
       }
       const FailurePointTree::NodeIndex assigned = pending[index];
 
+      const auto run_start = std::chrono::steady_clock::now();
+      ScopedSpan run_span(options_.tracer, "inject", "injection", tid);
+      run_span.AddArg("failure_point", uint64_t{assigned});
       TargetPtr target = factory_();
       PmPool pool(target->DefaultPoolSize());
       FailurePointSink sink(tree, FailurePointSink::Mode::kInjectAt,
@@ -214,6 +371,10 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
         crash = signal;
       }
       executions.fetch_add(1, std::memory_order_relaxed);
+      im.CountAttempt();
+      if (options_.progress != nullptr) {
+        options_.progress->Advance();
+      }
       // Each node is claimed by exactly one worker, so the visited flags
       // stay single-writer even though the vector is shared.
       tree->MarkVisited(assigned);
@@ -221,10 +382,27 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
         continue;  // unreachable path (should not happen; see InjectAll)
       }
       injections.fetch_add(1, std::memory_order_relaxed);
+      im.CountCrash();
+      if (worker_injections != nullptr) {
+        worker_injections->Increment();
+      }
+      run_span.AddArg("seq", crash.seq);
 
-      PmPool recovered = PmPool::FromImage(pool.GracefulImage());
-      TargetPtr fresh = factory_();
-      const RecoveryResult result = RunRecoveryOracle(*fresh, recovered);
+      RecoveryResult result;
+      {
+        const auto recovery_start = std::chrono::steady_clock::now();
+        ScopedSpan recovery_span(options_.tracer, "recovery", "recovery",
+                                 tid);
+        PmPool recovered = PmPool::FromImage(pool.GracefulImage());
+        TargetPtr fresh = factory_();
+        result = RunRecoveryOracle(*fresh, recovered);
+        recovery_span.AddArg(
+            "status", std::string(RecoveryStatusName(result.status)));
+        im.ObserveRecovery(
+            Micros(recovery_start, std::chrono::steady_clock::now()));
+      }
+      im.CountRecovery(result.status);
+      im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
       if (!result.ok()) {
         Finding finding;
         finding.source = FindingSource::kFaultInjection;
@@ -238,6 +416,8 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
         if (dedup.find(result.detail) == dedup.end()) {
           dedup.emplace(result.detail, report.findings().size());
           report.Add(std::move(finding));
+        } else {
+          im.CountDeduplicated();
         }
       }
     }
@@ -245,13 +425,19 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
 
   const uint32_t thread_count = static_cast<uint32_t>(
       std::min<size_t>(options_.workers, pending.size()));
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("inject.workers")->Set(thread_count);
+  }
   std::vector<std::thread> threads;
   threads.reserve(thread_count);
   for (uint32_t i = 0; i < thread_count; ++i) {
-    threads.emplace_back(worker);
+    threads.emplace_back(worker, i);
   }
   for (std::thread& thread : threads) {
     thread.join();
+  }
+  if (options_.progress != nullptr) {
+    options_.progress->EndPhase();
   }
 
   stats->injections = injections.load();

@@ -6,6 +6,7 @@
 #ifndef MUMAK_SRC_CORE_FAULT_INJECTION_H_
 #define MUMAK_SRC_CORE_FAULT_INJECTION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -15,6 +16,9 @@
 #include "src/core/report.h"
 #include "src/instrument/event_hub.h"
 #include "src/instrument/trace.h"
+#include "src/observability/metrics.h"
+#include "src/observability/progress.h"
+#include "src/observability/span_tracer.h"
 #include "src/pmem/pm_pool.h"
 #include "src/targets/target.h"
 #include "src/workload/workload.h"
@@ -87,6 +91,12 @@ struct FaultInjectionOptions {
   // points across this many threads (§7 positions Mumak for CI pipelines,
   // where this is the relevant throughput knob).
   uint32_t workers = 1;
+  // Observability hooks (src/observability), all optional and borrowed.
+  // When null, the engine pays at most one branch per event on the
+  // instrumented hot path and a handful of branches per injection run.
+  MetricsRegistry* metrics = nullptr;    // counters/gauges/histograms
+  SpanTracer* tracer = nullptr;          // per-run spans, failure-point ids
+  ProgressReporter* progress = nullptr;  // live injected/total + ETA
 };
 
 struct FaultInjectionStats {

@@ -123,6 +123,7 @@ MumakResult Mumak::Analyze() {
   // Vanilla baseline for Table 2 accounting.
   PeakMemoryTracker vanilla_peak;
   {
+    ScopedSpan span(options_.tracer, "vanilla_baseline");
     TargetPtr target = factory_();
     PmPool pool(target->DefaultPoolSize());
     FootprintSampler sampler(&pool, &vanilla_peak);
@@ -139,6 +140,9 @@ MumakResult Mumak::Analyze() {
   fi_options.granularity = options_.granularity;
   fi_options.time_budget_s = options_.time_budget_s;
   fi_options.workers = options_.injection_workers;
+  fi_options.metrics = options_.metrics;
+  fi_options.tracer = options_.tracer;
+  fi_options.progress = options_.progress;
   FaultInjectionEngine engine(factory_, spec_, fi_options);
   const std::string trace_path = TempTracePath();
   std::optional<TraceFileSink> trace;
@@ -166,7 +170,9 @@ MumakResult Mumak::Analyze() {
 
   // Steps 7-9: fault injection with the recovery oracle.
   if (options_.fault_injection) {
+    ScopedSpan span(options_.tracer, "inject");
     Report injection_report = engine.InjectAll(&tree, &result.fault_injection);
+    span.AddArg("injections", result.fault_injection.injections);
     result.report.Merge(injection_report);
   }
 
@@ -176,9 +182,16 @@ MumakResult Mumak::Analyze() {
     TraceAnalysisOptions ta_options;
     ta_options.report_warnings = options_.report_warnings;
     ta_options.eadr_mode = options_.eadr_mode;
+    ta_options.metrics = options_.metrics;
     TraceAnalyzer analyzer(ta_options);
-    Report trace_report = analyzer.AnalyzeFile(trace_path, &result.trace);
+    Report trace_report;
+    {
+      ScopedSpan span(options_.tracer, "trace_analysis");
+      trace_report = analyzer.AnalyzeFile(trace_path, &result.trace);
+      span.AddArg("events", result.trace.events);
+    }
     if (options_.resolve_backtraces) {
+      ScopedSpan span(options_.tracer, "resolve_backtraces");
       ResolveBacktraces(&trace_report);
     }
     result.report.Merge(trace_report);
@@ -203,6 +216,13 @@ MumakResult Mumak::Analyze() {
   result.resources.pm_multiplier = 1.0;  // Mumak stores no metadata in PM
   const double cpu = CpuSeconds() - cpu_start;
   result.resources.cpu_load = wall > 0 ? std::max(1.0, cpu / wall) : 1.0;
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("pipeline.elapsed_us")
+        ->Set(static_cast<uint64_t>(wall * 1e6));
+    options_.metrics->GetGauge("pipeline.tool_bytes")
+        ->Set(result.resources.tool_bytes);
+    result.metrics = options_.metrics->Snapshot();
+  }
   return result;
 }
 

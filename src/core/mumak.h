@@ -5,12 +5,17 @@
 #ifndef MUMAK_SRC_CORE_MUMAK_H_
 #define MUMAK_SRC_CORE_MUMAK_H_
 
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include "src/core/fault_injection.h"
 #include "src/core/report.h"
 #include "src/core/resource_stats.h"
 #include "src/core/trace_analysis.h"
+#include "src/observability/metrics.h"
+#include "src/observability/progress.h"
+#include "src/observability/span_tracer.h"
 
 namespace mumak {
 
@@ -35,6 +40,19 @@ struct MumakOptions {
   // phases as separate executions sharing the tree through a file (§5
   // discusses the address-stability requirements this imposes).
   std::string tree_path;
+  // Observability hooks (src/observability), all optional and borrowed;
+  // they must outlive Analyze(). With all three null the pipeline runs
+  // exactly as before: the instrumented hot path pays at most one branch
+  // per event.
+  //  - metrics: named counters/gauges/histograms (PM events by type,
+  //    failure-point-tree size, injection and recovery outcomes, pattern
+  //    hits); snapshotted into MumakResult::metrics.
+  //  - tracer: one span per pipeline phase plus per-injection-run spans
+  //    tagged with failure-point ids (Chrome trace-event JSON).
+  //  - progress: live injected/total + ETA line for the CLI.
+  MetricsRegistry* metrics = nullptr;
+  SpanTracer* tracer = nullptr;
+  ProgressReporter* progress = nullptr;
 };
 
 struct MumakResult {
@@ -42,6 +60,9 @@ struct MumakResult {
   FaultInjectionStats fault_injection;
   TraceStats trace;
   ResourceStats resources;
+  // Snapshot of MumakOptions::metrics taken at the end of Analyze();
+  // empty when no registry was wired up.
+  MetricsSnapshot metrics;
   double elapsed_s = 0;
   bool budget_exhausted = false;
 };

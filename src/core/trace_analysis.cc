@@ -29,6 +29,11 @@ std::string HexOffset(uint64_t offset) {
 void TraceAnalyzer::AddFinding(FindingKind kind, uint32_t site,
                                uint64_t offset, uint64_t seq,
                                const std::string& detail) {
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetCounter("trace.pattern." + std::string(FindingKindName(kind)))
+        ->Increment();
+  }
   if (IsWarning(kind) && !options_.report_warnings) {
     return;
   }
@@ -249,6 +254,10 @@ Report TraceAnalyzer::Finish(TraceStats* stats) {
     stats->footprint_bytes =
         lines_.size() * (sizeof(LineState) + sizeof(uint64_t) + 16) +
         reported_.size() * 16 + pending_lines_.capacity() * 8;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("trace.events")->Set(events_);
+    options_.metrics->GetGauge("trace.lines_tracked")->Set(lines_.size());
   }
   return std::move(report_);
 }

@@ -20,6 +20,7 @@
 #include "src/core/report.h"
 #include "src/instrument/pm_event.h"
 #include "src/instrument/shadow_call_stack.h"
+#include "src/observability/metrics.h"
 
 namespace mumak {
 
@@ -38,6 +39,12 @@ struct TraceAnalysisOptions {
   // patterns do not apply. Fault injection is unaffected: atomicity and
   // ordering bugs exist on eADR systems too.
   bool eadr_mode = false;
+  // Optional pattern-hit accounting ("trace.pattern.<kind>" counters):
+  // every detected pattern instance counts, including instances collapsed
+  // by the per-site deduplication and warnings suppressed by
+  // report_warnings — the counters measure what the trace contains, the
+  // report what the user asked to see. Borrowed, may be null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct TraceStats {

@@ -33,10 +33,31 @@ class EventHub {
   void AddSink(EventSink* sink) { sinks_.push_back(sink); }
 
   void RemoveSink(EventSink* sink) {
+    if (dispatching_) {
+      // Mid-dispatch removal (a sink detaching itself or a peer from
+      // OnEvent): erasing would shift the vector under Publish's index, so
+      // tombstone the entry instead; Publish compacts afterwards.
+      for (EventSink*& entry : sinks_) {
+        if (entry == sink) {
+          entry = nullptr;
+          pending_removals_ = true;
+        }
+      }
+      return;
+    }
     std::erase(sinks_, sink);
   }
 
-  void Clear() { sinks_.clear(); }
+  void Clear() {
+    if (dispatching_) {
+      for (EventSink*& entry : sinks_) {
+        entry = nullptr;
+      }
+      pending_removals_ = true;
+      return;
+    }
+    sinks_.clear();
+  }
 
   // Disables publishing; used to run recovery without instrumentation
   // ("vanilla recovery code", §4.1).
@@ -47,18 +68,40 @@ class EventHub {
   uint64_t seq() const { return seq_; }
   void ResetSeq() { seq_ = 0; }
 
+  // Sinks may add or remove sinks (including themselves) from inside
+  // OnEvent: dispatch iterates over an index with a fresh bound each step
+  // (a range-for's iterators would be invalidated by push_back's
+  // reallocation), additions during dispatch receive the current event,
+  // and removals tombstone their entry (see RemoveSink) so no position
+  // shifts mid-loop. A sink that throws (the injection CrashSignal) still
+  // leaves the hub consistent: compaction is deferred to the next Publish.
   void Publish(const PmEvent& event) {
     if (!enabled_) {
       return;
     }
-    for (EventSink* sink : sinks_) {
-      sink->OnEvent(event);
+    if (pending_removals_) {
+      std::erase(sinks_, static_cast<EventSink*>(nullptr));
+      pending_removals_ = false;
     }
+    dispatching_ = true;
+    try {
+      for (size_t i = 0; i < sinks_.size(); ++i) {
+        if (sinks_[i] != nullptr) {
+          sinks_[i]->OnEvent(event);
+        }
+      }
+    } catch (...) {
+      dispatching_ = false;
+      throw;
+    }
+    dispatching_ = false;
   }
 
  private:
   std::vector<EventSink*> sinks_;
   bool enabled_ = true;
+  bool dispatching_ = false;
+  bool pending_removals_ = false;
   uint64_t seq_ = 0;
 };
 

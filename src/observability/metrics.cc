@@ -1,0 +1,162 @@
+#include "src/observability/metrics.h"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+namespace mumak {
+
+size_t Histogram::BucketFor(uint64_t value) {
+  const size_t width = static_cast<size_t>(std::bit_width(value));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  return uint64_t{1} << (bucket - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  if (bucket >= kBuckets - 1) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return (uint64_t{1} << bucket) - 1;
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    total += bucket_count(i);
+  }
+  return total;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  auto it = counters.find(name);
+  return it != counters.end() ? it->second : 0;
+}
+
+std::string MetricsSnapshot::RenderJson() const {
+  // Metric names are generated identifiers (dots, digits, brackets); only
+  // quote/backslash escaping is needed to stay valid JSON.
+  auto escape = [](const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "" : ", ") << "\"" << escape(name) << "\": " << value;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "" : ", ") << "\"" << escape(name) << "\": " << value;
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    os << (first ? "" : ", ") << "\"" << escape(name) << "\": {";
+    os << "\"count\": " << histogram.count;
+    os << ", \"sum\": " << histogram.sum;
+    os << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (histogram.buckets[i] == 0) {
+        continue;
+      }
+      os << (first_bucket ? "" : ", ") << "{\"le\": "
+         << Histogram::BucketUpperBound(i)
+         << ", \"count\": " << histogram.buckets[i] << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) {
+    return it->second;
+  }
+  counters_.emplace_back();
+  Counter* counter = &counters_.back();
+  counter_names_.emplace(name, counter);
+  return counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) {
+    return it->second;
+  }
+  gauges_.emplace_back();
+  Gauge* gauge = &gauges_.back();
+  gauge_names_.emplace(name, gauge);
+  return gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histogram_names_.find(name);
+  if (it != histogram_names_.end()) {
+    return it->second;
+  }
+  histograms_.emplace_back();
+  Histogram* histogram = &histograms_.back();
+  histogram_names_.emplace(name, histogram);
+  return histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counter_names_) {
+    snapshot.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauge_names_) {
+    snapshot.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histogram_names_) {
+    HistogramSnapshot hs;
+    hs.buckets.resize(Histogram::kBuckets);
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      hs.buckets[i] = histogram->bucket_count(i);
+      hs.count += hs.buckets[i];
+    }
+    hs.sum = histogram->sum();
+    snapshot.histograms.emplace(name, std::move(hs));
+  }
+  return snapshot;
+}
+
+EventCounters::EventCounters(MetricsRegistry* registry) {
+  for (size_t i = 0; i < kKinds; ++i) {
+    const EventKind kind = static_cast<EventKind>(i);
+    by_kind_[i] = registry->GetCounter("pm.events." +
+                                       std::string(EventKindName(kind)));
+  }
+}
+
+}  // namespace mumak

@@ -1,0 +1,172 @@
+// Metrics registry: low-overhead counters, gauges and fixed-bucket latency
+// histograms for the analysis pipeline. The paper's headline claims are
+// performance claims (Table 2); this layer is what lets the reproduction
+// account for *where* the time and events go — per PM event type, per
+// pipeline phase, per injection worker — instead of a single elapsed_s.
+//
+// Design rules:
+//  - Hot-path updates are plain relaxed atomics (one fetch_add, no locks).
+//  - Instruments are created through the registry and owned by it; callers
+//    hold raw pointers, which stay valid for the registry's lifetime (a
+//    std::deque arena — no reallocation invalidates them).
+//  - When no registry is wired up, the instrumented code paths hold a null
+//    pointer and pay at most one branch per event.
+
+#ifndef MUMAK_SRC_OBSERVABILITY_METRICS_H_
+#define MUMAK_SRC_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/instrument/event_hub.h"
+#include "src/instrument/pm_event.h"
+
+namespace mumak {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (tree sizes, worker counts, ...).
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Fixed-bucket histogram over unsigned values (latencies in microseconds,
+// sizes in bytes). Buckets are powers of two: bucket i counts values whose
+// bit width is i, i.e. [2^(i-1), 2^i - 1], with bucket 0 counting zeros.
+// Fixed bucketing keeps Observe() to one fetch_add plus a bit_width — no
+// allocation, no locks, mergeable across workers.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 33;  // zero + bit widths 1..32, + rest
+
+  void Observe(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  // Bucket index for a value (exposed for tests and renderers).
+  static size_t BucketFor(uint64_t value);
+  // Inclusive value range covered by a bucket.
+  static uint64_t BucketLowerBound(size_t bucket);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  uint64_t bucket_count(size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const;
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Point-in-time copy of every instrument in a registry, detached from the
+// atomics so it can be stored in results and serialised after the run.
+struct HistogramSnapshot {
+  std::vector<uint64_t> buckets;  // kBuckets entries
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  // Value of a counter, or 0 when absent (convenience for tests/summaries).
+  uint64_t CounterValue(const std::string& name) const;
+
+  // JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  // {name: {"count": n, "sum": s, "buckets": [{"le": upper, "count": c}]}}.
+  // Zero buckets are elided.
+  std::string RenderJson() const;
+};
+
+// Named-instrument registry. Get* interns by name: the first call creates
+// the instrument, later calls return the same pointer, so hot paths resolve
+// the name once and keep the pointer.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string RenderJson() const { return Snapshot().RenderJson(); }
+
+ private:
+  mutable std::mutex mutex_;
+  // Deques: stable addresses under growth (callers cache raw pointers).
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*> counter_names_;
+  std::map<std::string, Gauge*> gauge_names_;
+  std::map<std::string, Histogram*> histogram_names_;
+};
+
+// Per-EventKind counters, published under "pm.events.<kind name>". The
+// pool (or a CountingSink) bumps one counter per event: a single relaxed
+// fetch_add, preserving the at-most-one-branch overhead guard when the
+// pointer is null.
+class EventCounters {
+ public:
+  explicit EventCounters(MetricsRegistry* registry);
+
+  void Bump(EventKind kind) {
+    by_kind_[static_cast<size_t>(kind)]->Increment();
+  }
+  uint64_t count(EventKind kind) const {
+    return by_kind_[static_cast<size_t>(kind)]->value();
+  }
+
+ private:
+  static constexpr size_t kKinds = 9;
+  Counter* by_kind_[kKinds] = {};
+};
+
+// EventSink adapter: counts the published stream by kind. Attach this to a
+// hub when the producer cannot be handed an EventCounters directly (e.g.
+// replaying a saved trace, or instrumenting a baseline's pool).
+class CountingSink : public EventSink {
+ public:
+  explicit CountingSink(EventCounters* counters) : counters_(counters) {}
+
+  void OnEvent(const PmEvent& event) override { counters_->Bump(event.kind); }
+
+ private:
+  EventCounters* counters_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_OBSERVABILITY_METRICS_H_

@@ -1,0 +1,80 @@
+#include "src/observability/progress.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+
+namespace mumak {
+
+void ProgressReporter::BeginPhase(const std::string& name, uint64_t total,
+                                  double budget_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  phase_ = name;
+  total_ = total;
+  budget_s_ = budget_s;
+  done_.store(0, std::memory_order_relaxed);
+  phase_start_ = std::chrono::steady_clock::now();
+  last_paint_ = phase_start_ - std::chrono::hours(1);  // paint immediately
+}
+
+void ProgressReporter::Advance(uint64_t n) {
+  const uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto since_paint =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              last_paint_)
+            .count();
+    if (done < total_ &&
+        since_paint < static_cast<int64_t>(min_interval_ms_)) {
+      return;
+    }
+    last_paint_ = now;
+    Paint(/*final_paint=*/false);
+  }
+}
+
+void ProgressReporter::EndPhase() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Paint(/*final_paint=*/true);
+}
+
+void ProgressReporter::Paint(bool final_paint) {
+  // The injection phase runs one more execution than there are failure
+  // points (the last run completes without crashing); clamp the display so
+  // it never reads past 100%.
+  const uint64_t done =
+      std::min(done_.load(std::memory_order_relaxed), total_);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    phase_start_)
+          .count();
+  const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0;
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done) /
+                       static_cast<double>(total_)
+                 : 100.0;
+
+  std::fprintf(out_, "\rmumak: %s %" PRIu64 "/%" PRIu64 " (%.1f%%)",
+               phase_.c_str(), done, total_, pct);
+  if (rate > 0) {
+    std::fprintf(out_, " | %.1f/s", rate);
+  }
+  if (done < total_ && rate > 0) {
+    const double eta =
+        static_cast<double>(total_ - done) / rate;
+    std::fprintf(out_, " | eta %.0fs", eta);
+    // A finite budget that will expire before the ETA means the run will
+    // be truncated — say so while there is still time to raise it.
+    if (std::isfinite(budget_s_) && elapsed + eta > budget_s_) {
+      std::fprintf(out_, " (exceeds budget %.0fs)", budget_s_);
+    }
+  }
+  if (final_paint) {
+    std::fprintf(out_, "\n");
+  }
+  std::fflush(out_);
+}
+
+}  // namespace mumak

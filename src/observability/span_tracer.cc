@@ -1,0 +1,110 @@
+#include "src/observability/span_tracer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+namespace mumak {
+
+void SpanTracer::Record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<SpanEvent> SpanTracer::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string SpanTracer::EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void SpanTracer::WriteJson(std::ostream& out) const {
+  std::vector<SpanEvent> events = Events();
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  // Lane names make the Perfetto track list readable: one pipeline lane
+  // plus one lane per injection worker.
+  std::set<uint32_t> tids;
+  for (const SpanEvent& event : events) {
+    tids.insert(event.tid);
+  }
+  for (uint32_t tid : tids) {
+    out << (first ? "" : ", ")
+        << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+        << tid << ", \"args\": {\"name\": \""
+        << (tid == 0 ? std::string("pipeline")
+                     : "inject-worker-" + std::to_string(tid))
+        << "\"}}";
+    first = false;
+  }
+  for (const SpanEvent& event : events) {
+    out << (first ? "" : ", ");
+    first = false;
+    out << "{\"name\": \"" << EscapeJson(event.name) << "\"";
+    out << ", \"cat\": \"" << EscapeJson(event.category) << "\"";
+    out << ", \"ph\": \"X\"";
+    out << ", \"ts\": " << event.start_us;
+    out << ", \"dur\": " << event.duration_us;
+    out << ", \"pid\": 1, \"tid\": " << event.tid;
+    if (!event.args.empty()) {
+      out << ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        out << (first_arg ? "" : ", ") << "\"" << EscapeJson(key)
+            << "\": \"" << EscapeJson(value) << "\"";
+        first_arg = false;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+bool SpanTracer::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  WriteJson(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mumak

@@ -1,0 +1,115 @@
+// Span tracer: records one timed span per pipeline phase and per
+// injection run, and serialises them as Chrome trace-event JSON — a file
+// chrome://tracing and Perfetto load directly. Spans are emitted through
+// the RAII ScopedSpan so the tracer composes with the existing
+// ScopedSink / ScopedInstrumentationOff idiom in src/instrument.
+//
+// A null tracer disables everything: ScopedSpan holds a null pointer and
+// all members early-return, so the untraced pipeline pays one branch per
+// span (not per event — spans wrap whole phases and injection runs).
+
+#ifndef MUMAK_SRC_OBSERVABILITY_SPAN_TRACER_H_
+#define MUMAK_SRC_OBSERVABILITY_SPAN_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mumak {
+
+// One completed span ("ph":"X" in the trace-event format). Args carry
+// span-specific tags (failure-point ids, outcome strings, counts).
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;  // relative to the tracer's epoch
+  uint64_t duration_us = 0;
+  uint32_t tid = 0;  // lane: 0 = pipeline, 1..N = injection workers
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class SpanTracer {
+ public:
+  SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  // Microseconds since the tracer was created.
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void Record(SpanEvent event);
+
+  size_t size() const;
+  std::vector<SpanEvent> Events() const;  // copy, for tests
+
+  // Chrome trace-event JSON: {"displayTimeUnit": "ms", "traceEvents":
+  // [...]}; every span is a complete event with pid 1 and its lane as tid,
+  // plus one metadata record naming each lane.
+  void WriteJson(std::ostream& out) const;
+  bool WriteFile(const std::string& path) const;
+
+  // JSON string escaping for names/categories/args (exposed for tests).
+  static std::string EscapeJson(const std::string& text);
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+};
+
+// RAII span: opens on construction, records on destruction. Constructed
+// with a null tracer it is a no-op, so call sites are unconditional.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, std::string name,
+             std::string category = "phase", uint32_t tid = 0)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.tid = tid;
+    event_.start_us = tracer_->NowMicros();
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    event_.duration_us = tracer_->NowMicros() - event_.start_us;
+    tracer_->Record(std::move(event_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Tags the span; values render as JSON strings.
+  void AddArg(std::string key, std::string value) {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    event_.args.emplace_back(std::move(key), std::move(value));
+  }
+  void AddArg(std::string key, uint64_t value) {
+    AddArg(std::move(key), std::to_string(value));
+  }
+
+ private:
+  SpanTracer* tracer_;
+  SpanEvent event_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_OBSERVABILITY_SPAN_TRACER_H_

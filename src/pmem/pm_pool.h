@@ -17,6 +17,7 @@
 #include "src/instrument/event_hub.h"
 #include "src/instrument/shadow_call_stack.h"
 #include "src/instrument/pm_event.h"
+#include "src/observability/metrics.h"
 #include "src/pmem/persistency_model.h"
 
 namespace mumak {
@@ -46,6 +47,11 @@ class PmPool {
   // need them, but the XFDetector-like baseline instruments post-failure
   // reads).
   void set_trace_loads(bool on) { trace_loads_ = on; }
+
+  // Optional per-EventKind accounting (src/observability). Null by
+  // default: the uninstrumented hot path pays exactly one branch per
+  // published event. Does not take ownership.
+  void set_event_counters(EventCounters* counters) { counters_ = counters; }
 
   // -- Stores ------------------------------------------------------------
 
@@ -216,6 +222,9 @@ class PmPool {
     if (!hub_->enabled()) {
       return;
     }
+    if (counters_ != nullptr) {
+      counters_->Bump(kind);
+    }
     PmEvent ev;
     ev.kind = kind;
     ev.offset = offset;
@@ -228,6 +237,7 @@ class PmPool {
   PersistencyModel model_;
   std::unique_ptr<EventHub> hub_;
   bool trace_loads_ = false;
+  EventCounters* counters_ = nullptr;
 };
 
 }  // namespace mumak

@@ -13,11 +13,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/mumak.h"
 #include "src/instrument/trace.h"
+#include "src/observability/metrics.h"
+#include "src/observability/progress.h"
+#include "src/observability/span_tracer.h"
 #include "src/targets/bug_registry.h"
 #include "src/targets/target.h"
 
@@ -50,6 +55,14 @@ void PrintUsage() {
       "  --jobs <n>            parallel fault-injection workers (default 1)\n"
       "  --save-trace <file>   write the PM access trace (binary)\n"
       "\n"
+      "observability:\n"
+      "  --metrics <file>      dump pipeline metrics as JSON (counters,\n"
+      "                        gauges, latency histograms)\n"
+      "  --trace-events <file> write Chrome trace-event JSON (one span per\n"
+      "                        pipeline phase + per-injection spans; open\n"
+      "                        in Perfetto or chrome://tracing)\n"
+      "  --progress            live injected/total + ETA line on stderr\n"
+      "\n"
       "introspection:\n"
       "  --list-targets        registered targets\n"
       "  --list-bugs           seeded bug corpus (optionally --target)\n");
@@ -68,6 +81,9 @@ int main(int argc, char** argv) {
 
   std::string target_name;
   std::string save_trace;
+  std::string metrics_path;
+  std::string trace_events_path;
+  bool progress = false;
   WorkloadSpec spec;
   spec.operations = 2000;
   TargetOptions options;
@@ -170,6 +186,12 @@ int main(int argc, char** argv) {
       mumak_options.injection_workers = static_cast<uint32_t>(jobs);
     } else if (arg == "--save-trace") {
       save_trace = next("--save-trace");
+    } else if (arg == "--metrics") {
+      metrics_path = next("--metrics");
+    } else if (arg == "--trace-events") {
+      trace_events_path = next("--trace-events");
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--list-targets") {
       list_targets = true;
     } else if (arg == "--list-bugs") {
@@ -215,10 +237,55 @@ int main(int argc, char** argv) {
                 spec.single_put_per_tx ? "single put per transaction"
                                        : "batched transactions");
   }
+  // Observability wiring: instantiated only when the matching flag was
+  // given, so the default run keeps the uninstrumented hot path.
+  std::optional<MetricsRegistry> metrics;
+  std::optional<SpanTracer> tracer;
+  std::optional<ProgressReporter> progress_reporter;
+  if (!metrics_path.empty()) {
+    metrics.emplace();
+    mumak_options.metrics = &*metrics;
+  }
+  if (!trace_events_path.empty()) {
+    tracer.emplace();
+    mumak_options.tracer = &*tracer;
+  }
+  if (progress) {
+    progress_reporter.emplace(stderr);
+    mumak_options.progress = &*progress_reporter;
+  }
+
   Mumak mumak([target_name, options] {
     return CreateTarget(target_name, options);
   }, spec, mumak_options);
   const MumakResult result = mumak.Analyze();
+
+  // Observability dumps go to their files; confirmations to stderr so
+  // --json keeps stdout machine-readable.
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (out) {
+      out << result.metrics.RenderJson() << "\n";
+    }
+    if (out) {
+      std::fprintf(stderr, "mumak: metrics written to %s\n",
+                   metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "mumak: could not write %s\n",
+                   metrics_path.c_str());
+    }
+  }
+  if (!trace_events_path.empty()) {
+    if (tracer->WriteFile(trace_events_path)) {
+      std::fprintf(stderr,
+                   "mumak: trace events written to %s (%zu spans; load in "
+                   "Perfetto or chrome://tracing)\n",
+                   trace_events_path.c_str(), tracer->size());
+    } else {
+      std::fprintf(stderr, "mumak: could not write %s\n",
+                   trace_events_path.c_str());
+    }
+  }
 
   if (!save_trace.empty()) {
     // Re-collect the trace for the archive (traces are not retained past

@@ -7,22 +7,57 @@
 //   mumak-inspect trace.bin
 //   mumak-inspect --analyze trace.bin
 //   mumak-inspect --analyze --eadr trace.bin
+//   mumak-inspect --histograms --metrics metrics.json trace.bin
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "src/core/trace_analysis.h"
 #include "src/instrument/shadow_call_stack.h"
 #include "src/instrument/trace.h"
+#include "src/observability/metrics.h"
+
+namespace {
+
+// ASCII rendering of a fixed-bucket histogram: one row per non-empty
+// bucket, bar scaled to the largest bucket.
+void PrintHistogram(const mumak::Histogram& histogram) {
+  using mumak::Histogram;
+  uint64_t largest = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (histogram.bucket_count(i) > largest) {
+      largest = histogram.bucket_count(i);
+    }
+  }
+  if (largest == 0) {
+    return;
+  }
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const uint64_t count = histogram.bucket_count(i);
+    if (count == 0) {
+      continue;
+    }
+    const int bar = static_cast<int>(count * 40 / largest);
+    std::printf("    [%10" PRIu64 ", %10" PRIu64 "] %10" PRIu64 " %.*s\n",
+                Histogram::BucketLowerBound(i),
+                Histogram::BucketUpperBound(i), count, bar,
+                "########################################");
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mumak;
 
   bool analyze = false;
   bool eadr = false;
+  bool histograms = false;
+  std::string metrics_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -30,8 +65,18 @@ int main(int argc, char** argv) {
       analyze = true;
     } else if (arg == "--eadr") {
       eadr = true;
+    } else if (arg == "--histograms") {
+      histograms = true;
+    } else if (arg == "--metrics") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mumak-inspect: --metrics requires a file\n");
+        return 2;
+      }
+      metrics_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: mumak-inspect [--analyze] [--eadr] <trace.bin>\n");
+      std::printf(
+          "usage: mumak-inspect [--analyze] [--eadr] [--histograms] "
+          "[--metrics <file>] <trace.bin>\n");
       return 0;
     } else {
       path = arg;
@@ -49,21 +94,45 @@ int main(int argc, char** argv) {
   }
   std::printf("%s: %" PRIu64 " events\n", path.c_str(), reader.total());
 
-  // Stream statistics.
+  // Stream statistics, accumulated in a metrics registry so the summary
+  // can be dumped as the same JSON the `mumak --metrics` flag produces.
+  MetricsRegistry registry;
+  EventCounters counters(&registry);
   std::map<EventKind, uint64_t> by_kind;
   uint64_t lines_touched = 0;
   {
     std::map<uint64_t, bool> lines;
     std::vector<PmEvent> batch;
+    Histogram* size_by_kind[9] = {};
+    Histogram* gap_by_kind[9] = {};
+    for (size_t k = 0; k < 9; ++k) {
+      const std::string name(EventKindName(static_cast<EventKind>(k)));
+      size_by_kind[k] = registry.GetHistogram("pm.size." + name);
+      gap_by_kind[k] = registry.GetHistogram("pm.seq_gap." + name);
+    }
+    uint64_t last_seq_by_kind[9];
+    bool seen_kind[9] = {};
     while (reader.NextChunk(&batch, 4096)) {
       for (const PmEvent& ev : batch) {
+        const size_t k = static_cast<size_t>(ev.kind);
         ++by_kind[ev.kind];
+        counters.Bump(ev.kind);
+        size_by_kind[k]->Observe(ev.size);
+        // Instruction distance between consecutive events of one kind:
+        // flush/fence cadence at a glance (e.g. a fence every ~N
+        // instructions).
+        if (seen_kind[k]) {
+          gap_by_kind[k]->Observe(ev.seq - last_seq_by_kind[k]);
+        }
+        seen_kind[k] = true;
+        last_seq_by_kind[k] = ev.seq;
         if (IsStore(ev.kind) || IsFlush(ev.kind)) {
           lines[ev.offset / 64] = true;
         }
       }
     }
     lines_touched = lines.size();
+    registry.GetGauge("pm.lines_touched")->Set(lines_touched);
   }
   std::printf("\nevent mix:\n");
   for (const auto& [kind, count] : by_kind) {
@@ -87,9 +156,30 @@ int main(int argc, char** argv) {
                 static_cast<double>(flushes) / static_cast<double>(fences));
   }
 
+  if (histograms) {
+    std::printf("\n=== per-event-type histograms ===\n");
+    for (const auto& [kind, count] : by_kind) {
+      if (count == 0) {
+        continue;  // the mix arithmetic above inserts zero entries
+      }
+      const std::string name(EventKindName(kind));
+      std::printf("\n%s: %" PRIu64 " events\n", name.c_str(), count);
+      std::printf("  access size (bytes):\n");
+      PrintHistogram(*registry.GetHistogram("pm.size." + name));
+      const Histogram* gap = registry.GetHistogram("pm.seq_gap." + name);
+      if (gap->count() > 0) {
+        std::printf("  instruction distance between consecutive %s:\n",
+                    name.c_str());
+        PrintHistogram(*gap);
+      }
+    }
+  }
+
+  int exit_code = 0;
   if (analyze) {
     TraceAnalysisOptions options;
     options.eadr_mode = eadr;
+    options.metrics = &registry;
     TraceAnalyzer analyzer(options);
     TraceStats stats;
     // Re-intern the producer's site names locally so findings carry
@@ -116,7 +206,34 @@ int main(int argc, char** argv) {
     std::printf("(%" PRIu64 " events, %" PRIu64
                 " lines tracked, %.3fs)\n",
                 stats.events, stats.lines_tracked, stats.elapsed_s);
-    return report.BugCount() == 0 ? 0 : 1;
+    exit_code = report.BugCount() == 0 ? 0 : 1;
   }
-  return 0;
+
+  // Metrics summary: the counter block of the registry, one line per
+  // metric (histograms go to --histograms / the JSON dump).
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  std::printf("\n=== metrics summary ===\n");
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value > 0) {
+      std::printf("  %-32s %12" PRIu64 "\n", name.c_str(), value);
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::printf("  %-32s %12" PRIu64 "\n", name.c_str(), value);
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (out) {
+      out << snapshot.RenderJson() << "\n";
+    }
+    if (out) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "mumak-inspect: could not write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+  }
+  return exit_code;
 }

@@ -70,6 +70,113 @@ TEST(EventHubTest, ScopedSinkDetaches) {
   EXPECT_EQ(sink.events, 1);
 }
 
+TEST(EventHubTest, SinkMayRemoveItselfDuringDispatch) {
+  // A one-shot sink detaching from inside OnEvent must not derail the
+  // dispatch loop: every other sink still sees the event, and the next
+  // Publish no longer reaches the detached sink.
+  EventHub hub;
+  struct OneShot : EventSink {
+    EventHub* hub = nullptr;
+    int events = 0;
+    void OnEvent(const PmEvent&) override {
+      ++events;
+      hub->RemoveSink(this);
+    }
+  } one_shot;
+  struct Counter : EventSink {
+    int events = 0;
+    void OnEvent(const PmEvent&) override { ++events; }
+  } before, after;
+  one_shot.hub = &hub;
+  hub.AddSink(&before);
+  hub.AddSink(&one_shot);
+  hub.AddSink(&after);
+  hub.Publish(PmEvent{});
+  EXPECT_EQ(before.events, 1);
+  EXPECT_EQ(one_shot.events, 1);
+  EXPECT_EQ(after.events, 1);  // removal at index <= current must not skip
+  hub.Publish(PmEvent{});
+  EXPECT_EQ(one_shot.events, 1);
+  EXPECT_EQ(before.events, 2);
+  EXPECT_EQ(after.events, 2);
+}
+
+TEST(EventHubTest, SinkMayRemoveAnEarlierSinkDuringDispatch) {
+  EventHub hub;
+  struct Counter : EventSink {
+    int events = 0;
+    void OnEvent(const PmEvent&) override { ++events; }
+  } victim, tail;
+  struct Remover : EventSink {
+    EventHub* hub = nullptr;
+    EventSink* target = nullptr;
+    void OnEvent(const PmEvent&) override { hub->RemoveSink(target); }
+  } remover;
+  remover.hub = &hub;
+  remover.target = &victim;
+  hub.AddSink(&victim);
+  hub.AddSink(&remover);
+  hub.AddSink(&tail);
+  hub.Publish(PmEvent{});
+  // The victim saw this event (it preceded the remover); the tail must not
+  // have been skipped by the mid-dispatch removal.
+  EXPECT_EQ(victim.events, 1);
+  EXPECT_EQ(tail.events, 1);
+  hub.Publish(PmEvent{});
+  EXPECT_EQ(victim.events, 1);
+  EXPECT_EQ(tail.events, 2);
+}
+
+TEST(EventHubTest, SinkMayAddASinkDuringDispatch) {
+  EventHub hub;
+  struct Counter : EventSink {
+    int events = 0;
+    void OnEvent(const PmEvent&) override { ++events; }
+  } late;
+  struct Adder : EventSink {
+    EventHub* hub = nullptr;
+    EventSink* to_add = nullptr;
+    bool added = false;
+    void OnEvent(const PmEvent&) override {
+      if (!added) {
+        hub->AddSink(to_add);
+        added = true;
+      }
+    }
+  } adder;
+  adder.hub = &hub;
+  adder.to_add = &late;
+  hub.AddSink(&adder);
+  hub.Publish(PmEvent{});
+  hub.Publish(PmEvent{});
+  // Whether `late` saw the event it was added during is unspecified; it
+  // must see every later one and the hub must stay consistent.
+  EXPECT_GE(late.events, 1);
+  hub.RemoveSink(&late);
+  hub.Publish(PmEvent{});
+  EXPECT_LE(late.events, 2);
+}
+
+TEST(EventHubTest, ClearDuringDispatchStopsFutureDelivery) {
+  EventHub hub;
+  struct Clearer : EventSink {
+    EventHub* hub = nullptr;
+    void OnEvent(const PmEvent&) override { hub->Clear(); }
+  } clearer;
+  struct Counter : EventSink {
+    int events = 0;
+    void OnEvent(const PmEvent&) override { ++events; }
+  } tail;
+  clearer.hub = &hub;
+  hub.AddSink(&clearer);
+  hub.AddSink(&tail);
+  hub.Publish(PmEvent{});
+  const int seen = tail.events;  // delivery during the clearing publish is
+                                 // unspecified, but must not crash
+  hub.Publish(PmEvent{});
+  EXPECT_EQ(tail.events, seen);  // nothing after the clear
+}
+
 TEST(EventHubTest, DisableSuppressesPublish) {
   EventHub hub;
   struct Counter : EventSink {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/report.h"
+#include "tests/mini_json.h"
 
 namespace mumak {
 namespace {
@@ -242,6 +243,67 @@ TEST(ReportJson, WarningsCanBeExcluded) {
   EXPECT_EQ(without.find("the-warning"), std::string::npos);
   EXPECT_NE(without.find("the-bug"), std::string::npos);
   EXPECT_NE(without.find("\"warnings\": 0"), std::string::npos);
+}
+
+TEST(ReportJson, OutputParsesAsJson) {
+  // Whole-document round trip through a real parser — substring checks
+  // above cannot catch a stray comma or an unbalanced brace.
+  Report report;
+  for (FindingKind kind : kAllKinds) {
+    report.Add(MakeFinding(kind, "detail for " +
+                                     std::string(FindingKindName(kind))));
+  }
+  testjson::Value root;
+  ASSERT_TRUE(testjson::ParseJson(report.RenderJson(), &root));
+  ASSERT_EQ(root.type, testjson::Value::Type::kObject);
+  const testjson::Value* findings = root.Find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->array.size(), std::size(kAllKinds));
+  EXPECT_EQ(root.Find("bugs")->number + root.Find("warnings")->number,
+            static_cast<double>(std::size(kAllKinds)));
+  for (const testjson::Value& finding : findings->array) {
+    EXPECT_NE(finding.Find("kind"), nullptr);
+    EXPECT_NE(finding.Find("severity"), nullptr);
+    EXPECT_NE(finding.Find("detail"), nullptr);
+  }
+}
+
+TEST(ReportJson, EscapedFieldsRoundTripThroughAParser) {
+  const std::string nasty =
+      "quote \" backslash \\ newline \n tab \t cr \r bell \x07 end";
+  Report report;
+  report.Add(MakeFinding(FindingKind::kUnflushedStore, nasty,
+                         "loc \"with\" \\ specials"));
+  testjson::Value root;
+  ASSERT_TRUE(testjson::ParseJson(report.RenderJson(), &root));
+  const testjson::Value& finding = root.Find("findings")->array.at(0);
+  // What the parser reads back is byte-for-byte what went in.
+  EXPECT_EQ(finding.Find("detail")->string, nasty);
+  EXPECT_EQ(finding.Find("location")->string, "loc \"with\" \\ specials");
+}
+
+TEST(ReportJson, EmptyReportParsesAsJson) {
+  testjson::Value root;
+  ASSERT_TRUE(testjson::ParseJson(Report().RenderJson(), &root));
+  EXPECT_EQ(root.Find("bugs")->number, 0);
+  EXPECT_TRUE(root.Find("findings")->array.empty());
+}
+
+TEST(ReportJson, WarningFilterHoldsAfterParsing) {
+  Report report;
+  report.Add(MakeFinding(FindingKind::kUnflushedStore, "the-bug"));
+  report.Add(MakeFinding(FindingKind::kTransientData, "the-warning"));
+  report.Add(MakeFinding(FindingKind::kMultiFlushFence, "other-warning"));
+  testjson::Value root;
+  ASSERT_TRUE(testjson::ParseJson(
+      report.RenderJson(/*include_warnings=*/false), &root));
+  const testjson::Value* findings = root.Find("findings");
+  ASSERT_EQ(findings->array.size(), 1u);
+  EXPECT_EQ(findings->array[0].Find("detail")->string, "the-bug");
+  EXPECT_EQ(findings->array[0].Find("severity")->string, "bug");
+  // The counts describe the filtered view.
+  EXPECT_EQ(root.Find("bugs")->number, 1);
+  EXPECT_EQ(root.Find("warnings")->number, 0);
 }
 
 TEST(ReportJson, FaultInjectionSourceIsLabelled) {
