@@ -1,12 +1,17 @@
 #include "src/core/fault_injection.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+
+#include "src/pmem/replay_cursor.h"
 
 namespace mumak {
 namespace {
@@ -110,6 +115,15 @@ Counter* WorkerCounter(MetricsRegistry* registry, uint32_t worker) {
 }  // namespace
 
 void FailurePointSink::OnEvent(const PmEvent& event) {
+  if (mode_ == Mode::kInjectAt && target_seq_ != kNoSeq) {
+    // Instruction-counter targeting: deterministic executions make the
+    // profiled seq identify the same dynamic point, with no call-stack
+    // re-matching (stable under -O2 inlining, unlike site identity).
+    if (event.seq == target_seq_) {
+      throw CrashSignal{inject_target_, event.seq};
+    }
+    return;
+  }
   if (granularity_ == FailurePointGranularity::kStore) {
     if (IsStore(event.kind)) {
       HandleFailurePoint(event);
@@ -137,7 +151,13 @@ void FailurePointSink::HandleFailurePoint(const PmEvent& event) {
   stack_buffer_.push_back(event.site);
 
   if (mode_ == Mode::kProfile) {
-    tree_->Insert(stack_buffer_);
+    const FailurePointTree::NodeIndex node = tree_->Insert(stack_buffer_);
+    if (first_seq_out_ != nullptr) {
+      // emplace = first hit wins; the serial injection loop crashes each
+      // unique path at its first occurrence, so replaying at the first-hit
+      // seq reproduces exactly that crash image.
+      first_seq_out_->emplace(node, event.seq);
+    }
     return;
   }
   if (mode_ == Mode::kInjectAt) {
@@ -189,6 +209,17 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
   }
   FailurePointSink sink(&tree, FailurePointSink::Mode::kProfile,
                         options_.granularity);
+  first_seq_.clear();
+  sink.set_first_seq_out(&first_seq_);
+  // Replay strategy: the same execution also records every event plus the
+  // bytes each store wrote — the complete input for synthesizing crash
+  // images without re-executing (ReplayCursor).
+  replay_ready_ = false;
+  std::optional<ReplayTraceCollector> replay;
+  if (options_.strategy == InjectionStrategy::kReplay) {
+    replay.emplace();
+    pool.hub().AddSink(&*replay);
+  }
   ScopedSink attach_sink(pool.hub(), &sink);
   if (trace != nullptr) {
     pool.hub().AddSink(trace);
@@ -196,6 +227,13 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
   ExecuteWorkload(*target, pool, spec_);
   if (trace != nullptr) {
     pool.hub().RemoveSink(trace);
+  }
+  if (replay.has_value()) {
+    pool.hub().RemoveSink(&*replay);
+    replay_trace_ = replay->Take();
+    profiled_pool_size_ = pool.size();
+    replay_ready_ = true;
+    span.AddArg("replay_trace_bytes", replay_trace_.FootprintBytes());
   }
   if (options_.metrics != nullptr) {
     options_.metrics->GetGauge("fpt.failure_points")
@@ -210,6 +248,9 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
 
 Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
                                        FaultInjectionStats* stats) {
+  if (options_.strategy == InjectionStrategy::kReplay && replay_ready_) {
+    return InjectAllReplay(tree, stats);
+  }
   if (options_.workers > 1) {
     return InjectAllParallel(tree, stats);
   }
@@ -360,7 +401,13 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
       PmPool pool(target->DefaultPoolSize());
       FailurePointSink sink(tree, FailurePointSink::Mode::kInjectAt,
                             options_.granularity);
-      sink.set_inject_target(assigned);
+      // Prefer the profiled instruction counter as the target identity
+      // (optimization-stable); fall back to call-stack matching when this
+      // engine did not profile the tree itself.
+      const auto seq_it = first_seq_.find(assigned);
+      sink.set_inject_target(assigned, seq_it != first_seq_.end()
+                                           ? seq_it->second
+                                           : FailurePointSink::kNoSeq);
       bool crashed = false;
       CrashSignal crash;
       try {
@@ -447,6 +494,206 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
   stats->tree_bytes = tree->FootprintBytes();
   stats->elapsed_s =
       Seconds(start, std::chrono::steady_clock::now());
+  return report;
+}
+
+Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
+                                             FaultInjectionStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  struct ReplayPoint {
+    FailurePointTree::NodeIndex node;
+    uint64_t seq;
+  };
+  // Injection schedule: every unvisited failure point at its first
+  // profiled occurrence, in instruction-counter order — the same crash
+  // sequence the serial re-execution loop produces.
+  std::vector<ReplayPoint> points;
+  {
+    const std::vector<FailurePointTree::NodeIndex> pending =
+        tree->UnvisitedNodes();
+    points.reserve(pending.size());
+    for (const FailurePointTree::NodeIndex node : pending) {
+      const auto it = first_seq_.find(node);
+      if (it == first_seq_.end()) {
+        continue;  // not reached by this engine's profile run
+      }
+      points.push_back({node, it->second});
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const ReplayPoint& a, const ReplayPoint& b) {
+              return a.seq < b.seq;
+            });
+  stats->failure_points = tree->FailurePointCount();
+  stats->replay_trace_bytes = replay_trace_.FootprintBytes();
+
+  std::atomic<uint64_t> injections{0};
+  std::atomic<bool> exhausted{false};
+  std::mutex report_mutex;
+  Report report;
+  std::map<std::string, size_t> dedup;
+  InjectionMetrics im(options_.metrics);
+  if (options_.progress != nullptr) {
+    options_.progress->BeginPhase("inject", points.size(),
+                                  options_.time_budget_s);
+  }
+
+  const uint32_t thread_count = static_cast<uint32_t>(std::max<size_t>(
+      1, std::min<size_t>(options_.workers, points.size())));
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("inject.workers")->Set(thread_count);
+    options_.metrics->GetGauge("inject.replay_trace_bytes")
+        ->Set(stats->replay_trace_bytes);
+  }
+  std::vector<Counter*> worker_counters(thread_count, nullptr);
+  for (uint32_t i = 0; i < thread_count; ++i) {
+    worker_counters[i] = WorkerCounter(options_.metrics, i);
+  }
+
+  // Streaming replay: ONE cursor pass synthesizes every crash image in
+  // seq order — O(trace length) total work at any worker count — and the
+  // per-image work (recovery oracle on an uninstrumented fresh pool) fans
+  // out to workers. No workload re-execution, no call-stack matching.
+  // Each point is handed to exactly one worker, so the visited flags stay
+  // single-writer.
+  auto process_point = [&](uint32_t worker_index, size_t i,
+                           std::vector<uint8_t> image) {
+    const uint32_t tid = worker_index + 1;
+    const auto run_start = std::chrono::steady_clock::now();
+    ScopedSpan run_span(options_.tracer, "inject", "injection", tid);
+    run_span.AddArg("failure_point", uint64_t{points[i].node});
+    run_span.AddArg("seq", points[i].seq);
+    tree->MarkVisited(points[i].node);
+    injections.fetch_add(1, std::memory_order_relaxed);
+    im.CountAttempt();
+    im.CountCrash();
+    if (worker_counters[worker_index] != nullptr) {
+      worker_counters[worker_index]->Increment();
+    }
+    if (options_.progress != nullptr) {
+      options_.progress->Advance();
+    }
+
+    RecoveryResult result;
+    {
+      const auto recovery_start = std::chrono::steady_clock::now();
+      ScopedSpan recovery_span(options_.tracer, "recovery", "recovery",
+                               tid);
+      PmPool recovered = PmPool::FromImage(std::move(image));
+      TargetPtr fresh = factory_();
+      result = RunRecoveryOracle(*fresh, recovered);
+      recovery_span.AddArg(
+          "status", std::string(RecoveryStatusName(result.status)));
+      im.ObserveRecovery(
+          Micros(recovery_start, std::chrono::steady_clock::now()));
+    }
+    im.CountRecovery(result.status);
+    im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
+    if (!result.ok()) {
+      Finding finding;
+      finding.source = FindingSource::kFaultInjection;
+      finding.kind = result.status == RecoveryStatus::kUnrecoverable
+                         ? FindingKind::kRecoveryUnrecoverable
+                         : FindingKind::kRecoveryCrash;
+      finding.detail = result.detail;
+      finding.location = tree->DescribePath(points[i].node);
+      finding.seq = points[i].seq;
+      std::lock_guard<std::mutex> lock(report_mutex);
+      if (dedup.find(result.detail) == dedup.end()) {
+        dedup.emplace(result.detail, report.findings().size());
+        report.Add(std::move(finding));
+      } else {
+        im.CountDeduplicated();
+      }
+    }
+  };
+  auto over_budget = [&] {
+    return injections.load(std::memory_order_relaxed) >=
+               options_.max_injections ||
+           Seconds(start, std::chrono::steady_clock::now()) >
+               options_.time_budget_s;
+  };
+
+  ReplayCursor cursor(replay_trace_, profiled_pool_size_);
+  if (thread_count <= 1) {
+    // Inline: seq-ascending processing makes the report ordering (and
+    // dedup winners) identical to the serial re-execution loop.
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (over_budget()) {
+        exhausted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      process_point(0, i, std::vector<uint8_t>(image));
+    }
+  } else {
+    // Producer/consumer: this thread advances the cursor and snapshots
+    // each image into a bounded queue; workers drain it and run the
+    // oracle. The budget is enforced at the producer, so at most the
+    // queued backlog (<= queue capacity) lands after exhaustion.
+    struct Job {
+      size_t index = 0;
+      std::vector<uint8_t> image;
+    };
+    std::deque<Job> queue;
+    std::mutex queue_mutex;
+    std::condition_variable queue_filled, queue_drained;
+    bool producer_done = false;
+    const size_t queue_cap = 2 * thread_count;
+
+    auto consume = [&](uint32_t worker_index) {
+      for (;;) {
+        Job job;
+        {
+          std::unique_lock<std::mutex> lock(queue_mutex);
+          queue_filled.wait(lock,
+                            [&] { return producer_done || !queue.empty(); });
+          if (queue.empty()) {
+            return;
+          }
+          job = std::move(queue.front());
+          queue.pop_front();
+        }
+        queue_drained.notify_one();
+        process_point(worker_index, job.index, std::move(job.image));
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (uint32_t i = 0; i < thread_count; ++i) {
+      threads.emplace_back(consume, i);
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (over_budget()) {
+        exhausted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      queue_drained.wait(lock, [&] { return queue.size() < queue_cap; });
+      queue.push_back({i, std::vector<uint8_t>(image)});
+      lock.unlock();
+      queue_filled.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      producer_done = true;
+    }
+    queue_filled.notify_all();
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  if (options_.progress != nullptr) {
+    options_.progress->EndPhase();
+  }
+
+  stats->injections = injections.load();
+  stats->replayed = injections.load();
+  stats->budget_exhausted = exhausted.load();
+  stats->bugs = report.BugCount();
+  stats->tree_bytes = tree->FootprintBytes();
+  stats->elapsed_s = Seconds(start, std::chrono::steady_clock::now());
   return report;
 }
 

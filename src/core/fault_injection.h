@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/failure_point_tree.h"
@@ -37,6 +38,25 @@ enum class FailurePointGranularity {
   kStore,
 };
 
+// How the injection loop obtains the post-crash image for each failure
+// point.
+//  - kReExecute: one full workload re-execution per failure point (the
+//    paper's §4.1 loop): O(failure points × trace length) instrumented
+//    work.
+//  - kReplay: the profiling run additionally records the bytes written by
+//    every store; injection then *synthesizes* each graceful crash image by
+//    replaying the recorded stores forward (ReplayCursor), so image
+//    synthesis is O(trace length) per worker in total and only the
+//    uninstrumented recovery oracle runs per failure point. Identical
+//    reports at persistency-instruction granularity (a graceful crash is a
+//    deterministic program-order prefix); requires InjectAll to run on the
+//    same engine whose Profile() recorded the trace — it falls back to
+//    kReExecute otherwise.
+enum class InjectionStrategy {
+  kReExecute,
+  kReplay,
+};
+
 // Exception thrown by the injection sink to stop the target at a failure
 // point. The pool state at the throw site *is* the graceful crash image:
 // pending stores are treated as persisted, respecting program order.
@@ -56,15 +76,34 @@ class FailurePointSink : public EventSink {
   // number of kInjectAt executions can share it).
   enum class Mode { kProfile, kInject, kInjectAt };
 
+  // Sentinel for "no instruction-counter target" (see set_inject_target).
+  static constexpr uint64_t kNoSeq = ~0ull;
+
   FailurePointSink(FailurePointTree* tree, Mode mode,
                    FailurePointGranularity granularity)
       : tree_(tree), mode_(mode), granularity_(granularity) {}
 
   void OnEvent(const PmEvent& event) override;
 
-  // The failure point a kInjectAt execution crashes at.
-  void set_inject_target(FailurePointTree::NodeIndex node) {
+  // The failure point a kInjectAt execution crashes at. When `seq` is
+  // given, the sink crashes at the event whose instruction counter equals
+  // it (the failure point's first profiled occurrence) instead of
+  // re-matching the shadow call stack — executions are deterministic, so
+  // the counter identifies the same point, and unlike call-stack identity
+  // it is stable under compiler inlining (the latent -O2 breakage noted in
+  // ROADMAP.md).
+  void set_inject_target(FailurePointTree::NodeIndex node,
+                         uint64_t seq = kNoSeq) {
     inject_target_ = node;
+    target_seq_ = seq;
+  }
+
+  // In kProfile mode, records each failure point's *first* instruction
+  // counter into `out` (keyed by tree node). This is the injection
+  // schedule for both replay mode and seq-targeted kInjectAt.
+  void set_first_seq_out(
+      std::unordered_map<FailurePointTree::NodeIndex, uint64_t>* out) {
+    first_seq_out_ = out;
   }
 
  private:
@@ -74,6 +113,9 @@ class FailurePointSink : public EventSink {
   Mode mode_;
   FailurePointGranularity granularity_;
   FailurePointTree::NodeIndex inject_target_ = FailurePointTree::kNotFound;
+  uint64_t target_seq_ = kNoSeq;
+  std::unordered_map<FailurePointTree::NodeIndex, uint64_t>* first_seq_out_ =
+      nullptr;
   // "Only consider a persistency instruction if there was at least one
   // store performed to PM since the last failure point" (§4.1).
   bool store_since_failure_point_ = false;
@@ -91,6 +133,10 @@ struct FaultInjectionOptions {
   // points across this many threads (§7 positions Mumak for CI pipelines,
   // where this is the relevant throughput knob).
   uint32_t workers = 1;
+  // How crash images are obtained (see InjectionStrategy). kReplay needs
+  // Profile() to have run on the same engine; it records the store
+  // payloads the replay consumes.
+  InjectionStrategy strategy = InjectionStrategy::kReExecute;
   // Observability hooks (src/observability), all optional and borrowed.
   // When null, the engine pays at most one branch per event on the
   // instrumented hot path and a handful of branches per injection run.
@@ -103,10 +149,14 @@ struct FaultInjectionStats {
   uint64_t failure_points = 0;
   uint64_t injections = 0;
   uint64_t executions = 0;  // full workload (re-)executions
+  uint64_t replayed = 0;    // crash images synthesized from the trace
   uint64_t bugs = 0;
   bool budget_exhausted = false;
   double elapsed_s = 0;
   size_t tree_bytes = 0;
+  // Footprint of the recorded event stream + store payloads held for
+  // replay; 0 under kReExecute (the memory cost of the strategy).
+  size_t replay_trace_bytes = 0;
 };
 
 class FaultInjectionEngine {
@@ -132,12 +182,36 @@ class FaultInjectionEngine {
   static void ExecuteWorkload(Target& target, PmPool& pool,
                               const WorkloadSpec& spec);
 
+  // -- Replay inputs captured by Profile() ---------------------------------
+
+  // First profiled instruction counter per failure point (the injection
+  // schedule). Populated by every Profile() call.
+  const std::unordered_map<FailurePointTree::NodeIndex, uint64_t>&
+  first_hit_seq() const {
+    return first_seq_;
+  }
+  // The recorded event stream + store payloads; meaningful only when
+  // replay_ready().
+  const RecordedTrace& replay_trace() const { return replay_trace_; }
+  size_t profiled_pool_size() const { return profiled_pool_size_; }
+  // True once Profile() has captured the replay inputs (strategy ==
+  // kReplay); InjectAll falls back to re-execution otherwise.
+  bool replay_ready() const { return replay_ready_; }
+
  private:
   Report InjectAllParallel(FailurePointTree* tree, FaultInjectionStats* stats);
+  Report InjectAllReplay(FailurePointTree* tree, FaultInjectionStats* stats);
 
   TargetFactory factory_;
   WorkloadSpec spec_;
   FaultInjectionOptions options_;
+  // Replay inputs recorded by Profile(); node indices are stable across
+  // FailurePointTree::Serialize/Deserialize, so these survive the
+  // tree-through-a-file round trip in Mumak::Analyze.
+  std::unordered_map<FailurePointTree::NodeIndex, uint64_t> first_seq_;
+  RecordedTrace replay_trace_;
+  size_t profiled_pool_size_ = 0;
+  bool replay_ready_ = false;
 };
 
 }  // namespace mumak

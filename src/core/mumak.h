@@ -35,6 +35,11 @@ struct MumakOptions {
   double time_budget_s = std::numeric_limits<double>::infinity();
   // Injection worker threads (see FaultInjectionOptions::workers).
   uint32_t injection_workers = 1;
+  // How injection obtains crash images (see InjectionStrategy): re-execute
+  // the workload per failure point, or synthesize images by replaying the
+  // profiled trace (kReplay — the profiling run then also records store
+  // payloads).
+  InjectionStrategy injection_strategy = InjectionStrategy::kReExecute;
   // When set, the failure point tree is serialised here after profiling
   // and re-loaded before injection — the paper's pipeline runs the two
   // phases as separate executions sharing the tree through a file (§5

@@ -71,6 +71,15 @@ struct PmEvent {
   // process, which is what the paper's ASLR-disabling achieves).
   uint32_t site = 0xffffffffu;
   uint64_t seq = 0;     // monotonically increasing instruction counter
+  // Bytes written by a store / NT-store / RMW (`size` of them), when the
+  // producer exposes them. BORROWED: the pointer aliases the writer's
+  // buffer and is valid only for the duration of sink dispatch — sinks
+  // that outlive the event must copy (ReplayTraceCollector) or drop
+  // (TraceCollector) it. Null for fences, flushes and loads, and for
+  // events deserialised from payload-less (v1) traces.
+  const uint8_t* payload = nullptr;
+
+  bool has_payload() const { return payload != nullptr; }
 };
 
 }  // namespace mumak

@@ -13,14 +13,22 @@ namespace mumak {
 namespace {
 
 constexpr std::array<char, 8> kMagic = {'M', 'U', 'M', 'A', 'K', 'T', 'R', '1'};
-constexpr uint32_t kVersion = 1;
+// Version 1: packed records only. Version 2: a 8-byte payload-byte total in
+// the header (so the site-name footer stays seekable without scanning the
+// variable-length records) and per-record store payloads.
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersionPayload = 2;
 constexpr uint64_t kFooterMagic = 0x53455449531f1e1dull;  // site table
 
-// Packed on-disk record: kind(1) pad(3) size(4) site(4) pad(4) offset(8)
-// seq(8) = 32 bytes.
+// Packed on-disk record: kind(1) flags(1) pad(2) size(4) site(4) pad(4)
+// offset(8) seq(8) = 32 bytes. The flags byte occupies what was a pad byte
+// in version 1, where it was always written as zero.
+constexpr uint8_t kFlagHasPayload = 1;
+
 struct PackedEvent {
   uint8_t kind;
-  uint8_t pad[3];
+  uint8_t flags;
+  uint8_t pad[2];
   uint32_t size;
   uint32_t site;
   uint32_t pad2;
@@ -29,92 +37,188 @@ struct PackedEvent {
 };
 static_assert(sizeof(PackedEvent) == 32);
 
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+bool VersionSupported(uint32_t version, std::string* error) {
+  if (version == kVersionLegacy || version == kVersionPayload) {
+    return true;
+  }
+  SetError(error, "unsupported trace format version " +
+                      std::to_string(version) + " (this tool reads versions " +
+                      std::to_string(kVersionLegacy) + "-" +
+                      std::to_string(kVersionPayload) +
+                      "; the file was written by a newer mumak)");
+  return false;
+}
+
+PackedEvent Pack(const PmEvent& ev, bool with_payload) {
+  PackedEvent packed{};
+  packed.kind = static_cast<uint8_t>(ev.kind);
+  packed.flags = with_payload ? kFlagHasPayload : 0;
+  packed.size = ev.size;
+  packed.site = ev.site;
+  packed.offset = ev.offset;
+  packed.seq = ev.seq;
+  return packed;
+}
+
+PmEvent Unpack(const PackedEvent& packed) {
+  PmEvent ev;
+  ev.kind = static_cast<EventKind>(packed.kind);
+  ev.size = packed.size;
+  ev.site = packed.site;
+  ev.offset = packed.offset;
+  ev.seq = packed.seq;
+  return ev;
+}
+
 }  // namespace
 
-bool TraceIo::Write(const std::vector<PmEvent>& events, std::ostream& out) {
+void PayloadStore::Record(size_t event_index, const uint8_t* data,
+                          size_t size) {
+  if (offsets_.size() < event_index) {
+    offsets_.resize(event_index, kNone);
+  }
+  offsets_.push_back(bytes_.size());
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+bool TraceIo::Write(const std::vector<PmEvent>& events, std::ostream& out,
+                    const PayloadStore* payloads) {
   out.write(kMagic.data(), kMagic.size());
-  uint32_t version = kVersion;
+  const uint32_t version =
+      payloads != nullptr ? kVersionPayload : kVersionLegacy;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
   uint64_t count = events.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const PmEvent& ev : events) {
-    PackedEvent packed{};
-    packed.kind = static_cast<uint8_t>(ev.kind);
-    packed.size = ev.size;
-    packed.site = ev.site;
-    packed.offset = ev.offset;
-    packed.seq = ev.seq;
+  if (payloads != nullptr) {
+    uint64_t payload_bytes = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (payloads->Has(i)) {
+        payload_bytes += events[i].size;
+      }
+    }
+    out.write(reinterpret_cast<const char*>(&payload_bytes),
+              sizeof(payload_bytes));
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    const bool with_payload = payloads != nullptr && payloads->Has(i);
+    const PackedEvent packed = Pack(events[i], with_payload);
     out.write(reinterpret_cast<const char*>(&packed), sizeof(packed));
+    if (with_payload) {
+      const std::span<const uint8_t> bytes =
+          payloads->For(i, events[i].size);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
   }
   return static_cast<bool>(out);
 }
 
-bool TraceIo::Read(std::istream& in, std::vector<PmEvent>* events) {
+bool TraceIo::Read(std::istream& in, std::vector<PmEvent>* events,
+                   PayloadStore* payloads, std::string* error) {
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
   if (!in || magic != kMagic) {
+    SetError(error, "not a mumak trace (bad magic)");
     return false;
   }
   uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) {
+  if (!in) {
+    SetError(error, "truncated trace header");
+    return false;
+  }
+  if (!VersionSupported(version, error)) {
     return false;
   }
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in) {
+    SetError(error, "truncated trace header");
     return false;
+  }
+  if (version >= kVersionPayload) {
+    uint64_t payload_bytes = 0;  // header field; recomputed from records
+    in.read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
+    if (!in) {
+      SetError(error, "truncated trace header");
+      return false;
+    }
   }
   events->clear();
   events->reserve(count);
+  if (payloads != nullptr) {
+    payloads->Clear();
+  }
+  std::vector<uint8_t> scratch;
   for (uint64_t i = 0; i < count; ++i) {
     PackedEvent packed{};
     in.read(reinterpret_cast<char*>(&packed), sizeof(packed));
     if (!in) {
+      SetError(error, "truncated trace records");
       return false;
     }
-    PmEvent ev;
-    ev.kind = static_cast<EventKind>(packed.kind);
-    ev.size = packed.size;
-    ev.site = packed.site;
-    ev.offset = packed.offset;
-    ev.seq = packed.seq;
-    events->push_back(ev);
+    if ((packed.flags & kFlagHasPayload) != 0) {
+      scratch.resize(packed.size);
+      in.read(reinterpret_cast<char*>(scratch.data()), packed.size);
+      if (!in) {
+        SetError(error, "truncated store payload");
+        return false;
+      }
+      if (payloads != nullptr) {
+        payloads->Record(i, scratch.data(), scratch.size());
+      }
+    }
+    events->push_back(Unpack(packed));
   }
   return true;
 }
 
 bool TraceIo::WriteFile(const std::vector<PmEvent>& events,
-                        const std::string& path) {
+                        const std::string& path,
+                        const PayloadStore* payloads) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return false;
   }
-  return Write(events, out);
+  return Write(events, out, payloads);
 }
 
-bool TraceIo::ReadFile(const std::string& path, std::vector<PmEvent>* events) {
+bool TraceIo::ReadFile(const std::string& path, std::vector<PmEvent>* events,
+                       PayloadStore* payloads, std::string* error) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
+    SetError(error, "cannot open '" + path + "'");
     return false;
   }
-  return Read(in, events);
+  return Read(in, events, payloads, error);
 }
 
 // -- TraceFileSink -------------------------------------------------------------
 
-TraceFileSink::TraceFileSink(const std::string& path) : path_(path) {
+TraceFileSink::TraceFileSink(const std::string& path, bool with_payloads)
+    : path_(path), with_payloads_(with_payloads) {
   auto* out = new std::ofstream(path, std::ios::binary | std::ios::trunc);
   out_ = out;
   if (!*out) {
     return;
   }
   out->write(kMagic.data(), kMagic.size());
-  const uint32_t version = kVersion;
+  const uint32_t version =
+      with_payloads_ ? kVersionPayload : kVersionLegacy;
   out->write(reinterpret_cast<const char*>(&version), sizeof(version));
   const uint64_t placeholder = 0;  // patched by Close()
   out->write(reinterpret_cast<const char*>(&placeholder),
              sizeof(placeholder));
+  if (with_payloads_) {
+    out->write(reinterpret_cast<const char*>(&placeholder),
+               sizeof(placeholder));  // payload-byte total, patched too
+  }
   ok_ = static_cast<bool>(*out);
 }
 
@@ -126,13 +230,13 @@ TraceFileSink::~TraceFileSink() {
 void TraceFileSink::OnEvent(const PmEvent& event) {
   auto* out = static_cast<std::ofstream*>(out_);
   sites_.insert(event.site);
-  PackedEvent packed{};
-  packed.kind = static_cast<uint8_t>(event.kind);
-  packed.size = event.size;
-  packed.site = event.site;
-  packed.offset = event.offset;
-  packed.seq = event.seq;
+  const bool with_payload = with_payloads_ && event.has_payload();
+  const PackedEvent packed = Pack(event, with_payload);
   out->write(reinterpret_cast<const char*>(&packed), sizeof(packed));
+  if (with_payload) {
+    out->write(reinterpret_cast<const char*>(event.payload), event.size);
+    payload_bytes_ += event.size;
+  }
   ++count_;
 }
 
@@ -157,6 +261,10 @@ void TraceFileSink::Close() {
   }
   out->seekp(kMagic.size() + sizeof(uint32_t));
   out->write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+  if (with_payloads_) {
+    out->write(reinterpret_cast<const char*>(&payload_bytes_),
+               sizeof(payload_bytes_));
+  }
   out->flush();
   ok_ = ok_ && static_cast<bool>(*out);
   out->close();
@@ -168,27 +276,40 @@ TraceFileReader::TraceFileReader(const std::string& path) {
   auto* in = new std::ifstream(path, std::ios::binary);
   in_ = in;
   if (!*in) {
+    error_ = "cannot open '" + path + "'";
     return;
   }
   std::array<char, 8> magic{};
   in->read(magic.data(), magic.size());
   if (!*in || magic != kMagic) {
+    error_ = "not a mumak trace (bad magic)";
     return;
   }
-  uint32_t version = 0;
-  in->read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!*in || version != kVersion) {
+  in->read(reinterpret_cast<char*>(&version_), sizeof(version_));
+  if (!*in) {
+    error_ = "truncated trace header";
+    return;
+  }
+  if (!VersionSupported(version_, &error_)) {
     return;
   }
   in->read(reinterpret_cast<char*>(&total_), sizeof(total_));
+  uint64_t payload_bytes = 0;
+  if (*in && version_ >= kVersionPayload) {
+    in->read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
+  }
   ok_ = static_cast<bool>(*in);
   if (!ok_) {
+    error_ = "truncated trace header";
     return;
   }
-  // Load the optional site-name footer, then rewind to the records.
+  // Load the optional site-name footer, then rewind to the records. The
+  // version-2 header carries the payload-byte total precisely so this seek
+  // works without scanning the variable-length records.
   const std::streampos records_begin = in->tellg();
   in->seekg(static_cast<std::streamoff>(records_begin) +
-            static_cast<std::streamoff>(total_ * sizeof(PackedEvent)));
+            static_cast<std::streamoff>(total_ * sizeof(PackedEvent) +
+                                        payload_bytes));
   uint64_t footer_magic = 0;
   in->read(reinterpret_cast<char*>(&footer_magic), sizeof(footer_magic));
   if (*in && footer_magic == kFooterMagic) {
@@ -215,8 +336,12 @@ TraceFileReader::~TraceFileReader() {
   delete static_cast<std::ifstream*>(in_);
 }
 
-bool TraceFileReader::NextChunk(std::vector<PmEvent>* out, size_t max) {
+bool TraceFileReader::NextChunk(std::vector<PmEvent>* out, size_t max,
+                                PayloadStore* payloads) {
   out->clear();
+  if (payloads != nullptr) {
+    payloads->Clear();
+  }
   if (!ok_ || read_ >= total_) {
     return false;
   }
@@ -224,20 +349,29 @@ bool TraceFileReader::NextChunk(std::vector<PmEvent>* out, size_t max) {
   const size_t want =
       std::min<size_t>(max, static_cast<size_t>(total_ - read_));
   out->reserve(want);
+  std::vector<uint8_t> scratch;
   for (size_t i = 0; i < want; ++i) {
     PackedEvent packed{};
     in->read(reinterpret_cast<char*>(&packed), sizeof(packed));
     if (!*in) {
       ok_ = false;
+      error_ = "truncated trace records";
       break;
     }
-    PmEvent ev;
-    ev.kind = static_cast<EventKind>(packed.kind);
-    ev.size = packed.size;
-    ev.site = packed.site;
-    ev.offset = packed.offset;
-    ev.seq = packed.seq;
-    out->push_back(ev);
+    if ((packed.flags & kFlagHasPayload) != 0) {
+      scratch.resize(packed.size);
+      in->read(reinterpret_cast<char*>(scratch.data()), packed.size);
+      if (!*in) {
+        ok_ = false;
+        error_ = "truncated store payload";
+        break;
+      }
+      payload_bytes_read_ += packed.size;
+      if (payloads != nullptr) {
+        payloads->Record(out->size(), scratch.data(), scratch.size());
+      }
+    }
+    out->push_back(Unpack(packed));
     ++read_;
   }
   return !out->empty();

@@ -6,8 +6,10 @@
 #ifndef MUMAK_SRC_INSTRUMENT_TRACE_H_
 #define MUMAK_SRC_INSTRUMENT_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,12 +20,75 @@
 
 namespace mumak {
 
+// Side table of store payloads, parallel to an event vector: entry i holds
+// the bytes written by event i (stores, NT-stores, RMWs), or nothing for
+// events without a payload. Payload bytes live in one contiguous arena so
+// capturing a trace costs exactly the stored bytes plus one offset per
+// event, not one allocation per store.
+class PayloadStore {
+ public:
+  static constexpr uint64_t kNone = ~0ull;
+
+  // Records `size` bytes for the event at `event_index`. Indices must be
+  // recorded in increasing order (the collector appends as events arrive).
+  void Record(size_t event_index, const uint8_t* data, size_t size);
+
+  bool Has(size_t event_index) const {
+    return event_index < offsets_.size() && offsets_[event_index] != kNone;
+  }
+
+  // The recorded bytes for an event; empty span when none were recorded.
+  std::span<const uint8_t> For(size_t event_index, uint32_t size) const {
+    if (!Has(event_index)) {
+      return {};
+    }
+    return {bytes_.data() + offsets_[event_index], size};
+  }
+
+  // Raw views for hot-loop consumers (ReplayCursor patches millions of
+  // events per pass): offsets()[i] is the byte offset into bytes() for
+  // event i, or kNone when the event carries no payload.
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  size_t payload_bytes() const { return bytes_.size(); }
+  size_t FootprintBytes() const {
+    return bytes_.capacity() + offsets_.capacity() * sizeof(uint64_t);
+  }
+  void Clear() {
+    bytes_.clear();
+    offsets_.clear();
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<uint64_t> offsets_;  // per event index; kNone when absent
+};
+
+// A profiled execution's event stream plus the store payloads, the input to
+// replay-based fault injection (ReplayCursor): enough information to
+// synthesize the graceful crash image at any instruction counter without
+// re-executing the workload.
+struct RecordedTrace {
+  std::vector<PmEvent> events;  // payload pointers nulled (see PmEvent)
+  PayloadStore payloads;        // indexed by position in `events`
+
+  size_t FootprintBytes() const {
+    return events.capacity() * sizeof(PmEvent) + payloads.FootprintBytes();
+  }
+};
+
 // Event sink that appends every access to an in-memory trace.
 class TraceCollector : public EventSink {
  public:
   TraceCollector() = default;
 
-  void OnEvent(const PmEvent& event) override { events_.push_back(event); }
+  void OnEvent(const PmEvent& event) override {
+    events_.push_back(event);
+    // The payload pointer aliases the writer's stack/heap buffer; it would
+    // dangle once dispatch returns, so the stored copy drops it.
+    events_.back().payload = nullptr;
+  }
 
   const std::vector<PmEvent>& events() const { return events_; }
   std::vector<PmEvent> TakeEvents() { return std::move(events_); }
@@ -38,16 +103,50 @@ class TraceCollector : public EventSink {
   std::vector<PmEvent> events_;
 };
 
+// Event sink that captures the full replay input: every event plus the
+// bytes written by each store. The memory cost over TraceCollector is the
+// stored bytes themselves (see PayloadStore), reported by FootprintBytes.
+class ReplayTraceCollector : public EventSink {
+ public:
+  void OnEvent(const PmEvent& event) override {
+    if (event.has_payload()) {
+      trace_.payloads.Record(trace_.events.size(), event.payload, event.size);
+    }
+    trace_.events.push_back(event);
+    trace_.events.back().payload = nullptr;  // copied into the arena above
+  }
+
+  const RecordedTrace& trace() const { return trace_; }
+  RecordedTrace Take() { return std::move(trace_); }
+  size_t FootprintBytes() const { return trace_.FootprintBytes(); }
+
+ private:
+  RecordedTrace trace_;
+};
+
 // Binary trace serialisation. Format: 8-byte magic, 4-byte version, 8-byte
-// count, then packed records.
+// count, then packed records. Version 1 records are payload-less; version 2
+// appends the store payload bytes after each record that carries them.
+// Readers accept both versions and reject unknown future versions with a
+// diagnostic instead of misparsing the records.
 class TraceIo {
  public:
-  static bool Write(const std::vector<PmEvent>& events, std::ostream& out);
-  static bool Read(std::istream& in, std::vector<PmEvent>* events);
+  // Writes version 1 when `payloads` is null (readable by pre-payload
+  // tools) and version 2 otherwise.
+  static bool Write(const std::vector<PmEvent>& events, std::ostream& out,
+                    const PayloadStore* payloads = nullptr);
+  // `payloads` (optional) receives the store payloads of a version-2 trace,
+  // indexed like `events`. On failure, `error` (optional) explains why.
+  static bool Read(std::istream& in, std::vector<PmEvent>* events,
+                   PayloadStore* payloads = nullptr,
+                   std::string* error = nullptr);
 
   static bool WriteFile(const std::vector<PmEvent>& events,
-                        const std::string& path);
-  static bool ReadFile(const std::string& path, std::vector<PmEvent>* events);
+                        const std::string& path,
+                        const PayloadStore* payloads = nullptr);
+  static bool ReadFile(const std::string& path, std::vector<PmEvent>* events,
+                       PayloadStore* payloads = nullptr,
+                       std::string* error = nullptr);
 };
 
 // Event sink that spools the trace to a file as it is produced (the
@@ -56,11 +155,15 @@ class TraceIo {
 // TraceFileReader or TraceIo::ReadFile.
 class TraceFileSink : public EventSink {
  public:
-  explicit TraceFileSink(const std::string& path);
+  // With `with_payloads` the spool is a version-2 file carrying the bytes
+  // each store wrote (the replay-injection input); without, a version-1
+  // file identical to the pre-payload format.
+  explicit TraceFileSink(const std::string& path, bool with_payloads = false);
   ~TraceFileSink() override;
 
   bool ok() const { return ok_; }
   uint64_t count() const { return count_; }
+  uint64_t payload_bytes() const { return payload_bytes_; }
   void OnEvent(const PmEvent& event) override;
   // Flushes buffered records and patches the header count.
   void Close();
@@ -69,6 +172,8 @@ class TraceFileSink : public EventSink {
   std::string path_;
   void* out_ = nullptr;  // std::ofstream, kept out of the header
   uint64_t count_ = 0;
+  uint64_t payload_bytes_ = 0;
+  bool with_payloads_ = false;
   bool ok_ = false;
   bool closed_ = false;
   std::unordered_set<uint32_t> sites_;  // for the footer's name table
@@ -81,9 +186,19 @@ class TraceFileReader {
   ~TraceFileReader();
 
   bool ok() const { return ok_; }
+  // Why ok() is false: garbage header, unsupported future version, ...
+  const std::string& error() const { return error_; }
   uint64_t total() const { return total_; }
+  // Trace format version of the file (1 = payload-less, 2 = payloads).
+  uint32_t version() const { return version_; }
+  bool has_payloads() const { return version_ >= 2; }
+  // Total payload bytes consumed so far (version-2 traces).
+  uint64_t payload_bytes_read() const { return payload_bytes_read_; }
   // Fills `out` with up to `max` events; returns false when exhausted.
-  bool NextChunk(std::vector<PmEvent>* out, size_t max);
+  // When `payloads` is non-null it receives the chunk's store payloads,
+  // indexed by position within `out` (cleared on every call).
+  bool NextChunk(std::vector<PmEvent>* out, size_t max,
+                 PayloadStore* payloads = nullptr);
 
   // Site-name table from the file footer (site id -> human-readable call
   // site), letting offline consumers resolve locations without the
@@ -96,7 +211,10 @@ class TraceFileReader {
   void* in_ = nullptr;  // std::ifstream
   uint64_t total_ = 0;
   uint64_t read_ = 0;
+  uint32_t version_ = 0;
+  uint64_t payload_bytes_read_ = 0;
   bool ok_ = false;
+  std::string error_;
   std::unordered_map<uint32_t, std::string> site_names_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/pmem/persistency_model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -234,6 +235,9 @@ std::vector<uint64_t> PersistencyModel::DirtyLines() const {
       lines.push_back(line);
     }
   }
+  // The overlays are hash maps; sort here so callers (and the Yat-like
+  // ordering enumeration built on top) see a deterministic line order.
+  std::sort(lines.begin(), lines.end());
   return lines;
 }
 
@@ -246,7 +250,7 @@ bool PersistencyModel::IsLineInWpq(uint64_t line) const {
 }
 
 size_t PersistencyModel::VolatileFootprintBytes() const {
-  constexpr size_t kNodeOverhead = 48;  // std::map node bookkeeping estimate
+  constexpr size_t kNodeOverhead = 48;  // hash-node bookkeeping estimate
   return (cache_.size() + wpq_.size()) * (sizeof(CacheLine) + kNodeOverhead);
 }
 

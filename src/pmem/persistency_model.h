@@ -11,8 +11,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 namespace mumak {
@@ -134,11 +134,14 @@ class PersistencyModel {
                            const std::array<uint8_t, kCacheLineSize>& data);
 
   std::vector<uint8_t> durable_;
-  // Volatile CPU cache overlay: dirty lines only. std::map keeps crash-image
-  // generation deterministic (iteration in line order).
-  std::map<uint64_t, CacheLine> cache_;
+  // Volatile CPU cache overlay: dirty lines only. Hashed rather than ordered
+  // — the store/flush hot path only ever probes single lines, and every
+  // whole-map walk (fence commit, image overlay) touches disjoint lines, so
+  // iteration order cannot change the result. The one consumer that needs
+  // determinism, DirtyLines(), sorts its output instead.
+  std::unordered_map<uint64_t, CacheLine> cache_;
   // Write pending queue: line snapshots awaiting a fence.
-  std::map<uint64_t, CacheLine> wpq_;
+  std::unordered_map<uint64_t, CacheLine> wpq_;
   ModelStats stats_;
 };
 

@@ -61,8 +61,10 @@ class PmPool {
       return;
     }
     const void* site = __builtin_return_address(0);
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
     if (size <= 16) {
-      Publish(EventKind::kStore, offset, static_cast<uint32_t>(size), site);
+      Publish(EventKind::kStore, offset, static_cast<uint32_t>(size), site,
+              bytes);
       return;
     }
     // A struct assignment lowers to a sequence of (16-byte vector) store
@@ -74,14 +76,15 @@ class PmPool {
     while (at < size) {
       const size_t chunk = std::min<size_t>(16, size - at);
       Publish(EventKind::kStore, offset + at, static_cast<uint32_t>(chunk),
-              static_cast<const char*>(site) + (at / 16) * 4);
+              static_cast<const char*>(site) + (at / 16) * 4, bytes + at);
       at += chunk;
     }
   }
 
   void WriteNt(uint64_t offset, const void* data, size_t size) {
     model_.NtStore(offset, AsBytes(data, size));
-    Publish(EventKind::kNtStore, offset, size, __builtin_return_address(0));
+    Publish(EventKind::kNtStore, offset, size, __builtin_return_address(0),
+            static_cast<const uint8_t*>(data));
   }
 
   void WriteU64(uint64_t offset, uint64_t value) {
@@ -173,15 +176,25 @@ class PmPool {
 
   uint64_t RmwAdd(uint64_t offset, uint64_t delta) {
     uint64_t previous = model_.RmwAdd(offset, delta);
+    // The payload is the post-RMW value: replaying it as a plain store
+    // reproduces the RMW's effect on the crash image.
+    const uint64_t updated = previous + delta;
     Publish(EventKind::kRmw, offset, sizeof(uint64_t),
-            __builtin_return_address(0));
+            __builtin_return_address(0),
+            reinterpret_cast<const uint8_t*>(&updated));
     return previous;
   }
 
   bool RmwCas(uint64_t offset, uint64_t expected, uint64_t desired) {
     bool swapped = model_.RmwCas(offset, expected, desired);
+    // Post-value payload: `desired` on a successful swap, the unchanged
+    // current value otherwise (a no-op store on replay).
+    uint64_t post = 0;
+    model_.Load(offset, std::span<uint8_t>(
+                            reinterpret_cast<uint8_t*>(&post), sizeof(post)));
     Publish(EventKind::kRmw, offset, sizeof(uint64_t),
-            __builtin_return_address(0));
+            __builtin_return_address(0),
+            reinterpret_cast<const uint8_t*>(&post));
     return swapped;
   }
 
@@ -218,7 +231,7 @@ class PmPool {
   }
 
   void Publish(EventKind kind, uint64_t offset, uint32_t size,
-               const void* site) {
+               const void* site, const uint8_t* payload = nullptr) {
     if (!hub_->enabled()) {
       return;
     }
@@ -231,6 +244,7 @@ class PmPool {
     ev.size = size;
     ev.site = FrameRegistry::Global().InternAddress(site);
     ev.seq = hub_->next_seq();
+    ev.payload = payload;  // borrowed; sinks copy or drop it (see PmEvent)
     hub_->Publish(ev);
   }
 

@@ -1,0 +1,39 @@
+#include "src/pmem/replay_cursor.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace mumak {
+
+ReplayCursor::ReplayCursor(const RecordedTrace& trace, size_t pool_size)
+    : trace_(trace), image_(pool_size, 0) {}
+
+ReplayCursor::ReplayCursor(const RecordedTrace& trace, Checkpoint checkpoint)
+    : trace_(trace),
+      image_(std::move(checkpoint.image)),
+      next_(checkpoint.next) {}
+
+const std::vector<uint8_t>& ReplayCursor::AdvanceTo(uint64_t seq) {
+  // Raw-pointer walk: this loop touches every trace event once per
+  // injection phase, so it avoids per-event accessor calls.
+  const PmEvent* const events = trace_.events.data();
+  const size_t count = trace_.events.size();
+  const std::vector<uint64_t>& offset_index = trace_.payloads.offsets();
+  const size_t indexed = offset_index.size();
+  const uint64_t* const offsets = offset_index.data();
+  const uint8_t* const payload_bytes = trace_.payloads.bytes().data();
+  uint8_t* const image = image_.data();
+  size_t i = next_;
+  while (i < count && events[i].seq <= seq) {
+    if (i < indexed && offsets[i] != PayloadStore::kNone) {
+      const PmEvent& ev = events[i];
+      assert(ev.offset + ev.size <= image_.size());
+      std::memcpy(image + ev.offset, payload_bytes + offsets[i], ev.size);
+    }
+    ++i;
+  }
+  next_ = i;
+  return image_;
+}
+
+}  // namespace mumak

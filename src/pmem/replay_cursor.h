@@ -1,0 +1,66 @@
+// Incremental crash-image synthesis from a recorded trace (replay-based
+// fault injection). A graceful crash persists every pending store in program
+// order (§4.1), so the graceful image at instruction counter `k` equals the
+// initial (zeroed) pool with all store / NT-store / RMW payloads up to `k`
+// applied in order — flushes and fences never change it. That makes the
+// image at `k2 > k1` derivable from the image at `k1` by patching only the
+// stores in `(k1, k2]`: one forward pass over the trace yields the image at
+// every failure point, O(trace length) total instead of O(failure points ×
+// trace length).
+
+#ifndef MUMAK_SRC_PMEM_REPLAY_CURSOR_H_
+#define MUMAK_SRC_PMEM_REPLAY_CURSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/instrument/trace.h"
+
+namespace mumak {
+
+class ReplayCursor {
+ public:
+  // `trace` must outlive the cursor (it is the profiling run's recorded
+  // event stream; the engine holds it for the whole injection phase).
+  // `pool_size` is the profiled pool's size; the initial image is zeroed,
+  // matching a freshly created pool.
+  ReplayCursor(const RecordedTrace& trace, size_t pool_size);
+
+  // Snapshot of cursor state. A parallel injection run has one scout
+  // cursor record a checkpoint at each worker's slice boundary, so the
+  // workers collectively make a single pass over the trace (O(trace
+  // length) total) instead of each re-consuming the shared prefix.
+  struct Checkpoint {
+    std::vector<uint8_t> image;
+    size_t next = 0;  // first unapplied event index
+  };
+
+  // Resumes from a previously recorded checkpoint of a cursor over the
+  // same trace.
+  ReplayCursor(const RecordedTrace& trace, Checkpoint checkpoint);
+
+  // Copies the current state into a resumable checkpoint.
+  Checkpoint MakeCheckpoint() const { return {image_, next_}; }
+
+  // Applies every store payload with seq <= `seq` that has not been applied
+  // yet, then returns the graceful image at that point. Calls must use
+  // non-decreasing seq values (the cursor only patches forward); callers
+  // that need an earlier image construct a fresh cursor.
+  const std::vector<uint8_t>& AdvanceTo(uint64_t seq);
+
+  // The image for the most recent AdvanceTo (initial image before any call).
+  const std::vector<uint8_t>& image() const { return image_; }
+
+  // Number of trace events consumed so far.
+  size_t consumed() const { return next_; }
+
+ private:
+  const RecordedTrace& trace_;
+  std::vector<uint8_t> image_;
+  size_t next_ = 0;  // first unapplied event index
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_PMEM_REPLAY_CURSOR_H_

@@ -53,7 +53,13 @@ void PrintUsage() {
       "  --eadr                analyse under eADR persistency semantics\n"
       "  --budget <seconds>    analysis time budget\n"
       "  --jobs <n>            parallel fault-injection workers (default 1)\n"
+      "  --strategy <s>        injection strategy: 'reexec' re-executes the\n"
+      "                        workload per failure point; 'replay'\n"
+      "                        synthesizes crash images from the profiled\n"
+      "                        trace (default reexec)\n"
       "  --save-trace <file>   write the PM access trace (binary)\n"
+      "  --trace-payloads      saved trace also records the bytes each\n"
+      "                        store wrote (version-2 format)\n"
       "\n"
       "observability:\n"
       "  --metrics <file>      dump pipeline metrics as JSON (counters,\n"
@@ -84,6 +90,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_events_path;
   bool progress = false;
+  bool trace_payloads = false;
   WorkloadSpec spec;
   spec.operations = 2000;
   TargetOptions options;
@@ -184,8 +191,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       mumak_options.injection_workers = static_cast<uint32_t>(jobs);
+    } else if (arg == "--strategy") {
+      const std::string strategy = next("--strategy");
+      if (strategy == "reexec" || strategy == "re-execute") {
+        mumak_options.injection_strategy = InjectionStrategy::kReExecute;
+      } else if (strategy == "replay") {
+        mumak_options.injection_strategy = InjectionStrategy::kReplay;
+      } else {
+        std::fprintf(stderr,
+                     "mumak: unknown strategy '%s' (reexec|replay)\n",
+                     strategy.c_str());
+        return 2;
+      }
     } else if (arg == "--save-trace") {
       save_trace = next("--save-trace");
+    } else if (arg == "--trace-payloads") {
+      trace_payloads = true;
     } else if (arg == "--metrics") {
       metrics_path = next("--metrics");
     } else if (arg == "--trace-events") {
@@ -293,16 +314,18 @@ int main(int argc, char** argv) {
     // footer so mumak-inspect can resolve locations offline.
     TargetPtr target = CreateTarget(target_name, options);
     PmPool pool(target->DefaultPoolSize());
-    TraceFileSink sink(save_trace);
+    TraceFileSink sink(save_trace, trace_payloads);
     {
       ScopedSink attach(pool.hub(), &sink);
       FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
     }
     sink.Close();
     if (sink.ok()) {
-      std::printf("mumak: trace saved to %s (%llu events)\n",
+      std::printf("mumak: trace saved to %s (%llu events, %llu payload "
+                  "bytes)\n",
                   save_trace.c_str(),
-                  static_cast<unsigned long long>(sink.count()));
+                  static_cast<unsigned long long>(sink.count()),
+                  static_cast<unsigned long long>(sink.payload_bytes()));
     } else {
       std::fprintf(stderr, "mumak: could not write %s\n",
                    save_trace.c_str());
@@ -318,11 +341,12 @@ int main(int argc, char** argv) {
   std::printf("%s", result.report.Render(mumak_options.report_warnings)
                         .c_str());
   std::printf(
-      "mumak: %.2fs | %llu failure points, %llu injections | %llu trace "
+      "mumak: %.2fs | %llu failure points, %llu injections%s | %llu trace "
       "events | %llu bug(s), %llu warning(s)\n",
       result.elapsed_s,
       static_cast<unsigned long long>(result.fault_injection.failure_points),
       static_cast<unsigned long long>(result.fault_injection.injections),
+      result.fault_injection.replayed > 0 ? " (replayed)" : "",
       static_cast<unsigned long long>(result.trace.events),
       static_cast<unsigned long long>(result.report.BugCount()),
       static_cast<unsigned long long>(result.report.WarningCount()));

@@ -89,10 +89,13 @@ int main(int argc, char** argv) {
 
   TraceFileReader reader(path);
   if (!reader.ok()) {
-    std::fprintf(stderr, "mumak-inspect: cannot read '%s'\n", path.c_str());
+    std::fprintf(stderr, "mumak-inspect: cannot read '%s': %s\n",
+                 path.c_str(), reader.error().c_str());
     return 2;
   }
-  std::printf("%s: %" PRIu64 " events\n", path.c_str(), reader.total());
+  std::printf("%s: %" PRIu64 " events (format v%" PRIu32 "%s)\n",
+              path.c_str(), reader.total(), reader.version(),
+              reader.has_payloads() ? ", store payloads" : "");
 
   // Stream statistics, accumulated in a metrics registry so the summary
   // can be dumped as the same JSON the `mumak --metrics` flag produces.
@@ -133,6 +136,11 @@ int main(int argc, char** argv) {
     }
     lines_touched = lines.size();
     registry.GetGauge("pm.lines_touched")->Set(lines_touched);
+    if (reader.has_payloads()) {
+      registry.GetGauge("pm.payload_bytes")->Set(reader.payload_bytes_read());
+      std::printf("store payload bytes: %" PRIu64 "\n",
+                  reader.payload_bytes_read());
+    }
   }
   std::printf("\nevent mix:\n");
   for (const auto& [kind, count] : by_kind) {

@@ -652,7 +652,9 @@ TEST(ParallelInjection, FindsTheSameSeededBugsAsSerial) {
 
 TEST(ParallelInjection, TargetedSinkCrashesOnlyAtAssignedPoint) {
   // A kInjectAt sink must pass through every other failure point
-  // untouched — the tree stays read-only and unvisited.
+  // untouched — the tree stays read-only and unvisited. Targets are keyed
+  // by the first-hit instruction counter recorded during profiling, which
+  // (unlike call-stack re-matching) is stable across optimisation levels.
   TargetOptions options;
   options.pmdk_version = PmdkVersion::k16;
   WorkloadSpec spec;
@@ -667,23 +669,28 @@ TEST(ParallelInjection, TargetedSinkCrashesOnlyAtAssignedPoint) {
       tree.UnvisitedNodes();
   ASSERT_GT(pending.size(), 2u);
   const FailurePointTree::NodeIndex assigned = pending[pending.size() / 2];
+  const auto seq_it = engine.first_hit_seq().find(assigned);
+  ASSERT_NE(seq_it, engine.first_hit_seq().end());
 
   TargetPtr target = factory();
   PmPool pool(target->DefaultPoolSize());
   FailurePointSink sink(&tree, FailurePointSink::Mode::kInjectAt,
                         FailurePointGranularity::kPersistencyInstruction);
-  sink.set_inject_target(assigned);
+  sink.set_inject_target(assigned, seq_it->second);
   bool crashed = false;
   FailurePointTree::NodeIndex crashed_at = FailurePointTree::kNotFound;
+  uint64_t crashed_seq = 0;
   try {
     ScopedSink attach(pool.hub(), &sink);
     FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
   } catch (const CrashSignal& signal) {
     crashed = true;
     crashed_at = signal.node;
+    crashed_seq = signal.seq;
   }
   EXPECT_TRUE(crashed);
   EXPECT_EQ(crashed_at, assigned);
+  EXPECT_EQ(crashed_seq, seq_it->second);
   // kInjectAt never mutates visited flags itself.
   EXPECT_EQ(tree.UnvisitedNodes().size(), pending.size());
 }

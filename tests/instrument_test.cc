@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -400,6 +401,194 @@ TEST(TraceFileTest, ReaderRejectsGarbage) {
   EXPECT_FALSE(reader.ok());
   std::vector<PmEvent> batch;
   EXPECT_FALSE(reader.NextChunk(&batch, 16));
+}
+
+// -- Store payloads (trace format version 2) ---------------------------------
+
+TEST(TraceIoTest, PayloadRoundTrip) {
+  // Collect through ReplayTraceCollector: the canonical payload producer.
+  ReplayTraceCollector collector;
+  for (uint64_t i = 0; i < 50; ++i) {
+    PmEvent ev;
+    ev.seq = i;
+    if (i % 3 == 0) {
+      ev.kind = EventKind::kStore;
+      ev.offset = i * 8;
+      ev.size = 8;
+      uint8_t bytes[8];
+      for (size_t b = 0; b < 8; ++b) {
+        bytes[b] = static_cast<uint8_t>(i + b);
+      }
+      ev.payload = bytes;
+      collector.OnEvent(ev);
+    } else {
+      ev.kind = EventKind::kClwb;
+      ev.offset = i * 8;
+      ev.size = 64;
+      collector.OnEvent(ev);
+    }
+  }
+  const RecordedTrace& trace = collector.trace();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(TraceIo::Write(trace.events, buffer, &trace.payloads));
+  std::vector<PmEvent> loaded;
+  PayloadStore payloads;
+  std::string error;
+  ASSERT_TRUE(TraceIo::Read(buffer, &loaded, &payloads, &error)) << error;
+  ASSERT_EQ(loaded.size(), trace.events.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].seq, trace.events[i].seq);
+    ASSERT_EQ(payloads.Has(i), trace.payloads.Has(i)) << "event " << i;
+    if (payloads.Has(i)) {
+      const auto got = payloads.For(i, loaded[i].size);
+      const auto want = trace.payloads.For(i, loaded[i].size);
+      ASSERT_EQ(got.size(), want.size());
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+          << "payload bytes differ at event " << i;
+    }
+  }
+}
+
+TEST(TraceIoTest, LegacyTraceReadsWithEmptyPayloads) {
+  std::vector<PmEvent> events(4);
+  events[2].seq = 9;
+  std::stringstream buffer;
+  ASSERT_TRUE(TraceIo::Write(events, buffer));  // no payloads -> version 1
+  std::vector<PmEvent> loaded;
+  PayloadStore payloads;
+  ASSERT_TRUE(TraceIo::Read(buffer, &loaded, &payloads));
+  ASSERT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded[2].seq, 9u);
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_FALSE(payloads.Has(i));
+  }
+  EXPECT_EQ(payloads.payload_bytes(), 0u);
+}
+
+TEST(TraceIoTest, RejectsFutureVersion) {
+  std::stringstream buffer;
+  buffer.write("MUMAKTR1", 8);
+  const uint32_t version = 99;
+  buffer.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t count = 0;
+  buffer.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  std::vector<PmEvent> events;
+  std::string error;
+  EXPECT_FALSE(TraceIo::Read(buffer, &events, nullptr, &error));
+  EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+}
+
+TEST(TraceFileTest, PayloadSpoolRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/payload_spool.bin";
+  {
+    TraceFileSink sink(path, /*with_payloads=*/true);
+    ASSERT_TRUE(sink.ok());
+    for (uint64_t i = 0; i < 1000; ++i) {
+      PmEvent ev;
+      ev.seq = i;
+      if (i % 2 == 0) {
+        ev.kind = EventKind::kStore;
+        ev.offset = i * 4;
+        ev.size = 4;
+        uint8_t bytes[4] = {static_cast<uint8_t>(i), 2, 3, 4};
+        ev.payload = bytes;
+        sink.OnEvent(ev);
+      } else {
+        ev.kind = EventKind::kSfence;
+        sink.OnEvent(ev);
+      }
+    }
+    sink.Close();
+    EXPECT_EQ(sink.count(), 1000u);
+    EXPECT_EQ(sink.payload_bytes(), 500u * 4);
+  }
+  TraceFileReader reader(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.version(), 2u);
+  EXPECT_TRUE(reader.has_payloads());
+  // The site-name footer must still be reachable past the variable-length
+  // payload records.
+  EXPECT_FALSE(reader.site_names().empty());
+  std::vector<PmEvent> batch;
+  PayloadStore payloads;
+  uint64_t seen = 0;
+  while (reader.NextChunk(&batch, 128, &payloads)) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].kind == EventKind::kStore) {
+        ASSERT_TRUE(payloads.Has(i)) << "event " << seen + i;
+        const auto bytes = payloads.For(i, batch[i].size);
+        ASSERT_EQ(bytes.size(), 4u);
+        EXPECT_EQ(bytes[0], static_cast<uint8_t>(batch[i].seq));
+        EXPECT_EQ(bytes[1], 2u);
+      } else {
+        EXPECT_FALSE(payloads.Has(i));
+      }
+    }
+    seen += batch.size();
+  }
+  EXPECT_EQ(seen, 1000u);
+  EXPECT_EQ(reader.payload_bytes_read(), 500u * 4);
+}
+
+TEST(TraceFileTest, PayloadlessSpoolStaysVersionOne) {
+  const std::string path = ::testing::TempDir() + "/legacy_spool.bin";
+  {
+    TraceFileSink sink(path);
+    PmEvent ev;
+    ev.kind = EventKind::kStore;
+    ev.size = 8;
+    uint8_t bytes[8] = {};
+    ev.payload = bytes;  // ignored: the sink was not asked for payloads
+    sink.OnEvent(ev);
+    sink.Close();
+  }
+  TraceFileReader reader(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.version(), 1u);
+  EXPECT_FALSE(reader.has_payloads());
+  std::vector<PmEvent> batch;
+  PayloadStore payloads;
+  ASSERT_TRUE(reader.NextChunk(&batch, 16, &payloads));
+  EXPECT_FALSE(payloads.Has(0));
+}
+
+TEST(TraceFileTest, ReaderRejectsFutureVersion) {
+  const std::string path = ::testing::TempDir() + "/future.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("MUMAKTR1", 8);
+    const uint32_t version = 7;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const uint64_t count = 0;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  TraceFileReader reader(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("version 7"), std::string::npos)
+      << reader.error();
+}
+
+TEST(ReplayCollectorTest, CopiesPayloadOutOfTheBorrowedBuffer) {
+  ReplayTraceCollector collector;
+  uint8_t bytes[4] = {0xaa, 0xbb, 0xcc, 0xdd};
+  PmEvent ev;
+  ev.kind = EventKind::kStore;
+  ev.offset = 16;
+  ev.size = 4;
+  ev.payload = bytes;
+  collector.OnEvent(ev);
+  // The borrowed buffer is only valid during dispatch; clobber it.
+  bytes[0] = 0;
+  bytes[1] = 0;
+  const RecordedTrace& trace = collector.trace();
+  ASSERT_EQ(trace.events.size(), 1u);
+  // The stored event must not dangle into the producer's buffer.
+  EXPECT_EQ(trace.events[0].payload, nullptr);
+  ASSERT_TRUE(trace.payloads.Has(0));
+  const auto copy = trace.payloads.For(0, 4);
+  EXPECT_EQ(copy[0], 0xaa);
+  EXPECT_EQ(copy[1], 0xbb);
 }
 
 TEST(DeterministicRandomTest, SameSeedSameStream) {
