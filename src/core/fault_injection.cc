@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include <thread>
 
 #include "src/pmem/replay_cursor.h"
+#include "src/sandbox/child.h"
 
 namespace mumak {
 namespace {
@@ -36,6 +38,8 @@ std::string_view RecoveryStatusName(RecoveryStatus status) {
       return "unrecoverable";
     case RecoveryStatus::kCrashed:
       return "crashed";
+    case RecoveryStatus::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }
@@ -50,6 +54,7 @@ struct InjectionMetrics {
   Counter* recovery_ok = nullptr;
   Counter* recovery_unrecoverable = nullptr;
   Counter* recovery_crashed = nullptr;
+  Counter* recovery_timeout = nullptr;
   Histogram* run_us = nullptr;
   Histogram* recovery_us = nullptr;
 
@@ -63,6 +68,7 @@ struct InjectionMetrics {
     recovery_ok = registry->GetCounter("recovery.ok");
     recovery_unrecoverable = registry->GetCounter("recovery.unrecoverable");
     recovery_crashed = registry->GetCounter("recovery.crashed");
+    recovery_timeout = registry->GetCounter("recovery.timeout");
     run_us = registry->GetHistogram("inject.run_us");
     recovery_us = registry->GetHistogram("recovery.run_us");
   }
@@ -86,6 +92,8 @@ struct InjectionMetrics {
     Counter* counter = status == RecoveryStatus::kOk ? recovery_ok
                        : status == RecoveryStatus::kUnrecoverable
                            ? recovery_unrecoverable
+                       : status == RecoveryStatus::kTimeout
+                           ? recovery_timeout
                            : recovery_crashed;
     if (counter != nullptr) {
       counter->Increment();
@@ -110,6 +118,73 @@ Counter* WorkerCounter(MetricsRegistry* registry, uint32_t worker) {
   }
   return registry->GetCounter("inject.worker." + std::to_string(worker) +
                               ".injections");
+}
+
+// One oracle invocation's outcome, uniform across the in-process and
+// sandboxed paths: the RecoveryResult plus the sandbox evidence recorded
+// on findings (terminating signal, deadline kill, oracle wall time).
+struct OracleOutcome {
+  RecoveryResult result;
+  std::string signal_name;
+  bool timed_out = false;
+  uint64_t wall_us = 0;
+};
+
+OracleOutcome OutcomeFromVerdict(const SandboxVerdict& verdict) {
+  OracleOutcome out;
+  out.result.status = verdict.status;
+  out.result.detail = verdict.detail;
+  if (verdict.signal != 0) {
+    out.signal_name = SignalName(verdict.signal);
+  }
+  out.timed_out = verdict.timed_out;
+  out.wall_us = verdict.recovery_wall_us;
+  return out;
+}
+
+// Runs the recovery oracle on one crash image, in-process when `sandbox`
+// is null and in the sandbox slot otherwise. `data`/`size` always describe
+// the image bytes; `data == nullptr` means the caller already wrote them
+// into the slot's shared buffer (fork-server zero-copy path). `owned` must
+// hold the image when running in-process (PmPool::FromImage takes
+// ownership); sandboxed paths may pass it empty and let `data` reference
+// any stable buffer (a replay-cursor image, a queue entry, slot memory) —
+// fork-per-check children read it via copy-on-write.
+OracleOutcome RunOracle(RecoverySandbox* sandbox, uint32_t slot,
+                        const TargetFactory& factory, const uint8_t* data,
+                        size_t size, std::vector<uint8_t> owned) {
+  OracleOutcome out;
+  if (sandbox == nullptr) {
+    PmPool recovered = PmPool::FromImage(std::move(owned));
+    TargetPtr fresh = factory();
+    out.result = RunRecoveryOracle(*fresh, recovered);
+    // wall_us stays 0: in-process findings carry no sandbox evidence, so
+    // reports stay byte-identical to pre-sandbox output.
+    return out;
+  }
+  return OutcomeFromVerdict(sandbox->Check(slot, data, size));
+}
+
+FindingKind OracleFindingKind(RecoveryStatus status) {
+  switch (status) {
+    case RecoveryStatus::kUnrecoverable:
+      return FindingKind::kRecoveryUnrecoverable;
+    case RecoveryStatus::kTimeout:
+      return FindingKind::kRecoveryTimeout;
+    default:
+      return FindingKind::kRecoveryCrash;
+  }
+}
+
+Finding MakeOracleFinding(const OracleOutcome& outcome) {
+  Finding finding;
+  finding.source = FindingSource::kFaultInjection;
+  finding.kind = OracleFindingKind(outcome.result.status);
+  finding.detail = outcome.result.detail;
+  finding.signal_name = outcome.signal_name;
+  finding.timed_out = outcome.timed_out;
+  finding.recovery_wall_us = outcome.wall_us;
+  return finding;
 }
 
 }  // namespace
@@ -248,12 +323,35 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
 
 Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
                                        FaultInjectionStats* stats) {
-  if (options_.strategy == InjectionStrategy::kReplay && replay_ready_) {
-    return InjectAllReplay(tree, stats);
+  const bool replay =
+      options_.strategy == InjectionStrategy::kReplay && replay_ready_;
+  // One sandbox per campaign, built here while the process is still
+  // single-threaded (the fork-server pool forks its initial workers in the
+  // constructor). Slots map 1:1 onto injection workers.
+  std::optional<RecoverySandbox> sandbox;
+  if (options_.sandbox.policy != SandboxPolicy::kInProcess) {
+    const size_t image_bytes =
+        replay ? profiled_pool_size_ : factory_()->DefaultPoolSize();
+    const uint64_t pending = tree->UnvisitedCount();
+    const uint32_t slots = static_cast<uint32_t>(std::max<uint64_t>(
+        1, std::min<uint64_t>(options_.workers, pending == 0 ? 1 : pending)));
+    SandboxOptions sandbox_options = options_.sandbox;
+    sandbox_options.metrics = options_.metrics;
+    sandbox.emplace(factory_, image_bytes, slots, sandbox_options);
+  }
+  RecoverySandbox* sandbox_ptr = sandbox.has_value() ? &*sandbox : nullptr;
+  if (replay) {
+    return InjectAllReplay(tree, stats, sandbox_ptr);
   }
   if (options_.workers > 1) {
-    return InjectAllParallel(tree, stats);
+    return InjectAllParallel(tree, stats, sandbox_ptr);
   }
+  return InjectAllSerial(tree, stats, sandbox_ptr);
+}
+
+Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
+                                             FaultInjectionStats* stats,
+                                             RecoverySandbox* sandbox) {
   const auto start = std::chrono::steady_clock::now();
   Report report;
   // Unique bugs only (Table 3): identical oracle outcomes from different
@@ -309,36 +407,34 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
     run_span.AddArg("seq", crash.seq);
 
     // Graceful crash image: pending stores persisted, program order
-    // respected (§4.1). Recovery runs uninstrumented on a fresh pool.
-    RecoveryResult result;
+    // respected (§4.1). Recovery runs uninstrumented on a fresh pool —
+    // in-process or confined to a sandbox child per options_.sandbox.
+    OracleOutcome outcome;
     {
       const auto recovery_start = std::chrono::steady_clock::now();
       ScopedSpan recovery_span(options_.tracer, "recovery", "recovery");
-      PmPool recovered = PmPool::FromImage(pool.GracefulImage());
-      TargetPtr fresh = factory_();
-      result = RunRecoveryOracle(*fresh, recovered);
-      recovery_span.AddArg("status",
-                           std::string(RecoveryStatusName(result.status)));
+      std::vector<uint8_t> image = pool.GracefulImage();
+      const uint8_t* data = image.data();
+      const size_t size = image.size();
+      outcome = RunOracle(sandbox, 0, factory_, data, size,
+                          std::move(image));
+      recovery_span.AddArg(
+          "status", std::string(RecoveryStatusName(outcome.result.status)));
       im.ObserveRecovery(
           Micros(recovery_start, std::chrono::steady_clock::now()));
     }
-    im.CountRecovery(result.status);
+    im.CountRecovery(outcome.result.status);
     im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
-    if (!result.ok()) {
-      auto it = dedup.find(result.detail);
+    if (!outcome.result.ok()) {
+      auto it = dedup.find(outcome.result.detail);
       if (it != dedup.end()) {
         im.CountDeduplicated();
         continue;  // same root cause already reported
       }
-      Finding finding;
-      finding.source = FindingSource::kFaultInjection;
-      finding.kind = result.status == RecoveryStatus::kUnrecoverable
-                         ? FindingKind::kRecoveryUnrecoverable
-                         : FindingKind::kRecoveryCrash;
-      finding.detail = result.detail;
+      Finding finding = MakeOracleFinding(outcome);
       finding.location = tree->DescribePath(crash.node);
       finding.seq = crash.seq;
-      dedup.emplace(result.detail, report.findings().size());
+      dedup.emplace(outcome.result.detail, report.findings().size());
       report.Add(std::move(finding));
     }
   }
@@ -352,7 +448,8 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
 }
 
 Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
-                                               FaultInjectionStats* stats) {
+                                               FaultInjectionStats* stats,
+                                               RecoverySandbox* sandbox) {
   const auto start = std::chrono::steady_clock::now();
   // Snapshot the work list; from here on the tree is read-only (kInjectAt
   // executions only Find), so workers can share it without locking.
@@ -435,33 +532,33 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
       }
       run_span.AddArg("seq", crash.seq);
 
-      RecoveryResult result;
+      OracleOutcome outcome;
       {
         const auto recovery_start = std::chrono::steady_clock::now();
         ScopedSpan recovery_span(options_.tracer, "recovery", "recovery",
                                  tid);
-        PmPool recovered = PmPool::FromImage(pool.GracefulImage());
-        TargetPtr fresh = factory_();
-        result = RunRecoveryOracle(*fresh, recovered);
+        // Each worker owns sandbox slot `worker_index`: one lane, one
+        // worker process, no cross-thread contention.
+        std::vector<uint8_t> image = pool.GracefulImage();
+        const uint8_t* data = image.data();
+        const size_t size = image.size();
+        outcome = RunOracle(sandbox, worker_index, factory_, data, size,
+                            std::move(image));
         recovery_span.AddArg(
-            "status", std::string(RecoveryStatusName(result.status)));
+            "status",
+            std::string(RecoveryStatusName(outcome.result.status)));
         im.ObserveRecovery(
             Micros(recovery_start, std::chrono::steady_clock::now()));
       }
-      im.CountRecovery(result.status);
+      im.CountRecovery(outcome.result.status);
       im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
-      if (!result.ok()) {
-        Finding finding;
-        finding.source = FindingSource::kFaultInjection;
-        finding.kind = result.status == RecoveryStatus::kUnrecoverable
-                           ? FindingKind::kRecoveryUnrecoverable
-                           : FindingKind::kRecoveryCrash;
-        finding.detail = result.detail;
+      if (!outcome.result.ok()) {
+        Finding finding = MakeOracleFinding(outcome);
         finding.location = tree->DescribePath(crash.node);
         finding.seq = crash.seq;
         std::lock_guard<std::mutex> lock(report_mutex);
-        if (dedup.find(result.detail) == dedup.end()) {
-          dedup.emplace(result.detail, report.findings().size());
+        if (dedup.find(outcome.result.detail) == dedup.end()) {
+          dedup.emplace(outcome.result.detail, report.findings().size());
           report.Add(std::move(finding));
         } else {
           im.CountDeduplicated();
@@ -498,7 +595,8 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
 }
 
 Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
-                                             FaultInjectionStats* stats) {
+                                             FaultInjectionStats* stats,
+                                             RecoverySandbox* sandbox) {
   const auto start = std::chrono::steady_clock::now();
   struct ReplayPoint {
     FailurePointTree::NodeIndex node;
@@ -556,13 +654,14 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   // out to workers. No workload re-execution, no call-stack matching.
   // Each point is handed to exactly one worker, so the visited flags stay
   // single-writer.
-  auto process_point = [&](uint32_t worker_index, size_t i,
-                           std::vector<uint8_t> image) {
-    const uint32_t tid = worker_index + 1;
-    const auto run_start = std::chrono::steady_clock::now();
-    ScopedSpan run_span(options_.tracer, "inject", "injection", tid);
-    run_span.AddArg("failure_point", uint64_t{points[i].node});
-    run_span.AddArg("seq", points[i].seq);
+  // `data`/`size` describe the crash image (null data = already in the
+  // sandbox slot's shared buffer); `owned` holds it when in-process (see
+  // RunOracle).
+  // Bookkeeping at dispatch: the point is committed to exactly one worker
+  // (visited flags stay single-writer) and counts as an injection whether
+  // the oracle verdict arrives now (threaded paths) or later (pipelined
+  // fork-server path).
+  auto note_injection = [&](uint32_t worker_index, size_t i) {
     tree->MarkVisited(points[i].node);
     injections.fetch_add(1, std::memory_order_relaxed);
     im.CountAttempt();
@@ -573,39 +672,51 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     if (options_.progress != nullptr) {
       options_.progress->Advance();
     }
-
-    RecoveryResult result;
-    {
-      const auto recovery_start = std::chrono::steady_clock::now();
-      ScopedSpan recovery_span(options_.tracer, "recovery", "recovery",
-                               tid);
-      PmPool recovered = PmPool::FromImage(std::move(image));
-      TargetPtr fresh = factory_();
-      result = RunRecoveryOracle(*fresh, recovered);
-      recovery_span.AddArg(
-          "status", std::string(RecoveryStatusName(result.status)));
-      im.ObserveRecovery(
-          Micros(recovery_start, std::chrono::steady_clock::now()));
-    }
-    im.CountRecovery(result.status);
-    im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
-    if (!result.ok()) {
-      Finding finding;
-      finding.source = FindingSource::kFaultInjection;
-      finding.kind = result.status == RecoveryStatus::kUnrecoverable
-                         ? FindingKind::kRecoveryUnrecoverable
-                         : FindingKind::kRecoveryCrash;
-      finding.detail = result.detail;
+  };
+  // Bookkeeping at verdict: metrics and the deduplicated finding.
+  auto record_outcome = [&](size_t i, const OracleOutcome& outcome,
+                            uint64_t run_us, uint64_t recovery_us) {
+    im.ObserveRecovery(recovery_us);
+    im.CountRecovery(outcome.result.status);
+    im.ObserveRun(run_us);
+    if (!outcome.result.ok()) {
+      Finding finding = MakeOracleFinding(outcome);
       finding.location = tree->DescribePath(points[i].node);
       finding.seq = points[i].seq;
       std::lock_guard<std::mutex> lock(report_mutex);
-      if (dedup.find(result.detail) == dedup.end()) {
-        dedup.emplace(result.detail, report.findings().size());
+      if (dedup.find(outcome.result.detail) == dedup.end()) {
+        dedup.emplace(outcome.result.detail, report.findings().size());
         report.Add(std::move(finding));
       } else {
         im.CountDeduplicated();
       }
     }
+  };
+  auto process_point = [&](uint32_t worker_index, size_t i,
+                           const uint8_t* data, size_t size,
+                           std::vector<uint8_t> owned) {
+    const uint32_t tid = worker_index + 1;
+    const auto run_start = std::chrono::steady_clock::now();
+    ScopedSpan run_span(options_.tracer, "inject", "injection", tid);
+    run_span.AddArg("failure_point", uint64_t{points[i].node});
+    run_span.AddArg("seq", points[i].seq);
+    note_injection(worker_index, i);
+
+    OracleOutcome outcome;
+    uint64_t recovery_us = 0;
+    {
+      const auto recovery_start = std::chrono::steady_clock::now();
+      ScopedSpan recovery_span(options_.tracer, "recovery", "recovery",
+                               tid);
+      outcome = RunOracle(sandbox, worker_index, factory_, data, size,
+                          std::move(owned));
+      recovery_span.AddArg(
+          "status", std::string(RecoveryStatusName(outcome.result.status)));
+      recovery_us = Micros(recovery_start, std::chrono::steady_clock::now());
+    }
+    record_outcome(i, outcome,
+                   Micros(run_start, std::chrono::steady_clock::now()),
+                   recovery_us);
   };
   auto over_budget = [&] {
     return injections.load(std::memory_order_relaxed) >=
@@ -617,14 +728,92 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   ReplayCursor cursor(replay_trace_, profiled_pool_size_);
   if (thread_count <= 1) {
     // Inline: seq-ascending processing makes the report ordering (and
-    // dedup winners) identical to the serial re-execution loop.
+    // dedup winners) identical to the serial re-execution loop. Sandboxed
+    // checks read the cursor's image in place (fork-per-check children via
+    // copy-on-write; the fork-server copies it into slot 0's shared
+    // buffer) — no snapshot vector needed.
     for (size_t i = 0; i < points.size(); ++i) {
       if (over_budget()) {
         exhausted.store(true, std::memory_order_relaxed);
         break;
       }
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
-      process_point(0, i, std::vector<uint8_t>(image));
+      std::vector<uint8_t> owned;
+      if (sandbox == nullptr) {
+        owned = image;  // PmPool::FromImage takes ownership
+      }
+      process_point(0, i, image.data(), image.size(), std::move(owned));
+    }
+  } else if (sandbox != nullptr &&
+             sandbox->policy() == SandboxPolicy::kForkServer) {
+    // Pipelined fork-server: the worker *processes* are the parallelism,
+    // so no consumer threads are needed. This one thread streams the
+    // cursor, writes each image directly into a free slot's shared buffer
+    // (the same one copy per injection the in-process queue pays), and
+    // dispatches the check without blocking (StartServerCheck); up to
+    // `thread_count` workers then run recovery concurrently. Verdicts are
+    // collected in dispatch order — head-of-line collection is harmless
+    // because a slow check keeps only its own worker busy, and
+    // FinishServerCheck drains verdicts that arrived while we waited.
+    // Compared to a mailbox of consumer threads this removes every
+    // cross-thread handoff from the per-check path.
+    struct InFlight {
+      size_t index = 0;
+      std::chrono::steady_clock::time_point dispatched;
+    };
+    std::vector<InFlight> inflight(thread_count);
+    std::deque<uint32_t> collect_order;  // slots with a dispatched check
+    std::vector<bool> busy(thread_count, false);
+    // In-flight depth is capped at the core count: checks beyond it cannot
+    // run concurrently anyway, and each extra in-flight slot rotates
+    // another full-size image buffer through the cache between the memcpy
+    // and the worker's recovery pass, evicting the hot one. Excess lanes
+    // simply stay idle (their workers were spawned but sit blocked in
+    // read(), costing nothing).
+    const uint32_t hw = std::thread::hardware_concurrency();
+    const size_t depth =
+        std::min<size_t>(thread_count, hw == 0 ? thread_count : hw);
+
+    auto collect_oldest = [&] {
+      const uint32_t slot = collect_order.front();
+      collect_order.pop_front();
+      const OracleOutcome outcome =
+          OutcomeFromVerdict(sandbox->FinishServerCheck(slot));
+      busy[slot] = false;
+      record_outcome(
+          inflight[slot].index, outcome,
+          Micros(inflight[slot].dispatched, std::chrono::steady_clock::now()),
+          outcome.wall_us);
+    };
+
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (over_budget()) {
+        exhausted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (collect_order.size() == depth) {
+        collect_oldest();  // all usable lanes busy: free the oldest
+      }
+      uint32_t slot = 0;
+      while (busy[slot]) {
+        ++slot;
+      }
+      const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      std::memcpy(sandbox->ImageBuffer(slot), image.data(), image.size());
+      note_injection(slot, i);
+      SandboxVerdict error;
+      if (!sandbox->StartServerCheck(slot, /*data=*/nullptr, image.size(),
+                                     &error)) {
+        // No worker available: the error verdict IS the outcome.
+        record_outcome(i, OutcomeFromVerdict(error), 0, 0);
+        continue;
+      }
+      inflight[slot] = {i, std::chrono::steady_clock::now()};
+      busy[slot] = true;
+      collect_order.push_back(slot);
+    }
+    while (!collect_order.empty()) {
+      collect_oldest();
     }
   } else {
     // Producer/consumer: this thread advances the cursor and snapshots
@@ -655,7 +844,14 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
           queue.pop_front();
         }
         queue_drained.notify_one();
-        process_point(worker_index, job.index, std::move(job.image));
+        // Pin the buffer pointer before moving the vector: the move steals
+        // the same heap buffer, so the pointer stays valid (a sandboxed
+        // fork-per-check child reads it via copy-on-write; in-process the
+        // moved vector feeds PmPool::FromImage).
+        const uint8_t* data = job.image.data();
+        const size_t size = job.image.size();
+        process_point(worker_index, job.index, data, size,
+                      std::move(job.image));
       }
     };
     std::vector<std::thread> threads;

@@ -21,6 +21,7 @@
 #include "src/observability/progress.h"
 #include "src/observability/span_tracer.h"
 #include "src/pmem/pm_pool.h"
+#include "src/sandbox/recovery_sandbox.h"
 #include "src/targets/target.h"
 #include "src/workload/workload.h"
 
@@ -137,6 +138,13 @@ struct FaultInjectionOptions {
   // Profile() to have run on the same engine; it records the store
   // payloads the replay consumes.
   InjectionStrategy strategy = InjectionStrategy::kReExecute;
+  // Where the recovery oracle runs (src/sandbox): in-process (historical
+  // behaviour), fork-per-check, or a fork-server worker pool. Sandboxed
+  // policies turn oracle crashes into kRecoveryCrash findings (with the
+  // fatal signal as evidence) and hangs into kRecoveryTimeout findings
+  // instead of killing or wedging the campaign. `sandbox.metrics` is
+  // overridden with `metrics` below.
+  SandboxOptions sandbox;
   // Observability hooks (src/observability), all optional and borrowed.
   // When null, the engine pays at most one branch per event on the
   // instrumented hot path and a handful of branches per injection run.
@@ -199,8 +207,12 @@ class FaultInjectionEngine {
   bool replay_ready() const { return replay_ready_; }
 
  private:
-  Report InjectAllParallel(FailurePointTree* tree, FaultInjectionStats* stats);
-  Report InjectAllReplay(FailurePointTree* tree, FaultInjectionStats* stats);
+  Report InjectAllSerial(FailurePointTree* tree, FaultInjectionStats* stats,
+                         RecoverySandbox* sandbox);
+  Report InjectAllParallel(FailurePointTree* tree, FaultInjectionStats* stats,
+                           RecoverySandbox* sandbox);
+  Report InjectAllReplay(FailurePointTree* tree, FaultInjectionStats* stats,
+                         RecoverySandbox* sandbox);
 
   TargetFactory factory_;
   WorkloadSpec spec_;

@@ -141,6 +141,7 @@ MumakResult Mumak::Analyze() {
   fi_options.time_budget_s = options_.time_budget_s;
   fi_options.workers = options_.injection_workers;
   fi_options.strategy = options_.injection_strategy;
+  fi_options.sandbox = options_.sandbox;
   fi_options.metrics = options_.metrics;
   fi_options.tracer = options_.tracer;
   fi_options.progress = options_.progress;

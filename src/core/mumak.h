@@ -40,6 +40,11 @@ struct MumakOptions {
   // profiled trace (kReplay — the profiling run then also records store
   // payloads).
   InjectionStrategy injection_strategy = InjectionStrategy::kReExecute;
+  // Recovery-oracle isolation (src/sandbox): run each consistency check in
+  // a forked child (or a fork-server worker pool) with a hard deadline, so
+  // recovery code that segfaults or hangs on a crash image becomes a
+  // reported bug instead of a tool failure. Defaults to in-process.
+  SandboxOptions sandbox;
   // When set, the failure point tree is serialised here after profiling
   // and re-loaded before injection — the paper's pipeline runs the two
   // phases as separate executions sharing the tree through a file (§5

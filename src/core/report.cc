@@ -12,6 +12,8 @@ std::string_view FindingKindName(FindingKind kind) {
       return "recovery-unrecoverable";
     case FindingKind::kRecoveryCrash:
       return "recovery-crash";
+    case FindingKind::kRecoveryTimeout:
+      return "recovery-timeout";
     case FindingKind::kUnflushedStore:
       return "unflushed-store";
     case FindingKind::kTransientData:
@@ -45,6 +47,7 @@ BugClass FindingBugClass(FindingKind kind) {
   switch (kind) {
     case FindingKind::kRecoveryUnrecoverable:
     case FindingKind::kRecoveryCrash:
+    case FindingKind::kRecoveryTimeout:
       return BugClass::kAtomicity;  // fault injection exposes atomicity and
                                     // ordering violations (§4.1)
     case FindingKind::kUnflushedStore:
@@ -124,6 +127,19 @@ std::string Report::Render(bool include_warnings) const {
     if (!f.detail.empty()) {
       os << "    " << f.detail << "\n";
     }
+    if (!f.signal_name.empty() || f.timed_out) {
+      os << "    sandbox:";
+      if (!f.signal_name.empty()) {
+        os << " signal=" << f.signal_name;
+      }
+      if (f.timed_out) {
+        os << " timed-out";
+      }
+      if (f.recovery_wall_us != 0) {
+        os << " wall=" << f.recovery_wall_us << "us";
+      }
+      os << "\n";
+    }
     if (!f.location.empty()) {
       os << "    at " << f.location << "\n";
     }
@@ -187,6 +203,17 @@ std::string Report::RenderJson(bool include_warnings) const {
     os << ", \"pm_offset\": " << f.pm_offset;
     os << ", \"seq\": " << f.seq;
     os << ", \"detail\": \"" << escape(f.detail) << "\"";
+    // Sandbox evidence is emitted only when present, so reports from
+    // in-process runs (and pre-sandbox consumers) are byte-identical.
+    if (!f.signal_name.empty()) {
+      os << ", \"signal\": \"" << escape(f.signal_name) << "\"";
+    }
+    if (f.timed_out) {
+      os << ", \"timed_out\": true";
+    }
+    if (f.recovery_wall_us != 0) {
+      os << ", \"recovery_wall_us\": " << f.recovery_wall_us;
+    }
     os << ", \"location\": \"" << escape(f.location) << "\"}";
   }
   os << "]}";

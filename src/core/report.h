@@ -22,6 +22,7 @@ enum class FindingKind {
   // Fault injection.
   kRecoveryUnrecoverable,
   kRecoveryCrash,
+  kRecoveryTimeout,      // recovery hung past the sandbox deadline
   // Trace analysis patterns (§4.2).
   kUnflushedStore,       // durability bug (address flushed elsewhere)
   kTransientData,        // warning: PM used for never-persisted data
@@ -50,6 +51,11 @@ struct Finding {
   std::string detail;
   uint64_t pm_offset = 0;  // offending PM address, when applicable
   uint64_t seq = 0;        // instruction counter of the offending access
+  // Sandbox evidence (fault-injection findings under --sandbox only;
+  // defaults mean "not applicable" and are elided from JSON output).
+  std::string signal_name;       // e.g. "SIGSEGV" when recovery died on one
+  bool timed_out = false;        // parent killed recovery at the deadline
+  uint64_t recovery_wall_us = 0; // oracle wall time for this crash image
 };
 
 class Report {

@@ -375,6 +375,7 @@ void ObjPool::RecoverUndoLog() {
   if (state != kLogStateActive) {
     throw RecoveryFailure("undo log state is corrupt");
   }
+  recovered_in_flight_tx_ = true;
 
   struct Entry {
     uint64_t offset;

@@ -110,6 +110,12 @@ class ObjPool {
   void TxAbort();
   bool InTx() const { return in_tx_; }
 
+  // True when the last undo-log recovery found an *active* log (a crash
+  // mid-transaction) and rolled it back. Lets application-level recovery
+  // distinguish "crashed inside a transaction" images; the seeded
+  // recovery-hazard bugs key off it.
+  bool recovered_in_flight_tx() const { return recovered_in_flight_tx_; }
+
   // -- Introspection -----------------------------------------------------------
 
   // First usable heap byte; exposed for targets that lay out fixed regions.
@@ -159,6 +165,7 @@ class ObjPool {
   PmPool* pm_ = nullptr;
   PmdkConfig config_;
   bool in_tx_ = false;
+  bool recovered_in_flight_tx_ = false;
   // Volatile mirror of the ranges touched by the running transaction, so
   // commit can flush exactly those ranges.
   std::vector<std::pair<uint64_t, uint64_t>> tx_ranges_;

@@ -6,12 +6,21 @@
 
 namespace mumak {
 
-PersistencyModel::PersistencyModel(size_t pool_size) : durable_(pool_size, 0) {}
+PersistencyModel::PersistencyModel(size_t pool_size)
+    : durable_owned_(pool_size, 0), durable_(durable_owned_) {}
 
 PersistencyModel PersistencyModel::FromDurableImage(
     std::vector<uint8_t> image) {
   PersistencyModel model(0);
-  model.durable_ = std::move(image);
+  model.durable_owned_ = std::move(image);
+  model.durable_ = std::span<uint8_t>(model.durable_owned_);
+  return model;
+}
+
+PersistencyModel PersistencyModel::FromBorrowedDurable(uint8_t* data,
+                                                       size_t size) {
+  PersistencyModel model(0);
+  model.durable_ = std::span<uint8_t>(data, size);
   return model;
 }
 
@@ -194,7 +203,7 @@ uint64_t PersistencyModel::LoadU64(uint64_t offset) const {
 }
 
 std::vector<uint8_t> PersistencyModel::GracefulImage() const {
-  std::vector<uint8_t> image = durable_;
+  std::vector<uint8_t> image(durable_.begin(), durable_.end());
   // Apply WPQ snapshots first, then the cache overlay: resident lines hold
   // the newest program-order content.
   for (const auto& [line, snapshot] : wpq_) {
@@ -209,12 +218,12 @@ std::vector<uint8_t> PersistencyModel::GracefulImage() const {
 }
 
 std::vector<uint8_t> PersistencyModel::PowerFailImage() const {
-  return durable_;
+  return std::vector<uint8_t>(durable_.begin(), durable_.end());
 }
 
 std::vector<uint8_t> PersistencyModel::PowerFailImageWithLines(
     std::span<const uint64_t> surviving_lines) const {
-  std::vector<uint8_t> image = durable_;
+  std::vector<uint8_t> image(durable_.begin(), durable_.end());
   for (uint64_t line : surviving_lines) {
     CacheLine snapshot;
     SnapshotLine(line, &snapshot.data);

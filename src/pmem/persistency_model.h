@@ -48,6 +48,12 @@ class PersistencyModel {
   // just rebooted.
   static PersistencyModel FromDurableImage(std::vector<uint8_t> image);
 
+  // Same, but the durable medium is caller-owned memory viewed in place —
+  // no copy. Used by the sandbox worker to run recovery directly on the
+  // shared-memory crash image. The memory must outlive the model; stores
+  // committed by recovery are written through to it.
+  static PersistencyModel FromBorrowedDurable(uint8_t* data, size_t size);
+
   size_t pool_size() const { return durable_.size(); }
 
   // -- Mutators, mirroring the instruction classes -------------------------
@@ -115,7 +121,7 @@ class PersistencyModel {
   // Volatile-state footprint in bytes, for Table 2 resource accounting.
   size_t VolatileFootprintBytes() const;
 
-  const std::vector<uint8_t>& durable_bytes() const { return durable_; }
+  std::span<const uint8_t> durable_bytes() const { return durable_; }
 
  private:
   struct CacheLine {
@@ -133,7 +139,12 @@ class PersistencyModel {
   void CommitLineToDurable(uint64_t line,
                            const std::array<uint8_t, kCacheLineSize>& data);
 
-  std::vector<uint8_t> durable_;
+  // Durable medium. Normally owned (`durable_` views `durable_owned_`);
+  // under FromBorrowedDurable the span views caller memory and the vector
+  // stays empty. Moves are safe either way: the vector move transfers the
+  // heap buffer the span points into.
+  std::vector<uint8_t> durable_owned_;
+  std::span<uint8_t> durable_;
   // Volatile CPU cache overlay: dirty lines only. Hashed rather than ordered
   // — the store/flush hot path only ever probes single lines, and every
   // whole-map walk (fence commit, image overlay) touches disjoint lines, so

@@ -48,7 +48,7 @@ bool PmPool::SaveToFile(const std::string& path) const {
   }
   // Only the durable medium survives a save/restore cycle, the same way only
   // the persistent domain survives power loss.
-  const std::vector<uint8_t>& bytes = model_.durable_bytes();
+  const std::span<const uint8_t> bytes = model_.durable_bytes();
   uint64_t size = bytes.size();
   out.write(reinterpret_cast<const char*>(&size), sizeof(size));
   out.write(reinterpret_cast<const char*>(bytes.data()),

@@ -1,0 +1,153 @@
+#include "src/sandbox/child.h"
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <new>
+#include <vector>
+
+#include "src/pmem/pm_pool.h"
+
+namespace mumak {
+
+std::string SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+    case SIGKILL:
+      return "SIGKILL";
+    case SIGXCPU:
+      return "SIGXCPU";
+    case SIGTRAP:
+      return "SIGTRAP";
+    default:
+      return "signal " + std::to_string(sig);
+  }
+}
+
+uint64_t ComputeImageDigest(const uint8_t* data, size_t size) {
+  // FNV-1a over the size, the first 256 bytes (pool header), and one byte
+  // per 509-byte stride — O(size/509), strong enough to catch a botched
+  // handoff without rehashing the whole image per check.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  auto mix = [&hash](uint8_t byte) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  };
+  for (size_t shift = 0; shift < 64; shift += 8) {
+    mix(static_cast<uint8_t>(size >> shift));
+  }
+  const size_t header = size < 256 ? size : 256;
+  for (size_t i = 0; i < header; ++i) {
+    mix(data[i]);
+  }
+  for (size_t i = 0; i < size; i += 509) {
+    mix(data[i]);
+  }
+  return hash;
+}
+
+void ApplyChildRlimits(uint64_t address_space_bytes, uint32_t cpu_seconds) {
+#ifndef MUMAK_SANDBOX_ASAN
+  if (address_space_bytes > 0) {
+    struct rlimit as_limit;
+    as_limit.rlim_cur = address_space_bytes;
+    as_limit.rlim_max = address_space_bytes;
+    setrlimit(RLIMIT_AS, &as_limit);
+  }
+#else
+  (void)address_space_bytes;
+#endif
+  if (cpu_seconds > 0) {
+    struct rlimit cpu_limit;
+    cpu_limit.rlim_cur = cpu_seconds;
+    // Hard limit one second later: SIGXCPU at the soft limit is catchable
+    // in principle; SIGKILL at the hard limit is the true backstop.
+    cpu_limit.rlim_max = cpu_seconds + 1;
+    setrlimit(RLIMIT_CPU, &cpu_limit);
+  }
+}
+
+WireVerdict RunOracleInSandboxProcess(const SandboxTargetFactory& factory,
+                                      uint8_t* image, size_t size,
+                                      bool compute_digest) {
+  const auto start = std::chrono::steady_clock::now();
+  WireVerdict verdict;
+  if (compute_digest) {
+    // Before recovery runs: the digest must witness the handed-off bytes,
+    // not whatever recovery rewrote them into.
+    verdict.digest = ComputeImageDigest(image, size);
+  }
+  RecoveryResult result;
+  try {
+    // In place: copying a multi-MB image per check would dominate the
+    // fork-server's per-check cost (the image is disposable — see header).
+    PmPool pool = PmPool::FromBorrowedImage(image, size);
+    TargetPtr fresh = factory();
+    // RunRecoveryOracle maps RecoveryFailure -> kUnrecoverable and other
+    // std::exceptions -> kCrashed, exactly as the in-process oracle does.
+    result = RunRecoveryOracle(*fresh, pool);
+  } catch (const std::bad_alloc&) {
+    result.status = RecoveryStatus::kCrashed;
+    result.detail = "recovery exhausted the sandbox address-space cap";
+  } catch (const std::exception& e) {
+    result.status = RecoveryStatus::kCrashed;
+    result.detail = std::string("recovery setup crashed: ") + e.what();
+  } catch (...) {
+    result.status = RecoveryStatus::kCrashed;
+    result.detail = "recovery threw a non-standard exception";
+  }
+  verdict.status = static_cast<uint32_t>(result.status);
+  verdict.detail = std::move(result.detail);
+  verdict.wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return verdict;
+}
+
+TerminationClass ClassifyWaitStatus(int wstatus) {
+  TerminationClass out;
+  if (WIFSIGNALED(wstatus)) {
+    const int sig = WTERMSIG(wstatus);
+    out.signal = sig;
+    if (sig == SIGXCPU) {
+      out.status = RecoveryStatus::kTimeout;
+      out.timed_out = true;
+      out.detail = "recovery exceeded its CPU limit (SIGXCPU)";
+      return out;
+    }
+    out.status = RecoveryStatus::kCrashed;
+    out.detail = "recovery terminated by " + SignalName(sig);
+    return out;
+  }
+  if (WIFEXITED(wstatus)) {
+    const int code = WEXITSTATUS(wstatus);
+    out.status = RecoveryStatus::kCrashed;
+    if (code == 0) {
+      out.detail = "recovery child exited without a verdict";
+    } else {
+      // How a sanitizer-instrumented child reports a wild-pointer fault:
+      // ASan prints its report and exits nonzero instead of dying on the
+      // signal.
+      out.detail = "recovery child exited with status " +
+                   std::to_string(code) + " before reporting a verdict";
+    }
+    return out;
+  }
+  out.status = RecoveryStatus::kCrashed;
+  out.detail = "recovery child terminated abnormally";
+  return out;
+}
+
+}  // namespace mumak

@@ -1,0 +1,66 @@
+// Child-side body of a sandboxed oracle invocation, plus the pure
+// classification helpers the parent uses to turn a wait-status into a
+// verdict. Kept separate from the process orchestration so both the
+// fork-per-check child and the fork-server worker share one implementation
+// and the classification table is unit-testable without forking.
+
+#ifndef MUMAK_SRC_SANDBOX_CHILD_H_
+#define MUMAK_SRC_SANDBOX_CHILD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/sandbox/options.h"
+#include "src/sandbox/wire.h"
+
+namespace mumak {
+
+// Compile-time ASan detection: RLIMIT_AS is incompatible with the shadow
+// mapping, and ASan turns wild-pointer faults into exit(1) instead of
+// signal death (classification must treat both as kCrashed).
+#if defined(__SANITIZE_ADDRESS__)
+#define MUMAK_SANDBOX_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MUMAK_SANDBOX_ASAN 1
+#endif
+#endif
+
+// Human-readable signal name ("SIGSEGV", ...; "signal <n>" for others).
+std::string SignalName(int sig);
+
+// Sampled FNV-1a digest over the crash image — cheap evidence that the
+// shared-memory handoff delivered the intended bytes.
+uint64_t ComputeImageDigest(const uint8_t* data, size_t size);
+
+// Applies setrlimit caps inside a freshly forked child. `cpu_seconds` 0 =
+// leave RLIMIT_CPU alone. RLIMIT_AS is skipped under ASan.
+void ApplyChildRlimits(uint64_t address_space_bytes, uint32_t cpu_seconds);
+
+// Runs the recovery oracle on `image` *in place* in this process and
+// packages the outcome (plus wall time, and the sampled digest when
+// `compute_digest` is set) as a wire verdict. Never throws. The image is
+// mutable because recovery's committed stores write through to it —
+// callers run in a disposable child whose image is either the slot's
+// shared-memory buffer (reloaded before every check) or a fork's
+// copy-on-write view of the parent's buffer.
+WireVerdict RunOracleInSandboxProcess(const SandboxTargetFactory& factory,
+                                      uint8_t* image, size_t size,
+                                      bool compute_digest);
+
+// Parent-side classification of a child's wait status when no complete
+// verdict message arrived. kCrashed for fatal signals (signal recorded)
+// and for nonzero exits without a verdict (how an ASan-instrumented child
+// reports a wild-pointer fault); kTimeout for SIGXCPU (CPU-cap backstop).
+struct TerminationClass {
+  RecoveryStatus status = RecoveryStatus::kCrashed;
+  int signal = 0;
+  bool timed_out = false;
+  std::string detail;
+};
+TerminationClass ClassifyWaitStatus(int wstatus);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_SANDBOX_CHILD_H_

@@ -1,0 +1,109 @@
+// Process-isolation orchestrator for the recovery oracle: fork-per-check
+// children and the fork-server worker pool, crash-image handoff over
+// anonymous shared memory, parent-enforced deadlines (poll + SIGKILL), and
+// signal/exit classification. See docs/sandbox.md for the full design.
+
+#ifndef MUMAK_SRC_SANDBOX_RECOVERY_SANDBOX_H_
+#define MUMAK_SRC_SANDBOX_RECOVERY_SANDBOX_H_
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sandbox/options.h"
+
+namespace mumak {
+
+// One sandbox per injection campaign. `slots` independent lanes (one per
+// injection worker thread) can run Check() concurrently; each lane owns its
+// worker process and shared-memory image buffer, so no cross-lane locking
+// is needed.
+//
+// Construct while the parent is still single-threaded when possible: the
+// fork-server spawns its initial workers eagerly in the constructor.
+// Respawns (after a crash, timeout, or recycle) fork from whatever thread
+// runs the check; glibc >= 2.24 makes malloc in such children safe.
+class RecoverySandbox {
+ public:
+  RecoverySandbox(SandboxTargetFactory factory, size_t image_bytes,
+                  uint32_t slots, SandboxOptions options);
+  // Shuts the pool down hard: closes command channels, SIGKILLs any
+  // remaining worker, and reaps every child (no zombies survive).
+  ~RecoverySandbox();
+
+  RecoverySandbox(const RecoverySandbox&) = delete;
+  RecoverySandbox& operator=(const RecoverySandbox&) = delete;
+
+  uint32_t slots() const { return slots_; }
+  size_t image_bytes() const { return image_bytes_; }
+  SandboxPolicy policy() const { return options_.policy; }
+  const SandboxOptions& options() const { return options_; }
+
+  // Fork-server zero-copy path: the slot's shared image buffer
+  // (image_bytes() capacity). Producers may synthesize a crash image
+  // directly into it and then call Check(slot, nullptr, size). Null under
+  // kForkPerCheck (the child reads the parent's buffer via copy-on-write
+  // instead).
+  uint8_t* ImageBuffer(uint32_t slot);
+
+  // Runs one oracle check on `slot`. `data` is the crash image; under
+  // kForkServer it is copied into the slot's shared buffer unless it
+  // already is that buffer (or null, meaning "the buffer is pre-loaded").
+  // Blocks until a verdict, the deadline, or child death. Thread-safe
+  // across distinct slots; a slot serves one check at a time.
+  SandboxVerdict Check(uint32_t slot, const uint8_t* data, size_t size);
+
+  // Pipelined fork-server API, for a single orchestrator thread driving
+  // several workers: StartServerCheck dispatches the check (copy + command
+  // send, no blocking on the verdict) so up to slots() checks run
+  // concurrently; FinishServerCheck collects the verdict (blocking, with
+  // the deadline measured from the Start). Every successful Start must be
+  // paired with exactly one Finish on the same slot before the slot is
+  // reused. Returns false when no worker could be started, with *error
+  // filled in — the caller records it as the verdict and must NOT call
+  // FinishServerCheck. kForkServer only.
+  bool StartServerCheck(uint32_t slot, const uint8_t* data, size_t size,
+                        SandboxVerdict* error);
+  SandboxVerdict FinishServerCheck(uint32_t slot);
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;         // parent end of the command/result socketpair
+    uint64_t served = 0; // checks since the last fork (recycle counter)
+    // When the in-flight check was dispatched (deadline anchor).
+    std::chrono::steady_clock::time_point started;
+  };
+
+  SandboxVerdict CheckForkPerCheck(const uint8_t* data, size_t size);
+  // Collects a verdict from `fd` within the deadline; on timeout or
+  // abnormal death, kills/reaps `pid` and classifies. `pid` is always
+  // reaped unless the worker survives (fork-server success path).
+  SandboxVerdict AwaitVerdict(int fd, pid_t pid,
+                              std::chrono::steady_clock::time_point deadline,
+                              bool reap_on_success, bool* worker_survived);
+
+  void SpawnWorker(uint32_t slot);
+  // Kills (when still alive) and reaps slot's worker, closing its channel.
+  void StopWorker(uint32_t slot);
+
+  SandboxTargetFactory factory_;
+  size_t image_bytes_;
+  uint32_t slots_;
+  SandboxOptions options_;
+  std::vector<Worker> workers_;       // fork-server lanes
+  std::vector<uint8_t*> shm_;         // per-slot MAP_SHARED image buffers
+
+  // Resolved once; null when no registry was provided.
+  Counter* forks_ = nullptr;
+  Counter* timeouts_ = nullptr;
+  Counter* killed_ = nullptr;
+  Histogram* sandbox_us_ = nullptr;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_SANDBOX_RECOVERY_SANDBOX_H_

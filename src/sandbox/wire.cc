@@ -1,0 +1,96 @@
+#include "src/sandbox/wire.h"
+
+#include <cstring>
+
+namespace mumak {
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+uint32_t GetU32(const uint8_t* data) {
+  uint32_t v = 0;
+  std::memcpy(&v, data, sizeof(v));
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* data) {
+  uint64_t v = 0;
+  std::memcpy(&v, data, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeVerdict(const WireVerdict& verdict) {
+  std::string detail = verdict.detail;
+  if (detail.size() > kWireMaxDetail) {
+    detail.resize(kWireMaxDetail);
+  }
+  // Payload layout: status u32 | signal i32 | timed_out u8 | pad u8[3] |
+  // wall u64 | digest u64 | detail_len u32 | detail bytes.
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderBytes + 32 + detail.size());
+  PutU32(&out, kWireMagic);
+  const uint32_t payload_len =
+      static_cast<uint32_t>(4 + 4 + 4 + 8 + 8 + 4 + detail.size());
+  PutU32(&out, payload_len);
+  PutU32(&out, verdict.status);
+  PutU32(&out, static_cast<uint32_t>(verdict.signal));
+  PutU32(&out, verdict.timed_out ? 1u : 0u);  // flag + padding in one word
+  PutU64(&out, verdict.wall_us);
+  PutU64(&out, verdict.digest);
+  PutU32(&out, static_cast<uint32_t>(detail.size()));
+  out.insert(out.end(), detail.begin(), detail.end());
+  return out;
+}
+
+WireDecodeStatus DecodeVerdict(const uint8_t* data, size_t size,
+                               WireVerdict* out, size_t* consumed) {
+  if (size < kWireHeaderBytes) {
+    return WireDecodeStatus::kNeedMoreData;
+  }
+  if (GetU32(data) != kWireMagic) {
+    return WireDecodeStatus::kBadMagic;
+  }
+  const uint32_t payload_len = GetU32(data + 4);
+  if (payload_len > kWireMaxPayload) {
+    return WireDecodeStatus::kOversized;
+  }
+  if (size < kWireHeaderBytes + payload_len) {
+    return WireDecodeStatus::kNeedMoreData;
+  }
+  constexpr size_t kFixedPayload = 4 + 4 + 4 + 8 + 8 + 4;
+  if (payload_len < kFixedPayload) {
+    return WireDecodeStatus::kMalformed;
+  }
+  const uint8_t* p = data + kWireHeaderBytes;
+  const uint32_t status = GetU32(p);
+  const int32_t signal = static_cast<int32_t>(GetU32(p + 4));
+  const bool timed_out = (GetU32(p + 8) & 1u) != 0;
+  const uint64_t wall_us = GetU64(p + 12);
+  const uint64_t digest = GetU64(p + 20);
+  const uint32_t detail_len = GetU32(p + 28);
+  if (detail_len != payload_len - kFixedPayload) {
+    return WireDecodeStatus::kMalformed;
+  }
+  out->status = status;
+  out->signal = signal;
+  out->timed_out = timed_out;
+  out->wall_us = wall_us;
+  out->digest = digest;
+  out->detail.assign(reinterpret_cast<const char*>(p + 32), detail_len);
+  *consumed = kWireHeaderBytes + payload_len;
+  return WireDecodeStatus::kOk;
+}
+
+}  // namespace mumak

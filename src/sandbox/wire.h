@@ -1,0 +1,60 @@
+// Length-prefixed result protocol between a sandbox child and the parent.
+//
+// A verdict message is a fixed header (magic + payload length) followed by
+// the payload: recovery status, terminating signal (always 0 from the
+// child; filled in by the parent on abnormal death), timeout flag, oracle
+// wall time, crash-image digest, and a length-prefixed detail string. The
+// explicit encoding (rather than a raw struct copy) keeps the framing
+// testable: the parent must survive truncated, oversized, and corrupted
+// messages from a child that crashed mid-write.
+
+#ifndef MUMAK_SRC_SANDBOX_WIRE_H_
+#define MUMAK_SRC_SANDBOX_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mumak {
+
+// "MMK1" — protocol version baked into the magic.
+inline constexpr uint32_t kWireMagic = 0x4D4D4B31;
+// Reject payloads claiming more than this (a corrupted length must not
+// make the parent allocate or wait for gigabytes).
+inline constexpr size_t kWireMaxPayload = 64 * 1024;
+// Detail strings are truncated to this on encode so a verdict message
+// always fits comfortably inside a pipe write.
+inline constexpr size_t kWireMaxDetail = 4096;
+
+struct WireVerdict {
+  uint32_t status = 0;  // RecoveryStatus as u32
+  int32_t signal = 0;
+  bool timed_out = false;
+  uint64_t wall_us = 0;
+  uint64_t digest = 0;
+  std::string detail;
+};
+
+enum class WireDecodeStatus {
+  kOk,
+  kNeedMoreData,  // truncated: fewer bytes than the frame declares
+  kBadMagic,
+  kOversized,  // declared payload exceeds kWireMaxPayload
+  kMalformed,  // internal lengths inconsistent with the payload
+};
+
+// Serializes a verdict (detail truncated to kWireMaxDetail).
+std::vector<uint8_t> EncodeVerdict(const WireVerdict& verdict);
+
+// Decodes one message from `data`. On kOk, `*out` holds the verdict and
+// `*consumed` the frame size. Other statuses leave `*out` untouched.
+WireDecodeStatus DecodeVerdict(const uint8_t* data, size_t size,
+                               WireVerdict* out, size_t* consumed);
+
+// Size of the fixed frame header (magic + payload length).
+inline constexpr size_t kWireHeaderBytes = 8;
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_SANDBOX_WIRE_H_

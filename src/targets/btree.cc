@@ -536,6 +536,34 @@ void BtreeTarget::Recover(PmPool& pool) {
   MUMAK_FRAME();
   // Library recovery: undo log replay + heap validation.
   OpenObjPool(pool);
+  // Seeded recovery-hazard bugs (sandbox corpus): deliberately broken
+  // recovery paths that fire on mid-transaction crash images — the class
+  // of bug the recovery-oracle sandbox exists to report. NEVER run these
+  // in-process: the first segfaults, the second never returns.
+  if (obj().recovered_in_flight_tx()) {
+    if (BugEnabled("btree.recovery_wild_deref")) {
+      // Models recovery trusting a torn pointer: a sub-page "pointer"
+      // derived from rolled-back pool bytes is dereferenced directly.
+      // Addresses below the first page are never mapped (mmap_min_addr),
+      // so this reliably dies on SIGSEGV.
+      const uint64_t torn = obj().root() & 0xfffull;
+      volatile const uint64_t* wild =
+          reinterpret_cast<const uint64_t*>(torn);
+      (void)*wild;
+    }
+    if (BugEnabled("btree.recovery_spin")) {
+      // Models recovery chasing a corrupted next-pointer cycle: the exit
+      // condition can never hold, so the walk spins forever. volatile
+      // keeps the loop observable (not removable as UB-free dead code).
+      volatile uint64_t cursor = 1;
+      while (cursor != 0) {
+        cursor = cursor * 6364136223846793005ull + 1442695040888963407ull;
+        if (cursor == 0) {
+          cursor = 1;  // the "cycle": zero is unreachable
+        }
+      }
+    }
+  }
   // Application recovery: structural walk cross-checked against the
   // persisted item counter.
   const uint64_t root_obj = obj().root();

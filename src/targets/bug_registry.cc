@@ -419,6 +419,27 @@ const std::vector<SeededBug>& AllSeededBugs() {
   return corpus;
 }
 
+const std::vector<SeededBug>& RecoveryHazardBugs() {
+  // Kept out of AllSeededBugs(): anything iterating the main corpus runs
+  // the bugs in-process (targets_test does exactly that), and these two
+  // would segfault / hang the harness. They are only safe under the
+  // recovery-oracle sandbox.
+  static const std::vector<SeededBug> hazards = [] {
+    std::vector<SeededBug> bugs;
+    bugs.push_back({"btree.recovery_wild_deref", "btree",
+                    BugClass::kAtomicity,
+                    "recovery dereferences a torn sub-page pointer on "
+                    "mid-transaction crash images (SIGSEGV)",
+                    /*beyond_program_order=*/false});
+    bugs.push_back({"btree.recovery_spin", "btree", BugClass::kAtomicity,
+                    "recovery chases a corrupted next-pointer cycle and "
+                    "never terminates on mid-transaction crash images",
+                    /*beyond_program_order=*/false});
+    return bugs;
+  }();
+  return hazards;
+}
+
 std::vector<SeededBug> SeededBugsForTarget(std::string_view target) {
   std::vector<SeededBug> out;
   for (const SeededBug& bug : AllSeededBugs()) {

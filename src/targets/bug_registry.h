@@ -52,6 +52,14 @@ struct SeededBug {
 // The full corpus.
 const std::vector<SeededBug>& AllSeededBugs();
 
+// Recovery-hazard bugs: deliberately broken *recovery* paths (a torn
+// pointer dereference that segfaults; a corrupted-cycle walk that never
+// terminates). Deliberately NOT part of AllSeededBugs(): the coverage
+// corpus is exercised in-process by tests and by default campaigns, while
+// these kill or hang any process that runs them — they require the
+// recovery-oracle sandbox (--sandbox fork|forkserver).
+const std::vector<SeededBug>& RecoveryHazardBugs();
+
 // Corpus filtered by target.
 std::vector<SeededBug> SeededBugsForTarget(std::string_view target);
 

@@ -23,6 +23,9 @@ enum class RecoveryStatus {
   kOk = 0,             // recovery brought the pool to a consistent state
   kUnrecoverable = 1,  // recovery flagged the state as unrecoverable
   kCrashed = 2,        // recovery itself crashed (segfault analogue)
+  kTimeout = 3,        // recovery hung past its deadline (sandboxed runs
+                       // only: the parent killed the child, or the child
+                       // hit its CPU cap)
 };
 
 struct RecoveryResult {

@@ -10,6 +10,7 @@
 // Exit code: 0 when no bugs were found, 1 when bugs were found, 2 on usage
 // errors.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +58,24 @@ void PrintUsage() {
       "                        workload per failure point; 'replay'\n"
       "                        synthesizes crash images from the profiled\n"
       "                        trace (default reexec)\n"
+      "\n"
+      "recovery sandbox:\n"
+      "  --sandbox <mode>      where the recovery oracle runs:\n"
+      "                        'inproc' (default) in this process;\n"
+      "                        'fork' a fresh child per check;\n"
+      "                        'forkserver' a pool of long-lived workers\n"
+      "                        (one per --jobs slot, recycled periodically).\n"
+      "                        Sandboxed checks turn recovery segfaults and\n"
+      "                        hangs into reported bugs.\n"
+      "  --recovery-timeout-ms <n>\n"
+      "                        hard deadline per sandboxed check; a hang is\n"
+      "                        killed and reported as recovery-timeout\n"
+      "                        (default 2000)\n"
+      "  --sandbox-mem-mb <n>  RLIMIT_AS cap for sandbox children\n"
+      "                        (0 = uncapped, the default)\n"
+      "  --checks-per-fork <n> recycle a fork-server worker after n checks\n"
+      "                        (default 256; 0 = never)\n"
+      "\n"
       "  --save-trace <file>   write the PM access trace (binary)\n"
       "  --trace-payloads      saved trace also records the bytes each\n"
       "                        store wrote (version-2 format)\n"
@@ -74,10 +93,22 @@ void PrintUsage() {
       "  --list-bugs           seeded bug corpus (optionally --target)\n");
 }
 
+// Strict non-negative integer parse: digits only (strtoull alone would
+// silently accept "-1" as a huge positive number), no trailing junk, and
+// overflow rejected.
 bool ParseUint(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+  }
+  errno = 0;
   char* end = nullptr;
   *out = std::strtoull(text, &end, 10);
-  return end != text && *end == '\0';
+  return errno != ERANGE && end != text && *end == '\0';
 }
 
 }  // namespace
@@ -101,8 +132,20 @@ int main(int argc, char** argv) {
   bool json_output = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Both "--flag value" and "--flag=value" are accepted.
+    std::optional<std::string> inline_value;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     auto next = [&](const char* what) -> const char* {
+      if (inline_value.has_value()) {
+        return inline_value->c_str();
+      }
       if (i + 1 >= argc) {
         std::fprintf(stderr, "mumak: %s requires a value\n", what);
         std::exit(2);
@@ -115,18 +158,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--target") {
       target_name = next("--target");
     } else if (arg == "--ops") {
-      if (!ParseUint(next("--ops"), &spec.operations)) {
-        std::fprintf(stderr, "mumak: bad --ops\n");
+      const char* value = next("--ops");
+      if (!ParseUint(value, &spec.operations)) {
+        std::fprintf(stderr,
+                     "mumak: bad --ops value '%s' (expected a non-negative "
+                     "integer)\n",
+                     value);
         return 2;
       }
     } else if (arg == "--keys") {
-      if (!ParseUint(next("--keys"), &spec.key_space)) {
-        std::fprintf(stderr, "mumak: bad --keys\n");
+      const char* value = next("--keys");
+      if (!ParseUint(value, &spec.key_space)) {
+        std::fprintf(stderr,
+                     "mumak: bad --keys value '%s' (expected a non-negative "
+                     "integer)\n",
+                     value);
         return 2;
       }
     } else if (arg == "--seed") {
-      if (!ParseUint(next("--seed"), &spec.seed)) {
-        std::fprintf(stderr, "mumak: bad --seed\n");
+      const char* value = next("--seed");
+      if (!ParseUint(value, &spec.seed)) {
+        std::fprintf(stderr,
+                     "mumak: bad --seed value '%s' (expected a non-negative "
+                     "integer)\n",
+                     value);
         return 2;
       }
     } else if (arg == "--mix") {
@@ -142,8 +197,12 @@ int main(int argc, char** argv) {
       spec.distribution = KeyDistribution::kZipfian;
     } else if (arg == "--batched") {
       uint64_t batch = 0;
-      if (!ParseUint(next("--batched"), &batch) || batch == 0) {
-        std::fprintf(stderr, "mumak: bad --batched\n");
+      const char* value = next("--batched");
+      if (!ParseUint(value, &batch) || batch == 0) {
+        std::fprintf(stderr,
+                     "mumak: bad --batched value '%s' (expected a positive "
+                     "integer)\n",
+                     value);
         return 2;
       }
       spec.single_put_per_tx = false;
@@ -179,18 +238,74 @@ int main(int argc, char** argv) {
       mumak_options.eadr_mode = true;
     } else if (arg == "--budget") {
       uint64_t seconds = 0;
-      if (!ParseUint(next("--budget"), &seconds)) {
-        std::fprintf(stderr, "mumak: bad --budget\n");
+      const char* value = next("--budget");
+      if (!ParseUint(value, &seconds)) {
+        std::fprintf(stderr,
+                     "mumak: bad --budget value '%s' (expected seconds as a "
+                     "non-negative integer)\n",
+                     value);
         return 2;
       }
       mumak_options.time_budget_s = static_cast<double>(seconds);
     } else if (arg == "--jobs") {
       uint64_t jobs = 0;
-      if (!ParseUint(next("--jobs"), &jobs) || jobs == 0) {
-        std::fprintf(stderr, "mumak: bad --jobs\n");
+      const char* value = next("--jobs");
+      if (!ParseUint(value, &jobs) || jobs == 0) {
+        std::fprintf(stderr,
+                     "mumak: bad --jobs value '%s' (expected a positive "
+                     "integer)\n",
+                     value);
         return 2;
       }
       mumak_options.injection_workers = static_cast<uint32_t>(jobs);
+    } else if (arg == "--sandbox") {
+      const std::string mode = next("--sandbox");
+      if (mode == "inproc" || mode == "in-process" || mode == "none") {
+        mumak_options.sandbox.policy = SandboxPolicy::kInProcess;
+      } else if (mode == "fork") {
+        mumak_options.sandbox.policy = SandboxPolicy::kForkPerCheck;
+      } else if (mode == "forkserver" || mode == "fork-server") {
+        mumak_options.sandbox.policy = SandboxPolicy::kForkServer;
+      } else {
+        std::fprintf(stderr,
+                     "mumak: bad --sandbox value '%s' "
+                     "(expected inproc|fork|forkserver)\n",
+                     mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--recovery-timeout-ms") {
+      uint64_t ms = 0;
+      const char* value = next("--recovery-timeout-ms");
+      if (!ParseUint(value, &ms) || ms == 0 || ms > 3600000) {
+        std::fprintf(stderr,
+                     "mumak: bad --recovery-timeout-ms value '%s' (expected "
+                     "milliseconds in [1, 3600000])\n",
+                     value);
+        return 2;
+      }
+      mumak_options.sandbox.timeout_ms = static_cast<uint32_t>(ms);
+    } else if (arg == "--sandbox-mem-mb") {
+      uint64_t mb = 0;
+      const char* value = next("--sandbox-mem-mb");
+      if (!ParseUint(value, &mb)) {
+        std::fprintf(stderr,
+                     "mumak: bad --sandbox-mem-mb value '%s' (expected a "
+                     "non-negative integer; 0 = uncapped)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.sandbox.address_space_bytes = mb << 20;
+    } else if (arg == "--checks-per-fork") {
+      uint64_t checks = 0;
+      const char* value = next("--checks-per-fork");
+      if (!ParseUint(value, &checks)) {
+        std::fprintf(stderr,
+                     "mumak: bad --checks-per-fork value '%s' (expected a "
+                     "non-negative integer; 0 = never recycle)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.sandbox.checks_per_fork = static_cast<uint32_t>(checks);
     } else if (arg == "--strategy") {
       const std::string strategy = next("--strategy");
       if (strategy == "reexec" || strategy == "re-execute") {
@@ -231,14 +346,19 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (list_bugs) {
-    for (const SeededBug& bug : AllSeededBugs()) {
-      if (!target_name.empty() && bug.target != target_name) {
-        continue;
+    auto print_bugs = [&](const std::vector<SeededBug>& bugs) {
+      for (const SeededBug& bug : bugs) {
+        if (!target_name.empty() && bug.target != target_name) {
+          continue;
+        }
+        std::printf("%-42s %-16s %s\n", bug.id.c_str(),
+                    std::string(BugClassName(bug.bug_class)).c_str(),
+                    bug.description.c_str());
       }
-      std::printf("%-42s %-16s %s\n", bug.id.c_str(),
-                  std::string(BugClassName(bug.bug_class)).c_str(),
-                  bug.description.c_str());
-    }
+    };
+    print_bugs(AllSeededBugs());
+    // Recovery-hazard bugs (safe only under --sandbox fork|forkserver).
+    print_bugs(RecoveryHazardBugs());
     return 0;
   }
   if (target_name.empty()) {
@@ -257,6 +377,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(spec.operations),
                 spec.single_put_per_tx ? "single put per transaction"
                                        : "batched transactions");
+    if (mumak_options.sandbox.policy != SandboxPolicy::kInProcess) {
+      std::printf(
+          "mumak: recovery sandbox: %s, %u ms deadline\n",
+          mumak_options.sandbox.policy == SandboxPolicy::kForkPerCheck
+              ? "fork per check"
+              : "fork-server pool",
+          mumak_options.sandbox.timeout_ms);
+    }
   }
   // Observability wiring: instantiated only when the matching flag was
   // given, so the default run keeps the uninstrumented hot path.

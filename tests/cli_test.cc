@@ -211,5 +211,71 @@ TEST(MumakCli, JsonOutputIsMachineReadable) {
   EXPECT_EQ(result.output.find("mumak: analysing"), std::string::npos);
 }
 
+TEST(MumakCli, MalformedNumericFlagsAreRejectedWithTheValue) {
+  // Each bad value must exit 2 and echo the offending token so the user
+  // can see *what* was rejected, not just which flag.
+  const struct {
+    const char* args;
+    const char* token;
+  } kCases[] = {
+      {"--jobs -1", "-1"},          {"--jobs abc", "abc"},
+      {"--jobs 4x", "4x"},          {"--ops 12x", "12x"},
+      {"--ops= --keys 4", ""},      {"--keys +7", "+7"},
+      {"--recovery-timeout-ms 0", "0"},
+      {"--recovery-timeout-ms 9999999999", "9999999999"},
+      {"--checks-per-fork nope", "nope"},
+      {"--sandbox-mem-mb 12mb", "12mb"},
+  };
+  for (const auto& c : kCases) {
+    const RunResult result =
+        RunCommand(kCli + " --target btree " + c.args);
+    EXPECT_EQ(result.exit_code, 2) << c.args << "\n" << result.output;
+    if (c.token[0] != '\0') {
+      EXPECT_NE(result.output.find(std::string("'") + c.token + "'"),
+                std::string::npos)
+          << c.args << "\n" << result.output;
+    }
+  }
+}
+
+TEST(MumakCli, UnknownSandboxPolicyIsUsageError) {
+  const RunResult result =
+      RunCommand(kCli + " --target btree --sandbox bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--sandbox"), std::string::npos);
+}
+
+TEST(MumakCli, ListBugsIncludesRecoveryHazards) {
+  const RunResult result = RunCommand(kCli + " --list-bugs --target btree");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("btree.recovery_wild_deref"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("btree.recovery_spin"), std::string::npos);
+}
+
+TEST(MumakCli, SandboxedCampaignOverASegfaultingRecoveryCompletes) {
+  // Without the sandbox this recovery path would SIGSEGV the driver
+  // itself; under --sandbox fork the campaign must finish and report the
+  // crash as a finding (exit 1 = bugs found).
+  const RunResult result = RunCommand(
+      kCli + " --target btree --ops 120 --keys 24 --strategy replay"
+             " --sandbox fork --bug btree.recovery_wild_deref"
+             " --no-trace-analysis --json");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("\"kind\": \"recovery-crash\""),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(MumakCli, FlagEqualsValueFormIsAccepted) {
+  const RunResult result = RunCommand(
+      kCli + " --target=btree --ops=80 --keys=16 --jobs=2"
+             " --sandbox=forkserver --recovery-timeout-ms=5000"
+             " --no-trace-analysis");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("fork-server pool"), std::string::npos)
+      << result.output;
+}
+
 }  // namespace
 }  // namespace mumak

@@ -19,7 +19,8 @@ Finding MakeFinding(FindingKind kind, std::string detail = "detail",
   Finding finding;
   finding.kind = kind;
   finding.source = kind == FindingKind::kRecoveryUnrecoverable ||
-                           kind == FindingKind::kRecoveryCrash
+                           kind == FindingKind::kRecoveryCrash ||
+                           kind == FindingKind::kRecoveryTimeout
                        ? FindingSource::kFaultInjection
                        : FindingSource::kTraceAnalysis;
   finding.detail = std::move(detail);
@@ -29,10 +30,10 @@ Finding MakeFinding(FindingKind kind, std::string detail = "detail",
 
 constexpr FindingKind kAllKinds[] = {
     FindingKind::kRecoveryUnrecoverable, FindingKind::kRecoveryCrash,
-    FindingKind::kUnflushedStore,        FindingKind::kTransientData,
-    FindingKind::kDirtyOverwrite,        FindingKind::kRedundantFlush,
-    FindingKind::kMultiStoreFlush,       FindingKind::kRedundantFence,
-    FindingKind::kMultiFlushFence,
+    FindingKind::kRecoveryTimeout,       FindingKind::kUnflushedStore,
+    FindingKind::kTransientData,         FindingKind::kDirtyOverwrite,
+    FindingKind::kRedundantFlush,        FindingKind::kMultiStoreFlush,
+    FindingKind::kRedundantFence,        FindingKind::kMultiFlushFence,
 };
 
 class FindingKindRow : public ::testing::TestWithParam<FindingKind> {};
@@ -81,6 +82,9 @@ TEST(FindingClassification, WarningSetMatchesThePaper) {
   EXPECT_TRUE(IsWarning(FindingKind::kMultiFlushFence));
   EXPECT_FALSE(IsWarning(FindingKind::kRecoveryUnrecoverable));
   EXPECT_FALSE(IsWarning(FindingKind::kRecoveryCrash));
+  // A recovery hang is a definite bug: the sandbox killed recovery at the
+  // deadline on a valid power-failure image.
+  EXPECT_FALSE(IsWarning(FindingKind::kRecoveryTimeout));
   EXPECT_FALSE(IsWarning(FindingKind::kUnflushedStore));
   EXPECT_FALSE(IsWarning(FindingKind::kRedundantFlush));
   EXPECT_FALSE(IsWarning(FindingKind::kRedundantFence));
@@ -90,6 +94,8 @@ TEST(FindingClassification, TaxonomyPinnings) {
   EXPECT_EQ(FindingBugClass(FindingKind::kUnflushedStore),
             BugClass::kDurability);
   EXPECT_EQ(FindingBugClass(FindingKind::kRecoveryUnrecoverable),
+            BugClass::kAtomicity);
+  EXPECT_EQ(FindingBugClass(FindingKind::kRecoveryTimeout),
             BugClass::kAtomicity);
   EXPECT_EQ(FindingBugClass(FindingKind::kRedundantFlush),
             BugClass::kRedundantFlush);
@@ -311,6 +317,94 @@ TEST(ReportJson, FaultInjectionSourceIsLabelled) {
   report.Add(MakeFinding(FindingKind::kRecoveryUnrecoverable));
   EXPECT_NE(report.RenderJson().find("\"source\": \"fault-injection\""),
             std::string::npos);
+}
+
+// -- Sandbox evidence fields (signal, timed_out, recovery_wall_us) ----------
+
+TEST(ReportJson, SandboxEvidenceRoundTrips) {
+  Report report;
+  Finding crash = MakeFinding(FindingKind::kRecoveryCrash,
+                              "recovery terminated by SIGSEGV");
+  crash.signal_name = "SIGSEGV";
+  crash.recovery_wall_us = 1234;
+  report.Add(std::move(crash));
+  Finding hang = MakeFinding(FindingKind::kRecoveryTimeout,
+                             "recovery timed out after 100 ms (killed)");
+  hang.signal_name = "SIGKILL";
+  hang.timed_out = true;
+  hang.recovery_wall_us = 100000;
+  report.Add(std::move(hang));
+
+  testjson::Value root;
+  ASSERT_TRUE(testjson::ParseJson(report.RenderJson(), &root));
+  const testjson::Value* findings = root.Find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->array.size(), 2u);
+
+  const testjson::Value& first = findings->array[0];
+  EXPECT_EQ(first.Find("kind")->string, "recovery-crash");
+  EXPECT_EQ(first.Find("signal")->string, "SIGSEGV");
+  EXPECT_EQ(first.Find("recovery_wall_us")->number, 1234);
+  EXPECT_EQ(first.Find("timed_out"), nullptr);  // false -> elided
+
+  const testjson::Value& second = findings->array[1];
+  EXPECT_EQ(second.Find("kind")->string, "recovery-timeout");
+  EXPECT_EQ(second.Find("severity")->string, "bug");
+  EXPECT_TRUE(second.Find("timed_out")->boolean);
+  EXPECT_EQ(second.Find("recovery_wall_us")->number, 100000);
+}
+
+TEST(ReportJson, DefaultFindingsCarryNoSandboxFields) {
+  // Backward compatibility both ways: findings from in-process runs emit
+  // exactly the pre-sandbox schema (no new keys), and consumers written
+  // against the old schema can parse new reports because all old keys are
+  // unchanged.
+  Report report;
+  report.Add(MakeFinding(FindingKind::kRecoveryCrash, "plain"));
+  const std::string json = report.RenderJson();
+  EXPECT_EQ(json.find("\"signal\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"timed_out\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"recovery_wall_us\""), std::string::npos) << json;
+
+  testjson::Value root;
+  ASSERT_TRUE(testjson::ParseJson(json, &root));
+  const testjson::Value& finding = root.Find("findings")->array.at(0);
+  for (const char* key : {"kind", "severity", "source", "bug_class",
+                          "pm_offset", "seq", "detail", "location"}) {
+    EXPECT_NE(finding.Find(key), nullptr) << key;
+  }
+}
+
+TEST(ReportJson, OldSchemaDocumentsStillParse) {
+  // A report captured before the sandbox fields existed (no signal /
+  // timed_out / recovery_wall_us keys) parses and reads as "no sandbox
+  // evidence" — the absence of a key is the documented default.
+  const std::string old_json =
+      "{\"bugs\": 1, \"warnings\": 0, \"findings\": ["
+      "{\"kind\": \"recovery-crash\", \"severity\": \"bug\", "
+      "\"source\": \"fault-injection\", \"bug_class\": \"atomicity\", "
+      "\"pm_offset\": 0, \"seq\": 7, \"detail\": \"d\", "
+      "\"location\": \"l\"}]}";
+  testjson::Value root;
+  ASSERT_TRUE(testjson::ParseJson(old_json, &root));
+  const testjson::Value& finding = root.Find("findings")->array.at(0);
+  EXPECT_EQ(finding.Find("signal"), nullptr);
+  EXPECT_EQ(finding.Find("timed_out"), nullptr);
+  EXPECT_EQ(finding.Find("recovery_wall_us"), nullptr);
+}
+
+TEST(Report, RenderShowsSandboxEvidence) {
+  Report report;
+  Finding hang = MakeFinding(FindingKind::kRecoveryTimeout,
+                             "recovery timed out after 100 ms (killed)");
+  hang.signal_name = "SIGKILL";
+  hang.timed_out = true;
+  hang.recovery_wall_us = 100000;
+  report.Add(std::move(hang));
+  const std::string rendered = report.Render();
+  EXPECT_NE(rendered.find("signal=SIGKILL"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("timed-out"), std::string::npos);
+  EXPECT_NE(rendered.find("wall=100000us"), std::string::npos);
 }
 
 }  // namespace
