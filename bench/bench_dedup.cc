@@ -1,0 +1,275 @@
+// Content-addressed verdict deduplication: wall-clock and checks-skipped
+// measurements on a flush-heavy workload (ISSUE acceptance: >= 1.5x
+// injection-phase speedup over no-dedup at --jobs 4, a warm --verdict-cache
+// second run with a near-total skip ratio, and identical unique findings
+// with dedup on and off). Emits BENCH_dedup.json.
+//
+// The workload is the dedup-friendly extreme that real PM code approaches
+// wherever it over-flushes (the "performance bug" classes of Table 3):
+// every operation persists one novel 8-byte record, then re-flushes the
+// same line several more times. Each redundant flush+fence is a failure
+// point — there was a store since the previous one — but its graceful
+// crash image is byte-identical to its predecessor's, so only the novel
+// prefix of each operation ever needs the recovery oracle.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/fault_injection.h"
+#include "src/pmdk/obj_pool.h"  // RecoveryFailure
+
+namespace mumak {
+namespace {
+
+// A minimal PM "append log with a checksum" target, built to magnify the
+// oracle-vs-dedup trade-off:
+//  - Execute persists record[count] (store+clwb+sfence), publishes it with
+//    an atomic 16-byte header write {count, checksum}, then performs
+//    kRedundantRounds re-store+clwb+sfence rounds on the same bytes.
+//  - Recover re-derives the checksum over the counted records with several
+//    full passes, so the oracle has real work to skip.
+// A seeded omission (op kBugOp updates the count but not the checksum)
+// gives the campaign genuine inconsistency windows to report.
+class FlushHeavyTarget : public Target {
+ public:
+  static constexpr uint64_t kCapacity = 2048;      // record slots
+  static constexpr uint64_t kHeaderBytes = 64;     // {count, checksum} line
+  static constexpr int kRedundantRounds = 8;       // dup failure points/op
+  static constexpr int kRecoveryPasses = 6;        // oracle work multiplier
+  static constexpr uint64_t kBugOp = 17;           // checksum not updated
+
+  std::string_view name() const override { return "flush_heavy"; }
+
+  uint64_t DefaultPoolSize() const override {
+    return kHeaderBytes + kCapacity * sizeof(uint64_t);
+  }
+
+  void Setup(PmPool& pool) override {
+    const uint64_t header[2] = {0, 0};
+    pool.Write(0, header, sizeof(header));
+    pool.Clwb(0);
+    pool.Sfence();
+  }
+
+  void Execute(PmPool& pool, const Op& op) override {
+    (void)op;
+    if (count_ >= kCapacity) {
+      return;
+    }
+    // Unique failure points are identified by flush/fence *site* (shadow
+    // call stack + instruction address), and each site is injected once.
+    // A loop reusing one clwb site would collapse to a single failure
+    // point no matter the operation count, so every flush here carries a
+    // distinct synthetic site — modelling a large application where each
+    // of these persists happens at its own source location.
+    const auto site = [this](uint64_t slot) {
+      return reinterpret_cast<const void*>(
+          uintptr_t{0x1000000} + executed_ * 16 + slot);
+    };
+    const uint64_t value = Mix(count_);
+    const uint64_t offset = kHeaderBytes + count_ * sizeof(uint64_t);
+    // The novel store: one new record, persisted.
+    pool.Write(offset, &value, sizeof(value));
+    pool.ClwbFrom(offset, site(0));
+    pool.SfenceFrom(site(1));
+    // Publish it atomically (a single <=16-byte store event).
+    ++count_;
+    if (executed_ != kBugOp) {
+      checksum_ ^= Mix(value);
+    }
+    const uint64_t header[2] = {count_, checksum_};
+    pool.Write(0, header, sizeof(header));
+    pool.ClwbFrom(0, site(2));
+    pool.SfenceFrom(site(3));
+    // Redundant persistence: same bytes, stored and flushed again. Every
+    // round mints a failure point whose graceful image equals the last.
+    for (int round = 0; round < kRedundantRounds; ++round) {
+      pool.Write(offset, &value, sizeof(value));
+      pool.ClwbFrom(offset, site(4 + static_cast<uint64_t>(round)));
+      pool.SfenceFrom(site(15));
+    }
+    ++executed_;
+  }
+
+  void Finish(PmPool& pool) override { (void)pool; }
+
+  void Recover(PmPool& pool) override {
+    uint64_t header[2] = {0, 0};
+    pool.Read(0, header, sizeof(header));
+    const uint64_t count = header[0];
+    if (count > kCapacity) {
+      throw RecoveryFailure("record count exceeds capacity");
+    }
+    uint64_t checksum = 0;
+    for (int pass = 0; pass < kRecoveryPasses; ++pass) {
+      checksum = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t value = 0;
+        pool.Read(kHeaderBytes + i * sizeof(uint64_t), &value,
+                  sizeof(value));
+        checksum ^= Mix(value);
+      }
+    }
+    if (checksum != header[1]) {
+      throw RecoveryFailure("checksum mismatch over " +
+                            std::to_string(count) + " records");
+    }
+  }
+
+  uint64_t CodeSizeStatements() const override { return 40; }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  uint64_t count_ = 0;      // records persisted
+  uint64_t executed_ = 0;   // operations seen (for the seeded omission)
+  uint64_t checksum_ = 0;
+};
+
+struct Row {
+  std::string config;
+  uint64_t injections = 0;
+  uint64_t distinct_images = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t cache_loaded = 0;
+  uint64_t bugs = 0;
+  double inject_s = 0;
+  std::set<std::string> bug_details;
+};
+
+Row RunOne(const std::string& config, const WorkloadSpec& spec,
+           bool image_dedup, const std::string& cache_path) {
+  FaultInjectionOptions fi;
+  fi.strategy = InjectionStrategy::kReplay;
+  fi.workers = 4;
+  fi.image_dedup = image_dedup;
+  fi.verdict_cache_path = cache_path;
+  FaultInjectionEngine engine([] { return std::make_unique<FlushHeavyTarget>(); },
+                              spec, fi);
+  FailurePointTree tree = engine.Profile();
+  FaultInjectionStats stats;
+  const Report report = engine.InjectAll(&tree, &stats);
+
+  Row row;
+  row.config = config;
+  row.injections = stats.injections;
+  row.distinct_images = stats.distinct_images;
+  row.dedup_hits = stats.dedup_hits;
+  row.cache_loaded = stats.cache_loaded;
+  row.bugs = report.BugCount();
+  row.inject_s = stats.elapsed_s;
+  for (const Finding& f : report.findings()) {
+    row.bug_details.insert(f.detail);
+  }
+  return row;
+}
+
+void EmitJson(const std::vector<Row>& rows, double speedup,
+              double warm_skip_ratio, bool reports_match) {
+  std::ofstream out("BENCH_dedup.json", std::ios::trunc);
+  out << "{\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"config\": \"%s\", \"injections\": %llu, "
+        "\"distinct_images\": %llu, \"dedup_hits\": %llu, "
+        "\"cache_loaded\": %llu, \"bugs\": %llu, \"inject_s\": %.4f}%s\n",
+        r.config.c_str(), static_cast<unsigned long long>(r.injections),
+        static_cast<unsigned long long>(r.distinct_images),
+        static_cast<unsigned long long>(r.dedup_hits),
+        static_cast<unsigned long long>(r.cache_loaded),
+        static_cast<unsigned long long>(r.bugs), r.inject_s,
+        i + 1 < rows.size() ? "," : "");
+    out << buffer;
+  }
+  char tail[200];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"speedup_jobs4\": %.2f,\n"
+                "  \"warm_skip_ratio\": %.4f,\n"
+                "  \"unique_bug_reports_match\": %s\n}\n",
+                speedup, warm_skip_ratio, reports_match ? "true" : "false");
+  out << tail;
+}
+
+}  // namespace
+}  // namespace mumak
+
+int main() {
+  using namespace mumak;
+  WorkloadSpec spec;
+  spec.operations = 360;
+  spec.key_space = 360;
+  spec.put_pct = 100;
+  spec.get_pct = 0;
+  spec.delete_pct = 0;
+
+  const std::string cache_path = "BENCH_dedup.cache.tmp";
+  std::remove(cache_path.c_str());
+
+  std::printf("=== image-dedup speedup (flush-heavy log, --jobs 4) ===\n");
+  std::printf("%-12s %9s %9s %9s %8s %6s %10s\n", "config", "inject",
+              "distinct", "dedup", "loaded", "bugs", "inject(s)");
+  std::vector<Row> rows;
+  auto run = [&](const std::string& config, bool dedup,
+                 const std::string& path) {
+    const Row row = RunOne(config, spec, dedup, path);
+    std::printf("%-12s %9llu %9llu %9llu %8llu %6llu %10.4f\n",
+                row.config.c_str(),
+                static_cast<unsigned long long>(row.injections),
+                static_cast<unsigned long long>(row.distinct_images),
+                static_cast<unsigned long long>(row.dedup_hits),
+                static_cast<unsigned long long>(row.cache_loaded),
+                static_cast<unsigned long long>(row.bugs), row.inject_s);
+    std::fflush(stdout);
+    rows.push_back(row);
+    return rows.back();
+  };
+
+  const Row off = run("dedup-off", false, "");
+  const Row on = run("dedup-on", true, "");
+  const Row cold = run("cache-cold", true, cache_path);
+  const Row warm = run("cache-warm", true, cache_path);
+  std::remove(cache_path.c_str());
+
+  const double speedup = on.inject_s > 0 ? off.inject_s / on.inject_s : 0;
+  const double warm_skip =
+      warm.injections > 0
+          ? static_cast<double>(warm.dedup_hits) / warm.injections
+          : 0;
+  const bool reports_match =
+      off.bug_details == on.bug_details && off.bug_details == cold.bug_details;
+
+  std::printf("\ndedup-on vs dedup-off at --jobs 4: %.2fx wall clock "
+              "(acceptance: >= 1.5x)\n",
+              speedup);
+  std::printf("checks skipped: %llu of %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(on.dedup_hits),
+              static_cast<unsigned long long>(on.injections),
+              on.injections > 0
+                  ? 100.0 * static_cast<double>(on.dedup_hits) /
+                        static_cast<double>(on.injections)
+                  : 0.0);
+  std::printf("warm --verdict-cache run: %.1f%% of verdicts from cache "
+              "(acceptance: near-total)\n",
+              100.0 * warm_skip);
+  std::printf("unique-bug reports match with dedup on/off: %s\n",
+              reports_match ? "yes" : "NO — dedup changed the findings");
+  EmitJson(rows, speedup, warm_skip, reports_match);
+  std::printf("BENCH_dedup.json written\n");
+  return reports_match && speedup >= 1.5 && warm_skip >= 0.95 ? 0 : 1;
+}

@@ -4,14 +4,21 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "src/core/verdict_cache.h"
+#include "src/pmem/image_digest.h"
 #include "src/pmem/replay_cursor.h"
 #include "src/sandbox/child.h"
 
@@ -51,12 +58,16 @@ struct InjectionMetrics {
   Counter* attempted = nullptr;
   Counter* crashed = nullptr;
   Counter* deduplicated = nullptr;
+  Counter* dedup_hits = nullptr;
+  Counter* distinct_images = nullptr;
+  Counter* dedup_collisions = nullptr;
   Counter* recovery_ok = nullptr;
   Counter* recovery_unrecoverable = nullptr;
   Counter* recovery_crashed = nullptr;
   Counter* recovery_timeout = nullptr;
   Histogram* run_us = nullptr;
   Histogram* recovery_us = nullptr;
+  Histogram* digest_us = nullptr;
 
   explicit InjectionMetrics(MetricsRegistry* registry) {
     if (registry == nullptr) {
@@ -65,12 +76,16 @@ struct InjectionMetrics {
     attempted = registry->GetCounter("inject.attempted");
     crashed = registry->GetCounter("inject.crashed");
     deduplicated = registry->GetCounter("inject.deduplicated");
+    dedup_hits = registry->GetCounter("inject.image_dedup_hits");
+    distinct_images = registry->GetCounter("inject.distinct_images");
+    dedup_collisions = registry->GetCounter("inject.dedup_collisions");
     recovery_ok = registry->GetCounter("recovery.ok");
     recovery_unrecoverable = registry->GetCounter("recovery.unrecoverable");
     recovery_crashed = registry->GetCounter("recovery.crashed");
     recovery_timeout = registry->GetCounter("recovery.timeout");
     run_us = registry->GetHistogram("inject.run_us");
     recovery_us = registry->GetHistogram("recovery.run_us");
+    digest_us = registry->GetHistogram("digest.compute_us");
   }
 
   void CountAttempt() {
@@ -109,6 +124,26 @@ struct InjectionMetrics {
       recovery_us->Observe(us);
     }
   }
+  void CountDedupHit() {
+    if (dedup_hits != nullptr) {
+      dedup_hits->Increment();
+    }
+  }
+  void CountDistinctImage() {
+    if (distinct_images != nullptr) {
+      distinct_images->Increment();
+    }
+  }
+  void CountDedupCollision() {
+    if (dedup_collisions != nullptr) {
+      dedup_collisions->Increment();
+    }
+  }
+  void ObserveDigest(uint64_t us) {
+    if (digest_us != nullptr) {
+      digest_us->Observe(us);
+    }
+  }
 };
 
 // Per-worker injection throughput ("inject.worker.<i>.injections").
@@ -128,6 +163,9 @@ struct OracleOutcome {
   std::string signal_name;
   bool timed_out = false;
   uint64_t wall_us = 0;
+  // Image-dedup provenance (see Finding::dedup_of); empty for verdicts the
+  // oracle produced directly.
+  std::string dedup_of;
 };
 
 OracleOutcome OutcomeFromVerdict(const SandboxVerdict& verdict) {
@@ -184,8 +222,135 @@ Finding MakeOracleFinding(const OracleOutcome& outcome) {
   finding.signal_name = outcome.signal_name;
   finding.timed_out = outcome.timed_out;
   finding.recovery_wall_us = outcome.wall_us;
+  finding.dedup_of = outcome.dedup_of;
   return finding;
 }
+
+// Reconstructs an oracle outcome from a cached verdict. Graceful-image
+// equality implies verdict equality (recovery is deterministic on the image
+// bytes), so the cached entry stands in for an oracle run; the provenance
+// string names the image's content digest and the failure point whose check
+// produced the verdict (possibly in a previous run, via --verdict-cache).
+OracleOutcome OutcomeFromCache(const VerdictCacheEntry& entry,
+                               const ImageDigest& digest) {
+  OracleOutcome out;
+  out.result.status = static_cast<RecoveryStatus>(entry.status);
+  out.result.detail = entry.detail;
+  out.signal_name = entry.signal_name;
+  out.timed_out = entry.timed_out;
+  out.wall_us = entry.recovery_wall_us;
+  out.dedup_of = "image " + digest.Hex() + " first checked at seq " +
+                 std::to_string(entry.first_seq);
+  return out;
+}
+
+VerdictCacheEntry EntryFromOutcome(const OracleOutcome& outcome,
+                                   uint64_t seq) {
+  VerdictCacheEntry entry;
+  entry.status = static_cast<uint32_t>(outcome.result.status);
+  entry.timed_out = outcome.timed_out;
+  entry.recovery_wall_us = outcome.wall_us;
+  entry.first_seq = seq;
+  entry.detail = outcome.result.detail;
+  entry.signal_name = outcome.signal_name;
+  return entry;
+}
+
+// One cache probe for one crash image, carried from the digest lookup to
+// the post-oracle insert. `hit` means the verdict was attributed without
+// running recovery; `insert` means the oracle's verdict should be committed
+// under `digest` afterwards (a collision — verify mode, digest equal but
+// bytes not — sets neither, so the oracle runs and nothing is cached).
+struct DedupProbe {
+  bool hit = false;
+  bool insert = false;
+  ImageDigest digest;
+  VerdictCacheEntry cached;
+  // Verify mode retains the image bytes for the insert (the oracle may
+  // consume or mutate the buffer it is handed).
+  std::vector<uint8_t> verify_bytes;
+};
+
+// Digest + lookup. `digest_fn` supplies the digest: the replay path reads
+// the cursor's incrementally-maintained digest (O(lines dirtied)); the
+// re-execute paths hash the full image (one scan, still far below an
+// oracle run).
+template <typename DigestFn>
+DedupProbe ProbeCache(VerdictCache* cache, InjectionMetrics& im,
+                      const uint8_t* image, size_t size,
+                      DigestFn&& digest_fn) {
+  DedupProbe probe;
+  if (cache == nullptr) {
+    return probe;  // dedup off: run the oracle, cache nothing
+  }
+  const auto digest_start = std::chrono::steady_clock::now();
+  probe.digest = digest_fn();
+  im.ObserveDigest(Micros(digest_start, std::chrono::steady_clock::now()));
+  switch (cache->Lookup(probe.digest, image, size, &probe.cached)) {
+    case VerdictCache::Outcome::kHit:
+      probe.hit = true;
+      im.CountDedupHit();
+      break;
+    case VerdictCache::Outcome::kMiss:
+      probe.insert = true;
+      if (cache->verify()) {
+        probe.verify_bytes.assign(image, image + size);
+      }
+      break;
+    case VerdictCache::Outcome::kCollision:
+      im.CountDedupCollision();
+      break;
+  }
+  return probe;
+}
+
+void CommitProbe(VerdictCache* cache, InjectionMetrics& im,
+                 const DedupProbe& probe, const OracleOutcome& outcome,
+                 uint64_t seq) {
+  if (cache == nullptr || !probe.insert) {
+    return;
+  }
+  cache->Insert(probe.digest, EntryFromOutcome(outcome, seq),
+                probe.verify_bytes.empty() ? nullptr
+                                           : probe.verify_bytes.data(),
+                probe.verify_bytes.size());
+  im.CountDistinctImage();
+}
+
+// Order-sensitive fold of the profiled PM event stream — the persistent
+// verdict cache's staleness key. Any change to the workload's persistent
+// behaviour (event kinds, placement, sizes, written bytes, pool size)
+// changes the fingerprint and invalidates the on-disk cache; incidental
+// changes (binary layout, site ids, timing) do not.
+class TraceFingerprintSink : public EventSink {
+ public:
+  void OnEvent(const PmEvent& event) override {
+    hash_ = DigestMix64(hash_ ^ (static_cast<uint64_t>(event.kind) |
+                                 (uint64_t{event.size} << 8)));
+    hash_ = DigestMix64(hash_ ^ event.offset);
+    if (event.has_payload()) {
+      size_t at = 0;
+      while (at + sizeof(uint64_t) <= event.size) {
+        uint64_t word = 0;
+        std::memcpy(&word, event.payload + at, sizeof(word));
+        hash_ = DigestMix64(hash_ ^ word);
+        at += sizeof(word);
+      }
+      if (at < event.size) {
+        uint64_t word = 0;
+        std::memcpy(&word, event.payload + at, event.size - at);
+        hash_ = DigestMix64(hash_ ^ word);
+      }
+    }
+  }
+
+  uint64_t Finish(size_t pool_size) const {
+    return DigestMix64(hash_ ^ pool_size);
+  }
+
+ private:
+  uint64_t hash_ = 0x5851f42d4c957f2dull;
+};
 
 }  // namespace
 
@@ -295,6 +460,14 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
     replay.emplace();
     pool.hub().AddSink(&*replay);
   }
+  // Persistent verdict cache: fingerprint the event stream while it is
+  // being produced (the staleness key for --verdict-cache).
+  fingerprint_ready_ = false;
+  std::optional<TraceFingerprintSink> fingerprint;
+  if (!options_.verdict_cache_path.empty()) {
+    fingerprint.emplace();
+    pool.hub().AddSink(&*fingerprint);
+  }
   ScopedSink attach_sink(pool.hub(), &sink);
   if (trace != nullptr) {
     pool.hub().AddSink(trace);
@@ -309,6 +482,12 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
     profiled_pool_size_ = pool.size();
     replay_ready_ = true;
     span.AddArg("replay_trace_bytes", replay_trace_.FootprintBytes());
+  }
+  if (fingerprint.has_value()) {
+    pool.hub().RemoveSink(&*fingerprint);
+    trace_fingerprint_ = fingerprint->Finish(pool.size());
+    fingerprint_ready_ = true;
+    span.AddArg("trace_fingerprint", trace_fingerprint_);
   }
   if (options_.metrics != nullptr) {
     options_.metrics->GetGauge("fpt.failure_points")
@@ -325,6 +504,31 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
                                        FaultInjectionStats* stats) {
   const bool replay =
       options_.strategy == InjectionStrategy::kReplay && replay_ready_;
+  // Content-addressed verdict cache, shared by every injection path. The
+  // persistent file is loaded up front (trace-fingerprint-keyed; a stale or
+  // corrupt file degrades to an empty cache with a warning) and saved after
+  // the campaign.
+  std::optional<VerdictCache> cache_storage;
+  VerdictCache* cache = nullptr;
+  if (options_.image_dedup) {
+    cache_storage.emplace(options_.verify_dedup);
+    cache = &*cache_storage;
+    if (!options_.verdict_cache_path.empty()) {
+      if (!fingerprint_ready_) {
+        std::fprintf(stderr,
+                     "mumak: --verdict-cache: no trace fingerprint recorded "
+                     "(Profile() did not run on this engine); starting with "
+                     "an empty cache and skipping the save\n");
+      } else {
+        std::string warning;
+        cache->Load(options_.verdict_cache_path, trace_fingerprint_,
+                    &warning);
+        if (!warning.empty()) {
+          std::fprintf(stderr, "mumak: verdict cache: %s\n", warning.c_str());
+        }
+      }
+    }
+  }
   // One sandbox per campaign, built here while the process is still
   // single-threaded (the fork-server pool forks its initial workers in the
   // constructor). Slots map 1:1 onto injection workers.
@@ -340,18 +544,40 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
     sandbox.emplace(factory_, image_bytes, slots, sandbox_options);
   }
   RecoverySandbox* sandbox_ptr = sandbox.has_value() ? &*sandbox : nullptr;
-  if (replay) {
-    return InjectAllReplay(tree, stats, sandbox_ptr);
+  Report report =
+      replay ? InjectAllReplay(tree, stats, sandbox_ptr, cache)
+      : options_.workers > 1
+          ? InjectAllParallel(tree, stats, sandbox_ptr, cache)
+          : InjectAllSerial(tree, stats, sandbox_ptr, cache);
+  if (cache != nullptr) {
+    stats->dedup_hits = cache->hits();
+    stats->dedup_collisions = cache->collisions();
+    stats->cache_loaded = cache->loaded();
+    // Entries beyond the loaded set are this campaign's inserts — images
+    // whose oracle verdict was computed fresh.
+    stats->distinct_images = cache->size() - cache->loaded();
+    if (!options_.verdict_cache_path.empty() && fingerprint_ready_) {
+      std::string error;
+      if (cache->Save(options_.verdict_cache_path, trace_fingerprint_,
+                      &error)) {
+        stats->cache_saved = cache->size();
+      } else {
+        std::fprintf(stderr, "mumak: verdict cache: %s\n", error.c_str());
+      }
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetGauge("verdict_cache.entries")->Set(cache->size());
+      options_.metrics->GetGauge("verdict_cache.loaded")
+          ->Set(cache->loaded());
+    }
   }
-  if (options_.workers > 1) {
-    return InjectAllParallel(tree, stats, sandbox_ptr);
-  }
-  return InjectAllSerial(tree, stats, sandbox_ptr);
+  return report;
 }
 
 Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
                                              FaultInjectionStats* stats,
-                                             RecoverySandbox* sandbox) {
+                                             RecoverySandbox* sandbox,
+                                             VerdictCache* cache) {
   const auto start = std::chrono::steady_clock::now();
   Report report;
   // Unique bugs only (Table 3): identical oracle outcomes from different
@@ -410,20 +636,36 @@ Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
     // respected (§4.1). Recovery runs uninstrumented on a fresh pool —
     // in-process or confined to a sandbox child per options_.sandbox.
     OracleOutcome outcome;
+    bool from_cache = false;
     {
       const auto recovery_start = std::chrono::steady_clock::now();
       ScopedSpan recovery_span(options_.tracer, "recovery", "recovery");
       std::vector<uint8_t> image = pool.GracefulImage();
-      const uint8_t* data = image.data();
-      const size_t size = image.size();
-      outcome = RunOracle(sandbox, 0, factory_, data, size,
-                          std::move(image));
+      const DedupProbe probe =
+          ProbeCache(cache, im, image.data(), image.size(), [&] {
+            return ComputeContentDigest(image.data(), image.size());
+          });
+      if (probe.hit) {
+        from_cache = true;
+        outcome = OutcomeFromCache(probe.cached, probe.digest);
+      } else {
+        const uint8_t* data = image.data();
+        const size_t size = image.size();
+        outcome = RunOracle(sandbox, 0, factory_, data, size,
+                            std::move(image));
+        CommitProbe(cache, im, probe, outcome, crash.seq);
+        im.ObserveRecovery(
+            Micros(recovery_start, std::chrono::steady_clock::now()));
+      }
       recovery_span.AddArg(
           "status", std::string(RecoveryStatusName(outcome.result.status)));
-      im.ObserveRecovery(
-          Micros(recovery_start, std::chrono::steady_clock::now()));
     }
-    im.CountRecovery(outcome.result.status);
+    // Cache hits skip the recovery.* counters/histogram: those instruments
+    // count actual oracle invocations (hits show up in
+    // inject.image_dedup_hits instead).
+    if (!from_cache) {
+      im.CountRecovery(outcome.result.status);
+    }
     im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
     if (!outcome.result.ok()) {
       auto it = dedup.find(outcome.result.detail);
@@ -449,7 +691,8 @@ Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
 
 Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
                                                FaultInjectionStats* stats,
-                                               RecoverySandbox* sandbox) {
+                                               RecoverySandbox* sandbox,
+                                               VerdictCache* cache) {
   const auto start = std::chrono::steady_clock::now();
   // Snapshot the work list; from here on the tree is read-only (kInjectAt
   // executions only Find), so workers can share it without locking.
@@ -533,24 +776,38 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
       run_span.AddArg("seq", crash.seq);
 
       OracleOutcome outcome;
+      bool from_cache = false;
+      DedupProbe probe;
       {
         const auto recovery_start = std::chrono::steady_clock::now();
         ScopedSpan recovery_span(options_.tracer, "recovery", "recovery",
                                  tid);
         // Each worker owns sandbox slot `worker_index`: one lane, one
-        // worker process, no cross-thread contention.
+        // worker process, no cross-thread contention. The cache itself is
+        // thread-safe; concurrent misses on the same digest at worst run
+        // the oracle twice (first insert wins).
         std::vector<uint8_t> image = pool.GracefulImage();
-        const uint8_t* data = image.data();
-        const size_t size = image.size();
-        outcome = RunOracle(sandbox, worker_index, factory_, data, size,
-                            std::move(image));
+        probe = ProbeCache(cache, im, image.data(), image.size(), [&] {
+          return ComputeContentDigest(image.data(), image.size());
+        });
+        if (probe.hit) {
+          from_cache = true;
+          outcome = OutcomeFromCache(probe.cached, probe.digest);
+        } else {
+          const uint8_t* data = image.data();
+          const size_t size = image.size();
+          outcome = RunOracle(sandbox, worker_index, factory_, data, size,
+                              std::move(image));
+          im.ObserveRecovery(
+              Micros(recovery_start, std::chrono::steady_clock::now()));
+        }
         recovery_span.AddArg(
             "status",
             std::string(RecoveryStatusName(outcome.result.status)));
-        im.ObserveRecovery(
-            Micros(recovery_start, std::chrono::steady_clock::now()));
       }
-      im.CountRecovery(outcome.result.status);
+      if (!from_cache) {
+        im.CountRecovery(outcome.result.status);
+      }
       im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
       if (!outcome.result.ok()) {
         Finding finding = MakeOracleFinding(outcome);
@@ -564,6 +821,12 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
           im.CountDeduplicated();
         }
       }
+      // Insert strictly after the finding landed in the report: a digest
+      // hit on another worker can only observe the cache entry once the
+      // originating finding exists, so its (fresh, dedup_of-free) detail is
+      // always the report-dedup winner and dedup on/off reports stay
+      // byte-identical within a run.
+      CommitProbe(cache, im, probe, outcome, crash.seq);
     }
   };
 
@@ -596,7 +859,8 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
 
 Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
                                              FaultInjectionStats* stats,
-                                             RecoverySandbox* sandbox) {
+                                             RecoverySandbox* sandbox,
+                                             VerdictCache* cache) {
   const auto start = std::chrono::steady_clock::now();
   struct ReplayPoint {
     FailurePointTree::NodeIndex node;
@@ -673,11 +937,16 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
       options_.progress->Advance();
     }
   };
-  // Bookkeeping at verdict: metrics and the deduplicated finding.
+  // Bookkeeping at verdict: metrics and the deduplicated finding. Cache
+  // hits skip the recovery.* instruments — those count actual oracle
+  // invocations (hits show up in inject.image_dedup_hits instead).
   auto record_outcome = [&](size_t i, const OracleOutcome& outcome,
-                            uint64_t run_us, uint64_t recovery_us) {
-    im.ObserveRecovery(recovery_us);
-    im.CountRecovery(outcome.result.status);
+                            uint64_t run_us, uint64_t recovery_us,
+                            bool from_cache) {
+    if (!from_cache) {
+      im.ObserveRecovery(recovery_us);
+      im.CountRecovery(outcome.result.status);
+    }
     im.ObserveRun(run_us);
     if (!outcome.result.ok()) {
       Finding finding = MakeOracleFinding(outcome);
@@ -692,9 +961,17 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
       }
     }
   };
+  // Cache-hit fast path: the point is injected (visited, counted) but no
+  // oracle runs and no slot/queue capacity is consumed.
+  auto record_hit = [&](uint32_t worker_index, size_t i,
+                        const DedupProbe& probe) {
+    note_injection(worker_index, i);
+    record_outcome(i, OutcomeFromCache(probe.cached, probe.digest), 0, 0,
+                   /*from_cache=*/true);
+  };
   auto process_point = [&](uint32_t worker_index, size_t i,
                            const uint8_t* data, size_t size,
-                           std::vector<uint8_t> owned) {
+                           std::vector<uint8_t> owned, DedupProbe probe) {
     const uint32_t tid = worker_index + 1;
     const auto run_start = std::chrono::steady_clock::now();
     ScopedSpan run_span(options_.tracer, "inject", "injection", tid);
@@ -716,7 +993,11 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     }
     record_outcome(i, outcome,
                    Micros(run_start, std::chrono::steady_clock::now()),
-                   recovery_us);
+                   recovery_us, /*from_cache=*/false);
+    // Insert strictly after record_outcome: a producer-side digest hit can
+    // only observe this entry once the originating finding exists, so the
+    // fresh (dedup_of-free) detail is always the report-dedup winner.
+    CommitProbe(cache, im, probe, outcome, points[i].seq);
   };
   auto over_budget = [&] {
     return injections.load(std::memory_order_relaxed) >=
@@ -725,7 +1006,126 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
                options_.time_budget_s;
   };
 
-  ReplayCursor cursor(replay_trace_, profiled_pool_size_);
+  // In the parallel paths a duplicate of an image whose check is still in
+  // flight cannot hit the cache yet: the verdict only lands after the
+  // oracle finishes, but the dispatcher streams images far ahead of the
+  // oracles (that is the point of the pipeline). Without this the common
+  // case — flush/fence-adjacent failure points sharing one image — would
+  // re-run the oracle every time and dedup would only fire across runs.
+  // So the dispatcher *defers* such points: they are filed under the
+  // pending digest and resolved after the pipeline drains, when the
+  // original's verdict is in the cache. Deferred points are attributed
+  // strictly after every fresh verdict is recorded, so the fresh detail is
+  // always the report-dedup winner and fresh-run reports stay byte-
+  // identical with dedup off. Verify mode keeps one shared byte copy per
+  // pending digest (the same bytes the original's Insert will store) for
+  // the defer-time and resolution-time compares.
+  struct PendingDigest {
+    std::vector<size_t> waiters;
+    std::shared_ptr<const std::vector<uint8_t>> bytes;  // verify mode only
+  };
+  std::unordered_map<ImageDigest, PendingDigest, ImageDigestHash> pending;
+  // Files point `i` under an in-flight digest. False when the digest is not
+  // pending — or, in verify mode, when the bytes differ (a forged twin
+  // must get its own oracle run, mirroring Outcome::kCollision).
+  auto defer_duplicate = [&](size_t i, const std::vector<uint8_t>& image,
+                             const ImageDigest& digest) {
+    if (cache == nullptr) {
+      return false;
+    }
+    const auto it = pending.find(digest);
+    if (it == pending.end()) {
+      return false;
+    }
+    if (cache->verify() && it->second.bytes != nullptr &&
+        (it->second.bytes->size() != image.size() ||
+         std::memcmp(it->second.bytes->data(), image.data(), image.size()) !=
+             0)) {
+      im.CountDedupCollision();
+      return false;
+    }
+    it->second.waiters.push_back(i);
+    return true;
+  };
+  // Marks a dispatched check's digest as in flight.
+  auto register_pending = [&](const DedupProbe& probe,
+                              const std::vector<uint8_t>& image) {
+    if (cache == nullptr || !probe.insert) {
+      return;
+    }
+    PendingDigest entry;
+    if (cache->verify()) {
+      entry.bytes = std::make_shared<const std::vector<uint8_t>>(image);
+    }
+    pending.emplace(probe.digest, std::move(entry));
+  };
+  // Attributes every deferred point from the (now settled) cache. Called
+  // after the pipeline drains; runs in seq order so report-dedup winners
+  // stay deterministic. A digest can still miss here if the original's
+  // dispatch failed (no verdict was ever inserted) — those points get a
+  // fresh cursor pass and a real oracle run.
+  auto resolve_deferred = [&] {
+    if (pending.empty()) {
+      return;
+    }
+    struct Deferred {
+      size_t index;
+      ImageDigest digest;
+      const std::vector<uint8_t>* bytes;
+    };
+    std::vector<Deferred> ordered;
+    for (const auto& [digest, entry] : pending) {
+      for (const size_t index : entry.waiters) {
+        ordered.push_back({index, digest, entry.bytes.get()});
+      }
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Deferred& a, const Deferred& b) {
+                return a.index < b.index;
+              });
+    std::unique_ptr<ReplayCursor> fallback;
+    for (const Deferred& d : ordered) {
+      if (over_budget()) {
+        exhausted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      DedupProbe probe;
+      probe.digest = d.digest;
+      const uint8_t* bytes = d.bytes != nullptr ? d.bytes->data() : nullptr;
+      const size_t size = d.bytes != nullptr ? d.bytes->size() : 0;
+      if (cache->Lookup(d.digest, bytes, size, &probe.cached) ==
+          VerdictCache::Outcome::kHit) {
+        probe.hit = true;
+        im.CountDedupHit();
+        record_hit(0, d.index, probe);
+        continue;
+      }
+      if (fallback == nullptr) {
+        fallback = std::make_unique<ReplayCursor>(
+            replay_trace_, profiled_pool_size_, /*track_digest=*/true);
+      }
+      const std::vector<uint8_t>& image =
+          fallback->AdvanceTo(points[d.index].seq);
+      DedupProbe fresh = ProbeCache(cache, im, image.data(), image.size(),
+                                    [&] { return fallback->Digest(); });
+      if (fresh.hit) {
+        record_hit(0, d.index, fresh);
+        continue;
+      }
+      std::vector<uint8_t> owned;
+      if (sandbox == nullptr) {
+        owned = image;
+      }
+      process_point(0, d.index, image.data(), image.size(), std::move(owned),
+                    std::move(fresh));
+    }
+  };
+
+  // The cursor maintains the image digest incrementally (O(lines dirtied)
+  // per failure point) whenever dedup is on — the cheapest digest source of
+  // any injection path.
+  ReplayCursor cursor(replay_trace_, profiled_pool_size_,
+                      /*track_digest=*/cache != nullptr);
   if (thread_count <= 1) {
     // Inline: seq-ascending processing makes the report ordering (and
     // dedup winners) identical to the serial re-execution loop. Sandboxed
@@ -738,11 +1138,18 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         break;
       }
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      DedupProbe probe = ProbeCache(cache, im, image.data(), image.size(),
+                                    [&] { return cursor.Digest(); });
+      if (probe.hit) {
+        record_hit(0, i, probe);
+        continue;
+      }
       std::vector<uint8_t> owned;
       if (sandbox == nullptr) {
         owned = image;  // PmPool::FromImage takes ownership
       }
-      process_point(0, i, image.data(), image.size(), std::move(owned));
+      process_point(0, i, image.data(), image.size(), std::move(owned),
+                    std::move(probe));
     }
   } else if (sandbox != nullptr &&
              sandbox->policy() == SandboxPolicy::kForkServer) {
@@ -760,6 +1167,10 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     struct InFlight {
       size_t index = 0;
       std::chrono::steady_clock::time_point dispatched;
+      // Pending cache insert for this check. Verify mode keeps its own
+      // image copy in the probe: recovery writes through to the slot's
+      // shared buffer, so the slot bytes are stale by collection time.
+      DedupProbe probe;
     };
     std::vector<InFlight> inflight(thread_count);
     std::deque<uint32_t> collect_order;  // slots with a dispatched check
@@ -783,13 +1194,27 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
       record_outcome(
           inflight[slot].index, outcome,
           Micros(inflight[slot].dispatched, std::chrono::steady_clock::now()),
-          outcome.wall_us);
+          outcome.wall_us, /*from_cache=*/false);
+      CommitProbe(cache, im, inflight[slot].probe, outcome,
+                  points[inflight[slot].index].seq);
     };
 
     for (size_t i = 0; i < points.size(); ++i) {
       if (over_budget()) {
         exhausted.store(true, std::memory_order_relaxed);
         break;
+      }
+      // Probe the cache before claiming a slot: a hit dispatches nothing,
+      // so it neither blocks on collect_oldest() nor occupies a lane.
+      const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      DedupProbe probe = ProbeCache(cache, im, image.data(), image.size(),
+                                    [&] { return cursor.Digest(); });
+      if (probe.hit) {
+        record_hit(0, i, probe);
+        continue;
+      }
+      if (defer_duplicate(i, image, probe.digest)) {
+        continue;  // twin of an in-flight check: attributed after the drain
       }
       if (collect_order.size() == depth) {
         collect_oldest();  // all usable lanes busy: free the oldest
@@ -798,23 +1223,27 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
       while (busy[slot]) {
         ++slot;
       }
-      const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
       std::memcpy(sandbox->ImageBuffer(slot), image.data(), image.size());
       note_injection(slot, i);
       SandboxVerdict error;
       if (!sandbox->StartServerCheck(slot, /*data=*/nullptr, image.size(),
                                      &error)) {
-        // No worker available: the error verdict IS the outcome.
-        record_outcome(i, OutcomeFromVerdict(error), 0, 0);
+        // No worker available: the error verdict IS the outcome. Not an
+        // image-determined verdict, so it is never cached.
+        record_outcome(i, OutcomeFromVerdict(error), 0, 0,
+                       /*from_cache=*/false);
         continue;
       }
-      inflight[slot] = {i, std::chrono::steady_clock::now()};
+      register_pending(probe, image);
+      inflight[slot] = {i, std::chrono::steady_clock::now(),
+                        std::move(probe)};
       busy[slot] = true;
       collect_order.push_back(slot);
     }
     while (!collect_order.empty()) {
       collect_oldest();
     }
+    resolve_deferred();
   } else {
     // Producer/consumer: this thread advances the cursor and snapshots
     // each image into a bounded queue; workers drain it and run the
@@ -823,6 +1252,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     struct Job {
       size_t index = 0;
       std::vector<uint8_t> image;
+      DedupProbe probe;  // pending cache insert, committed by the consumer
     };
     std::deque<Job> queue;
     std::mutex queue_mutex;
@@ -851,7 +1281,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         const uint8_t* data = job.image.data();
         const size_t size = job.image.size();
         process_point(worker_index, job.index, data, size,
-                      std::move(job.image));
+                      std::move(job.image), std::move(job.probe));
       }
     };
     std::vector<std::thread> threads;
@@ -865,9 +1295,23 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         break;
       }
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      // Probe at the producer: a hit never snapshots the image or touches
+      // the queue, and a twin of a digest already queued or at a consumer
+      // is deferred instead of enqueued (the verdict it needs is still
+      // being computed).
+      DedupProbe probe = ProbeCache(cache, im, image.data(), image.size(),
+                                    [&] { return cursor.Digest(); });
+      if (probe.hit) {
+        record_hit(0, i, probe);
+        continue;
+      }
+      if (defer_duplicate(i, image, probe.digest)) {
+        continue;
+      }
+      register_pending(probe, image);
       std::unique_lock<std::mutex> lock(queue_mutex);
       queue_drained.wait(lock, [&] { return queue.size() < queue_cap; });
-      queue.push_back({i, std::vector<uint8_t>(image)});
+      queue.push_back({i, std::vector<uint8_t>(image), std::move(probe)});
       lock.unlock();
       queue_filled.notify_one();
     }
@@ -879,6 +1323,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     for (std::thread& thread : threads) {
       thread.join();
     }
+    resolve_deferred();
   }
   if (options_.progress != nullptr) {
     options_.progress->EndPhase();

@@ -20,6 +20,7 @@
 #include "src/observability/metrics.h"
 #include "src/observability/progress.h"
 #include "src/observability/span_tracer.h"
+#include "src/core/verdict_cache.h"
 #include "src/pmem/pm_pool.h"
 #include "src/sandbox/recovery_sandbox.h"
 #include "src/targets/target.h"
@@ -138,6 +139,24 @@ struct FaultInjectionOptions {
   // Profile() to have run on the same engine; it records the store
   // payloads the replay consumes.
   InjectionStrategy strategy = InjectionStrategy::kReExecute;
+  // Content-addressed verdict deduplication (src/core/verdict_cache.h):
+  // hash each graceful crash image and attribute the cached verdict to any
+  // failure point whose image content was already checked, instead of
+  // running recovery again. Graceful-image equality implies verdict
+  // equality (recovery is deterministic on the image bytes), so reports
+  // keep the same unique findings; deduplicated ones carry `dedup_of`
+  // provenance. Under kReplay the digest is maintained incrementally by
+  // the cursor (near-free); under kReExecute it costs one image scan per
+  // injection, still far below an oracle run.
+  bool image_dedup = true;
+  // Opt-in collision guard (--verify-dedup): keep a byte copy of each
+  // distinct image and only honour a digest hit when the bytes match.
+  bool verify_dedup = false;
+  // When non-empty, the verdict cache is loaded from / saved to this path,
+  // keyed by a fingerprint of the profiled trace — repeated campaigns over
+  // an unchanged target skip every already-checked image. Requires this
+  // engine's Profile() to have run (the fingerprint is recorded there).
+  std::string verdict_cache_path;
   // Where the recovery oracle runs (src/sandbox): in-process (historical
   // behaviour), fork-per-check, or a fork-server worker pool. Sandboxed
   // policies turn oracle crashes into kRecoveryCrash findings (with the
@@ -162,6 +181,12 @@ struct FaultInjectionStats {
   bool budget_exhausted = false;
   double elapsed_s = 0;
   size_t tree_bytes = 0;
+  // Image-dedup accounting (zero when image_dedup is off).
+  uint64_t distinct_images = 0;   // oracle actually ran (digest first seen)
+  uint64_t dedup_hits = 0;        // verdicts attributed from the cache
+  uint64_t dedup_collisions = 0;  // verify mode: digest equal, bytes not
+  uint64_t cache_loaded = 0;      // entries loaded from --verdict-cache
+  uint64_t cache_saved = 0;       // entries persisted at campaign end
   // Footprint of the recorded event stream + store payloads held for
   // replay; 0 under kReExecute (the memory cost of the strategy).
   size_t replay_trace_bytes = 0;
@@ -206,13 +231,20 @@ class FaultInjectionEngine {
   // kReplay); InjectAll falls back to re-execution otherwise.
   bool replay_ready() const { return replay_ready_; }
 
+  // Order-sensitive hash of the profiled PM event stream (kinds, offsets,
+  // sizes and store payload bytes) plus the pool size — the persistent
+  // verdict cache's staleness key. Recorded by Profile() when a cache path
+  // is configured; fingerprint_ready() is false otherwise.
+  uint64_t trace_fingerprint() const { return trace_fingerprint_; }
+  bool fingerprint_ready() const { return fingerprint_ready_; }
+
  private:
   Report InjectAllSerial(FailurePointTree* tree, FaultInjectionStats* stats,
-                         RecoverySandbox* sandbox);
+                         RecoverySandbox* sandbox, VerdictCache* cache);
   Report InjectAllParallel(FailurePointTree* tree, FaultInjectionStats* stats,
-                           RecoverySandbox* sandbox);
+                           RecoverySandbox* sandbox, VerdictCache* cache);
   Report InjectAllReplay(FailurePointTree* tree, FaultInjectionStats* stats,
-                         RecoverySandbox* sandbox);
+                         RecoverySandbox* sandbox, VerdictCache* cache);
 
   TargetFactory factory_;
   WorkloadSpec spec_;
@@ -224,6 +256,8 @@ class FaultInjectionEngine {
   RecordedTrace replay_trace_;
   size_t profiled_pool_size_ = 0;
   bool replay_ready_ = false;
+  uint64_t trace_fingerprint_ = 0;
+  bool fingerprint_ready_ = false;
 };
 
 }  // namespace mumak

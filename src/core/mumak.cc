@@ -141,6 +141,9 @@ MumakResult Mumak::Analyze() {
   fi_options.time_budget_s = options_.time_budget_s;
   fi_options.workers = options_.injection_workers;
   fi_options.strategy = options_.injection_strategy;
+  fi_options.image_dedup = options_.image_dedup;
+  fi_options.verify_dedup = options_.verify_dedup;
+  fi_options.verdict_cache_path = options_.verdict_cache_path;
   fi_options.sandbox = options_.sandbox;
   fi_options.metrics = options_.metrics;
   fi_options.tracer = options_.tracer;

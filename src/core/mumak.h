@@ -40,6 +40,11 @@ struct MumakOptions {
   // profiled trace (kReplay — the profiling run then also records store
   // payloads).
   InjectionStrategy injection_strategy = InjectionStrategy::kReExecute;
+  // Content-addressed verdict deduplication and its persistent cross-run
+  // cache (see FaultInjectionOptions for semantics).
+  bool image_dedup = true;
+  bool verify_dedup = false;
+  std::string verdict_cache_path;
   // Recovery-oracle isolation (src/sandbox): run each consistency check in
   // a forked child (or a fork-server worker pool) with a hard deadline, so
   // recovery code that segfaults or hangs on a crash image becomes a

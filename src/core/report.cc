@@ -140,6 +140,9 @@ std::string Report::Render(bool include_warnings) const {
       }
       os << "\n";
     }
+    if (!f.dedup_of.empty()) {
+      os << "    dedup-of " << f.dedup_of << "\n";
+    }
     if (!f.location.empty()) {
       os << "    at " << f.location << "\n";
     }
@@ -213,6 +216,9 @@ std::string Report::RenderJson(bool include_warnings) const {
     }
     if (f.recovery_wall_us != 0) {
       os << ", \"recovery_wall_us\": " << f.recovery_wall_us;
+    }
+    if (!f.dedup_of.empty()) {
+      os << ", \"dedup_of\": \"" << escape(f.dedup_of) << "\"";
     }
     os << ", \"location\": \"" << escape(f.location) << "\"}";
   }

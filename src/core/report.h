@@ -56,6 +56,13 @@ struct Finding {
   std::string signal_name;       // e.g. "SIGSEGV" when recovery died on one
   bool timed_out = false;        // parent killed recovery at the deadline
   uint64_t recovery_wall_us = 0; // oracle wall time for this crash image
+  // Image-dedup provenance: set when the verdict was attributed from the
+  // verdict cache instead of a fresh oracle run, naming the crash image's
+  // content digest and the failure point whose check produced the cached
+  // verdict (possibly in a previous run, via --verdict-cache). Empty — and
+  // elided from all output — for verdicts the oracle produced directly, so
+  // dedup-off reports are byte-identical.
+  std::string dedup_of;
 };
 
 class Report {

@@ -1,17 +1,64 @@
 #include "src/pmem/replay_cursor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <utility>
+
+#include "src/pmem/persistency_model.h"
 
 namespace mumak {
+namespace {
 
-ReplayCursor::ReplayCursor(const RecordedTrace& trace, size_t pool_size)
-    : trace_(trace), image_(pool_size, 0) {}
+size_t LineCount(size_t pool_size) {
+  return (pool_size + kCacheLineSize - 1) / kCacheLineSize;
+}
+
+}  // namespace
+
+ReplayCursor::ReplayCursor(const RecordedTrace& trace, size_t pool_size,
+                           bool track_digest)
+    : trace_(trace), image_(pool_size, 0), track_digest_(track_digest) {
+  if (!track_digest_) {
+    return;
+  }
+  // One O(pool) pass over the zeroed image seeds the line-hash table; every
+  // later update is O(delta) via the dirty set.
+  const size_t lines = LineCount(pool_size);
+  line_hashes_.resize(lines);
+  dirty_epoch_.assign(lines, 0);
+  for (size_t line = 0; line < lines; ++line) {
+    const size_t at = line * kCacheLineSize;
+    const size_t len =
+        image_.size() - at < kCacheLineSize ? image_.size() - at
+                                            : kCacheLineSize;
+    line_hashes_[line] = HashImageLine(image_.data() + at, len, line);
+    DigestToggleLine(&digest_, line_hashes_[line]);
+  }
+}
 
 ReplayCursor::ReplayCursor(const RecordedTrace& trace, Checkpoint checkpoint)
     : trace_(trace),
       image_(std::move(checkpoint.image)),
-      next_(checkpoint.next) {}
+      next_(checkpoint.next),
+      track_digest_(!checkpoint.line_hashes.empty()),
+      line_hashes_(std::move(checkpoint.line_hashes)),
+      digest_(checkpoint.digest) {
+  if (track_digest_) {
+    assert(line_hashes_.size() == LineCount(image_.size()));
+    dirty_epoch_.assign(line_hashes_.size(), 0);
+  }
+}
+
+ReplayCursor::Checkpoint ReplayCursor::MakeCheckpoint() const& {
+  SettleDirtyLines();
+  return {image_, next_, line_hashes_, digest_};
+}
+
+ReplayCursor::Checkpoint ReplayCursor::MakeCheckpoint() && {
+  SettleDirtyLines();
+  return {std::move(image_), next_, std::move(line_hashes_), digest_};
+}
 
 const std::vector<uint8_t>& ReplayCursor::AdvanceTo(uint64_t seq) {
   // Raw-pointer walk: this loop touches every trace event once per
@@ -29,11 +76,51 @@ const std::vector<uint8_t>& ReplayCursor::AdvanceTo(uint64_t seq) {
       const PmEvent& ev = events[i];
       assert(ev.offset + ev.size <= image_.size());
       std::memcpy(image + ev.offset, payload_bytes + offsets[i], ev.size);
+      if (track_digest_ && ev.size > 0) {
+        // Mark, don't rehash: many stores land on the same line between two
+        // digest reads, and each line should be rehashed once per read.
+        const uint64_t first = ev.offset / kCacheLineSize;
+        const uint64_t last = (ev.offset + ev.size - 1) / kCacheLineSize;
+        for (uint64_t line = first; line <= last; ++line) {
+          if (dirty_epoch_[line] != epoch_) {
+            dirty_epoch_[line] = epoch_;
+            dirty_lines_.push_back(line);
+          }
+        }
+      }
     }
     ++i;
   }
   next_ = i;
   return image_;
+}
+
+void ReplayCursor::SettleDirtyLines() const {
+  if (!track_digest_ || dirty_lines_.empty()) {
+    return;
+  }
+  for (const uint64_t line : dirty_lines_) {
+    const size_t at = line * kCacheLineSize;
+    const size_t len =
+        image_.size() - at < kCacheLineSize ? image_.size() - at
+                                            : kCacheLineSize;
+    // XOR out the stale hash, XOR in the fresh one.
+    DigestToggleLine(&digest_, line_hashes_[line]);
+    line_hashes_[line] = HashImageLine(image_.data() + at, len, line);
+    DigestToggleLine(&digest_, line_hashes_[line]);
+  }
+  dirty_lines_.clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: stamps from the old era could alias
+    std::fill(dirty_epoch_.begin(), dirty_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+ImageDigest ReplayCursor::Digest() const {
+  assert(track_digest_);
+  SettleDirtyLines();
+  return digest_;
 }
 
 }  // namespace mumak

@@ -7,6 +7,13 @@
 // stores in `(k1, k2]`: one forward pass over the trace yields the image at
 // every failure point, O(trace length) total instead of O(failure points ×
 // trace length).
+//
+// With digest tracking enabled the cursor additionally maintains a per-
+// cache-line hash table: AdvanceTo marks the lines it patched (O(delta)),
+// and Digest() rehashes only those lines before folding them into the
+// running 128-bit image digest (O(lines-dirtied)). Content-addressed
+// verdict deduplication (src/core/verdict_cache.h) rides on this — a
+// digest at every failure point costs far less than one image scan.
 
 #ifndef MUMAK_SRC_PMEM_REPLAY_CURSOR_H_
 #define MUMAK_SRC_PMEM_REPLAY_CURSOR_H_
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "src/instrument/trace.h"
+#include "src/pmem/image_digest.h"
 
 namespace mumak {
 
@@ -24,8 +32,11 @@ class ReplayCursor {
   // `trace` must outlive the cursor (it is the profiling run's recorded
   // event stream; the engine holds it for the whole injection phase).
   // `pool_size` is the profiled pool's size; the initial image is zeroed,
-  // matching a freshly created pool.
-  ReplayCursor(const RecordedTrace& trace, size_t pool_size);
+  // matching a freshly created pool. With `track_digest` the cursor pays
+  // one O(pool) line-hash pass here, then keeps the digest current
+  // incrementally.
+  ReplayCursor(const RecordedTrace& trace, size_t pool_size,
+               bool track_digest = false);
 
   // Snapshot of cursor state. A parallel injection run has one scout
   // cursor record a checkpoint at each worker's slice boundary, so the
@@ -34,14 +45,24 @@ class ReplayCursor {
   struct Checkpoint {
     std::vector<uint8_t> image;
     size_t next = 0;  // first unapplied event index
+    // Digest state, captured only from digest-tracking cursors (empty
+    // line_hashes otherwise); a cursor resumed from it keeps tracking
+    // without the O(pool) rebuild.
+    std::vector<uint64_t> line_hashes;
+    ImageDigest digest;
   };
 
   // Resumes from a previously recorded checkpoint of a cursor over the
-  // same trace.
+  // same trace. Digest tracking resumes iff the checkpoint carries hash
+  // state.
   ReplayCursor(const RecordedTrace& trace, Checkpoint checkpoint);
 
-  // Copies the current state into a resumable checkpoint.
-  Checkpoint MakeCheckpoint() const { return {image_, next_}; }
+  // Copies the current state into a resumable checkpoint. The rvalue
+  // overload *moves* the image (and line-hash table) out instead — the
+  // parallel scout hands each slice boundary to exactly one worker, so a
+  // cursor it is done with should not double-copy a multi-MB pool.
+  Checkpoint MakeCheckpoint() const&;
+  Checkpoint MakeCheckpoint() &&;
 
   // Applies every store payload with seq <= `seq` that has not been applied
   // yet, then returns the graceful image at that point. Calls must use
@@ -55,10 +76,32 @@ class ReplayCursor {
   // Number of trace events consumed so far.
   size_t consumed() const { return next_; }
 
+  bool tracks_digest() const { return track_digest_; }
+
+  // 128-bit content digest of image(). Only valid on digest-tracking
+  // cursors; settles the lines dirtied since the last call (O(lines-
+  // dirtied)) and must equal ComputeContentDigest over the same bytes.
+  ImageDigest Digest() const;
+
  private:
+  // Rehashes dirty lines and folds them into digest_.
+  void SettleDirtyLines() const;
+
   const RecordedTrace& trace_;
   std::vector<uint8_t> image_;
   size_t next_ = 0;  // first unapplied event index
+  bool track_digest_ = false;
+  // Per-line hash table + accumulated digest. Mutable: settling dirty
+  // lines is a cache fill, not an observable state change — Digest() and
+  // the lvalue MakeCheckpoint() stay const.
+  mutable std::vector<uint64_t> line_hashes_;
+  mutable ImageDigest digest_;
+  // Lines patched since the last settle: a dense epoch stamp per line plus
+  // the list of stamped lines, so marking is O(1) per touched line with no
+  // per-AdvanceTo clearing.
+  mutable std::vector<uint32_t> dirty_epoch_;
+  mutable std::vector<uint64_t> dirty_lines_;
+  mutable uint32_t epoch_ = 1;
 };
 
 }  // namespace mumak

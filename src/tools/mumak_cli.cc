@@ -59,6 +59,19 @@ void PrintUsage() {
       "                        synthesizes crash images from the profiled\n"
       "                        trace (default reexec)\n"
       "\n"
+      "image deduplication:\n"
+      "  --verdict-cache <file>\n"
+      "                        persist the content-addressed verdict cache\n"
+      "                        across runs (keyed by a fingerprint of the\n"
+      "                        profiled trace; stale or corrupt files are\n"
+      "                        ignored with a warning); repeated campaigns\n"
+      "                        over an unchanged target skip every\n"
+      "                        already-checked crash image\n"
+      "  --verify-dedup        byte-compare images on digest hits (collision\n"
+      "                        guard; keeps a copy of every distinct image)\n"
+      "  --no-image-dedup      run the recovery oracle on every crash image\n"
+      "                        even when its content was already checked\n"
+      "\n"
       "recovery sandbox:\n"
       "  --sandbox <mode>      where the recovery oracle runs:\n"
       "                        'inproc' (default) in this process;\n"
@@ -318,6 +331,12 @@ int main(int argc, char** argv) {
                      strategy.c_str());
         return 2;
       }
+    } else if (arg == "--verdict-cache") {
+      mumak_options.verdict_cache_path = next("--verdict-cache");
+    } else if (arg == "--verify-dedup") {
+      mumak_options.verify_dedup = true;
+    } else if (arg == "--no-image-dedup") {
+      mumak_options.image_dedup = false;
     } else if (arg == "--save-trace") {
       save_trace = next("--save-trace");
     } else if (arg == "--trace-payloads") {
@@ -365,6 +384,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "mumak: --target is required\n");
     PrintUsage();
     return 2;
+  }
+  if (!mumak_options.image_dedup &&
+      !mumak_options.verdict_cache_path.empty()) {
+    std::fprintf(stderr,
+                 "mumak: --verdict-cache has no effect with "
+                 "--no-image-dedup\n");
   }
   if (CreateTarget(target_name, options) == nullptr) {
     std::fprintf(stderr, "mumak: unknown target '%s' (see --list-targets)\n",
@@ -468,6 +493,31 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", result.report.Render(mumak_options.report_warnings)
                         .c_str());
+  // Image-dedup accounting on its own line (the final summary line's
+  // format is part of the CLI's parsed surface).
+  if (mumak_options.fault_injection && mumak_options.image_dedup &&
+      result.fault_injection.injections > 0) {
+    std::printf(
+        "mumak: image dedup: %llu distinct image(s), %llu verdict(s) from "
+        "cache",
+        static_cast<unsigned long long>(
+            result.fault_injection.distinct_images),
+        static_cast<unsigned long long>(result.fault_injection.dedup_hits));
+    if (!mumak_options.verdict_cache_path.empty()) {
+      std::printf(", %llu loaded / %llu saved (%s)",
+                  static_cast<unsigned long long>(
+                      result.fault_injection.cache_loaded),
+                  static_cast<unsigned long long>(
+                      result.fault_injection.cache_saved),
+                  mumak_options.verdict_cache_path.c_str());
+    }
+    if (mumak_options.verify_dedup) {
+      std::printf(", %llu collision(s)",
+                  static_cast<unsigned long long>(
+                      result.fault_injection.dedup_collisions));
+    }
+    std::printf("\n");
+  }
   std::printf(
       "mumak: %.2fs | %llu failure points, %llu injections%s | %llu trace "
       "events | %llu bug(s), %llu warning(s)\n",

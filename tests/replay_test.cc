@@ -128,6 +128,163 @@ TEST(ReplayCursorTest, CheckpointResumeMatchesFreshCursor) {
   }
 }
 
+// The incremental per-line digest must agree, at every failure point, with
+// a from-scratch hash of the same bytes — the correctness contract behind
+// content-addressed verdict deduplication.
+TEST(ReplayCursorTest, IncrementalDigestMatchesFullRehash) {
+  for (const char* name : {"btree", "hashmap_tx"}) {
+    SCOPED_TRACE(name);
+    TargetOptions options;
+    options.pmdk_version = PmdkVersion::k16;
+    FaultInjectionOptions fi;
+    fi.strategy = InjectionStrategy::kReplay;
+    FaultInjectionEngine engine(Factory(name, options), SmallSpec(), fi);
+    FailurePointTree tree = engine.Profile();
+    ASSERT_TRUE(engine.replay_ready());
+
+    std::vector<uint64_t> seqs;
+    for (const auto& [node, seq] : engine.first_hit_seq()) {
+      seqs.push_back(seq);
+    }
+    std::sort(seqs.begin(), seqs.end());
+    ASSERT_FALSE(seqs.empty());
+
+    ReplayCursor cursor(engine.replay_trace(), engine.profiled_pool_size(),
+                        /*track_digest=*/true);
+    ASSERT_TRUE(cursor.tracks_digest());
+    // Initial (zeroed) image first, then every failure point.
+    EXPECT_EQ(cursor.Digest(),
+              ComputeContentDigest(cursor.image().data(),
+                                   cursor.image().size()));
+    for (const uint64_t seq : seqs) {
+      const std::vector<uint8_t>& image = cursor.AdvanceTo(seq);
+      const ImageDigest expected =
+          ComputeContentDigest(image.data(), image.size());
+      ASSERT_EQ(cursor.Digest(), expected)
+          << "digest divergence at seq " << seq;
+      // Digest() is settle-and-cache, not consume: a second read agrees.
+      ASSERT_EQ(cursor.Digest(), expected);
+    }
+  }
+}
+
+// Distinct images must get distinct digests on a real trace walk (no
+// accidental identity from the XOR accumulation).
+TEST(ReplayCursorTest, DigestDistinguishesImagesAlongTheTrace) {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  FaultInjectionOptions fi;
+  fi.strategy = InjectionStrategy::kReplay;
+  FaultInjectionEngine engine(Factory("btree", options), SmallSpec(), fi);
+  engine.Profile();
+  ASSERT_TRUE(engine.replay_ready());
+
+  std::vector<uint64_t> seqs;
+  for (const auto& [node, seq] : engine.first_hit_seq()) {
+    seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  ReplayCursor cursor(engine.replay_trace(), engine.profiled_pool_size(),
+                      /*track_digest=*/true);
+  std::vector<uint8_t> prev = cursor.image();
+  ImageDigest prev_digest = cursor.Digest();
+  size_t changed = 0;
+  for (const uint64_t seq : seqs) {
+    const std::vector<uint8_t>& image = cursor.AdvanceTo(seq);
+    const ImageDigest digest = cursor.Digest();
+    if (image != prev) {
+      EXPECT_NE(digest, prev_digest) << "collision at seq " << seq;
+      ++changed;
+    } else {
+      EXPECT_EQ(digest, prev_digest);
+    }
+    prev = image;
+    prev_digest = digest;
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+// Checkpoints carry the digest state: a cursor resumed from a tracking
+// checkpoint keeps producing correct digests without the O(pool) rebuild.
+TEST(ReplayCursorTest, CheckpointCarriesDigestState) {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  FaultInjectionOptions fi;
+  fi.strategy = InjectionStrategy::kReplay;
+  FaultInjectionEngine engine(Factory("btree", options), SmallSpec(), fi);
+  engine.Profile();
+  ASSERT_TRUE(engine.replay_ready());
+
+  std::vector<uint64_t> seqs;
+  for (const auto& [node, seq] : engine.first_hit_seq()) {
+    seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  ASSERT_GT(seqs.size(), 4u);
+  const size_t mid = seqs.size() / 2;
+
+  ReplayCursor scout(engine.replay_trace(), engine.profiled_pool_size(),
+                     /*track_digest=*/true);
+  scout.AdvanceTo(seqs[mid - 1]);
+  ReplayCursor resumed(engine.replay_trace(), scout.MakeCheckpoint());
+  ASSERT_TRUE(resumed.tracks_digest());
+  for (size_t i = mid; i < seqs.size(); ++i) {
+    const std::vector<uint8_t>& image = resumed.AdvanceTo(seqs[i]);
+    ASSERT_EQ(resumed.Digest(),
+              ComputeContentDigest(image.data(), image.size()))
+        << "resumed digest divergence at seq " << seqs[i];
+  }
+
+  // A checkpoint from a non-tracking cursor resumes without tracking.
+  ReplayCursor plain(engine.replay_trace(), engine.profiled_pool_size());
+  plain.AdvanceTo(seqs[0]);
+  ReplayCursor plain_resumed(engine.replay_trace(), plain.MakeCheckpoint());
+  EXPECT_FALSE(plain_resumed.tracks_digest());
+}
+
+// The rvalue MakeCheckpoint overload must steal the image buffer rather
+// than copying it (the parallel scout hands each multi-MB slice boundary
+// to exactly one worker).
+TEST(ReplayCursorTest, MoveCheckpointStealsTheImageBuffer) {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  FaultInjectionOptions fi;
+  fi.strategy = InjectionStrategy::kReplay;
+  FaultInjectionEngine engine(Factory("btree", options), SmallSpec(), fi);
+  engine.Profile();
+  ASSERT_TRUE(engine.replay_ready());
+
+  std::vector<uint64_t> seqs;
+  for (const auto& [node, seq] : engine.first_hit_seq()) {
+    seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  ASSERT_GT(seqs.size(), 2u);
+
+  ReplayCursor scout(engine.replay_trace(), engine.profiled_pool_size(),
+                     /*track_digest=*/true);
+  scout.AdvanceTo(seqs[0]);
+  const uint8_t* buffer = scout.image().data();
+  const size_t consumed = scout.consumed();
+  ReplayCursor::Checkpoint checkpoint = std::move(scout).MakeCheckpoint();
+  // Moved, not copied: the checkpoint owns the scout's exact heap buffer.
+  EXPECT_EQ(checkpoint.image.data(), buffer);
+  EXPECT_EQ(checkpoint.next, consumed);
+  EXPECT_FALSE(checkpoint.line_hashes.empty());
+
+  // And the checkpoint is fully resumable, digests included.
+  ReplayCursor resumed(engine.replay_trace(), std::move(checkpoint));
+  ReplayCursor fresh(engine.replay_trace(), engine.profiled_pool_size(),
+                     /*track_digest=*/true);
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    const std::vector<uint8_t>& a = resumed.AdvanceTo(seqs[i]);
+    const std::vector<uint8_t>& b = fresh.AdvanceTo(seqs[i]);
+    ASSERT_TRUE(a == b);
+    ASSERT_EQ(resumed.Digest(), fresh.Digest());
+  }
+}
+
 // Both strategies must produce identical reports — same findings, same
 // details, same locations, same triggering seqs — on buggy targets.
 TEST(ReplayEquivalence, IdenticalReportsBetweenStrategies) {
