@@ -1,0 +1,23 @@
+// Factory functions for the builtin detector passes (one translation unit
+// per pass). Registration is explicit — DetectorRegistry::Global() calls
+// these — rather than via static-initializer self-registration, which the
+// linker is free to drop from a static library.
+
+#ifndef MUMAK_SRC_ANALYSIS_BUILTIN_PASSES_H_
+#define MUMAK_SRC_ANALYSIS_BUILTIN_PASSES_H_
+
+#include <memory>
+
+namespace mumak {
+
+class DetectorPass;
+
+std::unique_ptr<DetectorPass> MakeDurabilityPass();
+std::unique_ptr<DetectorPass> MakeTransientDataPass();
+std::unique_ptr<DetectorPass> MakeRedundantFlushPass();
+std::unique_ptr<DetectorPass> MakeRedundantFencePass();
+std::unique_ptr<DetectorPass> MakeEadrPass();
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_ANALYSIS_BUILTIN_PASSES_H_

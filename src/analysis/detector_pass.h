@@ -1,0 +1,255 @@
+// DetectorPass: the unit of extension of the trace-analysis subsystem. The
+// five §4.2 misuse patterns are independent passes over a shared per-cache-
+// line state dispatcher (src/analysis/sharded_analyzer.h), so a new
+// detector is a file — a subclass plus a registry entry — not surgery on a
+// monolithic state machine.
+//
+// Execution model. The dispatcher observes the event stream in total order
+// on one thread; line-keyed work (stores, flushes) routes to the shard that
+// owns the cache line, and fences broadcast to every shard as epoch
+// markers. A pass therefore has two kinds of hooks:
+//
+//  - shard hooks (OnStoreChunk / OnFlush / OnEpoch / OnLineFinish): run on
+//    shard worker threads. Line-affine passes are instantiated once per
+//    shard (plus one dispatcher-side instance for the global hooks), so
+//    any state a pass keeps keyed by cache line is thread-confined. The
+//    canonical per-line durability state (LineCoreState) is maintained by
+//    the runtime and handed to the hooks pre-transition. OnEpoch is
+//    invoked on whichever shard retires the epoch last and must be a pure
+//    function of the EpochStats (or internally synchronized).
+//
+//  - dispatcher hooks (OnGlobalEvent / OnTraceFinish): run on the dispatch
+//    thread in total event order, on a single instance. Passes that need
+//    the whole stream (wants_global_events) trade parallelism for order.
+//
+// Hooks do not build Report entries directly; they emit Candidates through
+// an EmitContext, and the merge step (src/analysis/merge.h) orders,
+// filters and deduplicates candidates canonically — which is what makes
+// the sharded report byte-identical to the serial one.
+
+#ifndef MUMAK_SRC_ANALYSIS_DETECTOR_PASS_H_
+#define MUMAK_SRC_ANALYSIS_DETECTOR_PASS_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/trace_analysis.h"
+#include "src/core/report.h"
+#include "src/instrument/pm_event.h"
+#include "src/instrument/shadow_call_stack.h"
+
+namespace mumak {
+
+// Canonical per-cache-line durability state (ADR semantics), maintained by
+// the shard runtime. Hooks observe the state as it was *before* the event;
+// the runtime applies the transition after every pass has seen it.
+struct LineCoreState {
+  uint32_t stores_since_flush = 0;
+  uint32_t last_store_site = 0;
+  uint64_t last_store_seq = 0;
+  uint8_t dirty_granules = 0;  // 8-byte granules with unpersisted stores
+  bool flushed_ever = false;
+  bool pending_flush = false;  // flushed (clflushopt/clwb), awaiting fence
+};
+
+// A store or flush confined to one cache line. Multi-line stores are split
+// into per-line chunks; `sub` is the chunk ordinal within the originating
+// event (part of the canonical finding order).
+struct LineChunk {
+  uint64_t line = 0;    // cache line index (offset / 64)
+  uint64_t offset = 0;  // absolute pool offset of this chunk
+  uint64_t size = 0;    // bytes within this line
+  uint64_t seq = 0;
+  uint32_t site = 0;
+  uint32_t sub = 0;
+  EventKind kind = EventKind::kStore;
+};
+
+// Aggregated state of one fence epoch (the events since the previous
+// fence), delivered to OnEpoch exactly once per fence/RMW after every
+// shard has retired the epoch marker.
+struct EpochStats {
+  uint64_t fence_seq = 0;
+  uint32_t fence_site = kInvalidFrame;
+  // False for RMWs: they have fence semantics but exist for atomicity, so
+  // an "empty" RMW epoch is not a redundant fence.
+  bool check_redundant = true;
+  uint64_t pending_flushes = 0;  // lines newly buffered (clflushopt/clwb)
+  uint64_t nt_stores = 0;        // non-temporal stores this epoch
+  uint64_t stores = 0;           // stores incl. NT this epoch (eADR)
+};
+
+// End-of-trace global state, for OnTraceFinish: whatever the final
+// (unterminated) epoch left behind.
+struct TraceTail {
+  uint64_t pending_flushes = 0;
+  uint32_t last_flush_site = kInvalidFrame;
+  uint64_t last_flush_seq = 0;
+  uint64_t nt_stores = 0;
+  uint32_t last_nt_site = kInvalidFrame;
+  uint64_t last_nt_seq = 0;
+};
+
+// A detector's raw output. Candidates carry a canonical order key (phase,
+// seq, pass, sub, emit) assigned by the EmitContext; the merge step sorts
+// by it, so the report order never depends on shard timing.
+struct Candidate {
+  FindingKind kind = FindingKind::kUnflushedStore;
+  uint32_t site = kInvalidFrame;
+  uint64_t pm_offset = 0;
+  uint64_t seq = 0;
+  std::string detail;
+  // One finding per (kind, site) when set (Mumak's unique-bugs ergonomics,
+  // Table 3); per-occurrence reporting (PMDebugger-style) when cleared.
+  bool dedup_by_site = true;
+  uint8_t phase = 0;  // 0 = event-time, 1 = finish-time
+  uint16_t pass = 0;  // pass index: detectors-list order, extras after
+  uint64_t sub = 0;   // chunk ordinal (event-time) / cache line (finish)
+  uint32_t emit = 0;  // emission ordinal within one hook invocation
+};
+
+// Strict weak order over the canonical key.
+bool CanonicalLess(const Candidate& a, const Candidate& b);
+
+constexpr size_t kFindingKindCount = 16;  // array bound for per-kind counts
+
+// Collects candidates and pattern-instance counts for one shard (or the
+// dispatcher). Not thread-safe; each thread owns its own context.
+class EmitContext {
+ public:
+  explicit EmitContext(const TraceAnalysisOptions* options)
+      : options_(options) {}
+
+  const TraceAnalysisOptions& options() const { return *options_; }
+
+  // Emits a finding candidate at the current hook point. Every call counts
+  // toward the "trace.pattern.<kind>" instance counters; deduplicating
+  // candidates keep only the canonically-first instance per (kind, site)
+  // within this context — the merge step picks the global first.
+  void Emit(FindingKind kind, uint32_t site, uint64_t offset, uint64_t seq,
+            std::string detail, bool dedup_by_site = true);
+
+  // Framework internals: position the canonical-order cursor before
+  // invoking a hook (resets the emission ordinal).
+  void SetPoint(uint8_t phase, uint16_t pass, uint64_t sub) {
+    phase_ = phase;
+    pass_ = pass;
+    sub_ = sub;
+    emit_ = 0;
+  }
+
+  std::vector<Candidate> TakeCandidates() { return std::move(candidates_); }
+  const std::array<uint64_t, kFindingKindCount>& instance_counts() const {
+    return instances_;
+  }
+  const std::vector<uint64_t>& pass_counts() const { return per_pass_; }
+  size_t FootprintBytes() const;
+
+ private:
+  const TraceAnalysisOptions* options_;
+  std::vector<Candidate> candidates_;
+  std::unordered_map<uint64_t, size_t> first_;  // (kind, site) -> index
+  std::array<uint64_t, kFindingKindCount> instances_{};
+  std::vector<uint64_t> per_pass_;  // candidate instances per pass index
+  uint8_t phase_ = 0;
+  uint16_t pass_ = 0;
+  uint64_t sub_ = 0;
+  uint32_t emit_ = 0;
+};
+
+class DetectorPass {
+ public:
+  virtual ~DetectorPass() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Line-affine passes (the default) are instantiated per shard and driven
+  // through the line/epoch hooks. Global-affinity passes get exactly one
+  // instance, driven through OnGlobalEvent/OnTraceFinish on the dispatch
+  // thread.
+  virtual bool line_affine() const { return true; }
+
+  // Whether the pass understands the given persistency mode. The ADR line
+  // state is not maintained under eADR, so ADR line detectors reject eADR
+  // and vice versa; mode-agnostic (typically global) passes return true
+  // for both.
+  virtual bool supports_mode(bool eadr_mode) const { return !eadr_mode; }
+
+  // True to receive every event, in total order, on the dispatch thread.
+  virtual bool wants_global_events() const { return false; }
+
+  // --- shard hooks (line_affine passes; per-shard instances) ---
+  virtual void OnStoreChunk(const LineChunk& chunk,
+                            const LineCoreState& state, EmitContext& ctx) {
+    (void)chunk;
+    (void)state;
+    (void)ctx;
+  }
+  virtual void OnFlush(const LineChunk& chunk, const LineCoreState& state,
+                       EmitContext& ctx) {
+    (void)chunk;
+    (void)state;
+    (void)ctx;
+  }
+  virtual void OnEpoch(const EpochStats& epoch, EmitContext& ctx) {
+    (void)epoch;
+    (void)ctx;
+  }
+  virtual void OnLineFinish(uint64_t line, const LineCoreState& state,
+                            EmitContext& ctx) {
+    (void)line;
+    (void)state;
+    (void)ctx;
+  }
+
+  // --- dispatcher hooks (single instance, total order) ---
+  virtual void OnGlobalEvent(const PmEvent& event, EmitContext& ctx) {
+    (void)event;
+    (void)ctx;
+  }
+  virtual void OnTraceFinish(const TraceTail& tail, EmitContext& ctx) {
+    (void)tail;
+    (void)ctx;
+  }
+};
+
+using PassFactory =
+    std::function<std::unique_ptr<DetectorPass>(const TraceAnalysisOptions&)>;
+
+// Name -> factory registry. The builtin passes are registered on first use
+// of Global(); additional passes may be registered at static-init time
+// (registration is not thread-safe — it is meant for program start).
+class DetectorRegistry {
+ public:
+  static DetectorRegistry& Global();
+
+  void Register(std::string name, PassFactory factory);
+  bool Has(std::string_view name) const;
+  std::unique_ptr<DetectorPass> Create(const std::string& name,
+                                       const TraceAnalysisOptions& options)
+      const;
+  // Registered names, in registration order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, PassFactory>> entries_;
+};
+
+// The default detector set for a persistency mode: the four ADR passes
+// (durability, transient-data, redundant-flush, redundant-fence) or the
+// combined eADR pass.
+std::vector<std::string> DefaultDetectorNames(bool eadr_mode);
+
+// "pm+0x<hex>" — shared by detector detail strings.
+std::string HexOffset(uint64_t offset);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_ANALYSIS_DETECTOR_PASS_H_

@@ -1,0 +1,73 @@
+#include "src/analysis/builtin_passes.h"
+#include "src/analysis/detector_pass.h"
+
+namespace mumak {
+
+DetectorRegistry& DetectorRegistry::Global() {
+  static DetectorRegistry* registry = [] {
+    auto* r = new DetectorRegistry();
+    r->Register("durability",
+                [](const TraceAnalysisOptions&) { return MakeDurabilityPass(); });
+    r->Register("transient-data", [](const TraceAnalysisOptions&) {
+      return MakeTransientDataPass();
+    });
+    r->Register("redundant-flush", [](const TraceAnalysisOptions&) {
+      return MakeRedundantFlushPass();
+    });
+    r->Register("redundant-fence", [](const TraceAnalysisOptions&) {
+      return MakeRedundantFencePass();
+    });
+    r->Register("eadr",
+                [](const TraceAnalysisOptions&) { return MakeEadrPass(); });
+    return r;
+  }();
+  return *registry;
+}
+
+void DetectorRegistry::Register(std::string name, PassFactory factory) {
+  for (auto& [existing, existing_factory] : entries_) {
+    if (existing == name) {
+      existing_factory = std::move(factory);  // latest registration wins
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool DetectorRegistry::Has(std::string_view name) const {
+  for (const auto& [existing, factory] : entries_) {
+    if (existing == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<DetectorPass> DetectorRegistry::Create(
+    const std::string& name, const TraceAnalysisOptions& options) const {
+  for (const auto& [existing, factory] : entries_) {
+    if (existing == name) {
+      return factory(options);
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DetectorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, factory] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> DefaultDetectorNames(bool eadr_mode) {
+  if (eadr_mode) {
+    return {"eadr"};
+  }
+  return {"durability", "transient-data", "redundant-flush",
+          "redundant-fence"};
+}
+
+}  // namespace mumak

@@ -1,0 +1,50 @@
+#include "src/analysis/builtin_passes.h"
+#include "src/analysis/detector_pass.h"
+#include "src/pmem/persistency_model.h"
+
+namespace mumak {
+namespace {
+
+// §4.2 pattern 1 (durability): stores that never became durable although
+// the program demonstrably knows how to persist the line (it flushed the
+// same address elsewhere), plus persistence left dangling at the end of
+// the trace — buffered flushes and non-temporal stores never fenced.
+class DurabilityPass : public DetectorPass {
+ public:
+  std::string_view name() const override { return "durability"; }
+
+  void OnLineFinish(uint64_t line, const LineCoreState& state,
+                    EmitContext& ctx) override {
+    if (state.dirty_granules == 0 || !state.flushed_ever) {
+      return;
+    }
+    ctx.Emit(FindingKind::kUnflushedStore, state.last_store_site,
+             line * kCacheLineSize, state.last_store_seq,
+             "store to " + HexOffset(line * kCacheLineSize) +
+                 " was never persisted, although the address is "
+                 "flushed elsewhere in the execution");
+  }
+
+  void OnTraceFinish(const TraceTail& tail, EmitContext& ctx) override {
+    if (tail.pending_flushes > 0) {
+      ctx.Emit(FindingKind::kUnflushedStore, tail.last_flush_site, 0,
+               tail.last_flush_seq,
+               "buffered flush(es) never followed by a fence: durability "
+               "is not guaranteed");
+    }
+    if (tail.nt_stores > 0) {
+      ctx.Emit(FindingKind::kUnflushedStore, tail.last_nt_site, 0,
+               tail.last_nt_seq,
+               "non-temporal store(s) never followed by a fence: "
+               "durability is not guaranteed");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DetectorPass> MakeDurabilityPass() {
+  return std::make_unique<DurabilityPass>();
+}
+
+}  // namespace mumak

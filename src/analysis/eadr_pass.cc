@@ -1,0 +1,41 @@
+#include "src/analysis/builtin_passes.h"
+#include "src/analysis/detector_pass.h"
+
+namespace mumak {
+namespace {
+
+// eADR analysis (§4.3): the persistence domain includes the CPU caches, so
+// every cache line flush is pure overhead and fences only matter for store
+// ordering. The ADR line state is not maintained in this mode — the pass
+// works off the raw flush events and the per-epoch store counts.
+class EadrPass : public DetectorPass {
+ public:
+  std::string_view name() const override { return "eadr"; }
+
+  bool supports_mode(bool eadr_mode) const override { return eadr_mode; }
+
+  void OnFlush(const LineChunk& chunk, const LineCoreState& state,
+               EmitContext& ctx) override {
+    (void)state;  // zero under eADR: no line state is kept
+    ctx.Emit(FindingKind::kRedundantFlush, chunk.site, chunk.offset,
+             chunk.seq,
+             "cache line flush on an eADR system: the caches are "
+             "already in the persistence domain");
+  }
+
+  void OnEpoch(const EpochStats& epoch, EmitContext& ctx) override {
+    if (epoch.check_redundant && epoch.stores == 0) {
+      ctx.Emit(FindingKind::kRedundantFence, epoch.fence_site, 0,
+               epoch.fence_seq,
+               "fence with no store since the previous fence");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DetectorPass> MakeEadrPass() {
+  return std::make_unique<EadrPass>();
+}
+
+}  // namespace mumak

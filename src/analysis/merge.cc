@@ -1,0 +1,104 @@
+#include "src/analysis/merge.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <unordered_set>
+
+#include "src/instrument/shadow_call_stack.h"
+
+namespace mumak {
+
+std::string HexOffset(uint64_t offset) {
+  std::ostringstream os;
+  os << "pm+0x" << std::hex << offset;
+  return os.str();
+}
+
+bool CanonicalLess(const Candidate& a, const Candidate& b) {
+  return std::tie(a.phase, a.seq, a.pass, a.sub, a.emit) <
+         std::tie(b.phase, b.seq, b.pass, b.sub, b.emit);
+}
+
+void EmitContext::Emit(FindingKind kind, uint32_t site, uint64_t offset,
+                       uint64_t seq, std::string detail, bool dedup_by_site) {
+  ++instances_[static_cast<size_t>(kind)];
+  if (per_pass_.size() <= pass_) {
+    per_pass_.resize(pass_ + 1, 0);
+  }
+  ++per_pass_[pass_];
+
+  Candidate candidate;
+  candidate.kind = kind;
+  candidate.site = site;
+  candidate.pm_offset = offset;
+  candidate.seq = seq;
+  candidate.detail = std::move(detail);
+  candidate.dedup_by_site = dedup_by_site;
+  candidate.phase = phase_;
+  candidate.pass = pass_;
+  candidate.sub = sub_;
+  candidate.emit = emit_++;
+
+  if (!dedup_by_site) {
+    candidates_.push_back(std::move(candidate));
+    return;
+  }
+  // Per-context (kind, site) filter, keeping the canonically-*first*
+  // instance (not the first emitted: shard hook interleaving — epoch
+  // retirement vs line events — does not emit in canonical order). The
+  // global first is then the minimum over the per-context firsts, which
+  // the merge's dedup recovers deterministically.
+  const uint64_t key = (static_cast<uint64_t>(kind) << 32) | site;
+  const auto [it, fresh] = first_.try_emplace(key, candidates_.size());
+  if (fresh) {
+    candidates_.push_back(std::move(candidate));
+    return;
+  }
+  Candidate& held = candidates_[it->second];
+  if (CanonicalLess(candidate, held)) {
+    held = std::move(candidate);
+  }
+}
+
+size_t EmitContext::FootprintBytes() const {
+  return candidates_.capacity() * sizeof(Candidate) + first_.size() * 24 +
+         per_pass_.capacity() * sizeof(uint64_t);
+}
+
+Report MergeCandidates(std::vector<Candidate> candidates,
+                       const TraceAnalysisOptions& options) {
+  // Stable sort over a deterministic collection order (dispatcher context
+  // first, then shard 0..N-1): exact key ties — possible only between
+  // contexts — resolve the same way every run.
+  std::stable_sort(candidates.begin(), candidates.end(), CanonicalLess);
+
+  Report report;
+  std::unordered_set<uint64_t> reported;
+  for (Candidate& candidate : candidates) {
+    if (IsWarning(candidate.kind) && !options.report_warnings) {
+      continue;
+    }
+    // Deduplication: one finding per (pattern, instruction site).
+    if (candidate.dedup_by_site) {
+      const uint64_t key =
+          (static_cast<uint64_t>(candidate.kind) << 32) | candidate.site;
+      if (!reported.insert(key).second) {
+        continue;
+      }
+    }
+    Finding finding;
+    finding.source = FindingSource::kTraceAnalysis;
+    finding.kind = candidate.kind;
+    finding.location = candidate.site == kInvalidFrame
+                           ? ""
+                           : FrameRegistry::Global().Describe(candidate.site);
+    finding.detail = std::move(candidate.detail);
+    finding.pm_offset = candidate.pm_offset;
+    finding.seq = candidate.seq;
+    report.Add(std::move(finding));
+  }
+  return report;
+}
+
+}  // namespace mumak

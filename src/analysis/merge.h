@@ -1,0 +1,23 @@
+// Candidate merge: the step that makes the sharded analysis byte-identical
+// to the serial one. Shards emit candidates in their own (timing-
+// dependent) order; the merge sorts them by the canonical key (phase, seq,
+// pass, sub, emit), filters suppressed warnings, deduplicates per
+// (kind, site) keeping the canonically-first instance, and resolves sites
+// into locations — all on one thread, in a deterministic order.
+
+#ifndef MUMAK_SRC_ANALYSIS_MERGE_H_
+#define MUMAK_SRC_ANALYSIS_MERGE_H_
+
+#include <vector>
+
+#include "src/analysis/detector_pass.h"
+#include "src/core/report.h"
+
+namespace mumak {
+
+Report MergeCandidates(std::vector<Candidate> candidates,
+                       const TraceAnalysisOptions& options);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_ANALYSIS_MERGE_H_

@@ -1,0 +1,44 @@
+#include <string>
+
+#include "src/analysis/builtin_passes.h"
+#include "src/analysis/detector_pass.h"
+
+namespace mumak {
+namespace {
+
+// §4.2 performance patterns on fences, evaluated per epoch: a fence with
+// nothing buffered since the previous fence is pure cost (bug); a fence
+// ordering more than one buffered flush / NT store leaves the persist
+// order among them non-deterministic (warning — beyond program-order
+// fault injection).
+class RedundantFencePass : public DetectorPass {
+ public:
+  std::string_view name() const override { return "redundant-fence"; }
+
+  void OnEpoch(const EpochStats& epoch, EmitContext& ctx) override {
+    if (epoch.check_redundant && epoch.pending_flushes == 0 &&
+        epoch.nt_stores == 0) {
+      ctx.Emit(FindingKind::kRedundantFence, epoch.fence_site, 0,
+               epoch.fence_seq,
+               "fence with no buffered flush or non-temporal store since "
+               "the previous fence");
+    } else if (epoch.pending_flushes + epoch.nt_stores > 1) {
+      ctx.Emit(
+          FindingKind::kMultiFlushFence, epoch.fence_site, 0,
+          epoch.fence_seq,
+          "fence orders " + std::to_string(epoch.pending_flushes) +
+              " buffered flush(es) and " + std::to_string(epoch.nt_stores) +
+              " non-temporal store(s); persist order between them is "
+              "non-deterministic and not covered by program-order fault "
+              "injection");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DetectorPass> MakeRedundantFencePass() {
+  return std::make_unique<RedundantFencePass>();
+}
+
+}  // namespace mumak

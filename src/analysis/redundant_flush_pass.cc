@@ -1,0 +1,41 @@
+#include <string>
+
+#include "src/analysis/builtin_passes.h"
+#include "src/analysis/detector_pass.h"
+
+namespace mumak {
+namespace {
+
+// §4.2 performance patterns on flushes: a flush of a line with no store
+// since its last flush is pure cost (bug); one flush covering several
+// stores may or may not suffice depending on the memory arrangement
+// (warning).
+class RedundantFlushPass : public DetectorPass {
+ public:
+  std::string_view name() const override { return "redundant-flush"; }
+
+  void OnFlush(const LineChunk& chunk, const LineCoreState& state,
+               EmitContext& ctx) override {
+    if (state.stores_since_flush == 0) {
+      ctx.Emit(FindingKind::kRedundantFlush, chunk.site, chunk.offset,
+               chunk.seq,
+               "flush of a cache line with no store since its last "
+               "flush (or never written)");
+    } else if (state.stores_since_flush > 1) {
+      ctx.Emit(FindingKind::kMultiStoreFlush, chunk.site, chunk.offset,
+               chunk.seq,
+               "one flush covers " +
+                   std::to_string(state.stores_since_flush) +
+                   " stores; whether a single flush suffices depends "
+                   "on the memory arrangement");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DetectorPass> MakeRedundantFlushPass() {
+  return std::make_unique<RedundantFlushPass>();
+}
+
+}  // namespace mumak

@@ -1,0 +1,57 @@
+#include "src/analysis/trace_analysis.h"
+
+#include <chrono>
+
+#include "src/analysis/sharded_analyzer.h"
+#include "src/instrument/trace.h"
+
+namespace mumak {
+
+TraceAnalyzer::TraceAnalyzer(TraceAnalysisOptions options)
+    : impl_(std::make_unique<ShardedAnalysis>(std::move(options))) {}
+
+TraceAnalyzer::~TraceAnalyzer() = default;
+
+void TraceAnalyzer::OnEvent(const PmEvent& event) { impl_->OnEvent(event); }
+
+Report TraceAnalyzer::Finish(TraceStats* stats) {
+  return impl_->Finish(stats);
+}
+
+Report TraceAnalyzer::Analyze(const std::vector<PmEvent>& trace,
+                              TraceStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const PmEvent& event : trace) {
+    OnEvent(event);
+  }
+  Report report = Finish(stats);
+  if (stats != nullptr) {
+    stats->elapsed_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  }
+  return report;
+}
+
+Report TraceAnalyzer::AnalyzeFile(const std::string& path,
+                                  TraceStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  // Stream in bounded batches: analysis memory stays proportional to the
+  // tracked line set, never the trace length.
+  TraceFileReader reader(path);
+  std::vector<PmEvent> batch;
+  while (reader.NextChunk(&batch, 4096)) {
+    for (const PmEvent& event : batch) {
+      OnEvent(event);
+    }
+  }
+  Report report = Finish(stats);
+  if (stats != nullptr) {
+    stats->elapsed_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  }
+  return report;
+}
+
+}  // namespace mumak

@@ -1,0 +1,61 @@
+#include "src/analysis/builtin_passes.h"
+#include "src/analysis/detector_pass.h"
+#include "src/pmem/persistency_model.h"
+
+namespace mumak {
+namespace {
+
+// §4.2 transient-data patterns: lines written but never flushed anywhere
+// (warning — either a durability bug or data that belongs in DRAM), and
+// the opt-in dirty-overwrite check (a store to an 8-byte granule whose
+// previous store was never persisted).
+class TransientDataPass : public DetectorPass {
+ public:
+  std::string_view name() const override { return "transient-data"; }
+
+  void OnStoreChunk(const LineChunk& chunk, const LineCoreState& state,
+                    EmitContext& ctx) override {
+    // RMWs mark their granule dirty but are not overwrite candidates (they
+    // exist to mutate in place); the check is opt-in besides.
+    if (chunk.kind != EventKind::kStore ||
+        !ctx.options().report_dirty_overwrites) {
+      return;
+    }
+    const uint64_t first_granule =
+        (chunk.offset % kCacheLineSize) / kAtomicGranule;
+    const uint64_t last_granule =
+        ((chunk.offset + chunk.size - 1) % kCacheLineSize) / kAtomicGranule;
+    for (uint64_t g = first_granule; g <= last_granule; ++g) {
+      const uint8_t bit = static_cast<uint8_t>(1u << g);
+      if ((state.dirty_granules & bit) != 0) {
+        ctx.Emit(FindingKind::kDirtyOverwrite, chunk.site, chunk.offset,
+                 chunk.seq,
+                 "store overwrites a previous store to " +
+                     HexOffset(chunk.line * kCacheLineSize +
+                               g * kAtomicGranule) +
+                     " that was never persisted");
+      }
+    }
+  }
+
+  void OnLineFinish(uint64_t line, const LineCoreState& state,
+                    EmitContext& ctx) override {
+    if (state.dirty_granules == 0 || state.flushed_ever) {
+      return;
+    }
+    ctx.Emit(FindingKind::kTransientData, state.last_store_site,
+             line * kCacheLineSize, state.last_store_seq,
+             "PM address " + HexOffset(line * kCacheLineSize) +
+                 " is written but never flushed anywhere: either a "
+                 "durability bug or transient data that belongs in "
+                 "volatile memory");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DetectorPass> MakeTransientDataPass() {
+  return std::make_unique<TransientDataPass>();
+}
+
+}  // namespace mumak

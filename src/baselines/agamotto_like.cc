@@ -3,9 +3,9 @@
 #include <set>
 #include <vector>
 
+#include "src/analysis/trace_analysis.h"
 #include "src/baselines/measure.h"
 #include "src/baselines/tools.h"
-#include "src/core/trace_analysis.h"
 
 namespace mumak {
 namespace {
@@ -88,6 +88,10 @@ Report AgamottoLike::Analyze(const TargetFactory& factory,
   std::set<std::string> dedup;
   TraceAnalysisOptions analysis_options;
   analysis_options.report_warnings = false;
+  // Agamotto's universal oracles map onto the shared ADR detector passes;
+  // pinning the set keeps this baseline stable if the default set grows.
+  analysis_options.detectors = std::vector<std::string>{
+      "durability", "transient-data", "redundant-flush", "redundant-fence"};
 
   std::priority_queue<SeState, std::vector<SeState>, SeStateOrder> frontier;
   frontier.push(SeState{});

@@ -1,9 +1,12 @@
 #include <chrono>
+#include <limits>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <set>
 #include <vector>
 
+#include "src/analysis/detector_pass.h"
 #include "src/baselines/measure.h"
 #include "src/baselines/tools.h"
 
@@ -28,6 +31,69 @@ struct PendingStore {
   uint64_t seq = 0;
   bool flushed = false;
 };
+
+// The whole tool expressed as one global-affinity detector pass: it needs
+// the event stream in total order (the array/AVL tiers are cross-line), so
+// it runs on the analyzer's dispatch thread and never shards. Plugged into
+// TraceAnalyzer via extra_global_passes, which also makes it available to
+// `--detectors pmdebugger` wherever the baselines are linked in.
+class PmDebuggerPass : public DetectorPass {
+ public:
+  std::string_view name() const override { return "pmdebugger"; }
+  bool line_affine() const override { return false; }
+  bool supports_mode(bool eadr_mode) const override {
+    (void)eadr_mode;
+    return true;
+  }
+  bool wants_global_events() const override { return true; }
+
+  struct BudgetExceeded {};
+
+  void OnGlobalEvent(const PmEvent& event, EmitContext& ctx) override;
+
+  void OnTraceFinish(const TraceTail& tail, EmitContext& ctx) override {
+    (void)tail;
+    // End of execution: whatever never persisted is a durability finding
+    // (PMDebugger reports transient data as durability, Table 1).
+    for (const PendingStore& store : array) {
+      if (!store.flushed) {
+        Emit(ctx, FindingKind::kUnflushedStore, store.offset, store.seq);
+      }
+    }
+    for (const auto& [line, store] : avl) {
+      Emit(ctx, FindingKind::kUnflushedStore, store.offset, store.seq);
+    }
+  }
+
+  std::vector<PendingStore> array;       // short-term tier
+  std::map<uint64_t, PendingStore> avl;  // long-term tier (line -> store)
+  // Per-granule last-store index for dirty-overwrite detection (O(1), as
+  // in the original's hashed lookaside).
+  std::unordered_map<uint64_t, bool> granule_unpersisted;
+  uint64_t pending_flushes = 0;
+  uint64_t processed = 0;
+  size_t peak_bytes = 0;
+  std::chrono::steady_clock::time_point start;
+  double budget_s = std::numeric_limits<double>::infinity();
+  bool timed_out = false;
+
+ private:
+  // No dedup and no location: PMDebugger reports every occurrence, keyed
+  // by address.
+  static void Emit(EmitContext& ctx, FindingKind kind, uint64_t offset,
+                   uint64_t seq) {
+    ctx.Emit(kind, kInvalidFrame, offset, seq, "",
+             /*dedup_by_site=*/false);
+  }
+};
+
+const bool kPmDebuggerRegistered = [] {
+  DetectorRegistry::Global().Register(
+      "pmdebugger", [](const TraceAnalysisOptions&) {
+        return std::make_unique<PmDebuggerPass>();
+      });
+  return true;
+}();
 
 }  // namespace
 
@@ -64,78 +130,40 @@ bool PmDebuggerLike::SupportsTarget(std::string_view target_name) const {
   return kPmdkTargets.find(target_name) != kPmdkTargets.end();
 }
 
-namespace {
-
-// Analyses the event stream online, like the valgrind-based original: no
-// trace is retained; only the two bookkeeping tiers live in memory.
-struct PmDebuggerSink : EventSink {
-  Report* report = nullptr;
-  std::vector<PendingStore> array;       // short-term tier
-  std::map<uint64_t, PendingStore> avl;  // long-term tier (line -> store)
-  // Per-granule last-store index for dirty-overwrite detection (O(1), as
-  // in the original's hashed lookaside).
-  std::unordered_map<uint64_t, bool> granule_unpersisted;
-  uint64_t pending_flushes = 0;
-  uint64_t processed = 0;
-  size_t peak_bytes = 0;
-  std::chrono::steady_clock::time_point start;
-  double budget_s = 0;
-  bool timed_out = false;
-
-  struct BudgetExceeded {};
-
-  void AddFinding(FindingKind kind, uint64_t offset, uint64_t seq) {
-    Finding finding;
-    finding.source = FindingSource::kTraceAnalysis;
-    finding.kind = kind;
-    finding.pm_offset = offset;
-    finding.seq = seq;
-    report->Add(std::move(finding));  // no dedup: every occurrence reported
-  }
-
-  void OnEvent(const PmEvent& event) override;
-};
-
-}  // namespace
-
 Report PmDebuggerLike::Analyze(const TargetFactory& factory,
                                const WorkloadSpec& spec, const Budget& budget,
                                ToolRunStats* stats) {
+  (void)kPmDebuggerRegistered;
   const auto start = std::chrono::steady_clock::now();
   const double cpu_start = ProcessCpuSeconds();
   const size_t vanilla = MeasureVanillaPeakBytes(factory, spec);
 
-  Report report;
-  PmDebuggerSink sink;
-  sink.report = &report;
-  sink.start = start;
-  sink.budget_s = budget.time_budget_s;
+  PmDebuggerPass pass;
+  pass.start = start;
+  pass.budget_s = budget.time_budget_s;
 
-  // Single instrumented execution, analysed online.
+  // Analysed online through the shared framework, like the valgrind-based
+  // original: the analyzer attaches as the execution's event sink, no
+  // trace is retained, and only the two bookkeeping tiers live in memory.
+  TraceAnalysisOptions options;
+  options.detectors = std::vector<std::string>{};  // only the pass below
+  options.extra_global_passes = {&pass};
+  TraceAnalyzer analyzer(std::move(options));
+
   TargetPtr target = factory();
   PmPool pool(target->DefaultPoolSize());
   try {
-    ScopedSink attach(pool.hub(), &sink);
+    ScopedSink attach(pool.hub(), &analyzer);
     FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
-  } catch (const PmDebuggerSink::BudgetExceeded&) {
-    sink.timed_out = true;
+  } catch (const PmDebuggerPass::BudgetExceeded&) {
+    pass.timed_out = true;
   }
-
-  // End of execution: whatever never persisted is a durability finding
-  // (PMDebugger reports transient data as durability, Table 1).
-  for (const PendingStore& store : sink.array) {
-    if (!store.flushed) {
-      sink.AddFinding(FindingKind::kUnflushedStore, store.offset, store.seq);
-    }
-  }
-  for (const auto& [line, store] : sink.avl) {
-    sink.AddFinding(FindingKind::kUnflushedStore, store.offset, store.seq);
-  }
+  Report report = analyzer.Finish(nullptr);
 
   if (stats != nullptr) {
-    stats->timed_out = sink.timed_out;
-    stats->units_explored = sink.processed;
-    FinalizeResourceStats(stats, vanilla, sink.peak_bytes, 0, 0,
+    stats->timed_out = pass.timed_out;
+    stats->units_explored = pass.processed;
+    FinalizeResourceStats(stats, vanilla, pass.peak_bytes, 0, 0,
                           std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
                               .count(),
@@ -144,7 +172,9 @@ Report PmDebuggerLike::Analyze(const TargetFactory& factory,
   return report;
 }
 
-void PmDebuggerSink::OnEvent(const PmEvent& event) {
+namespace {
+
+void PmDebuggerPass::OnGlobalEvent(const PmEvent& event, EmitContext& ctx) {
   {
     if ((++processed & 0xfff) == 0 &&
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -153,7 +183,7 @@ void PmDebuggerSink::OnEvent(const PmEvent& event) {
       throw BudgetExceeded{};
     }
     auto add_finding = [&](FindingKind kind, uint64_t offset, uint64_t seq) {
-      AddFinding(kind, offset, seq);
+      Emit(ctx, kind, offset, seq);
     };
     switch (event.kind) {
       case EventKind::kStore:
@@ -233,4 +263,5 @@ void PmDebuggerSink::OnEvent(const PmEvent& event) {
   }
 }
 
+}  // namespace
 }  // namespace mumak

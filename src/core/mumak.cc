@@ -11,6 +11,7 @@
 #include <optional>
 #include <map>
 #include <set>
+#include <thread>
 
 namespace mumak {
 namespace {
@@ -23,6 +24,26 @@ std::string TempTracePath() {
   return dir + "/mumak_trace_" + std::to_string(::getpid()) + "_" +
          std::to_string(counter.fetch_add(1)) + ".bin";
 }
+
+// Owns the spool file's lifetime: removed on every exit path (early
+// returns, exceptions from the target or the oracle), not just the happy
+// one.
+class ScopedTempFile {
+ public:
+  explicit ScopedTempFile(std::string path) : path_(std::move(path)) {}
+  ~ScopedTempFile() {
+    if (!path_.empty()) {
+      std::remove(path_.c_str());
+    }
+  }
+  ScopedTempFile(const ScopedTempFile&) = delete;
+  ScopedTempFile& operator=(const ScopedTempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 // Sink that captures shadow-stack backtraces for a chosen set of
 // instruction counters (deterministic across re-executions, §5).
@@ -149,13 +170,34 @@ MumakResult Mumak::Analyze() {
   fi_options.tracer = options_.tracer;
   fi_options.progress = options_.progress;
   FaultInjectionEngine engine(factory_, spec_, fi_options);
-  const std::string trace_path = TempTracePath();
+  // Online mode attaches the analyzer to the profiling execution directly;
+  // offline mode spools the trace to a guarded temp file and analyses it
+  // on a worker thread, overlapping fault injection.
+  const bool online = options_.trace_analysis && options_.online_analysis;
+  std::optional<TraceAnalyzer> analyzer;
+  std::optional<ScopedTempFile> spool;
   std::optional<TraceFileSink> trace;
   if (options_.trace_analysis) {
-    trace.emplace(trace_path);
+    TraceAnalysisOptions ta_options;
+    ta_options.report_warnings = options_.report_warnings;
+    ta_options.report_dirty_overwrites = options_.report_dirty_overwrites;
+    ta_options.eadr_mode = options_.eadr_mode;
+    ta_options.detectors = options_.detectors;
+    ta_options.jobs = options_.analysis_jobs;
+    ta_options.metrics = options_.metrics;
+    analyzer.emplace(std::move(ta_options));
+    if (!online) {
+      spool.emplace(TempTracePath());
+      trace.emplace(spool->path());
+    }
   }
-  FailurePointTree tree =
-      engine.Profile(options_.trace_analysis ? &*trace : nullptr);
+  EventSink* profile_sink = nullptr;
+  if (online) {
+    profile_sink = &*analyzer;
+  } else if (trace.has_value()) {
+    profile_sink = &*trace;
+  }
+  FailurePointTree tree = engine.Profile(profile_sink);
   if (trace.has_value()) {
     trace->Close();
   }
@@ -173,34 +215,44 @@ MumakResult Mumak::Analyze() {
     tree = FailurePointTree::Deserialize(in);
   }
 
-  // Steps 7-9: fault injection with the recovery oracle.
-  if (options_.fault_injection) {
-    ScopedSpan span(options_.tracer, "inject");
-    Report injection_report = engine.InjectAll(&tree, &result.fault_injection);
-    span.AddArg("injections", result.fault_injection.injections);
-    result.report.Merge(injection_report);
-  }
-
-  // Steps 10-11: trace analysis (conceptually parallel in the paper's
-  // pipeline; sequential here).
+  // Steps 7-11: fault injection with the recovery oracle, with the trace
+  // analysis running concurrently on a worker thread (the phases are
+  // parallel in the paper's pipeline too). In online mode the events were
+  // already analysed during profiling and Finish() only drains the shards.
+  Report trace_report;
+  std::thread analysis_thread;
   if (options_.trace_analysis) {
-    TraceAnalysisOptions ta_options;
-    ta_options.report_warnings = options_.report_warnings;
-    ta_options.eadr_mode = options_.eadr_mode;
-    ta_options.metrics = options_.metrics;
-    TraceAnalyzer analyzer(ta_options);
-    Report trace_report;
-    {
+    analysis_thread = std::thread([&] {
       ScopedSpan span(options_.tracer, "trace_analysis");
-      trace_report = analyzer.AnalyzeFile(trace_path, &result.trace);
+      trace_report = online ? analyzer->Finish(&result.trace)
+                            : analyzer->AnalyzeFile(spool->path(),
+                                                    &result.trace);
       span.AddArg("events", result.trace.events);
+    });
+  }
+  try {
+    if (options_.fault_injection) {
+      ScopedSpan span(options_.tracer, "inject");
+      Report injection_report =
+          engine.InjectAll(&tree, &result.fault_injection);
+      span.AddArg("injections", result.fault_injection.injections);
+      result.report.Merge(injection_report);
     }
+  } catch (...) {
+    if (analysis_thread.joinable()) {
+      analysis_thread.join();
+    }
+    throw;
+  }
+  if (analysis_thread.joinable()) {
+    analysis_thread.join();
+  }
+  if (options_.trace_analysis) {
     if (options_.resolve_backtraces) {
       ScopedSpan span(options_.tracer, "resolve_backtraces");
       ResolveBacktraces(&trace_report);
     }
     result.report.Merge(trace_report);
-    std::remove(trace_path.c_str());
   }
 
   const double wall =

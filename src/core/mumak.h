@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/core/fault_injection.h"
 #include "src/core/report.h"
@@ -28,6 +30,22 @@ struct MumakOptions {
   // Analyse the trace under eADR persistency semantics (§4.3): flushes are
   // overhead, durability is free, ordering still matters.
   bool eadr_mode = false;
+  // Report dirty overwrites (multiple stores to the same 8-byte granule
+  // without an intervening flush); opt-in, see
+  // TraceAnalysisOptions::report_dirty_overwrites.
+  bool report_dirty_overwrites = false;
+  // Detector passes to run, by DetectorRegistry name; nullopt selects the
+  // default set for the persistency mode (see TraceAnalysisOptions).
+  std::optional<std::vector<std::string>> detectors;
+  // Shard worker threads for the trace analysis (TraceAnalysisOptions::
+  // jobs). The report is byte-identical at any value.
+  uint32_t analysis_jobs = 1;
+  // Attach the analyzer to the profiling execution as an event sink: no
+  // spool file is written and the analysis overlaps the workload itself.
+  // When false, the trace spools to a temp file and its analysis overlaps
+  // fault injection on a worker thread — either way the analysis no longer
+  // serialises the pipeline.
+  bool online_analysis = false;
   // Re-run the target with minimal instrumentation to attach call stacks to
   // trace-analysis findings (the §5 instruction-counter optimisation:
   // traces carry only counters; backtraces are recovered afterwards).

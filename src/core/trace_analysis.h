@@ -1,107 +1,11 @@
-// Trace analysis phase (§4.2): a single pass over the PM access trace
-// detecting the five patterns of misuse that fault injection cannot expose
-// — durability bugs masked by the graceful crash images, performance bugs,
-// and ordering patterns beyond program order (reported as warnings).
-//
-// The analyzer is incremental: events can be fed one at a time (streamed
-// from the trace file the profiling execution spooled to disk — the paper
-// stages this data on a tmpfs mount), so the analysis memory is bounded by
-// the number of distinct cache lines, not the trace length.
+// Compatibility shim: the trace analysis moved from a monolithic state
+// machine here into the pluggable, sharded detector framework under
+// src/analysis/. Include src/analysis/trace_analysis.h directly in new
+// code; this header stays so existing includes keep working.
 
 #ifndef MUMAK_SRC_CORE_TRACE_ANALYSIS_H_
 #define MUMAK_SRC_CORE_TRACE_ANALYSIS_H_
 
-#include <cstdint>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
-#include "src/core/report.h"
-#include "src/instrument/pm_event.h"
-#include "src/instrument/shadow_call_stack.h"
-#include "src/observability/metrics.h"
-
-namespace mumak {
-
-struct TraceAnalysisOptions {
-  bool report_warnings = true;
-  // Report dirty overwrites (multiple stores to the same 8-byte granule
-  // without an intervening flush). §2 considers these a strong indication
-  // of transient data; undo-logged transactional code legitimately
-  // overwrites dirty data before the commit flush, so this pattern is an
-  // opt-in, like PMDebugger's.
-  bool report_dirty_overwrites = false;
-  // eADR mode (§2, §4.3): the persistence domain extends to the CPU
-  // caches, so stores are persistent once globally visible. Under eADR
-  // every cache line flush is pure overhead (reported as a redundant
-  // flush), fences are still needed to order stores, and the durability
-  // patterns do not apply. Fault injection is unaffected: atomicity and
-  // ordering bugs exist on eADR systems too.
-  bool eadr_mode = false;
-  // Optional pattern-hit accounting ("trace.pattern.<kind>" counters):
-  // every detected pattern instance counts, including instances collapsed
-  // by the per-site deduplication and warnings suppressed by
-  // report_warnings — the counters measure what the trace contains, the
-  // report what the user asked to see. Borrowed, may be null.
-  MetricsRegistry* metrics = nullptr;
-};
-
-struct TraceStats {
-  uint64_t events = 0;
-  uint64_t lines_tracked = 0;
-  uint64_t findings = 0;
-  double elapsed_s = 0;
-  size_t footprint_bytes = 0;
-};
-
-class TraceAnalyzer {
- public:
-  explicit TraceAnalyzer(TraceAnalysisOptions options = {})
-      : options_(options) {}
-
-  // Incremental interface: feed events in order, then Finish().
-  void OnEvent(const PmEvent& event);
-  Report Finish(TraceStats* stats);
-
-  // One-shot over an in-memory trace.
-  Report Analyze(const std::vector<PmEvent>& trace, TraceStats* stats);
-
-  // One-shot over a binary trace file (TraceIo format), streamed with
-  // bounded memory.
-  Report AnalyzeFile(const std::string& path, TraceStats* stats);
-
- private:
-  struct LineState {
-    uint32_t stores_since_flush = 0;
-    bool flushed_ever = false;
-    bool pending_flush = false;  // flushed (clflushopt/clwb), awaiting fence
-    uint8_t dirty_granules = 0;  // 8-byte granules with unpersisted stores
-    uint64_t last_store_seq = 0;
-    uint32_t last_store_site = 0;
-  };
-
-  void AddFinding(FindingKind kind, uint32_t site, uint64_t offset,
-                  uint64_t seq, const std::string& detail);
-  void HandleFence(const PmEvent& event, bool check_redundant);
-  void OnEventAdr(const PmEvent& event);
-  void OnEventEadr(const PmEvent& event);
-
-  TraceAnalysisOptions options_;
-  Report report_;
-  std::unordered_map<uint64_t, LineState> lines_;
-  std::vector<uint64_t> pending_lines_;
-  std::unordered_set<uint64_t> reported_;
-  uint64_t events_ = 0;
-  uint64_t pending_flushes_ = 0;
-  uint64_t nt_since_fence_ = 0;
-  uint64_t stores_since_fence_ = 0;  // eADR mode
-  uint32_t last_nt_site_ = kInvalidFrame;
-  uint64_t last_nt_seq_ = 0;
-  uint32_t last_flush_site_ = kInvalidFrame;
-  uint64_t last_flush_seq_ = 0;
-};
-
-}  // namespace mumak
+#include "src/analysis/trace_analysis.h"
 
 #endif  // MUMAK_SRC_CORE_TRACE_ANALYSIS_H_

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/detector_pass.h"
 #include "src/core/mumak.h"
 #include "src/instrument/trace.h"
 #include "src/observability/metrics.h"
@@ -54,6 +55,16 @@ void PrintUsage() {
       "  --eadr                analyse under eADR persistency semantics\n"
       "  --budget <seconds>    analysis time budget\n"
       "  --jobs <n>            parallel fault-injection workers (default 1)\n"
+      "  --analysis-jobs <n>   trace-analysis shard workers (default 1);\n"
+      "                        the report is byte-identical at any value\n"
+      "  --online-analysis     analyse the trace during profiling (no spool\n"
+      "                        file) instead of overlapping injection\n"
+      "  --detectors <list>    comma-separated detector passes to run\n"
+      "                        (default: all for the persistency mode;\n"
+      "                        see --list-detectors)\n"
+      "  --dirty-overwrites    also report stores overwriting unpersisted\n"
+      "                        data in the same 8-byte granule (opt-in:\n"
+      "                        undo-logged code does this legitimately)\n"
       "  --strategy <s>        injection strategy: 'reexec' re-executes the\n"
       "                        workload per failure point; 'replay'\n"
       "                        synthesizes crash images from the profiled\n"
@@ -103,7 +114,8 @@ void PrintUsage() {
       "\n"
       "introspection:\n"
       "  --list-targets        registered targets\n"
-      "  --list-bugs           seeded bug corpus (optionally --target)\n");
+      "  --list-bugs           seeded bug corpus (optionally --target)\n"
+      "  --list-detectors      registered trace-analysis detector passes\n");
 }
 
 // Strict non-negative integer parse: digits only (strtoull alone would
@@ -142,6 +154,7 @@ int main(int argc, char** argv) {
   MumakOptions mumak_options;
   bool list_targets = false;
   bool list_bugs = false;
+  bool list_detectors = false;
   bool json_output = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -271,6 +284,39 @@ int main(int argc, char** argv) {
         return 2;
       }
       mumak_options.injection_workers = static_cast<uint32_t>(jobs);
+    } else if (arg == "--analysis-jobs") {
+      uint64_t jobs = 0;
+      const char* value = next("--analysis-jobs");
+      if (!ParseUint(value, &jobs) || jobs == 0) {
+        std::fprintf(stderr,
+                     "mumak: bad --analysis-jobs value '%s' (expected a "
+                     "positive integer)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.analysis_jobs = static_cast<uint32_t>(jobs);
+    } else if (arg == "--online-analysis") {
+      mumak_options.online_analysis = true;
+    } else if (arg == "--dirty-overwrites") {
+      mumak_options.report_dirty_overwrites = true;
+    } else if (arg == "--detectors") {
+      const std::string list = next("--detectors");
+      std::vector<std::string> names;
+      size_t begin = 0;
+      while (begin <= list.size()) {
+        const size_t comma = list.find(',', begin);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > begin) {
+          names.push_back(list.substr(begin, end - begin));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        begin = comma + 1;
+      }
+      mumak_options.detectors = std::move(names);
+    } else if (arg == "--list-detectors") {
+      list_detectors = true;
     } else if (arg == "--sandbox") {
       const std::string mode = next("--sandbox");
       if (mode == "inproc" || mode == "in-process" || mode == "none") {
@@ -364,6 +410,12 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (list_detectors) {
+    for (const std::string& name : DetectorRegistry::Global().Names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
   if (list_bugs) {
     auto print_bugs = [&](const std::vector<SeededBug>& bugs) {
       for (const SeededBug& bug : bugs) {
@@ -395,6 +447,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "mumak: unknown target '%s' (see --list-targets)\n",
                  target_name.c_str());
     return 2;
+  }
+  if (mumak_options.detectors.has_value()) {
+    // Validate up front (--eadr may come after --detectors, so this runs
+    // post-parse) to fail with a usage error instead of a pipeline throw.
+    const DetectorRegistry& registry = DetectorRegistry::Global();
+    for (const std::string& name : *mumak_options.detectors) {
+      auto pass = registry.Create(name, TraceAnalysisOptions{});
+      if (pass == nullptr) {
+        std::fprintf(stderr,
+                     "mumak: unknown detector '%s' (see --list-detectors)\n",
+                     name.c_str());
+        return 2;
+      }
+      if (!pass->supports_mode(mumak_options.eadr_mode)) {
+        std::fprintf(stderr,
+                     "mumak: detector '%s' does not support %s mode\n",
+                     name.c_str(),
+                     mumak_options.eadr_mode ? "eADR" : "ADR");
+        return 2;
+      }
+    }
   }
 
   if (!json_output) {

@@ -11,12 +11,16 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
-#include "src/core/trace_analysis.h"
+#include "src/analysis/detector_pass.h"
+#include "src/analysis/trace_analysis.h"
 #include "src/instrument/shadow_call_stack.h"
 #include "src/instrument/trace.h"
 #include "src/observability/metrics.h"
@@ -57,6 +61,9 @@ int main(int argc, char** argv) {
   bool analyze = false;
   bool eadr = false;
   bool histograms = false;
+  bool dirty_overwrites = false;
+  uint32_t analysis_jobs = 1;
+  std::optional<std::vector<std::string>> detectors;
   std::string metrics_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +74,43 @@ int main(int argc, char** argv) {
       eadr = true;
     } else if (arg == "--histograms") {
       histograms = true;
+    } else if (arg == "--dirty-overwrites") {
+      dirty_overwrites = true;
+    } else if (arg == "--analysis-jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "mumak-inspect: --analysis-jobs requires a value\n");
+        return 2;
+      }
+      const long jobs = std::strtol(argv[++i], nullptr, 10);
+      if (jobs < 1) {
+        std::fprintf(stderr,
+                     "mumak-inspect: bad --analysis-jobs value '%s' "
+                     "(expected a positive integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      analysis_jobs = static_cast<uint32_t>(jobs);
+    } else if (arg == "--detectors") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mumak-inspect: --detectors requires a list\n");
+        return 2;
+      }
+      const std::string list = argv[++i];
+      std::vector<std::string> names;
+      size_t begin = 0;
+      while (begin <= list.size()) {
+        const size_t comma = list.find(',', begin);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > begin) {
+          names.push_back(list.substr(begin, end - begin));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        begin = comma + 1;
+      }
+      detectors = std::move(names);
     } else if (arg == "--metrics") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "mumak-inspect: --metrics requires a file\n");
@@ -75,11 +119,30 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: mumak-inspect [--analyze] [--eadr] [--histograms] "
+          "usage: mumak-inspect [--analyze] [--eadr] [--dirty-overwrites] "
+          "[--analysis-jobs <n>] [--detectors <list>] [--histograms] "
           "[--metrics <file>] <trace.bin>\n");
       return 0;
     } else {
       path = arg;
+    }
+  }
+  if (detectors.has_value()) {
+    const DetectorRegistry& registry = DetectorRegistry::Global();
+    for (const std::string& name : *detectors) {
+      auto pass = registry.Create(name, TraceAnalysisOptions{});
+      if (pass == nullptr) {
+        std::fprintf(stderr, "mumak-inspect: unknown detector '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      if (!pass->supports_mode(eadr)) {
+        std::fprintf(stderr,
+                     "mumak-inspect: detector '%s' does not support %s "
+                     "mode\n",
+                     name.c_str(), eadr ? "eADR" : "ADR");
+        return 2;
+      }
     }
   }
   if (path.empty()) {
@@ -187,8 +250,11 @@ int main(int argc, char** argv) {
   if (analyze) {
     TraceAnalysisOptions options;
     options.eadr_mode = eadr;
+    options.report_dirty_overwrites = dirty_overwrites;
+    options.detectors = detectors;
+    options.jobs = analysis_jobs;
     options.metrics = &registry;
-    TraceAnalyzer analyzer(options);
+    TraceAnalyzer analyzer(std::move(options));
     TraceStats stats;
     // Re-intern the producer's site names locally so findings carry
     // human-readable locations (the footer's site table).
