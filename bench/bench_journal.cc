@@ -1,0 +1,143 @@
+// Flight-recorder overhead: wall-clock of a full injection campaign with
+// the campaign journal off vs on (ISSUE acceptance: journaling costs at
+// most 5%). Emits BENCH_journal.json and exits non-zero when the gate
+// fails, so CI can use the binary directly as the check.
+//
+// The journal's hot-path cost is one branch per failure point when
+// disabled, and frame-plus-enqueue (no I/O — the group-commit writer
+// thread owns the file) when enabled; the campaign's own work (workload
+// re-execution, recovery oracle) should dominate either way. Both
+// configurations run the same btree campaign; each is measured several
+// times and the medians are compared, which keeps a single scheduler
+// hiccup from deciding the gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/fault_injection.h"
+#include "src/observability/journal.h"
+#include "src/observability/metrics.h"
+
+namespace mumak {
+namespace {
+
+constexpr int kRuns = 5;
+constexpr double kMaxOverhead = 1.05;
+constexpr const char* kJournalPath = "bench_journal.tmp.mjn";
+
+struct CampaignResult {
+  double wall_s = 0;
+  uint64_t injections = 0;
+  uint64_t bugs = 0;
+  uint64_t journal_bytes = 0;
+};
+
+CampaignResult RunOnce(bool journaled) {
+  TargetOptions target_options;
+  target_options.pmdk_version = PmdkVersion::k16;
+  target_options.bugs = {"btree.split_unlogged"};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+  spec.seed = 42;
+
+  std::unique_ptr<CampaignJournal> journal;
+  MetricsRegistry metrics;
+  FaultInjectionOptions options;
+  if (journaled) {
+    std::string error;
+    journal = CampaignJournal::Create(kJournalPath, &error);
+    if (journal == nullptr) {
+      std::fprintf(stderr, "bench_journal: %s\n", error.c_str());
+      std::exit(2);
+    }
+    journal->WriteHeader({{"target", "btree"}, {"bench", "overhead"}});
+    journal->AttachMetrics(&metrics, /*interval_ms=*/500);
+    options.journal = journal.get();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  FaultInjectionEngine engine(
+      MakeFactory("btree", target_options), spec, options);
+  FailurePointTree tree = engine.Profile();
+  FaultInjectionStats stats;
+  const Report report = engine.InjectAll(&tree, &stats);
+  CampaignResult result;
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  result.injections = stats.injections;
+  result.bugs = report.BugCount();
+  if (journaled) {
+    journal->WriteFooter(report.BugCount(), report.WarningCount(),
+                         result.wall_s, /*interrupted=*/false);
+    journal->Close();
+    std::ifstream in(kJournalPath, std::ios::binary | std::ios::ate);
+    result.journal_bytes = static_cast<uint64_t>(in.tellg());
+    std::remove(kJournalPath);
+  }
+  return result;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+}  // namespace mumak
+
+int main() {
+  using namespace mumak;
+
+  // Interleave the configurations so thermal / cache drift hits both.
+  std::vector<double> off_s, on_s;
+  CampaignResult off_last, on_last;
+  for (int run = 0; run < kRuns; ++run) {
+    off_last = RunOnce(/*journaled=*/false);
+    off_s.push_back(off_last.wall_s);
+    on_last = RunOnce(/*journaled=*/true);
+    on_s.push_back(on_last.wall_s);
+  }
+  const double off_median = Median(off_s);
+  const double on_median = Median(on_s);
+  const double ratio = on_median / off_median;
+  const bool pass = ratio <= kMaxOverhead;
+
+  std::printf("campaign wall-clock, median of %d runs\n", kRuns);
+  std::printf("  journal off   %s  (%llu injections, %llu bugs)\n",
+              FormatSeconds(off_median, false).c_str(),
+              static_cast<unsigned long long>(off_last.injections),
+              static_cast<unsigned long long>(off_last.bugs));
+  std::printf("  journal on    %s  (%llu bytes journaled)\n",
+              FormatSeconds(on_median, false).c_str(),
+              static_cast<unsigned long long>(on_last.journal_bytes));
+  std::printf("  overhead      %.3fx  (gate: <= %.2fx)  %s\n", ratio,
+              kMaxOverhead, pass ? "PASS" : "FAIL");
+
+  std::ofstream out("BENCH_journal.json", std::ios::trunc);
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\n"
+                "  \"runs\": %d,\n"
+                "  \"off_median_s\": %.4f,\n"
+                "  \"on_median_s\": %.4f,\n"
+                "  \"overhead_x\": %.4f,\n"
+                "  \"gate_x\": %.2f,\n"
+                "  \"injections\": %llu,\n"
+                "  \"journal_bytes\": %llu,\n"
+                "  \"pass\": %s\n"
+                "}\n",
+                kRuns, off_median, on_median, ratio, kMaxOverhead,
+                static_cast<unsigned long long>(off_last.injections),
+                static_cast<unsigned long long>(on_last.journal_bytes),
+                pass ? "true" : "false");
+  out << buffer;
+  return pass ? 0 : 1;
+}

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
 #include "src/analysis/merge.h"
+#include "src/observability/journal.h"
 #include "src/pmem/persistency_model.h"
 
 namespace mumak {
@@ -542,6 +544,20 @@ Report ShardedAnalysis::Finish(TraceStats* stats) {
       contexts.push_back(&shard->ctx());
     }
     PublishMetrics(contexts, lines_tracked, elapsed_s);
+  }
+  if (options_.journal != nullptr) {
+    char record[256];
+    std::snprintf(record, sizeof(record),
+                  "{\"type\": \"analysis\", \"t_us\": %llu, "
+                  "\"events\": %llu, \"lines_tracked\": %llu, "
+                  "\"findings\": %llu, \"shards\": %u}",
+                  static_cast<unsigned long long>(
+                      options_.journal->NowMicros()),
+                  static_cast<unsigned long long>(events_),
+                  static_cast<unsigned long long>(lines_tracked),
+                  static_cast<unsigned long long>(report.findings().size()),
+                  jobs_);
+    options_.journal->Append(record);
   }
   return report;
 }

@@ -32,6 +32,7 @@
 
 namespace mumak {
 
+class CampaignJournal;
 class DetectorPass;
 class ShardedAnalysis;
 
@@ -74,6 +75,11 @@ struct TraceAnalysisOptions {
   // "analysis.shard_us" busy-time histogram land here too. Borrowed, may
   // be null.
   MetricsRegistry* metrics = nullptr;
+  // Campaign flight recorder (src/observability/journal.h): Finish()
+  // appends one "analysis" summary record (events, lines tracked, shard
+  // count) so an anytime reader can tell how far the trace analysis got.
+  // Borrowed, may be null.
+  CampaignJournal* journal = nullptr;
 };
 
 struct TraceStats {

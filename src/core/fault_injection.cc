@@ -460,11 +460,15 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
     replay.emplace();
     pool.hub().AddSink(&*replay);
   }
-  // Persistent verdict cache: fingerprint the event stream while it is
-  // being produced (the staleness key for --verdict-cache).
+  // Persistent verdict cache / campaign journal: fingerprint the event
+  // stream while it is being produced. The same order-sensitive hash is
+  // the staleness key for --verdict-cache and the resume cross-check for
+  // --resume-journal (a journal written against a different persistent
+  // behaviour must not seed skips).
   fingerprint_ready_ = false;
   std::optional<TraceFingerprintSink> fingerprint;
-  if (!options_.verdict_cache_path.empty()) {
+  if (!options_.verdict_cache_path.empty() || options_.journal != nullptr ||
+      options_.resume != nullptr) {
     fingerprint.emplace();
     pool.hub().AddSink(&*fingerprint);
   }
@@ -497,6 +501,11 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
   }
   span.AddArg("failure_points", tree.FailurePointCount());
   span.AddArg("pm_events", pool.hub().seq());
+  if (options_.journal != nullptr) {
+    options_.journal->WriteProfile(trace_fingerprint_,
+                                   tree.FailurePointCount(),
+                                   pool.hub().seq());
+  }
   return tree;
 }
 
@@ -529,6 +538,47 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
       }
     }
   }
+  // Resume (--resume-journal): failure points whose verdict the prior
+  // journal generation already recorded are marked visited up front — the
+  // injection paths then never re-check them — and the recorded verdicts
+  // are queued on resume_schedule_ for replay into the report. Gated on
+  // the trace fingerprint (the MVC1 staleness key): a mismatch means the
+  // workload's persistent behaviour changed and every recorded verdict is
+  // stale, so the engine warns and runs the full campaign.
+  resume_schedule_.clear();
+  if (options_.resume != nullptr && !options_.resume->verdicts.empty()) {
+    if (!fingerprint_ready_ || !options_.resume->has_profile ||
+        options_.resume->fingerprint != trace_fingerprint_) {
+      std::fprintf(stderr,
+                   "mumak: --resume-journal: trace fingerprint mismatch "
+                   "(the journal was recorded against a different "
+                   "persistent behaviour); running the full campaign\n");
+    } else {
+      std::unordered_map<uint64_t, const JournalVerdict*> by_seq;
+      for (const JournalVerdict& verdict : options_.resume->verdicts) {
+        by_seq.emplace(verdict.seq, &verdict);  // first generation wins
+      }
+      for (const FailurePointTree::NodeIndex node : tree->UnvisitedNodes()) {
+        const auto it = first_seq_.find(node);
+        if (it == first_seq_.end()) {
+          continue;
+        }
+        const auto recorded = by_seq.find(it->second);
+        if (recorded != by_seq.end()) {
+          tree->MarkVisited(node);
+          resume_schedule_.push_back(*recorded->second);
+          ++stats->resumed;
+        }
+      }
+      std::sort(resume_schedule_.begin(), resume_schedule_.end(),
+                [](const JournalVerdict& a, const JournalVerdict& b) {
+                  return a.seq < b.seq;
+                });
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetGauge("inject.resumed")->Set(stats->resumed);
+      }
+    }
+  }
   // One sandbox per campaign, built here while the process is still
   // single-threaded (the fork-server pool forks its initial workers in the
   // constructor). Slots map 1:1 onto injection workers.
@@ -541,6 +591,7 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
         1, std::min<uint64_t>(options_.workers, pending == 0 ? 1 : pending)));
     SandboxOptions sandbox_options = options_.sandbox;
     sandbox_options.metrics = options_.metrics;
+    sandbox_options.tracer = options_.tracer;
     sandbox.emplace(factory_, image_bytes, slots, sandbox_options);
   }
   RecoverySandbox* sandbox_ptr = sandbox.has_value() ? &*sandbox : nullptr;
@@ -587,12 +638,37 @@ Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
   InjectionMetrics im(options_.metrics);
   Counter* worker_injections = WorkerCounter(options_.metrics, 0);
   stats->failure_points = tree->FailurePointCount();
+  // Resumed verdicts replay through the same dedup/report path as fresh
+  // outcomes, interleaved in instruction-counter order (the serial loop
+  // crashes remaining points in ascending first-hit seq, so flushing the
+  // schedule up to each fresh crash reproduces the uninterrupted report
+  // byte for byte).
+  size_t resume_cursor = 0;
+  auto replay_resumed_up_to = [&](uint64_t bound) {
+    while (resume_cursor < resume_schedule_.size() &&
+           resume_schedule_[resume_cursor].seq < bound) {
+      const JournalVerdict& recorded = resume_schedule_[resume_cursor++];
+      if (recorded.status == "ok") {
+        continue;
+      }
+      if (dedup.find(recorded.detail) != dedup.end()) {
+        im.CountDeduplicated();
+        continue;
+      }
+      dedup.emplace(recorded.detail, report.findings().size());
+      report.Add(JournalReplay::FindingFromVerdict(recorded));
+    }
+  };
+  auto cancelled = [&] {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  };
   if (options_.progress != nullptr) {
     options_.progress->BeginPhase("inject", tree->UnvisitedCount(),
                                   options_.time_budget_s);
   }
   while (tree->UnvisitedCount() > 0) {
-    if (stats->injections >= options_.max_injections ||
+    if (stats->injections >= options_.max_injections || cancelled() ||
         Seconds(start, std::chrono::steady_clock::now()) >
             options_.time_budget_s) {
       stats->budget_exhausted = true;
@@ -631,6 +707,10 @@ Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
     }
     run_span.AddArg("failure_point", uint64_t{crash.node});
     run_span.AddArg("seq", crash.seq);
+    replay_resumed_up_to(crash.seq);
+    if (options_.journal != nullptr) {
+      options_.journal->WriteDispatch(crash.seq, 0);
+    }
 
     // Graceful crash image: pending stores persisted, program order
     // respected (§4.1). Recovery runs uninstrumented on a fresh pool —
@@ -667,6 +747,21 @@ Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
       im.CountRecovery(outcome.result.status);
     }
     im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
+    if (options_.journal != nullptr) {
+      JournalVerdict jv;
+      jv.seq = crash.seq;
+      jv.status = std::string(RecoveryStatusName(outcome.result.status));
+      jv.detail = outcome.result.detail;
+      if (!outcome.result.ok()) {
+        jv.location = tree->DescribePath(crash.node);
+      }
+      jv.signal_name = outcome.signal_name;
+      jv.timed_out = outcome.timed_out;
+      jv.wall_us = outcome.wall_us;
+      jv.dedup_of = outcome.dedup_of;
+      jv.from_cache = from_cache;
+      options_.journal->WriteVerdict(jv);
+    }
     if (!outcome.result.ok()) {
       auto it = dedup.find(outcome.result.detail);
       if (it != dedup.end()) {
@@ -680,6 +775,9 @@ Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
       report.Add(std::move(finding));
     }
   }
+  // Verdicts recorded past the last fresh crash (or the whole schedule,
+  // when everything was resumed).
+  replay_resumed_up_to(~0ull);
   if (options_.progress != nullptr) {
     options_.progress->EndPhase();
   }
@@ -709,6 +807,21 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
   std::map<std::string, size_t> dedup;
 
   InjectionMetrics im(options_.metrics);
+  // Replay resumed verdicts before any fresh worker runs: parallel report
+  // order is scheduling-dependent anyway, so the byte-identity guarantee
+  // holds at workers == 1 (the serial and inline-replay paths); here the
+  // resumed findings simply land first.
+  for (const JournalVerdict& recorded : resume_schedule_) {
+    if (recorded.status == "ok") {
+      continue;
+    }
+    if (dedup.find(recorded.detail) != dedup.end()) {
+      im.CountDeduplicated();
+      continue;
+    }
+    dedup.emplace(recorded.detail, report.findings().size());
+    report.Add(JournalReplay::FindingFromVerdict(recorded));
+  }
   if (options_.progress != nullptr) {
     options_.progress->BeginPhase("inject", pending.size(),
                                   options_.time_budget_s);
@@ -727,6 +840,8 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
       }
       if (injections.load(std::memory_order_relaxed) >=
               options_.max_injections ||
+          (options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed)) ||
           Seconds(start, std::chrono::steady_clock::now()) >
               options_.time_budget_s) {
         exhausted.store(true, std::memory_order_relaxed);
@@ -774,6 +889,9 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
         worker_injections->Increment();
       }
       run_span.AddArg("seq", crash.seq);
+      if (options_.journal != nullptr) {
+        options_.journal->WriteDispatch(crash.seq, worker_index);
+      }
 
       OracleOutcome outcome;
       bool from_cache = false;
@@ -809,6 +927,22 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
         im.CountRecovery(outcome.result.status);
       }
       im.ObserveRun(Micros(run_start, std::chrono::steady_clock::now()));
+      if (options_.journal != nullptr) {
+        JournalVerdict jv;
+        jv.seq = crash.seq;
+        jv.worker = worker_index;
+        jv.status = std::string(RecoveryStatusName(outcome.result.status));
+        jv.detail = outcome.result.detail;
+        if (!outcome.result.ok()) {
+          jv.location = tree->DescribePath(crash.node);
+        }
+        jv.signal_name = outcome.signal_name;
+        jv.timed_out = outcome.timed_out;
+        jv.wall_us = outcome.wall_us;
+        jv.dedup_of = outcome.dedup_of;
+        jv.from_cache = from_cache;
+        options_.journal->WriteVerdict(jv);
+      }
       if (!outcome.result.ok()) {
         Finding finding = MakeOracleFinding(outcome);
         finding.location = tree->DescribePath(crash.node);
@@ -933,6 +1067,9 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     if (worker_counters[worker_index] != nullptr) {
       worker_counters[worker_index]->Increment();
     }
+    if (options_.journal != nullptr) {
+      options_.journal->WriteDispatch(points[i].seq, worker_index);
+    }
     if (options_.progress != nullptr) {
       options_.progress->Advance();
     }
@@ -940,14 +1077,30 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   // Bookkeeping at verdict: metrics and the deduplicated finding. Cache
   // hits skip the recovery.* instruments — those count actual oracle
   // invocations (hits show up in inject.image_dedup_hits instead).
-  auto record_outcome = [&](size_t i, const OracleOutcome& outcome,
-                            uint64_t run_us, uint64_t recovery_us,
-                            bool from_cache) {
+  auto record_outcome = [&](uint32_t worker_index, size_t i,
+                            const OracleOutcome& outcome, uint64_t run_us,
+                            uint64_t recovery_us, bool from_cache) {
     if (!from_cache) {
       im.ObserveRecovery(recovery_us);
       im.CountRecovery(outcome.result.status);
     }
     im.ObserveRun(run_us);
+    if (options_.journal != nullptr) {
+      JournalVerdict jv;
+      jv.seq = points[i].seq;
+      jv.worker = worker_index;
+      jv.status = std::string(RecoveryStatusName(outcome.result.status));
+      jv.detail = outcome.result.detail;
+      if (!outcome.result.ok()) {
+        jv.location = tree->DescribePath(points[i].node);
+      }
+      jv.signal_name = outcome.signal_name;
+      jv.timed_out = outcome.timed_out;
+      jv.wall_us = outcome.wall_us;
+      jv.dedup_of = outcome.dedup_of;
+      jv.from_cache = from_cache;
+      options_.journal->WriteVerdict(jv);
+    }
     if (!outcome.result.ok()) {
       Finding finding = MakeOracleFinding(outcome);
       finding.location = tree->DescribePath(points[i].node);
@@ -966,8 +1119,28 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   auto record_hit = [&](uint32_t worker_index, size_t i,
                         const DedupProbe& probe) {
     note_injection(worker_index, i);
-    record_outcome(i, OutcomeFromCache(probe.cached, probe.digest), 0, 0,
+    record_outcome(worker_index, i,
+                   OutcomeFromCache(probe.cached, probe.digest), 0, 0,
                    /*from_cache=*/true);
+  };
+  // Resumed verdicts (see InjectAllSerial): flushed in seq order in the
+  // inline path, or up front before the parallel pipelines start.
+  size_t resume_cursor = 0;
+  auto replay_resumed_up_to = [&](uint64_t bound) {
+    while (resume_cursor < resume_schedule_.size() &&
+           resume_schedule_[resume_cursor].seq < bound) {
+      const JournalVerdict& recorded = resume_schedule_[resume_cursor++];
+      if (recorded.status == "ok") {
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(report_mutex);
+      if (dedup.find(recorded.detail) != dedup.end()) {
+        im.CountDeduplicated();
+        continue;
+      }
+      dedup.emplace(recorded.detail, report.findings().size());
+      report.Add(JournalReplay::FindingFromVerdict(recorded));
+    }
   };
   auto process_point = [&](uint32_t worker_index, size_t i,
                            const uint8_t* data, size_t size,
@@ -991,7 +1164,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
           "status", std::string(RecoveryStatusName(outcome.result.status)));
       recovery_us = Micros(recovery_start, std::chrono::steady_clock::now());
     }
-    record_outcome(i, outcome,
+    record_outcome(worker_index, i, outcome,
                    Micros(run_start, std::chrono::steady_clock::now()),
                    recovery_us, /*from_cache=*/false);
     // Insert strictly after record_outcome: a producer-side digest hit can
@@ -1002,6 +1175,8 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   auto over_budget = [&] {
     return injections.load(std::memory_order_relaxed) >=
                options_.max_injections ||
+           (options_.cancel != nullptr &&
+            options_.cancel->load(std::memory_order_relaxed)) ||
            Seconds(start, std::chrono::steady_clock::now()) >
                options_.time_budget_s;
   };
@@ -1137,6 +1312,10 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         exhausted.store(true, std::memory_order_relaxed);
         break;
       }
+      // Interleave resumed verdicts in seq order: together with the
+      // seq-ascending fresh processing this reproduces the uninterrupted
+      // report byte for byte.
+      replay_resumed_up_to(points[i].seq);
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
       DedupProbe probe = ProbeCache(cache, im, image.data(), image.size(),
                                     [&] { return cursor.Digest(); });
@@ -1175,6 +1354,10 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     std::vector<InFlight> inflight(thread_count);
     std::deque<uint32_t> collect_order;  // slots with a dispatched check
     std::vector<bool> busy(thread_count, false);
+    // Parallel verdict arrival order is scheduling-dependent; resumed
+    // findings simply land first (byte-identity is a workers == 1
+    // guarantee).
+    replay_resumed_up_to(~0ull);
     // In-flight depth is capped at the core count: checks beyond it cannot
     // run concurrently anyway, and each extra in-flight slot rotates
     // another full-size image buffer through the cache between the memcpy
@@ -1192,7 +1375,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
           OutcomeFromVerdict(sandbox->FinishServerCheck(slot));
       busy[slot] = false;
       record_outcome(
-          inflight[slot].index, outcome,
+          slot, inflight[slot].index, outcome,
           Micros(inflight[slot].dispatched, std::chrono::steady_clock::now()),
           outcome.wall_us, /*from_cache=*/false);
       CommitProbe(cache, im, inflight[slot].probe, outcome,
@@ -1230,7 +1413,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
                                      &error)) {
         // No worker available: the error verdict IS the outcome. Not an
         // image-determined verdict, so it is never cached.
-        record_outcome(i, OutcomeFromVerdict(error), 0, 0,
+        record_outcome(slot, i, OutcomeFromVerdict(error), 0, 0,
                        /*from_cache=*/false);
         continue;
       }
@@ -1284,6 +1467,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
                       std::move(job.image), std::move(job.probe));
       }
     };
+    replay_resumed_up_to(~0ull);
     std::vector<std::thread> threads;
     threads.reserve(thread_count);
     for (uint32_t i = 0; i < thread_count; ++i) {
@@ -1325,6 +1509,9 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     }
     resolve_deferred();
   }
+  // Whatever the schedule still holds (inline path cut short by the
+  // budget, or a campaign where everything was resumed).
+  replay_resumed_up_to(~0ull);
   if (options_.progress != nullptr) {
     options_.progress->EndPhase();
   }

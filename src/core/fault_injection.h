@@ -6,6 +6,7 @@
 #ifndef MUMAK_SRC_CORE_FAULT_INJECTION_H_
 #define MUMAK_SRC_CORE_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -17,6 +18,7 @@
 #include "src/core/report.h"
 #include "src/instrument/event_hub.h"
 #include "src/instrument/trace.h"
+#include "src/observability/journal.h"
 #include "src/observability/metrics.h"
 #include "src/observability/progress.h"
 #include "src/observability/span_tracer.h"
@@ -170,6 +172,27 @@ struct FaultInjectionOptions {
   MetricsRegistry* metrics = nullptr;    // counters/gauges/histograms
   SpanTracer* tracer = nullptr;          // per-run spans, failure-point ids
   ProgressReporter* progress = nullptr;  // live injected/total + ETA
+  // Campaign flight recorder (src/observability/journal.h), optional and
+  // borrowed: the engine appends one dispatch + one verdict record per
+  // failure-point check (hot paths only enqueue; a group-commit thread
+  // does the I/O). Null disables journaling at the cost of one branch per
+  // check.
+  CampaignJournal* journal = nullptr;
+  // Decoded prior journal generation (--resume-journal): failure points
+  // whose verdicts it records are skipped, and the recorded verdicts are
+  // replayed into the report through the same dedup path fresh outcomes
+  // take — interleaved in instruction-counter order, so a single-worker
+  // resumed campaign's report is byte-identical to an uninterrupted run.
+  // Honoured only when the journal's profile fingerprint matches this
+  // engine's freshly profiled trace fingerprint (the same staleness key
+  // the MVC1 verdict cache uses); on mismatch the engine warns and runs
+  // the full campaign.
+  const JournalReplay* resume = nullptr;
+  // Cooperative cancellation (SIGINT/SIGTERM): when set and true, the
+  // injection loops stop at the next check boundary with
+  // budget_exhausted, so the caller can still flush a clean journal
+  // footer and a valid partial report.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct FaultInjectionStats {
@@ -187,6 +210,9 @@ struct FaultInjectionStats {
   uint64_t dedup_collisions = 0;  // verify mode: digest equal, bytes not
   uint64_t cache_loaded = 0;      // entries loaded from --verdict-cache
   uint64_t cache_saved = 0;       // entries persisted at campaign end
+  // Failure points skipped because a resumed journal already recorded
+  // their verdict (--resume-journal).
+  uint64_t resumed = 0;
   // Footprint of the recorded event stream + store payloads held for
   // replay; 0 under kReExecute (the memory cost of the strategy).
   size_t replay_trace_bytes = 0;
@@ -258,6 +284,10 @@ class FaultInjectionEngine {
   bool replay_ready_ = false;
   uint64_t trace_fingerprint_ = 0;
   bool fingerprint_ready_ = false;
+  // Verdicts carried over from a resumed journal (fingerprint-validated),
+  // sorted by seq and deduplicated; the injection paths replay them into
+  // the report interleaved with fresh outcomes.
+  std::vector<JournalVerdict> resume_schedule_;
 };
 
 }  // namespace mumak

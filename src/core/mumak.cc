@@ -141,16 +141,26 @@ MumakResult Mumak::Analyze() {
   const double cpu_start = CpuSeconds();
   MumakResult result;
 
+  // Phase transitions mirror the span structure into the journal, so an
+  // anytime reader can tell which pipeline stage a dead campaign was in.
+  auto journal_phase = [this](const char* name, bool begin) {
+    if (options_.journal != nullptr) {
+      options_.journal->WritePhase(name, begin);
+    }
+  };
+
   // Vanilla baseline for Table 2 accounting.
   PeakMemoryTracker vanilla_peak;
   {
     ScopedSpan span(options_.tracer, "vanilla_baseline");
+    journal_phase("vanilla_baseline", true);
     TargetPtr target = factory_();
     PmPool pool(target->DefaultPoolSize());
     FootprintSampler sampler(&pool, &vanilla_peak);
     ScopedSink attach(pool.hub(), &sampler);
     FaultInjectionEngine::ExecuteWorkload(*target, pool, spec_);
     vanilla_peak.Sample(pool.model().VolatileFootprintBytes());
+    journal_phase("vanilla_baseline", false);
   }
 
   // Step 1-6: one instrumented execution builds the failure point tree and
@@ -169,6 +179,9 @@ MumakResult Mumak::Analyze() {
   fi_options.metrics = options_.metrics;
   fi_options.tracer = options_.tracer;
   fi_options.progress = options_.progress;
+  fi_options.journal = options_.journal;
+  fi_options.resume = options_.resume;
+  fi_options.cancel = options_.cancel;
   FaultInjectionEngine engine(factory_, spec_, fi_options);
   // Online mode attaches the analyzer to the profiling execution directly;
   // offline mode spools the trace to a guarded temp file and analyses it
@@ -185,6 +198,7 @@ MumakResult Mumak::Analyze() {
     ta_options.detectors = options_.detectors;
     ta_options.jobs = options_.analysis_jobs;
     ta_options.metrics = options_.metrics;
+    ta_options.journal = options_.journal;
     analyzer.emplace(std::move(ta_options));
     if (!online) {
       spool.emplace(TempTracePath());
@@ -197,7 +211,9 @@ MumakResult Mumak::Analyze() {
   } else if (trace.has_value()) {
     profile_sink = &*trace;
   }
+  journal_phase("profile", true);
   FailurePointTree tree = engine.Profile(profile_sink);
+  journal_phase("profile", false);
   if (trace.has_value()) {
     trace->Close();
   }
@@ -233,8 +249,10 @@ MumakResult Mumak::Analyze() {
   try {
     if (options_.fault_injection) {
       ScopedSpan span(options_.tracer, "inject");
+      journal_phase("inject", true);
       Report injection_report =
           engine.InjectAll(&tree, &result.fault_injection);
+      journal_phase("inject", false);
       span.AddArg("injections", result.fault_injection.injections);
       result.report.Merge(injection_report);
     }
@@ -250,7 +268,19 @@ MumakResult Mumak::Analyze() {
   if (options_.trace_analysis) {
     if (options_.resolve_backtraces) {
       ScopedSpan span(options_.tracer, "resolve_backtraces");
+      journal_phase("resolve_backtraces", true);
       ResolveBacktraces(&trace_report);
+      journal_phase("resolve_backtraces", false);
+    }
+    // Journal the analysis findings only now: backtrace resolution has
+    // rewritten their locations, so the journal carries exactly what the
+    // final report carries and an anytime/resumed report reconstructs it
+    // byte for byte. (Injection findings were journaled per verdict — the
+    // resolver does not touch kFaultInjection locations.)
+    if (options_.journal != nullptr) {
+      for (const Finding& finding : trace_report.findings()) {
+        options_.journal->WriteFinding(finding);
+      }
     }
     result.report.Merge(trace_report);
   }

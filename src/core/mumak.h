@@ -86,6 +86,20 @@ struct MumakOptions {
   MetricsRegistry* metrics = nullptr;
   SpanTracer* tracer = nullptr;
   ProgressReporter* progress = nullptr;
+  // Campaign flight recorder (src/observability/journal.h), optional and
+  // borrowed: phase transitions, the profile summary, one dispatch +
+  // verdict record per failure-point check, and the resolved trace-
+  // analysis findings are appended as the pipeline runs. The caller owns
+  // the journal's header/footer (and its lifetime).
+  CampaignJournal* journal = nullptr;
+  // Decoded prior journal generation (--resume-journal); see
+  // FaultInjectionOptions::resume for semantics.
+  const JournalReplay* resume = nullptr;
+  // Cooperative cancellation (see FaultInjectionOptions::cancel): the
+  // injection loops stop at the next check boundary and Analyze() returns
+  // normally with budget_exhausted set, so the caller can still write a
+  // journal footer and a partial report.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct MumakResult {

@@ -1,0 +1,979 @@
+#include "src/observability/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/observability/metrics.h"
+
+namespace mumak {
+
+namespace {
+
+// --- framing ---------------------------------------------------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// One framed record: u32 len | u32 crc | payload.
+std::string FrameRecord(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, JournalCrc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+// --- JSON emission ---------------------------------------------------------
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Incremental JSON-object builder for journal records: callers add fields
+// in a fixed order so records are stable and greppable.
+class JsonObject {
+ public:
+  JsonObject& Str(const char* key, const std::string& value) {
+    Key(key);
+    os_ << '"' << JsonEscape(value) << '"';
+    return *this;
+  }
+  JsonObject& U64(const char* key, uint64_t value) {
+    Key(key);
+    os_ << value;
+    return *this;
+  }
+  JsonObject& Double(const char* key, double value) {
+    Key(key);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    os_ << buffer;
+    return *this;
+  }
+  JsonObject& Bool(const char* key, bool value) {
+    Key(key);
+    os_ << (value ? "true" : "false");
+    return *this;
+  }
+  // Embeds pre-serialised JSON verbatim (e.g. a metrics snapshot).
+  JsonObject& Raw(const char* key, const std::string& json) {
+    Key(key);
+    os_ << json;
+    return *this;
+  }
+  std::string Finish() {
+    os_ << '}';
+    return os_.str();
+  }
+
+ private:
+  void Key(const char* key) {
+    os_ << (first_ ? "{\"" : ", \"") << key << "\": ";
+    first_ = false;
+  }
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+// --- JSON decoding ---------------------------------------------------------
+//
+// Minimal recursive-descent parser, sufficient for the flat objects the
+// journal emits (plus the nested metrics snapshot, which is kept as an
+// opaque value). Production counterpart of tests/mini_json.h.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it != object.end() ? &it->second : nullptr;
+  }
+  std::string Str(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kString ? v->string
+                                                    : std::string();
+  }
+  uint64_t U64(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber
+               ? static_cast<uint64_t>(v->number)
+               : 0;
+  }
+  double Num(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : 0;
+  }
+  bool BoolOr(const std::string& key, bool fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kBool ? v->boolean : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) {
+      return false;
+    }
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) {
+        return false;
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) {
+      return false;
+    }
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) {
+          return false;
+        }
+        const char escape = text_[pos_ + 1];
+        pos_ += 2;
+        switch (escape) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return false;
+            }
+            const std::string hex = text_.substr(pos_, 4);
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) {
+              return false;
+            }
+            *out += static_cast<char>(code);  // journal emits ASCII escapes
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return false;
+  }
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number =
+        std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+FindingKind FindingKindFromName(const std::string& name) {
+  static const std::map<std::string, FindingKind> kByName = {
+      {"recovery-unrecoverable", FindingKind::kRecoveryUnrecoverable},
+      {"recovery-crash", FindingKind::kRecoveryCrash},
+      {"recovery-timeout", FindingKind::kRecoveryTimeout},
+      {"unflushed-store", FindingKind::kUnflushedStore},
+      {"transient-data", FindingKind::kTransientData},
+      {"dirty-overwrite", FindingKind::kDirtyOverwrite},
+      {"redundant-flush", FindingKind::kRedundantFlush},
+      {"multi-store-flush", FindingKind::kMultiStoreFlush},
+      {"redundant-fence", FindingKind::kRedundantFence},
+      {"multi-flush-fence", FindingKind::kMultiFlushFence},
+  };
+  auto it = kByName.find(name);
+  return it != kByName.end() ? it->second : FindingKind::kUnflushedStore;
+}
+
+// Resident set size in KiB, from /proc/self/statm (0 where unavailable).
+uint64_t ResidentKb() {
+  std::ifstream statm("/proc/self/statm");
+  uint64_t total_pages = 0;
+  uint64_t resident_pages = 0;
+  if (!(statm >> total_pages >> resident_pages)) {
+    return 0;
+  }
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident_pages * static_cast<uint64_t>(page > 0 ? page : 4096) /
+         1024;
+}
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t JournalCrc32(const void* data, size_t size) {
+  static const auto kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xffu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- writer ----------------------------------------------------------------
+
+std::unique_ptr<CampaignJournal> CampaignJournal::Create(
+    const std::string& path, std::string* error) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot create '" + path + "': " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  if (!WriteAll(fd, kJournalMagic, sizeof(kJournalMagic))) {
+    if (error != nullptr) {
+      *error = "cannot write '" + path + "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<CampaignJournal>(
+      new CampaignJournal(path, fd));
+}
+
+std::unique_ptr<CampaignJournal> CampaignJournal::OpenForResume(
+    const std::string& path, uint64_t valid_bytes, std::string* error) {
+  if (valid_bytes < sizeof(kJournalMagic)) {
+    if (error != nullptr) {
+      *error = "journal '" + path + "' has no intact prefix to resume from";
+    }
+    return nullptr;
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "': " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  // Drop the torn tail (if any) so the file stays append-only from the
+  // last intact record onward.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    if (error != nullptr) {
+      *error = "cannot truncate '" + path + "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<CampaignJournal>(
+      new CampaignJournal(path, fd));
+}
+
+CampaignJournal::CampaignJournal(std::string path, int fd)
+    : path_(std::move(path)),
+      fd_(fd),
+      epoch_(std::chrono::steady_clock::now()) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+CampaignJournal::~CampaignJournal() { Close(); }
+
+uint64_t CampaignJournal::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void CampaignJournal::Append(std::string json) {
+  std::string framed = FrameRecord(json);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    return;
+  }
+  queue_.push_back(std::move(framed));
+  ++enqueued_;
+  cv_.notify_one();
+}
+
+void CampaignJournal::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto next_sample =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(metrics_interval_ms_);
+  for (;;) {
+    if (queue_.empty() && !stop_) {
+      if (metrics_ != nullptr) {
+        cv_.wait_until(lock, next_sample);
+      } else {
+        cv_.wait(lock);
+      }
+    }
+    if (metrics_ != nullptr &&
+        std::chrono::steady_clock::now() >= next_sample && !stop_) {
+      // Sampling happens on the writer thread: build the record without
+      // the lock (snapshotting walks every instrument), then enqueue.
+      MetricsRegistry* metrics = metrics_;
+      lock.unlock();
+      std::string record = FrameRecord(MetricsRecordJson());
+      lock.lock();
+      (void)metrics;
+      if (!closed_) {
+        queue_.push_back(std::move(record));
+        ++enqueued_;
+      }
+      next_sample = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(metrics_interval_ms_);
+    }
+    if (queue_.empty()) {
+      if (stop_) {
+        return;
+      }
+      continue;
+    }
+    // Group commit: drain the whole queue into one write().
+    std::string batch;
+    uint64_t taken = 0;
+    while (!queue_.empty()) {
+      batch += queue_.front();
+      queue_.pop_front();
+      ++taken;
+    }
+    lock.unlock();
+    WriteAll(fd_, batch.data(), batch.size());
+    lock.lock();
+    written_ += taken;
+    drained_.notify_all();
+  }
+}
+
+std::string CampaignJournal::MetricsRecordJson() {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    depth = queue_.size();
+  }
+  JsonObject record;
+  record.Str("type", "metrics")
+      .U64("t_us", NowMicros())
+      .U64("rss_kb", ResidentKb())
+      .U64("queue_depth", depth);
+  if (metrics_ != nullptr) {
+    record.Raw("snapshot", metrics_->RenderJson());
+  }
+  return record.Finish();
+}
+
+void CampaignJournal::AttachMetrics(MetricsRegistry* metrics,
+                                    uint64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+  metrics_interval_ms_ = interval_ms == 0 ? 1 : interval_ms;
+  cv_.notify_one();
+}
+
+void CampaignJournal::SampleMetricsNow() {
+  bool attached;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    attached = metrics_ != nullptr;
+  }
+  if (attached) {
+    Append(MetricsRecordJson());
+  }
+}
+
+void CampaignJournal::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t target = enqueued_;
+  drained_.wait(lock, [&] { return written_ >= target || closed_; });
+}
+
+void CampaignJournal::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ && stop_) {
+      return;
+    }
+    stop_ = true;
+    cv_.notify_one();
+  }
+  if (writer_.joinable()) {
+    writer_.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!closed_) {
+    closed_ = true;
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  drained_.notify_all();
+}
+
+// --- typed emitters --------------------------------------------------------
+
+void CampaignJournal::WriteHeader(
+    const std::map<std::string, std::string>& fields) {
+  JsonObject record;
+  record.Str("type", "header").U64("t_us", NowMicros());
+  for (const auto& [key, value] : fields) {
+    record.Str(key.c_str(), value);
+  }
+  Append(record.Finish());
+}
+
+void CampaignJournal::WriteProfile(uint64_t fingerprint,
+                                   uint64_t failure_points,
+                                   uint64_t pm_events) {
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  Append(JsonObject()
+             .Str("type", "profile")
+             .U64("t_us", NowMicros())
+             .Str("fingerprint", hex)
+             .U64("failure_points", failure_points)
+             .U64("pm_events", pm_events)
+             .Finish());
+}
+
+void CampaignJournal::WritePhase(const std::string& name, bool begin) {
+  Append(JsonObject()
+             .Str("type", "phase")
+             .U64("t_us", NowMicros())
+             .Str("name", name)
+             .Str("edge", begin ? "begin" : "end")
+             .Finish());
+}
+
+void CampaignJournal::WriteDispatch(uint64_t seq, uint32_t worker) {
+  Append(JsonObject()
+             .Str("type", "dispatch")
+             .U64("t_us", NowMicros())
+             .U64("seq", seq)
+             .U64("worker", worker)
+             .Finish());
+}
+
+void CampaignJournal::WriteVerdict(const JournalVerdict& verdict) {
+  JsonObject record;
+  record.Str("type", "verdict")
+      .U64("t_us", NowMicros())
+      .U64("seq", verdict.seq)
+      .U64("worker", verdict.worker)
+      .Str("status", verdict.status)
+      .Str("detail", verdict.detail)
+      .Str("location", verdict.location);
+  if (!verdict.signal_name.empty()) {
+    record.Str("signal", verdict.signal_name);
+  }
+  if (verdict.timed_out) {
+    record.Bool("timed_out", true);
+  }
+  if (verdict.wall_us != 0) {
+    record.U64("wall_us", verdict.wall_us);
+  }
+  if (!verdict.dedup_of.empty()) {
+    record.Str("dedup_of", verdict.dedup_of);
+  }
+  if (verdict.from_cache) {
+    record.Bool("from_cache", true);
+  }
+  Append(record.Finish());
+}
+
+void CampaignJournal::WriteFinding(const Finding& finding) {
+  JsonObject record;
+  record.Str("type", "finding")
+      .U64("t_us", NowMicros())
+      .Str("kind", std::string(FindingKindName(finding.kind)))
+      .Str("detail", finding.detail)
+      .Str("location", finding.location)
+      .U64("pm_offset", finding.pm_offset)
+      .U64("seq", finding.seq);
+  Append(record.Finish());
+}
+
+void CampaignJournal::WriteResumeMarker(uint64_t resumed_verdicts) {
+  Append(JsonObject()
+             .Str("type", "resume")
+             .U64("t_us", NowMicros())
+             .U64("resumed_verdicts", resumed_verdicts)
+             .Finish());
+}
+
+void CampaignJournal::WriteFooter(uint64_t bugs, uint64_t warnings,
+                                  double elapsed_s, bool interrupted) {
+  Append(JsonObject()
+             .Str("type", "footer")
+             .U64("t_us", NowMicros())
+             .U64("bugs", bugs)
+             .U64("warnings", warnings)
+             .Double("elapsed_s", elapsed_s)
+             .Bool("interrupted", interrupted)
+             .Finish());
+}
+
+// --- reader ----------------------------------------------------------------
+
+Finding JournalReplay::FindingFromVerdict(const JournalVerdict& verdict) {
+  Finding finding;
+  finding.source = FindingSource::kFaultInjection;
+  if (verdict.status == "unrecoverable") {
+    finding.kind = FindingKind::kRecoveryUnrecoverable;
+  } else if (verdict.status == "timeout") {
+    finding.kind = FindingKind::kRecoveryTimeout;
+  } else {
+    finding.kind = FindingKind::kRecoveryCrash;
+  }
+  finding.detail = verdict.detail;
+  finding.location = verdict.location;
+  finding.seq = verdict.seq;
+  finding.signal_name = verdict.signal_name;
+  finding.timed_out = verdict.timed_out;
+  finding.recovery_wall_us = verdict.wall_us;
+  finding.dedup_of = verdict.dedup_of;
+  return finding;
+}
+
+Report JournalReplay::ReconstructReport() const {
+  Report report;
+  // Mirror the engine's first-wins dedup on the verdict detail, in record
+  // (ascending-seq) order, so a journal of a completed campaign yields the
+  // campaign's exact fault-injection findings.
+  std::map<std::string, bool> seen;
+  for (const JournalVerdict& verdict : verdicts) {
+    if (verdict.status == "ok") {
+      continue;
+    }
+    if (!seen.emplace(verdict.detail, true).second) {
+      continue;
+    }
+    report.Add(FindingFromVerdict(verdict));
+  }
+  for (const Finding& finding : trace_findings) {
+    report.Add(finding);
+  }
+  return report;
+}
+
+JournalReplay ReplayJournal(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.error = "cannot read '" + path + "'";
+    return out;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < sizeof(kJournalMagic)) {
+    out.error = "'" + path + "' is empty or truncated before the magic";
+    return out;
+  }
+  if (std::memcmp(data.data(), "MJN", 3) == 0 && data[3] != '1') {
+    out.error = "'" + path + "' uses an unsupported journal version (" +
+                data.substr(0, 4) + "); this build reads MJN1";
+    return out;
+  }
+  if (std::memcmp(data.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    out.error = "'" + path + "' is not a mumak campaign journal";
+    return out;
+  }
+  out.ok = true;
+  size_t pos = sizeof(kJournalMagic);
+  out.valid_bytes = pos;
+
+  auto warn = [&out](std::string message) {
+    out.warnings.push_back(std::move(message));
+  };
+
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      warn("torn record header at offset " + std::to_string(pos) +
+           " (journal was cut mid-write)");
+      break;
+    }
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data() + pos);
+    const uint32_t length = GetU32(p);
+    const uint32_t crc = GetU32(p + 4);
+    if (length == 0 || length > kJournalMaxRecordBytes) {
+      warn("implausible record length " + std::to_string(length) +
+           " at offset " + std::to_string(pos) + "; treating as torn tail");
+      break;
+    }
+    if (data.size() - pos - 8 < length) {
+      warn("torn final record at offset " + std::to_string(pos) + " (" +
+           std::to_string(length) + " bytes claimed, " +
+           std::to_string(data.size() - pos - 8) + " present)");
+      break;
+    }
+    const char* payload = data.data() + pos + 8;
+    const bool crc_ok = JournalCrc32(payload, length) == crc;
+    const bool is_last = pos + 8 + length == data.size();
+    if (!crc_ok) {
+      if (is_last) {
+        warn("CRC mismatch on the final record at offset " +
+             std::to_string(pos) + " (torn write)");
+        break;
+      }
+      warn("CRC mismatch at offset " + std::to_string(pos) +
+           "; record skipped");
+      pos += 8 + length;
+      continue;
+    }
+    pos += 8 + length;
+    out.valid_bytes = pos;
+
+    JsonValue record;
+    if (!JsonParser(std::string(payload, length)).Parse(&record) ||
+        record.type != JsonValue::Type::kObject) {
+      warn("unparseable record at offset " +
+           std::to_string(pos - 8 - length) + "; record skipped");
+      continue;
+    }
+    const std::string type = record.Str("type");
+    const uint64_t t_us = record.U64("t_us");
+    if (t_us > out.last_t_us) {
+      out.last_t_us = t_us;
+    }
+    if (type == "header") {
+      out.has_header = true;
+      for (const auto& [key, value] : record.object) {
+        if (key == "type" || key == "t_us") {
+          continue;
+        }
+        if (value.type == JsonValue::Type::kString) {
+          out.header[key] = value.string;
+        } else if (value.type == JsonValue::Type::kNumber) {
+          out.header[key] =
+              std::to_string(static_cast<uint64_t>(value.number));
+        } else if (value.type == JsonValue::Type::kBool) {
+          out.header[key] = value.boolean ? "true" : "false";
+        }
+      }
+    } else if (type == "profile") {
+      out.has_profile = true;
+      out.fingerprint =
+          std::strtoull(record.Str("fingerprint").c_str(), nullptr, 16);
+      out.failure_points = record.U64("failure_points");
+      out.pm_events = record.U64("pm_events");
+    } else if (type == "phase") {
+      out.phases.push_back(record.Str("name") + ":" + record.Str("edge"));
+    } else if (type == "dispatch") {
+      ++out.dispatches;
+    } else if (type == "verdict") {
+      JournalVerdict verdict;
+      verdict.seq = record.U64("seq");
+      verdict.worker = static_cast<uint32_t>(record.U64("worker"));
+      verdict.status = record.Str("status");
+      verdict.detail = record.Str("detail");
+      verdict.location = record.Str("location");
+      verdict.signal_name = record.Str("signal");
+      verdict.timed_out = record.BoolOr("timed_out", false);
+      verdict.wall_us = record.U64("wall_us");
+      verdict.dedup_of = record.Str("dedup_of");
+      verdict.from_cache = record.BoolOr("from_cache", false);
+      out.verdicts.push_back(std::move(verdict));
+    } else if (type == "finding") {
+      Finding finding;
+      finding.source = FindingSource::kTraceAnalysis;
+      finding.kind = FindingKindFromName(record.Str("kind"));
+      finding.detail = record.Str("detail");
+      finding.location = record.Str("location");
+      finding.pm_offset = record.U64("pm_offset");
+      finding.seq = record.U64("seq");
+      out.trace_findings.push_back(std::move(finding));
+    } else if (type == "metrics") {
+      ++out.metrics_samples;
+      const JsonValue* snapshot = record.Find("snapshot");
+      if (snapshot != nullptr) {
+        // Keep the raw snapshot for live surfaces; re-extract it from the
+        // payload rather than re-serialising the parsed tree.
+        const std::string text(payload, length);
+        const size_t at = text.find("\"snapshot\": ");
+        if (at != std::string::npos) {
+          // The snapshot is the final field: strip the record's closing
+          // brace.
+          out.last_metrics_json =
+              text.substr(at + 12, text.size() - at - 12 - 1);
+        }
+      }
+    } else if (type == "resume") {
+      ++out.resume_generations;
+    } else if (type == "footer") {
+      out.has_footer = true;
+      out.interrupted = record.BoolOr("interrupted", false);
+      out.footer_elapsed_s = record.Num("elapsed_s");
+      out.footer_bugs = record.U64("bugs");
+      out.footer_warnings = record.U64("warnings");
+    }
+    // Unknown types: ignored (forward compatibility within MJN1).
+  }
+  return out;
+}
+
+std::string MetricsJsonToOpenMetrics(const std::string& snapshot_json) {
+  JsonValue root;
+  if (!JsonParser(snapshot_json).Parse(&root) ||
+      root.type != JsonValue::Type::kObject) {
+    return std::string();
+  }
+  // Rebuild a MetricsSnapshot from the embedded RenderJson() form so the
+  // exposition comes from the one renderer (no second OpenMetrics
+  // serialiser to drift).
+  MetricsSnapshot snapshot;
+  if (const JsonValue* counters = root.Find("counters");
+      counters != nullptr && counters->type == JsonValue::Type::kObject) {
+    for (const auto& [name, value] : counters->object) {
+      snapshot.counters[name] = static_cast<uint64_t>(value.number);
+    }
+  }
+  if (const JsonValue* gauges = root.Find("gauges");
+      gauges != nullptr && gauges->type == JsonValue::Type::kObject) {
+    for (const auto& [name, value] : gauges->object) {
+      snapshot.gauges[name] = static_cast<uint64_t>(value.number);
+    }
+  }
+  if (const JsonValue* histograms = root.Find("histograms");
+      histograms != nullptr &&
+      histograms->type == JsonValue::Type::kObject) {
+    for (const auto& [name, value] : histograms->object) {
+      HistogramSnapshot histogram;
+      histogram.buckets.assign(Histogram::kBuckets, 0);
+      histogram.count = value.U64("count");
+      histogram.sum = value.U64("sum");
+      if (const JsonValue* buckets = value.Find("buckets");
+          buckets != nullptr &&
+          buckets->type == JsonValue::Type::kArray) {
+        for (const JsonValue& bucket : buckets->array) {
+          // The serialised "le" is the bucket's inclusive upper bound
+          // (2^i - 1); bit_width maps it back to the index. The last
+          // bucket's bound exceeds double's integer range, so anything
+          // that large is pinned to the catch-all directly.
+          const double le = bucket.Num("le");
+          const size_t index =
+              le >= 9.2e18 ? Histogram::kBuckets - 1
+                           : Histogram::BucketFor(static_cast<uint64_t>(le));
+          histogram.buckets[index] += bucket.U64("count");
+        }
+      }
+      snapshot.histograms.emplace(name, std::move(histogram));
+    }
+  }
+  return snapshot.RenderOpenMetrics();
+}
+
+}  // namespace mumak

@@ -93,6 +93,56 @@ std::string MetricsSnapshot::RenderJson() const {
   return os.str();
 }
 
+std::string MetricsSnapshot::RenderOpenMetrics() const {
+  // OpenMetrics metric names allow [a-zA-Z0-9_:]; mumak's dotted names
+  // (inject.attempted, pm.events.store) map onto underscores under a
+  // "mumak_" namespace prefix.
+  auto sanitize = [](const std::string& name) {
+    std::string out = "mumak_";
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    const std::string metric = sanitize(name);
+    os << "# TYPE " << metric << " counter\n";
+    os << metric << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string metric = sanitize(name);
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << " " << value << "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const std::string metric = sanitize(name);
+    os << "# TYPE " << metric << " histogram\n";
+    // Cumulative buckets over the power-of-two upper bounds; zero buckets
+    // are elided (the cumulative count carries forward), the final bucket
+    // is always the +Inf catch-all.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (histogram.buckets[i] == 0) {
+        continue;
+      }
+      cumulative += histogram.buckets[i];
+      if (i + 1 < Histogram::kBuckets) {
+        os << metric << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+           << "\"} " << cumulative << "\n";
+      }
+    }
+    os << metric << "_bucket{le=\"+Inf\"} " << histogram.count << "\n";
+    os << metric << "_sum " << histogram.sum << "\n";
+    os << metric << "_count " << histogram.count << "\n";
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counter_names_.find(name);

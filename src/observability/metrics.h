@@ -105,6 +105,11 @@ struct MetricsSnapshot {
   // {name: {"count": n, "sum": s, "buckets": [{"le": upper, "count": c}]}}.
   // Zero buckets are elided.
   std::string RenderJson() const;
+
+  // OpenMetrics text exposition: names sanitised to [a-zA-Z0-9_] and
+  // prefixed "mumak_", counters as `_total`, histograms with cumulative
+  // `_bucket{le="..."}` series ending at le="+Inf", terminated by `# EOF`.
+  std::string RenderOpenMetrics() const;
 };
 
 // Named-instrument registry. Get* interns by name: the first call creates

@@ -80,14 +80,25 @@ void ApplyChildRlimits(uint64_t address_space_bytes, uint32_t cpu_seconds) {
 
 WireVerdict RunOracleInSandboxProcess(const SandboxTargetFactory& factory,
                                       uint8_t* image, size_t size,
-                                      bool compute_digest) {
+                                      bool compute_digest,
+                                      std::vector<WireSpan>* spans) {
   const auto start = std::chrono::steady_clock::now();
+  auto since_start_us = [&start] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
   WireVerdict verdict;
   if (compute_digest) {
     // Before recovery runs: the digest must witness the handed-off bytes,
     // not whatever recovery rewrote them into.
     verdict.digest = ComputeImageDigest(image, size);
+    if (spans != nullptr) {
+      spans->push_back({"image_digest", 0, since_start_us()});
+    }
   }
+  const uint64_t oracle_start_us = since_start_us();
   RecoveryResult result;
   try {
     // In place: copying a multi-MB image per check would dominate the
@@ -109,10 +120,11 @@ WireVerdict RunOracleInSandboxProcess(const SandboxTargetFactory& factory,
   }
   verdict.status = static_cast<uint32_t>(result.status);
   verdict.detail = std::move(result.detail);
-  verdict.wall_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+  verdict.wall_us = since_start_us();
+  if (spans != nullptr) {
+    spans->push_back(
+        {"recovery_oracle", oracle_start_us, verdict.wall_us - oracle_start_us});
+  }
   return verdict;
 }
 

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/sandbox/options.h"
 #include "src/sandbox/wire.h"
@@ -45,9 +46,15 @@ void ApplyChildRlimits(uint64_t address_space_bytes, uint32_t cpu_seconds);
 // callers run in a disposable child whose image is either the slot's
 // shared-memory buffer (reloaded before every check) or a fork's
 // copy-on-write view of the parent's buffer.
+//
+// When `spans` is non-null the sub-phases (digest walk, the oracle run
+// itself) are timed into it, with start_us relative to this call's entry —
+// the sandbox child streams them back as span frames so the parent can
+// graft the child's work into the campaign's Chrome trace.
 WireVerdict RunOracleInSandboxProcess(const SandboxTargetFactory& factory,
                                       uint8_t* image, size_t size,
-                                      bool compute_digest);
+                                      bool compute_digest,
+                                      std::vector<WireSpan>* spans = nullptr);
 
 // Parent-side classification of a child's wait status when no complete
 // verdict message arrived. kCrashed for fatal signals (signal recorded)

@@ -21,6 +21,8 @@
 
 namespace mumak {
 
+class SpanTracer;
+
 // Where the recovery oracle runs.
 //  - kInProcess: in the analysis process, guarded only by try/catch (the
 //    historical behaviour; fastest, but a SIGSEGV or hang in recovery kills
@@ -67,6 +69,12 @@ struct SandboxOptions {
   // Optional instrumentation (borrowed): sandbox.forks, sandbox.timeouts,
   // sandbox.killed counters and the recovery.sandbox_us histogram.
   MetricsRegistry* metrics = nullptr;
+  // Optional span forwarding (borrowed): sandbox children time their
+  // sub-phases (digest walk, the oracle run) and stream them back as span
+  // frames before the verdict; the parent rebases them onto this tracer's
+  // timeline under the "recovery-child" category, tagged with the worker's
+  // pid and lane. Null disables the child-side timing and the extra frames.
+  SpanTracer* tracer = nullptr;
 };
 
 // Outcome of one sandboxed oracle invocation, merged from the child's wire

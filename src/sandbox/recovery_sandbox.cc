@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "src/observability/span_tracer.h"
 #include "src/sandbox/child.h"
 #include "src/sandbox/wire.h"
 
@@ -81,11 +82,25 @@ bool ReadFull(int fd, void* data, size_t size) {
   return true;
 }
 
+// Streams the child's sub-phase spans (frames preceding the verdict) and
+// then the verdict itself. Returns false when the parent went away.
+bool WriteSpansAndVerdict(int fd, const std::vector<WireSpan>& spans,
+                          const WireVerdict& verdict) {
+  for (const WireSpan& span : spans) {
+    const std::vector<uint8_t> frame = EncodeSpan(span);
+    if (!WriteFull(fd, frame.data(), frame.size())) {
+      return false;
+    }
+  }
+  const std::vector<uint8_t> message = EncodeVerdict(verdict);
+  return WriteFull(fd, message.data(), message.size());
+}
+
 // Long-lived fork-server worker: serve checks from the shared image buffer
 // until the command channel closes. Runs in the child; never returns.
 [[noreturn]] void WorkerMain(int fd, const SandboxTargetFactory& factory,
                              uint8_t* shm, size_t capacity,
-                             bool verify_digest) {
+                             bool verify_digest, bool emit_spans) {
   for (;;) {
     CmdHeader cmd;
     if (!ReadFull(fd, &cmd, sizeof(cmd))) {
@@ -94,10 +109,11 @@ bool ReadFull(int fd, void* data, size_t size) {
     if (cmd.image_size > capacity) {
       _exit(3);  // protocol violation; parent classifies the nonzero exit
     }
+    std::vector<WireSpan> spans;
     const WireVerdict verdict = RunOracleInSandboxProcess(
-        factory, shm, static_cast<size_t>(cmd.image_size), verify_digest);
-    const std::vector<uint8_t> message = EncodeVerdict(verdict);
-    if (!WriteFull(fd, message.data(), message.size())) {
+        factory, shm, static_cast<size_t>(cmd.image_size), verify_digest,
+        emit_spans ? &spans : nullptr);
+    if (!WriteSpansAndVerdict(fd, spans, verdict)) {
       _exit(0);  // parent went away mid-reply
     }
   }
@@ -182,7 +198,7 @@ SandboxVerdict RecoverySandbox::Check(uint32_t slot, const uint8_t* data,
     return FinishServerCheck(slot);  // observes recovery.sandbox_us
   }
   const auto start = Clock::now();
-  const SandboxVerdict verdict = CheckForkPerCheck(data, size);
+  const SandboxVerdict verdict = CheckForkPerCheck(slot, data, size);
   if (sandbox_us_ != nullptr) {
     sandbox_us_->Observe(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
@@ -192,7 +208,8 @@ SandboxVerdict RecoverySandbox::Check(uint32_t slot, const uint8_t* data,
   return verdict;
 }
 
-SandboxVerdict RecoverySandbox::CheckForkPerCheck(const uint8_t* data,
+SandboxVerdict RecoverySandbox::CheckForkPerCheck(uint32_t slot,
+                                                  const uint8_t* data,
                                                   size_t size) {
   int fds[2];
   if (pipe2(fds, O_CLOEXEC) != 0) {
@@ -222,20 +239,26 @@ SandboxVerdict RecoverySandbox::CheckForkPerCheck(const uint8_t* data,
     ApplyChildRlimits(options_.address_space_bytes, cpu);
     // The fork gave this child its own copy-on-write view of the image;
     // running recovery in place only dirties the child's pages.
+    std::vector<WireSpan> child_spans;
     const WireVerdict verdict = RunOracleInSandboxProcess(
-        factory_, const_cast<uint8_t*>(data), size, options_.verify_digest);
-    const std::vector<uint8_t> message = EncodeVerdict(verdict);
-    WriteFull(fds[1], message.data(), message.size());
+        factory_, const_cast<uint8_t*>(data), size, options_.verify_digest,
+        options_.tracer != nullptr ? &child_spans : nullptr);
+    WriteSpansAndVerdict(fds[1], child_spans, verdict);
     _exit(0);
   }
   close(fds[1]);
   if (forks_ != nullptr) {
     forks_->Increment();
   }
+  const uint64_t dispatched_us =
+      options_.tracer != nullptr ? options_.tracer->NowMicros() : 0;
   bool survived = false;
+  std::vector<WireSpan> spans;
   SandboxVerdict verdict = AwaitVerdict(
       fds[0], pid, Clock::now() + std::chrono::milliseconds(options_.timeout_ms),
-      /*reap_on_success=*/true, &survived);
+      /*reap_on_success=*/true, &survived,
+      options_.tracer != nullptr ? &spans : nullptr);
+  RecordChildSpans(&spans, slot, pid, dispatched_us);
   close(fds[0]);
   return verdict;
 }
@@ -279,16 +302,23 @@ bool RecoverySandbox::StartServerCheck(uint32_t slot, const uint8_t* data,
     }
   }
   worker.started = Clock::now();
+  if (options_.tracer != nullptr) {
+    worker.dispatched_us = options_.tracer->NowMicros();
+  }
   return true;
 }
 
 SandboxVerdict RecoverySandbox::FinishServerCheck(uint32_t slot) {
   Worker& worker = workers_[slot];
+  const pid_t worker_pid = worker.pid;
   bool survived = false;
+  std::vector<WireSpan> spans;
   SandboxVerdict verdict = AwaitVerdict(
       worker.fd, worker.pid,
       worker.started + std::chrono::milliseconds(options_.timeout_ms),
-      /*reap_on_success=*/false, &survived);
+      /*reap_on_success=*/false, &survived,
+      options_.tracer != nullptr ? &spans : nullptr);
+  RecordChildSpans(&spans, slot, worker_pid, worker.dispatched_us);
   if (survived) {
     ++worker.served;
   } else {
@@ -311,7 +341,8 @@ SandboxVerdict RecoverySandbox::FinishServerCheck(uint32_t slot) {
 SandboxVerdict RecoverySandbox::AwaitVerdict(int fd, pid_t pid,
                                              Clock::time_point deadline,
                                              bool reap_on_success,
-                                             bool* worker_survived) {
+                                             bool* worker_survived,
+                                             std::vector<WireSpan>* spans_out) {
   *worker_survived = false;
   std::vector<uint8_t> buffer;
   bool reaped = false;
@@ -328,10 +359,32 @@ SandboxVerdict RecoverySandbox::AwaitVerdict(int fd, pid_t pid,
   };
 
   while (!peer_gone) {
+    // Span frames (child sub-phase timings) arrive interleaved before the
+    // verdict: drain every complete one, then try the verdict decode. A
+    // partial span frame at the head must read as "need more data", not be
+    // mistaken for a corrupt verdict.
     WireVerdict wire;
     size_t consumed = 0;
-    const WireDecodeStatus decode =
-        DecodeVerdict(buffer.data(), buffer.size(), &wire, &consumed);
+    WireDecodeStatus decode = WireDecodeStatus::kNeedMoreData;
+    for (;;) {
+      if (IsSpanFrame(buffer.data(), buffer.size())) {
+        WireSpan span;
+        const WireDecodeStatus span_decode =
+            DecodeSpan(buffer.data(), buffer.size(), &span, &consumed);
+        if (span_decode == WireDecodeStatus::kOk) {
+          if (spans_out != nullptr) {
+            spans_out->push_back(std::move(span));
+          }
+          buffer.erase(buffer.begin(),
+                       buffer.begin() + static_cast<ptrdiff_t>(consumed));
+          continue;
+        }
+        decode = span_decode;  // kNeedMoreData waits; corrupt frames kill
+        break;
+      }
+      decode = DecodeVerdict(buffer.data(), buffer.size(), &wire, &consumed);
+      break;
+    }
     if (decode == WireDecodeStatus::kOk) {
       SandboxVerdict verdict;
       verdict.status = static_cast<RecoveryStatus>(wire.status);
@@ -457,6 +510,28 @@ SandboxVerdict RecoverySandbox::AwaitVerdict(int fd, pid_t pid,
   return verdict;
 }
 
+void RecoverySandbox::RecordChildSpans(std::vector<WireSpan>* spans,
+                                       uint32_t slot, pid_t pid,
+                                       uint64_t base_us) {
+  if (options_.tracer == nullptr || spans == nullptr) {
+    return;
+  }
+  for (WireSpan& span : *spans) {
+    SpanEvent event;
+    event.name = std::move(span.name);
+    event.category = "recovery-child";
+    // Child timestamps are relative to its check start; rebase onto the
+    // dispatch point so the spans nest under the parent's injection-run
+    // span on the same lane.
+    event.start_us = base_us + span.start_us;
+    event.duration_us = span.duration_us;
+    event.tid = slot + 1;
+    event.args.emplace_back("worker_pid", std::to_string(pid));
+    options_.tracer->Record(std::move(event));
+  }
+  spans->clear();
+}
+
 void RecoverySandbox::SpawnWorker(uint32_t slot) {
   Worker& worker = workers_[slot];
   int sv[2];
@@ -484,7 +559,7 @@ void RecoverySandbox::SpawnWorker(uint32_t slot) {
     }
     ApplyChildRlimits(options_.address_space_bytes, options_.cpu_seconds);
     WorkerMain(sv[1], factory_, shm_[slot], image_bytes_,
-               options_.verify_digest);
+               options_.verify_digest, options_.tracer != nullptr);
   }
   close(sv[1]);
   worker.pid = pid;

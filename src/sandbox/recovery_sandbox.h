@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/sandbox/options.h"
+#include "src/sandbox/wire.h"
 
 namespace mumak {
 
@@ -76,15 +77,26 @@ class RecoverySandbox {
     uint64_t served = 0; // checks since the last fork (recycle counter)
     // When the in-flight check was dispatched (deadline anchor).
     std::chrono::steady_clock::time_point started;
+    // Tracer timestamp of the dispatch (span rebase anchor); only
+    // maintained when options_.tracer is set.
+    uint64_t dispatched_us = 0;
   };
 
-  SandboxVerdict CheckForkPerCheck(const uint8_t* data, size_t size);
+  SandboxVerdict CheckForkPerCheck(uint32_t slot, const uint8_t* data,
+                                   size_t size);
   // Collects a verdict from `fd` within the deadline; on timeout or
   // abnormal death, kills/reaps `pid` and classifies. `pid` is always
-  // reaped unless the worker survives (fork-server success path).
+  // reaped unless the worker survives (fork-server success path). Span
+  // frames preceding the verdict are appended to `spans_out` (may be
+  // null to discard them).
   SandboxVerdict AwaitVerdict(int fd, pid_t pid,
                               std::chrono::steady_clock::time_point deadline,
-                              bool reap_on_success, bool* worker_survived);
+                              bool reap_on_success, bool* worker_survived,
+                              std::vector<WireSpan>* spans_out);
+  // Grafts child-reported spans into options_.tracer: rebased onto the
+  // dispatch timestamp, lane `slot` + 1, tagged with the worker pid.
+  void RecordChildSpans(std::vector<WireSpan>* spans, uint32_t slot,
+                        pid_t pid, uint64_t base_us);
 
   void SpawnWorker(uint32_t slot);
   // Kills (when still alive) and reaps slot's worker, closing its channel.

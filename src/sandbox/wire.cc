@@ -93,4 +93,58 @@ WireDecodeStatus DecodeVerdict(const uint8_t* data, size_t size,
   return WireDecodeStatus::kOk;
 }
 
+std::vector<uint8_t> EncodeSpan(const WireSpan& span) {
+  std::string name = span.name;
+  if (name.size() > kWireMaxSpanName) {
+    name.resize(kWireMaxSpanName);
+  }
+  // Payload layout: start u64 | duration u64 | name_len u32 | name bytes.
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderBytes + 20 + name.size());
+  PutU32(&out, kWireSpanMagic);
+  PutU32(&out, static_cast<uint32_t>(8 + 8 + 4 + name.size()));
+  PutU64(&out, span.start_us);
+  PutU64(&out, span.duration_us);
+  PutU32(&out, static_cast<uint32_t>(name.size()));
+  out.insert(out.end(), name.begin(), name.end());
+  return out;
+}
+
+bool IsSpanFrame(const uint8_t* data, size_t size) {
+  return size >= 4 && GetU32(data) == kWireSpanMagic;
+}
+
+WireDecodeStatus DecodeSpan(const uint8_t* data, size_t size, WireSpan* out,
+                            size_t* consumed) {
+  if (size < kWireHeaderBytes) {
+    return WireDecodeStatus::kNeedMoreData;
+  }
+  if (GetU32(data) != kWireSpanMagic) {
+    return WireDecodeStatus::kBadMagic;
+  }
+  const uint32_t payload_len = GetU32(data + 4);
+  if (payload_len > kWireMaxPayload) {
+    return WireDecodeStatus::kOversized;
+  }
+  if (size < kWireHeaderBytes + payload_len) {
+    return WireDecodeStatus::kNeedMoreData;
+  }
+  constexpr size_t kFixedPayload = 8 + 8 + 4;
+  if (payload_len < kFixedPayload) {
+    return WireDecodeStatus::kMalformed;
+  }
+  const uint8_t* p = data + kWireHeaderBytes;
+  const uint64_t start_us = GetU64(p);
+  const uint64_t duration_us = GetU64(p + 8);
+  const uint32_t name_len = GetU32(p + 16);
+  if (name_len != payload_len - kFixedPayload) {
+    return WireDecodeStatus::kMalformed;
+  }
+  out->start_us = start_us;
+  out->duration_us = duration_us;
+  out->name.assign(reinterpret_cast<const char*>(p + 20), name_len);
+  *consumed = kWireHeaderBytes + payload_len;
+  return WireDecodeStatus::kOk;
+}
+
 }  // namespace mumak

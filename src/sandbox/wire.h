@@ -52,6 +52,31 @@ std::vector<uint8_t> EncodeVerdict(const WireVerdict& verdict);
 WireDecodeStatus DecodeVerdict(const uint8_t* data, size_t size,
                                WireVerdict* out, size_t* consumed);
 
+// "MMS1" — span frames: child-side sub-phase timings a sandbox child
+// streams before its verdict, so the parent can graft the child's work
+// into the campaign's Chrome trace. Timestamps are microseconds relative
+// to the child's check start; the parent rebases them onto its tracer
+// epoch at the dispatch point.
+inline constexpr uint32_t kWireSpanMagic = 0x4D4D5331;
+// Span names are short identifiers; truncated on encode.
+inline constexpr size_t kWireMaxSpanName = 256;
+
+struct WireSpan {
+  std::string name;
+  uint64_t start_us = 0;     // relative to the child's check start
+  uint64_t duration_us = 0;
+};
+
+std::vector<uint8_t> EncodeSpan(const WireSpan& span);
+
+// True when `data` begins with a span frame's magic (vs a verdict's).
+bool IsSpanFrame(const uint8_t* data, size_t size);
+
+// Decodes one span frame; kBadMagic when the buffer head is not a span
+// frame (callers then try DecodeVerdict on the same bytes).
+WireDecodeStatus DecodeSpan(const uint8_t* data, size_t size, WireSpan* out,
+                            size_t* consumed);
+
 // Size of the fixed frame header (magic + payload length).
 inline constexpr size_t kWireHeaderBytes = 8;
 

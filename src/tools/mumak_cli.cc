@@ -10,11 +10,17 @@
 // Exit code: 0 when no bugs were found, 1 when bugs were found, 2 on usage
 // errors.
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,6 +28,7 @@
 #include "src/analysis/detector_pass.h"
 #include "src/core/mumak.h"
 #include "src/instrument/trace.h"
+#include "src/observability/journal.h"
 #include "src/observability/metrics.h"
 #include "src/observability/progress.h"
 #include "src/observability/span_tracer.h"
@@ -29,6 +36,27 @@
 #include "src/targets/target.h"
 
 namespace {
+
+// First SIGINT/SIGTERM requests a graceful stop: the injection loops check
+// this flag at every boundary and Analyze() returns with what it has, so
+// the journal still gets its footer and the partial report is printed. A
+// second signal gives up immediately (the conventional 128+SIGINT code).
+std::atomic<bool> g_interrupted{false};
+
+void HandleTermination(int) {
+  if (g_interrupted.exchange(true)) {
+    _exit(130);
+  }
+}
+
+void InstallTerminationHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleTermination;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 void PrintUsage() {
   std::printf(
@@ -105,12 +133,26 @@ void PrintUsage() {
       "                        store wrote (version-2 format)\n"
       "\n"
       "observability:\n"
-      "  --metrics <file>      dump pipeline metrics as JSON (counters,\n"
-      "                        gauges, latency histograms)\n"
+      "  --metrics <file>      dump pipeline metrics (counters, gauges,\n"
+      "                        latency histograms)\n"
+      "  --metrics-format <f>  'json' (default) or 'openmetrics' text\n"
+      "                        exposition for the --metrics file\n"
       "  --trace-events <file> write Chrome trace-event JSON (one span per\n"
       "                        pipeline phase + per-injection spans; open\n"
       "                        in Perfetto or chrome://tracing)\n"
       "  --progress            live injected/total + ETA line on stderr\n"
+      "  --journal <file>      crash-safe campaign journal (MJN1): every\n"
+      "                        dispatch/verdict, phase transitions, and\n"
+      "                        periodic metrics snapshots are appended as\n"
+      "                        the campaign runs; readable at any time with\n"
+      "                        mumak-inspect --from-journal, even after a\n"
+      "                        SIGKILL mid-run\n"
+      "  --resume-journal <file>\n"
+      "                        resume an interrupted campaign from its\n"
+      "                        journal: already-verdicted failure points\n"
+      "                        are skipped and the journal is extended in\n"
+      "                        place (the final report matches an\n"
+      "                        uninterrupted run)\n"
       "\n"
       "introspection:\n"
       "  --list-targets        registered targets\n"
@@ -144,7 +186,10 @@ int main(int argc, char** argv) {
   std::string target_name;
   std::string save_trace;
   std::string metrics_path;
+  std::string metrics_format = "json";
   std::string trace_events_path;
+  std::string journal_path;
+  std::string resume_journal_path;
   bool progress = false;
   bool trace_payloads = false;
   WorkloadSpec spec;
@@ -389,6 +434,19 @@ int main(int argc, char** argv) {
       trace_payloads = true;
     } else if (arg == "--metrics") {
       metrics_path = next("--metrics");
+    } else if (arg == "--metrics-format") {
+      metrics_format = next("--metrics-format");
+      if (metrics_format != "json" && metrics_format != "openmetrics") {
+        std::fprintf(stderr,
+                     "mumak: bad --metrics-format value '%s' "
+                     "(expected json|openmetrics)\n",
+                     metrics_format.c_str());
+        return 2;
+      }
+    } else if (arg == "--journal") {
+      journal_path = next("--journal");
+    } else if (arg == "--resume-journal") {
+      resume_journal_path = next("--resume-journal");
     } else if (arg == "--trace-events") {
       trace_events_path = next("--trace-events");
     } else if (arg == "--progress") {
@@ -443,6 +501,12 @@ int main(int argc, char** argv) {
                  "mumak: --verdict-cache has no effect with "
                  "--no-image-dedup\n");
   }
+  if (!journal_path.empty() && !resume_journal_path.empty()) {
+    std::fprintf(stderr,
+                 "mumak: --journal and --resume-journal are mutually "
+                 "exclusive (--resume-journal extends its file in place)\n");
+    return 2;
+  }
   if (CreateTarget(target_name, options) == nullptr) {
     std::fprintf(stderr, "mumak: unknown target '%s' (see --list-targets)\n",
                  target_name.c_str());
@@ -489,7 +553,11 @@ int main(int argc, char** argv) {
   std::optional<MetricsRegistry> metrics;
   std::optional<SpanTracer> tracer;
   std::optional<ProgressReporter> progress_reporter;
-  if (!metrics_path.empty()) {
+  const bool journaling =
+      !journal_path.empty() || !resume_journal_path.empty();
+  if (!metrics_path.empty() || journaling) {
+    // The journal's periodic metrics records need a registry even when no
+    // --metrics dump was requested.
     metrics.emplace();
     mumak_options.metrics = &*metrics;
   }
@@ -502,17 +570,105 @@ int main(int argc, char** argv) {
     mumak_options.progress = &*progress_reporter;
   }
 
+  // Campaign journal: fresh (--journal) or extended in place after
+  // decoding the prior generation (--resume-journal). A journal that
+  // cannot be resumed (unreadable, wrong magic/version) falls back to a
+  // fresh campaign rather than refusing to run.
+  std::unique_ptr<CampaignJournal> journal;
+  JournalReplay replay;
+  if (!resume_journal_path.empty()) {
+    replay = ReplayJournal(resume_journal_path);
+    for (const std::string& warning : replay.warnings) {
+      std::fprintf(stderr, "mumak: --resume-journal: %s\n", warning.c_str());
+    }
+    std::string error;
+    if (replay.ok) {
+      journal = CampaignJournal::OpenForResume(resume_journal_path,
+                                               replay.valid_bytes, &error);
+      if (journal != nullptr) {
+        journal->WriteResumeMarker(replay.verdicts.size());
+        mumak_options.resume = &replay;
+        if (!json_output) {
+          std::printf("mumak: resuming from %s (%zu prior verdict(s))\n",
+                      resume_journal_path.c_str(), replay.verdicts.size());
+        }
+      }
+    } else {
+      std::fprintf(stderr,
+                   "mumak: --resume-journal: %s; starting a fresh campaign\n",
+                   replay.error.c_str());
+      journal = CampaignJournal::Create(resume_journal_path, &error);
+    }
+    if (journal == nullptr) {
+      std::fprintf(stderr, "mumak: could not open journal %s: %s\n",
+                   resume_journal_path.c_str(), error.c_str());
+      return 2;
+    }
+  } else if (!journal_path.empty()) {
+    std::string error;
+    journal = CampaignJournal::Create(journal_path, &error);
+    if (journal == nullptr) {
+      std::fprintf(stderr, "mumak: could not create journal %s: %s\n",
+                   journal_path.c_str(), error.c_str());
+      return 2;
+    }
+  }
+  if (journal != nullptr) {
+    std::map<std::string, std::string> header;
+    header["target"] = target_name;
+    header["ops"] = std::to_string(spec.operations);
+    header["keys"] = std::to_string(spec.key_space);
+    header["seed"] = std::to_string(spec.seed);
+    header["strategy"] =
+        mumak_options.injection_strategy == InjectionStrategy::kReplay
+            ? "replay"
+            : "reexec";
+    header["jobs"] = std::to_string(mumak_options.injection_workers);
+    header["analysis_jobs"] = std::to_string(mumak_options.analysis_jobs);
+    header["eadr"] = mumak_options.eadr_mode ? "1" : "0";
+    header["sandbox"] =
+        mumak_options.sandbox.policy == SandboxPolicy::kInProcess ? "inproc"
+        : mumak_options.sandbox.policy == SandboxPolicy::kForkPerCheck
+            ? "fork"
+            : "forkserver";
+    journal->WriteHeader(header);
+    journal->AttachMetrics(&*metrics);
+    mumak_options.journal = journal.get();
+  }
+
+  // Graceful interruption: the first SIGINT/SIGTERM cancels the campaign
+  // at the next check boundary (partial report + journal footer still
+  // happen), a second one exits immediately.
+  InstallTerminationHandlers();
+  mumak_options.cancel = &g_interrupted;
+
   Mumak mumak([target_name, options] {
     return CreateTarget(target_name, options);
   }, spec, mumak_options);
   const MumakResult result = mumak.Analyze();
+
+  const bool interrupted = g_interrupted.load();
+  if (journal != nullptr) {
+    journal->SampleMetricsNow();
+    journal->WriteFooter(result.report.BugCount(),
+                         result.report.WarningCount(), result.elapsed_s,
+                         interrupted);
+    journal->Close();
+  }
+  if (interrupted) {
+    std::fprintf(stderr, "mumak: interrupted; reporting partial results\n");
+  }
 
   // Observability dumps go to their files; confirmations to stderr so
   // --json keeps stdout machine-readable.
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path, std::ios::trunc);
     if (out) {
-      out << result.metrics.RenderJson() << "\n";
+      if (metrics_format == "openmetrics") {
+        out << result.metrics.RenderOpenMetrics();
+      } else {
+        out << result.metrics.RenderJson() << "\n";
+      }
     }
     if (out) {
       std::fprintf(stderr, "mumak: metrics written to %s\n",
@@ -562,7 +718,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n",
                 result.report.RenderJson(mumak_options.report_warnings)
                     .c_str());
-    return result.report.BugCount() == 0 ? 0 : 1;
+    return interrupted ? 130 : result.report.BugCount() == 0 ? 0 : 1;
   }
   std::printf("%s", result.report.Render(mumak_options.report_warnings)
                         .c_str());
@@ -601,5 +757,5 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.trace.events),
       static_cast<unsigned long long>(result.report.BugCount()),
       static_cast<unsigned long long>(result.report.WarningCount()));
-  return result.report.BugCount() == 0 ? 0 : 1;
+  return interrupted ? 130 : result.report.BugCount() == 0 ? 0 : 1;
 }

@@ -8,6 +8,17 @@
 //   mumak-inspect --analyze trace.bin
 //   mumak-inspect --analyze --eadr trace.bin
 //   mumak-inspect --histograms --metrics metrics.json trace.bin
+//
+// It is also the reader half of the campaign flight recorder: given a
+// journal (`mumak --journal`), --from-journal reconstructs a valid partial
+// report from any prefix — including one torn mid-record by a SIGKILL —
+// and --follow tails a running campaign with a live progress/ETA line.
+//
+//   mumak-inspect --from-journal campaign.mjn
+//   mumak-inspect --from-journal campaign.mjn --json
+//   mumak-inspect --from-journal campaign.mjn --follow
+
+#include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
@@ -23,6 +34,7 @@
 #include "src/analysis/trace_analysis.h"
 #include "src/instrument/shadow_call_stack.h"
 #include "src/instrument/trace.h"
+#include "src/observability/journal.h"
 #include "src/observability/metrics.h"
 
 namespace {
@@ -53,6 +65,162 @@ void PrintHistogram(const mumak::Histogram& histogram) {
   }
 }
 
+// One anytime snapshot of a journal, printed as text or JSON. The decoded
+// prefix is always valid (ReplayJournal tolerates torn tails), so this
+// works identically on a finished campaign, a running one, and one that
+// was SIGKILLed mid-injection.
+void PrintJournalSnapshot(const mumak::JournalReplay& replay, bool json) {
+  using mumak::Report;
+  const Report report = replay.ReconstructReport();
+  if (json) {
+    // Wrapper object: campaign progress plus the reconstructed report
+    // (the same shape `mumak --json` prints).
+    std::string phase = replay.phases.empty() ? "" : replay.phases.back();
+    std::printf(
+        "{\"journal\": {\"complete\": %s, \"interrupted\": %s, "
+        "\"verdicts\": %" PRIu64 ", \"dispatches\": %" PRIu64 ", "
+        "\"failure_points\": %" PRIu64 ", \"pm_events\": %" PRIu64 ", "
+        "\"resume_generations\": %" PRIu64 ", \"last_phase\": \"%s\", "
+        "\"warnings\": %zu}, \"report\": %s}\n",
+        replay.has_footer ? "true" : "false",
+        replay.interrupted ? "true" : "false",
+        static_cast<uint64_t>(replay.verdicts.size()), replay.dispatches,
+        replay.failure_points, replay.pm_events, replay.resume_generations,
+        phase.c_str(), replay.warnings.size(),
+        report.RenderJson(true).c_str());
+    return;
+  }
+  std::printf("=== campaign journal ===\n");
+  for (const auto& [key, value] : replay.header) {
+    std::printf("  %-14s %s\n", key.c_str(), value.c_str());
+  }
+  if (replay.has_profile) {
+    std::printf("  %-14s %" PRIu64 " failure points, %" PRIu64
+                " PM events (fingerprint %016" PRIx64 ")\n",
+                "profile", replay.failure_points, replay.pm_events,
+                replay.fingerprint);
+  }
+  if (!replay.phases.empty()) {
+    std::printf("  %-14s %s\n", "last phase", replay.phases.back().c_str());
+  }
+  std::printf("  %-14s %" PRIu64 " dispatched, %zu verdict(s)", "progress",
+              replay.dispatches, replay.verdicts.size());
+  if (replay.failure_points > 0) {
+    std::printf(" of %" PRIu64 " (%.1f%%)", replay.failure_points,
+                100.0 * static_cast<double>(replay.verdicts.size()) /
+                    static_cast<double>(replay.failure_points));
+  }
+  std::printf("\n");
+  if (replay.resume_generations > 0) {
+    std::printf("  %-14s %" PRIu64 "\n", "resumes",
+                replay.resume_generations);
+  }
+  if (replay.has_footer) {
+    std::printf("  %-14s %s after %.2fs (%" PRIu64 " bug(s), %" PRIu64
+                " warning(s))\n",
+                "finished", replay.interrupted ? "interrupted" : "complete",
+                replay.footer_elapsed_s, replay.footer_bugs,
+                replay.footer_warnings);
+  } else {
+    std::printf("  %-14s no footer — campaign still running or killed\n",
+                "finished");
+  }
+  std::printf("\n%s", report.Render(true).c_str());
+}
+
+// Tails a running campaign: re-decodes the journal prefix until the
+// footer lands, printing a progress/ETA line. Exits 3 when the journal
+// stops growing without a footer (the campaign died).
+int FollowJournal(const std::string& path, bool json) {
+  constexpr int kPollMs = 500;
+  constexpr int kStalePolls = 30;  // ~15s without growth = dead campaign
+  uint64_t last_valid_bytes = 0;
+  int stale = 0;
+  for (;;) {
+    const mumak::JournalReplay replay = mumak::ReplayJournal(path);
+    if (!replay.ok) {
+      std::fprintf(stderr, "mumak-inspect: %s\n", replay.error.c_str());
+      return 2;
+    }
+    if (replay.has_footer) {
+      std::fprintf(stderr, "\n");
+      PrintJournalSnapshot(replay, json);
+      const mumak::Report report = replay.ReconstructReport();
+      return report.BugCount() == 0 ? 0 : 1;
+    }
+    const double elapsed_s =
+        static_cast<double>(replay.last_t_us) / 1e6;
+    const size_t done = replay.verdicts.size();
+    std::string line = "mumak-inspect: ";
+    line += replay.phases.empty() ? std::string("starting")
+                                  : replay.phases.back();
+    char buf[160];
+    if (replay.failure_points > 0 && done > 0 && elapsed_s > 0) {
+      const double rate = static_cast<double>(done) / elapsed_s;
+      const double eta =
+          static_cast<double>(replay.failure_points - done) / rate;
+      std::snprintf(buf, sizeof(buf),
+                    " | %zu/%" PRIu64 " verdicts (%.1f%%) | ETA %.1fs",
+                    done, replay.failure_points,
+                    100.0 * static_cast<double>(done) /
+                        static_cast<double>(replay.failure_points),
+                    eta);
+    } else {
+      std::snprintf(buf, sizeof(buf), " | %zu verdicts", done);
+    }
+    line += buf;
+    std::fprintf(stderr, "\r%-78s", line.c_str());
+    std::fflush(stderr);
+    if (replay.valid_bytes == last_valid_bytes) {
+      if (++stale >= kStalePolls) {
+        std::fprintf(stderr,
+                     "\nmumak-inspect: journal stopped growing without a "
+                     "footer (campaign died?)\n");
+        PrintJournalSnapshot(replay, json);
+        return 3;
+      }
+    } else {
+      stale = 0;
+      last_valid_bytes = replay.valid_bytes;
+    }
+    usleep(kPollMs * 1000);
+  }
+}
+
+int InspectJournal(const std::string& path, bool follow, bool json,
+                   bool openmetrics) {
+  if (follow) {
+    return FollowJournal(path, json);
+  }
+  const mumak::JournalReplay replay = mumak::ReplayJournal(path);
+  for (const std::string& warning : replay.warnings) {
+    std::fprintf(stderr, "mumak-inspect: %s\n", warning.c_str());
+  }
+  if (!replay.ok) {
+    std::fprintf(stderr, "mumak-inspect: %s\n", replay.error.c_str());
+    return 2;
+  }
+  if (openmetrics) {
+    // Exposition surface: just the newest embedded snapshot, in a form a
+    // Prometheus textfile collector can ingest directly.
+    const std::string text =
+        mumak::MetricsJsonToOpenMetrics(replay.last_metrics_json);
+    if (text.empty()) {
+      std::fprintf(stderr,
+                   "mumak-inspect: '%s' has no metrics snapshot (was the "
+                   "campaign run with --metrics or --journal metrics "
+                   "attached?)\n",
+                   path.c_str());
+      return 2;
+    }
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  PrintJournalSnapshot(replay, json);
+  const mumak::Report report = replay.ReconstructReport();
+  return report.BugCount() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +233,10 @@ int main(int argc, char** argv) {
   uint32_t analysis_jobs = 1;
   std::optional<std::vector<std::string>> detectors;
   std::string metrics_path;
+  std::string metrics_format = "json";
+  std::string from_journal;
+  bool follow = false;
+  bool json = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,11 +289,38 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_path = argv[++i];
+    } else if (arg == "--metrics-format") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "mumak-inspect: --metrics-format requires a value\n");
+        return 2;
+      }
+      metrics_format = argv[++i];
+      if (metrics_format != "json" && metrics_format != "openmetrics") {
+        std::fprintf(stderr,
+                     "mumak-inspect: bad --metrics-format value '%s' "
+                     "(expected json|openmetrics)\n",
+                     metrics_format.c_str());
+        return 2;
+      }
+    } else if (arg == "--from-journal") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "mumak-inspect: --from-journal requires a file\n");
+        return 2;
+      }
+      from_journal = argv[++i];
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: mumak-inspect [--analyze] [--eadr] [--dirty-overwrites] "
           "[--analysis-jobs <n>] [--detectors <list>] [--histograms] "
-          "[--metrics <file>] <trace.bin>\n");
+          "[--metrics <file>] [--metrics-format json|openmetrics] "
+          "<trace.bin>\n"
+          "       mumak-inspect --from-journal <file> [--json] [--follow]\n");
       return 0;
     } else {
       path = arg;
@@ -144,6 +343,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+  }
+  if (!from_journal.empty()) {
+    return InspectJournal(from_journal, follow, json,
+                          metrics_format == "openmetrics");
+  }
+  if (follow) {
+    std::fprintf(stderr,
+                 "mumak-inspect: --follow requires --from-journal\n");
+    return 2;
   }
   if (path.empty()) {
     std::fprintf(stderr, "mumak-inspect: a trace file is required\n");
@@ -299,7 +507,11 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path, std::ios::trunc);
     if (out) {
-      out << snapshot.RenderJson() << "\n";
+      if (metrics_format == "openmetrics") {
+        out << snapshot.RenderOpenMetrics();
+      } else {
+        out << snapshot.RenderJson() << "\n";
+      }
     }
     if (out) {
       std::printf("metrics written to %s\n", metrics_path.c_str());

@@ -121,6 +121,56 @@ TEST(SandboxWire, DetailTruncatedToCapOnEncode) {
   EXPECT_EQ(out.detail.size(), kWireMaxDetail);
 }
 
+TEST(SandboxWire, SpanRoundTripAndClassification) {
+  WireSpan in;
+  in.name = "recovery_oracle";
+  in.start_us = 1234;
+  in.duration_us = 56789;
+  const std::vector<uint8_t> frame = EncodeSpan(in);
+  ASSERT_TRUE(IsSpanFrame(frame.data(), frame.size()));
+  WireSpan out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeSpan(frame.data(), frame.size(), &out, &consumed),
+            WireDecodeStatus::kOk);
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.start_us, in.start_us);
+  EXPECT_EQ(out.duration_us, in.duration_us);
+  // Verdict frames must not classify as spans and vice versa.
+  const std::vector<uint8_t> verdict = EncodeVerdict(SampleVerdict());
+  EXPECT_FALSE(IsSpanFrame(verdict.data(), verdict.size()));
+}
+
+TEST(SandboxWire, SpanPrefixesAskForMoreData) {
+  // AwaitVerdict peeks at the buffer head after every read; a partially
+  // received span frame must read as incomplete, never as corruption
+  // (which would get the child killed).
+  const std::vector<uint8_t> frame = EncodeSpan({"image_digest", 7, 8});
+  for (size_t len = 4; len < frame.size(); ++len) {
+    if (!IsSpanFrame(frame.data(), len)) {
+      continue;  // too short to even see the magic
+    }
+    WireSpan out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeSpan(frame.data(), len, &out, &consumed),
+              WireDecodeStatus::kNeedMoreData)
+        << "prefix length " << len;
+  }
+}
+
+TEST(SandboxWire, SpanNameTruncatedToCapOnEncode) {
+  WireSpan in;
+  in.name.assign(kWireMaxSpanName + 100, 'n');
+  in.start_us = 1;
+  in.duration_us = 2;
+  const std::vector<uint8_t> frame = EncodeSpan(in);
+  WireSpan out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeSpan(frame.data(), frame.size(), &out, &consumed),
+            WireDecodeStatus::kOk);
+  EXPECT_EQ(out.name.size(), kWireMaxSpanName);
+}
+
 // ---------------------------------------------------------------------
 // Wait-status classification.
 // ---------------------------------------------------------------------
