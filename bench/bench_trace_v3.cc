@@ -1,0 +1,367 @@
+// Trace format v3 data-plane benchmark (ISSUE 7 acceptance): columnar
+// compressed blocks vs the flat v2 row stream. Measures
+//
+//   1. file size: v3 must be >= 2.5x smaller than v2 on the bench trace,
+//   2. offline analysis: block-parallel AnalyzeFile at --analysis-jobs 4
+//      must be >= 2x over serial on a >= 4-core host,
+//   3. seek: index-based SeekToSeq vs scanning the file from zero, and
+//      ReplayCursor synthesis resumed from a ReplaySeekIndex checkpoint vs
+//      replaying from zero,
+//   4. equality: the v3 and v2 campaigns must produce byte-identical
+//      reports.
+//
+// Emits BENCH_trace_v3.json. The wall-clock gates are recorded but only
+// enforced on hosts with >= 4 cores (the CI bench runner); the size and
+// byte-identity gates are enforced everywhere.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/trace_analysis.h"
+#include "src/instrument/trace.h"
+#include "src/pmem/replay_cursor.h"
+#include "src/pmem/replay_seek_index.h"
+
+namespace mumak {
+namespace {
+
+uint64_t Next(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+PmEvent Ev(EventKind kind, uint64_t offset, uint32_t size, uint32_t site,
+           uint64_t seq) {
+  PmEvent event;
+  event.kind = kind;
+  event.offset = offset;
+  event.size = size;
+  event.site = site;
+  event.seq = seq;
+  return event;
+}
+
+// The flush-heavy long-trace shape from bench_trace_analysis: small stores
+// over a wide working set, a flush per store, a fence every few ops, plus
+// the §4.2 bug patterns so every detector has live work.
+std::vector<PmEvent> FlushHeavyTrace(uint64_t ops, uint64_t lines) {
+  std::vector<PmEvent> events;
+  events.reserve(ops * 9 / 2);
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  uint64_t seq = 0;
+  for (uint64_t op = 0; op < ops; ++op) {
+    const uint64_t line = Next(&rng) % lines;
+    const uint64_t offset = line * 64 + (Next(&rng) & 0x38);
+    const uint32_t site = static_cast<uint32_t>(Next(&rng) % 64);
+    events.push_back(Ev(EventKind::kStore, offset, 8, site, ++seq));
+    if ((op & 0x3f) == 1) {
+      events.push_back(Ev(EventKind::kStore, offset, 8, site, ++seq));
+    }
+    if ((op & 0xff) != 3) {
+      events.push_back(Ev(EventKind::kClwb, line * 64, 64, site + 64, ++seq));
+      if ((op & 0x7f) == 5) {
+        events.push_back(
+            Ev(EventKind::kClwb, line * 64, 64, site + 128, ++seq));
+      }
+    }
+    if ((op & 0x3) == 3) {
+      events.push_back(Ev(EventKind::kSfence, 0, 0, site + 192, ++seq));
+    }
+  }
+  events.push_back(Ev(EventKind::kSfence, 0, 0, 255, ++seq));
+  return events;
+}
+
+// A replay-shaped trace: stores carry payloads (the replay-injection
+// input), over a pool small enough that cursor work dominates.
+RecordedTrace ReplayTrace(uint64_t ops, size_t pool_size) {
+  RecordedTrace trace;
+  uint64_t rng = 0x6a09e667f3bcc909ull;
+  uint64_t seq = 0;
+  for (uint64_t op = 0; op < ops; ++op) {
+    const uint64_t offset = (Next(&rng) % (pool_size / 8)) * 8;
+    PmEvent ev = Ev(EventKind::kStore, offset, 8, 1, ++seq);
+    uint8_t bytes[8];
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[b] = static_cast<uint8_t>((op + b) % 251);
+    }
+    trace.payloads.Record(trace.events.size(), bytes, sizeof(bytes));
+    trace.events.push_back(ev);
+    if ((op & 0x7) == 7) {
+      trace.events.push_back(Ev(EventKind::kClwb, offset / 64 * 64, 64, 2,
+                                ++seq));
+      trace.events.push_back(Ev(EventKind::kSfence, 0, 0, 3, ++seq));
+    }
+  }
+  return trace;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<uint64_t>(in.tellg()) : 0;
+}
+
+void SpoolFile(const std::vector<PmEvent>& events, const std::string& path,
+               uint32_t format, uint32_t block_events) {
+  TraceSinkOptions options;
+  options.format = format;
+  options.block_events = block_events;
+  TraceFileSink sink(path, options);
+  for (const PmEvent& event : events) {
+    sink.OnEvent(event);
+  }
+  sink.Close();
+}
+
+struct AnalysisRun {
+  double seconds = 0;
+  uint64_t findings = 0;
+  std::string render;
+};
+
+AnalysisRun TimedAnalysis(const std::string& path, uint32_t jobs, int reps) {
+  AnalysisRun best;
+  for (int rep = 0; rep < reps; ++rep) {
+    TraceAnalysisOptions options;
+    options.jobs = jobs;
+    TraceAnalyzer analyzer(std::move(options));
+    TraceStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const Report report = analyzer.AnalyzeFile(path, &stats);
+    const double elapsed = Seconds(start);
+    if (rep == 0 || elapsed < best.seconds) {
+      best.seconds = elapsed;
+    }
+    best.findings = stats.findings;
+    best.render = report.Render();
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace mumak
+
+int main() {
+  using namespace mumak;
+
+  const unsigned cores = std::thread::hardware_concurrency() != 0
+                             ? std::thread::hardware_concurrency()
+                             : static_cast<unsigned>(
+                                   ::sysconf(_SC_NPROCESSORS_ONLN));
+  std::printf("=== trace v3 data plane: size, parallel analysis, seek ===\n");
+  std::printf("host cores: %u\n\n", cores);
+
+  // -- 1. file size: v2 flat rows vs v3 columnar blocks ----------------------
+  const std::vector<PmEvent> events = FlushHeavyTrace(600000, 1 << 19);
+  const std::string v2_path = "BENCH_trace_v3.v2.tmp";
+  const std::string v3_path = "BENCH_trace_v3.v3.tmp";
+  const auto spool_v2_start = std::chrono::steady_clock::now();
+  SpoolFile(events, v2_path, /*format=*/0, 0);  // flat row stream
+  const double spool_v2_s = Seconds(spool_v2_start);
+  const auto spool_v3_start = std::chrono::steady_clock::now();
+  SpoolFile(events, v3_path, /*format=*/3, 64u << 10);
+  const double spool_v3_s = Seconds(spool_v3_start);
+  const uint64_t v2_bytes = FileBytes(v2_path);
+  const uint64_t v3_bytes = FileBytes(v3_path);
+  const double size_ratio =
+      v3_bytes > 0 ? static_cast<double>(v2_bytes) /
+                         static_cast<double>(v3_bytes)
+                   : 0;
+  std::printf("trace: %zu events\n", events.size());
+  std::printf("v2 flat:     %10llu bytes (spooled in %.3fs)\n",
+              static_cast<unsigned long long>(v2_bytes), spool_v2_s);
+  std::printf("v3 columnar: %10llu bytes (spooled in %.3fs)\n",
+              static_cast<unsigned long long>(v3_bytes), spool_v3_s);
+  std::printf("size ratio: %.2fx smaller (acceptance: >= 2.5x)\n\n",
+              size_ratio);
+
+  // -- 2. offline analysis: serial vs block-parallel -------------------------
+  constexpr int kReps = 3;
+  const AnalysisRun serial = TimedAnalysis(v3_path, 1, kReps);
+  const AnalysisRun jobs2 = TimedAnalysis(v3_path, 2, kReps);
+  const AnalysisRun jobs4 = TimedAnalysis(v3_path, 4, kReps);
+  const AnalysisRun v2_serial = TimedAnalysis(v2_path, 1, kReps);
+  const double analysis_speedup =
+      jobs4.seconds > 0 ? serial.seconds / jobs4.seconds : 0;
+  std::printf("offline analysis of the v3 file:\n");
+  std::printf("  serial      %8.4fs  %llu findings\n", serial.seconds,
+              static_cast<unsigned long long>(serial.findings));
+  std::printf("  jobs=2      %8.4fs\n", jobs2.seconds);
+  std::printf("  jobs=4      %8.4fs  -> %.2fx (acceptance: >= 2x)\n",
+              jobs4.seconds, analysis_speedup);
+  std::printf("  v2 serial   %8.4fs (flat-file baseline)\n", v2_serial.seconds);
+  const bool reports_identical = serial.render == jobs4.render &&
+                                 serial.render == jobs2.render &&
+                                 serial.render == v2_serial.render;
+  std::printf("v3/v2, serial/parallel reports byte-identical: %s\n\n",
+              reports_identical ? "yes" : "NO");
+
+  // -- 3a. file seek: SeekToSeq vs full scan ---------------------------------
+  // Position at the last 2% of the trace, the resolve-deferred shape.
+  const uint64_t seek_target = events[events.size() * 98 / 100].seq;
+  double scan_s = 0;
+  double seek_s = 0;
+  uint64_t scan_first = 0;
+  uint64_t seek_first = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      TraceFileReader reader(v3_path);
+      std::vector<PmEvent> batch;
+      const auto start = std::chrono::steady_clock::now();
+      bool found = false;
+      while (!found && reader.NextChunk(&batch, 4096)) {
+        for (const PmEvent& ev : batch) {
+          if (ev.seq >= seek_target) {
+            scan_first = ev.seq;
+            found = true;
+            break;
+          }
+        }
+      }
+      const double elapsed = Seconds(start);
+      if (rep == 0 || elapsed < scan_s) {
+        scan_s = elapsed;
+      }
+    }
+    {
+      TraceFileReader reader(v3_path);
+      std::vector<PmEvent> batch;
+      const auto start = std::chrono::steady_clock::now();
+      reader.SeekToSeq(seek_target);
+      if (reader.NextChunk(&batch, 1) && !batch.empty()) {
+        seek_first = batch[0].seq;
+      }
+      const double elapsed = Seconds(start);
+      if (rep == 0 || elapsed < seek_s) {
+        seek_s = elapsed;
+      }
+    }
+  }
+  const double file_seek_speedup = seek_s > 0 ? scan_s / seek_s : 0;
+  std::printf("file seek to seq %llu (98%% in):\n",
+              static_cast<unsigned long long>(seek_target));
+  std::printf("  full scan   %8.4fs (first seq %llu)\n", scan_s,
+              static_cast<unsigned long long>(scan_first));
+  std::printf("  SeekToSeq   %8.4fs (first seq %llu) -> %.1fx\n", seek_s,
+              static_cast<unsigned long long>(seek_first), file_seek_speedup);
+  const bool seek_equivalent = scan_first == seek_first;
+
+  // -- 3b. replay seek: checkpoint resume vs from-zero synthesis -------------
+  constexpr size_t kPoolSize = 1u << 20;
+  const RecordedTrace replay_trace = ReplayTrace(400000, kPoolSize);
+  const uint64_t replay_target =
+      replay_trace.events[replay_trace.events.size() * 9 / 10].seq;
+  ReplaySeekIndex seek_index(&replay_trace, /*max_checkpoints=*/4,
+                             /*alignment=*/4096);
+  {
+    // The streaming pass the injection loops already perform; checkpoints
+    // piggyback on it.
+    ReplayCursor cursor(replay_trace, kPoolSize, /*track_digest=*/true);
+    for (size_t i = 0; i < replay_trace.events.size(); i += 512) {
+      cursor.AdvanceTo(replay_trace.events[i].seq);
+      seek_index.MaybeCapture(cursor);
+    }
+    cursor.AdvanceTo(replay_trace.events.back().seq);
+    seek_index.MaybeCapture(cursor);
+  }
+  double from_zero_s = 0;
+  double resumed_s = 0;
+  size_t skipped_events = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      const auto start = std::chrono::steady_clock::now();
+      ReplayCursor cursor(replay_trace, kPoolSize, /*track_digest=*/true);
+      cursor.AdvanceTo(replay_target);
+      const double elapsed = Seconds(start);
+      if (rep == 0 || elapsed < from_zero_s) {
+        from_zero_s = elapsed;
+      }
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      auto cursor = seek_index.SeekCursor(replay_target, kPoolSize,
+                                          /*track_digest=*/true,
+                                          &skipped_events);
+      cursor->AdvanceTo(replay_target);
+      const double elapsed = Seconds(start);
+      if (rep == 0 || elapsed < resumed_s) {
+        resumed_s = elapsed;
+      }
+    }
+  }
+  const double replay_seek_speedup =
+      resumed_s > 0 ? from_zero_s / resumed_s : 0;
+  std::printf("replay synthesis to seq %llu (90%% in, %zu-event trace):\n",
+              static_cast<unsigned long long>(replay_target),
+              replay_trace.events.size());
+  std::printf("  from zero   %8.4fs\n", from_zero_s);
+  std::printf("  checkpoint  %8.4fs (%zu events skipped) -> %.1fx\n\n",
+              resumed_s, skipped_events, replay_seek_speedup);
+
+  // -- verdict + JSON --------------------------------------------------------
+  const bool wall_gates = cores >= 4;
+  const bool size_ok = size_ratio >= 2.5;
+  const bool analysis_ok = analysis_speedup >= 2.0;
+  const bool seek_ok = file_seek_speedup > 1.0 && replay_seek_speedup > 1.0;
+  std::printf("acceptance: size %s, identity %s, parallel %s%s, seek %s%s\n",
+              size_ok ? "PASS" : "FAIL",
+              (reports_identical && seek_equivalent) ? "PASS" : "FAIL",
+              analysis_ok ? "PASS" : "FAIL",
+              wall_gates ? "" : " (recorded, <4 cores)",
+              seek_ok ? "PASS" : "FAIL",
+              wall_gates ? "" : " (recorded, <4 cores)");
+
+  std::ofstream out("BENCH_trace_v3.json", std::ios::trunc);
+  char buffer[1600];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"events\": %zu,\n"
+      "  \"cores\": %u,\n"
+      "  \"file_bytes\": {\"v2\": %llu, \"v3\": %llu},\n"
+      "  \"size_ratio\": %.2f,\n"
+      "  \"spool_s\": {\"v2\": %.4f, \"v3\": %.4f},\n"
+      "  \"offline_analysis_s\": {\"serial\": %.4f, \"jobs2\": %.4f, "
+      "\"jobs4\": %.4f, \"v2_serial\": %.4f},\n"
+      "  \"analysis_speedup_jobs4\": %.2f,\n"
+      "  \"file_seek\": {\"scan_s\": %.4f, \"seek_s\": %.4f, "
+      "\"speedup\": %.1f},\n"
+      "  \"replay_seek\": {\"from_zero_s\": %.4f, \"resumed_s\": %.4f, "
+      "\"skipped_events\": %zu, \"speedup\": %.1f},\n"
+      "  \"reports_identical\": %s,\n"
+      "  \"wall_gates_evaluated\": %s\n"
+      "}\n",
+      events.size(), cores, static_cast<unsigned long long>(v2_bytes),
+      static_cast<unsigned long long>(v3_bytes), size_ratio, spool_v2_s,
+      spool_v3_s, serial.seconds, jobs2.seconds, jobs4.seconds,
+      v2_serial.seconds, analysis_speedup, scan_s, seek_s, file_seek_speedup,
+      from_zero_s, resumed_s, skipped_events, replay_seek_speedup,
+      (reports_identical && seek_equivalent) ? "true" : "false",
+      wall_gates ? "true" : "false");
+  out << buffer;
+  out.close();
+  std::printf("BENCH_trace_v3.json written\n");
+
+  std::remove(v2_path.c_str());
+  std::remove(v3_path.c_str());
+  const bool hard_gates = size_ok && reports_identical && seek_equivalent;
+  const bool soft_gates = !wall_gates || (analysis_ok && seek_ok);
+  return hard_gates && soft_gates ? 0 : 1;
+}

@@ -20,6 +20,7 @@
 #include "src/core/verdict_cache.h"
 #include "src/pmem/image_digest.h"
 #include "src/pmem/replay_cursor.h"
+#include "src/pmem/replay_seek_index.h"
 #include "src/sandbox/child.h"
 
 namespace mumak {
@@ -58,6 +59,7 @@ struct InjectionMetrics {
   Counter* attempted = nullptr;
   Counter* crashed = nullptr;
   Counter* deduplicated = nullptr;
+  Counter* seek_skipped_events = nullptr;
   Counter* dedup_hits = nullptr;
   Counter* distinct_images = nullptr;
   Counter* dedup_collisions = nullptr;
@@ -76,6 +78,7 @@ struct InjectionMetrics {
     attempted = registry->GetCounter("inject.attempted");
     crashed = registry->GetCounter("inject.crashed");
     deduplicated = registry->GetCounter("inject.deduplicated");
+    seek_skipped_events = registry->GetCounter("inject.seek_skipped_events");
     dedup_hits = registry->GetCounter("inject.image_dedup_hits");
     distinct_images = registry->GetCounter("inject.distinct_images");
     dedup_collisions = registry->GetCounter("inject.dedup_collisions");
@@ -142,6 +145,11 @@ struct InjectionMetrics {
   void ObserveDigest(uint64_t us) {
     if (digest_us != nullptr) {
       digest_us->Observe(us);
+    }
+  }
+  void CountSeekSkippedEvents(size_t events) {
+    if (seek_skipped_events != nullptr && events > 0) {
+      seek_skipped_events->Increment(events);
     }
   }
 };
@@ -1239,6 +1247,11 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   // stay deterministic. A digest can still miss here if the original's
   // dispatch failed (no verdict was ever inserted) — those points get a
   // fresh cursor pass and a real oracle run.
+  // Checkpoints captured during the streaming pass below; the deferred
+  // resolver seeks to the nearest one instead of replaying from zero. Only
+  // worth the image copies when dedup can defer points at all.
+  ReplaySeekIndex seek_index(&replay_trace_,
+                             cache != nullptr ? options_.seek_checkpoints : 0);
   auto resolve_deferred = [&] {
     if (pending.empty()) {
       return;
@@ -1276,8 +1289,13 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         continue;
       }
       if (fallback == nullptr) {
-        fallback = std::make_unique<ReplayCursor>(
-            replay_trace_, profiled_pool_size_, /*track_digest=*/true);
+        // Deferred points resolve in seq order, so one cursor serves them
+        // all; the seek index places it just before the first target.
+        size_t skipped = 0;
+        fallback = seek_index.SeekCursor(points[d.index].seq,
+                                         profiled_pool_size_,
+                                         /*track_digest=*/true, &skipped);
+        im.CountSeekSkippedEvents(skipped);
       }
       const std::vector<uint8_t>& image =
           fallback->AdvanceTo(points[d.index].seq);
@@ -1317,6 +1335,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
       // report byte for byte.
       replay_resumed_up_to(points[i].seq);
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      seek_index.MaybeCapture(cursor);
       DedupProbe probe = ProbeCache(cache, im, image.data(), image.size(),
                                     [&] { return cursor.Digest(); });
       if (probe.hit) {
@@ -1390,6 +1409,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
       // Probe the cache before claiming a slot: a hit dispatches nothing,
       // so it neither blocks on collect_oldest() nor occupies a lane.
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      seek_index.MaybeCapture(cursor);
       DedupProbe probe = ProbeCache(cache, im, image.data(), image.size(),
                                     [&] { return cursor.Digest(); });
       if (probe.hit) {
@@ -1479,6 +1499,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         break;
       }
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
+      seek_index.MaybeCapture(cursor);
       // Probe at the producer: a hit never snapshots the image or touches
       // the queue, and a twin of a digest already queued or at a consumer
       // is deferred instead of enqueued (the verdict it needs is still

@@ -154,6 +154,12 @@ struct FaultInjectionOptions {
   // Opt-in collision guard (--verify-dedup): keep a byte copy of each
   // distinct image and only honour a digest hit when the bytes match.
   bool verify_dedup = false;
+  // Replay seek index (src/pmem/replay_seek_index.h): image checkpoints
+  // captured at up to this many block-aligned positions during the
+  // streaming replay pass, so the deferred-dedup resolver starts its
+  // synthesis at the nearest checkpoint instead of replaying the whole
+  // prefix. Each checkpoint copies the pool image once; 0 disables.
+  uint32_t seek_checkpoints = 4;
   // When non-empty, the verdict cache is loaded from / saved to this path,
   // keyed by a fingerprint of the profiled trace — repeated campaigns over
   // an unchanged target skip every already-checked image. Requires this

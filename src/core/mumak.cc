@@ -175,6 +175,7 @@ MumakResult Mumak::Analyze() {
   fi_options.image_dedup = options_.image_dedup;
   fi_options.verify_dedup = options_.verify_dedup;
   fi_options.verdict_cache_path = options_.verdict_cache_path;
+  fi_options.seek_checkpoints = options_.seek_checkpoints;
   fi_options.sandbox = options_.sandbox;
   fi_options.metrics = options_.metrics;
   fi_options.tracer = options_.tracer;
@@ -202,7 +203,12 @@ MumakResult Mumak::Analyze() {
     analyzer.emplace(std::move(ta_options));
     if (!online) {
       spool.emplace(TempTracePath());
-      trace.emplace(spool->path());
+      TraceSinkOptions sink_options;
+      // The spool carries no payloads (analysis never reads them), so the
+      // v2 setting degrades to the flat payload-less v1 layout.
+      sink_options.format = options_.trace_format == 3 ? 3 : 0;
+      sink_options.block_events = options_.trace_block_events;
+      trace.emplace(spool->path(), sink_options);
     }
   }
   EventSink* profile_sink = nullptr;

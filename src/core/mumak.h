@@ -15,6 +15,7 @@
 #include "src/core/report.h"
 #include "src/core/resource_stats.h"
 #include "src/core/trace_analysis.h"
+#include "src/instrument/trace_v3.h"
 #include "src/observability/metrics.h"
 #include "src/observability/progress.h"
 #include "src/observability/span_tracer.h"
@@ -46,6 +47,15 @@ struct MumakOptions {
   // fault injection on a worker thread — either way the analysis no longer
   // serialises the pipeline.
   bool online_analysis = false;
+  // On-disk format for the spooled trace: 3 (default) writes columnar
+  // compressed v3 blocks — smaller spool, block-parallel offline analysis
+  // when analysis_jobs > 1; 2 writes the flat v2 row stream (compatibility
+  // with older offline tools).
+  uint32_t trace_format = 3;
+  // Events per v3 block (seek granularity vs compression trade-off).
+  uint32_t trace_block_events = kTraceV3DefaultBlockEvents;
+  // Replay seek checkpoints (see FaultInjectionOptions::seek_checkpoints).
+  uint32_t seek_checkpoints = 4;
   // Re-run the target with minimal instrumentation to attach call stacks to
   // trace-analysis findings (the §5 instruction-counter optimisation:
   // traces carry only counters; backtraces are recovered afterwards).

@@ -1,0 +1,147 @@
+#include "src/instrument/buffer_pool.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace mumak {
+namespace {
+
+// Size class for a capacity: smallest power-of-two class that holds it.
+// Returns kClasses for capacities above the largest pooled class.
+size_t ClassFor(size_t bytes) {
+  size_t size = BufferPool::kMinClassBytes;
+  size_t cls = 0;
+  while (size < bytes && cls < BufferPool::kClasses) {
+    size <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+size_t ClassBytes(size_t cls) { return BufferPool::kMinClassBytes << cls; }
+
+struct FreeList {
+  std::vector<std::vector<uint8_t>> buffers;
+};
+
+}  // namespace
+
+// Central (cross-thread) state plus counters. Thread-local fronts live in
+// function-local thread_local storage keyed by the shared instance, so the
+// global pool and any test-local pools do not mix lists.
+struct BufferPool::Shared {
+  std::mutex mutex;
+  FreeList central[kClasses];
+  std::atomic<uint64_t> acquires{0};
+  std::atomic<uint64_t> reuses{0};
+  std::atomic<uint64_t> central_hits{0};
+  std::atomic<uint64_t> releases{0};
+  std::atomic<uint64_t> discards{0};
+};
+
+namespace {
+
+// Thread-local fronts. One slot per pool instance is overkill for the
+// expected use (one global pool plus short-lived test pools), so the
+// thread-local front only serves the *global* pool; other instances go
+// straight to their central list. This keeps the fast path allocation-free
+// without a per-instance registry of thread caches.
+thread_local FreeList t_local[BufferPool::kClasses];
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  static BufferPool pool;
+  return pool;
+}
+
+BufferPool::Shared* BufferPool::shared() {
+  // Lazy so a never-used pool costs nothing; benign race-free via the
+  // C++11 static in Global() for the global pool, and single-threaded
+  // construction assumed for local pools.
+  if (shared_ == nullptr) {
+    shared_ = new Shared();
+  }
+  return shared_;
+}
+
+BufferPool::~BufferPool() {
+  delete shared_;
+}
+
+std::vector<uint8_t> BufferPool::Acquire(size_t min_capacity) {
+  Shared* s = shared();
+  s->acquires.fetch_add(1, std::memory_order_relaxed);
+  const size_t cls = ClassFor(min_capacity);
+  if (cls >= kClasses) {
+    std::vector<uint8_t> fresh;
+    fresh.reserve(min_capacity);
+    return fresh;
+  }
+  const bool use_local = this == &Global();
+  if (use_local && !t_local[cls].buffers.empty()) {
+    std::vector<uint8_t> buffer = std::move(t_local[cls].buffers.back());
+    t_local[cls].buffers.pop_back();
+    s->reuses.fetch_add(1, std::memory_order_relaxed);
+    buffer.clear();
+    return buffer;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    if (!s->central[cls].buffers.empty()) {
+      std::vector<uint8_t> buffer = std::move(s->central[cls].buffers.back());
+      s->central[cls].buffers.pop_back();
+      s->reuses.fetch_add(1, std::memory_order_relaxed);
+      s->central_hits.fetch_add(1, std::memory_order_relaxed);
+      buffer.clear();
+      return buffer;
+    }
+  }
+  std::vector<uint8_t> fresh;
+  fresh.reserve(ClassBytes(cls));
+  return fresh;
+}
+
+void BufferPool::Release(std::vector<uint8_t>&& buffer) {
+  Shared* s = shared();
+  s->releases.fetch_add(1, std::memory_order_relaxed);
+  const size_t capacity = buffer.capacity();
+  if (capacity < kMinClassBytes || capacity > 2 * kMaxClassBytes) {
+    s->discards.fetch_add(1, std::memory_order_relaxed);
+    buffer = std::vector<uint8_t>();
+    return;
+  }
+  // File under the largest class the capacity *fills*, so an Acquire for
+  // that class always gets at least the class size back.
+  size_t cls = 0;
+  while (cls + 1 < kClasses && ClassBytes(cls + 1) <= capacity) {
+    ++cls;
+  }
+  buffer.clear();
+  const bool use_local = this == &Global();
+  if (use_local && t_local[cls].buffers.size() < kMaxPerClass) {
+    t_local[cls].buffers.push_back(std::move(buffer));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(s->mutex);
+  if (s->central[cls].buffers.size() < kMaxPerClass) {
+    s->central[cls].buffers.push_back(std::move(buffer));
+  } else {
+    s->discards.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BufferPool::Stats BufferPool::SnapshotStats() const {
+  Stats stats;
+  if (shared_ == nullptr) {
+    return stats;
+  }
+  stats.acquires = shared_->acquires.load(std::memory_order_relaxed);
+  stats.reuses = shared_->reuses.load(std::memory_order_relaxed);
+  stats.central_hits = shared_->central_hits.load(std::memory_order_relaxed);
+  stats.releases = shared_->releases.load(std::memory_order_relaxed);
+  stats.discards = shared_->discards.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mumak

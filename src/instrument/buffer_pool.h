@@ -1,0 +1,106 @@
+// Size-class pooled byte buffers for the trace data plane. The v3 block
+// codec moves one multi-hundred-KB buffer per ~64K events through encode,
+// compress, write, read, decompress and decode; allocating those from the
+// general heap churns the allocator and loses the warmed pages every
+// block. This pool keeps freed buffers on a thread-local free list per
+// power-of-two size class, spilling to a mutex-guarded central list so
+// buffers released on one thread (the reader's decode workers) are reused
+// by another (the pony runtime's pool.c uses the same two-level shape:
+// thread-local fronts over a shared central list).
+//
+// Buffers are plain std::vector<uint8_t> whose *capacity* is the pooled
+// resource: Acquire hands back a cleared vector with at least the
+// requested capacity, Release files it under its capacity's size class.
+// Callers that hand a vector's ownership away forever (e.g. into
+// PmPool::FromImage) simply never release it — the pool is a cache, not
+// an obligation.
+
+#ifndef MUMAK_SRC_INSTRUMENT_BUFFER_POOL_H_
+#define MUMAK_SRC_INSTRUMENT_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mumak {
+
+class BufferPool {
+ public:
+  // Smallest pooled class; requests below it round up (the codec's column
+  // buffers are tens of KB, so sub-4K classes would only fragment).
+  static constexpr size_t kMinClassBytes = 4u << 10;
+  // Largest pooled class; larger buffers bypass the pool entirely (one
+  // outsized trace block should not pin tens of MB on a free list).
+  static constexpr size_t kMaxClassBytes = 32u << 20;
+  static constexpr size_t kClasses = 14;  // 4K << 13 == 32M
+  // Per-class cap on each list so a burst of blocks cannot pin unbounded
+  // memory: beyond it, released buffers are simply freed.
+  static constexpr size_t kMaxPerClass = 8;
+
+  // Process-wide pool shared by every trace writer, reader and analyzer.
+  static BufferPool& Global();
+
+  BufferPool() = default;
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // A cleared vector with capacity >= min_capacity, reused from the pool
+  // when a fitting buffer is cached.
+  std::vector<uint8_t> Acquire(size_t min_capacity);
+
+  // Returns a buffer to the pool (or frees it: oversized, undersized, or
+  // the class is full). The vector is left empty either way.
+  void Release(std::vector<uint8_t>&& buffer);
+
+  // Accounting for tests and the pool.* metrics.
+  struct Stats {
+    uint64_t acquires = 0;
+    uint64_t reuses = 0;       // served from a free list
+    uint64_t central_hits = 0; // of those, pulled from the central list
+    uint64_t releases = 0;
+    uint64_t discards = 0;     // released but not pooled
+  };
+  Stats SnapshotStats() const;
+
+ private:
+  struct Shared;
+  Shared* shared();
+
+  Shared* shared_ = nullptr;
+};
+
+// RAII lease: acquires from the pool, releases on destruction unless the
+// buffer was taken. The common shape for scratch that lives one block.
+class PooledBuffer {
+ public:
+  explicit PooledBuffer(size_t min_capacity,
+                        BufferPool* pool = &BufferPool::Global())
+      : pool_(pool), buffer_(pool->Acquire(min_capacity)) {}
+  ~PooledBuffer() {
+    if (pool_ != nullptr) {
+      pool_->Release(std::move(buffer_));
+    }
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  std::vector<uint8_t>& operator*() { return buffer_; }
+  std::vector<uint8_t>* operator->() { return &buffer_; }
+  const std::vector<uint8_t>& operator*() const { return buffer_; }
+
+  // Transfers ownership out; the destructor then releases nothing.
+  std::vector<uint8_t> Take() {
+    pool_ = nullptr;
+    return std::move(buffer_);
+  }
+
+ private:
+  BufferPool* pool_;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_INSTRUMENT_BUFFER_POOL_H_

@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <istream>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
+#include "src/instrument/buffer_pool.h"
 #include "src/instrument/shadow_call_stack.h"
 
 namespace mumak {
@@ -15,10 +22,16 @@ namespace {
 constexpr std::array<char, 8> kMagic = {'M', 'U', 'M', 'A', 'K', 'T', 'R', '1'};
 // Version 1: packed records only. Version 2: a 8-byte payload-byte total in
 // the header (so the site-name footer stays seekable without scanning the
-// variable-length records) and per-record store payloads.
+// variable-length records) and per-record store payloads. Version 3:
+// columnar compressed blocks (trace_v3.h); its header additionally carries
+// the block-event count and a flags word (bit 0: payloads present).
 constexpr uint32_t kVersionLegacy = 1;
 constexpr uint32_t kVersionPayload = 2;
+constexpr uint32_t kVersionColumnar = kTraceVersionV3;
 constexpr uint64_t kFooterMagic = 0x53455449531f1e1dull;  // site table
+constexpr uint32_t kV3FlagPayloads = 1;
+// magic(8) version(4) count(8) payload_bytes(8) block_events(4) flags(4).
+constexpr uint64_t kV3HeaderBytes = 36;
 
 // Packed on-disk record: kind(1) flags(1) pad(2) size(4) site(4) pad(4)
 // offset(8) seq(8) = 32 bytes. The flags byte occupies what was a pad byte
@@ -44,13 +57,14 @@ void SetError(std::string* error, const std::string& message) {
 }
 
 bool VersionSupported(uint32_t version, std::string* error) {
-  if (version == kVersionLegacy || version == kVersionPayload) {
+  if (version == kVersionLegacy || version == kVersionPayload ||
+      version == kVersionColumnar) {
     return true;
   }
   SetError(error, "unsupported trace format version " +
                       std::to_string(version) + " (this tool reads versions " +
                       std::to_string(kVersionLegacy) + "-" +
-                      std::to_string(kVersionPayload) +
+                      std::to_string(kVersionColumnar) +
                       "; the file was written by a newer mumak)");
   return false;
 }
@@ -76,6 +90,72 @@ PmEvent Unpack(const PackedEvent& packed) {
   return ev;
 }
 
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+// Site-name footer, shared by every version: kFooterMagic, a count, then
+// (site id, name length, name bytes) triples.
+void WriteSiteTable(std::ostream& out,
+                    const std::unordered_set<uint32_t>& sites) {
+  WritePod(out, kFooterMagic);
+  WritePod(out, static_cast<uint32_t>(sites.size()));
+  for (uint32_t site : sites) {
+    const std::string name = FrameRegistry::Global().Describe(site);
+    WritePod(out, site);
+    WritePod(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+}
+
+// v3 header. The count and payload totals are patched by TraceFileSink's
+// Close(); the vector-at-once writer knows them upfront.
+void WriteV3Header(std::ostream& out, uint64_t count, uint64_t payload_bytes,
+                   uint32_t block_events, bool with_payloads) {
+  out.write(kMagic.data(), kMagic.size());
+  WritePod(out, kVersionColumnar);
+  WritePod(out, count);
+  WritePod(out, payload_bytes);
+  WritePod(out, block_events);
+  WritePod(out, static_cast<uint32_t>(with_payloads ? kV3FlagPayloads : 0));
+}
+
+// Encodes one built block and appends its frame; records the index entry.
+void WriteV3Frame(std::ostream& out, const TraceBlockBuilder& builder,
+                  uint64_t* offset, std::vector<TraceBlockIndexEntry>* index,
+                  std::vector<uint8_t>* encoded) {
+  TraceBlockHeader header;
+  builder.Encode(encoded, &header);
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(encoded->data()),
+            static_cast<std::streamsize>(encoded->size()));
+  TraceBlockIndexEntry entry;
+  entry.file_offset = *offset;
+  entry.first_seq = header.first_seq;
+  entry.events = header.events;
+  entry.payload_bytes = header.payload_bytes;
+  index->push_back(entry);
+  *offset += sizeof(header) + encoded->size();
+}
+
+// Index section (magic, count, entries, CRC over the entry bytes), then
+// the site table, then the 16-byte trailer that locates the index.
+void WriteV3Footer(std::ostream& out,
+                   const std::vector<TraceBlockIndexEntry>& index,
+                   const std::unordered_set<uint32_t>& sites,
+                   uint64_t index_offset) {
+  WritePod(out, kTraceV3IndexMagic);
+  WritePod(out, static_cast<uint32_t>(index.size()));
+  const size_t entry_bytes = index.size() * sizeof(TraceBlockIndexEntry);
+  out.write(reinterpret_cast<const char*>(index.data()),
+            static_cast<std::streamsize>(entry_bytes));
+  WritePod(out, TraceCrc32(index.data(), entry_bytes));
+  WriteSiteTable(out, sites);
+  WritePod(out, index_offset);
+  WritePod(out, kTraceV3TrailerMagic);
+}
+
 }  // namespace
 
 void PayloadStore::Record(size_t event_index, const uint8_t* data,
@@ -85,6 +165,18 @@ void PayloadStore::Record(size_t event_index, const uint8_t* data,
   }
   offsets_.push_back(bytes_.size());
   bytes_.insert(bytes_.end(), data, data + size);
+}
+
+namespace {
+std::atomic<uint64_t> g_truncated_payload_loads{0};
+}  // namespace
+
+void PayloadStore::BumpTruncatedLoads() {
+  g_truncated_payload_loads.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t PayloadStore::TruncatedLoads() {
+  return g_truncated_payload_loads.load(std::memory_order_relaxed);
 }
 
 bool TraceIo::Write(const std::vector<PmEvent>& events, std::ostream& out,
@@ -119,6 +211,100 @@ bool TraceIo::Write(const std::vector<PmEvent>& events, std::ostream& out,
   return static_cast<bool>(out);
 }
 
+bool TraceIo::WriteV3(const std::vector<PmEvent>& events, std::ostream& out,
+                      const PayloadStore* payloads, uint32_t block_events) {
+  if (block_events == 0) {
+    block_events = kTraceV3DefaultBlockEvents;
+  }
+  uint64_t payload_bytes = 0;
+  std::unordered_set<uint32_t> sites;
+  for (size_t i = 0; i < events.size(); ++i) {
+    sites.insert(events[i].site);
+    if (payloads != nullptr && payloads->Has(i)) {
+      payload_bytes += events[i].size;
+    }
+  }
+  WriteV3Header(out, events.size(), payload_bytes, block_events,
+                payloads != nullptr);
+  TraceBlockBuilder builder;
+  std::vector<TraceBlockIndexEntry> index;
+  std::vector<uint8_t> encoded;
+  uint64_t offset = kV3HeaderBytes;
+  for (size_t i = 0; i < events.size(); ++i) {
+    PmEvent ev = events[i];
+    ev.payload = nullptr;
+    if (payloads != nullptr && payloads->Has(i)) {
+      ev.payload = payloads->For(i, ev.size).data();
+    }
+    builder.Add(ev);
+    if (builder.count() >= block_events) {
+      WriteV3Frame(out, builder, &offset, &index, &encoded);
+      builder.Clear();
+    }
+  }
+  if (!builder.empty()) {
+    WriteV3Frame(out, builder, &offset, &index, &encoded);
+  }
+  WriteV3Footer(out, index, sites, offset);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+// Sequential v3 stream load: decode frames until the footer region (or
+// EOF). The vector-at-once API is strict — a corrupt block is an error
+// here; the streaming TraceFileReader is the skip-and-warn path.
+bool ReadV3Stream(std::istream& in, std::vector<PmEvent>* events,
+                  PayloadStore* payloads, std::string* error) {
+  uint64_t count = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t block_events = 0;
+  uint32_t flags = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  in.read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
+  in.read(reinterpret_cast<char*>(&block_events), sizeof(block_events));
+  in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+  if (!in) {
+    SetError(error, "truncated trace header");
+    return false;
+  }
+  events->reserve(static_cast<size_t>(count));
+  TraceBlockDecoder decoder;
+  std::vector<uint8_t> frame;
+  for (;;) {
+    TraceBlockHeader header;
+    in.read(reinterpret_cast<char*>(&header), sizeof(header));
+    if (!in || header.magic != kTraceV3BlockMagic) {
+      break;  // footer region or EOF: no more blocks
+    }
+    if (header.encoded_len > kTraceV3MaxEncodedBytes) {
+      SetError(error, "implausible trace block length");
+      return false;
+    }
+    frame.resize(header.encoded_len);
+    in.read(reinterpret_cast<char*>(frame.data()), header.encoded_len);
+    if (!in) {
+      SetError(error, "truncated trace block");
+      return false;
+    }
+    std::string block_error;
+    if (!decoder.Decode(header, frame.data(), &block_error)) {
+      SetError(error, "corrupt trace block: " + block_error);
+      return false;
+    }
+    const TraceBlockView& view = decoder.view();
+    for (size_t i = 0; i < view.count; ++i) {
+      if (payloads != nullptr && view.HasPayload(i)) {
+        payloads->Record(events->size(), view.Payload(i), view.sizes[i]);
+      }
+      events->push_back(view.Event(i));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 bool TraceIo::Read(std::istream& in, std::vector<PmEvent>* events,
                    PayloadStore* payloads, std::string* error) {
   std::array<char, 8> magic{};
@@ -136,6 +322,13 @@ bool TraceIo::Read(std::istream& in, std::vector<PmEvent>* events,
   if (!VersionSupported(version, error)) {
     return false;
   }
+  events->clear();
+  if (payloads != nullptr) {
+    payloads->Clear();
+  }
+  if (version == kVersionColumnar) {
+    return ReadV3Stream(in, events, payloads, error);
+  }
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in) {
@@ -150,11 +343,7 @@ bool TraceIo::Read(std::istream& in, std::vector<PmEvent>* events,
       return false;
     }
   }
-  events->clear();
   events->reserve(count);
-  if (payloads != nullptr) {
-    payloads->Clear();
-  }
   std::vector<uint8_t> scratch;
   for (uint64_t i = 0; i < count; ++i) {
     PackedEvent packed{};
@@ -201,23 +390,119 @@ bool TraceIo::ReadFile(const std::string& path, std::vector<PmEvent>* events,
 
 // -- TraceFileSink -------------------------------------------------------------
 
+// v3 spool machinery: the hot path appends to the current TraceBlockBuilder
+// and hands full blocks to one builder thread over a bounded queue. The
+// builder thread owns the ofstream while running — it encodes, compresses,
+// CRCs, writes frames and collects index entries. Builders are recycled
+// through a free list so steady state allocates nothing.
+struct TraceFileSink::V3State {
+  // One block in flight per queue slot plus the one being built. Four
+  // queued blocks absorb encode/write latency spikes without letting an
+  // unbounded backlog pin memory.
+  static constexpr size_t kMaxBuilders = 5;
+
+  uint32_t block_events = kTraceV3DefaultBlockEvents;
+  std::unique_ptr<TraceBlockBuilder> building;
+
+  std::mutex mutex;
+  std::condition_variable queue_ready;   // worker: a block awaits encoding
+  std::condition_variable builder_free;  // producer: a builder came back
+  std::deque<std::unique_ptr<TraceBlockBuilder>> queue;
+  std::vector<std::unique_ptr<TraceBlockBuilder>> free_list;
+  size_t builders_total = 1;
+  bool done = false;
+
+  std::thread worker;
+  // Worker-owned until the thread joins.
+  std::vector<TraceBlockIndexEntry> index;
+  uint64_t write_offset = kV3HeaderBytes;
+  std::atomic<uint64_t> blocks{0};
+  std::atomic<bool> io_ok{true};
+
+  void Run(std::ofstream* out) {
+    std::vector<uint8_t> encoded = BufferPool::Global().Acquire(64u << 10);
+    for (;;) {
+      std::unique_ptr<TraceBlockBuilder> block;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_ready.wait(lock, [&] { return !queue.empty() || done; });
+        if (queue.empty()) {
+          break;
+        }
+        block = std::move(queue.front());
+        queue.pop_front();
+      }
+      WriteV3Frame(*out, *block, &write_offset, &index, &encoded);
+      if (!*out) {
+        io_ok.store(false, std::memory_order_relaxed);
+      }
+      blocks.fetch_add(1, std::memory_order_relaxed);
+      block->Clear();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        free_list.push_back(std::move(block));
+      }
+      builder_free.notify_one();
+    }
+    BufferPool::Global().Release(std::move(encoded));
+  }
+
+  // Hands the current block to the worker and picks up an empty builder,
+  // waiting only when kMaxBuilders blocks are already in flight.
+  void FlushBuilding() {
+    std::unique_lock<std::mutex> lock(mutex);
+    queue.push_back(std::move(building));
+    queue_ready.notify_one();
+    if (free_list.empty() && builders_total >= kMaxBuilders) {
+      builder_free.wait(lock, [&] { return !free_list.empty(); });
+    }
+    if (!free_list.empty()) {
+      building = std::move(free_list.back());
+      free_list.pop_back();
+    } else {
+      building = std::make_unique<TraceBlockBuilder>();
+      ++builders_total;
+    }
+  }
+};
+
 TraceFileSink::TraceFileSink(const std::string& path, bool with_payloads)
-    : path_(path), with_payloads_(with_payloads) {
+    : TraceFileSink(path, TraceSinkOptions{.format = 0,
+                                           .with_payloads = with_payloads}) {}
+
+TraceFileSink::TraceFileSink(const std::string& path,
+                             const TraceSinkOptions& options)
+    : path_(path) {
+  uint32_t format = options.format;
+  if (format == 0) {
+    format = options.with_payloads ? kVersionPayload : kVersionLegacy;
+  }
+  version_ = format;
+  with_payloads_ = format == kVersionPayload ||
+                   (format == kVersionColumnar && options.with_payloads);
   auto* out = new std::ofstream(path, std::ios::binary | std::ios::trunc);
   out_ = out;
   if (!*out) {
     return;
   }
-  out->write(kMagic.data(), kMagic.size());
-  const uint32_t version =
-      with_payloads_ ? kVersionPayload : kVersionLegacy;
-  out->write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const uint64_t placeholder = 0;  // patched by Close()
-  out->write(reinterpret_cast<const char*>(&placeholder),
-             sizeof(placeholder));
-  if (with_payloads_) {
+  if (version_ == kVersionColumnar) {
+    WriteV3Header(*out, 0, 0, options.block_events, with_payloads_);
+    v3_ = std::make_unique<V3State>();
+    v3_->block_events =
+        options.block_events != 0 ? options.block_events
+                                  : kTraceV3DefaultBlockEvents;
+    v3_->building = std::make_unique<TraceBlockBuilder>();
+    v3_->worker = std::thread([this, out] { v3_->Run(out); });
+  } else {
+    out->write(kMagic.data(), kMagic.size());
+    out->write(reinterpret_cast<const char*>(&version_), sizeof(version_));
+    const uint64_t placeholder = 0;  // patched by Close()
     out->write(reinterpret_cast<const char*>(&placeholder),
-               sizeof(placeholder));  // payload-byte total, patched too
+               sizeof(placeholder));
+    if (with_payloads_) {
+      out->write(reinterpret_cast<const char*>(&placeholder),
+                 sizeof(placeholder));  // payload-byte total, patched too
+    }
   }
   ok_ = static_cast<bool>(*out);
 }
@@ -227,10 +512,29 @@ TraceFileSink::~TraceFileSink() {
   delete static_cast<std::ofstream*>(out_);
 }
 
+uint64_t TraceFileSink::blocks_written() const {
+  return v3_ != nullptr ? v3_->blocks.load(std::memory_order_relaxed) : 0;
+}
+
 void TraceFileSink::OnEvent(const PmEvent& event) {
-  auto* out = static_cast<std::ofstream*>(out_);
   sites_.insert(event.site);
   const bool with_payload = with_payloads_ && event.has_payload();
+  if (v3_ != nullptr) {
+    PmEvent copy = event;
+    if (!with_payload) {
+      copy.payload = nullptr;  // spool configured payload-less
+    }
+    v3_->building->Add(copy);
+    if (with_payload) {
+      payload_bytes_ += event.size;
+    }
+    ++count_;
+    if (v3_->building->count() >= v3_->block_events) {
+      v3_->FlushBuilding();
+    }
+    return;
+  }
+  auto* out = static_cast<std::ofstream*>(out_);
   const PackedEvent packed = Pack(event, with_payload);
   out->write(reinterpret_cast<const char*>(&packed), sizeof(packed));
   if (with_payload) {
@@ -246,19 +550,32 @@ void TraceFileSink::Close() {
   }
   closed_ = true;
   auto* out = static_cast<std::ofstream*>(out_);
+  if (v3_ != nullptr) {
+    if (!v3_->building->empty()) {
+      v3_->FlushBuilding();
+    }
+    {
+      std::lock_guard<std::mutex> lock(v3_->mutex);
+      v3_->done = true;
+    }
+    v3_->queue_ready.notify_one();
+    v3_->worker.join();
+    // The worker has drained; the stream position sits at the end of the
+    // last frame. Footers and header patch happen on this thread.
+    WriteV3Footer(*out, v3_->index, sites_, v3_->write_offset);
+    out->seekp(static_cast<std::streamoff>(kMagic.size() + sizeof(uint32_t)));
+    out->write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+    out->write(reinterpret_cast<const char*>(&payload_bytes_),
+               sizeof(payload_bytes_));
+    out->flush();
+    ok_ = ok_ && v3_->io_ok.load(std::memory_order_relaxed) &&
+          static_cast<bool>(*out);
+    out->close();
+    return;
+  }
   // Footer: the site-name table, so offline consumers can resolve call
   // sites without the producing process (whose code addresses are gone).
-  out->write(reinterpret_cast<const char*>(&kFooterMagic),
-             sizeof(kFooterMagic));
-  const uint32_t n = static_cast<uint32_t>(sites_.size());
-  out->write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (uint32_t site : sites_) {
-    const std::string name = FrameRegistry::Global().Describe(site);
-    const uint32_t length = static_cast<uint32_t>(name.size());
-    out->write(reinterpret_cast<const char*>(&site), sizeof(site));
-    out->write(reinterpret_cast<const char*>(&length), sizeof(length));
-    out->write(name.data(), length);
-  }
+  WriteSiteTable(*out, sites_);
   out->seekp(kMagic.size() + sizeof(uint32_t));
   out->write(reinterpret_cast<const char*>(&count_), sizeof(count_));
   if (with_payloads_) {
@@ -298,9 +615,17 @@ TraceFileReader::TraceFileReader(const std::string& path) {
   if (*in && version_ >= kVersionPayload) {
     in->read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
   }
+  if (*in && version_ == kVersionColumnar) {
+    in->read(reinterpret_cast<char*>(&block_events_), sizeof(block_events_));
+    in->read(reinterpret_cast<char*>(&flags_), sizeof(flags_));
+  }
   ok_ = static_cast<bool>(*in);
   if (!ok_) {
     error_ = "truncated trace header";
+    return;
+  }
+  if (version_ == kVersionColumnar) {
+    ok_ = OpenV3(payload_bytes);
     return;
   }
   // Load the optional site-name footer, then rewind to the records. The
@@ -310,30 +635,236 @@ TraceFileReader::TraceFileReader(const std::string& path) {
   in->seekg(static_cast<std::streamoff>(records_begin) +
             static_cast<std::streamoff>(total_ * sizeof(PackedEvent) +
                                         payload_bytes));
-  uint64_t footer_magic = 0;
-  in->read(reinterpret_cast<char*>(&footer_magic), sizeof(footer_magic));
-  if (*in && footer_magic == kFooterMagic) {
-    uint32_t n = 0;
-    in->read(reinterpret_cast<char*>(&n), sizeof(n));
-    for (uint32_t i = 0; i < n && *in; ++i) {
-      uint32_t site = 0;
-      uint32_t length = 0;
-      in->read(reinterpret_cast<char*>(&site), sizeof(site));
-      in->read(reinterpret_cast<char*>(&length), sizeof(length));
-      if (!*in || length > 4096) {
-        break;
-      }
-      std::string name(length, '\0');
-      in->read(name.data(), length);
-      site_names_.emplace(site, std::move(name));
-    }
-  }
+  ReadSiteTableAt(static_cast<uint64_t>(in->tellg()));
   in->clear();
   in->seekg(records_begin);
 }
 
+// Loads the site-name table if `offset` points at one; harmless no-op when
+// it points at anything else (the magic check rejects it).
+void TraceFileReader::ReadSiteTableAt(uint64_t offset) {
+  auto* in = static_cast<std::ifstream*>(in_);
+  in->clear();
+  in->seekg(static_cast<std::streamoff>(offset));
+  uint64_t footer_magic = 0;
+  in->read(reinterpret_cast<char*>(&footer_magic), sizeof(footer_magic));
+  if (!*in || footer_magic != kFooterMagic) {
+    in->clear();
+    return;
+  }
+  uint32_t n = 0;
+  in->read(reinterpret_cast<char*>(&n), sizeof(n));
+  for (uint32_t i = 0; i < n && *in; ++i) {
+    uint32_t site = 0;
+    uint32_t length = 0;
+    in->read(reinterpret_cast<char*>(&site), sizeof(site));
+    in->read(reinterpret_cast<char*>(&length), sizeof(length));
+    if (!*in || length > 4096) {
+      break;
+    }
+    std::string name(length, '\0');
+    in->read(name.data(), length);
+    site_names_.emplace(site, std::move(name));
+  }
+  in->clear();
+}
+
+bool TraceFileReader::OpenV3(uint64_t header_payload_bytes) {
+  (void)header_payload_bytes;  // index entries are authoritative below
+  auto* in = static_cast<std::ifstream*>(in_);
+  in->seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in->tellg());
+
+  bool index_loaded = false;
+  if (file_size >= kV3HeaderBytes + 16) {
+    // Trailer: index offset + magic in the last 16 bytes.
+    in->seekg(static_cast<std::streamoff>(file_size - 16));
+    uint64_t index_offset = 0;
+    uint64_t trailer_magic = 0;
+    in->read(reinterpret_cast<char*>(&index_offset), sizeof(index_offset));
+    in->read(reinterpret_cast<char*>(&trailer_magic), sizeof(trailer_magic));
+    if (*in && trailer_magic == kTraceV3TrailerMagic &&
+        index_offset >= kV3HeaderBytes &&
+        index_offset + sizeof(uint64_t) + sizeof(uint32_t) <=
+            file_size - 16) {
+      in->seekg(static_cast<std::streamoff>(index_offset));
+      uint64_t index_magic = 0;
+      uint32_t n = 0;
+      in->read(reinterpret_cast<char*>(&index_magic), sizeof(index_magic));
+      in->read(reinterpret_cast<char*>(&n), sizeof(n));
+      const uint64_t entry_bytes =
+          static_cast<uint64_t>(n) * sizeof(TraceBlockIndexEntry);
+      if (*in && index_magic == kTraceV3IndexMagic &&
+          entry_bytes <= file_size) {
+        index_.resize(n);
+        in->read(reinterpret_cast<char*>(index_.data()),
+                 static_cast<std::streamsize>(entry_bytes));
+        uint32_t crc = 0;
+        in->read(reinterpret_cast<char*>(&crc), sizeof(crc));
+        if (*in && crc == TraceCrc32(index_.data(), entry_bytes)) {
+          index_loaded = true;
+          ReadSiteTableAt(static_cast<uint64_t>(index_offset) +
+                          sizeof(uint64_t) + sizeof(uint32_t) + entry_bytes +
+                          sizeof(uint32_t));
+        } else {
+          index_.clear();
+        }
+      }
+    }
+  }
+  if (!index_loaded) {
+    in->clear();
+    RebuildIndexByScan(file_size);
+    index_rebuilt_ = true;
+  }
+  total_ = 0;
+  for (const TraceBlockIndexEntry& entry : index_) {
+    total_ += entry.events;
+  }
+  decoder_ = std::make_unique<TraceBlockDecoder>();
+  return true;
+}
+
+// Torn trailer or corrupt index: walk the frame headers from the front,
+// mirroring the campaign journal reader's skip-and-warn recovery. Blocks
+// whose frame extends past EOF are dropped (torn tail); a footer or index
+// magic ends the scan.
+void TraceFileReader::RebuildIndexByScan(uint64_t file_size) {
+  std::fprintf(stderr,
+               "mumak: trace index unreadable; rebuilding by frame scan\n");
+  auto* in = static_cast<std::ifstream*>(in_);
+  uint64_t offset = kV3HeaderBytes;
+  while (offset + sizeof(TraceBlockHeader) <= file_size) {
+    in->clear();
+    in->seekg(static_cast<std::streamoff>(offset));
+    TraceBlockHeader header;
+    in->read(reinterpret_cast<char*>(&header), sizeof(header));
+    if (!*in) {
+      break;
+    }
+    if (header.magic != kTraceV3BlockMagic) {
+      uint64_t magic64 = 0;
+      std::memcpy(&magic64, &header, sizeof(magic64));
+      if (magic64 == kFooterMagic) {
+        ReadSiteTableAt(offset);
+      } else if (magic64 == kTraceV3IndexMagic) {
+        // The index section itself was fine but the trailer was torn; the
+        // site table follows the entries.
+        uint32_t n = 0;
+        std::memcpy(&n, reinterpret_cast<const char*>(&header) + 8,
+                    sizeof(n));
+        ReadSiteTableAt(offset + sizeof(uint64_t) + sizeof(uint32_t) +
+                        static_cast<uint64_t>(n) *
+                            sizeof(TraceBlockIndexEntry) +
+                        sizeof(uint32_t));
+      } else {
+        std::fprintf(stderr,
+                     "mumak: unrecognised bytes at trace offset %llu; "
+                     "stopping scan\n",
+                     static_cast<unsigned long long>(offset));
+      }
+      break;
+    }
+    if (header.encoded_len > kTraceV3MaxEncodedBytes ||
+        offset + sizeof(TraceBlockHeader) + header.encoded_len > file_size) {
+      std::fprintf(stderr,
+                   "mumak: torn trace block at offset %llu dropped\n",
+                   static_cast<unsigned long long>(offset));
+      break;
+    }
+    TraceBlockIndexEntry entry;
+    entry.file_offset = offset;
+    entry.first_seq = header.first_seq;
+    entry.events = header.events;
+    entry.payload_bytes = header.payload_bytes;
+    index_.push_back(entry);
+    offset += sizeof(TraceBlockHeader) + header.encoded_len;
+  }
+  in->clear();
+}
+
 TraceFileReader::~TraceFileReader() {
   delete static_cast<std::ifstream*>(in_);
+}
+
+bool TraceFileReader::NextRawBlock(TraceBlockHeader* header,
+                                   std::vector<uint8_t>* encoded) {
+  if (!ok_ || version_ != kVersionColumnar) {
+    return false;
+  }
+  auto* in = static_cast<std::ifstream*>(in_);
+  while (block_cursor_ < index_.size()) {
+    const TraceBlockIndexEntry& entry = index_[block_cursor_];
+    in->clear();
+    in->seekg(static_cast<std::streamoff>(entry.file_offset));
+    in->read(reinterpret_cast<char*>(header), sizeof(*header));
+    bool frame_ok = static_cast<bool>(*in) &&
+                    header->magic == kTraceV3BlockMagic &&
+                    header->encoded_len <= kTraceV3MaxEncodedBytes;
+    if (frame_ok) {
+      encoded->resize(header->encoded_len);
+      in->read(reinterpret_cast<char*>(encoded->data()),
+               header->encoded_len);
+      frame_ok = static_cast<bool>(*in);
+    }
+    ++block_cursor_;
+    if (frame_ok) {
+      return true;
+    }
+    ++corrupt_blocks_;
+    std::fprintf(stderr, "mumak: trace block %zu unreadable, skipped\n",
+                 block_cursor_ - 1);
+  }
+  return false;
+}
+
+const TraceBlockView* TraceFileReader::NextBlock() {
+  if (!ok_ || version_ != kVersionColumnar) {
+    return nullptr;
+  }
+  TraceBlockHeader header;
+  while (NextRawBlock(&header, &frame_buffer_)) {
+    std::string block_error;
+    if (decoder_->Decode(header, frame_buffer_.data(), &block_error)) {
+      block_decoded_ = true;
+      event_cursor_ = 0;
+      return &decoder_->view();
+    }
+    ++corrupt_blocks_;
+    std::fprintf(stderr, "mumak: trace block %zu skipped (%s)\n",
+                 block_cursor_ - 1, block_error.c_str());
+  }
+  block_decoded_ = false;
+  return nullptr;
+}
+
+bool TraceFileReader::SeekToSeq(uint64_t target) {
+  if (!ok_ || version_ != kVersionColumnar) {
+    return false;
+  }
+  // Last block whose first seq is <= target; earlier blocks cannot contain
+  // it (entries are ascending in first_seq).
+  size_t block = 0;
+  uint64_t skipped_events = 0;
+  for (size_t i = 1; i < index_.size(); ++i) {
+    if (index_[i].first_seq > target) {
+      break;
+    }
+    skipped_events += index_[i - 1].events;
+    block = i;
+  }
+  block_cursor_ = block;
+  block_decoded_ = false;
+  read_ = skipped_events;
+  if (NextBlock() == nullptr) {
+    return total_ == 0 || block_cursor_ >= index_.size();
+  }
+  const TraceBlockView& view = decoder_->view();
+  while (event_cursor_ < view.count && view.seqs[event_cursor_] < target) {
+    ++event_cursor_;
+    ++read_;
+  }
+  return true;
 }
 
 bool TraceFileReader::NextChunk(std::vector<PmEvent>* out, size_t max,
@@ -342,7 +873,34 @@ bool TraceFileReader::NextChunk(std::vector<PmEvent>* out, size_t max,
   if (payloads != nullptr) {
     payloads->Clear();
   }
-  if (!ok_ || read_ >= total_) {
+  if (!ok_) {
+    return false;
+  }
+  if (version_ == kVersionColumnar) {
+    while (out->size() < max) {
+      if (!block_decoded_ || event_cursor_ >= decoder_->view().count) {
+        if (NextBlock() == nullptr) {
+          break;
+        }
+      }
+      const TraceBlockView& view = decoder_->view();
+      while (event_cursor_ < view.count && out->size() < max) {
+        const PmEvent ev = view.Event(event_cursor_);
+        if (view.HasPayload(event_cursor_)) {
+          payload_bytes_read_ += ev.size;
+          if (payloads != nullptr) {
+            payloads->Record(out->size(), view.Payload(event_cursor_),
+                             ev.size);
+          }
+        }
+        out->push_back(ev);
+        ++event_cursor_;
+        ++read_;
+      }
+    }
+    return !out->empty();
+  }
+  if (read_ >= total_) {
     return false;
   }
   auto* in = static_cast<std::ifstream*>(in_);

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -17,6 +18,7 @@
 
 #include "src/instrument/event_hub.h"
 #include "src/instrument/pm_event.h"
+#include "src/instrument/trace_v3.h"
 
 namespace mumak {
 
@@ -38,12 +40,25 @@ class PayloadStore {
   }
 
   // The recorded bytes for an event; empty span when none were recorded.
+  // The span is validated against the arena: a corrupt trace whose record
+  // sizes disagree with the stored bytes yields an empty span (and bumps
+  // the process-wide TruncatedLoads counter) instead of slicing past the
+  // arena's end.
   std::span<const uint8_t> For(size_t event_index, uint32_t size) const {
     if (!Has(event_index)) {
       return {};
     }
-    return {bytes_.data() + offsets_[event_index], size};
+    const uint64_t offset = offsets_[event_index];
+    if (offset > bytes_.size() || size > bytes_.size() - offset) {
+      BumpTruncatedLoads();
+      return {};
+    }
+    return {bytes_.data() + offset, size};
   }
+
+  // Process-wide count of For() lookups rejected by the bounds check above
+  // (i.e. corrupt-trace payload slices that would have read out of bounds).
+  static uint64_t TruncatedLoads();
 
   // Raw views for hot-loop consumers (ReplayCursor patches millions of
   // events per pass): offsets()[i] is the byte offset into bytes() for
@@ -61,6 +76,8 @@ class PayloadStore {
   }
 
  private:
+  static void BumpTruncatedLoads();
+
   std::vector<uint8_t> bytes_;
   std::vector<uint64_t> offsets_;  // per event index; kNone when absent
 };
@@ -124,19 +141,26 @@ class ReplayTraceCollector : public EventSink {
   RecordedTrace trace_;
 };
 
-// Binary trace serialisation. Format: 8-byte magic, 4-byte version, 8-byte
-// count, then packed records. Version 1 records are payload-less; version 2
-// appends the store payload bytes after each record that carries them.
-// Readers accept both versions and reject unknown future versions with a
-// diagnostic instead of misparsing the records.
+// Binary trace serialisation. Versions 1/2 are flat row streams: 8-byte
+// magic, 4-byte version, 8-byte count, then packed 32-byte records
+// (version 2 appends the store payload bytes after each record that
+// carries them). Version 3 is the columnar block format described in
+// trace_v3.h. Readers accept all three and reject unknown future versions
+// with a diagnostic instead of misparsing the records.
 class TraceIo {
  public:
   // Writes version 1 when `payloads` is null (readable by pre-payload
   // tools) and version 2 otherwise.
   static bool Write(const std::vector<PmEvent>& events, std::ostream& out,
                     const PayloadStore* payloads = nullptr);
-  // `payloads` (optional) receives the store payloads of a version-2 trace,
-  // indexed like `events`. On failure, `error` (optional) explains why.
+  // Writes a version-3 columnar trace. `payloads` null means a payload-less
+  // v3 file (the column layout is the same; the arenas are empty).
+  static bool WriteV3(const std::vector<PmEvent>& events, std::ostream& out,
+                      const PayloadStore* payloads = nullptr,
+                      uint32_t block_events = kTraceV3DefaultBlockEvents);
+  // Reads any supported version; `payloads` (optional) receives the store
+  // payloads, indexed like `events`. On failure, `error` (optional)
+  // explains why.
   static bool Read(std::istream& in, std::vector<PmEvent>* events,
                    PayloadStore* payloads = nullptr,
                    std::string* error = nullptr);
@@ -149,6 +173,16 @@ class TraceIo {
                        std::string* error = nullptr);
 };
 
+// How a TraceFileSink lays the spool out on disk.
+struct TraceSinkOptions {
+  // 1/2 per `with_payloads` when 0 (the legacy constructor), else 3.
+  uint32_t format = 0;
+  bool with_payloads = false;
+  // v3 only: events per column block. Smaller blocks seek finer and
+  // parallelise shorter traces; larger blocks compress better.
+  uint32_t block_events = kTraceV3DefaultBlockEvents;
+};
+
 // Event sink that spools the trace to a file as it is produced (the
 // paper's pipeline stages traces on a tmpfs mount rather than holding them
 // in DRAM). Close() finalises the header; the file is then readable with
@@ -159,27 +193,44 @@ class TraceFileSink : public EventSink {
   // each store wrote (the replay-injection input); without, a version-1
   // file identical to the pre-payload format.
   explicit TraceFileSink(const std::string& path, bool with_payloads = false);
+  // Full control over the layout; format 3 spools columnar blocks. For v3
+  // the hot path only appends to the current block's columns — encoding,
+  // compression and file writes happen on a builder thread.
+  TraceFileSink(const std::string& path, const TraceSinkOptions& options);
   ~TraceFileSink() override;
 
   bool ok() const { return ok_; }
+  uint32_t version() const { return version_; }
   uint64_t count() const { return count_; }
   uint64_t payload_bytes() const { return payload_bytes_; }
+  // Blocks written so far (v3; 0 for v1/v2).
+  uint64_t blocks_written() const;
   void OnEvent(const PmEvent& event) override;
-  // Flushes buffered records and patches the header count.
+  // Flushes buffered records/blocks, writes the index and site-name
+  // footers, and patches the header counts.
   void Close();
 
  private:
+  struct V3State;  // builder queue + worker thread, in trace.cc
+
   std::string path_;
   void* out_ = nullptr;  // std::ofstream, kept out of the header
+  uint32_t version_ = 0;
   uint64_t count_ = 0;
   uint64_t payload_bytes_ = 0;
   bool with_payloads_ = false;
   bool ok_ = false;
   bool closed_ = false;
   std::unordered_set<uint32_t> sites_;  // for the footer's name table
+  std::unique_ptr<V3State> v3_;
 };
 
-// Streaming reader over a trace file: bounded-memory iteration.
+// Streaming reader over a trace file: bounded-memory iteration. Reads all
+// supported versions transparently through NextChunk; v3 files additionally
+// support block-granular access (NextBlock/NextRawBlock) and O(1) seek via
+// the footer index. A v3 file with a torn trailer or index degrades to a
+// frame-header scan that rebuilds the index; blocks whose CRC fails are
+// skipped with a warning, like the campaign journal reader.
 class TraceFileReader {
  public:
   explicit TraceFileReader(const std::string& path);
@@ -189,16 +240,45 @@ class TraceFileReader {
   // Why ok() is false: garbage header, unsupported future version, ...
   const std::string& error() const { return error_; }
   uint64_t total() const { return total_; }
-  // Trace format version of the file (1 = payload-less, 2 = payloads).
+  // Trace format version of the file (1 = payload-less, 2 = payloads,
+  // 3 = columnar blocks).
   uint32_t version() const { return version_; }
-  bool has_payloads() const { return version_ >= 2; }
-  // Total payload bytes consumed so far (version-2 traces).
+  bool has_payloads() const {
+    return version_ == 2 || (version_ == 3 && (flags_ & 1) != 0);
+  }
+  // Total payload bytes consumed so far.
   uint64_t payload_bytes_read() const { return payload_bytes_read_; }
   // Fills `out` with up to `max` events; returns false when exhausted.
   // When `payloads` is non-null it receives the chunk's store payloads,
   // indexed by position within `out` (cleared on every call).
   bool NextChunk(std::vector<PmEvent>* out, size_t max,
                  PayloadStore* payloads = nullptr);
+
+  // -- v3 block-granular access ---------------------------------------------
+  // The block index (empty for v1/v2). Entry order is file order, which is
+  // also ascending first_seq.
+  const std::vector<TraceBlockIndexEntry>& block_index() const {
+    return index_;
+  }
+  // Events per block the file was written with (0 for v1/v2).
+  uint32_t block_events() const { return block_events_; }
+  // True when the footer index was unreadable and got rebuilt by scanning
+  // frame headers (torn trailer, truncated file).
+  bool index_rebuilt() const { return index_rebuilt_; }
+  // Blocks skipped so far because their CRC or decode failed.
+  uint64_t corrupt_blocks() const { return corrupt_blocks_; }
+  // Decodes the next block and returns a borrowed columnar view, valid
+  // until the next NextBlock/NextChunk call. nullptr at end of trace (or
+  // on v1/v2 files). Corrupt blocks are skipped with a warning.
+  const TraceBlockView* NextBlock();
+  // Reads the next block's frame without decoding it: header plus the
+  // encoded bytes. Lets a parallel consumer decode on worker threads while
+  // this thread only does file IO. False at end of trace or on v1/v2.
+  bool NextRawBlock(TraceBlockHeader* header, std::vector<uint8_t>* encoded);
+  // Repositions the reader so the next event returned is the first with
+  // seq >= target, using the block index to land on the containing block
+  // directly. Returns false on v1/v2 files (no index; callers scan).
+  bool SeekToSeq(uint64_t target);
 
   // Site-name table from the file footer (site id -> human-readable call
   // site), letting offline consumers resolve locations without the
@@ -208,14 +288,33 @@ class TraceFileReader {
   }
 
  private:
+  bool OpenV3(uint64_t header_payload_bytes);
+  void RebuildIndexByScan(uint64_t file_size);
+  void ReadSiteTableAt(uint64_t offset);
+  // Decodes block `block_cursor_` into decoder_, skipping corrupt blocks
+  // (advancing the cursor past them). False when no block remains.
+  bool DecodeCurrentBlock();
+
   void* in_ = nullptr;  // std::ifstream
   uint64_t total_ = 0;
   uint64_t read_ = 0;
   uint32_t version_ = 0;
+  uint32_t flags_ = 0;
+  uint32_t block_events_ = 0;
   uint64_t payload_bytes_read_ = 0;
   bool ok_ = false;
   std::string error_;
   std::unordered_map<uint32_t, std::string> site_names_;
+
+  // v3 state: index + streaming decode position.
+  std::vector<TraceBlockIndexEntry> index_;
+  size_t block_cursor_ = 0;    // next block to decode
+  size_t event_cursor_ = 0;    // next event within the decoded block
+  bool block_decoded_ = false;
+  bool index_rebuilt_ = false;
+  uint64_t corrupt_blocks_ = 0;
+  std::unique_ptr<TraceBlockDecoder> decoder_;
+  std::vector<uint8_t> frame_buffer_;
 };
 
 }  // namespace mumak

@@ -130,7 +130,17 @@ void PrintUsage() {
       "\n"
       "  --save-trace <file>   write the PM access trace (binary)\n"
       "  --trace-payloads      saved trace also records the bytes each\n"
-      "                        store wrote (version-2 format)\n"
+      "                        store wrote (replay input)\n"
+      "  --trace-format <v>    on-disk trace format, 'v2' (flat rows) or\n"
+      "                        'v3' (columnar compressed blocks with a seek\n"
+      "                        index; the default) — applies to the analysis\n"
+      "                        spool and --save-trace\n"
+      "  --trace-block-events <n>\n"
+      "                        events per v3 block (default 65536); smaller\n"
+      "                        blocks seek finer, larger compress better\n"
+      "  --seek-checkpoints <n>\n"
+      "                        replay-image checkpoints captured for seek-\n"
+      "                        based synthesis starts (default 4; 0 off)\n"
       "\n"
       "observability:\n"
       "  --metrics <file>      dump pipeline metrics (counters, gauges,\n"
@@ -340,6 +350,42 @@ int main(int argc, char** argv) {
         return 2;
       }
       mumak_options.analysis_jobs = static_cast<uint32_t>(jobs);
+    } else if (arg == "--trace-format") {
+      const std::string value = next("--trace-format");
+      if (value == "v2" || value == "2") {
+        mumak_options.trace_format = 2;
+      } else if (value == "v3" || value == "3") {
+        mumak_options.trace_format = 3;
+      } else {
+        std::fprintf(stderr,
+                     "mumak: bad --trace-format value '%s' (expected 'v2' "
+                     "or 'v3')\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--trace-block-events") {
+      uint64_t events = 0;
+      const char* value = next("--trace-block-events");
+      if (!ParseUint(value, &events) || events == 0 ||
+          events > (1u << 24)) {
+        std::fprintf(stderr,
+                     "mumak: bad --trace-block-events value '%s' (expected "
+                     "1..16777216)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.trace_block_events = static_cast<uint32_t>(events);
+    } else if (arg == "--seek-checkpoints") {
+      uint64_t n = 0;
+      const char* value = next("--seek-checkpoints");
+      if (!ParseUint(value, &n) || n > 1024) {
+        std::fprintf(stderr,
+                     "mumak: bad --seek-checkpoints value '%s' (expected "
+                     "0..1024)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.seek_checkpoints = static_cast<uint32_t>(n);
     } else if (arg == "--online-analysis") {
       mumak_options.online_analysis = true;
     } else if (arg == "--dirty-overwrites") {
@@ -696,7 +742,13 @@ int main(int argc, char** argv) {
     // footer so mumak-inspect can resolve locations offline.
     TargetPtr target = CreateTarget(target_name, options);
     PmPool pool(target->DefaultPoolSize());
-    TraceFileSink sink(save_trace, trace_payloads);
+    TraceSinkOptions sink_options;
+    // 'v2' keeps the historical flat-row behaviour: payload-less archives
+    // stay version-1 files, --trace-payloads upgrades to version 2.
+    sink_options.format = mumak_options.trace_format == 3 ? 3 : 0;
+    sink_options.with_payloads = trace_payloads;
+    sink_options.block_events = mumak_options.trace_block_events;
+    TraceFileSink sink(save_trace, sink_options);
     {
       ScopedSink attach(pool.hub(), &sink);
       FaultInjectionEngine::ExecuteWorkload(*target, pool, spec);
