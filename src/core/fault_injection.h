@@ -201,6 +201,17 @@ struct FaultInjectionOptions {
   const std::atomic<bool>* cancel = nullptr;
 };
 
+// One entry of the replay injection schedule: an unvisited failure point at
+// its first profiled instruction counter. The schedule is seq-sorted —
+// processing it in order reproduces the serial re-execution loop's crash
+// sequence exactly (and is what makes fleet sharding mergeable
+// deterministically: any partition of the schedule, merged back in seq
+// order, yields the same report).
+struct ReplayPoint {
+  FailurePointTree::NodeIndex node;
+  uint64_t seq;
+};
+
 struct FaultInjectionStats {
   uint64_t failure_points = 0;
   uint64_t injections = 0;
@@ -269,6 +280,27 @@ class FaultInjectionEngine {
   // is configured; fingerprint_ready() is false otherwise.
   uint64_t trace_fingerprint() const { return trace_fingerprint_; }
   bool fingerprint_ready() const { return fingerprint_ready_; }
+
+  // -- Campaign building blocks (shared with the fleet scheduler) ----------
+
+  // Applies --resume-journal to the tree: failure points whose verdict the
+  // prior journal generation recorded (fingerprint-validated) are marked
+  // visited and their verdicts queued on resume_schedule(), sorted by seq.
+  // InjectAll calls this internally; the fleet scheduler calls it before
+  // sharding so resumed points never reach a worker.
+  void ApplyResume(FailurePointTree* tree, FaultInjectionStats* stats);
+
+  // The replay injection schedule: every unvisited failure point at its
+  // first profiled occurrence, seq-sorted. Requires Profile() to have run.
+  std::vector<ReplayPoint> BuildReplaySchedule(
+      const FailurePointTree& tree) const;
+
+  // Verdicts carried over by ApplyResume, seq-sorted.
+  const std::vector<JournalVerdict>& resume_schedule() const {
+    return resume_schedule_;
+  }
+  const FaultInjectionOptions& options() const { return options_; }
+  const TargetFactory& factory() const { return factory_; }
 
  private:
   Report InjectAllSerial(FailurePointTree* tree, FaultInjectionStats* stats,

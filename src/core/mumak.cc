@@ -13,6 +13,8 @@
 #include <set>
 #include <thread>
 
+#include "src/fleet/scheduler.h"
+
 namespace mumak {
 namespace {
 
@@ -172,6 +174,12 @@ MumakResult Mumak::Analyze() {
   fi_options.time_budget_s = options_.time_budget_s;
   fi_options.workers = options_.injection_workers;
   fi_options.strategy = options_.injection_strategy;
+  // Fleet mode shards crash-image synthesis across forked processes, which
+  // only the trace-replay strategy supports (re-execution cannot hand a
+  // schedule range to another process).
+  if (options_.fleet.workers > 1) {
+    fi_options.strategy = InjectionStrategy::kReplay;
+  }
   fi_options.image_dedup = options_.image_dedup;
   fi_options.verify_dedup = options_.verify_dedup;
   fi_options.verdict_cache_path = options_.verdict_cache_path;
@@ -257,7 +265,10 @@ MumakResult Mumak::Analyze() {
       ScopedSpan span(options_.tracer, "inject");
       journal_phase("inject", true);
       Report injection_report =
-          engine.InjectAll(&tree, &result.fault_injection);
+          options_.fleet.workers > 1 && engine.replay_ready()
+              ? RunFleetCampaign(&engine, &tree, &result.fault_injection,
+                                 options_.fleet)
+              : engine.InjectAll(&tree, &result.fault_injection);
       journal_phase("inject", false);
       span.AddArg("injections", result.fault_injection.injections);
       result.report.Merge(injection_report);

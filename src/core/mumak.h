@@ -13,6 +13,7 @@
 
 #include "src/core/fault_injection.h"
 #include "src/core/report.h"
+#include "src/fleet/fleet.h"
 #include "src/core/resource_stats.h"
 #include "src/core/trace_analysis.h"
 #include "src/instrument/trace_v3.h"
@@ -63,6 +64,11 @@ struct MumakOptions {
   double time_budget_s = std::numeric_limits<double>::infinity();
   // Injection worker threads (see FaultInjectionOptions::workers).
   uint32_t injection_workers = 1;
+  // Fleet mode (src/fleet): when fleet.workers > 1 the injection phase
+  // shards across forked worker *processes* instead of threads (requires —
+  // and forces — the replay strategy). The merged report is byte-identical
+  // to a single-process run at any worker count.
+  FleetConfig fleet;
   // How injection obtains crash images (see InjectionStrategy): re-execute
   // the workload per failure point, or synthesize images by replaying the
   // profiled trace (kReplay — the profiling run then also records store

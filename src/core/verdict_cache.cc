@@ -68,6 +68,18 @@ void VerdictCache::Insert(const ImageDigest& digest, VerdictCacheEntry entry,
   map_.emplace(digest, std::move(entry));  // first insert wins
 }
 
+void VerdictCache::AbsorbFrom(const VerdictCache& other) {
+  std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [digest, entry] : other.map_) {
+    if (map_.find(digest) != map_.end()) {
+      continue;  // first insert wins, matching Insert
+    }
+    VerdictCacheEntry copy = entry;
+    copy.image.clear();  // verify-mode images are never persisted
+    map_.emplace(digest, std::move(copy));
+  }
+}
+
 size_t VerdictCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return map_.size();

@@ -72,6 +72,12 @@ class VerdictCache {
   void Insert(const ImageDigest& digest, VerdictCacheEntry entry,
               const uint8_t* image, size_t size);
 
+  // Folds every entry of `other` this cache does not already hold into it
+  // (first insert wins, matching Insert; verify-mode image copies are
+  // dropped). The fleet scheduler uses this to merge worker session
+  // verdicts into the loaded cache before Save.
+  void AbsorbFrom(const VerdictCache& other);
+
   size_t size() const;
   bool verify() const { return verify_; }
 

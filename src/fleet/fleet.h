@@ -1,0 +1,37 @@
+// Fleet campaign configuration (src/fleet): sharding one campaign's replay
+// injection schedule across worker *processes*. Kept dependency-free so
+// MumakOptions can embed it without pulling the scheduler into every
+// translation unit.
+
+#ifndef MUMAK_SRC_FLEET_FLEET_H_
+#define MUMAK_SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+
+namespace mumak {
+
+struct FleetConfig {
+  // Worker processes to fork for the injection phase. 0 or 1 = no fleet
+  // (the in-process injection paths run as before). Forcing the replay
+  // strategy: fleet workers synthesize crash images from the profiled
+  // trace; re-execution cannot be sharded across processes (every worker
+  // would pay the full instrumented re-execution per point).
+  uint32_t workers = 0;
+  // Shards to split the seq-sorted schedule into. Contiguous seq ranges,
+  // so each worker's cursor advances monotonically within a shard and a
+  // shard start can seek via the ReplaySeekIndex. 0 = workers * 4 (enough
+  // surplus for stealing to matter).
+  uint32_t shards = 0;
+  // A worker that neither delivers a frame nor heartbeats for this long is
+  // presumed dead: SIGKILLed, reaped, and its unfinished range re-queued.
+  // Must comfortably exceed the slowest single oracle run (the sandbox
+  // recovery deadline bounds that when sandboxing is on).
+  uint32_t heartbeat_timeout_ms = 10000;
+  // Fault-tolerance test hook (--fleet-kill-after): SIGKILL worker 0 after
+  // the scheduler has accepted this many of its verdicts. 0 = disabled.
+  uint64_t kill_worker_after = 0;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_FLEET_FLEET_H_

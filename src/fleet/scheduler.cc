@@ -1,0 +1,610 @@
+#include "src/fleet/scheduler.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fleet/messages.h"
+#include "src/fleet/wire.h"
+#include "src/fleet/worker.h"
+#include "src/observability/flat_json.h"
+#include "src/pmem/replay_cursor.h"
+#include "src/pmem/replay_seek_index.h"
+
+namespace mumak {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// A contiguous slice [begin, end) of the seq-sorted replay schedule.
+struct Range {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Don't bother stealing from (or splitting) tails smaller than this.
+constexpr size_t kMinStealTail = 4;
+
+struct WorkerState {
+  pid_t pid = -1;
+  int fd = -1;
+  FleetFrameDecoder decoder;
+  bool alive = false;
+  bool idle = true;
+  bool steal_outstanding = false;
+  size_t begin = 0;
+  size_t end = 0;
+  // Next schedule index this worker has not delivered — verdicts arrive in
+  // index order per range, so on death [next_index, end) is exactly what
+  // was lost (a point processed but torn mid-frame re-runs elsewhere; the
+  // oracle is deterministic, so the re-run verdict is identical).
+  size_t next_index = 0;
+  uint64_t verdicts = 0;
+  uint64_t collisions = 0;
+  Clock::time_point last_heard;
+};
+
+bool SendFrame(int fd, const std::string& json) {
+  const std::string frame = FleetFrame(json);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // worker gone; poll/reap handles the cleanup
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
+                        FaultInjectionStats* stats,
+                        const FleetConfig& config) {
+  const auto start = Clock::now();
+  const FaultInjectionOptions& opts = engine->options();
+  MetricsRegistry* metrics = opts.metrics;
+  auto gauge = [&](const char* name, uint64_t value) {
+    if (metrics != nullptr) {
+      metrics->GetGauge(name)->Set(value);
+    }
+  };
+  auto count = [&](const char* name, uint64_t by = 1) {
+    if (metrics != nullptr && by != 0) {
+      metrics->GetCounter(name)->Increment(by);
+    }
+  };
+
+  stats->failure_points = tree->FailurePointCount();
+  stats->replay_trace_bytes = engine->replay_trace().FootprintBytes();
+
+  // Campaign-wide verdict caches. `warm` holds the entries loaded from
+  // --verdict-cache (consulted by every worker at every point); `session`
+  // accumulates this campaign's fresh verdicts (workers' insert frames plus
+  // inline-fallback runs). Kept separate because they carry different
+  // trust rules under out-of-order shard processing — see worker.h.
+  std::optional<VerdictCache> warm_storage;
+  std::optional<VerdictCache> session_storage;
+  VerdictCache* warm = nullptr;
+  VerdictCache* session = nullptr;
+  if (opts.image_dedup) {
+    warm_storage.emplace(opts.verify_dedup);
+    session_storage.emplace(opts.verify_dedup);
+    warm = &*warm_storage;
+    session = &*session_storage;
+    if (!opts.verdict_cache_path.empty()) {
+      if (!engine->fingerprint_ready()) {
+        std::fprintf(stderr,
+                     "mumak: --verdict-cache: no trace fingerprint recorded "
+                     "(Profile() did not run on this engine); starting with "
+                     "an empty cache and skipping the save\n");
+      } else {
+        std::string warning;
+        warm->Load(opts.verdict_cache_path, engine->trace_fingerprint(),
+                   &warning);
+        if (!warning.empty()) {
+          std::fprintf(stderr, "mumak: verdict cache: %s\n", warning.c_str());
+        }
+      }
+    }
+  }
+
+  engine->ApplyResume(tree, stats);
+  const std::vector<ReplayPoint> schedule = engine->BuildReplaySchedule(*tree);
+
+  const uint32_t workers = static_cast<uint32_t>(std::max<uint64_t>(
+      1, std::min<uint64_t>(config.workers,
+                            schedule.empty() ? 1 : schedule.size())));
+  size_t shard_count =
+      config.shards != 0 ? config.shards : static_cast<size_t>(workers) * 4;
+  shard_count = std::max<size_t>(
+      1, std::min(shard_count, schedule.empty() ? 1 : schedule.size()));
+
+  gauge("fleet.workers", workers);
+  gauge("fleet.shards", shard_count);
+  gauge("inject.workers", workers);
+  gauge("inject.replay_trace_bytes", stats->replay_trace_bytes);
+  if (opts.progress != nullptr) {
+    opts.progress->BeginPhase("inject", schedule.size(), opts.time_budget_s);
+  }
+
+  // Epoch-contiguous shards: each worker's cursor advances monotonically
+  // within a range, and a range start is a seek target.
+  std::deque<Range> queue;
+  for (size_t s = 0; s < shard_count && !schedule.empty(); ++s) {
+    const size_t b = s * schedule.size() / shard_count;
+    const size_t e = (s + 1) * schedule.size() / shard_count;
+    if (b < e) {
+      queue.push_back({b, e});
+    }
+  }
+
+  // Checkpoint index keyed to the shard starts: one scout pass before the
+  // fork captures up to seek_checkpoints images, which every worker then
+  // inherits copy-on-write and seeks from instead of replaying from zero.
+  ReplaySeekIndex seek_index(&engine->replay_trace(),
+                             schedule.empty() ? 0 : opts.seek_checkpoints);
+  if (!schedule.empty() && opts.seek_checkpoints > 0) {
+    ReplayCursor scout(engine->replay_trace(), engine->profiled_pool_size(),
+                       /*track_digest=*/opts.image_dedup);
+    for (const Range& shard : queue) {
+      scout.AdvanceTo(schedule[shard.begin].seq);
+      seek_index.MaybeCapture(scout);
+    }
+  }
+
+  // Verdict store: one slot per schedule index, first delivery wins (a
+  // re-queued range can re-deliver indices whose original verdict arrived
+  // before the worker died).
+  std::vector<JournalVerdict> verdicts(schedule.size());
+  std::vector<uint8_t> have(schedule.size(), 0);
+  size_t received = 0;
+  bool exhausted = false;
+
+  auto record_verdict = [&](uint32_t worker_index, size_t index,
+                            JournalVerdict v) {
+    if (index >= schedule.size() || have[index] != 0) {
+      return;
+    }
+    v.worker = worker_index;
+    v.seq = schedule[index].seq;
+    have[index] = 1;
+    ++received;
+    tree->MarkVisited(schedule[index].node);
+    if (opts.journal != nullptr) {
+      opts.journal->WriteDispatch(v.seq, worker_index);
+      opts.journal->WriteVerdict(v);
+    }
+    count("inject.attempted");
+    count("inject.crashed");
+    if (metrics != nullptr) {
+      metrics
+          ->GetCounter("inject.worker." + std::to_string(worker_index) +
+                       ".injections")
+          ->Increment();
+    }
+    if (v.from_cache) {
+      count("inject.image_dedup_hits");
+      ++stats->dedup_hits;
+    } else if (v.status == "ok" || v.status == "unrecoverable" ||
+               v.status == "crashed" || v.status == "timeout") {
+      count(("recovery." + v.status).c_str());
+    }
+    if (opts.progress != nullptr) {
+      opts.progress->Advance();
+    }
+    verdicts[index] = std::move(v);
+  };
+
+  std::vector<WorkerState> fleet(workers);
+  size_t alive_count = 0;
+  bool test_killed = false;
+
+  auto handle_message = [&](uint32_t w, JsonValue msg) {
+    WorkerState& ws = fleet[w];
+    ws.last_heard = Clock::now();
+    const std::string type = msg.Str("type");
+    if (type == "verdict") {
+      const size_t index = static_cast<size_t>(msg.U64("index"));
+      record_verdict(w, index, fleet::VerdictFromMessage(msg));
+      if (index >= ws.next_index) {
+        ws.next_index = index + 1;
+      }
+      ++ws.verdicts;
+      if (config.kill_worker_after > 0 && w == 0 && !test_killed &&
+          ws.alive && ws.verdicts >= config.kill_worker_after) {
+        // Fault-tolerance hook (--fleet-kill-after): SIGKILL worker 0
+        // mid-flight; the normal death path notices the hangup, reaps it
+        // and re-queues its unfinished range.
+        test_killed = true;
+        ::kill(ws.pid, SIGKILL);
+      }
+    } else if (type == "insert") {
+      ImageDigest digest;
+      VerdictCacheEntry entry;
+      if (session != nullptr &&
+          fleet::InsertFromMessage(msg, &digest, &entry)) {
+        session->Insert(digest, std::move(entry), nullptr, 0);
+      }
+    } else if (type == "stolen") {
+      ws.steal_outstanding = false;
+      const size_t b = static_cast<size_t>(msg.U64("begin"));
+      const size_t e = static_cast<size_t>(msg.U64("end"));
+      if (b < e && e <= schedule.size()) {
+        ws.end = b;
+        queue.push_back({b, e});
+      }
+    } else if (type == "done") {
+      ws.idle = true;
+      ws.steal_outstanding = false;
+      ws.collisions = msg.U64("collisions");
+    } else if (type == "heartbeat") {
+      count("fleet.heartbeats");
+    }
+    // "hello" (and anything unknown): liveness only.
+  };
+
+  // Decodes everything buffered on a worker's stream. Returns false when
+  // the stream is corrupt (treated as worker death).
+  auto drain_decoder = [&](uint32_t w) {
+    WorkerState& ws = fleet[w];
+    std::string payload;
+    for (;;) {
+      const FleetDecodeStatus status = ws.decoder.Next(&payload);
+      if (status == FleetDecodeStatus::kOk) {
+        JsonValue msg;
+        if (JsonParser(payload).Parse(&msg)) {
+          handle_message(w, std::move(msg));
+        }
+        continue;
+      }
+      return status == FleetDecodeStatus::kNeedMore;
+    }
+  };
+
+  auto reap = [&](uint32_t w) {
+    WorkerState& ws = fleet[w];
+    if (!ws.alive) {
+      return;
+    }
+    // Salvage the intact frames the dying worker flushed; a torn tail is
+    // discarded (same prefix discipline as the MJN1 journal reader).
+    for (;;) {
+      uint8_t buf[4096];
+      const ssize_t n = ::recv(ws.fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n <= 0) {
+        break;
+      }
+      ws.decoder.Feed(buf, static_cast<size_t>(n));
+    }
+    drain_decoder(w);
+    ::kill(ws.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(ws.pid, &status, 0);
+    ::close(ws.fd);
+    ws.alive = false;
+    --alive_count;
+    count("fleet.worker_deaths");
+    if (!ws.idle && ws.next_index < ws.end) {
+      queue.push_back({ws.next_index, ws.end});
+      count("fleet.requeued", ws.end - ws.next_index);
+    }
+    ws.idle = true;
+  };
+
+  auto assign = [&] {
+    for (WorkerState& ws : fleet) {
+      if (queue.empty()) {
+        break;
+      }
+      if (!ws.alive || !ws.idle) {
+        continue;
+      }
+      const Range r = queue.front();
+      if (!SendFrame(ws.fd, fleet::RangeMessage("range", r.begin, r.end))) {
+        continue;  // send failed: the poll loop will reap this worker
+      }
+      queue.pop_front();
+      ws.idle = false;
+      ws.begin = r.begin;
+      ws.end = r.end;
+      ws.next_index = r.begin;
+    }
+    if (!queue.empty() || received >= schedule.size()) {
+      return;
+    }
+    // Work stealing: each idle worker raids the busiest shard (largest
+    // unfinished tail), one outstanding steal per victim. The victim
+    // splits its tail and the stolen range cycles through the queue back
+    // to an idle worker.
+    for (WorkerState& thief : fleet) {
+      if (!thief.alive || !thief.idle) {
+        continue;
+      }
+      WorkerState* victim = nullptr;
+      size_t best = 0;
+      for (WorkerState& v : fleet) {
+        if (!v.alive || v.idle || v.steal_outstanding) {
+          continue;
+        }
+        const size_t tail = v.end > v.next_index ? v.end - v.next_index : 0;
+        if (tail >= kMinStealTail && tail > best) {
+          victim = &v;
+          best = tail;
+        }
+      }
+      if (victim == nullptr) {
+        break;
+      }
+      if (SendFrame(victim->fd, fleet::SimpleMessage("steal"))) {
+        victim->steal_outstanding = true;
+        count("fleet.steals");
+      }
+    }
+  };
+
+  // --- fork the fleet -------------------------------------------------
+  std::vector<int> parent_fds;
+  for (uint32_t w = 0; w < workers && !schedule.empty(); ++w) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      std::fprintf(stderr, "mumak: fleet: socketpair: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "mumak: fleet: fork: %s\n", std::strerror(errno));
+      ::close(fds[0]);
+      ::close(fds[1]);
+      break;
+    }
+    if (pid == 0) {
+      // Child: drop the scheduler-side ends (its own and every earlier
+      // sibling's — inherited copies would keep those streams from ever
+      // reporting EOF) and run the worker loop over everything Profile()
+      // built, inherited copy-on-write. _exit: never unwind into the
+      // parent's journal writer/stdio/atexit state.
+      ::close(fds[0]);
+      for (const int other : parent_fds) {
+        ::close(other);
+      }
+      fleet::WorkerMain(fds[1], w, *engine, *tree, schedule, seek_index,
+                        warm);
+      ::_exit(0);
+    }
+    ::close(fds[1]);
+    parent_fds.push_back(fds[0]);
+    WorkerState& ws = fleet[w];
+    ws.pid = pid;
+    ws.fd = fds[0];
+    ws.alive = true;
+    ws.last_heard = Clock::now();
+    ++alive_count;
+  }
+
+  auto over_budget = [&] {
+    return received >= opts.max_injections ||
+           (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) ||
+           Seconds(start, Clock::now()) > opts.time_budget_s;
+  };
+  const auto heartbeat_timeout = std::chrono::milliseconds(
+      std::max<uint32_t>(config.heartbeat_timeout_ms, 100));
+
+  // --- event loop -------------------------------------------------------
+  assign();
+  while (received < schedule.size() && alive_count > 0) {
+    if (over_budget()) {
+      exhausted = true;
+      break;
+    }
+    std::vector<pollfd> pfds;
+    std::vector<uint32_t> owner;
+    for (uint32_t w = 0; w < workers; ++w) {
+      if (fleet[w].alive) {
+        pfds.push_back({fleet[w].fd, POLLIN, 0});
+        owner.push_back(w);
+      }
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), 100);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      const uint32_t w = owner[p];
+      WorkerState& ws = fleet[w];
+      if (!ws.alive || pfds[p].revents == 0) {
+        continue;
+      }
+      bool dead = false;
+      if ((pfds[p].revents & POLLIN) != 0) {
+        for (;;) {
+          uint8_t buf[16384];
+          const ssize_t n = ::recv(ws.fd, buf, sizeof(buf), MSG_DONTWAIT);
+          if (n > 0) {
+            ws.decoder.Feed(buf, static_cast<size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            dead = true;  // EOF: the worker exited
+          } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            dead = true;
+          }
+          break;
+        }
+        if (!drain_decoder(w)) {
+          dead = true;  // corrupt stream == dead worker
+        }
+      } else if ((pfds[p].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+        dead = true;
+      }
+      if (dead) {
+        reap(w);
+      }
+    }
+    // Heartbeat/timeout death detection: a worker that is neither
+    // delivering verdicts nor heartbeating is wedged or gone.
+    const auto now = Clock::now();
+    for (uint32_t w = 0; w < workers; ++w) {
+      if (fleet[w].alive && now - fleet[w].last_heard > heartbeat_timeout) {
+        reap(w);
+      }
+    }
+    assign();
+  }
+
+  // --- shut the fleet down ---------------------------------------------
+  for (uint32_t w = 0; w < workers; ++w) {
+    WorkerState& ws = fleet[w];
+    if (!ws.alive) {
+      continue;
+    }
+    SendFrame(ws.fd, fleet::SimpleMessage("shutdown"));
+    ::kill(ws.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(ws.pid, &status, 0);
+    ::close(ws.fd);
+    ws.alive = false;
+    --alive_count;
+  }
+
+  // --- inline fallback ---------------------------------------------------
+  // Every worker died (or none could be forked) with ranges still queued:
+  // finish them in this process. A zero-worker fleet is just the
+  // single-process pipeline — the campaign completes either way.
+  if (!exhausted && received < schedule.size() && !queue.empty()) {
+    std::fprintf(stderr,
+                 "mumak: fleet: no workers left; finishing %zu range(s) "
+                 "inline\n",
+                 queue.size());
+    std::optional<RecoverySandbox> sandbox;
+    if (opts.sandbox.policy != SandboxPolicy::kInProcess) {
+      SandboxOptions sandbox_options = opts.sandbox;
+      sandbox_options.metrics = opts.metrics;
+      sandbox_options.tracer = opts.tracer;
+      sandbox.emplace(engine->factory(), engine->profiled_pool_size(), 1,
+                      sandbox_options);
+    }
+    while (!queue.empty() && !exhausted) {
+      const Range r = queue.front();
+      queue.pop_front();
+      std::unique_ptr<ReplayCursor> cursor = seek_index.SeekCursor(
+          schedule[r.begin].seq, engine->profiled_pool_size(),
+          /*track_digest=*/opts.image_dedup);
+      for (size_t i = r.begin; i < r.end; ++i) {
+        if (over_budget()) {
+          exhausted = true;
+          break;
+        }
+        if (have[i] != 0) {
+          continue;  // delivered before its worker died
+        }
+        fleet::PointResult result = fleet::ProcessReplayPoint(
+            *engine, *tree, schedule[i], cursor.get(),
+            sandbox.has_value() ? &*sandbox : nullptr, warm, session);
+        record_verdict(workers, i, std::move(result.verdict));
+      }
+    }
+  }
+
+  // --- deterministic merge ----------------------------------------------
+  // All verdicts (fleet + resumed), seq-sorted, flow through the same
+  // skip-ok / dedup-by-detail / FindingFromVerdict path the in-process
+  // resume replay uses. Report dedup keys on the verdict detail and the
+  // winner is the lowest-seq occurrence — both are properties of the
+  // schedule and the (deterministic) oracle, not of which worker ran what,
+  // which is why the merged report is byte-identical to a single-process
+  // run at any worker count.
+  std::vector<const JournalVerdict*> ordered;
+  ordered.reserve(received + engine->resume_schedule().size());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (have[i] != 0) {
+      ordered.push_back(&verdicts[i]);
+    }
+  }
+  for (const JournalVerdict& v : engine->resume_schedule()) {
+    ordered.push_back(&v);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const JournalVerdict* a, const JournalVerdict* b) {
+                     return a->seq < b->seq;
+                   });
+  Report report;
+  std::map<std::string, size_t> dedup;
+  for (const JournalVerdict* v : ordered) {
+    if (v->status == "ok") {
+      continue;
+    }
+    if (dedup.find(v->detail) != dedup.end()) {
+      count("inject.deduplicated");
+      continue;
+    }
+    dedup.emplace(v->detail, report.findings().size());
+    report.Add(JournalReplay::FindingFromVerdict(*v));
+  }
+
+  if (opts.progress != nullptr) {
+    opts.progress->EndPhase();
+  }
+
+  // --- stats + cache epilogue -------------------------------------------
+  stats->injections = received;
+  stats->replayed = received;
+  stats->budget_exhausted = exhausted;
+  stats->bugs = report.BugCount();
+  stats->tree_bytes = tree->FootprintBytes();
+  uint64_t collisions = session != nullptr ? session->collisions() : 0;
+  for (const WorkerState& ws : fleet) {
+    collisions += ws.collisions;
+  }
+  stats->dedup_collisions = collisions;
+  if (warm != nullptr && session != nullptr) {
+    stats->cache_loaded = warm->loaded();
+    stats->distinct_images = session->size();
+    count("inject.distinct_images", session->size());
+    warm->AbsorbFrom(*session);
+    if (!opts.verdict_cache_path.empty() && engine->fingerprint_ready()) {
+      std::string error;
+      if (warm->Save(opts.verdict_cache_path, engine->trace_fingerprint(),
+                     &error)) {
+        stats->cache_saved = warm->size();
+      } else {
+        std::fprintf(stderr, "mumak: verdict cache: %s\n", error.c_str());
+      }
+    }
+    gauge("verdict_cache.entries", warm->size());
+    gauge("verdict_cache.loaded", warm->loaded());
+  }
+  stats->elapsed_s = Seconds(start, Clock::now());
+  return report;
+}
+
+}  // namespace mumak

@@ -1,0 +1,407 @@
+#include "src/fleet/serve.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fleet/wire.h"
+#include "src/observability/flat_json.h"
+
+namespace mumak {
+namespace fleet {
+namespace {
+
+volatile sig_atomic_t g_serve_stop = 0;
+
+void HandleServeStop(int) { g_serve_stop = 1; }
+
+bool FillSockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool SendFrameFd(int fd, const std::string& json) {
+  const std::string frame = FleetFrame(json);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // client hung up: their loss, not the daemon's
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Blocks until one complete frame arrives (or EOF / corrupt stream).
+bool ReadFrame(int fd, FleetFrameDecoder* decoder, JsonValue* out) {
+  std::string payload;
+  for (;;) {
+    switch (decoder->Next(&payload)) {
+      case FleetDecodeStatus::kOk:
+        return JsonParser(payload).Parse(out);
+      case FleetDecodeStatus::kNeedMore:
+        break;
+      default:
+        return false;  // corrupt stream
+    }
+    uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder->Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      if (g_serve_stop != 0) {
+        return false;
+      }
+      continue;
+    }
+    return false;  // EOF or hard error
+  }
+}
+
+std::string ArgvArrayJson(const std::vector<std::string>& args) {
+  std::string out = "[";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += '"';
+    out += JsonEscape(args[i]);
+    out += '"';
+  }
+  out += "]";
+  return out;
+}
+
+std::string SelfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return std::string();
+  }
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+// Drains a pipe end into `out` until EOF.
+void DrainPipe(int fd, std::string* out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out->append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return;
+  }
+}
+
+// Runs one submitted campaign by re-execing this binary with the client's
+// argv tail. Returns the campaign exit code (or 2 when the exec plumbing
+// itself fails); `report` captures the campaign's stdout, `log` its stderr.
+int RunCampaign(const std::vector<std::string>& args, uint32_t default_workers,
+                std::string* report, std::string* log) {
+  const std::string exe = SelfExePath();
+  if (exe.empty()) {
+    *log = "mumak: serve: cannot resolve /proc/self/exe";
+    return 2;
+  }
+  std::vector<std::string> full;
+  full.push_back(exe);
+  bool has_fleet_workers = false;
+  for (const std::string& arg : args) {
+    if (arg == "--fleet-workers" || arg.rfind("--fleet-workers=", 0) == 0) {
+      has_fleet_workers = true;
+    }
+    full.push_back(arg);
+  }
+  if (!has_fleet_workers && default_workers > 0) {
+    full.push_back("--fleet-workers");
+    full.push_back(std::to_string(default_workers));
+  }
+
+  int out_pipe[2];
+  int err_pipe[2];
+  if (::pipe(out_pipe) != 0) {
+    *log = "mumak: serve: pipe failed";
+    return 2;
+  }
+  if (::pipe(err_pipe) != 0) {
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    *log = "mumak: serve: pipe failed";
+    return 2;
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    *log = "mumak: serve: fork failed";
+    return 2;
+  }
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[0]);
+    ::close(err_pipe[1]);
+    std::vector<char*> argv;
+    argv.reserve(full.size() + 1);
+    for (const std::string& arg : full) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(exe.c_str(), argv.data());
+    std::fprintf(stderr, "mumak: serve: execv %s: %s\n", exe.c_str(),
+                 std::strerror(errno));
+    ::_exit(2);
+  }
+  ::close(out_pipe[1]);
+  ::close(err_pipe[1]);
+  // Sequential drains suffice: stderr is human-sized, and the kernel pipe
+  // buffer absorbs it while stdout streams.
+  DrainPipe(out_pipe[0], report);
+  DrainPipe(err_pipe[0], log);
+  ::close(out_pipe[0]);
+  ::close(err_pipe[0]);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(status)) {
+    return WEXITSTATUS(status);
+  }
+  if (WIFSIGNALED(status)) {
+    return 128 + WTERMSIG(status);
+  }
+  return 2;
+}
+
+int ConnectClient(const std::string& socket_path) {
+  sockaddr_un addr;
+  if (!FillSockaddr(socket_path, &addr)) {
+    std::fprintf(stderr, "mumak: bad socket path '%s'\n",
+                 socket_path.c_str());
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "mumak: socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "mumak: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int RunServeDaemon(const std::string& socket_path, uint32_t default_workers) {
+  ::signal(SIGPIPE, SIG_IGN);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleServeStop;  // no SA_RESTART: interrupt accept()
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  sockaddr_un addr;
+  if (!FillSockaddr(socket_path, &addr)) {
+    std::fprintf(stderr, "mumak: bad socket path '%s'\n",
+                 socket_path.c_str());
+    return 2;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "mumak: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  ::unlink(socket_path.c_str());  // a stale socket from a killed daemon
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::fprintf(stderr, "mumak: cannot listen on %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    ::close(listener);
+    return 2;
+  }
+  std::fprintf(stderr, "mumak: serving on %s (%u fleet worker(s))\n",
+               socket_path.c_str(), default_workers);
+
+  uint64_t jobs_done = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t bugs_found = 0;
+  while (g_serve_stop == 0) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) {
+        continue;  // signal: loop re-checks g_serve_stop
+      }
+      std::fprintf(stderr, "mumak: accept: %s\n", std::strerror(errno));
+      break;
+    }
+    // One request per connection; a torn or garbage request just drops the
+    // connection (the client sees EOF and reports the daemon unreachable).
+    FleetFrameDecoder decoder;
+    JsonValue request;
+    if (!ReadFrame(client, &decoder, &request)) {
+      ::close(client);
+      continue;
+    }
+    const std::string type = request.Str("type");
+    if (type == "status") {
+      SendFrameFd(client, JsonObject()
+                              .Str("type", "status")
+                              .U64("jobs_done", jobs_done)
+                              .U64("jobs_failed", jobs_failed)
+                              .U64("bugs_found", bugs_found)
+                              .U64("workers", default_workers)
+                              .Finish());
+    } else if (type == "submit") {
+      std::vector<std::string> args;
+      const JsonValue* argv = request.Find("argv");
+      if (argv != nullptr && argv->type == JsonValue::Type::kArray) {
+        for (const JsonValue& item : argv->array) {
+          if (item.type == JsonValue::Type::kString) {
+            args.push_back(item.string);
+          }
+        }
+      }
+      if (args.empty()) {
+        SendFrameFd(client, JsonObject()
+                                .Str("type", "error")
+                                .Str("detail", "submit carried no argv")
+                                .Finish());
+      } else {
+        std::string report;
+        std::string log;
+        const int exit_code =
+            RunCampaign(args, default_workers, &report, &log);
+        if (exit_code == 0 || exit_code == 1) {
+          ++jobs_done;
+          bugs_found += exit_code;  // exit 1 == bugs were found
+        } else {
+          ++jobs_failed;
+        }
+        // A client killed mid-campaign makes this send fail; the campaign's
+        // own journal/cache side effects are already on disk either way.
+        SendFrameFd(client, JsonObject()
+                                .Str("type", "result")
+                                .U64("exit", static_cast<uint64_t>(exit_code))
+                                .Str("report", report)
+                                .Str("log", log)
+                                .Finish());
+      }
+    } else {
+      SendFrameFd(client,
+                  JsonObject()
+                      .Str("type", "error")
+                      .Str("detail", "unknown request type '" + type + "'")
+                      .Finish());
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(socket_path.c_str());
+  std::fprintf(stderr, "mumak: serve: shut down (%llu job(s) done)\n",
+               static_cast<unsigned long long>(jobs_done));
+  return 0;
+}
+
+int RunSubmitClient(const std::string& socket_path,
+                    const std::vector<std::string>& campaign_args) {
+  ::signal(SIGPIPE, SIG_IGN);
+  if (campaign_args.empty()) {
+    std::fprintf(stderr,
+                 "mumak: submit: no campaign arguments (usage: mumak submit "
+                 "--socket PATH -- --target <name> ...)\n");
+    return 2;
+  }
+  const int fd = ConnectClient(socket_path);
+  if (fd < 0) {
+    return 2;
+  }
+  const std::string request = JsonObject()
+                                  .Str("type", "submit")
+                                  .Raw("argv", ArgvArrayJson(campaign_args))
+                                  .Finish();
+  FleetFrameDecoder decoder;
+  JsonValue reply;
+  if (!SendFrameFd(fd, request) || !ReadFrame(fd, &decoder, &reply)) {
+    std::fprintf(stderr, "mumak: submit: daemon hung up\n");
+    ::close(fd);
+    return 2;
+  }
+  ::close(fd);
+  if (reply.Str("type") != "result") {
+    std::fprintf(stderr, "mumak: submit: %s\n",
+                 reply.Str("detail").c_str());
+    return 2;
+  }
+  const std::string log = reply.Str("log");
+  if (!log.empty()) {
+    std::fputs(log.c_str(), stderr);
+  }
+  std::fputs(reply.Str("report").c_str(), stdout);
+  return static_cast<int>(reply.U64("exit"));
+}
+
+int RunStatusClient(const std::string& socket_path) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const int fd = ConnectClient(socket_path);
+  if (fd < 0) {
+    return 2;
+  }
+  FleetFrameDecoder decoder;
+  JsonValue reply;
+  if (!SendFrameFd(fd, JsonObject().Str("type", "status").Finish()) ||
+      !ReadFrame(fd, &decoder, &reply)) {
+    std::fprintf(stderr, "mumak: status: daemon hung up\n");
+    ::close(fd);
+    return 2;
+  }
+  ::close(fd);
+  std::printf(
+      "mumak serve: %llu job(s) done, %llu failed, %llu with bugs, fleet "
+      "workers %llu\n",
+      static_cast<unsigned long long>(reply.U64("jobs_done")),
+      static_cast<unsigned long long>(reply.U64("jobs_failed")),
+      static_cast<unsigned long long>(reply.U64("bugs_found")),
+      static_cast<unsigned long long>(reply.U64("workers")));
+  return 0;
+}
+
+}  // namespace fleet
+}  // namespace mumak

@@ -1,0 +1,40 @@
+// mumak serve: a long-lived daemon that queues injection campaigns from
+// multiple clients against one warm fleet. Clients talk MFL1 over a unix
+// socket (`mumak submit -- <campaign args>` / `mumak status`); the daemon
+// runs one campaign at a time by re-execing its own binary, so every
+// campaign gets the full CLI surface (journals, verdict caches, fleet
+// workers) and a killed daemon, client or campaign degrades to the
+// existing anytime/resume semantics. See docs/fleet.md.
+
+#ifndef MUMAK_SRC_FLEET_SERVE_H_
+#define MUMAK_SRC_FLEET_SERVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mumak {
+namespace fleet {
+
+// Daemon loop: binds `socket_path`, accepts clients until SIGINT/SIGTERM,
+// and runs submitted campaigns sequentially. `default_workers` > 0 injects
+// `--fleet-workers N` into submissions that do not set their own. Returns
+// the process exit code.
+int RunServeDaemon(const std::string& socket_path, uint32_t default_workers);
+
+// Client verb: submits `campaign_args` (the argv tail after `submit`,
+// exactly as it would follow `mumak` on a command line) and blocks for the
+// result frame. Prints the campaign's stdout to stdout and its stderr to
+// stderr, then returns the campaign's exit code (2 on daemon/socket
+// failures).
+int RunSubmitClient(const std::string& socket_path,
+                    const std::vector<std::string>& campaign_args);
+
+// Client verb: prints the daemon's job counters. Returns 0, or 2 when the
+// daemon is unreachable.
+int RunStatusClient(const std::string& socket_path);
+
+}  // namespace fleet
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_FLEET_SERVE_H_

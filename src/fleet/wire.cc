@@ -1,0 +1,63 @@
+#include "src/fleet/wire.h"
+
+#include <cstring>
+
+#include "src/observability/flat_json.h"
+#include "src/observability/journal.h"
+
+namespace mumak {
+
+std::string FleetFrame(const std::string& payload) {
+  std::string out;
+  out.reserve(kFleetHeaderBytes + payload.size());
+  out.append(reinterpret_cast<const char*>(kFleetMagic), sizeof(kFleetMagic));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, JournalCrc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+void FleetFrameDecoder::Feed(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  // Compact lazily: only once the consumed prefix dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+FleetDecodeStatus FleetFrameDecoder::Next(std::string* payload) {
+  if (corrupt_ != FleetDecodeStatus::kOk) {
+    return corrupt_;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFleetHeaderBytes) {
+    return FleetDecodeStatus::kNeedMore;
+  }
+  const uint8_t* head = buffer_.data() + consumed_;
+  if (std::memcmp(head, kFleetMagic, sizeof(kFleetMagic)) != 0) {
+    corrupt_ = FleetDecodeStatus::kBadMagic;
+    return corrupt_;
+  }
+  const uint32_t len = GetU32(head + 4);
+  if (len > kFleetMaxPayload) {
+    corrupt_ = FleetDecodeStatus::kOversized;
+    return corrupt_;
+  }
+  if (available < kFleetHeaderBytes + len) {
+    return FleetDecodeStatus::kNeedMore;
+  }
+  const uint32_t crc = GetU32(head + 8);
+  const char* body = reinterpret_cast<const char*>(head + kFleetHeaderBytes);
+  if (JournalCrc32(body, len) != crc) {
+    corrupt_ = FleetDecodeStatus::kBadCrc;
+    return corrupt_;
+  }
+  payload->assign(body, len);
+  consumed_ += kFleetHeaderBytes + len;
+  return FleetDecodeStatus::kOk;
+}
+
+}  // namespace mumak

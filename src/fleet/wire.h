@@ -1,0 +1,70 @@
+// MFL1: the fleet coordination wire protocol (scheduler <-> injection
+// worker processes, and `mumak serve` daemon <-> submit/status clients).
+// Same framing discipline as the MMK1 sandbox verdict protocol and the MJN1
+// journal: every frame is
+//
+//   u32 magic 'M''F''L''1' | u32 payload_len | u32 crc32(payload) | payload
+//
+// with little-endian integers, an IEEE CRC32 (JournalCrc32), and a flat
+// JSON payload built/parsed with the shared flat_json.h helpers. The
+// decoder is incremental (frames arrive in arbitrary chunks over
+// SOCK_STREAM) and classifies corruption instead of crashing: a torn tail
+// is simply an incomplete frame (the peer died mid-write), while a bad
+// magic, implausible length, or CRC mismatch marks the stream corrupt — the
+// scheduler treats a corrupt worker stream exactly like a dead worker.
+
+#ifndef MUMAK_SRC_FLEET_WIRE_H_
+#define MUMAK_SRC_FLEET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mumak {
+
+inline constexpr uint8_t kFleetMagic[4] = {'M', 'F', 'L', '1'};
+inline constexpr size_t kFleetHeaderBytes = 12;
+// Frames carry one flat-JSON control message each; nothing legitimate comes
+// close to this (the largest payload is a verdict with detail/location
+// strings, both capped upstream at 4 KiB by the sandbox/journal layers).
+inline constexpr uint32_t kFleetMaxPayload = 1u << 20;
+
+// Encodes one MFL1 frame around a JSON payload.
+std::string FleetFrame(const std::string& payload);
+
+enum class FleetDecodeStatus {
+  kOk,           // one payload extracted
+  kNeedMore,     // incomplete frame buffered; feed more bytes
+  kBadMagic,     // stream corrupt: header does not start with MFL1
+  kOversized,    // stream corrupt: implausible payload length
+  kBadCrc,       // stream corrupt: payload checksum mismatch
+};
+
+// Incremental frame decoder for one stream. Feed() appends raw bytes;
+// Next() extracts the next complete payload. Once a frame fails to decode
+// the stream is sticky-corrupt: Next() keeps returning the error and the
+// caller should drop the peer.
+class FleetFrameDecoder {
+ public:
+  void Feed(const void* data, size_t size);
+
+  // Extracts the next complete payload into `payload`. Returns kOk when one
+  // was extracted, kNeedMore when the buffer holds only a frame prefix (or
+  // nothing), and a corruption status otherwise.
+  FleetDecodeStatus Next(std::string* payload);
+
+  bool corrupt() const { return corrupt_ != FleetDecodeStatus::kOk; }
+  // Bytes buffered but not yet consumed (a non-empty value at EOF is a torn
+  // tail — the peer died mid-frame; the prefix already decoded is intact).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  FleetDecodeStatus corrupt_ = FleetDecodeStatus::kOk;
+};
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_FLEET_WIRE_H_

@@ -1,0 +1,346 @@
+#include "src/fleet/worker.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/fleet/messages.h"
+#include "src/fleet/wire.h"
+#include "src/observability/flat_json.h"
+#include "src/pmem/replay_cursor.h"
+#include "src/sandbox/child.h"
+#include "src/sandbox/recovery_sandbox.h"
+
+namespace mumak {
+namespace fleet {
+namespace {
+
+// Heartbeat cadence through stretches with no verdict traffic (long oracle
+// runs); the scheduler's death timeout must comfortably exceed this plus
+// the sandbox recovery deadline.
+constexpr auto kHeartbeatInterval = std::chrono::milliseconds(500);
+// Refuse steal requests that would leave either side under this many
+// points — splitting single-digit tails thrashes more than it balances.
+constexpr size_t kMinStealRemainder = 2;
+
+const char* StatusName(RecoveryStatus status) {
+  switch (status) {
+    case RecoveryStatus::kOk:
+      return "ok";
+    case RecoveryStatus::kUnrecoverable:
+      return "unrecoverable";
+    case RecoveryStatus::kCrashed:
+      return "crashed";
+    case RecoveryStatus::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+// One oracle invocation, mirroring the engine's in-process/sandboxed split
+// (fault_injection.cc RunOracle): in-process verdicts carry no sandbox
+// evidence (wall_us stays 0), keeping fleet reports byte-identical to the
+// in-process reference.
+struct OracleRun {
+  RecoveryResult result;
+  std::string signal_name;
+  bool timed_out = false;
+  uint64_t wall_us = 0;
+};
+
+OracleRun RunPointOracle(RecoverySandbox* sandbox, const TargetFactory& factory,
+                         const std::vector<uint8_t>& image) {
+  OracleRun out;
+  if (sandbox == nullptr) {
+    PmPool recovered = PmPool::FromImage(std::vector<uint8_t>(image));
+    TargetPtr fresh = factory();
+    out.result = RunRecoveryOracle(*fresh, recovered);
+    return out;
+  }
+  const SandboxVerdict verdict = sandbox->Check(0, image.data(), image.size());
+  out.result.status = verdict.status;
+  out.result.detail = verdict.detail;
+  if (verdict.signal != 0) {
+    out.signal_name = SignalName(verdict.signal);
+  }
+  out.timed_out = verdict.timed_out;
+  out.wall_us = verdict.recovery_wall_us;
+  return out;
+}
+
+}  // namespace
+
+PointResult ProcessReplayPoint(const FaultInjectionEngine& engine,
+                               const FailurePointTree& tree,
+                               const ReplayPoint& point, ReplayCursor* cursor,
+                               RecoverySandbox* sandbox,
+                               VerdictCache* warm_cache,
+                               VerdictCache* session_cache) {
+  PointResult r;
+  r.verdict.seq = point.seq;
+  const std::vector<uint8_t>& image = cursor->AdvanceTo(point.seq);
+
+  bool hit = false;
+  bool fresh_insert = false;
+  VerdictCacheEntry cached;
+  if (warm_cache != nullptr || session_cache != nullptr) {
+    r.digest = cursor->Digest();
+    if (warm_cache != nullptr &&
+        warm_cache->Lookup(r.digest, image.data(), image.size(), &cached) ==
+            VerdictCache::Outcome::kHit) {
+      hit = true;
+    }
+    if (!hit && session_cache != nullptr) {
+      switch (session_cache->Lookup(r.digest, image.data(), image.size(),
+                                    &cached)) {
+        case VerdictCache::Outcome::kHit:
+          // Trust rule (see worker.h): a session entry born at a later seq
+          // must not be attributed backwards.
+          hit = cached.first_seq < point.seq;
+          break;
+        case VerdictCache::Outcome::kMiss:
+          fresh_insert = true;
+          break;
+        case VerdictCache::Outcome::kCollision:
+          break;  // run the oracle, cache nothing (digest taken)
+      }
+    }
+  }
+
+  if (hit) {
+    r.verdict.status =
+        StatusName(static_cast<RecoveryStatus>(cached.status));
+    r.verdict.detail = cached.detail;
+    r.verdict.signal_name = cached.signal_name;
+    r.verdict.timed_out = cached.timed_out;
+    r.verdict.wall_us = cached.recovery_wall_us;
+    r.verdict.dedup_of = "image " + r.digest.Hex() +
+                         " first checked at seq " +
+                         std::to_string(cached.first_seq);
+    r.verdict.from_cache = true;
+    if (static_cast<RecoveryStatus>(cached.status) != RecoveryStatus::kOk) {
+      r.verdict.location = tree.DescribePath(point.node);
+    }
+    return r;
+  }
+
+  const OracleRun run = RunPointOracle(sandbox, engine.factory(), image);
+  r.verdict.status = StatusName(run.result.status);
+  r.verdict.detail = run.result.detail;
+  r.verdict.signal_name = run.signal_name;
+  r.verdict.timed_out = run.timed_out;
+  r.verdict.wall_us = run.wall_us;
+  if (!run.result.ok()) {
+    r.verdict.location = tree.DescribePath(point.node);
+  }
+  if (fresh_insert) {
+    r.insert = true;
+    r.entry.status = static_cast<uint32_t>(run.result.status);
+    r.entry.timed_out = run.timed_out;
+    r.entry.recovery_wall_us = run.wall_us;
+    r.entry.first_seq = point.seq;
+    r.entry.detail = run.result.detail;
+    r.entry.signal_name = run.signal_name;
+    session_cache->Insert(
+        r.digest, r.entry,
+        session_cache->verify() ? image.data() : nullptr,
+        session_cache->verify() ? image.size() : 0);
+  }
+  return r;
+}
+
+void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
+                const FailurePointTree& tree,
+                const std::vector<ReplayPoint>& schedule,
+                const ReplaySeekIndex& seek_index, VerdictCache* warm_cache) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const FaultInjectionOptions& opts = engine.options();
+
+  // The worker's own sandbox: forked here, while this (child) process is
+  // single-threaded — the parent's fork-server (if any) was not inherited
+  // usably, and slots map 1:1 onto oracle runs, so one slot suffices.
+  std::optional<RecoverySandbox> sandbox;
+  if (opts.sandbox.policy != SandboxPolicy::kInProcess) {
+    SandboxOptions sandbox_options = opts.sandbox;
+    sandbox_options.metrics = nullptr;  // parent-owned; not fork-safe
+    sandbox_options.tracer = nullptr;
+    sandbox.emplace(engine.factory(), engine.profiled_pool_size(), 1,
+                    sandbox_options);
+  }
+  std::optional<VerdictCache> session;
+  if (opts.image_dedup) {
+    session.emplace(opts.verify_dedup);
+  }
+  if (!opts.image_dedup) {
+    warm_cache = nullptr;
+  }
+
+  FleetFrameDecoder decoder;
+  std::deque<JsonValue> inbox;
+  auto last_send = std::chrono::steady_clock::now();
+
+  auto send_json = [&](const std::string& json) -> bool {
+    const std::string frame = FleetFrame(json);
+    size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;  // scheduler gone
+      }
+      off += static_cast<size_t>(n);
+    }
+    last_send = std::chrono::steady_clock::now();
+    return true;
+  };
+  // -1 peer dead/corrupt, 0 nothing available, 1 progress.
+  auto read_some = [&](bool blocking) -> int {
+    uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), blocking ? 0 : MSG_DONTWAIT);
+    if (n > 0) {
+      decoder.Feed(buf, static_cast<size_t>(n));
+      std::string payload;
+      for (;;) {
+        const FleetDecodeStatus status = decoder.Next(&payload);
+        if (status == FleetDecodeStatus::kOk) {
+          JsonValue msg;
+          if (JsonParser(payload).Parse(&msg)) {
+            inbox.push_back(std::move(msg));
+          }
+          continue;
+        }
+        return status == FleetDecodeStatus::kNeedMore ? 1 : -1;
+      }
+    }
+    if (n == 0) {
+      return -1;  // EOF: scheduler died; anytime/resume semantics take over
+    }
+    return (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) ? 0
+                                                                       : -1;
+  };
+
+  if (!send_json(JsonObject()
+                     .Str("type", "hello")
+                     .U64("worker", worker_id)
+                     .Finish())) {
+    return;
+  }
+
+  for (;;) {
+    while (inbox.empty()) {
+      if (read_some(/*blocking=*/true) < 0) {
+        return;
+      }
+    }
+    JsonValue msg = std::move(inbox.front());
+    inbox.pop_front();
+    const std::string type = msg.Str("type");
+    if (type == "shutdown") {
+      return;
+    }
+    if (type == "steal") {
+      // Idle: nothing to give.
+      if (!send_json(RangeMessage("stolen", 0, 0))) {
+        return;
+      }
+      continue;
+    }
+    if (type != "range") {
+      continue;
+    }
+    const size_t begin = static_cast<size_t>(msg.U64("begin"));
+    size_t end = static_cast<size_t>(msg.U64("end"));
+    if (begin >= end || end > schedule.size()) {
+      if (!send_json(SimpleMessage("done"))) {
+        return;
+      }
+      continue;
+    }
+    // Seek to the shard start instead of replaying the whole prefix; the
+    // cursor then advances monotonically within the (seq-contiguous) range.
+    std::unique_ptr<ReplayCursor> cursor = seek_index.SeekCursor(
+        schedule[begin].seq, engine.profiled_pool_size(),
+        /*track_digest=*/opts.image_dedup);
+    for (size_t i = begin; i < end; ++i) {
+      // Drain control traffic between points: steal requests shrink this
+      // range's tail, shutdown aborts mid-range.
+      for (;;) {
+        const int got = read_some(/*blocking=*/false);
+        if (got < 0) {
+          return;
+        }
+        if (got == 0) {
+          break;
+        }
+      }
+      bool aborted = false;
+      while (!inbox.empty()) {
+        JsonValue control = std::move(inbox.front());
+        inbox.pop_front();
+        const std::string kind = control.Str("type");
+        if (kind == "shutdown") {
+          return;
+        }
+        if (kind == "steal") {
+          // Give away the upper half of what is left beyond the current
+          // point (the thief seeks to its start; this cursor never goes
+          // there).
+          const size_t tail = end - i;
+          size_t mid = end;
+          if (tail >= 2 * kMinStealRemainder) {
+            mid = i + tail / 2;
+          }
+          if (!send_json(RangeMessage("stolen", mid, end))) {
+            return;
+          }
+          end = mid;
+          if (i >= end) {
+            aborted = true;
+          }
+        }
+      }
+      if (aborted) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() - last_send >=
+          kHeartbeatInterval) {
+        if (!send_json(SimpleMessage("heartbeat"))) {
+          return;
+        }
+      }
+      const PointResult r = ProcessReplayPoint(
+          engine, tree, schedule[i], cursor.get(),
+          sandbox.has_value() ? &*sandbox : nullptr, warm_cache,
+          session.has_value() ? &*session : nullptr);
+      // Insert precedes verdict on the stream: the scheduler's event loop
+      // may exit the moment the final verdict lands, and must not leave a
+      // trailing cache insert undrained in the socket.
+      if (r.insert && !send_json(InsertMessage(r.digest, r.entry))) {
+        return;
+      }
+      if (!send_json(VerdictMessage(i, r.verdict))) {
+        return;
+      }
+    }
+    if (!send_json(JsonObject()
+                       .Str("type", "done")
+                       .U64("collisions",
+                            session.has_value() ? session->collisions() : 0)
+                       .Finish())) {
+      return;
+    }
+  }
+}
+
+}  // namespace fleet
+}  // namespace mumak

@@ -1,0 +1,77 @@
+// Fleet injection worker (src/fleet): the per-process half of the campaign
+// scheduler. A worker is forked by the scheduler *after* Profile(), so it
+// inherits the replay trace, the failure point tree, the seq-sorted
+// injection schedule, the seek index and the loaded (warm) verdict cache
+// copy-on-write — the only per-worker state it builds is its own recovery
+// sandbox (forked single-threaded inside the child) and a session verdict
+// cache for the digests it checks fresh. It speaks MFL1 over one unix
+// socket: receives contiguous schedule ranges, emits one verdict frame per
+// point (in index order), offers the tail of its range when asked to be
+// stolen from, and heartbeats through long oracle gaps.
+
+#ifndef MUMAK_SRC_FLEET_WORKER_H_
+#define MUMAK_SRC_FLEET_WORKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/fault_injection.h"
+#include "src/core/verdict_cache.h"
+#include "src/pmem/replay_seek_index.h"
+
+namespace mumak {
+namespace fleet {
+
+// Outcome of processing one schedule entry: the verdict (exactly the
+// JournalVerdict the in-process replay path would journal, minus the worker
+// lane which the scheduler stamps) plus an optional fresh cache insert.
+struct PointResult {
+  JournalVerdict verdict;
+  bool insert = false;
+  ImageDigest digest;
+  VerdictCacheEntry entry;
+};
+
+// Synthesizes the crash image for `point` on `cursor` (AdvanceTo — the
+// cursor must not be past point.seq), probes the caches, and runs the
+// recovery oracle on a miss. Deterministic given the image bytes, which is
+// what makes the fleet merge byte-identical to a single-process run.
+//
+// Two caches, with different trust rules, keep the merged report
+// deterministic under out-of-order shard processing (steals and re-queued
+// shards can hand a worker an *earlier* range after it processed a later
+// one):
+//  - `warm_cache` (entries loaded from --verdict-cache before the fork):
+//    always honoured, matching the single-process path where the loaded set
+//    is consulted at every point.
+//  - `session_cache` (this campaign's fresh verdicts): honoured only when
+//    the entry's first_seq precedes point.seq. A hit against a *later*
+//    first check would mark a verdict `from_cache` that the seq-ordered
+//    single-process run produced fresh — and if that point won report
+//    dedup, the report would grow a dedup_of the reference run lacks. Such
+//    points re-run the oracle instead (the verdict is identical; only the
+//    provenance differs, and stats count one extra oracle run).
+// Fresh verdicts are inserted into `session_cache` and surfaced via
+// `insert` so the scheduler can fold them into the campaign-wide cache.
+// Either cache pointer may be null (dedup off, or no warm file).
+PointResult ProcessReplayPoint(const FaultInjectionEngine& engine,
+                               const FailurePointTree& tree,
+                               const ReplayPoint& point, ReplayCursor* cursor,
+                               RecoverySandbox* sandbox,
+                               VerdictCache* warm_cache,
+                               VerdictCache* session_cache);
+
+// Worker process entry point: runs the MFL1 loop over `fd` until a
+// shutdown frame, a peer hangup, or a corrupt stream. The caller (the fork
+// site) must _exit() immediately after this returns — the child shares the
+// parent's journal fd, metrics and stdio buffers and must not run exit
+// handlers or flush inherited state.
+void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
+                const FailurePointTree& tree,
+                const std::vector<ReplayPoint>& schedule,
+                const ReplaySeekIndex& seek_index, VerdictCache* warm_cache);
+
+}  // namespace fleet
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_FLEET_WORKER_H_

@@ -27,6 +27,7 @@
 
 #include "src/analysis/detector_pass.h"
 #include "src/core/mumak.h"
+#include "src/fleet/serve.h"
 #include "src/instrument/trace.h"
 #include "src/observability/journal.h"
 #include "src/observability/metrics.h"
@@ -83,6 +84,15 @@ void PrintUsage() {
       "  --eadr                analyse under eADR persistency semantics\n"
       "  --budget <seconds>    analysis time budget\n"
       "  --jobs <n>            parallel fault-injection workers (default 1)\n"
+      "  --fleet-workers <n>   shard the injection phase across n forked\n"
+      "                        worker processes (forces --strategy replay;\n"
+      "                        the report is byte-identical to a single-\n"
+      "                        process run at any worker count)\n"
+      "  --fleet-shards <n>    schedule shards to balance across the fleet\n"
+      "                        (default 4x workers)\n"
+      "  --fleet-kill-after <n>\n"
+      "                        fault-tolerance test hook: SIGKILL fleet\n"
+      "                        worker 0 after its n-th verdict\n"
       "  --analysis-jobs <n>   trace-analysis shard workers (default 1);\n"
       "                        the report is byte-identical at any value\n"
       "  --online-analysis     analyse the trace during profiling (no spool\n"
@@ -167,7 +177,18 @@ void PrintUsage() {
       "introspection:\n"
       "  --list-targets        registered targets\n"
       "  --list-bugs           seeded bug corpus (optionally --target)\n"
-      "  --list-detectors      registered trace-analysis detector passes\n");
+      "  --list-detectors      registered trace-analysis detector passes\n"
+      "\n"
+      "daemon mode:\n"
+      "  mumak serve --socket <path> [--workers <n>]\n"
+      "                        run a campaign daemon on a unix socket;\n"
+      "                        submitted campaigns run one at a time with\n"
+      "                        --fleet-workers n unless they set their own\n"
+      "  mumak submit --socket <path> -- <campaign args>\n"
+      "                        queue a campaign (everything after -- is a\n"
+      "                        mumak command line) and wait for its report\n"
+      "  mumak status --socket <path>\n"
+      "                        print the daemon's job counters\n");
 }
 
 // Strict non-negative integer parse: digits only (strtoull alone would
@@ -188,10 +209,64 @@ bool ParseUint(const char* text, uint64_t* out) {
   return errno != ERANGE && end != text && *end == '\0';
 }
 
+// Parses the `serve` / `submit` / `status` verb argv tails. Each takes
+// --socket <path>; serve adds --workers <n>; submit passes everything
+// after `--` (or any unrecognised argument onward) to the campaign.
+int RunServeVerb(const std::string& verb, int argc, char** argv) {
+  std::string socket_path;
+  uint64_t workers = 0;
+  std::vector<std::string> campaign_args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (verb == "serve" && arg == "--workers" && i + 1 < argc) {
+      if (!ParseUint(argv[++i], &workers)) {
+        std::fprintf(stderr, "mumak: bad --workers value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (verb == "submit") {
+      // `--` starts the campaign command line; so does the first argument
+      // submit itself does not understand.
+      int start = i;
+      if (arg == "--") {
+        ++start;
+      }
+      for (int j = start; j < argc; ++j) {
+        campaign_args.push_back(argv[j]);
+      }
+      break;
+    } else {
+      std::fprintf(stderr, "mumak: %s: unknown option '%s'\n", verb.c_str(),
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "mumak: %s requires --socket <path>\n",
+                 verb.c_str());
+    return 2;
+  }
+  if (verb == "serve") {
+    return mumak::fleet::RunServeDaemon(socket_path,
+                                        static_cast<uint32_t>(workers));
+  }
+  if (verb == "submit") {
+    return mumak::fleet::RunSubmitClient(socket_path, campaign_args);
+  }
+  return mumak::fleet::RunStatusClient(socket_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mumak;
+
+  if (argc >= 2 && (std::strcmp(argv[1], "serve") == 0 ||
+                    std::strcmp(argv[1], "submit") == 0 ||
+                    std::strcmp(argv[1], "status") == 0)) {
+    return RunServeVerb(argv[1], argc, argv);
+  }
 
   std::string target_name;
   std::string save_trace;
@@ -211,6 +286,7 @@ int main(int argc, char** argv) {
   bool list_bugs = false;
   bool list_detectors = false;
   bool json_output = false;
+  bool strategy_explicit = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -458,6 +534,7 @@ int main(int argc, char** argv) {
       mumak_options.sandbox.checks_per_fork = static_cast<uint32_t>(checks);
     } else if (arg == "--strategy") {
       const std::string strategy = next("--strategy");
+      strategy_explicit = true;
       if (strategy == "reexec" || strategy == "re-execute") {
         mumak_options.injection_strategy = InjectionStrategy::kReExecute;
       } else if (strategy == "replay") {
@@ -468,6 +545,39 @@ int main(int argc, char** argv) {
                      strategy.c_str());
         return 2;
       }
+    } else if (arg == "--fleet-workers") {
+      uint64_t n = 0;
+      const char* value = next("--fleet-workers");
+      if (!ParseUint(value, &n) || n == 0) {
+        std::fprintf(stderr,
+                     "mumak: bad --fleet-workers value '%s' (expected a "
+                     "positive integer)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.fleet.workers = static_cast<uint32_t>(n);
+    } else if (arg == "--fleet-shards") {
+      uint64_t n = 0;
+      const char* value = next("--fleet-shards");
+      if (!ParseUint(value, &n) || n == 0) {
+        std::fprintf(stderr,
+                     "mumak: bad --fleet-shards value '%s' (expected a "
+                     "positive integer)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.fleet.shards = static_cast<uint32_t>(n);
+    } else if (arg == "--fleet-kill-after") {
+      uint64_t n = 0;
+      const char* value = next("--fleet-kill-after");
+      if (!ParseUint(value, &n)) {
+        std::fprintf(stderr,
+                     "mumak: bad --fleet-kill-after value '%s' (expected a "
+                     "non-negative integer)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.fleet.kill_worker_after = n;
     } else if (arg == "--verdict-cache") {
       mumak_options.verdict_cache_path = next("--verdict-cache");
     } else if (arg == "--verify-dedup") {
@@ -546,6 +656,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "mumak: --verdict-cache has no effect with "
                  "--no-image-dedup\n");
+  }
+  if (mumak_options.fleet.workers > 1) {
+    if (strategy_explicit &&
+        mumak_options.injection_strategy == InjectionStrategy::kReExecute) {
+      std::fprintf(stderr,
+                   "mumak: --fleet-workers requires the replay strategy "
+                   "(crash images are synthesized from the profiled trace; "
+                   "re-execution cannot shard across processes)\n");
+      return 2;
+    }
+    mumak_options.injection_strategy = InjectionStrategy::kReplay;
   }
   if (!journal_path.empty() && !resume_journal_path.empty()) {
     std::fprintf(stderr,
@@ -798,6 +919,15 @@ int main(int argc, char** argv) {
                       result.fault_injection.dedup_collisions));
     }
     std::printf("\n");
+  }
+  // Resume accounting: verdicts carried over from the prior journal
+  // generation instead of re-run (a fully-verdicted resume over a warm
+  // cache performs zero oracle invocations).
+  if (result.fault_injection.resumed > 0) {
+    std::printf("mumak: resume: %llu verdict(s) carried over from the prior "
+                "journal generation\n",
+                static_cast<unsigned long long>(
+                    result.fault_injection.resumed));
   }
   std::printf(
       "mumak: %.2fs | %llu failure points, %llu injections%s | %llu trace "

@@ -1,0 +1,338 @@
+// Fleet campaign scheduler (src/fleet). Layers under test:
+//   1. MFL1 framing — round trip, incremental feed, sticky corruption;
+//   2. message codecs — verdicts and cache inserts survive the JSON wire
+//      (64-bit digests travel as hex strings, elided fields default);
+//   3. determinism — RunFleetCampaign's merged report is byte-identical
+//      to a single-process InjectAll run at any worker count, with work
+//      stealing forced, with a worker SIGKILLed mid-flight, and composed
+//      with --resume-journal;
+//   4. the verdict-cache epilogue — fleet campaigns populate the same
+//      persistent cache a single-process run would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/fault_injection.h"
+#include "src/core/verdict_cache.h"
+#include "src/fleet/messages.h"
+#include "src/fleet/scheduler.h"
+#include "src/fleet/wire.h"
+#include "src/observability/journal.h"
+#include "src/targets/target.h"
+
+namespace mumak {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TargetFactory Factory(const std::string& name, const TargetOptions& options) {
+  return [name, options] { return CreateTarget(name, options); };
+}
+
+// -- 1. MFL1 framing ---------------------------------------------------------
+
+TEST(FleetWire, RoundTripsFrames) {
+  FleetFrameDecoder decoder;
+  const std::string a = FleetFrame("{\"type\": \"hello\"}");
+  const std::string b = FleetFrame("{\"type\": \"done\"}");
+  decoder.Feed(a.data(), a.size());
+  decoder.Feed(b.data(), b.size());
+  std::string payload;
+  ASSERT_EQ(decoder.Next(&payload), FleetDecodeStatus::kOk);
+  EXPECT_EQ(payload, "{\"type\": \"hello\"}");
+  ASSERT_EQ(decoder.Next(&payload), FleetDecodeStatus::kOk);
+  EXPECT_EQ(payload, "{\"type\": \"done\"}");
+  EXPECT_EQ(decoder.Next(&payload), FleetDecodeStatus::kNeedMore);
+  EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(FleetWire, ByteAtATimeFeedStillDecodes) {
+  FleetFrameDecoder decoder;
+  const std::string frame = FleetFrame("{\"seq\": 12345}");
+  std::string payload;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(decoder.Next(&payload), FleetDecodeStatus::kNeedMore);
+    decoder.Feed(frame.data() + i, 1);
+  }
+  ASSERT_EQ(decoder.Next(&payload), FleetDecodeStatus::kOk);
+  EXPECT_EQ(payload, "{\"seq\": 12345}");
+}
+
+TEST(FleetWire, CorruptionIsSticky) {
+  FleetFrameDecoder decoder;
+  std::string frame = FleetFrame("{\"type\": \"verdict\"}");
+  frame[frame.size() - 1] ^= 0xff;  // body corruption -> CRC mismatch
+  decoder.Feed(frame.data(), frame.size());
+  std::string payload;
+  EXPECT_EQ(decoder.Next(&payload), FleetDecodeStatus::kBadCrc);
+  EXPECT_TRUE(decoder.corrupt());
+  // Clean bytes after the corruption must not resurrect the stream: a
+  // desynchronised reader re-syncing on garbage is how wrong verdicts
+  // would get attributed.
+  const std::string clean = FleetFrame("{\"type\": \"done\"}");
+  decoder.Feed(clean.data(), clean.size());
+  EXPECT_EQ(decoder.Next(&payload), FleetDecodeStatus::kBadCrc);
+}
+
+// -- 2. Message codecs -------------------------------------------------------
+
+TEST(FleetMessages, VerdictRoundTripsWithElidedFields) {
+  JournalVerdict v;
+  v.seq = 987654321;
+  v.status = "unrecoverable";
+  v.detail = "value lost for key 3 (\"quoted\")";
+  v.location = "store pm+0x40 <- put(3)";
+  v.signal_name = "SIGSEGV";
+  v.timed_out = false;
+  v.wall_us = 0;
+  v.dedup_of = "";
+  v.from_cache = false;
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParser(fleet::VerdictMessage(17, v)).Parse(&parsed));
+  EXPECT_EQ(parsed.U64("index"), 17u);
+  const JournalVerdict back = fleet::VerdictFromMessage(parsed);
+  EXPECT_EQ(back.seq, v.seq);
+  EXPECT_EQ(back.status, v.status);
+  EXPECT_EQ(back.detail, v.detail);
+  EXPECT_EQ(back.location, v.location);
+  EXPECT_EQ(back.signal_name, v.signal_name);
+  EXPECT_EQ(back.timed_out, v.timed_out);
+  EXPECT_EQ(back.wall_us, v.wall_us);
+  EXPECT_EQ(back.dedup_of, v.dedup_of);
+  EXPECT_EQ(back.from_cache, v.from_cache);
+}
+
+TEST(FleetMessages, InsertCarries64BitDigestsExactly) {
+  // Doubles hold 53 bits; digests must survive as hex strings.
+  ImageDigest digest;
+  digest.hi = 0xfedcba9876543210ull;
+  digest.lo = 0x0123456789abcdefull;
+  VerdictCacheEntry entry;
+  entry.status = 1;
+  entry.timed_out = true;
+  entry.recovery_wall_us = 777;
+  entry.first_seq = (1ull << 62) + 3;  // beyond double precision
+  entry.detail = "lost tail";
+  entry.signal_name = "SIGBUS";
+  JsonValue parsed;
+  ASSERT_TRUE(
+      JsonParser(fleet::InsertMessage(digest, entry)).Parse(&parsed));
+  ImageDigest digest_back;
+  VerdictCacheEntry back;
+  ASSERT_TRUE(fleet::InsertFromMessage(parsed, &digest_back, &back));
+  EXPECT_EQ(digest_back.hi, digest.hi);
+  EXPECT_EQ(digest_back.lo, digest.lo);
+  EXPECT_EQ(back.status, entry.status);
+  EXPECT_EQ(back.timed_out, entry.timed_out);
+  EXPECT_EQ(back.recovery_wall_us, entry.recovery_wall_us);
+  EXPECT_EQ(back.first_seq, entry.first_seq);
+  EXPECT_EQ(back.detail, entry.detail);
+  EXPECT_EQ(back.signal_name, entry.signal_name);
+}
+
+// -- 3. Determinism ----------------------------------------------------------
+
+struct FleetCase {
+  const char* target;
+  const char* bug;
+};
+
+constexpr FleetCase kCases[] = {
+    {"btree", "btree.split_unlogged"},
+    {"hashmap_tx", "hashmap_tx.prepend_unlogged"},
+    {"fast_fair", "ff.c1_sibling_link_first"},
+};
+
+Report SingleProcessReference(const FleetCase& c, const WorkloadSpec& spec,
+                              const TargetOptions& options) {
+  FaultInjectionOptions fi;
+  fi.strategy = InjectionStrategy::kReplay;
+  FaultInjectionEngine engine(Factory(c.target, options), spec, fi);
+  FailurePointTree tree = engine.Profile();
+  FaultInjectionStats stats;
+  return engine.InjectAll(&tree, &stats);
+}
+
+Report FleetRun(const FleetCase& c, const WorkloadSpec& spec,
+                const TargetOptions& options, const FleetConfig& config,
+                FaultInjectionStats* stats,
+                FaultInjectionOptions fi = FaultInjectionOptions()) {
+  fi.strategy = InjectionStrategy::kReplay;
+  FaultInjectionEngine engine(Factory(c.target, options), spec, fi);
+  FailurePointTree tree = engine.Profile();
+  return RunFleetCampaign(&engine, &tree, stats, config);
+}
+
+// The headline guarantee: the merged fleet report is byte-identical to the
+// single-process run at any worker count (same process here, so even the
+// resolved code locations match exactly).
+TEST(FleetDeterminism, MatchesSingleProcessAtAnyWorkerCount) {
+  for (const FleetCase& c : kCases) {
+    SCOPED_TRACE(c.target);
+    TargetOptions options;
+    options.pmdk_version = PmdkVersion::k16;
+    options.bugs = {c.bug};
+    WorkloadSpec spec;
+    spec.operations = 300;
+    spec.key_space = 50;
+    const Report reference = SingleProcessReference(c, spec, options);
+    ASSERT_GT(reference.BugCount(), 0u) << "bug " << c.bug
+                                        << " not triggered";
+    for (const uint32_t workers : {2u, 4u, 7u}) {
+      SCOPED_TRACE(workers);
+      FleetConfig config;
+      config.workers = workers;
+      FaultInjectionStats stats;
+      const Report fleet = FleetRun(c, spec, options, config, &stats);
+      EXPECT_EQ(fleet.Render(), reference.Render());
+      EXPECT_EQ(fleet.RenderJson(), reference.RenderJson());
+      EXPECT_GT(stats.injections, 0u);
+      EXPECT_EQ(stats.injections, stats.replayed);
+    }
+  }
+}
+
+// One shard + many workers forces the work-stealing path: every worker
+// except the first starts idle and must steal its share.
+TEST(FleetDeterminism, WorkStealingPreservesTheReport) {
+  const FleetCase c = kCases[0];
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {c.bug};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+  const Report reference = SingleProcessReference(c, spec, options);
+  FleetConfig config;
+  config.workers = 4;
+  config.shards = 1;
+  FaultInjectionStats stats;
+  const Report fleet = FleetRun(c, spec, options, config, &stats);
+  EXPECT_EQ(fleet.Render(), reference.Render());
+  EXPECT_EQ(fleet.RenderJson(), reference.RenderJson());
+}
+
+// SIGKILLing a worker mid-flight (the --fleet-kill-after hook) must lose
+// nothing: the dead worker's unfinished range is re-queued and the merged
+// report still matches.
+TEST(FleetDeterminism, SurvivesAWorkerSigkill) {
+  const FleetCase c = kCases[0];
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {c.bug};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+  const Report reference = SingleProcessReference(c, spec, options);
+  FleetConfig config;
+  config.workers = 4;
+  config.kill_worker_after = 2;
+  FaultInjectionStats stats;
+  const Report fleet = FleetRun(c, spec, options, config, &stats);
+  EXPECT_EQ(fleet.Render(), reference.Render());
+  EXPECT_EQ(fleet.RenderJson(), reference.RenderJson());
+}
+
+// Fleet campaigns compose with --resume-journal: a journaled run cancelled
+// partway, resumed under the fleet, matches the uninterrupted reference.
+TEST(FleetDeterminism, ComposesWithJournalResume) {
+  const FleetCase c = kCases[0];
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {c.bug};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+  const Report reference = SingleProcessReference(c, spec, options);
+
+  const std::string path = TempPath("fleet_resume.mjn");
+  std::string error;
+  {
+    auto journal = CampaignJournal::Create(path, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    FaultInjectionOptions first;
+    first.strategy = InjectionStrategy::kReplay;
+    first.journal = journal.get();
+    first.max_injections = 7;
+    FaultInjectionEngine engine(Factory(c.target, options), spec, first);
+    FailurePointTree tree = engine.Profile();
+    FaultInjectionStats stats;
+    engine.InjectAll(&tree, &stats);
+    journal->Close();
+  }
+  const JournalReplay replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  ASSERT_FALSE(replay.verdicts.empty());
+
+  FaultInjectionOptions second;
+  second.resume = &replay;
+  FleetConfig config;
+  config.workers = 3;
+  FaultInjectionStats stats;
+  const Report fleet =
+      FleetRun(c, spec, options, config, &stats, second);
+  EXPECT_EQ(stats.resumed, replay.verdicts.size());
+  EXPECT_EQ(fleet.Render(), reference.Render());
+  EXPECT_EQ(fleet.RenderJson(), reference.RenderJson());
+  std::remove(path.c_str());
+}
+
+// -- 4. Verdict-cache epilogue ----------------------------------------------
+
+// A fleet campaign persists the same verdict cache a single-process run
+// would: same entry count, and a second single-process run over it is
+// fully warm.
+TEST(FleetVerdictCache, FleetRunWarmsThePersistentCache) {
+  const FleetCase c = kCases[0];
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {c.bug};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+
+  const std::string fleet_cache = TempPath("fleet_warm.mvc");
+  const std::string single_cache = TempPath("single_warm.mvc");
+  std::remove(fleet_cache.c_str());
+  std::remove(single_cache.c_str());
+
+  FaultInjectionOptions fleet_fi;
+  fleet_fi.verdict_cache_path = fleet_cache;
+  FleetConfig config;
+  config.workers = 3;
+  FaultInjectionStats fleet_stats;
+  FleetRun(c, spec, options, config, &fleet_stats, fleet_fi);
+  EXPECT_GT(fleet_stats.cache_saved, 0u);
+
+  FaultInjectionOptions single_fi;
+  single_fi.strategy = InjectionStrategy::kReplay;
+  single_fi.verdict_cache_path = single_cache;
+  FaultInjectionEngine single(Factory(c.target, options), spec, single_fi);
+  FailurePointTree single_tree = single.Profile();
+  FaultInjectionStats single_stats;
+  single.InjectAll(&single_tree, &single_stats);
+  EXPECT_EQ(fleet_stats.cache_saved, single_stats.cache_saved);
+
+  // Second run over the fleet-written cache: every verdict comes from it.
+  FaultInjectionOptions warm_fi;
+  warm_fi.strategy = InjectionStrategy::kReplay;
+  warm_fi.verdict_cache_path = fleet_cache;
+  FaultInjectionEngine warm(Factory(c.target, options), spec, warm_fi);
+  FailurePointTree warm_tree = warm.Profile();
+  FaultInjectionStats warm_stats;
+  warm.InjectAll(&warm_tree, &warm_stats);
+  EXPECT_EQ(warm_stats.distinct_images, 0u);
+  EXPECT_EQ(warm_stats.dedup_hits, warm_stats.injections);
+  std::remove(fleet_cache.c_str());
+  std::remove(single_cache.c_str());
+}
+
+}  // namespace
+}  // namespace mumak

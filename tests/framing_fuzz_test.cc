@@ -1,0 +1,271 @@
+// Shared fuzz-style harness for the three framed protocols: MMK1 (sandbox
+// verdicts, src/sandbox/wire.h), MJN1 (campaign journal,
+// src/observability/journal.h) and MFL1 (fleet wire, src/fleet/wire.h).
+// Every protocol reader faces bytes written by a process that may have
+// been SIGKILLed mid-write (torn tails), a child that crashed while
+// serialising (corrupt lengths/CRCs), or plain garbage. The invariants a
+// reader must uphold, uniformly:
+//   - never crash, hang, or over-allocate on any input;
+//   - never accept a frame whose bytes were altered (CRC/consistency);
+//   - decode the clean prefix of a stream whose tail is torn.
+// Mutations are deterministic (seeded LCG), so a failure reproduces.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fleet/wire.h"
+#include "src/observability/journal.h"
+#include "src/sandbox/wire.h"
+
+namespace mumak {
+namespace {
+
+// Deterministic 64-bit LCG (MMIX constants): the harness must not depend
+// on std::random_device or time.
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 11;
+  }
+  uint8_t NextByte() { return static_cast<uint8_t>(Next()); }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+// A protocol adapter: a valid multi-frame stream, the number of frames it
+// carries, and a decoder returning how many frames were accepted. The
+// decode callback must tolerate ANY byte string.
+struct ProtocolHarness {
+  const char* name;
+  std::vector<uint8_t> valid;
+  size_t frame_count;
+  std::function<size_t(const std::vector<uint8_t>&)> decode;
+};
+
+// --- MMK1: sandbox verdict frames ------------------------------------------
+
+ProtocolHarness MakeMmk1Harness() {
+  ProtocolHarness h;
+  h.name = "MMK1";
+  h.frame_count = 4;
+  for (size_t i = 0; i < h.frame_count; ++i) {
+    WireVerdict v;
+    v.status = static_cast<uint32_t>(i % 4);
+    v.signal = 0;
+    v.timed_out = (i % 2) != 0;
+    v.wall_us = 1000 + i;
+    v.digest = 0x0123456789abcdefull + i;
+    v.detail = "verdict detail #" + std::to_string(i);
+    const std::vector<uint8_t> frame = EncodeVerdict(v);
+    h.valid.insert(h.valid.end(), frame.begin(), frame.end());
+  }
+  h.decode = [](const std::vector<uint8_t>& bytes) {
+    size_t accepted = 0;
+    size_t at = 0;
+    while (at < bytes.size()) {
+      WireVerdict out;
+      size_t consumed = 0;
+      const WireDecodeStatus status =
+          DecodeVerdict(bytes.data() + at, bytes.size() - at, &out,
+                        &consumed);
+      if (status != WireDecodeStatus::kOk) {
+        break;  // torn tail / bad magic / oversized / malformed: stop
+      }
+      ++accepted;
+      at += consumed;
+    }
+    return accepted;
+  };
+  return h;
+}
+
+// --- MJN1: campaign journal files -------------------------------------------
+
+ProtocolHarness MakeMjn1Harness() {
+  ProtocolHarness h;
+  h.name = "MJN1";
+  const std::string path = testing::TempDir() + "/framing_fuzz_seed.mjn";
+  std::string error;
+  auto journal = CampaignJournal::Create(path, &error);
+  EXPECT_NE(journal, nullptr) << error;
+  journal->WriteHeader({{"target", "btree"}, {"ops", "64"}});
+  journal->WriteProfile(0xfeedface12345678ull, 9, 512);
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    journal->WriteDispatch(seq * 7, 0);
+    JournalVerdict v;
+    v.seq = seq * 7;
+    v.status = seq % 2 == 0 ? "ok" : "unrecoverable";
+    v.detail = "detail for seq " + std::to_string(seq * 7);
+    journal->WriteVerdict(v);
+  }
+  journal->WriteFooter(2, 0, 1.5, false);
+  journal->Close();
+  std::ifstream in(path, std::ios::binary);
+  h.valid.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  // 1 header + 1 profile + 4 dispatches + 4 verdicts + 1 footer.
+  h.frame_count = 11;
+  h.decode = [](const std::vector<uint8_t>& bytes) {
+    const std::string path =
+        testing::TempDir() + "/framing_fuzz_mutant.mjn";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    const JournalReplay replay = ReplayJournal(path);
+    std::remove(path.c_str());
+    if (!replay.ok) {
+      return size_t{0};
+    }
+    // Count decoded records the way the writer counted frames.
+    return static_cast<size_t>((replay.has_header ? 1 : 0) +
+                               (replay.has_profile ? 1 : 0) +
+                               replay.dispatches + replay.verdicts.size() +
+                               (replay.has_footer ? 1 : 0));
+  };
+  return h;
+}
+
+// --- MFL1: fleet wire frames ------------------------------------------------
+
+ProtocolHarness MakeMfl1Harness() {
+  ProtocolHarness h;
+  h.name = "MFL1";
+  h.frame_count = 4;
+  for (size_t i = 0; i < h.frame_count; ++i) {
+    const std::string frame = FleetFrame(
+        "{\"type\": \"verdict\", \"index\": " + std::to_string(i) +
+        ", \"seq\": " + std::to_string(100 + i) +
+        ", \"status\": \"ok\", \"detail\": \"\", \"location\": \"\"}");
+    h.valid.insert(h.valid.end(), frame.begin(), frame.end());
+  }
+  h.decode = [](const std::vector<uint8_t>& bytes) {
+    FleetFrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    size_t accepted = 0;
+    std::string payload;
+    while (decoder.Next(&payload) == FleetDecodeStatus::kOk) {
+      ++accepted;
+    }
+    return accepted;
+  };
+  return h;
+}
+
+std::vector<ProtocolHarness> AllHarnesses() {
+  std::vector<ProtocolHarness> all;
+  all.push_back(MakeMmk1Harness());
+  all.push_back(MakeMjn1Harness());
+  all.push_back(MakeMfl1Harness());
+  return all;
+}
+
+// --- The shared properties --------------------------------------------------
+
+TEST(FramingFuzz, ValidStreamDecodesEveryFrame) {
+  for (const ProtocolHarness& h : AllHarnesses()) {
+    SCOPED_TRACE(h.name);
+    EXPECT_EQ(h.decode(h.valid), h.frame_count);
+  }
+}
+
+// A SIGKILL can tear the stream at any byte: every truncation point must
+// decode cleanly to at most the full frame count, never crash, and the
+// decoded count must be monotonic in the prefix length.
+TEST(FramingFuzz, EveryTruncationDecodesACleanPrefix) {
+  for (const ProtocolHarness& h : AllHarnesses()) {
+    SCOPED_TRACE(h.name);
+    size_t previous = 0;
+    for (size_t cut = 0; cut <= h.valid.size(); ++cut) {
+      const std::vector<uint8_t> torn(h.valid.begin(),
+                                      h.valid.begin() + cut);
+      const size_t accepted = h.decode(torn);
+      EXPECT_LE(accepted, h.frame_count) << "cut at " << cut;
+      EXPECT_GE(accepted, previous) << "cut at " << cut;
+      previous = accepted;
+    }
+    EXPECT_EQ(previous, h.frame_count);
+  }
+}
+
+// Any single flipped byte must never increase the number of accepted
+// frames (CRC/consistency catches it somewhere at or before the damage).
+TEST(FramingFuzz, EverySingleByteFlipIsContained) {
+  for (const ProtocolHarness& h : AllHarnesses()) {
+    SCOPED_TRACE(h.name);
+    for (size_t at = 0; at < h.valid.size(); ++at) {
+      std::vector<uint8_t> mutant = h.valid;
+      mutant[at] ^= 0xa5;
+      const size_t accepted = h.decode(mutant);
+      EXPECT_LE(accepted, h.frame_count) << "flip at " << at;
+    }
+  }
+}
+
+// Oversized declared lengths must be rejected without allocating or
+// waiting for the phantom payload. Each protocol's length field sits right
+// after its 4-byte magic.
+TEST(FramingFuzz, OversizedLengthIsRejected) {
+  for (const ProtocolHarness& h : AllHarnesses()) {
+    SCOPED_TRACE(h.name);
+    std::vector<uint8_t> mutant = h.valid;
+    const uint32_t huge = 0x7fffffffu;
+    std::memcpy(mutant.data() + 4, &huge, sizeof(huge));
+    const size_t accepted = h.decode(mutant);
+    EXPECT_EQ(accepted, 0u);
+  }
+}
+
+// Pure garbage, random lengths: nothing may be accepted from a stream that
+// does not start with the magic, and nothing may crash.
+TEST(FramingFuzz, RandomGarbageAcceptsNothing) {
+  Lcg rng(0x5eed5eed5eed5eedull);
+  for (const ProtocolHarness& h : AllHarnesses()) {
+    SCOPED_TRACE(h.name);
+    for (int round = 0; round < 64; ++round) {
+      std::vector<uint8_t> garbage(rng.Below(256) + 1);
+      for (uint8_t& b : garbage) {
+        b = rng.NextByte();
+      }
+      // Avoid the 1-in-2^32 case where garbage opens with a real magic.
+      garbage[0] ^= 0xff;
+      EXPECT_EQ(h.decode(garbage), 0u) << "round " << round;
+    }
+  }
+}
+
+// Random multi-byte corruption splices: overwrite a random run of bytes,
+// then check containment. Covers cross-field damage single-byte flips
+// miss (length+CRC rewritten together, magic spliced mid-stream, ...).
+TEST(FramingFuzz, RandomSplicesAreContained) {
+  Lcg rng(0xf422aa11deadbeefull);
+  for (const ProtocolHarness& h : AllHarnesses()) {
+    SCOPED_TRACE(h.name);
+    for (int round = 0; round < 128; ++round) {
+      std::vector<uint8_t> mutant = h.valid;
+      const size_t start = rng.Below(mutant.size());
+      const size_t len = rng.Below(mutant.size() - start) + 1;
+      for (size_t i = 0; i < len; ++i) {
+        mutant[start + i] = rng.NextByte();
+      }
+      const size_t accepted = h.decode(mutant);
+      EXPECT_LE(accepted, h.frame_count)
+          << "round " << round << " splice [" << start << ", "
+          << start + len << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mumak

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -473,6 +474,92 @@ TEST(JournalResume, StaleFingerprintFallsBackToFullCampaign) {
   resumed.InjectAll(&resumed_tree, &resumed_stats);
   EXPECT_EQ(resumed_stats.resumed, replay.verdicts.size());
   EXPECT_EQ(resumed_stats.injections, 0u);
+}
+
+// --resume-journal composes with a warm --verdict-cache: a resumed
+// campaign whose cache already holds a verdict for every distinct crash
+// image performs ZERO oracle invocations — the journal supplies the
+// already-verdicted points, the cache supplies the rest. Cache-hit
+// findings carry dedup_of provenance the fresh reference lacks, so this
+// asserts equal bug sets, not byte-identity.
+TEST(JournalResume, ResumeComposesWithWarmVerdictCache) {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {"btree.split_unlogged"};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+
+  // Reference: uninterrupted, cacheless.
+  FaultInjectionOptions reference_options;
+  FaultInjectionEngine reference(Factory("btree", options), spec,
+                                 reference_options);
+  FailurePointTree reference_tree = reference.Profile();
+  FaultInjectionStats reference_stats;
+  const Report uninterrupted =
+      reference.InjectAll(&reference_tree, &reference_stats);
+  ASSERT_GT(uninterrupted.BugCount(), 0u);
+
+  // Fully warm the persistent cache with a complete run.
+  const std::string cache_path = TempPath("warm_resume.mvc");
+  std::remove(cache_path.c_str());
+  {
+    FaultInjectionOptions warming;
+    warming.verdict_cache_path = cache_path;
+    FaultInjectionEngine engine(Factory("btree", options), spec, warming);
+    FailurePointTree tree = engine.Profile();
+    FaultInjectionStats stats;
+    engine.InjectAll(&tree, &stats);
+    ASSERT_GT(stats.cache_saved, 0u);
+  }
+
+  // Interrupted journaled generation.
+  const std::string journal_path = TempPath("warm_resume.mjn");
+  std::string error;
+  {
+    auto journal = CampaignJournal::Create(journal_path, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    FaultInjectionOptions first;
+    first.journal = journal.get();
+    first.max_injections = 7;
+    FaultInjectionEngine engine(Factory("btree", options), spec, first);
+    FailurePointTree tree = engine.Profile();
+    FaultInjectionStats stats;
+    engine.InjectAll(&tree, &stats);
+    journal->Close();
+  }
+
+  // Resume over the warm cache: every remaining point's image verdict is
+  // already cached, so no oracle runs and no fresh image is inserted.
+  const JournalReplay replay = ReplayJournal(journal_path);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  ASSERT_FALSE(replay.verdicts.empty());
+  FaultInjectionOptions second;
+  second.resume = &replay;
+  second.verdict_cache_path = cache_path;
+  FaultInjectionEngine engine(Factory("btree", options), spec, second);
+  FailurePointTree tree = engine.Profile();
+  FaultInjectionStats stats;
+  const Report resumed = engine.InjectAll(&tree, &stats);
+
+  EXPECT_EQ(stats.resumed, replay.verdicts.size());
+  EXPECT_GT(stats.injections, 0u);
+  EXPECT_EQ(stats.distinct_images, 0u);  // zero fresh oracle verdicts
+  EXPECT_EQ(stats.dedup_hits, stats.injections);
+  EXPECT_GT(stats.cache_loaded, 0u);
+
+  // Same bugs found (details are oracle output, identical either way).
+  std::multiset<std::string> expected;
+  for (const Finding& f : uninterrupted.findings()) {
+    expected.insert(f.detail);
+  }
+  std::multiset<std::string> actual;
+  for (const Finding& f : resumed.findings()) {
+    actual.insert(f.detail);
+  }
+  EXPECT_EQ(actual, expected);
+  std::remove(cache_path.c_str());
+  std::remove(journal_path.c_str());
 }
 
 // The cooperative cancel flag stops the campaign at a check boundary.
