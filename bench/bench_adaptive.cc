@@ -1,0 +1,200 @@
+// Adaptive injection scheduler: equivalence-class pruning and budgeted
+// campaigns measured on the flush-heavy log (ISSUE acceptance: identical
+// distinct-bug sets with <= 50% of the oracle invocations, >= 2x
+// injection-phase wall clock over exhaustive at --jobs 4 on hosts where
+// the core-count gate binds, and a budget stop that dispatches at most
+// the budgeted number of checks). Emits BENCH_adaptive.json.
+//
+// The workload's redundant re-store+clwb+sfence rounds write back bytes
+// already in the image, so consecutive failure points have equal
+// cumulative changed-store counts — exactly the silent-store equivalence
+// the planner proves. Each operation's ~9-point tail collapses to one
+// representative check; image dedup is OFF in every config so the only
+// oracle skipping measured here is the planner's.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/flush_heavy_target.h"
+#include "src/core/fault_injection.h"
+
+namespace mumak {
+namespace {
+
+struct Row {
+  std::string config;
+  uint64_t failure_points = 0;
+  uint64_t checks = 0;        // oracle invocations (dispatched checks)
+  uint64_t class_pruned = 0;  // verdicts fanned out without the oracle
+  uint64_t bugs = 0;
+  bool budget_stopped = false;
+  double inject_s = 0;
+  double verdicts_per_s = 0;  // distinct verdicts delivered per second
+  std::set<std::string> bug_details;
+};
+
+Row RunOne(const std::string& config, const WorkloadSpec& spec,
+           bool prune, bool rank, uint64_t budget_checks) {
+  FaultInjectionOptions fi;
+  fi.strategy = InjectionStrategy::kReplay;
+  fi.workers = 4;
+  fi.image_dedup = false;  // isolate the planner's skipping
+  fi.prune_equiv = prune;
+  fi.rank = rank;
+  fi.budget_checks = budget_checks;
+  FaultInjectionEngine engine(
+      [] { return std::make_unique<FlushHeavyTarget>(); }, spec, fi);
+  FailurePointTree tree = engine.Profile();
+  FaultInjectionStats stats;
+  const Report report = engine.InjectAll(&tree, &stats);
+
+  Row row;
+  row.config = config;
+  row.failure_points = stats.failure_points;
+  row.checks = stats.injections;
+  row.class_pruned = stats.class_pruned;
+  row.bugs = report.BugCount();
+  row.budget_stopped = stats.budget_stopped;
+  row.inject_s = stats.elapsed_s;
+  row.verdicts_per_s =
+      stats.elapsed_s > 0
+          ? static_cast<double>(stats.injections + stats.class_pruned) /
+                stats.elapsed_s
+          : 0;
+  for (const Finding& f : report.findings()) {
+    row.bug_details.insert(f.detail);
+  }
+  return row;
+}
+
+void EmitJson(const std::vector<Row>& rows, double checks_skipped_ratio,
+              double speedup, bool reports_match, bool budget_respected,
+              unsigned host_cores, bool gate_evaluated) {
+  std::ofstream out("BENCH_adaptive.json", std::ios::trunc);
+  out << "{\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"config\": \"%s\", \"failure_points\": %llu, "
+        "\"checks\": %llu, \"class_pruned\": %llu, \"bugs\": %llu, "
+        "\"budget_stopped\": %s, \"inject_s\": %.4f, "
+        "\"verdicts_per_s\": %.1f}%s\n",
+        r.config.c_str(),
+        static_cast<unsigned long long>(r.failure_points),
+        static_cast<unsigned long long>(r.checks),
+        static_cast<unsigned long long>(r.class_pruned),
+        static_cast<unsigned long long>(r.bugs),
+        r.budget_stopped ? "true" : "false", r.inject_s, r.verdicts_per_s,
+        i + 1 < rows.size() ? "," : "");
+    out << buffer;
+  }
+  char tail[320];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"checks_skipped_ratio\": %.4f,\n"
+                "  \"speedup_jobs4\": %.2f,\n"
+                "  \"host_cores\": %u,\n"
+                "  \"speedup_gate_evaluated\": %s,\n"
+                "  \"budget_respected\": %s,\n"
+                "  \"unique_bug_reports_match\": %s\n}\n",
+                checks_skipped_ratio, speedup, host_cores,
+                gate_evaluated ? "true" : "false",
+                budget_respected ? "true" : "false",
+                reports_match ? "true" : "false");
+  out << tail;
+}
+
+}  // namespace
+}  // namespace mumak
+
+int main() {
+  using namespace mumak;
+  WorkloadSpec spec;
+  spec.operations = 360;
+  spec.key_space = 360;
+  spec.put_pct = 100;
+  spec.get_pct = 0;
+  spec.delete_pct = 0;
+
+  std::printf(
+      "=== adaptive scheduler (flush-heavy log, replay, --jobs 4) ===\n");
+  std::printf("%-12s %8s %8s %8s %6s %7s %10s %11s\n", "config", "points",
+              "checks", "pruned", "bugs", "budget", "inject(s)",
+              "verdicts/s");
+  std::vector<Row> rows;
+  auto run = [&](const std::string& config, bool prune, bool rank,
+                 uint64_t budget) {
+    const Row row = RunOne(config, spec, prune, rank, budget);
+    std::printf("%-12s %8llu %8llu %8llu %6llu %7s %10.4f %11.1f\n",
+                row.config.c_str(),
+                static_cast<unsigned long long>(row.failure_points),
+                static_cast<unsigned long long>(row.checks),
+                static_cast<unsigned long long>(row.class_pruned),
+                static_cast<unsigned long long>(row.bugs),
+                row.budget_stopped ? "stopped" : "-", row.inject_s,
+                row.verdicts_per_s);
+    std::fflush(stdout);
+    rows.push_back(row);
+    return rows.back();
+  };
+
+  const Row exhaustive = run("exhaustive", false, false, 0);
+  const Row pruned = run("pruned", true, false, 0);
+  const Row ranked = run("pruned+rank", true, true, 0);
+  // Budget at half the pruned campaign's check count, so the stop
+  // genuinely triggers mid-campaign: dispatch must halt at or under it
+  // (fanned-out classmates are free and don't count).
+  const uint64_t budget = pruned.checks / 2;
+  const Row budgeted = run("budget-half", true, false, budget);
+
+  const uint64_t pruned_total = pruned.checks + pruned.class_pruned;
+  const double skipped =
+      pruned_total > 0
+          ? static_cast<double>(pruned.class_pruned) /
+                static_cast<double>(pruned_total)
+          : 0;
+  const double speedup =
+      pruned.inject_s > 0 ? exhaustive.inject_s / pruned.inject_s : 0;
+  const bool reports_match =
+      exhaustive.bug_details == pruned.bug_details &&
+      exhaustive.bug_details == ranked.bug_details;
+  const bool budget_respected =
+      budgeted.budget_stopped && budgeted.checks <= budget;
+
+  const unsigned cores = HostCores();
+  const bool gate = SpeedupGateBinds(cores);
+  std::printf("\nchecks skipped via equivalence classes: %llu of %llu "
+              "(%.1f%%; acceptance: >= 50%%)\n",
+              static_cast<unsigned long long>(pruned.class_pruned),
+              static_cast<unsigned long long>(pruned_total),
+              100.0 * skipped);
+  std::printf("pruned vs exhaustive at --jobs 4: %.2fx wall clock "
+              "(acceptance: >= 2x%s)\n",
+              speedup, gate ? "" : "; gate waived — too few cores");
+  if (!gate) {
+    std::printf("host has %u core(s) (< %u): the --jobs 4 speedup gate "
+                "records but does not bind\n",
+                cores, kSpeedupGateMinCores);
+  }
+  std::printf("budget of %llu check(s): dispatched %llu, %s\n",
+              static_cast<unsigned long long>(budget),
+              static_cast<unsigned long long>(budgeted.checks),
+              budget_respected ? "stopped within budget"
+                               : "BUDGET OVERRUN");
+  std::printf("unique-bug reports match exhaustive vs pruned/ranked: %s\n",
+              reports_match ? "yes" : "NO — pruning changed the findings");
+  EmitJson(rows, skipped, speedup, reports_match, budget_respected, cores,
+           gate);
+  std::printf("BENCH_adaptive.json written\n");
+  return reports_match && budget_respected && skipped >= 0.5 &&
+                 (!gate || speedup >= 2.0)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,32 @@
+#include "src/analysis/seq_finding_index.h"
+
+#include <algorithm>
+
+#include "src/core/report.h"
+
+namespace mumak {
+
+bool SeqFindingIndex::AnyIn(uint64_t lo_exclusive,
+                            uint64_t hi_inclusive) const {
+  if (lo_exclusive >= hi_inclusive) {
+    return false;
+  }
+  const auto first = std::upper_bound(seqs.begin(), seqs.end(), lo_exclusive);
+  return first != seqs.end() && *first <= hi_inclusive;
+}
+
+SeqFindingIndex BuildSeqFindingIndex(const Report& report) {
+  SeqFindingIndex index;
+  for (const Finding& finding : report.findings()) {
+    if (finding.kind == FindingKind::kUnflushedStore ||
+        finding.kind == FindingKind::kTransientData) {
+      index.seqs.push_back(finding.seq);
+    }
+  }
+  std::sort(index.seqs.begin(), index.seqs.end());
+  index.seqs.erase(std::unique(index.seqs.begin(), index.seqs.end()),
+                   index.seqs.end());
+  return index;
+}
+
+}  // namespace mumak

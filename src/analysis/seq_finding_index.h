@@ -1,0 +1,39 @@
+// Seq-indexed view of trace-analysis findings, built for the adaptive
+// injection planner (src/core/injection_schedule.h): the PM bug surveys
+// show crash-consistency bugs concentrate at exactly the sites the
+// durability and transient-data detectors flag, so the planner injects
+// first at failure points whose epoch contains such a hit. The index is a
+// sorted seq list — membership of a half-open interval is two binary
+// searches, and the deterministic contents keep ranked dispatch orders
+// reproducible across runs.
+
+#ifndef MUMAK_SRC_ANALYSIS_SEQ_FINDING_INDEX_H_
+#define MUMAK_SRC_ANALYSIS_SEQ_FINDING_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mumak {
+
+class Report;
+
+struct SeqFindingIndex {
+  // Instruction counters of detector hits, ascending and deduplicated.
+  std::vector<uint64_t> seqs;
+
+  bool empty() const { return seqs.empty(); }
+
+  // True when any indexed finding falls in `(lo, hi]` — the planner's
+  // epoch-interval query.
+  bool AnyIn(uint64_t lo_exclusive, uint64_t hi_inclusive) const;
+};
+
+// Indexes the findings whose kinds localize likely crash-consistency bugs
+// to a trace position: unflushed stores (durability) and transient data.
+// Other patterns (redundant flush/fence, multi-*) flag performance or
+// ordering noise, not places where injection is likely to surface a bug.
+SeqFindingIndex BuildSeqFindingIndex(const Report& report);
+
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_ANALYSIS_SEQ_FINDING_INDEX_H_

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/injection_schedule.h"
 #include "src/core/verdict_cache.h"
 #include "src/pmem/image_digest.h"
 #include "src/pmem/replay_cursor.h"
@@ -63,6 +64,9 @@ struct InjectionMetrics {
   Counter* dedup_hits = nullptr;
   Counter* distinct_images = nullptr;
   Counter* dedup_collisions = nullptr;
+  Counter* class_pruned = nullptr;
+  Counter* rank_finding_hits = nullptr;
+  Counter* budget_stops = nullptr;
   Counter* recovery_ok = nullptr;
   Counter* recovery_unrecoverable = nullptr;
   Counter* recovery_crashed = nullptr;
@@ -82,6 +86,9 @@ struct InjectionMetrics {
     dedup_hits = registry->GetCounter("inject.image_dedup_hits");
     distinct_images = registry->GetCounter("inject.distinct_images");
     dedup_collisions = registry->GetCounter("inject.dedup_collisions");
+    class_pruned = registry->GetCounter("inject.class_pruned");
+    rank_finding_hits = registry->GetCounter("inject.rank_finding_hits");
+    budget_stops = registry->GetCounter("inject.budget_stops");
     recovery_ok = registry->GetCounter("recovery.ok");
     recovery_unrecoverable = registry->GetCounter("recovery.unrecoverable");
     recovery_crashed = registry->GetCounter("recovery.crashed");
@@ -150,6 +157,21 @@ struct InjectionMetrics {
   void CountSeekSkippedEvents(size_t events) {
     if (seek_skipped_events != nullptr && events > 0) {
       seek_skipped_events->Increment(events);
+    }
+  }
+  void CountClassPruned() {
+    if (class_pruned != nullptr) {
+      class_pruned->Increment();
+    }
+  }
+  void CountRankFindingHits(uint64_t hits) {
+    if (rank_finding_hits != nullptr && hits > 0) {
+      rank_finding_hits->Increment(hits);
+    }
+  }
+  void CountBudgetStop() {
+    if (budget_stops != nullptr) {
+      budget_stops->Increment();
     }
   }
 };
@@ -495,6 +517,21 @@ FailurePointTree FaultInjectionEngine::Profile(EventSink* trace) {
     replay_ready_ = true;
     span.AddArg("replay_trace_bytes", replay_trace_.FootprintBytes());
   }
+  // Adaptive planner inputs: per-epoch durable-state summaries over the
+  // recorded trace, one per failure point (the epoch boundaries are the
+  // sorted first-hit seqs — a superset of any later schedule, so the
+  // summaries stay valid after resume removes points).
+  epoch_summaries_.clear();
+  if ((options_.prune_equiv || options_.rank) && replay_ready_) {
+    std::vector<uint64_t> boundaries;
+    boundaries.reserve(first_seq_.size());
+    for (const auto& entry : first_seq_) {
+      boundaries.push_back(entry.second);
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+    epoch_summaries_ =
+        SummarizeEpochs(replay_trace_, profiled_pool_size_, boundaries);
+  }
   if (fingerprint.has_value()) {
     pool.hub().RemoveSink(&*fingerprint);
     trace_fingerprint_ = fingerprint->Finish(pool.size());
@@ -563,9 +600,12 @@ Report FaultInjectionEngine::InjectAll(FailurePointTree* tree,
     sandbox.emplace(factory_, image_bytes, slots, sandbox_options);
   }
   RecoverySandbox* sandbox_ptr = sandbox.has_value() ? &*sandbox : nullptr;
+  // Ranked dispatch leaves first-hit order, which the serial kInject sink
+  // cannot express (it crashes at the first unvisited point); the
+  // seq-targeted parallel path handles any order at workers == 1 too.
   Report report =
       replay ? InjectAllReplay(tree, stats, sandbox_ptr, cache)
-      : options_.workers > 1
+      : options_.workers > 1 || options_.rank
           ? InjectAllParallel(tree, stats, sandbox_ptr, cache)
           : InjectAllSerial(tree, stats, sandbox_ptr, cache);
   if (cache != nullptr) {
@@ -708,6 +748,16 @@ Report FaultInjectionEngine::InjectAllSerial(FailurePointTree* tree,
       stats->budget_exhausted = true;
       break;
     }
+    if ((options_.budget_checks > 0 &&
+         stats->injections >= options_.budget_checks) ||
+        (options_.budget_seconds > 0 &&
+         Seconds(start, std::chrono::steady_clock::now()) >
+             options_.budget_seconds)) {
+      stats->budget_exhausted = true;
+      stats->budget_stopped = true;
+      im.CountBudgetStop();
+      break;
+    }
     const auto run_start = std::chrono::steady_clock::now();
     ScopedSpan run_span(options_.tracer, "inject", "injection");
     TargetPtr target = factory_();
@@ -828,14 +878,45 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
   const auto start = std::chrono::steady_clock::now();
   // Snapshot the work list; from here on the tree is read-only (kInjectAt
   // executions only Find), so workers can share it without locking.
-  const std::vector<FailurePointTree::NodeIndex> pending =
-      tree->UnvisitedNodes();
+  std::vector<FailurePointTree::NodeIndex> pending = tree->UnvisitedNodes();
   stats->failure_points = tree->FailurePointCount();
+  if (options_.rank) {
+    // Detector-guided dispatch order: the planner ranks every node with a
+    // known first-hit seq (finding overlap, then epoch store density, then
+    // seq — see injection_schedule.h); nodes this engine never profiled
+    // keep their original order at the tail. Pruning is not applied here:
+    // re-executed images are never proven identical, only replayed ones.
+    std::vector<ReplayPoint> schedule = BuildReplaySchedule(*tree);
+    InjectionPlanOptions plan_options;
+    plan_options.rank = true;
+    plan_options.findings = options_.rank_findings;
+    const InjectionPlan plan =
+        BuildInjectionPlan(schedule, epoch_summaries_, plan_options);
+    std::unordered_map<FailurePointTree::NodeIndex, bool> planned;
+    std::vector<FailurePointTree::NodeIndex> ordered;
+    ordered.reserve(pending.size());
+    planned.reserve(plan.checks.size());
+    for (const PlannedCheck& check : plan.checks) {
+      ordered.push_back(check.point.node);
+      planned.emplace(check.point.node, true);
+    }
+    for (const FailurePointTree::NodeIndex node : pending) {
+      if (planned.find(node) == planned.end()) {
+        ordered.push_back(node);
+      }
+    }
+    pending = std::move(ordered);
+    stats->plan_finding_hits = plan.finding_hits;
+  }
 
   std::atomic<size_t> next{0};
   std::atomic<uint64_t> injections{0};
   std::atomic<uint64_t> executions{0};
   std::atomic<bool> exhausted{false};
+  std::atomic<bool> budget_stopped{false};
+  // Budget slots are reserved with fetch_add before a check runs: racing
+  // workers reading the verdict counter would overshoot --budget-checks.
+  std::atomic<uint64_t> budget_dispatched{0};
   std::mutex report_mutex;
   Report report;
   std::map<std::string, size_t> dedup;
@@ -879,6 +960,20 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
           Seconds(start, std::chrono::steady_clock::now()) >
               options_.time_budget_s) {
         exhausted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (options_.budget_seconds > 0 &&
+          Seconds(start, std::chrono::steady_clock::now()) >
+              options_.budget_seconds) {
+        exhausted.store(true, std::memory_order_relaxed);
+        budget_stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (options_.budget_checks > 0 &&
+          budget_dispatched.fetch_add(1, std::memory_order_relaxed) >=
+              options_.budget_checks) {
+        exhausted.store(true, std::memory_order_relaxed);
+        budget_stopped.store(true, std::memory_order_relaxed);
         return;
       }
       const FailurePointTree::NodeIndex assigned = pending[index];
@@ -1018,6 +1113,11 @@ Report FaultInjectionEngine::InjectAllParallel(FailurePointTree* tree,
   stats->injections = injections.load();
   stats->executions += executions.load();
   stats->budget_exhausted = exhausted.load();
+  stats->budget_stopped = budget_stopped.load();
+  if (stats->budget_stopped) {
+    im.CountBudgetStop();
+  }
+  im.CountRankFindingHits(stats->plan_finding_hits);
   stats->bugs = report.BugCount();
   stats->tree_bytes = tree->FootprintBytes();
   stats->elapsed_s =
@@ -1033,18 +1133,50 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   // Injection schedule: every unvisited failure point at its first
   // profiled occurrence, in instruction-counter order — the same crash
   // sequence the serial re-execution loop produces.
-  const std::vector<ReplayPoint> points = BuildReplaySchedule(*tree);
+  const std::vector<ReplayPoint> schedule = BuildReplaySchedule(*tree);
   stats->failure_points = tree->FailurePointCount();
   stats->replay_trace_bytes = replay_trace_.FootprintBytes();
 
+  // Adaptive plan (src/core/injection_schedule.h): with the planner off
+  // this is the identity — one check per schedule point, seq order, no
+  // classmates — so the paths below behave exactly as before. With
+  // --prune-equiv, classes of provably image-identical points collapse to
+  // their representative (classmates get the verdict fanned out in
+  // record_outcome); with --rank, checks leave seq order for the ranked
+  // dispatch branch below.
+  InjectionPlanOptions plan_options;
+  plan_options.prune_equiv = options_.prune_equiv;
+  plan_options.rank = options_.rank;
+  plan_options.findings = options_.rank_findings;
+  InjectionPlan plan =
+      BuildInjectionPlan(schedule, epoch_summaries_, plan_options);
+  std::vector<ReplayPoint> points;
+  std::vector<std::vector<ReplayPoint>> classmates;
+  points.reserve(plan.checks.size());
+  classmates.reserve(plan.checks.size());
+  for (PlannedCheck& check : plan.checks) {
+    points.push_back(check.point);
+    classmates.push_back(std::move(check.classmates));
+  }
+  stats->plan_finding_hits = plan.finding_hits;
+
   std::atomic<uint64_t> injections{0};
+  std::atomic<uint64_t> class_pruned{0};
   std::atomic<bool> exhausted{false};
+  std::atomic<bool> budget_stopped{false};
+  // --budget-checks is gated on *dispatches*, not landed verdicts: the
+  // streaming producers run far ahead of the oracles, so counting
+  // verdicts would overshoot the budget by the pipeline depth.
+  std::atomic<uint64_t> budget_dispatched{0};
   std::mutex report_mutex;
   Report report;
   std::map<std::string, size_t> dedup;
   InjectionMetrics im(options_.metrics);
+  im.CountRankFindingHits(plan.finding_hits);
   if (options_.progress != nullptr) {
-    options_.progress->BeginPhase("inject", points.size(),
+    // Classmates advance progress when their representative's verdict fans
+    // out, so the total is the full schedule, not just the checks.
+    options_.progress->BeginPhase("inject", schedule.size(),
                                   options_.time_budget_s);
   }
 
@@ -1127,6 +1259,50 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         im.CountDeduplicated();
       }
     }
+    // Equivalence-class fan-out (--prune-equiv): every classmate was
+    // proven image-identical to this representative at plan time, so the
+    // verdict is theirs too — same status/detail/evidence, `pruned_by`
+    // provenance, no oracle run. The representative has the lowest seq in
+    // its (seq-contiguous) class and its verdict lands first, so journal
+    // order stays seq-ascending and report-dedup winners — hence report
+    // bytes — match the exhaustive run. Classmates belong to exactly one
+    // representative, so the visited flags stay single-writer.
+    for (const ReplayPoint& mate : classmates[i]) {
+      tree->MarkVisited(mate.node);
+      class_pruned.fetch_add(1, std::memory_order_relaxed);
+      im.CountClassPruned();
+      if (options_.journal != nullptr) {
+        JournalVerdict jv;
+        jv.seq = mate.seq;
+        jv.worker = worker_index;
+        jv.status = std::string(RecoveryStatusName(outcome.result.status));
+        jv.detail = outcome.result.detail;
+        if (!outcome.result.ok()) {
+          jv.location = tree->DescribePath(mate.node);
+        }
+        jv.signal_name = outcome.signal_name;
+        jv.timed_out = outcome.timed_out;
+        jv.wall_us = outcome.wall_us;
+        jv.pruned_by = PrunedByProvenance(points[i].seq);
+        options_.journal->WriteVerdict(jv);
+      }
+      if (!outcome.result.ok()) {
+        Finding finding = MakeOracleFinding(outcome);
+        finding.location = tree->DescribePath(mate.node);
+        finding.seq = mate.seq;
+        finding.pruned_by = PrunedByProvenance(points[i].seq);
+        std::lock_guard<std::mutex> lock(report_mutex);
+        if (dedup.find(outcome.result.detail) == dedup.end()) {
+          dedup.emplace(outcome.result.detail, report.findings().size());
+          report.Add(std::move(finding));
+        } else {
+          im.CountDeduplicated();
+        }
+      }
+      if (options_.progress != nullptr) {
+        options_.progress->Advance();
+      }
+    }
   };
   // Cache-hit fast path: the point is injected (visited, counted) but no
   // oracle runs and no slot/queue capacity is consumed.
@@ -1187,12 +1363,32 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
     CommitProbe(cache, im, probe, outcome, points[i].seq);
   };
   auto over_budget = [&] {
-    return injections.load(std::memory_order_relaxed) >=
-               options_.max_injections ||
-           (options_.cancel != nullptr &&
-            options_.cancel->load(std::memory_order_relaxed)) ||
-           Seconds(start, std::chrono::steady_clock::now()) >
-               options_.time_budget_s;
+    if (injections.load(std::memory_order_relaxed) >=
+            options_.max_injections ||
+        (options_.cancel != nullptr &&
+         options_.cancel->load(std::memory_order_relaxed)) ||
+        Seconds(start, std::chrono::steady_clock::now()) >
+            options_.time_budget_s) {
+      return true;
+    }
+    // --budget-checks / --budget-seconds: same stop, but flagged so the
+    // journal footer can say "budget-exhausted" (vs ^C or --max-*).
+    if ((options_.budget_checks > 0 &&
+         budget_dispatched.load(std::memory_order_relaxed) >=
+             options_.budget_checks) ||
+        (options_.budget_seconds > 0 &&
+         Seconds(start, std::chrono::steady_clock::now()) >
+             options_.budget_seconds)) {
+      budget_stopped.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+  // One reservation per point committed to a verdict (dispatched, cache
+  // hit, or deferred — deferred points are NOT re-counted by the drain
+  // loop, which only re-reads the gate).
+  auto reserve_check = [&] {
+    budget_dispatched.fetch_add(1, std::memory_order_relaxed);
   };
 
   // In the parallel paths a duplicate of an image whose check is still in
@@ -1256,8 +1452,12 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   // Checkpoints captured during the streaming pass below; the deferred
   // resolver seeks to the nearest one instead of replaying from zero. Only
   // worth the image copies when dedup can defer points at all.
-  ReplaySeekIndex seek_index(&replay_trace_,
-                             cache != nullptr ? options_.seek_checkpoints : 0);
+  // Ranked dispatch also seeks (every check starts from a checkpoint), so
+  // the index is kept even without dedup in that mode.
+  ReplaySeekIndex seek_index(
+      &replay_trace_, cache != nullptr || !plan.seq_ordered
+                          ? options_.seek_checkpoints
+                          : 0);
   auto resolve_deferred = [&] {
     if (pending.empty()) {
       return;
@@ -1325,7 +1525,51 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
   // any injection path.
   ReplayCursor cursor(replay_trace_, profiled_pool_size_,
                       /*track_digest=*/cache != nullptr);
-  if (thread_count <= 1) {
+  if (!plan.seq_ordered) {
+    // Ranked dispatch (--rank): checks leave seq order, which the single
+    // streaming pass the paths below share cannot feed (the cursor only
+    // advances forward). Instead one capture prepass walks the trace once
+    // to populate the seek index — the same O(trace length) cost as the
+    // streaming pass — and every check then synthesizes its image from the
+    // nearest checkpoint. This trades the pipelined oracle overlap for
+    // highest-expected-yield ordering: the point of ranking is budgeted
+    // campaigns, where which checks run before the stop matters more than
+    // aggregate throughput.
+    replay_resumed_up_to(~0ull);
+    {
+      ReplayCursor scout(replay_trace_, profiled_pool_size_,
+                         /*track_digest=*/cache != nullptr);
+      for (const ReplayPoint& point : schedule) {
+        scout.AdvanceTo(point.seq);
+        seek_index.MaybeCapture(scout);
+      }
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (over_budget()) {
+        exhausted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      reserve_check();
+      size_t skipped = 0;
+      std::unique_ptr<ReplayCursor> synth =
+          seek_index.SeekCursor(points[i].seq, profiled_pool_size_,
+                                /*track_digest=*/cache != nullptr, &skipped);
+      im.CountSeekSkippedEvents(skipped);
+      const std::vector<uint8_t>& image = synth->AdvanceTo(points[i].seq);
+      DedupProbe probe = ProbeCache(cache, im, image.data(), image.size(),
+                                    [&] { return synth->Digest(); });
+      if (probe.hit) {
+        record_hit(0, i, probe);
+        continue;
+      }
+      std::vector<uint8_t> owned;
+      if (sandbox == nullptr) {
+        owned = image;  // PmPool::FromImage takes ownership
+      }
+      process_point(0, i, image.data(), image.size(), std::move(owned),
+                    std::move(probe));
+    }
+  } else if (thread_count <= 1) {
     // Inline: seq-ascending processing makes the report ordering (and
     // dedup winners) identical to the serial re-execution loop. Sandboxed
     // checks read the cursor's image in place (fork-per-check children via
@@ -1336,6 +1580,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         exhausted.store(true, std::memory_order_relaxed);
         break;
       }
+      reserve_check();
       // Interleave resumed verdicts in seq order: together with the
       // seq-ascending fresh processing this reproduces the uninterrupted
       // report byte for byte.
@@ -1412,6 +1657,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         exhausted.store(true, std::memory_order_relaxed);
         break;
       }
+      reserve_check();
       // Probe the cache before claiming a slot: a hit dispatches nothing,
       // so it neither blocks on collect_oldest() nor occupies a lane.
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
@@ -1504,6 +1750,7 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
         exhausted.store(true, std::memory_order_relaxed);
         break;
       }
+      reserve_check();
       const std::vector<uint8_t>& image = cursor.AdvanceTo(points[i].seq);
       seek_index.MaybeCapture(cursor);
       // Probe at the producer: a hit never snapshots the image or touches
@@ -1545,7 +1792,12 @@ Report FaultInjectionEngine::InjectAllReplay(FailurePointTree* tree,
 
   stats->injections = injections.load();
   stats->replayed = injections.load();
+  stats->class_pruned = class_pruned.load();
   stats->budget_exhausted = exhausted.load();
+  stats->budget_stopped = budget_stopped.load();
+  if (stats->budget_stopped) {
+    im.CountBudgetStop();
+  }
   stats->bugs = report.BugCount();
   stats->tree_bytes = tree->FootprintBytes();
   stats->elapsed_s = Seconds(start, std::chrono::steady_clock::now());

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/analysis/seq_finding_index.h"
 #include "src/core/failure_point_tree.h"
 #include "src/core/report.h"
 #include "src/instrument/event_hub.h"
@@ -24,6 +25,7 @@
 #include "src/observability/span_tracer.h"
 #include "src/core/verdict_cache.h"
 #include "src/pmem/pm_pool.h"
+#include "src/pmem/replay_cursor.h"
 #include "src/sandbox/recovery_sandbox.h"
 #include "src/targets/target.h"
 #include "src/workload/workload.h"
@@ -199,6 +201,35 @@ struct FaultInjectionOptions {
   // budget_exhausted, so the caller can still flush a clean journal
   // footer and a valid partial report.
   const std::atomic<bool>* cancel = nullptr;
+  // -- Adaptive injection scheduling (src/core/injection_schedule.h) -------
+  // Equivalence-class pruning (--prune-equiv): partition the replay
+  // schedule into classes of failure points whose graceful crash images
+  // are provably byte-identical (no durable-state change between them —
+  // every intervening store re-wrote bytes the image already held), check
+  // only each class representative, and fan its verdict out to classmates
+  // with `pruned_by` provenance. Requires kReplay (the proof consumes the
+  // recorded store payloads).
+  bool prune_equiv = false;
+  // Detector-guided ranking (--rank): dispatch checks in descending
+  // expected-yield order — failure points whose epoch overlaps a trace-
+  // analysis durability/transient-data finding first, then by epoch store
+  // density — so budgeted campaigns spend their checks where bugs are
+  // likeliest. Needs `rank_findings` for the finding signal; degrades to
+  // store-density + seq order without it.
+  bool rank = false;
+  // Per-seq trace-analysis finding index feeding the ranking signal.
+  // Borrowed; must outlive InjectAll. The pointee may be filled after
+  // engine construction (the analysis phase finishes before injection
+  // starts when ranking is on).
+  const SeqFindingIndex* rank_findings = nullptr;
+  // Hard campaign budgets (0 = unlimited): stop dispatching once this many
+  // checks ran / this much wall time elapsed in the injection phase. The
+  // journal prefix stays valid and --resume-journal completes the
+  // remainder. Distinct from time_budget_s/max_injections only in that a
+  // budget stop is surfaced as budget_stopped + a "budget-exhausted"
+  // journal footer reason.
+  uint64_t budget_checks = 0;
+  double budget_seconds = 0;
 };
 
 // One entry of the replay injection schedule: an unvisited failure point at
@@ -233,6 +264,13 @@ struct FaultInjectionStats {
   // Footprint of the recorded event stream + store payloads held for
   // replay; 0 under kReExecute (the memory cost of the strategy).
   size_t replay_trace_bytes = 0;
+  // Adaptive scheduling accounting (zero when the planner is off).
+  uint64_t class_pruned = 0;      // verdicts fanned out to class members
+  uint64_t plan_finding_hits = 0; // planned checks overlapping a finding
+  // True when --budget-checks / --budget-seconds stopped dispatch early
+  // (implies budget_exhausted; the journal footer carries
+  // "budget-exhausted" so inspect/resume can tell a budget stop from ^C).
+  bool budget_stopped = false;
 };
 
 class FaultInjectionEngine {
@@ -299,6 +337,13 @@ class FaultInjectionEngine {
   const std::vector<JournalVerdict>& resume_schedule() const {
     return resume_schedule_;
   }
+  // Per-epoch durable-state summaries over the profiled trace, one per
+  // failure point in seq order (SummarizeEpochs). Computed by Profile()
+  // when the planner needs them (prune_equiv or rank, under kReplay);
+  // empty otherwise. The fleet scheduler reads these to build its plan.
+  const std::vector<EpochSummary>& epoch_summaries() const {
+    return epoch_summaries_;
+  }
   const FaultInjectionOptions& options() const { return options_; }
   const TargetFactory& factory() const { return factory_; }
 
@@ -322,6 +367,7 @@ class FaultInjectionEngine {
   bool replay_ready_ = false;
   uint64_t trace_fingerprint_ = 0;
   bool fingerprint_ready_ = false;
+  std::vector<EpochSummary> epoch_summaries_;
   // Verdicts carried over from a resumed journal (fingerprint-validated),
   // sorted by seq and deduplicated; the injection paths replay them into
   // the report interleaved with fresh outcomes.

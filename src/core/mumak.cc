@@ -180,6 +180,23 @@ MumakResult Mumak::Analyze() {
   if (options_.fleet.workers > 1) {
     fi_options.strategy = InjectionStrategy::kReplay;
   }
+  // Equivalence-class pruning proves image identity from the recorded
+  // store payloads, which only the replay strategy captures.
+  if (options_.prune_equiv) {
+    fi_options.strategy = InjectionStrategy::kReplay;
+  }
+  fi_options.prune_equiv = options_.prune_equiv;
+  fi_options.rank = options_.rank;
+  fi_options.budget_checks = options_.budget_checks;
+  fi_options.budget_seconds = options_.budget_seconds;
+  // Ranking reads the trace-analysis findings through this index; the
+  // engine copies its options at construction, so the (empty for now)
+  // pointee is wired up front and filled right before injection, after
+  // the analysis thread lands.
+  SeqFindingIndex rank_findings;
+  if (options_.rank && options_.trace_analysis) {
+    fi_options.rank_findings = &rank_findings;
+  }
   fi_options.image_dedup = options_.image_dedup;
   fi_options.verify_dedup = options_.verify_dedup;
   fi_options.verdict_cache_path = options_.verdict_cache_path;
@@ -262,6 +279,14 @@ MumakResult Mumak::Analyze() {
   }
   try {
     if (options_.fault_injection) {
+      // Detector-guided ranking consumes the analysis findings, so the
+      // otherwise-concurrent analysis must finish before dispatch order is
+      // decided. This serialises the two phases — the price of ranking;
+      // pruning alone keeps them overlapped.
+      if (options_.rank && analysis_thread.joinable()) {
+        analysis_thread.join();
+        rank_findings = BuildSeqFindingIndex(trace_report);
+      }
       ScopedSpan span(options_.tracer, "inject");
       journal_phase("inject", true);
       Report injection_report =

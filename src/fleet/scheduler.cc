@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/injection_schedule.h"
 #include "src/fleet/messages.h"
 #include "src/fleet/wire.h"
 #include "src/fleet/worker.h"
@@ -134,7 +135,30 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
   }
 
   engine->ApplyResume(tree, stats);
-  const std::vector<ReplayPoint> schedule = engine->BuildReplaySchedule(*tree);
+  const std::vector<ReplayPoint> full_schedule =
+      engine->BuildReplaySchedule(*tree);
+
+  // Adaptive plan: only class representatives are sharded out; classmates
+  // get the representative's verdict fanned out in record_verdict below.
+  // Ranking never reorders the schedule here — shards must stay
+  // seq-contiguous so each worker's cursor advances monotonically — it
+  // reorders the shard *queue* instead (highest expected yield first).
+  InjectionPlanOptions plan_options;
+  plan_options.prune_equiv = opts.prune_equiv;
+  plan_options.rank = false;
+  plan_options.findings = opts.rank_findings;
+  InjectionPlan plan = BuildInjectionPlan(
+      full_schedule, engine->epoch_summaries(), plan_options);
+  std::vector<ReplayPoint> schedule;
+  std::vector<std::vector<ReplayPoint>> classmates;
+  schedule.reserve(plan.checks.size());
+  classmates.reserve(plan.checks.size());
+  for (PlannedCheck& check : plan.checks) {
+    schedule.push_back(check.point);
+    classmates.push_back(std::move(check.classmates));
+  }
+  stats->plan_finding_hits = plan.finding_hits;
+  count("inject.rank_finding_hits", plan.finding_hits);
 
   const uint32_t workers = static_cast<uint32_t>(std::max<uint64_t>(
       1, std::min<uint64_t>(config.workers,
@@ -149,7 +173,10 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
   gauge("inject.workers", workers);
   gauge("inject.replay_trace_bytes", stats->replay_trace_bytes);
   if (opts.progress != nullptr) {
-    opts.progress->BeginPhase("inject", schedule.size(), opts.time_budget_s);
+    // Classmates advance when their representative's verdict fans out, so
+    // the total is the full schedule, not just the sharded checks.
+    opts.progress->BeginPhase("inject", full_schedule.size(),
+                              opts.time_budget_s);
   }
 
   // Epoch-contiguous shards: each worker's cursor advances monotonically
@@ -174,6 +201,45 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     for (const Range& shard : queue) {
       scout.AdvanceTo(schedule[shard.begin].seq);
       seek_index.MaybeCapture(scout);
+    }
+  }
+
+  // Detector-guided shard priority (--rank): dispatch shards in descending
+  // expected-yield order — finding overlaps first, then epoch store
+  // density, then position. Runs after the scout pass (which needs the
+  // queue in seq order for its monotone cursor).
+  if (opts.rank && queue.size() > 1) {
+    struct ShardKey {
+      uint64_t hits = 0;
+      uint64_t stores = 0;
+    };
+    auto key_of = [&](const Range& range) {
+      ShardKey key;
+      for (size_t i = range.begin; i < range.end; ++i) {
+        key.hits += plan.checks[i].finding_hit ? 1 : 0;
+        key.stores += plan.checks[i].span_stores;
+      }
+      return key;
+    };
+    std::vector<std::pair<Range, ShardKey>> keyed;
+    keyed.reserve(queue.size());
+    for (const Range& range : queue) {
+      keyed.push_back({range, key_of(range)});
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const std::pair<Range, ShardKey>& a,
+                        const std::pair<Range, ShardKey>& b) {
+                       if (a.second.hits != b.second.hits) {
+                         return a.second.hits > b.second.hits;
+                       }
+                       if (a.second.stores != b.second.stores) {
+                         return a.second.stores > b.second.stores;
+                       }
+                       return a.first.begin < b.first.begin;
+                     });
+    queue.clear();
+    for (const std::pair<Range, ShardKey>& entry : keyed) {
+      queue.push_back(entry.first);
     }
   }
 
@@ -218,6 +284,31 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
       opts.progress->Advance();
     }
     verdicts[index] = std::move(v);
+    // Equivalence-class fan-out (--prune-equiv): classmates were proven
+    // image-identical to this representative, so its verdict is theirs —
+    // journaled with `pruned_by` provenance, never sharded, never merged
+    // (their detail is identical to the representative's, which always
+    // wins report dedup as the lower seq).
+    const JournalVerdict& representative = verdicts[index];
+    for (const ReplayPoint& mate : classmates[index]) {
+      tree->MarkVisited(mate.node);
+      ++stats->class_pruned;
+      count("inject.class_pruned");
+      if (opts.journal != nullptr) {
+        JournalVerdict jv = representative;
+        jv.seq = mate.seq;
+        jv.dedup_of.clear();
+        jv.from_cache = false;
+        jv.pruned_by = PrunedByProvenance(representative.seq);
+        jv.location = representative.status != "ok"
+                          ? tree->DescribePath(mate.node)
+                          : std::string();
+        opts.journal->WriteVerdict(jv);
+      }
+      if (opts.progress != nullptr) {
+        opts.progress->Advance();
+      }
+    }
   };
 
   std::vector<WorkerState> fleet(workers);
@@ -409,11 +500,23 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     ++alive_count;
   }
 
+  bool budget_stopped = false;
   auto over_budget = [&] {
-    return received >= opts.max_injections ||
-           (opts.cancel != nullptr &&
-            opts.cancel->load(std::memory_order_relaxed)) ||
-           Seconds(start, Clock::now()) > opts.time_budget_s;
+    if (received >= opts.max_injections ||
+        (opts.cancel != nullptr &&
+         opts.cancel->load(std::memory_order_relaxed)) ||
+        Seconds(start, Clock::now()) > opts.time_budget_s) {
+      return true;
+    }
+    // --budget-checks counts dispatched checks (class representatives);
+    // fanned-out classmates and resumed verdicts are free.
+    if ((opts.budget_checks > 0 && received >= opts.budget_checks) ||
+        (opts.budget_seconds > 0 &&
+         Seconds(start, Clock::now()) > opts.budget_seconds)) {
+      budget_stopped = true;
+      return true;
+    }
+    return false;
   };
   const auto heartbeat_timeout = std::chrono::milliseconds(
       std::max<uint32_t>(config.heartbeat_timeout_ms, 100));
@@ -579,6 +682,10 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
   stats->injections = received;
   stats->replayed = received;
   stats->budget_exhausted = exhausted;
+  stats->budget_stopped = budget_stopped;
+  if (budget_stopped) {
+    count("inject.budget_stops");
+  }
   stats->bugs = report.BugCount();
   stats->tree_bytes = tree->FootprintBytes();
   uint64_t collisions = session != nullptr ? session->collisions() : 0;

@@ -361,6 +361,9 @@ void CampaignJournal::WriteVerdict(const JournalVerdict& verdict) {
   if (!verdict.dedup_of.empty()) {
     record.Str("dedup_of", verdict.dedup_of);
   }
+  if (!verdict.pruned_by.empty()) {
+    record.Str("pruned_by", verdict.pruned_by);
+  }
   if (verdict.from_cache) {
     record.Bool("from_cache", true);
   }
@@ -388,15 +391,21 @@ void CampaignJournal::WriteResumeMarker(uint64_t resumed_verdicts) {
 }
 
 void CampaignJournal::WriteFooter(uint64_t bugs, uint64_t warnings,
-                                  double elapsed_s, bool interrupted) {
-  Append(JsonObject()
-             .Str("type", "footer")
-             .U64("t_us", NowMicros())
-             .U64("bugs", bugs)
-             .U64("warnings", warnings)
-             .Double("elapsed_s", elapsed_s)
-             .Bool("interrupted", interrupted)
-             .Finish());
+                                  double elapsed_s, bool interrupted,
+                                  const std::string& reason) {
+  JsonObject record;
+  record.Str("type", "footer")
+      .U64("t_us", NowMicros())
+      .U64("bugs", bugs)
+      .U64("warnings", warnings)
+      .Double("elapsed_s", elapsed_s)
+      .Bool("interrupted", interrupted);
+  // "budget-exhausted" when a --budget-* limit stopped dispatch; readers
+  // that predate the field ignore it (MJN1 forward compatibility).
+  if (!reason.empty()) {
+    record.Str("reason", reason);
+  }
+  Append(record.Finish());
 }
 
 // --- reader ----------------------------------------------------------------
@@ -418,6 +427,7 @@ Finding JournalReplay::FindingFromVerdict(const JournalVerdict& verdict) {
   finding.timed_out = verdict.timed_out;
   finding.recovery_wall_us = verdict.wall_us;
   finding.dedup_of = verdict.dedup_of;
+  finding.pruned_by = verdict.pruned_by;
   return finding;
 }
 
@@ -557,6 +567,7 @@ JournalReplay ReplayJournal(const std::string& path) {
       verdict.timed_out = record.BoolOr("timed_out", false);
       verdict.wall_us = record.U64("wall_us");
       verdict.dedup_of = record.Str("dedup_of");
+      verdict.pruned_by = record.Str("pruned_by");
       verdict.from_cache = record.BoolOr("from_cache", false);
       out.verdicts.push_back(std::move(verdict));
     } else if (type == "finding") {
@@ -591,6 +602,7 @@ JournalReplay ReplayJournal(const std::string& path) {
       out.footer_elapsed_s = record.Num("elapsed_s");
       out.footer_bugs = record.U64("bugs");
       out.footer_warnings = record.U64("warnings");
+      out.footer_reason = record.Str("reason");
     }
     // Unknown types: ignored (forward compatibility within MJN1).
   }

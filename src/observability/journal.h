@@ -65,6 +65,7 @@ struct JournalVerdict {
   bool timed_out = false;
   uint64_t wall_us = 0;
   std::string dedup_of;     // image-dedup provenance, empty for fresh runs
+  std::string pruned_by;    // equivalence-class provenance (--prune-equiv)
   bool from_cache = false;  // verdict came from the MVC1 cache / image dedup
   uint32_t worker = 0;      // worker lane (0 = serial / pipeline thread)
 };
@@ -99,6 +100,10 @@ struct JournalReplay {
   double footer_elapsed_s = 0;
   uint64_t footer_bugs = 0;
   uint64_t footer_warnings = 0;
+  // Why the campaign stopped early, when it did ("budget-exhausted" for
+  // --budget-checks / --budget-seconds stops); empty for complete runs and
+  // for journals written before the field existed.
+  std::string footer_reason;
 
   // Finding for one non-ok verdict; shared with the engine's resume path so
   // replayed findings are byte-identical to freshly produced ones.
@@ -150,8 +155,10 @@ class CampaignJournal {
   void WriteVerdict(const JournalVerdict& verdict);
   void WriteFinding(const Finding& finding);
   void WriteResumeMarker(uint64_t resumed_verdicts);
+  // `reason` (optional) records why the campaign stopped early, e.g.
+  // "budget-exhausted"; empty is elided from the record.
   void WriteFooter(uint64_t bugs, uint64_t warnings, double elapsed_s,
-                   bool interrupted);
+                   bool interrupted, const std::string& reason = "");
 
   // Starts periodic metrics records ({counters, gauges, histograms} plus
   // RSS and journal queue depth) every `interval_ms`. Call at most once,

@@ -123,4 +123,41 @@ ImageDigest ReplayCursor::Digest() const {
   return digest_;
 }
 
+std::vector<EpochSummary> SummarizeEpochs(
+    const RecordedTrace& trace, size_t pool_size,
+    const std::vector<uint64_t>& boundaries) {
+  std::vector<EpochSummary> summaries;
+  summaries.reserve(boundaries.size());
+  if (boundaries.empty()) {
+    return summaries;
+  }
+  std::vector<uint8_t> image(pool_size, 0);
+  const PmEvent* const events = trace.events.data();
+  const size_t count = trace.events.size();
+  const std::vector<uint64_t>& offset_index = trace.payloads.offsets();
+  const size_t indexed = offset_index.size();
+  const uint64_t* const offsets = offset_index.data();
+  const uint8_t* const payload_bytes = trace.payloads.bytes().data();
+  size_t i = 0;
+  for (const uint64_t boundary : boundaries) {
+    EpochSummary summary;
+    summary.seq = boundary;
+    while (i < count && events[i].seq <= boundary) {
+      if (i < indexed && offsets[i] != PayloadStore::kNone) {
+        const PmEvent& ev = events[i];
+        assert(ev.offset + ev.size <= image.size());
+        ++summary.stores;
+        const uint8_t* const bytes = payload_bytes + offsets[i];
+        if (std::memcmp(image.data() + ev.offset, bytes, ev.size) != 0) {
+          ++summary.changed_stores;
+          std::memcpy(image.data() + ev.offset, bytes, ev.size);
+        }
+      }
+      ++i;
+    }
+    summaries.push_back(summary);
+  }
+  return summaries;
+}
+
 }  // namespace mumak

@@ -104,6 +104,29 @@ class ReplayCursor {
   mutable uint32_t epoch_ = 1;
 };
 
+// Durable-state summary of one injection epoch: the half-open event span
+// `(previous boundary seq, seq]`. Two failure points are image-identical —
+// and the later one's synthesis + oracle run provably redundant — exactly
+// when every store between them was *silent* (wrote bytes equal to what the
+// graceful image already held), because AdvanceTo's image is a pure
+// function of the applied payloads. `changed_stores` counts the non-silent
+// ones; a run of epochs with `changed_stores == 0` forms one equivalence
+// class rooted at the last boundary that changed state.
+struct EpochSummary {
+  uint64_t seq = 0;             // boundary: the epoch's failure-point seq
+  uint64_t stores = 0;          // payload-carrying events in the epoch
+  uint64_t changed_stores = 0;  // stores that altered the graceful image
+};
+
+// Streams `trace` once against a zeroed `pool_size` image (the same
+// semantics as ReplayCursor::AdvanceTo) and summarises each epoch delimited
+// by `boundaries` (ascending failure-point seqs — the injection schedule).
+// Events past the last boundary are not summarised; no failure point can
+// observe them. O(trace length) time, O(pool) memory.
+std::vector<EpochSummary> SummarizeEpochs(
+    const RecordedTrace& trace, size_t pool_size,
+    const std::vector<uint64_t>& boundaries);
+
 }  // namespace mumak
 
 #endif  // MUMAK_SRC_PMEM_REPLAY_CURSOR_H_

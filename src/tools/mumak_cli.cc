@@ -108,6 +108,23 @@ void PrintUsage() {
       "                        synthesizes crash images from the profiled\n"
       "                        trace (default reexec)\n"
       "\n"
+      "adaptive injection:\n"
+      "  --prune-equiv         equivalence-class pruning: failure points\n"
+      "                        proven to share a crash image (no durable-\n"
+      "                        state change between them) are checked once\n"
+      "                        and the verdict fanned out with pruned-by\n"
+      "                        provenance; forces --strategy replay; the\n"
+      "                        report keeps the same distinct bugs\n"
+      "  --rank                detector-guided dispatch order: failure\n"
+      "                        points overlapping trace-analysis durability\n"
+      "                        findings first, then by epoch store density\n"
+      "                        (joins the analysis before injection starts)\n"
+      "  --budget-checks <n>   stop dispatching after n checks; the journal\n"
+      "                        stays a valid prefix and --resume-journal\n"
+      "                        completes the campaign\n"
+      "  --budget-seconds <s>  stop dispatching after s seconds of the\n"
+      "                        injection phase (same resume semantics)\n"
+      "\n"
       "image deduplication:\n"
       "  --verdict-cache <file>\n"
       "                        persist the content-addressed verdict cache\n"
@@ -545,6 +562,32 @@ int main(int argc, char** argv) {
                      strategy.c_str());
         return 2;
       }
+    } else if (arg == "--prune-equiv") {
+      mumak_options.prune_equiv = true;
+    } else if (arg == "--rank") {
+      mumak_options.rank = true;
+    } else if (arg == "--budget-checks") {
+      uint64_t n = 0;
+      const char* value = next("--budget-checks");
+      if (!ParseUint(value, &n) || n == 0) {
+        std::fprintf(stderr,
+                     "mumak: bad --budget-checks value '%s' (expected a "
+                     "positive integer)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.budget_checks = n;
+    } else if (arg == "--budget-seconds") {
+      uint64_t seconds = 0;
+      const char* value = next("--budget-seconds");
+      if (!ParseUint(value, &seconds) || seconds == 0) {
+        std::fprintf(stderr,
+                     "mumak: bad --budget-seconds value '%s' (expected "
+                     "seconds as a positive integer)\n",
+                     value);
+        return 2;
+      }
+      mumak_options.budget_seconds = static_cast<double>(seconds);
     } else if (arg == "--fleet-workers") {
       uint64_t n = 0;
       const char* value = next("--fleet-workers");
@@ -664,6 +707,17 @@ int main(int argc, char** argv) {
                    "mumak: --fleet-workers requires the replay strategy "
                    "(crash images are synthesized from the profiled trace; "
                    "re-execution cannot shard across processes)\n");
+      return 2;
+    }
+    mumak_options.injection_strategy = InjectionStrategy::kReplay;
+  }
+  if (mumak_options.prune_equiv) {
+    if (strategy_explicit &&
+        mumak_options.injection_strategy == InjectionStrategy::kReExecute) {
+      std::fprintf(stderr,
+                   "mumak: --prune-equiv requires the replay strategy (the "
+                   "equivalence proof consumes the recorded store payloads; "
+                   "re-executed images are never proven identical)\n");
       return 2;
     }
     mumak_options.injection_strategy = InjectionStrategy::kReplay;
@@ -791,6 +845,8 @@ int main(int argc, char** argv) {
             ? "replay"
             : "reexec";
     header["jobs"] = std::to_string(mumak_options.injection_workers);
+    header["prune_equiv"] = mumak_options.prune_equiv ? "1" : "0";
+    header["rank"] = mumak_options.rank ? "1" : "0";
     header["analysis_jobs"] = std::to_string(mumak_options.analysis_jobs);
     header["eadr"] = mumak_options.eadr_mode ? "1" : "0";
     header["sandbox"] =
@@ -819,11 +875,24 @@ int main(int argc, char** argv) {
     journal->SampleMetricsNow();
     journal->WriteFooter(result.report.BugCount(),
                          result.report.WarningCount(), result.elapsed_s,
-                         interrupted);
+                         interrupted,
+                         result.fault_injection.budget_stopped
+                             ? "budget-exhausted"
+                             : "");
     journal->Close();
   }
   if (interrupted) {
     std::fprintf(stderr, "mumak: interrupted; reporting partial results\n");
+  }
+  if (result.fault_injection.budget_stopped) {
+    std::fprintf(stderr,
+                 "mumak: injection budget exhausted after %llu check(s); "
+                 "the report is a valid prefix%s\n",
+                 static_cast<unsigned long long>(
+                     result.fault_injection.injections),
+                 journal != nullptr
+                     ? " (complete it with --resume-journal)"
+                     : "");
   }
 
   // Observability dumps go to their files; confirmations to stderr so
@@ -928,6 +997,25 @@ int main(int argc, char** argv) {
                 "journal generation\n",
                 static_cast<unsigned long long>(
                     result.fault_injection.resumed));
+  }
+  // Adaptive-scheduler accounting (only when one of its flags was given).
+  if (mumak_options.prune_equiv || mumak_options.rank ||
+      mumak_options.budget_checks > 0 || mumak_options.budget_seconds > 0) {
+    std::printf("mumak: adaptive: %llu check(s) dispatched, %llu pruned by "
+                "equivalence class",
+                static_cast<unsigned long long>(
+                    result.fault_injection.injections),
+                static_cast<unsigned long long>(
+                    result.fault_injection.class_pruned));
+    if (mumak_options.rank) {
+      std::printf(", %llu ranked finding hit(s)",
+                  static_cast<unsigned long long>(
+                      result.fault_injection.plan_finding_hits));
+    }
+    if (result.fault_injection.budget_stopped) {
+      std::printf(", budget exhausted");
+    }
+    std::printf("\n");
   }
   std::printf(
       "mumak: %.2fs | %llu failure points, %llu injections%s | %llu trace "

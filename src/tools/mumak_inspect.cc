@@ -82,12 +82,14 @@ void PrintJournalSnapshot(const mumak::JournalReplay& replay, bool json) {
         "\"verdicts\": %" PRIu64 ", \"dispatches\": %" PRIu64 ", "
         "\"failure_points\": %" PRIu64 ", \"pm_events\": %" PRIu64 ", "
         "\"resume_generations\": %" PRIu64 ", \"last_phase\": \"%s\", "
+        "\"stop_reason\": \"%s\", "
         "\"warnings\": %zu}, \"report\": %s}\n",
         replay.has_footer ? "true" : "false",
         replay.interrupted ? "true" : "false",
         static_cast<uint64_t>(replay.verdicts.size()), replay.dispatches,
         replay.failure_points, replay.pm_events, replay.resume_generations,
-        phase.c_str(), replay.warnings.size(),
+        phase.c_str(), replay.footer_reason.c_str(),
+        replay.warnings.size(),
         report.RenderJson(true).c_str());
     return;
   }
@@ -118,10 +120,12 @@ void PrintJournalSnapshot(const mumak::JournalReplay& replay, bool json) {
   }
   if (replay.has_footer) {
     std::printf("  %-14s %s after %.2fs (%" PRIu64 " bug(s), %" PRIu64
-                " warning(s))\n",
+                " warning(s))%s%s\n",
                 "finished", replay.interrupted ? "interrupted" : "complete",
                 replay.footer_elapsed_s, replay.footer_bugs,
-                replay.footer_warnings);
+                replay.footer_warnings,
+                replay.footer_reason.empty() ? "" : " — ",
+                replay.footer_reason.c_str());
   } else {
     std::printf("  %-14s no footer — campaign still running or killed\n",
                 "finished");
@@ -188,9 +192,71 @@ int FollowJournal(const std::string& path, bool json) {
   }
 }
 
+// Per-epoch persistency statistics for `--trace-info`. An epoch is the
+// span between two consecutive failure points under the §4.1 gating: a
+// persistency instruction closes an epoch only when at least one store
+// landed since the previous failure point (store-free flush/fence runs
+// leave the crash image unchanged and never open a new epoch).
+void PrintEpochStats(const std::string& path) {
+  using namespace mumak;
+  TraceFileReader reader(path);
+  if (!reader.ok()) {
+    return;
+  }
+  struct Epoch {
+    uint64_t end_seq = 0;
+    uint64_t stores = 0;
+    uint64_t flushes = 0;
+    uint64_t fences = 0;
+  };
+  std::vector<Epoch> epochs;
+  Epoch current;
+  bool store_since_fp = false;
+  std::vector<PmEvent> batch;
+  while (reader.NextChunk(&batch, 4096)) {
+    for (const PmEvent& ev : batch) {
+      if (IsStore(ev.kind)) {
+        ++current.stores;
+        store_since_fp = true;
+      } else if (IsFlush(ev.kind)) {
+        ++current.flushes;
+      } else if (IsFence(ev.kind)) {
+        ++current.fences;
+      }
+      if (IsPersistencyInstruction(ev.kind) && store_since_fp) {
+        store_since_fp = false;
+        current.end_seq = ev.seq;
+        epochs.push_back(current);
+        current = Epoch{};
+      }
+    }
+  }
+  const bool open_tail =
+      current.stores + current.flushes + current.fences > 0;
+  std::printf("  %-20s %zu%s\n", "epochs", epochs.size(),
+              open_tail ? " (+1 open tail)" : "");
+  constexpr size_t kMaxRows = 32;
+  for (size_t i = 0; i < epochs.size() && i < kMaxRows; ++i) {
+    std::printf("    epoch %4zu @ seq %-10" PRIu64 " %6" PRIu64
+                " store(s) %6" PRIu64 " flush(es) %4" PRIu64 " fence(s)\n",
+                i, epochs[i].end_seq, epochs[i].stores, epochs[i].flushes,
+                epochs[i].fences);
+  }
+  if (epochs.size() > kMaxRows) {
+    std::printf("    ... (%zu more epochs)\n", epochs.size() - kMaxRows);
+  }
+  if (open_tail) {
+    std::printf("    open tail %15s %6" PRIu64 " store(s) %6" PRIu64
+                " flush(es) %4" PRIu64
+                " fence(s) (no closing persistency instruction)\n",
+                "", current.stores, current.flushes, current.fences);
+  }
+}
+
 // `--trace-info`: file-format facts about a saved trace without decoding
 // the event stream — version, counts, block/compression layout (v3), and
-// whether the footer index survived. Works on v1/v2/v3.
+// whether the footer index survived — plus the per-epoch store/flush/
+// fence profile the adaptive scheduler ranks by. Works on v1/v2/v3.
 int PrintTraceInfo(const std::string& path) {
   using namespace mumak;
   uint64_t file_bytes = 0;
@@ -238,6 +304,7 @@ int PrintTraceInfo(const std::string& path) {
     std::printf("  %-20s none (flat row stream; no seek index)\n", "blocks");
     std::printf("  %-20s %zu\n", "site names",
                 reader.site_names().size());
+    PrintEpochStats(path);
     return 0;
   }
 
@@ -287,6 +354,7 @@ int PrintTraceInfo(const std::string& path) {
   std::printf("  %-20s %" PRIu64 "\n", "corrupt blocks",
               reader.corrupt_blocks());
   std::printf("  %-20s %zu\n", "site names", reader.site_names().size());
+  PrintEpochStats(path);
   return reader.corrupt_blocks() == 0 ? 0 : 1;
 }
 

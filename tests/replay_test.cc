@@ -393,5 +393,94 @@ TEST(ReplayEquivalence, FallsBackToReExecuteWithoutProfiledTrace) {
   EXPECT_EQ(report.BugCount(), 0u) << report.Render();
 }
 
+// Equivalence-class pruning must deliver the byte-identical report of an
+// exhaustive run while dispatching only class representatives: the fanned-
+// out classmate verdicts carry the representative's detail, which always
+// loses the report's first-by-detail dedup.
+TEST(AdaptiveSchedule, PrunedReportByteIdenticalToExhaustive) {
+  for (const char* name : {"btree", "hashmap_tx", "fast_fair"}) {
+    SCOPED_TRACE(name);
+    TargetOptions options;
+    options.pmdk_version = PmdkVersion::k16;
+    const WorkloadSpec spec = SmallSpec();
+
+    auto run = [&](bool prune, FaultInjectionStats* stats) {
+      FaultInjectionOptions fi;
+      fi.strategy = InjectionStrategy::kReplay;
+      fi.image_dedup = false;  // count only the planner's skipping
+      fi.prune_equiv = prune;
+      FaultInjectionEngine engine(Factory(name, options), spec, fi);
+      FailurePointTree tree = engine.Profile();
+      return engine.InjectAll(&tree, stats);
+    };
+    FaultInjectionStats exhaustive_stats, pruned_stats;
+    const Report exhaustive = run(false, &exhaustive_stats);
+    const Report pruned = run(true, &pruned_stats);
+
+    EXPECT_EQ(pruned.Render(), exhaustive.Render());
+    // The plan partitions the schedule: every point is either checked or
+    // fanned out, never both, never dropped.
+    EXPECT_EQ(pruned_stats.injections + pruned_stats.class_pruned,
+              exhaustive_stats.injections);
+    EXPECT_LE(pruned_stats.injections, exhaustive_stats.injections);
+  }
+}
+
+// Ranked dispatch reorders checks, so report ordering is not preserved —
+// but the distinct-bug set must be.
+TEST(AdaptiveSchedule, RankedDispatchKeepsDistinctBugSet) {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {"btree.split_unlogged"};
+  WorkloadSpec spec;
+  spec.operations = 250;
+  spec.key_space = 40;
+
+  auto bug_set = [&](bool prune, bool rank) {
+    FaultInjectionOptions fi;
+    fi.strategy = InjectionStrategy::kReplay;
+    fi.prune_equiv = prune;
+    fi.rank = rank;
+    FaultInjectionEngine engine(Factory("btree", options), spec, fi);
+    FailurePointTree tree = engine.Profile();
+    FaultInjectionStats stats;
+    const Report report = engine.InjectAll(&tree, &stats);
+    std::set<std::string> details;
+    for (const Finding& f : report.findings()) {
+      details.insert(f.detail);
+    }
+    return details;
+  };
+  const std::set<std::string> exhaustive = bug_set(false, false);
+  EXPECT_FALSE(exhaustive.empty());
+  EXPECT_EQ(bug_set(true, true), exhaustive);
+  EXPECT_EQ(bug_set(false, true), exhaustive);
+}
+
+// --budget-checks stops dispatch after exactly N checks (cache hits count;
+// classmates are free), flags the stop, and the partial stats reflect it.
+TEST(AdaptiveSchedule, BudgetChecksStopsDispatchWithinBudget) {
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  const WorkloadSpec spec = SmallSpec();
+
+  for (const uint32_t workers : {1u, 4u}) {
+    SCOPED_TRACE(workers);
+    FaultInjectionOptions fi;
+    fi.strategy = InjectionStrategy::kReplay;
+    fi.workers = workers;
+    fi.budget_checks = 10;
+    FaultInjectionEngine engine(Factory("btree", options), spec, fi);
+    FailurePointTree tree = engine.Profile();
+    FaultInjectionStats stats;
+    engine.InjectAll(&tree, &stats);
+    EXPECT_LE(stats.injections, 10u);
+    EXPECT_GT(stats.injections, 0u);
+    EXPECT_TRUE(stats.budget_stopped);
+    EXPECT_TRUE(stats.budget_exhausted);
+    EXPECT_GT(stats.failure_points, 10u);  // there was work left to stop
+  }
+}
+
 }  // namespace
 }  // namespace mumak

@@ -559,5 +559,88 @@ TEST(ReplaySeekIndexTest, SeekCursorMatchesFromZeroReplay) {
   EXPECT_GT(skipped, 0u);
 }
 
+// Epoch-boundary seeks: the adaptive scheduler's ranked dispatch seeks to
+// failure-point seqs, which under the §4.1 gating are exactly the
+// persistency-instruction seqs that close epochs. A seeked cursor must
+// reproduce the from-zero image at the first and last seq of an epoch, at
+// a boundary with no intervening events (an empty epoch), and when the
+// target lands exactly on a checkpoint's seq bound.
+TEST(ReplaySeekIndexTest, EpochBoundarySeeksMatchFromZeroReplay) {
+  RecordedTrace trace;
+  // Three epochs over a 256-byte pool, each closed by an sfence; the
+  // second boundary (seq 40) is immediately followed by another fence at
+  // seq 41 — an empty epoch with no stores in between.
+  uint64_t next_payload = 1;
+  auto add_store = [&](uint64_t seq, uint64_t offset) {
+    PmEvent ev;
+    ev.kind = EventKind::kStore;
+    ev.seq = seq;
+    ev.offset = offset;
+    ev.size = 8;
+    const uint64_t value = next_payload++;
+    trace.payloads.Record(trace.events.size(),
+                          reinterpret_cast<const uint8_t*>(&value),
+                          sizeof(value));
+    trace.events.push_back(ev);
+  };
+  auto add_fence = [&](uint64_t seq) {
+    PmEvent ev;
+    ev.kind = EventKind::kSfence;
+    ev.seq = seq;
+    trace.events.push_back(ev);
+  };
+  for (uint64_t i = 0; i < 8; ++i) {
+    add_store(10 + i, i * 8);
+  }
+  add_fence(20);  // epoch 1 closes
+  for (uint64_t i = 0; i < 8; ++i) {
+    add_store(30 + i, 64 + i * 8);
+  }
+  add_fence(40);  // epoch 2 closes
+  add_fence(41);  // empty epoch: boundary with no events since seq 40
+  for (uint64_t i = 0; i < 8; ++i) {
+    add_store(50 + i, 128 + i * 8);
+  }
+  add_fence(60);  // epoch 3 closes
+  const size_t pool_size = 256;
+
+  // Capture at every event (alignment 1), so some checkpoint's seq bound
+  // falls exactly on the epoch boundaries the streaming pass visits.
+  ReplaySeekIndex index(&trace, /*max_checkpoints=*/8, /*alignment=*/1);
+  {
+    ReplayCursor cursor(trace, pool_size, /*track_digest=*/true);
+    for (const uint64_t boundary : {20u, 40u, 41u, 60u}) {
+      cursor.AdvanceTo(boundary);
+      index.MaybeCapture(cursor);
+    }
+  }
+  ASSERT_GT(index.checkpoint_count(), 0u);
+
+  // First seq of an epoch, last seq of an epoch, the empty-epoch
+  // boundary, and a target exactly on a captured boundary.
+  for (const uint64_t target : {10u, 19u, 20u, 30u, 40u, 41u, 59u, 60u}) {
+    SCOPED_TRACE(target);
+    auto seeked =
+        index.SeekCursor(target, pool_size, /*track_digest=*/true);
+    ASSERT_NE(seeked, nullptr);
+    ReplayCursor scratch(trace, pool_size, /*track_digest=*/true);
+    EXPECT_EQ(seeked->AdvanceTo(target), scratch.AdvanceTo(target));
+    EXPECT_EQ(seeked->Digest(), scratch.Digest());
+  }
+
+  // Seeking exactly onto a checkpoint's bound applies zero extra events;
+  // the empty epoch's boundary reuses the same image as its predecessor.
+  size_t skipped = 0;
+  auto at_checkpoint =
+      index.SeekCursor(60, pool_size, /*track_digest=*/false, &skipped);
+  ReplayCursor scratch(trace, pool_size, /*track_digest=*/false);
+  EXPECT_EQ(at_checkpoint->AdvanceTo(60), scratch.AdvanceTo(60));
+  EXPECT_EQ(skipped, trace.events.size());
+  auto empty_epoch =
+      index.SeekCursor(41, pool_size, /*track_digest=*/false);
+  ReplayCursor scratch40(trace, pool_size, /*track_digest=*/false);
+  EXPECT_EQ(empty_epoch->AdvanceTo(41), scratch40.AdvanceTo(40));
+}
+
 }  // namespace
 }  // namespace mumak
