@@ -80,6 +80,21 @@ void VerdictCache::AbsorbFrom(const VerdictCache& other) {
   }
 }
 
+void VerdictCache::ForEach(
+    const std::function<void(const ImageDigest&, const VerdictCacheEntry&)>&
+        fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [digest, entry] : map_) {
+    if (entry.image.empty()) {
+      fn(digest, entry);
+      continue;
+    }
+    VerdictCacheEntry copy = entry;
+    copy.image.clear();  // verify-mode images stay process-local
+    fn(digest, copy);
+  }
+}
+
 size_t VerdictCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return map_.size();

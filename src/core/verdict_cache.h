@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -77,6 +78,12 @@ class VerdictCache {
   // dropped). The fleet scheduler uses this to merge worker session
   // verdicts into the loaded cache before Save.
   void AbsorbFrom(const VerdictCache& other);
+
+  // Visits every entry under the lock (order unspecified; verify-mode
+  // image copies are not exposed). The fleet scheduler uses this to ship
+  // the warm set to stateless remote workers at bootstrap.
+  void ForEach(const std::function<void(const ImageDigest&,
+                                        const VerdictCacheEntry&)>& fn) const;
 
   size_t size() const;
   bool verify() const { return verify_; }

@@ -1,0 +1,446 @@
+#include "src/fleet/bootstrap.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "src/fleet/messages.h"
+#include "src/fleet/worker.h"
+#include "src/observability/flat_json.h"
+#include "src/pmem/replay_cursor.h"
+#include "src/pmem/replay_seek_index.h"
+
+namespace mumak {
+namespace fleet {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string U64Hex(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+void PackU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+bool UnpackU64s(const std::vector<uint8_t>& bytes,
+                std::vector<uint64_t>* out) {
+  if (bytes.size() % 8 != 0) {
+    return false;
+  }
+  out->clear();
+  out->reserve(bytes.size() / 8);
+  for (size_t i = 0; i < bytes.size(); i += 8) {
+    uint64_t value = 0;
+    for (int b = 7; b >= 0; --b) {
+      value = (value << 8) | bytes[i + static_cast<size_t>(b)];
+    }
+    out->push_back(value);
+  }
+  return true;
+}
+
+std::string BugsArrayJson(const std::set<std::string>& bugs) {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& bug : bugs) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += '"';
+    out += JsonEscape(bug);
+    out += '"';
+  }
+  out += "]";
+  return out;
+}
+
+// Blocks until one complete message arrives. False on connection loss or
+// a corrupt stream.
+bool NextMessage(Transport* transport, JsonValue* out) {
+  std::string payload;
+  for (;;) {
+    const FleetDecodeStatus status = transport->Next(&payload);
+    if (status == FleetDecodeStatus::kOk) {
+      return JsonParser(payload).Parse(out);
+    }
+    if (status != FleetDecodeStatus::kNeedMore) {
+      return false;
+    }
+    if (transport->ReadSome(/*blocking=*/true) < 0) {
+      return false;
+    }
+  }
+}
+
+// Ships one named artifact as a run of hex chunk frames. An empty blob
+// still sends one (empty, last) chunk so the receiver sees every name.
+bool ShipArtifact(Transport* transport, const char* name,
+                  const std::string& bytes) {
+  size_t off = 0;
+  do {
+    const size_t take = std::min(kBootstrapChunkBytes, bytes.size() - off);
+    const bool last = off + take >= bytes.size();
+    const std::string json =
+        JsonObject()
+            .Str("type", "artifact")
+            .Str("name", name)
+            .Bool("last", last)
+            .Str("data",
+                 HexEncode(
+                     reinterpret_cast<const uint8_t*>(bytes.data()) + off,
+                     take))
+            .Finish();
+    if (!transport->Send(json)) {
+      return false;
+    }
+    off += take;
+  } while (off < bytes.size());
+  return true;
+}
+
+}  // namespace
+
+std::string HexEncode(const uint8_t* data, size_t size) {
+  std::string out;
+  out.reserve(size * 2);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(const std::string& hex, std::vector<uint8_t>* out) {
+  if (hex.size() % 2 != 0) {
+    return false;
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    return -1;
+  };
+  out->reserve(out->size() + hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out->push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::string EncodeTargetSpec(const std::string& name,
+                             const TargetOptions& options) {
+  return JsonObject()
+      .Str("name", name)
+      .U64("pmdk", static_cast<uint64_t>(options.pmdk_version))
+      .Raw("bugs", BugsArrayJson(options.bugs))
+      .Bool("with_recovery", options.with_recovery)
+      .Str("pool_size", U64Hex(options.pool_size))
+      .Bool("single_put_per_tx", options.single_put_per_tx)
+      .U64("tx_batch", options.tx_batch)
+      .U64("montage_epoch_ops", options.montage.epoch_length_ops)
+      .Bool("montage_alloc_recoverability_bug",
+            options.montage.allocator_recoverability_bug)
+      .Bool("montage_alloc_destruction_bug",
+            options.montage.allocator_destruction_bug)
+      .Finish();
+}
+
+bool DecodeTargetSpec(const std::string& json, std::string* name,
+                      TargetOptions* options) {
+  JsonValue spec;
+  if (!JsonParser(json).Parse(&spec)) {
+    return false;
+  }
+  *name = spec.Str("name");
+  if (name->empty()) {
+    return false;
+  }
+  switch (spec.U64("pmdk")) {
+    case 16:
+      options->pmdk_version = PmdkVersion::k16;
+      break;
+    case 18:
+      options->pmdk_version = PmdkVersion::k18;
+      break;
+    case 112:
+      options->pmdk_version = PmdkVersion::k112;
+      break;
+    default:
+      return false;
+  }
+  options->bugs.clear();
+  const JsonValue* bugs = spec.Find("bugs");
+  if (bugs != nullptr && bugs->type == JsonValue::Type::kArray) {
+    for (const JsonValue& bug : bugs->array) {
+      if (bug.type == JsonValue::Type::kString) {
+        options->bugs.insert(bug.string);
+      }
+    }
+  }
+  options->with_recovery = spec.BoolOr("with_recovery", true);
+  options->pool_size =
+      std::strtoull(spec.Str("pool_size").c_str(), nullptr, 16);
+  options->single_put_per_tx = spec.BoolOr("single_put_per_tx", true);
+  options->tx_batch = spec.U64("tx_batch");
+  options->montage.epoch_length_ops = spec.U64("montage_epoch_ops");
+  options->montage.allocator_recoverability_bug =
+      spec.BoolOr("montage_alloc_recoverability_bug", false);
+  options->montage.allocator_destruction_bug =
+      spec.BoolOr("montage_alloc_destruction_bug", false);
+  return true;
+}
+
+bool ShipBootstrap(Transport* transport,
+                   const BootstrapArtifacts& artifacts) {
+  const std::string header =
+      JsonObject()
+          .Str("type", "bootstrap")
+          .Str("target", artifacts.target_spec)
+          .Str("pool_size", U64Hex(artifacts.pool_size))
+          .U64("schedule_count", artifacts.schedule_seqs.size())
+          .Bool("image_dedup", artifacts.image_dedup)
+          .Bool("verify_dedup", artifacts.verify_dedup)
+          .U64("seek_checkpoints", artifacts.seek_checkpoints)
+          .U64("sandbox_policy",
+               static_cast<uint64_t>(artifacts.sandbox.policy))
+          .U64("sandbox_timeout_ms", artifacts.sandbox.timeout_ms)
+          .Str("sandbox_mem", U64Hex(artifacts.sandbox.address_space_bytes))
+          .U64("sandbox_cpu", artifacts.sandbox.cpu_seconds)
+          .Bool("sandbox_verify_digest", artifacts.sandbox.verify_digest)
+          .U64("checks_per_fork", artifacts.sandbox.checks_per_fork)
+          .U64("trace_bytes", artifacts.trace_v3.size())
+          .Finish();
+  if (!transport->Send(header)) {
+    return false;
+  }
+  if (!ShipArtifact(transport, "trace", artifacts.trace_v3)) {
+    return false;
+  }
+  std::string packed;
+  packed.reserve(artifacts.schedule_seqs.size() * 8);
+  for (const uint64_t seq : artifacts.schedule_seqs) {
+    PackU64(&packed, seq);
+  }
+  if (!ShipArtifact(transport, "schedule", packed)) {
+    return false;
+  }
+  packed.clear();
+  for (const uint64_t seq : artifacts.scout_seqs) {
+    PackU64(&packed, seq);
+  }
+  if (!ShipArtifact(transport, "scout", packed)) {
+    return false;
+  }
+  for (const auto& [digest, entry] : artifacts.warm_entries) {
+    if (!transport->Send(InsertMessage(digest, entry))) {
+      return false;
+    }
+  }
+  return transport->Send(SimpleMessage("bootstrap_done"));
+}
+
+bool ReceiveBootstrap(Transport* transport, WorkerBootstrap* out,
+                      std::string* error) {
+  bool saw_header = false;
+  std::vector<uint8_t> trace_bytes;
+  std::vector<uint8_t> schedule_bytes;
+  std::vector<uint8_t> scout_bytes;
+  for (;;) {
+    JsonValue msg;
+    if (!NextMessage(transport, &msg)) {
+      *error = "connection lost during bootstrap";
+      return false;
+    }
+    const std::string type = msg.Str("type");
+    if (type == "bootstrap") {
+      saw_header = true;
+      if (!DecodeTargetSpec(msg.Str("target"), &out->target_name,
+                            &out->target_options)) {
+        *error = "bootstrap carried an undecodable target spec";
+        return false;
+      }
+      out->pool_size =
+          std::strtoull(msg.Str("pool_size").c_str(), nullptr, 16);
+      out->image_dedup = msg.BoolOr("image_dedup", true);
+      out->verify_dedup = msg.BoolOr("verify_dedup", false);
+      out->seek_checkpoints =
+          static_cast<uint32_t>(msg.U64("seek_checkpoints"));
+      switch (msg.U64("sandbox_policy")) {
+        case 0:
+          out->sandbox.policy = SandboxPolicy::kInProcess;
+          break;
+        case 1:
+          out->sandbox.policy = SandboxPolicy::kForkPerCheck;
+          break;
+        case 2:
+          out->sandbox.policy = SandboxPolicy::kForkServer;
+          break;
+        default:
+          *error = "bootstrap carried an unknown sandbox policy";
+          return false;
+      }
+      out->sandbox.timeout_ms =
+          static_cast<uint32_t>(msg.U64("sandbox_timeout_ms"));
+      out->sandbox.address_space_bytes =
+          std::strtoull(msg.Str("sandbox_mem").c_str(), nullptr, 16);
+      out->sandbox.cpu_seconds =
+          static_cast<uint32_t>(msg.U64("sandbox_cpu"));
+      out->sandbox.verify_digest =
+          msg.BoolOr("sandbox_verify_digest", false);
+      out->sandbox.checks_per_fork =
+          static_cast<uint32_t>(msg.U64("checks_per_fork"));
+    } else if (type == "artifact") {
+      const std::string name = msg.Str("name");
+      std::vector<uint8_t>* sink = name == "trace" ? &trace_bytes
+                                   : name == "schedule" ? &schedule_bytes
+                                   : name == "scout" ? &scout_bytes
+                                                     : nullptr;
+      if (sink == nullptr) {
+        continue;  // future artifact: skip, stay compatible
+      }
+      if (!HexDecode(msg.Str("data"), sink)) {
+        *error = "artifact '" + name + "' carried malformed hex";
+        return false;
+      }
+    } else if (type == "insert") {
+      ImageDigest digest;
+      VerdictCacheEntry entry;
+      if (InsertFromMessage(msg, &digest, &entry)) {
+        out->warm_entries.emplace_back(digest, std::move(entry));
+      }
+    } else if (type == "bootstrap_done") {
+      break;
+    }
+    // Anything else (heartbeat etc.): ignore.
+  }
+  if (!saw_header) {
+    *error = "peer finished bootstrap without a header";
+    return false;
+  }
+  std::string trace_error;
+  std::istringstream trace_stream(
+      std::string(reinterpret_cast<const char*>(trace_bytes.data()),
+                  trace_bytes.size()));
+  if (!TraceIo::Read(trace_stream, &out->trace.events, &out->trace.payloads,
+                     &trace_error)) {
+    *error = "shipped trace failed to decode: " + trace_error;
+    return false;
+  }
+  if (!UnpackU64s(schedule_bytes, &out->schedule_seqs) ||
+      !UnpackU64s(scout_bytes, &out->scout_seqs)) {
+    *error = "shipped schedule/scout seqs are misaligned";
+    return false;
+  }
+  return true;
+}
+
+int RunRemoteWorker(const std::string& address,
+                    uint32_t connect_timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(connect_timeout_ms);
+  std::unique_ptr<TcpTransport> transport;
+  std::string error;
+  for (;;) {
+    transport = TcpConnect(address, &error);
+    if (transport != nullptr) {
+      break;
+    }
+    if (Clock::now() >= deadline) {
+      std::fprintf(stderr, "mumak: worker: %s\n", error.c_str());
+      return 2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  FleetHandshake ours;
+  ours.proto = kFleetProtoVersion;
+  ours.role = "worker";
+  if (!transport->Send(HandshakeMessage(ours))) {
+    std::fprintf(stderr, "mumak: worker: scheduler hung up\n");
+    return 2;
+  }
+  FleetHandshake theirs;
+  if (!ReadHandshake(transport.get(), static_cast<int>(connect_timeout_ms),
+                     &theirs, &error)) {
+    std::fprintf(stderr, "mumak: worker: %s\n", error.c_str());
+    return 2;
+  }
+  if (theirs.proto != kFleetProtoVersion || theirs.role != "scheduler") {
+    std::fprintf(stderr,
+                 "mumak: worker: incompatible peer (proto %u, role '%s')\n",
+                 theirs.proto, theirs.role.c_str());
+    return 2;
+  }
+
+  WorkerBootstrap boot;
+  if (!ReceiveBootstrap(transport.get(), &boot, &error)) {
+    std::fprintf(stderr, "mumak: worker: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Reconstruct the replay pipeline the forked path inherits for free.
+  const std::string target_name = boot.target_name;
+  const TargetOptions target_options = boot.target_options;
+  TargetFactory factory = [target_name, target_options]() {
+    return CreateTarget(target_name, target_options);
+  };
+  std::vector<ReplayPoint> schedule;
+  schedule.reserve(boot.schedule_seqs.size());
+  for (const uint64_t seq : boot.schedule_seqs) {
+    schedule.push_back(ReplayPoint{0, seq});
+  }
+  ReplaySeekIndex seek_index(&boot.trace,
+                             schedule.empty() ? 0 : boot.seek_checkpoints);
+  if (!schedule.empty() && boot.seek_checkpoints > 0 &&
+      !boot.scout_seqs.empty()) {
+    ReplayCursor scout(boot.trace, boot.pool_size,
+                       /*track_digest=*/boot.image_dedup);
+    for (const uint64_t seq : boot.scout_seqs) {
+      scout.AdvanceTo(seq);
+      seek_index.MaybeCapture(scout);
+    }
+  }
+  VerdictCache warm(boot.verify_dedup);
+  for (auto& [digest, entry] : boot.warm_entries) {
+    warm.Insert(digest, std::move(entry), nullptr, 0);
+  }
+
+  WorkerEnv env;
+  env.factory = std::move(factory);
+  env.pool_size = boot.pool_size;
+  env.schedule = &schedule;
+  env.seek_index = &seek_index;
+  env.warm_cache =
+      boot.image_dedup && !boot.warm_entries.empty() ? &warm : nullptr;
+  env.image_dedup = boot.image_dedup;
+  env.verify_dedup = boot.verify_dedup;
+  env.sandbox = boot.sandbox;
+  WorkerLoop(transport.get(), theirs.worker, env);
+  return 0;
+}
+
+}  // namespace fleet
+}  // namespace mumak

@@ -15,14 +15,18 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/core/injection_schedule.h"
+#include "src/fleet/bootstrap.h"
 #include "src/fleet/messages.h"
+#include "src/fleet/transport.h"
 #include "src/fleet/wire.h"
 #include "src/fleet/worker.h"
+#include "src/instrument/trace.h"
 #include "src/observability/flat_json.h"
 #include "src/pmem/replay_cursor.h"
 #include "src/pmem/replay_seek_index.h"
@@ -45,10 +49,18 @@ struct Range {
 // Don't bother stealing from (or splitting) tails smaller than this.
 constexpr size_t kMinStealTail = 4;
 
+// How long the scheduler gives a dialing peer to complete its handshake
+// before giving the accept slot back to the accept loop.
+constexpr int kHandshakeTimeoutMs = 5000;
+
+// One worker lane, behind a Transport: a forked child (pid >= 0, one end
+// of a socketpair) or a stateless remote worker (pid < 0, a TCP
+// connection). Everything the scheduler does with a lane — framing,
+// decoding, death detection, salvage — goes through the transport, which
+// is what keeps stealing/re-queue/merge identical across both kinds.
 struct WorkerState {
-  pid_t pid = -1;
-  int fd = -1;
-  FleetFrameDecoder decoder;
+  std::unique_ptr<fleet::Transport> transport;
+  pid_t pid = -1;  // -1 = remote: death is connection loss, not SIGCHLD
   bool alive = false;
   bool idle = true;
   bool steal_outstanding = false;
@@ -63,23 +75,6 @@ struct WorkerState {
   uint64_t collisions = 0;
   Clock::time_point last_heard;
 };
-
-bool SendFrame(int fd, const std::string& json) {
-  const std::string frame = FleetFrame(json);
-  size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t n =
-        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;  // worker gone; poll/reap handles the cleanup
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -190,17 +185,22 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     }
   }
 
-  // Checkpoint index keyed to the shard starts: one scout pass before the
-  // fork captures up to seek_checkpoints images, which every worker then
-  // inherits copy-on-write and seeks from instead of replaying from zero.
+  // Checkpoint index keyed to the shard starts: one scout pass before
+  // dispatch captures up to seek_checkpoints images, which every forked
+  // worker then inherits copy-on-write and seeks from instead of replaying
+  // from zero. Remote workers get the same shard-start seqs shipped and
+  // run an identical scout pass over the shipped trace.
+  std::vector<uint64_t> scout_seqs;
   ReplaySeekIndex seek_index(&engine->replay_trace(),
                              schedule.empty() ? 0 : opts.seek_checkpoints);
   if (!schedule.empty() && opts.seek_checkpoints > 0) {
     ReplayCursor scout(engine->replay_trace(), engine->profiled_pool_size(),
                        /*track_digest=*/opts.image_dedup);
+    scout_seqs.reserve(queue.size());
     for (const Range& shard : queue) {
       scout.AdvanceTo(schedule[shard.begin].seq);
       seek_index.MaybeCapture(scout);
+      scout_seqs.push_back(schedule[shard.begin].seq);
     }
   }
 
@@ -258,6 +258,13 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     }
     v.worker = worker_index;
     v.seq = schedule[index].seq;
+    // Location is stamped here, not in the worker: path strings resolve
+    // through the process-global frame registry, which a stateless remote
+    // worker does not have. The tree lives only in this process, so the
+    // stamp is identical whichever lane (or the inline fallback) delivered
+    // the verdict.
+    v.location = v.status != "ok" ? tree->DescribePath(schedule[index].node)
+                                  : std::string();
     have[index] = 1;
     ++received;
     tree->MarkVisited(schedule[index].node);
@@ -328,11 +335,16 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
       ++ws.verdicts;
       if (config.kill_worker_after > 0 && w == 0 && !test_killed &&
           ws.alive && ws.verdicts >= config.kill_worker_after) {
-        // Fault-tolerance hook (--fleet-kill-after): SIGKILL worker 0
-        // mid-flight; the normal death path notices the hangup, reaps it
-        // and re-queues its unfinished range.
+        // Fault-tolerance hook (--fleet-kill-after): kill worker 0
+        // mid-flight — SIGKILL for a forked child, a severed connection
+        // for a remote worker. Either way the normal death path notices,
+        // reaps the lane and re-queues its unfinished range.
         test_killed = true;
-        ::kill(ws.pid, SIGKILL);
+        if (ws.pid >= 0) {
+          ::kill(ws.pid, SIGKILL);
+        } else if (ws.transport != nullptr && ws.transport->ok()) {
+          ::shutdown(ws.transport->fd(), SHUT_RDWR);
+        }
       }
     } else if (type == "insert") {
       ImageDigest digest;
@@ -365,7 +377,7 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     WorkerState& ws = fleet[w];
     std::string payload;
     for (;;) {
-      const FleetDecodeStatus status = ws.decoder.Next(&payload);
+      const FleetDecodeStatus status = ws.transport->Next(&payload);
       if (status == FleetDecodeStatus::kOk) {
         JsonValue msg;
         if (JsonParser(payload).Parse(&msg)) {
@@ -384,19 +396,14 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     }
     // Salvage the intact frames the dying worker flushed; a torn tail is
     // discarded (same prefix discipline as the MJN1 journal reader).
-    for (;;) {
-      uint8_t buf[4096];
-      const ssize_t n = ::recv(ws.fd, buf, sizeof(buf), MSG_DONTWAIT);
-      if (n <= 0) {
-        break;
-      }
-      ws.decoder.Feed(buf, static_cast<size_t>(n));
-    }
+    ws.transport->DrainPending();
     drain_decoder(w);
-    ::kill(ws.pid, SIGKILL);
-    int status = 0;
-    ::waitpid(ws.pid, &status, 0);
-    ::close(ws.fd);
+    if (ws.pid >= 0) {
+      ::kill(ws.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(ws.pid, &status, 0);
+    }
+    ws.transport->Close();
     ws.alive = false;
     --alive_count;
     count("fleet.worker_deaths");
@@ -416,7 +423,8 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
         continue;
       }
       const Range r = queue.front();
-      if (!SendFrame(ws.fd, fleet::RangeMessage("range", r.begin, r.end))) {
+      if (!ws.transport->Send(
+              fleet::RangeMessage("range", r.begin, r.end))) {
         continue;  // send failed: the poll loop will reap this worker
       }
       queue.pop_front();
@@ -451,53 +459,165 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
       if (victim == nullptr) {
         break;
       }
-      if (SendFrame(victim->fd, fleet::SimpleMessage("steal"))) {
+      if (victim->transport->Send(fleet::SimpleMessage("steal"))) {
         victim->steal_outstanding = true;
         count("fleet.steals");
       }
     }
   };
 
-  // --- fork the fleet -------------------------------------------------
-  std::vector<int> parent_fds;
-  for (uint32_t w = 0; w < workers && !schedule.empty(); ++w) {
-    int fds[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
-      std::fprintf(stderr, "mumak: fleet: socketpair: %s\n",
-                   std::strerror(errno));
-      break;
-    }
-    std::fflush(stdout);
-    std::fflush(stderr);
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      std::fprintf(stderr, "mumak: fleet: fork: %s\n", std::strerror(errno));
-      ::close(fds[0]);
-      ::close(fds[1]);
-      break;
-    }
-    if (pid == 0) {
-      // Child: drop the scheduler-side ends (its own and every earlier
-      // sibling's — inherited copies would keep those streams from ever
-      // reporting EOF) and run the worker loop over everything Profile()
-      // built, inherited copy-on-write. _exit: never unwind into the
-      // parent's journal writer/stdio/atexit state.
-      ::close(fds[0]);
-      for (const int other : parent_fds) {
-        ::close(other);
+  // --- bring the fleet up ------------------------------------------------
+  const bool tcp_mode = config.listen_fd >= 0 || !config.listen.empty();
+  if (tcp_mode && !schedule.empty()) {
+    // TCP mode: accept up to `workers` stateless remote workers within the
+    // accept window, handshake each, and ship it the campaign artifacts.
+    // Lanes still empty when the window closes just never join.
+    int listener = config.listen_fd;
+    if (listener < 0) {
+      std::string error;
+      listener = fleet::TcpListen(config.listen, &error);
+      if (listener < 0) {
+        std::fprintf(stderr, "mumak: fleet: %s\n", error.c_str());
       }
-      fleet::WorkerMain(fds[1], w, *engine, *tree, schedule, seek_index,
-                        warm);
-      ::_exit(0);
     }
-    ::close(fds[1]);
-    parent_fds.push_back(fds[0]);
-    WorkerState& ws = fleet[w];
-    ws.pid = pid;
-    ws.fd = fds[0];
-    ws.alive = true;
-    ws.last_heard = Clock::now();
-    ++alive_count;
+    if (listener >= 0) {
+      fleet::BootstrapArtifacts artifacts;
+      artifacts.target_spec = config.target_spec;
+      std::ostringstream trace_stream;
+      TraceIo::WriteV3(engine->replay_trace().events, trace_stream,
+                       &engine->replay_trace().payloads);
+      artifacts.trace_v3 = trace_stream.str();
+      artifacts.schedule_seqs.reserve(schedule.size());
+      for (const ReplayPoint& point : schedule) {
+        artifacts.schedule_seqs.push_back(point.seq);
+      }
+      artifacts.scout_seqs = scout_seqs;
+      artifacts.pool_size = engine->profiled_pool_size();
+      artifacts.image_dedup = opts.image_dedup;
+      artifacts.verify_dedup = opts.verify_dedup;
+      artifacts.seek_checkpoints = opts.seek_checkpoints;
+      artifacts.sandbox = opts.sandbox;
+      if (warm != nullptr) {
+        warm->ForEach([&](const ImageDigest& digest,
+                          const VerdictCacheEntry& entry) {
+          artifacts.warm_entries.emplace_back(digest, entry);
+        });
+      }
+      if (artifacts.target_spec.empty()) {
+        std::fprintf(stderr,
+                     "mumak: fleet: TCP mode without a target spec; remote "
+                     "workers cannot bootstrap\n");
+      }
+      const auto accept_deadline =
+          Clock::now() +
+          std::chrono::milliseconds(std::max<uint32_t>(
+              config.accept_timeout_ms, 100));
+      uint32_t lane = 0;
+      while (lane < workers && !artifacts.target_spec.empty()) {
+        const auto now = Clock::now();
+        if (now >= accept_deadline) {
+          break;
+        }
+        pollfd pfd = {listener, POLLIN, 0};
+        const int wait_ms = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                accept_deadline - now)
+                .count());
+        const int ready = ::poll(&pfd, 1, std::max(wait_ms, 1));
+        if (ready < 0 && errno != EINTR) {
+          break;
+        }
+        if (ready <= 0) {
+          continue;
+        }
+        std::unique_ptr<fleet::TcpTransport> transport =
+            fleet::TcpAccept(listener);
+        if (transport == nullptr) {
+          continue;
+        }
+        fleet::FleetHandshake peer;
+        std::string error;
+        if (!fleet::ReadHandshake(transport.get(), kHandshakeTimeoutMs,
+                                  &peer, &error) ||
+            peer.proto != fleet::kFleetProtoVersion ||
+            peer.role != "worker") {
+          std::fprintf(stderr, "mumak: fleet: rejected connection: %s\n",
+                       error.empty() ? "incompatible handshake"
+                                     : error.c_str());
+          continue;
+        }
+        fleet::FleetHandshake ours;
+        ours.proto = fleet::kFleetProtoVersion;
+        ours.role = "scheduler";
+        ours.worker = lane;
+        ours.fingerprint =
+            engine->fingerprint_ready() ? engine->trace_fingerprint() : 0;
+        if (!transport->Send(fleet::HandshakeMessage(ours)) ||
+            !fleet::ShipBootstrap(transport.get(), artifacts)) {
+          continue;  // dropped mid-bootstrap: the lane stays empty
+        }
+        WorkerState& ws = fleet[lane];
+        ws.transport = std::move(transport);
+        ws.pid = -1;
+        ws.alive = true;
+        ws.last_heard = Clock::now();
+        ++alive_count;
+        count("fleet.remote_workers");
+        ++lane;
+      }
+      if (config.listen_fd < 0) {
+        ::close(listener);
+      }
+      if (lane == 0) {
+        std::fprintf(stderr,
+                     "mumak: fleet: no remote workers connected within "
+                     "%u ms; running inline\n",
+                     config.accept_timeout_ms);
+      }
+    }
+  } else if (!schedule.empty()) {
+    // Fork mode: spawn workers that inherit the campaign state
+    // copy-on-write.
+    std::vector<int> parent_fds;
+    for (uint32_t w = 0; w < workers; ++w) {
+      int fds[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        std::fprintf(stderr, "mumak: fleet: socketpair: %s\n",
+                     std::strerror(errno));
+        break;
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "mumak: fleet: fork: %s\n",
+                     std::strerror(errno));
+        ::close(fds[0]);
+        ::close(fds[1]);
+        break;
+      }
+      if (pid == 0) {
+        // Child: drop the scheduler-side ends (its own and every earlier
+        // sibling's — inherited copies would keep those streams from ever
+        // reporting EOF) and run the worker loop over everything Profile()
+        // built, inherited copy-on-write. _exit: never unwind into the
+        // parent's journal writer/stdio/atexit state.
+        ::close(fds[0]);
+        for (const int other : parent_fds) {
+          ::close(other);
+        }
+        fleet::WorkerMain(fds[1], w, *engine, schedule, seek_index, warm);
+        ::_exit(0);
+      }
+      ::close(fds[1]);
+      parent_fds.push_back(fds[0]);
+      WorkerState& ws = fleet[w];
+      ws.pid = pid;
+      ws.transport = std::make_unique<fleet::SocketPairTransport>(fds[0]);
+      ws.alive = true;
+      ws.last_heard = Clock::now();
+      ++alive_count;
+    }
   }
 
   bool budget_stopped = false;
@@ -531,8 +651,8 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     std::vector<pollfd> pfds;
     std::vector<uint32_t> owner;
     for (uint32_t w = 0; w < workers; ++w) {
-      if (fleet[w].alive) {
-        pfds.push_back({fleet[w].fd, POLLIN, 0});
+      if (fleet[w].alive && fleet[w].transport->ok()) {
+        pfds.push_back({fleet[w].transport->fd(), POLLIN, 0});
         owner.push_back(w);
       }
     }
@@ -548,20 +668,8 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
       }
       bool dead = false;
       if ((pfds[p].revents & POLLIN) != 0) {
-        for (;;) {
-          uint8_t buf[16384];
-          const ssize_t n = ::recv(ws.fd, buf, sizeof(buf), MSG_DONTWAIT);
-          if (n > 0) {
-            ws.decoder.Feed(buf, static_cast<size_t>(n));
-            continue;
-          }
-          if (n == 0) {
-            dead = true;  // EOF: the worker exited
-          } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
-                     errno != EINTR) {
-            dead = true;
-          }
-          break;
+        if (ws.transport->ReadSome(/*blocking=*/false) < 0) {
+          dead = true;  // EOF or hard error: the worker is gone
         }
         if (!drain_decoder(w)) {
           dead = true;  // corrupt stream == dead worker
@@ -590,18 +698,20 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
     if (!ws.alive) {
       continue;
     }
-    SendFrame(ws.fd, fleet::SimpleMessage("shutdown"));
-    ::kill(ws.pid, SIGKILL);
-    int status = 0;
-    ::waitpid(ws.pid, &status, 0);
-    ::close(ws.fd);
+    ws.transport->Send(fleet::SimpleMessage("shutdown"));
+    if (ws.pid >= 0) {
+      ::kill(ws.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(ws.pid, &status, 0);
+    }
+    ws.transport->Close();
     ws.alive = false;
     --alive_count;
   }
 
   // --- inline fallback ---------------------------------------------------
-  // Every worker died (or none could be forked) with ranges still queued:
-  // finish them in this process. A zero-worker fleet is just the
+  // Every worker died (or none could be forked/accepted) with ranges still
+  // queued: finish them in this process. A zero-worker fleet is just the
   // single-process pipeline — the campaign completes either way.
   if (!exhausted && received < schedule.size() && !queue.empty()) {
     std::fprintf(stderr,
@@ -631,7 +741,7 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
           continue;  // delivered before its worker died
         }
         fleet::PointResult result = fleet::ProcessReplayPoint(
-            *engine, *tree, schedule[i], cursor.get(),
+            engine->factory(), schedule[i], cursor.get(),
             sandbox.has_value() ? &*sandbox : nullptr, warm, session);
         record_verdict(workers, i, std::move(result.verdict));
       }
@@ -645,7 +755,7 @@ Report RunFleetCampaign(FaultInjectionEngine* engine, FailurePointTree* tree,
   // winner is the lowest-seq occurrence — both are properties of the
   // schedule and the (deterministic) oracle, not of which worker ran what,
   // which is why the merged report is byte-identical to a single-process
-  // run at any worker count.
+  // run at any worker count, over fork or TCP transports alike.
   std::vector<const JournalVerdict*> ordered;
   ordered.reserve(received + engine->resume_schedule().size());
   for (size_t i = 0; i < schedule.size(); ++i) {

@@ -1,13 +1,17 @@
 #include "src/fleet/serve.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -51,7 +55,8 @@ bool SendFrameFd(int fd, const std::string& json) {
   return true;
 }
 
-// Blocks until one complete frame arrives (or EOF / corrupt stream).
+// Blocks until one complete frame arrives (or EOF / corrupt stream). Used
+// only by the clients; the daemon reads non-blocking inside its poll loop.
 bool ReadFrame(int fd, FleetFrameDecoder* decoder, JsonValue* out) {
   std::string payload;
   for (;;) {
@@ -103,106 +108,62 @@ std::string SelfExePath() {
   return std::string(buf);
 }
 
-// Drains a pipe end into `out` until EOF.
-void DrainPipe(int fd, std::string* out) {
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      out->append(buf, static_cast<size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    return;
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   }
 }
 
-// Runs one submitted campaign by re-execing this binary with the client's
-// argv tail. Returns the campaign exit code (or 2 when the exec plumbing
-// itself fails); `report` captures the campaign's stdout, `log` its stderr.
-int RunCampaign(const std::vector<std::string>& args, uint32_t default_workers,
-                std::string* report, std::string* log) {
-  const std::string exe = SelfExePath();
-  if (exe.empty()) {
-    *log = "mumak: serve: cannot resolve /proc/self/exe";
-    return 2;
-  }
-  std::vector<std::string> full;
-  full.push_back(exe);
-  bool has_fleet_workers = false;
+// Does the submitted argv already carry `flag` (as `--flag` or `--flag=`)?
+bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
   for (const std::string& arg : args) {
-    if (arg == "--fleet-workers" || arg.rfind("--fleet-workers=", 0) == 0) {
-      has_fleet_workers = true;
+    if (arg == flag || arg.rfind(flag + "=", 0) == 0) {
+      return true;
     }
-    full.push_back(arg);
   }
-  if (!has_fleet_workers && default_workers > 0) {
-    full.push_back("--fleet-workers");
-    full.push_back(std::to_string(default_workers));
-  }
-
-  int out_pipe[2];
-  int err_pipe[2];
-  if (::pipe(out_pipe) != 0) {
-    *log = "mumak: serve: pipe failed";
-    return 2;
-  }
-  if (::pipe(err_pipe) != 0) {
-    ::close(out_pipe[0]);
-    ::close(out_pipe[1]);
-    *log = "mumak: serve: pipe failed";
-    return 2;
-  }
-  std::fflush(stdout);
-  std::fflush(stderr);
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    ::close(out_pipe[0]);
-    ::close(out_pipe[1]);
-    ::close(err_pipe[0]);
-    ::close(err_pipe[1]);
-    *log = "mumak: serve: fork failed";
-    return 2;
-  }
-  if (pid == 0) {
-    ::dup2(out_pipe[1], STDOUT_FILENO);
-    ::dup2(err_pipe[1], STDERR_FILENO);
-    ::close(out_pipe[0]);
-    ::close(out_pipe[1]);
-    ::close(err_pipe[0]);
-    ::close(err_pipe[1]);
-    std::vector<char*> argv;
-    argv.reserve(full.size() + 1);
-    for (const std::string& arg : full) {
-      argv.push_back(const_cast<char*>(arg.c_str()));
-    }
-    argv.push_back(nullptr);
-    ::execv(exe.c_str(), argv.data());
-    std::fprintf(stderr, "mumak: serve: execv %s: %s\n", exe.c_str(),
-                 std::strerror(errno));
-    ::_exit(2);
-  }
-  ::close(out_pipe[1]);
-  ::close(err_pipe[1]);
-  // Sequential drains suffice: stderr is human-sized, and the kernel pipe
-  // buffer absorbs it while stdout streams.
-  DrainPipe(out_pipe[0], report);
-  DrainPipe(err_pipe[0], log);
-  ::close(out_pipe[0]);
-  ::close(err_pipe[0]);
-  int status = 0;
-  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-  }
-  if (WIFEXITED(status)) {
-    return WEXITSTATUS(status);
-  }
-  if (WIFSIGNALED(status)) {
-    return 128 + WTERMSIG(status);
-  }
-  return 2;
+  return false;
 }
+
+// One submitted campaign, from enqueue to its result frame.
+struct ServeJob {
+  uint64_t id = 0;
+  std::vector<std::string> args;
+  // The submitter's connection; -1 once it disconnected (which cancels the
+  // job) or the result was delivered.
+  int client_fd = -1;
+  enum class State { kQueued, kRunning, kDone };
+  State state = State::kQueued;
+  pid_t pid = -1;
+  int out_fd = -1;  // campaign stdout (the report)
+  int err_fd = -1;  // campaign stderr (the log)
+  std::string report;
+  std::string log;
+  int exit_code = -1;
+  bool canceled = false;
+  std::string stop_reason;
+};
+
+const char* StateName(ServeJob::State state) {
+  switch (state) {
+    case ServeJob::State::kQueued:
+      return "queued";
+    case ServeJob::State::kRunning:
+      return "running";
+    case ServeJob::State::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+// One accepted connection. `job_id` is nonzero after it submitted a job:
+// the connection then doubles as the job's cancellation scope — if it
+// drops before the result frame, the job is canceled, never re-queued.
+struct ClientConn {
+  int fd = -1;
+  FleetFrameDecoder decoder;
+  uint64_t job_id = 0;
+};
 
 int ConnectClient(const std::string& socket_path) {
   sockaddr_un addr;
@@ -228,19 +189,65 @@ int ConnectClient(const std::string& socket_path) {
 
 }  // namespace
 
-int RunServeDaemon(const std::string& socket_path, uint32_t default_workers) {
+std::string SubmitCacheKey(const std::vector<std::string>& args) {
+  // Flags that change how a campaign is scheduled or observed, but not
+  // which trace it profiles or which checks it runs — two submissions that
+  // differ only here produce the same verdicts and may share a cache.
+  static const char* const kSchedulingPrefixes[] = {
+      "--fleet-",   "--budget-",      "--journal",       "--resume-journal",
+      "--metrics",  "--progress",     "--trace-events",  "--verdict-cache",
+      "--jobs",     "--analysis-jobs",
+  };
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    bool scheduling = false;
+    for (const char* prefix : kSchedulingPrefixes) {
+      if (arg.rfind(prefix, 0) == 0) {
+        scheduling = true;
+        break;
+      }
+    }
+    if (!scheduling) {
+      kept.push_back(arg);
+      continue;
+    }
+    // `--flag value`: the value token rides along unless it is itself a
+    // flag (covers boolean flags like --progress).
+    if (arg.find('=') == std::string::npos && i + 1 < args.size() &&
+        args[i + 1].rfind("--", 0) != 0) {
+      ++i;
+    }
+  }
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const std::string& arg : kept) {
+    for (const unsigned char c : arg) {
+      hash ^= c;
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xffu;  // argument separator: {"ab"} != {"a", "b"}
+    hash *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+int RunServeDaemon(const ServeOptions& options) {
   ::signal(SIGPIPE, SIG_IGN);
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
-  action.sa_handler = HandleServeStop;  // no SA_RESTART: interrupt accept()
+  action.sa_handler = HandleServeStop;  // no SA_RESTART: interrupt poll()
   sigemptyset(&action.sa_mask);
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
 
   sockaddr_un addr;
-  if (!FillSockaddr(socket_path, &addr)) {
+  if (!FillSockaddr(options.socket_path, &addr)) {
     std::fprintf(stderr, "mumak: bad socket path '%s'\n",
-                 socket_path.c_str());
+                 options.socket_path.c_str());
     return 2;
   }
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -248,48 +255,278 @@ int RunServeDaemon(const std::string& socket_path, uint32_t default_workers) {
     std::fprintf(stderr, "mumak: socket: %s\n", std::strerror(errno));
     return 2;
   }
-  ::unlink(socket_path.c_str());  // a stale socket from a killed daemon
+  ::unlink(options.socket_path.c_str());  // stale socket of a killed daemon
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
       ::listen(listener, 16) != 0) {
     std::fprintf(stderr, "mumak: cannot listen on %s: %s\n",
-                 socket_path.c_str(), std::strerror(errno));
+                 options.socket_path.c_str(), std::strerror(errno));
     ::close(listener);
     return 2;
   }
   std::fprintf(stderr, "mumak: serving on %s (%u fleet worker(s))\n",
-               socket_path.c_str(), default_workers);
+               options.socket_path.c_str(), options.default_workers);
+  std::fprintf(stderr, "mumak: serve: job queue ready (%u concurrent)\n",
+               std::max<uint32_t>(options.max_jobs, 1));
 
+  std::vector<ServeJob> jobs;
+  std::vector<ClientConn> clients;
+  uint64_t next_job_id = 1;
   uint64_t jobs_done = 0;
   uint64_t jobs_failed = 0;
+  uint64_t jobs_canceled = 0;
   uint64_t bugs_found = 0;
-  while (g_serve_stop == 0) {
-    const int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) {
-        continue;  // signal: loop re-checks g_serve_stop
+  const uint32_t max_jobs = std::max<uint32_t>(options.max_jobs, 1);
+
+  auto running_count = [&] {
+    size_t n = 0;
+    for (const ServeJob& job : jobs) {
+      n += job.state == ServeJob::State::kRunning ? 1 : 0;
+    }
+    return n;
+  };
+  auto queued_count = [&] {
+    size_t n = 0;
+    for (const ServeJob& job : jobs) {
+      n += job.state == ServeJob::State::kQueued ? 1 : 0;
+    }
+    return n;
+  };
+  auto find_job = [&](uint64_t id) -> ServeJob* {
+    for (ServeJob& job : jobs) {
+      if (job.id == id) {
+        return &job;
       }
-      std::fprintf(stderr, "mumak: accept: %s\n", std::strerror(errno));
-      break;
     }
-    // One request per connection; a torn or garbage request just drops the
-    // connection (the client sees EOF and reports the daemon unreachable).
-    FleetFrameDecoder decoder;
-    JsonValue request;
-    if (!ReadFrame(client, &decoder, &request)) {
-      ::close(client);
-      continue;
+    return nullptr;
+  };
+
+  // Delivers the result frame (when the submitter is still connected) and
+  // folds the job into the counters.
+  auto finish_job = [&](ServeJob* job) {
+    job->state = ServeJob::State::kDone;
+    if (job->canceled) {
+      job->stop_reason = "canceled";
+      ++jobs_canceled;
+    } else if (job->log.find("injection budget exhausted") !=
+               std::string::npos) {
+      // The campaign's own --budget-* stop; still a completed job (the
+      // journal footer records the partial report).
+      job->stop_reason = "budget-exhausted";
+    } else if (job->exit_code == 0) {
+      job->stop_reason = "ok";
+    } else if (job->exit_code == 1) {
+      job->stop_reason = "bugs";
+    } else {
+      job->stop_reason = "failed";
     }
+    if (!job->canceled) {
+      if (job->exit_code == 0 || job->exit_code == 1) {
+        ++jobs_done;
+        bugs_found += job->exit_code;  // exit 1 == bugs were found
+      } else {
+        ++jobs_failed;
+      }
+    }
+    if (job->client_fd >= 0) {
+      SendFrameFd(job->client_fd,
+                  JsonObject()
+                      .Str("type", "result")
+                      .U64("exit", static_cast<uint64_t>(std::max(
+                                       job->exit_code, 0)))
+                      .Str("stop", job->stop_reason)
+                      .Str("report", job->report)
+                      .Str("log", job->log)
+                      .Finish());
+      ::close(job->client_fd);
+      job->client_fd = -1;
+      for (ClientConn& conn : clients) {
+        if (conn.job_id == job->id) {
+          conn.fd = -1;  // the sweep below drops it
+        }
+      }
+    }
+    job->report.clear();  // delivered (or undeliverable); don't hoard it
+    job->log.clear();
+  };
+
+  // Forks and execs one queued job. The re-exec binary comes from
+  // MUMAK_SERVE_EXEC (tests) or /proc/self/exe.
+  auto start_job = [&](ServeJob* job) {
+    const char* env_exe = std::getenv("MUMAK_SERVE_EXEC");
+    const std::string exe =
+        env_exe != nullptr && env_exe[0] != '\0' ? env_exe : SelfExePath();
+    if (exe.empty()) {
+      job->log = "mumak: serve: cannot resolve /proc/self/exe";
+      job->exit_code = 2;
+      finish_job(job);
+      return;
+    }
+    std::vector<std::string> full;
+    full.push_back(exe);
+    for (const std::string& arg : job->args) {
+      full.push_back(arg);
+    }
+    if (options.default_workers > 0 &&
+        !HasFlag(job->args, "--fleet-workers")) {
+      full.push_back("--fleet-workers");
+      full.push_back(std::to_string(options.default_workers));
+    }
+    if (options.budget_checks > 0 && !HasFlag(job->args, "--budget-checks")) {
+      full.push_back("--budget-checks");
+      full.push_back(std::to_string(options.budget_checks));
+    }
+    if (options.budget_seconds > 0 &&
+        !HasFlag(job->args, "--budget-seconds")) {
+      full.push_back("--budget-seconds");
+      full.push_back(std::to_string(options.budget_seconds));
+    }
+    if (!options.cache_dir.empty() &&
+        !HasFlag(job->args, "--verdict-cache")) {
+      full.push_back("--verdict-cache");
+      full.push_back(options.cache_dir + "/" + SubmitCacheKey(job->args) +
+                     ".mvc");
+    }
+
+    int out_pipe[2];
+    int err_pipe[2];
+    if (::pipe(out_pipe) != 0) {
+      job->log = "mumak: serve: pipe failed";
+      job->exit_code = 2;
+      finish_job(job);
+      return;
+    }
+    if (::pipe(err_pipe) != 0) {
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      job->log = "mumak: serve: pipe failed";
+      job->exit_code = 2;
+      finish_job(job);
+      return;
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      ::close(err_pipe[0]);
+      ::close(err_pipe[1]);
+      job->log = "mumak: serve: fork failed";
+      job->exit_code = 2;
+      finish_job(job);
+      return;
+    }
+    if (pid == 0) {
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::dup2(err_pipe[1], STDERR_FILENO);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      ::close(err_pipe[0]);
+      ::close(err_pipe[1]);
+      std::vector<char*> argv;
+      argv.reserve(full.size() + 1);
+      for (const std::string& arg : full) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(exe.c_str(), argv.data());
+      std::fprintf(stderr, "mumak: serve: execv %s: %s\n", exe.c_str(),
+                   std::strerror(errno));
+      ::_exit(2);
+    }
+    ::close(out_pipe[1]);
+    ::close(err_pipe[1]);
+    SetNonBlocking(out_pipe[0]);
+    SetNonBlocking(err_pipe[0]);
+    job->pid = pid;
+    job->out_fd = out_pipe[0];
+    job->err_fd = err_pipe[0];
+    job->state = ServeJob::State::kRunning;
+  };
+
+  // Non-blocking drain of one campaign pipe; returns false at EOF.
+  auto drain_job_pipe = [](int fd, std::string* out) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        out->append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;  // EOF (or a hard error: treat as EOF)
+    }
+  };
+
+  auto status_reply = [&] {
+    std::string jobs_json = "[";
+    // Oldest jobs age out of the status view, never out of the counters.
+    const size_t first = jobs.size() > 32 ? jobs.size() - 32 : 0;
+    for (size_t i = first; i < jobs.size(); ++i) {
+      const ServeJob& job = jobs[i];
+      if (i != first) {
+        jobs_json += ", ";
+      }
+      jobs_json += JsonObject()
+                       .U64("id", job.id)
+                       .Str("state", StateName(job.state))
+                       .U64("exit", static_cast<uint64_t>(
+                                        std::max(job.exit_code, 0)))
+                       .Str("stop", job.stop_reason)
+                       .Finish();
+    }
+    jobs_json += "]";
+    return JsonObject()
+        .Str("type", "status")
+        .U64("jobs_done", jobs_done)
+        .U64("jobs_failed", jobs_failed)
+        .U64("jobs_canceled", jobs_canceled)
+        .U64("bugs_found", bugs_found)
+        .U64("workers", options.default_workers)
+        .U64("queue_depth", queued_count())
+        .U64("running", running_count())
+        .U64("max_jobs", max_jobs)
+        .Raw("jobs", jobs_json)
+        .Finish();
+  };
+
+  // A submitter that disconnects takes its job with it: a queued job is
+  // dropped, a running one killed. Nothing is re-queued — stale work must
+  // not outlive the client that asked for it.
+  auto cancel_for_disconnect = [&](uint64_t job_id) {
+    ServeJob* job = find_job(job_id);
+    if (job == nullptr) {
+      return;
+    }
+    job->client_fd = -1;
+    if (job->state == ServeJob::State::kQueued) {
+      job->canceled = true;
+      job->exit_code = 0;
+      finish_job(job);
+    } else if (job->state == ServeJob::State::kRunning) {
+      job->canceled = true;
+      ::kill(job->pid, SIGKILL);  // the pipe EOFs drive the normal reap
+    }
+  };
+
+  // Handles one decoded request frame; returns false when the connection
+  // should close (status served, error, or garbage).
+  auto handle_request = [&](ClientConn* conn, const JsonValue& request) {
     const std::string type = request.Str("type");
     if (type == "status") {
-      SendFrameFd(client, JsonObject()
-                              .Str("type", "status")
-                              .U64("jobs_done", jobs_done)
-                              .U64("jobs_failed", jobs_failed)
-                              .U64("bugs_found", bugs_found)
-                              .U64("workers", default_workers)
-                              .Finish());
-    } else if (type == "submit") {
+      SendFrameFd(conn->fd, status_reply());
+      return false;
+    }
+    if (type == "submit") {
+      if (conn->job_id != 0) {
+        return false;  // one job per connection
+      }
       std::vector<std::string> args;
       const JsonValue* argv = request.Find("argv");
       if (argv != nullptr && argv->type == JsonValue::Type::kArray) {
@@ -300,41 +537,208 @@ int RunServeDaemon(const std::string& socket_path, uint32_t default_workers) {
         }
       }
       if (args.empty()) {
-        SendFrameFd(client, JsonObject()
-                                .Str("type", "error")
-                                .Str("detail", "submit carried no argv")
-                                .Finish());
-      } else {
-        std::string report;
-        std::string log;
-        const int exit_code =
-            RunCampaign(args, default_workers, &report, &log);
-        if (exit_code == 0 || exit_code == 1) {
-          ++jobs_done;
-          bugs_found += exit_code;  // exit 1 == bugs were found
-        } else {
-          ++jobs_failed;
-        }
-        // A client killed mid-campaign makes this send fail; the campaign's
-        // own journal/cache side effects are already on disk either way.
-        SendFrameFd(client, JsonObject()
-                                .Str("type", "result")
-                                .U64("exit", static_cast<uint64_t>(exit_code))
-                                .Str("report", report)
-                                .Str("log", log)
-                                .Finish());
+        SendFrameFd(conn->fd, JsonObject()
+                                  .Str("type", "error")
+                                  .Str("detail", "submit carried no argv")
+                                  .Finish());
+        return false;
       }
-    } else {
-      SendFrameFd(client,
-                  JsonObject()
-                      .Str("type", "error")
-                      .Str("detail", "unknown request type '" + type + "'")
-                      .Finish());
+      ServeJob job;
+      job.id = next_job_id++;
+      job.args = std::move(args);
+      job.client_fd = conn->fd;
+      conn->job_id = job.id;
+      jobs.push_back(std::move(job));
+      return true;  // connection stays open until the result frame
     }
-    ::close(client);
+    SendFrameFd(conn->fd,
+                JsonObject()
+                    .Str("type", "error")
+                    .Str("detail", "unknown request type '" + type + "'")
+                    .Finish());
+    return false;
+  };
+
+  while (g_serve_stop == 0) {
+    // Admit queued jobs into free run slots, oldest first.
+    while (running_count() < max_jobs) {
+      ServeJob* next = nullptr;
+      for (ServeJob& job : jobs) {
+        if (job.state == ServeJob::State::kQueued) {
+          next = &job;
+          break;
+        }
+      }
+      if (next == nullptr) {
+        break;
+      }
+      start_job(next);
+    }
+
+    struct PollRef {
+      enum class Kind { kListener, kClient, kJobOut, kJobErr } kind;
+      size_t index;
+    };
+    std::vector<pollfd> pfds;
+    std::vector<PollRef> refs;
+    pfds.push_back({listener, POLLIN, 0});
+    refs.push_back({PollRef::Kind::kListener, 0});
+    for (size_t c = 0; c < clients.size(); ++c) {
+      if (clients[c].fd >= 0) {
+        pfds.push_back({clients[c].fd, POLLIN, 0});
+        refs.push_back({PollRef::Kind::kClient, c});
+      }
+    }
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      if (jobs[j].state != ServeJob::State::kRunning) {
+        continue;
+      }
+      if (jobs[j].out_fd >= 0) {
+        pfds.push_back({jobs[j].out_fd, POLLIN, 0});
+        refs.push_back({PollRef::Kind::kJobOut, j});
+      }
+      if (jobs[j].err_fd >= 0) {
+        pfds.push_back({jobs[j].err_fd, POLLIN, 0});
+        refs.push_back({PollRef::Kind::kJobErr, j});
+      }
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), 200);
+    if (ready < 0 && errno != EINTR) {
+      std::fprintf(stderr, "mumak: serve: poll: %s\n", std::strerror(errno));
+      break;
+    }
+    if (g_serve_stop != 0) {
+      break;
+    }
+    for (size_t p = 0; p < pfds.size() && ready > 0; ++p) {
+      if (pfds[p].revents == 0) {
+        continue;
+      }
+      const PollRef ref = refs[p];
+      if (ref.kind == PollRef::Kind::kListener) {
+        const int client = ::accept(listener, nullptr, nullptr);
+        if (client >= 0) {
+          SetNonBlocking(client);
+          ClientConn conn;
+          conn.fd = client;
+          clients.push_back(std::move(conn));
+        }
+        continue;
+      }
+      if (ref.kind == PollRef::Kind::kJobOut ||
+          ref.kind == PollRef::Kind::kJobErr) {
+        ServeJob& job = jobs[ref.index];
+        int* fd = ref.kind == PollRef::Kind::kJobOut ? &job.out_fd
+                                                     : &job.err_fd;
+        std::string* sink =
+            ref.kind == PollRef::Kind::kJobOut ? &job.report : &job.log;
+        if (*fd >= 0 && !drain_job_pipe(*fd, sink)) {
+          ::close(*fd);
+          *fd = -1;
+        }
+        if (job.out_fd < 0 && job.err_fd < 0 &&
+            job.state == ServeJob::State::kRunning) {
+          // Both streams closed: the campaign (and anything that inherited
+          // its stdio) has exited. Reap and deliver.
+          int status = 0;
+          while (::waitpid(job.pid, &status, 0) < 0 && errno == EINTR) {
+          }
+          if (WIFEXITED(status)) {
+            job.exit_code = WEXITSTATUS(status);
+          } else if (WIFSIGNALED(status)) {
+            job.exit_code = 128 + WTERMSIG(status);
+          } else {
+            job.exit_code = 2;
+          }
+          job.pid = -1;
+          finish_job(&job);
+        }
+        continue;
+      }
+      // Client traffic (or hangup).
+      ClientConn& conn = clients[ref.index];
+      if (conn.fd < 0) {
+        continue;
+      }
+      bool closed = false;
+      if ((pfds[p].revents & POLLIN) != 0) {
+        for (;;) {
+          uint8_t buf[4096];
+          const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), MSG_DONTWAIT);
+          if (n > 0) {
+            conn.decoder.Feed(buf, static_cast<size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            closed = true;
+          } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            closed = true;
+          }
+          break;
+        }
+        std::string payload;
+        while (!closed) {
+          const FleetDecodeStatus status = conn.decoder.Next(&payload);
+          if (status == FleetDecodeStatus::kNeedMore) {
+            break;
+          }
+          JsonValue request;
+          if (status != FleetDecodeStatus::kOk ||
+              !JsonParser(payload).Parse(&request)) {
+            closed = true;  // corrupt stream: drop the connection
+            break;
+          }
+          if (!handle_request(&conn, request)) {
+            closed = true;
+            break;
+          }
+        }
+      } else if ((pfds[p].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+        closed = true;
+      }
+      if (closed) {
+        const uint64_t owned_job = conn.job_id;
+        ::close(conn.fd);
+        conn.fd = -1;
+        if (owned_job != 0) {
+          cancel_for_disconnect(owned_job);
+        }
+      }
+    }
+    clients.erase(std::remove_if(clients.begin(), clients.end(),
+                                 [](const ClientConn& conn) {
+                                   return conn.fd < 0;
+                                 }),
+                  clients.end());
+  }
+
+  // Shutdown: running campaigns die with the daemon (their journals are
+  // crash-safe; a resubmission resumes). Waiting clients see EOF.
+  for (ServeJob& job : jobs) {
+    if (job.state != ServeJob::State::kRunning) {
+      continue;
+    }
+    if (job.pid >= 0) {
+      ::kill(job.pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(job.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    if (job.out_fd >= 0) {
+      ::close(job.out_fd);
+    }
+    if (job.err_fd >= 0) {
+      ::close(job.err_fd);
+    }
+  }
+  for (ClientConn& conn : clients) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+    }
   }
   ::close(listener);
-  ::unlink(socket_path.c_str());
+  ::unlink(options.socket_path.c_str());
   std::fprintf(stderr, "mumak: serve: shut down (%llu job(s) done)\n",
                static_cast<unsigned long long>(jobs_done));
   return 0;
@@ -400,6 +804,32 @@ int RunStatusClient(const std::string& socket_path) {
       static_cast<unsigned long long>(reply.U64("jobs_failed")),
       static_cast<unsigned long long>(reply.U64("bugs_found")),
       static_cast<unsigned long long>(reply.U64("workers")));
+  std::printf(
+      "mumak serve: queue: %llu queued, %llu running (max %llu), %llu "
+      "canceled\n",
+      static_cast<unsigned long long>(reply.U64("queue_depth")),
+      static_cast<unsigned long long>(reply.U64("running")),
+      static_cast<unsigned long long>(reply.U64("max_jobs")),
+      static_cast<unsigned long long>(reply.U64("jobs_canceled")));
+  const JsonValue* job_list = reply.Find("jobs");
+  if (job_list != nullptr && job_list->type == JsonValue::Type::kArray) {
+    for (const JsonValue& job : job_list->array) {
+      if (job.type != JsonValue::Type::kObject) {
+        continue;
+      }
+      const std::string state = job.Str("state");
+      if (state == "done") {
+        std::printf("mumak serve: job %llu: done (exit %llu, %s)\n",
+                    static_cast<unsigned long long>(job.U64("id")),
+                    static_cast<unsigned long long>(job.U64("exit")),
+                    job.Str("stop").c_str());
+      } else {
+        std::printf("mumak serve: job %llu: %s\n",
+                    static_cast<unsigned long long>(job.U64("id")),
+                    state.c_str());
+      }
+    }
+  }
   return 0;
 }
 

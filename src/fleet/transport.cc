@@ -1,0 +1,338 @@
+#include "src/fleet/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/observability/journal.h"
+
+namespace mumak {
+namespace fleet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Parses "host:port" / ":port" / "port". False on a malformed port.
+bool SplitHostPort(const std::string& address, std::string* host,
+                   uint16_t* port, std::string* error) {
+  const size_t colon = address.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? address : address.substr(colon + 1);
+  *host = colon == std::string::npos ? std::string() : address.substr(0, colon);
+  if (port_text.empty()) {
+    *error = "address '" + address + "' has no port";
+    return false;
+  }
+  uint32_t value = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      *error = "address '" + address + "' has a non-numeric port";
+      return false;
+    }
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+    if (value > 65535) {
+      *error = "address '" + address + "' port out of range";
+      return false;
+    }
+  }
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+bool FillInetAddr(const std::string& host, uint16_t port, bool listen_side,
+                  sockaddr_in* addr, std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  std::string name = host;
+  if (name.empty()) {
+    name = listen_side ? "0.0.0.0" : "127.0.0.1";
+  } else if (name == "localhost") {
+    name = "127.0.0.1";
+  }
+  if (::inet_pton(AF_INET, name.c_str(), &addr->sin_addr) != 1) {
+    *error = "cannot parse IPv4 host '" + name + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Transport::~Transport() { Close(); }
+
+bool Transport::Send(const std::string& json) {
+  if (fd_ < 0) {
+    return false;
+  }
+  const std::string frame = FleetFrame(json);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // peer gone; the caller's poll/reap path cleans up
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int Transport::ReadSome(bool blocking) {
+  if (fd_ < 0) {
+    return -1;
+  }
+  bool fed = false;
+  for (;;) {
+    uint8_t buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), blocking ? 0 : MSG_DONTWAIT);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      fed = true;
+      if (blocking) {
+        return 1;  // one blocking read per call; the caller drains frames
+      }
+      continue;  // non-blocking: drain until EAGAIN
+    }
+    if (n == 0) {
+      return -1;  // EOF: the peer exited or the connection dropped
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return fed ? 1 : 0;
+    }
+    return -1;
+  }
+}
+
+FleetDecodeStatus Transport::Next(std::string* payload) {
+  return decoder_.Next(payload);
+}
+
+void Transport::DrainPending() {
+  if (fd_ < 0) {
+    return;
+  }
+  for (;;) {
+    uint8_t buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n <= 0) {
+      return;
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+void Transport::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int TcpListen(const std::string& address, std::string* error) {
+  std::string host;
+  uint16_t port = 0;
+  if (!SplitHostPort(address, &host, &port, error)) {
+    return -1;
+  }
+  sockaddr_in addr;
+  if (!FillInetAddr(host, port, /*listen_side=*/true, &addr, error)) {
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    *error = "cannot listen on '" + address + "': " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+uint16_t TcpBoundPort(int listener_fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+std::unique_ptr<TcpTransport> TcpAccept(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_unique<TcpTransport>(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return nullptr;
+  }
+}
+
+std::unique_ptr<TcpTransport> TcpConnect(const std::string& address,
+                                         std::string* error) {
+  std::string host;
+  uint16_t port = 0;
+  if (!SplitHostPort(address, &host, &port, error)) {
+    return nullptr;
+  }
+  sockaddr_in addr;
+  if (!FillInetAddr(host, port, /*listen_side=*/false, &addr, error)) {
+    return nullptr;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    *error = "cannot connect to '" + address + "': " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpTransport>(fd);
+}
+
+std::string HandshakeMessage(const FleetHandshake& hs) {
+  char fingerprint_hex[17];
+  std::snprintf(fingerprint_hex, sizeof(fingerprint_hex), "%016llx",
+                static_cast<unsigned long long>(hs.fingerprint));
+  return JsonObject()
+      .Str("type", "handshake")
+      .U64("proto", hs.proto)
+      .Str("role", hs.role)
+      .U64("worker", hs.worker)
+      .Str("fingerprint", fingerprint_hex)
+      .Finish();
+}
+
+bool ParseHandshake(const JsonValue& msg, FleetHandshake* out) {
+  if (msg.Str("type") != "handshake") {
+    return false;
+  }
+  out->proto = static_cast<uint32_t>(msg.U64("proto"));
+  out->role = msg.Str("role");
+  out->worker = static_cast<uint32_t>(msg.U64("worker"));
+  out->fingerprint =
+      std::strtoull(msg.Str("fingerprint").c_str(), nullptr, 16);
+  return true;
+}
+
+FleetDecodeStatus DecodeHandshakeFrame(const uint8_t* data, size_t size,
+                                       std::string* payload,
+                                       size_t* consumed) {
+  if (size < kFleetHeaderBytes) {
+    return FleetDecodeStatus::kNeedMore;
+  }
+  if (std::memcmp(data, kFleetMagic, sizeof(kFleetMagic)) != 0) {
+    return FleetDecodeStatus::kBadMagic;
+  }
+  const uint32_t len = GetU32(data + 4);
+  if (len > kFleetMaxHandshakeBytes) {
+    return FleetDecodeStatus::kOversized;
+  }
+  if (size < kFleetHeaderBytes + len) {
+    return FleetDecodeStatus::kNeedMore;
+  }
+  const uint32_t crc = GetU32(data + 8);
+  const char* body = reinterpret_cast<const char*>(data + kFleetHeaderBytes);
+  if (JournalCrc32(body, len) != crc) {
+    return FleetDecodeStatus::kBadCrc;
+  }
+  payload->assign(body, len);
+  *consumed = kFleetHeaderBytes + len;
+  return FleetDecodeStatus::kOk;
+}
+
+bool ReadHandshake(Transport* transport, int timeout_ms, FleetHandshake* out,
+                   std::string* error) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::vector<uint8_t> buffer;
+  for (;;) {
+    std::string payload;
+    size_t consumed = 0;
+    const FleetDecodeStatus status =
+        DecodeHandshakeFrame(buffer.data(), buffer.size(), &payload,
+                             &consumed);
+    if (status == FleetDecodeStatus::kOk) {
+      JsonValue msg;
+      if (!JsonParser(payload).Parse(&msg) || !ParseHandshake(msg, out)) {
+        *error = "first frame is not a handshake";
+        return false;
+      }
+      // Whatever followed the handshake belongs to the regular stream.
+      if (consumed < buffer.size()) {
+        transport->decoder()->Feed(buffer.data() + consumed,
+                                   buffer.size() - consumed);
+      }
+      return true;
+    }
+    if (status != FleetDecodeStatus::kNeedMore) {
+      *error = status == FleetDecodeStatus::kOversized
+                   ? "handshake frame exceeds the handshake length cap"
+                   : "handshake frame is corrupt";
+      return false;
+    }
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      *error = "timed out waiting for the peer handshake";
+      return false;
+    }
+    pollfd pfd = {transport->fd(), POLLIN, 0};
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = ::poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1);
+    if (ready < 0 && errno != EINTR) {
+      *error = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    uint8_t chunk[4096];
+    const ssize_t n = ::recv(transport->fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.insert(buffer.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    *error = "peer hung up before completing the handshake";
+    return false;
+  }
+}
+
+}  // namespace fleet
+}  // namespace mumak

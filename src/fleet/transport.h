@@ -1,0 +1,154 @@
+// Fleet transport abstraction (src/fleet): one byte stream carrying MFL1
+// frames between the scheduler and a worker, with the framed codec, the
+// sticky-corrupt discipline and the salvage path owned here so the
+// scheduler never touches a raw fd. Two concrete transports:
+//
+//  - SocketPairTransport: one end of an AF_UNIX socketpair to a forked
+//    worker (PR 8's path — the worker inherits campaign state
+//    copy-on-write).
+//  - TcpTransport: a connected TCP socket to a stateless remote worker
+//    (`mumak worker --connect host:port`). The first frame in each
+//    direction is a length-limited handshake (kFleetMaxHandshakeBytes)
+//    carrying the protocol version and the trace fingerprint, so an
+//    incompatible or hostile peer is rejected before the general 1 MiB
+//    frame cap would let it make the scheduler buffer anything.
+//
+// Everything above this interface — heartbeat death detection, work
+// stealing, range re-queue, the verdict merge — is transport-agnostic:
+// a remote worker's death is a connection loss instead of a SIGCHLD, and
+// the scheduler's reap path only signals/waits when it owns a pid.
+
+#ifndef MUMAK_SRC_FLEET_TRANSPORT_H_
+#define MUMAK_SRC_FLEET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/fleet/wire.h"
+#include "src/observability/flat_json.h"
+
+namespace mumak {
+namespace fleet {
+
+// Protocol version carried in the TCP handshake. Bumped whenever a frame
+// the bootstrap sequence ships changes incompatibly.
+inline constexpr uint32_t kFleetProtoVersion = 1;
+// Length cap on the first (handshake) frame of a TCP connection. A
+// handshake is a small fixed-shape object; anything bigger is a peer that
+// does not speak this protocol.
+inline constexpr uint32_t kFleetMaxHandshakeBytes = 4096;
+
+// One framed MFL1 byte stream to a peer. Owns the fd and the incremental
+// decoder; Send/ReadSome are EINTR-safe and never raise SIGPIPE.
+class Transport {
+ public:
+  virtual ~Transport();
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual const char* kind() const = 0;
+
+  int fd() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+
+  // Frames `json` and writes it fully. False when the peer is gone (the
+  // caller's poll/reap path handles the cleanup).
+  bool Send(const std::string& json);
+
+  // Reads bytes into the decoder. Blocking mode performs one blocking
+  // recv; non-blocking mode drains everything available. Returns -1 when
+  // the peer is gone (EOF or hard error), 0 when nothing was available,
+  // 1 when bytes were fed.
+  int ReadSome(bool blocking);
+
+  // Extracts the next complete decoded payload (see FleetFrameDecoder).
+  FleetDecodeStatus Next(std::string* payload);
+
+  // Salvage at death: drains whatever the dying peer flushed into the
+  // kernel buffer without blocking, so intact frames ahead of the torn
+  // tail still decode.
+  void DrainPending();
+
+  void Close();
+
+  FleetFrameDecoder* decoder() { return &decoder_; }
+
+ protected:
+  explicit Transport(int fd) : fd_(fd) {}
+
+  int fd_;
+  FleetFrameDecoder decoder_;
+};
+
+// One end of an AF_UNIX socketpair to a forked worker.
+class SocketPairTransport : public Transport {
+ public:
+  explicit SocketPairTransport(int fd) : Transport(fd) {}
+  const char* kind() const override { return "socketpair"; }
+};
+
+// A connected TCP socket (either direction).
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(int fd) : Transport(fd) {}
+  const char* kind() const override { return "tcp"; }
+};
+
+// --- TCP plumbing (IPv4; `address` is "host:port", host defaulting to
+// 127.0.0.1 for connect and 0.0.0.0 for listen) --------------------------
+
+// Binds and listens. Returns the listener fd, or -1 with `*error` set.
+int TcpListen(const std::string& address, std::string* error);
+
+// Port a listener is bound to (resolves ":0" binds). 0 on failure.
+uint16_t TcpBoundPort(int listener_fd);
+
+// Accepts one pending connection (the caller polls the listener first).
+// Null on accept failure.
+std::unique_ptr<TcpTransport> TcpAccept(int listener_fd);
+
+// Dials `address`. Null with `*error` set on failure.
+std::unique_ptr<TcpTransport> TcpConnect(const std::string& address,
+                                         std::string* error);
+
+// --- handshake ----------------------------------------------------------
+
+// First frame on a TCP fleet connection, both directions:
+//   worker    -> scheduler: {type:"handshake", proto, role:"worker"}
+//   scheduler -> worker:    {type:"handshake", proto, role:"scheduler",
+//                            worker:<lane>, fingerprint:"<16 hex>"}
+struct FleetHandshake {
+  uint32_t proto = 0;
+  std::string role;
+  uint32_t worker = 0;
+  uint64_t fingerprint = 0;
+};
+
+std::string HandshakeMessage(const FleetHandshake& hs);
+
+// False when `msg` is not a handshake object. Does not validate the
+// version — the caller decides how to reject a mismatch.
+bool ParseHandshake(const JsonValue& msg, FleetHandshake* out);
+
+// Decodes one frame from a raw buffer under the handshake length cap:
+// same framing as FleetFrameDecoder::Next but any declared payload above
+// kFleetMaxHandshakeBytes is kOversized even though the general protocol
+// would accept it. `*consumed` is set only on kOk.
+FleetDecodeStatus DecodeHandshakeFrame(const uint8_t* data, size_t size,
+                                       std::string* payload,
+                                       size_t* consumed);
+
+// Reads and validates the peer's handshake as the first traffic on
+// `transport`, enforcing the length cap before the general decoder sees a
+// byte. Bytes past the handshake frame are fed into the transport's
+// decoder, so the stream continues seamlessly. False on timeout, EOF,
+// cap violation or a malformed handshake, with `*error` explaining.
+bool ReadHandshake(Transport* transport, int timeout_ms, FleetHandshake* out,
+                   std::string* error);
+
+}  // namespace fleet
+}  // namespace mumak
+
+#endif  // MUMAK_SRC_FLEET_TRANSPORT_H_

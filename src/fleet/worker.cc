@@ -1,7 +1,5 @@
 #include "src/fleet/worker.h"
 
-#include <sys/socket.h>
-
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -12,6 +10,7 @@
 #include <utility>
 
 #include "src/fleet/messages.h"
+#include "src/fleet/transport.h"
 #include "src/fleet/wire.h"
 #include "src/observability/flat_json.h"
 #include "src/pmem/replay_cursor.h"
@@ -77,8 +76,7 @@ OracleRun RunPointOracle(RecoverySandbox* sandbox, const TargetFactory& factory,
 
 }  // namespace
 
-PointResult ProcessReplayPoint(const FaultInjectionEngine& engine,
-                               const FailurePointTree& tree,
+PointResult ProcessReplayPoint(const TargetFactory& factory,
                                const ReplayPoint& point, ReplayCursor* cursor,
                                RecoverySandbox* sandbox,
                                VerdictCache* warm_cache,
@@ -125,21 +123,15 @@ PointResult ProcessReplayPoint(const FaultInjectionEngine& engine,
                          " first checked at seq " +
                          std::to_string(cached.first_seq);
     r.verdict.from_cache = true;
-    if (static_cast<RecoveryStatus>(cached.status) != RecoveryStatus::kOk) {
-      r.verdict.location = tree.DescribePath(point.node);
-    }
     return r;
   }
 
-  const OracleRun run = RunPointOracle(sandbox, engine.factory(), image);
+  const OracleRun run = RunPointOracle(sandbox, factory, image);
   r.verdict.status = StatusName(run.result.status);
   r.verdict.detail = run.result.detail;
   r.verdict.signal_name = run.signal_name;
   r.verdict.timed_out = run.timed_out;
   r.verdict.wall_us = run.wall_us;
-  if (!run.result.ok()) {
-    r.verdict.location = tree.DescribePath(point.node);
-  }
   if (fresh_insert) {
     r.insert = true;
     r.entry.status = static_cast<uint32_t>(run.result.status);
@@ -156,77 +148,58 @@ PointResult ProcessReplayPoint(const FaultInjectionEngine& engine,
   return r;
 }
 
-void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
-                const FailurePointTree& tree,
-                const std::vector<ReplayPoint>& schedule,
-                const ReplaySeekIndex& seek_index, VerdictCache* warm_cache) {
+void WorkerLoop(Transport* transport, uint32_t worker_id,
+                const WorkerEnv& env) {
   ::signal(SIGPIPE, SIG_IGN);
-  const FaultInjectionOptions& opts = engine.options();
+  const std::vector<ReplayPoint>& schedule = *env.schedule;
 
-  // The worker's own sandbox: forked here, while this (child) process is
-  // single-threaded — the parent's fork-server (if any) was not inherited
-  // usably, and slots map 1:1 onto oracle runs, so one slot suffices.
+  // The worker's own sandbox: forked here, while this process is
+  // single-threaded, and slots map 1:1 onto oracle runs, so one slot
+  // suffices.
   std::optional<RecoverySandbox> sandbox;
-  if (opts.sandbox.policy != SandboxPolicy::kInProcess) {
-    SandboxOptions sandbox_options = opts.sandbox;
-    sandbox_options.metrics = nullptr;  // parent-owned; not fork-safe
+  if (env.sandbox.policy != SandboxPolicy::kInProcess) {
+    SandboxOptions sandbox_options = env.sandbox;
+    sandbox_options.metrics = nullptr;  // scheduler-owned; not ours
     sandbox_options.tracer = nullptr;
-    sandbox.emplace(engine.factory(), engine.profiled_pool_size(), 1,
-                    sandbox_options);
+    sandbox.emplace(env.factory, env.pool_size, 1, sandbox_options);
   }
   std::optional<VerdictCache> session;
-  if (opts.image_dedup) {
-    session.emplace(opts.verify_dedup);
+  if (env.image_dedup) {
+    session.emplace(env.verify_dedup);
   }
-  if (!opts.image_dedup) {
-    warm_cache = nullptr;
-  }
+  VerdictCache* warm_cache = env.image_dedup ? env.warm_cache : nullptr;
 
-  FleetFrameDecoder decoder;
   std::deque<JsonValue> inbox;
   auto last_send = std::chrono::steady_clock::now();
 
   auto send_json = [&](const std::string& json) -> bool {
-    const std::string frame = FleetFrame(json);
-    size_t off = 0;
-    while (off < frame.size()) {
-      const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        return false;  // scheduler gone
-      }
-      off += static_cast<size_t>(n);
+    if (!transport->Send(json)) {
+      return false;  // scheduler gone
     }
     last_send = std::chrono::steady_clock::now();
     return true;
   };
   // -1 peer dead/corrupt, 0 nothing available, 1 progress.
   auto read_some = [&](bool blocking) -> int {
-    uint8_t buf[4096];
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), blocking ? 0 : MSG_DONTWAIT);
-    if (n > 0) {
-      decoder.Feed(buf, static_cast<size_t>(n));
-      std::string payload;
-      for (;;) {
-        const FleetDecodeStatus status = decoder.Next(&payload);
-        if (status == FleetDecodeStatus::kOk) {
-          JsonValue msg;
-          if (JsonParser(payload).Parse(&msg)) {
-            inbox.push_back(std::move(msg));
-          }
-          continue;
-        }
-        return status == FleetDecodeStatus::kNeedMore ? 1 : -1;
-      }
-    }
-    if (n == 0) {
+    const int got = transport->ReadSome(blocking);
+    if (got < 0) {
       return -1;  // EOF: scheduler died; anytime/resume semantics take over
     }
-    return (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) ? 0
-                                                                       : -1;
+    std::string payload;
+    for (;;) {
+      const FleetDecodeStatus status = transport->Next(&payload);
+      if (status == FleetDecodeStatus::kOk) {
+        JsonValue msg;
+        if (JsonParser(payload).Parse(&msg)) {
+          inbox.push_back(std::move(msg));
+        }
+        continue;
+      }
+      if (status != FleetDecodeStatus::kNeedMore) {
+        return -1;  // corrupt stream
+      }
+      return got;
+    }
   };
 
   if (!send_json(JsonObject()
@@ -268,9 +241,9 @@ void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
     }
     // Seek to the shard start instead of replaying the whole prefix; the
     // cursor then advances monotonically within the (seq-contiguous) range.
-    std::unique_ptr<ReplayCursor> cursor = seek_index.SeekCursor(
-        schedule[begin].seq, engine.profiled_pool_size(),
-        /*track_digest=*/opts.image_dedup);
+    std::unique_ptr<ReplayCursor> cursor = env.seek_index->SeekCursor(
+        schedule[begin].seq, env.pool_size,
+        /*track_digest=*/env.image_dedup);
     for (size_t i = begin; i < end; ++i) {
       // Drain control traffic between points: steal requests shrink this
       // range's tail, shutdown aborts mid-range.
@@ -319,7 +292,7 @@ void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
         }
       }
       const PointResult r = ProcessReplayPoint(
-          engine, tree, schedule[i], cursor.get(),
+          env.factory, schedule[i], cursor.get(),
           sandbox.has_value() ? &*sandbox : nullptr, warm_cache,
           session.has_value() ? &*session : nullptr);
       // Insert precedes verdict on the stream: the scheduler's event loop
@@ -340,6 +313,23 @@ void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
       return;
     }
   }
+}
+
+void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
+                const std::vector<ReplayPoint>& schedule,
+                const ReplaySeekIndex& seek_index, VerdictCache* warm_cache) {
+  const FaultInjectionOptions& opts = engine.options();
+  WorkerEnv env;
+  env.factory = engine.factory();
+  env.pool_size = engine.profiled_pool_size();
+  env.schedule = &schedule;
+  env.seek_index = &seek_index;
+  env.warm_cache = warm_cache;
+  env.image_dedup = opts.image_dedup;
+  env.verify_dedup = opts.verify_dedup;
+  env.sandbox = opts.sandbox;
+  SocketPairTransport transport(fd);
+  WorkerLoop(&transport, worker_id, env);
 }
 
 }  // namespace fleet

@@ -1,13 +1,21 @@
 // Fleet injection worker (src/fleet): the per-process half of the campaign
-// scheduler. A worker is forked by the scheduler *after* Profile(), so it
-// inherits the replay trace, the failure point tree, the seq-sorted
-// injection schedule, the seek index and the loaded (warm) verdict cache
-// copy-on-write — the only per-worker state it builds is its own recovery
-// sandbox (forked single-threaded inside the child) and a session verdict
-// cache for the digests it checks fresh. It speaks MFL1 over one unix
-// socket: receives contiguous schedule ranges, emits one verdict frame per
-// point (in index order), offers the tail of its range when asked to be
-// stolen from, and heartbeats through long oracle gaps.
+// scheduler. Two bootstrap flavours feed the same range-serving loop:
+//
+//  - forked (WorkerMain): spawned by the scheduler *after* Profile(), so
+//    the replay trace, the seq-sorted schedule, the seek index and the
+//    loaded (warm) verdict cache arrive copy-on-write.
+//  - stateless (`mumak worker --connect`, src/fleet/bootstrap.h): a fresh
+//    process on any host receives the v3 trace, the schedule seqs, the
+//    warm cache entries and the campaign options over MFL1 and
+//    reconstructs the same pipeline from the shipped artifacts.
+//
+// Either way the worker speaks MFL1 over one Transport: receives
+// contiguous schedule ranges, emits one verdict frame per point (in index
+// order), offers the tail of its range when asked to be stolen from, and
+// heartbeats through long oracle gaps. Workers never touch the failure
+// point tree — verdict locations are stamped by the scheduler, which is
+// what lets a stateless worker skip the tree (its frame names resolve via
+// a process-global registry a fresh process does not have).
 
 #ifndef MUMAK_SRC_FLEET_WORKER_H_
 #define MUMAK_SRC_FLEET_WORKER_H_
@@ -17,19 +25,40 @@
 
 #include "src/core/fault_injection.h"
 #include "src/core/verdict_cache.h"
+#include "src/fleet/transport.h"
 #include "src/pmem/replay_seek_index.h"
 
 namespace mumak {
 namespace fleet {
 
 // Outcome of processing one schedule entry: the verdict (exactly the
-// JournalVerdict the in-process replay path would journal, minus the worker
-// lane which the scheduler stamps) plus an optional fresh cache insert.
+// JournalVerdict the in-process replay path would journal, minus the
+// worker lane and location which the scheduler stamps) plus an optional
+// fresh cache insert.
 struct PointResult {
   JournalVerdict verdict;
   bool insert = false;
   ImageDigest digest;
   VerdictCacheEntry entry;
+};
+
+// Everything the range-serving loop needs, assembled by either bootstrap
+// flavour. Pointers reference state owned by the caller for the loop's
+// lifetime.
+struct WorkerEnv {
+  TargetFactory factory;
+  size_t pool_size = 0;
+  const std::vector<ReplayPoint>* schedule = nullptr;
+  const ReplaySeekIndex* seek_index = nullptr;
+  // Entries loaded from --verdict-cache (always honoured); null when image
+  // dedup is off or nothing was loaded.
+  VerdictCache* warm_cache = nullptr;
+  bool image_dedup = true;
+  bool verify_dedup = false;
+  // The worker forks its own sandbox (single-threaded, one slot) from
+  // these options; metrics/tracer are nulled — they belong to the
+  // scheduler process.
+  SandboxOptions sandbox;
 };
 
 // Synthesizes the crash image for `point` on `cursor` (AdvanceTo — the
@@ -41,7 +70,7 @@ struct PointResult {
 // deterministic under out-of-order shard processing (steals and re-queued
 // shards can hand a worker an *earlier* range after it processed a later
 // one):
-//  - `warm_cache` (entries loaded from --verdict-cache before the fork):
+//  - `warm_cache` (entries loaded from --verdict-cache before dispatch):
 //    always honoured, matching the single-process path where the loaded set
 //    is consulted at every point.
 //  - `session_cache` (this campaign's fresh verdicts): honoured only when
@@ -54,20 +83,24 @@ struct PointResult {
 // Fresh verdicts are inserted into `session_cache` and surfaced via
 // `insert` so the scheduler can fold them into the campaign-wide cache.
 // Either cache pointer may be null (dedup off, or no warm file).
-PointResult ProcessReplayPoint(const FaultInjectionEngine& engine,
-                               const FailurePointTree& tree,
+PointResult ProcessReplayPoint(const TargetFactory& factory,
                                const ReplayPoint& point, ReplayCursor* cursor,
                                RecoverySandbox* sandbox,
                                VerdictCache* warm_cache,
                                VerdictCache* session_cache);
 
-// Worker process entry point: runs the MFL1 loop over `fd` until a
-// shutdown frame, a peer hangup, or a corrupt stream. The caller (the fork
-// site) must _exit() immediately after this returns — the child shares the
-// parent's journal fd, metrics and stdio buffers and must not run exit
-// handlers or flush inherited state.
+// The transport-agnostic range-serving loop: hello, then ranges/steals/
+// shutdown until the scheduler says stop, the connection drops, or the
+// stream corrupts.
+void WorkerLoop(Transport* transport, uint32_t worker_id,
+                const WorkerEnv& env);
+
+// Forked-worker entry point: builds a WorkerEnv from the engine state
+// inherited copy-on-write and runs WorkerLoop over `fd`. The caller (the
+// fork site) must _exit() immediately after this returns — the child
+// shares the parent's journal fd, metrics and stdio buffers and must not
+// run exit handlers or flush inherited state.
 void WorkerMain(int fd, uint32_t worker_id, const FaultInjectionEngine& engine,
-                const FailurePointTree& tree,
                 const std::vector<ReplayPoint>& schedule,
                 const ReplaySeekIndex& seek_index, VerdictCache* warm_cache);
 

@@ -27,6 +27,7 @@
 
 #include "src/analysis/detector_pass.h"
 #include "src/core/mumak.h"
+#include "src/fleet/bootstrap.h"
 #include "src/fleet/serve.h"
 #include "src/instrument/trace.h"
 #include "src/observability/journal.h"
@@ -84,15 +85,27 @@ void PrintUsage() {
       "  --eadr                analyse under eADR persistency semantics\n"
       "  --budget <seconds>    analysis time budget\n"
       "  --jobs <n>            parallel fault-injection workers (default 1)\n"
-      "  --fleet-workers <n>   shard the injection phase across n forked\n"
-      "                        worker processes (forces --strategy replay;\n"
-      "                        the report is byte-identical to a single-\n"
-      "                        process run at any worker count)\n"
+      "  --fleet-workers <n>   shard the injection phase across n worker\n"
+      "                        processes (forces --strategy replay; the\n"
+      "                        report is byte-identical to a single-process\n"
+      "                        run at any worker count). Workers fork by\n"
+      "                        default; --fleet-listen accepts them over TCP\n"
+      "  --fleet-listen <host:port>\n"
+      "                        instead of forking, listen here and accept up\n"
+      "                        to n stateless remote workers started with\n"
+      "                        'mumak worker --connect'; each is shipped the\n"
+      "                        profiled trace and campaign options over the\n"
+      "                        fleet wire protocol\n"
+      "  --fleet-accept-timeout-ms <n>\n"
+      "                        how long --fleet-listen waits for workers to\n"
+      "                        connect (default 15000); zero accepted\n"
+      "                        workers degrades to the inline path\n"
       "  --fleet-shards <n>    schedule shards to balance across the fleet\n"
       "                        (default 4x workers)\n"
       "  --fleet-kill-after <n>\n"
-      "                        fault-tolerance test hook: SIGKILL fleet\n"
-      "                        worker 0 after its n-th verdict\n"
+      "                        fault-tolerance test hook: kill fleet worker\n"
+      "                        0 after its n-th verdict (SIGKILL when\n"
+      "                        forked, severed connection when remote)\n"
       "  --analysis-jobs <n>   trace-analysis shard workers (default 1);\n"
       "                        the report is byte-identical at any value\n"
       "  --online-analysis     analyse the trace during profiling (no spool\n"
@@ -197,15 +210,32 @@ void PrintUsage() {
       "  --list-detectors      registered trace-analysis detector passes\n"
       "\n"
       "daemon mode:\n"
-      "  mumak serve --socket <path> [--workers <n>]\n"
-      "                        run a campaign daemon on a unix socket;\n"
-      "                        submitted campaigns run one at a time with\n"
-      "                        --fleet-workers n unless they set their own\n"
+      "  mumak serve --socket <path> [--workers <n>] [--max-jobs <k>]\n"
+      "              [--budget-checks <n>] [--budget-seconds <s>]\n"
+      "              [--cache-dir <dir>]\n"
+      "                        run a campaign daemon on a unix socket:\n"
+      "                        submissions enqueue, up to k run concurrently\n"
+      "                        (default 1) with --fleet-workers n unless\n"
+      "                        they set their own; --budget-* are injected\n"
+      "                        per job so one campaign cannot starve the\n"
+      "                        queue; --cache-dir shares one verdict cache\n"
+      "                        between jobs that differ only in scheduling\n"
+      "                        flags\n"
       "  mumak submit --socket <path> -- <campaign args>\n"
       "                        queue a campaign (everything after -- is a\n"
-      "                        mumak command line) and wait for its report\n"
+      "                        mumak command line) and wait for its report;\n"
+      "                        disconnecting cancels the job\n"
       "  mumak status --socket <path>\n"
-      "                        print the daemon's job counters\n");
+      "                        print the daemon's queue depth, running and\n"
+      "                        finished jobs, and per-job stop reasons\n"
+      "\n"
+      "remote worker:\n"
+      "  mumak worker --connect <host:port> [--connect-timeout-ms <n>]\n"
+      "                        dial a --fleet-listen scheduler and serve\n"
+      "                        injection ranges; everything the worker needs\n"
+      "                        (trace, schedule, warm cache, oracle spec) is\n"
+      "                        shipped over the connection — no shared\n"
+      "                        filesystem or fork relationship required\n");
 }
 
 // Strict non-negative integer parse: digits only (strtoull alone would
@@ -227,11 +257,15 @@ bool ParseUint(const char* text, uint64_t* out) {
 }
 
 // Parses the `serve` / `submit` / `status` verb argv tails. Each takes
-// --socket <path>; serve adds --workers <n>; submit passes everything
-// after `--` (or any unrecognised argument onward) to the campaign.
+// --socket <path>; serve adds the queue knobs (--workers, --max-jobs,
+// --budget-checks, --budget-seconds, --cache-dir); submit passes
+// everything after `--` (or any unrecognised argument onward) to the
+// campaign.
 int RunServeVerb(const std::string& verb, int argc, char** argv) {
   std::string socket_path;
+  mumak::fleet::ServeOptions serve_options;
   uint64_t workers = 0;
+  uint64_t max_jobs = 1;
   std::vector<std::string> campaign_args;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -242,6 +276,28 @@ int RunServeVerb(const std::string& verb, int argc, char** argv) {
         std::fprintf(stderr, "mumak: bad --workers value '%s'\n", argv[i]);
         return 2;
       }
+    } else if (verb == "serve" && arg == "--max-jobs" && i + 1 < argc) {
+      if (!ParseUint(argv[++i], &max_jobs) || max_jobs == 0) {
+        std::fprintf(stderr, "mumak: bad --max-jobs value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (verb == "serve" && arg == "--budget-checks" && i + 1 < argc) {
+      if (!ParseUint(argv[++i], &serve_options.budget_checks) ||
+          serve_options.budget_checks == 0) {
+        std::fprintf(stderr, "mumak: bad --budget-checks value '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (verb == "serve" && arg == "--budget-seconds" &&
+               i + 1 < argc) {
+      if (!ParseUint(argv[++i], &serve_options.budget_seconds) ||
+          serve_options.budget_seconds == 0) {
+        std::fprintf(stderr, "mumak: bad --budget-seconds value '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (verb == "serve" && arg == "--cache-dir" && i + 1 < argc) {
+      serve_options.cache_dir = argv[++i];
     } else if (verb == "submit") {
       // `--` starts the campaign command line; so does the first argument
       // submit itself does not understand.
@@ -265,13 +321,45 @@ int RunServeVerb(const std::string& verb, int argc, char** argv) {
     return 2;
   }
   if (verb == "serve") {
-    return mumak::fleet::RunServeDaemon(socket_path,
-                                        static_cast<uint32_t>(workers));
+    serve_options.socket_path = socket_path;
+    serve_options.default_workers = static_cast<uint32_t>(workers);
+    serve_options.max_jobs = static_cast<uint32_t>(max_jobs);
+    return mumak::fleet::RunServeDaemon(serve_options);
   }
   if (verb == "submit") {
     return mumak::fleet::RunSubmitClient(socket_path, campaign_args);
   }
   return mumak::fleet::RunStatusClient(socket_path);
+}
+
+// Parses the `worker` verb: a stateless remote fleet worker that dials a
+// --fleet-listen scheduler and serves injection ranges until shutdown.
+int RunWorkerVerb(int argc, char** argv) {
+  std::string connect;
+  uint64_t timeout_ms = 30000;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "--connect-timeout-ms" && i + 1 < argc) {
+      if (!ParseUint(argv[++i], &timeout_ms) || timeout_ms == 0) {
+        std::fprintf(stderr, "mumak: bad --connect-timeout-ms value '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "mumak: worker: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (connect.empty()) {
+    std::fprintf(stderr,
+                 "mumak: worker requires --connect <host:port>\n");
+    return 2;
+  }
+  return mumak::fleet::RunRemoteWorker(connect,
+                                       static_cast<uint32_t>(timeout_ms));
 }
 
 }  // namespace
@@ -283,6 +371,9 @@ int main(int argc, char** argv) {
                     std::strcmp(argv[1], "submit") == 0 ||
                     std::strcmp(argv[1], "status") == 0)) {
     return RunServeVerb(argv[1], argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    return RunWorkerVerb(argc, argv);
   }
 
   std::string target_name;
@@ -599,6 +690,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       mumak_options.fleet.workers = static_cast<uint32_t>(n);
+    } else if (arg == "--fleet-listen") {
+      mumak_options.fleet.listen = next("--fleet-listen");
+    } else if (arg == "--fleet-accept-timeout-ms") {
+      uint64_t ms = 0;
+      const char* value = next("--fleet-accept-timeout-ms");
+      if (!ParseUint(value, &ms) || ms == 0 || ms > 3600000) {
+        std::fprintf(stderr,
+                     "mumak: bad --fleet-accept-timeout-ms value '%s' "
+                     "(expected milliseconds in [1, 3600000])\n",
+                     value);
+        return 2;
+      }
+      mumak_options.fleet.accept_timeout_ms = static_cast<uint32_t>(ms);
     } else if (arg == "--fleet-shards") {
       uint64_t n = 0;
       const char* value = next("--fleet-shards");
@@ -710,6 +814,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     mumak_options.injection_strategy = InjectionStrategy::kReplay;
+    // Remote workers rebuild the recovery oracle from this spec; harmless
+    // in fork mode (unused there).
+    mumak_options.fleet.target_spec =
+        fleet::EncodeTargetSpec(target_name, options);
+  } else if (!mumak_options.fleet.listen.empty()) {
+    std::fprintf(stderr,
+                 "mumak: --fleet-listen requires --fleet-workers > 1 (the "
+                 "listen address is where remote fleet workers connect)\n");
+    return 2;
   }
   if (mumak_options.prune_equiv) {
     if (strategy_explicit &&

@@ -1,17 +1,34 @@
 // Fleet campaign scheduler (src/fleet). Layers under test:
 //   1. MFL1 framing — round trip, incremental feed, sticky corruption;
-//   2. message codecs — verdicts and cache inserts survive the JSON wire
+//   2. transport handshake — the length-limited first frame of a TCP
+//      connection round-trips and splices trailing bytes into the stream;
+//   3. message codecs — verdicts and cache inserts survive the JSON wire
 //      (64-bit digests travel as hex strings, elided fields default);
-//   3. determinism — RunFleetCampaign's merged report is byte-identical
+//   4. determinism — RunFleetCampaign's merged report is byte-identical
 //      to a single-process InjectAll run at any worker count, with work
-//      stealing forced, with a worker SIGKILLed mid-flight, and composed
-//      with --resume-journal;
-//   4. the verdict-cache epilogue — fleet campaigns populate the same
-//      persistent cache a single-process run would.
+//      stealing forced, with a worker SIGKILLed mid-flight, composed with
+//      --resume-journal, and over TCP with stateless remote workers
+//      (including one whose connection is severed mid-campaign);
+//   5. the verdict-cache epilogue — fleet campaigns populate the same
+//      persistent cache a single-process run would;
+//   6. the serve daemon — cache-key normalization, the job queue
+//      (concurrency cap, drain, cancel-on-disconnect), and warm-cache
+//      sharing across same-fingerprint submissions.
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -19,9 +36,13 @@
 
 #include "src/core/fault_injection.h"
 #include "src/core/verdict_cache.h"
+#include "src/fleet/bootstrap.h"
 #include "src/fleet/messages.h"
 #include "src/fleet/scheduler.h"
+#include "src/fleet/serve.h"
+#include "src/fleet/transport.h"
 #include "src/fleet/wire.h"
+#include "src/observability/flat_json.h"
 #include "src/observability/journal.h"
 #include "src/targets/target.h"
 
@@ -81,7 +102,72 @@ TEST(FleetWire, CorruptionIsSticky) {
   EXPECT_EQ(decoder.Next(&payload), FleetDecodeStatus::kBadCrc);
 }
 
-// -- 2. Message codecs -------------------------------------------------------
+// -- 2. Transport handshake --------------------------------------------------
+
+// The first frame each way on a TCP fleet connection. ReadHandshake must
+// parse it and feed any bytes that arrived behind it (the scheduler pushes
+// the bootstrap sequence immediately after its reply) into the transport's
+// decoder so the stream continues seamlessly.
+TEST(FleetTransport, HandshakeRoundTripsAndSplicesTheRemainder) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  fleet::SocketPairTransport scheduler(fds[0]);
+  fleet::SocketPairTransport worker(fds[1]);
+
+  fleet::FleetHandshake sent;
+  sent.proto = fleet::kFleetProtoVersion;
+  sent.role = "scheduler";
+  sent.worker = 3;
+  sent.fingerprint = 0xfedcba9876543210ull;
+  ASSERT_TRUE(scheduler.Send(fleet::HandshakeMessage(sent)));
+  // The frame *behind* the handshake must survive the splice.
+  const std::string follow = "{\"type\": \"range\", \"begin\": 1, \"end\": 9}";
+  ASSERT_TRUE(scheduler.Send(follow));
+
+  fleet::FleetHandshake got;
+  std::string error;
+  ASSERT_TRUE(fleet::ReadHandshake(&worker, 2000, &got, &error)) << error;
+  EXPECT_EQ(got.proto, sent.proto);
+  EXPECT_EQ(got.role, sent.role);
+  EXPECT_EQ(got.worker, sent.worker);
+  EXPECT_EQ(got.fingerprint, sent.fingerprint);
+
+  std::string payload;
+  while (worker.Next(&payload) == FleetDecodeStatus::kNeedMore) {
+    ASSERT_GT(worker.ReadSome(true), 0);
+  }
+  EXPECT_EQ(payload, follow);
+  EXPECT_FALSE(worker.decoder()->corrupt());
+}
+
+TEST(FleetTransport, ReadHandshakeRejectsANonHandshakeFirstFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  fleet::SocketPairTransport a(fds[0]);
+  fleet::SocketPairTransport b(fds[1]);
+  ASSERT_TRUE(a.Send("{\"type\": \"hello\", \"worker\": 0}"));
+  fleet::FleetHandshake got;
+  std::string error;
+  EXPECT_FALSE(fleet::ReadHandshake(&b, 2000, &got, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FleetTransport, ReadHandshakeEnforcesTheLengthCap) {
+  // A frame the general 1 MiB protocol would happily carry must be thrown
+  // out *before* the handshake completes: an unauthenticated peer does not
+  // get to make the scheduler buffer arbitrary data.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  fleet::SocketPairTransport a(fds[0]);
+  fleet::SocketPairTransport b(fds[1]);
+  const std::string big(fleet::kFleetMaxHandshakeBytes * 2, 'x');
+  ASSERT_TRUE(a.Send("{\"type\": \"handshake\", \"pad\": \"" + big + "\"}"));
+  fleet::FleetHandshake got;
+  std::string error;
+  EXPECT_FALSE(fleet::ReadHandshake(&b, 2000, &got, &error));
+}
+
+// -- 3. Message codecs -------------------------------------------------------
 
 TEST(FleetMessages, VerdictRoundTripsWithElidedFields) {
   JournalVerdict v;
@@ -137,7 +223,7 @@ TEST(FleetMessages, InsertCarries64BitDigestsExactly) {
   EXPECT_EQ(back.signal_name, entry.signal_name);
 }
 
-// -- 3. Determinism ----------------------------------------------------------
+// -- 4. Determinism ----------------------------------------------------------
 
 struct FleetCase {
   const char* target;
@@ -284,7 +370,139 @@ TEST(FleetDeterminism, ComposesWithJournalResume) {
   std::remove(path.c_str());
 }
 
-// -- 4. Verdict-cache epilogue ----------------------------------------------
+// -- 4b. TCP remote workers --------------------------------------------------
+
+// Forks `count` stateless workers that dial the listener's port. Each
+// child closes the inherited listener fd first — otherwise the port would
+// stay bound after the scheduler closes its copy — and runs the same
+// `mumak worker --connect` entry point the CLI dispatches to. Workers
+// retry the connect while the parent is still profiling.
+std::vector<pid_t> SpawnRemoteWorkers(int listener, uint32_t count) {
+  const uint16_t port = fleet::TcpBoundPort(listener);
+  EXPECT_NE(port, 0);
+  const std::string address = "127.0.0.1:" + std::to_string(port);
+  std::vector<pid_t> pids;
+  std::fflush(stdout);
+  std::fflush(stderr);
+  for (uint32_t i = 0; i < count; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(listener);
+      ::_exit(fleet::RunRemoteWorker(address, 30000));
+    }
+    if (pid > 0) {
+      pids.push_back(pid);
+    }
+  }
+  return pids;
+}
+
+int ReapWorker(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// The headline guarantee holds across the TCP transport: stateless remote
+// workers rebuilt from the shipped trace produce the same merged report.
+// (The workers are forks of this process, so even resolved code locations
+// and pc frames match the in-process reference exactly.)
+TEST(FleetTcp, MatchesSingleProcessOverTcp) {
+  const FleetCase c = kCases[0];
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {c.bug};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+  const Report reference = SingleProcessReference(c, spec, options);
+
+  std::string error;
+  const int listener = fleet::TcpListen("127.0.0.1:0", &error);
+  ASSERT_GE(listener, 0) << error;
+  FleetConfig config;
+  config.workers = 2;
+  config.listen_fd = listener;
+  config.accept_timeout_ms = 30000;
+  config.target_spec = fleet::EncodeTargetSpec(c.target, options);
+  const std::vector<pid_t> workers = SpawnRemoteWorkers(listener, 2);
+  ASSERT_EQ(workers.size(), 2u);
+
+  FaultInjectionStats stats;
+  const Report fleet = FleetRun(c, spec, options, config, &stats);
+  EXPECT_EQ(fleet.Render(), reference.Render());
+  EXPECT_EQ(fleet.RenderJson(), reference.RenderJson());
+  EXPECT_GT(stats.injections, 0u);
+  for (const pid_t pid : workers) {
+    EXPECT_EQ(ReapWorker(pid), 0);
+  }
+}
+
+// Severing a remote worker's connection mid-campaign (--fleet-kill-after
+// over TCP) must lose nothing: its unfinished range is re-queued on the
+// surviving lanes and the merged report still matches.
+TEST(FleetTcp, SurvivesASeveredRemoteWorker) {
+  const FleetCase c = kCases[0];
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {c.bug};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+  const Report reference = SingleProcessReference(c, spec, options);
+
+  std::string error;
+  const int listener = fleet::TcpListen("127.0.0.1:0", &error);
+  ASSERT_GE(listener, 0) << error;
+  FleetConfig config;
+  config.workers = 4;
+  config.listen_fd = listener;
+  config.accept_timeout_ms = 30000;
+  config.kill_worker_after = 2;
+  config.target_spec = fleet::EncodeTargetSpec(c.target, options);
+  const std::vector<pid_t> workers = SpawnRemoteWorkers(listener, 4);
+  ASSERT_EQ(workers.size(), 4u);
+
+  FaultInjectionStats stats;
+  const Report fleet = FleetRun(c, spec, options, config, &stats);
+  EXPECT_EQ(fleet.Render(), reference.Render());
+  EXPECT_EQ(fleet.RenderJson(), reference.RenderJson());
+  for (const pid_t pid : workers) {
+    ReapWorker(pid);  // the severed worker's exit code is its own business
+  }
+}
+
+// A TCP campaign nobody dials into must still finish: when the accept
+// window closes with zero workers, the scheduler degrades to the inline
+// single-process path.
+TEST(FleetTcp, ZeroAcceptedWorkersFallsBackInline) {
+  const FleetCase c = kCases[0];
+  TargetOptions options;
+  options.pmdk_version = PmdkVersion::k16;
+  options.bugs = {c.bug};
+  WorkloadSpec spec;
+  spec.operations = 300;
+  spec.key_space = 50;
+  const Report reference = SingleProcessReference(c, spec, options);
+
+  std::string error;
+  const int listener = fleet::TcpListen("127.0.0.1:0", &error);
+  ASSERT_GE(listener, 0) << error;
+  FleetConfig config;
+  config.workers = 2;
+  config.listen_fd = listener;
+  config.accept_timeout_ms = 1;  // clamped to a minimal accept window
+  config.target_spec = fleet::EncodeTargetSpec(c.target, options);
+
+  FaultInjectionStats stats;
+  const Report fleet = FleetRun(c, spec, options, config, &stats);
+  EXPECT_EQ(fleet.Render(), reference.Render());
+  EXPECT_EQ(fleet.RenderJson(), reference.RenderJson());
+  EXPECT_GT(stats.injections, 0u);
+}
+
+// -- 5. Verdict-cache epilogue ----------------------------------------------
 
 // A fleet campaign persists the same verdict cache a single-process run
 // would: same entry count, and a second single-process run over it is
@@ -333,6 +551,399 @@ TEST(FleetVerdictCache, FleetRunWarmsThePersistentCache) {
   std::remove(fleet_cache.c_str());
   std::remove(single_cache.c_str());
 }
+
+// -- 6. Serve daemon ---------------------------------------------------------
+
+// 6a. Cache-key normalization: scheduling/observability flags must not
+// change which cache file a submission lands on; campaign flags must.
+
+TEST(ServeCacheKey, StripsSchedulingFlagsWithTheirValues) {
+  const std::vector<std::string> base = {"--target", "btree", "--ops", "120"};
+  std::vector<std::string> noisy = base;
+  for (const char* extra : {"--fleet-workers", "4", "--fleet-shards", "8",
+                            "--jobs", "2", "--analysis-jobs", "3",
+                            "--budget-checks", "100", "--journal", "x.mjn",
+                            "--verdict-cache", "y.mvc", "--progress"}) {
+    noisy.push_back(extra);
+  }
+  EXPECT_EQ(fleet::SubmitCacheKey(noisy), fleet::SubmitCacheKey(base));
+  EXPECT_EQ(fleet::SubmitCacheKey(base).size(), 16u);
+}
+
+TEST(ServeCacheKey, DistinguishesCampaignFlags) {
+  const std::vector<std::string> a = {"--target", "btree", "--ops", "120"};
+  const std::vector<std::string> b = {"--target", "btree", "--ops", "121"};
+  const std::vector<std::string> c = {"--target", "hashmap_tx", "--ops",
+                                      "120"};
+  EXPECT_NE(fleet::SubmitCacheKey(a), fleet::SubmitCacheKey(b));
+  EXPECT_NE(fleet::SubmitCacheKey(a), fleet::SubmitCacheKey(c));
+}
+
+TEST(ServeCacheKey, HandlesEqualsFormsAndBooleanFlags) {
+  const std::vector<std::string> base = {"--target", "btree"};
+  // `--flag=value` is self-contained: it must not eat the next token.
+  const std::vector<std::string> eq = {"--fleet-workers=4", "--target",
+                                       "btree"};
+  EXPECT_EQ(fleet::SubmitCacheKey(eq), fleet::SubmitCacheKey(base));
+  // A boolean scheduling flag followed by another flag must not eat it.
+  const std::vector<std::string> boolean = {"--progress", "--target",
+                                            "btree"};
+  EXPECT_EQ(fleet::SubmitCacheKey(boolean), fleet::SubmitCacheKey(base));
+}
+
+TEST(ServeCacheKey, SeparatorPreventsConcatenationCollisions) {
+  EXPECT_NE(fleet::SubmitCacheKey({"ab"}), fleet::SubmitCacheKey({"a", "b"}));
+}
+
+// 6b. The job queue. The daemon runs in a forked child; submissions exec a
+// stand-in binary via MUMAK_SERVE_EXEC (/bin/sleep for lifetime control,
+// /bin/echo to observe the injected flags, the real CLI for warm-cache
+// composition). The tests speak the daemon's MFL1 unix-socket protocol
+// directly, which doubles as coverage for the request/reply frames.
+
+class ServeDaemonGuard {
+ public:
+  ServeDaemonGuard(const fleet::ServeOptions& options,
+                   const std::string& exec_override) {
+    ::setenv("MUMAK_SERVE_EXEC", exec_override.c_str(), 1);
+    std::fflush(stdout);
+    std::fflush(stderr);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::_exit(fleet::RunServeDaemon(options));
+    }
+    ::unsetenv("MUMAK_SERVE_EXEC");
+  }
+
+  ~ServeDaemonGuard() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+
+  bool ok() const { return pid_ > 0; }
+
+  // Graceful SIGTERM shutdown; returns the daemon's exit code.
+  int Stop() {
+    if (pid_ <= 0) {
+      return -1;
+    }
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+int ConnectServe(const std::string& socket_path, int timeout_ms) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int deadline_rounds = timeout_ms / 20 + 1;
+  for (int round = 0; round < deadline_rounds; ++round) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    ::usleep(20 * 1000);  // the daemon child may not have bound yet
+  }
+  return -1;
+}
+
+bool SendServeFrame(int fd, const std::string& json) {
+  const std::string frame = FleetFrame(json);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadServeFrame(int fd, FleetFrameDecoder* decoder, JsonValue* out,
+                    int timeout_ms) {
+  std::string payload;
+  for (;;) {
+    switch (decoder->Next(&payload)) {
+      case FleetDecodeStatus::kOk:
+        return JsonParser(payload).Parse(out);
+      case FleetDecodeStatus::kNeedMore:
+        break;
+      default:
+        return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      return false;
+    }
+    uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return false;
+    }
+    decoder->Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+// One status round trip; false when the daemon is unreachable.
+bool ServeStatus(const std::string& socket_path, JsonValue* out) {
+  const int fd = ConnectServe(socket_path, 5000);
+  if (fd < 0) {
+    return false;
+  }
+  FleetFrameDecoder decoder;
+  const bool ok =
+      SendServeFrame(fd, JsonObject().Str("type", "status").Finish()) &&
+      ReadServeFrame(fd, &decoder, out, 5000);
+  ::close(fd);
+  return ok && out->Str("type") == "status";
+}
+
+// Polls status until `predicate` holds. False on timeout.
+bool WaitForServeState(const std::string& socket_path,
+                       const std::function<bool(const JsonValue&)>& predicate,
+                       int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; waited += 50) {
+    JsonValue status;
+    if (ServeStatus(socket_path, &status) && predicate(status)) {
+      return true;
+    }
+    ::usleep(50 * 1000);
+  }
+  return false;
+}
+
+// Opens a submit connection and sends the argv; the fd stays open (it is
+// the job's cancellation scope). -1 on failure.
+int SubmitJob(const std::string& socket_path,
+              const std::vector<std::string>& args) {
+  const int fd = ConnectServe(socket_path, 10000);
+  if (fd < 0) {
+    return -1;
+  }
+  std::string argv_json = "[";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) {
+      argv_json += ", ";
+    }
+    argv_json += '"';
+    argv_json += JsonEscape(args[i]);
+    argv_json += '"';
+  }
+  argv_json += "]";
+  if (!SendServeFrame(fd, JsonObject()
+                              .Str("type", "submit")
+                              .Raw("argv", argv_json)
+                              .Finish())) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// The stale-job rule: a submitter that disconnects takes its job with it —
+// the running campaign is killed, counted as canceled (not done), and
+// nothing is re-queued.
+TEST(ServeQueue, CancelsTheJobWhenTheSubmitterDisconnects) {
+  fleet::ServeOptions options;
+  options.socket_path = TempPath("serve_cancel.sock");
+  options.max_jobs = 1;
+  ServeDaemonGuard daemon(options, "/bin/sleep");
+  ASSERT_TRUE(daemon.ok());
+
+  const int submit_fd = SubmitJob(options.socket_path, {"30"});
+  ASSERT_GE(submit_fd, 0);
+  ASSERT_TRUE(WaitForServeState(
+      options.socket_path,
+      [](const JsonValue& s) { return s.U64("running") == 1; }, 10000));
+
+  ::close(submit_fd);  // walk away mid-flight
+
+  ASSERT_TRUE(WaitForServeState(
+      options.socket_path,
+      [](const JsonValue& s) { return s.U64("jobs_canceled") == 1; }, 10000));
+  JsonValue status;
+  ASSERT_TRUE(ServeStatus(options.socket_path, &status));
+  EXPECT_EQ(status.U64("jobs_done"), 0u);     // canceled != completed
+  EXPECT_EQ(status.U64("queue_depth"), 0u);   // nothing re-queued
+  EXPECT_EQ(status.U64("running"), 0u);
+  const JsonValue* job_list = status.Find("jobs");
+  ASSERT_NE(job_list, nullptr);
+  ASSERT_EQ(job_list->type, JsonValue::Type::kArray);
+  ASSERT_EQ(job_list->array.size(), 1u);
+  EXPECT_EQ(job_list->array[0].Str("state"), "done");
+  EXPECT_EQ(job_list->array[0].Str("stop"), "canceled");
+
+  EXPECT_EQ(daemon.Stop(), 0);
+}
+
+// Three submissions against max_jobs=2: two run at once, one queues, and
+// all three drain to their submitters with result frames.
+TEST(ServeQueue, RunsConcurrentlyUpToMaxJobsAndDrainsTheQueue) {
+  fleet::ServeOptions options;
+  options.socket_path = TempPath("serve_queue.sock");
+  options.max_jobs = 2;
+  ServeDaemonGuard daemon(options, "/bin/sleep");
+  ASSERT_TRUE(daemon.ok());
+
+  int fds[3];
+  for (int& fd : fds) {
+    fd = SubmitJob(options.socket_path, {"1"});
+    ASSERT_GE(fd, 0);
+  }
+  EXPECT_TRUE(WaitForServeState(
+      options.socket_path,
+      [](const JsonValue& s) {
+        return s.U64("running") == 2 && s.U64("queue_depth") == 1;
+      },
+      10000));
+
+  for (int fd : fds) {
+    FleetFrameDecoder decoder;
+    JsonValue result;
+    ASSERT_TRUE(ReadServeFrame(fd, &decoder, &result, 30000));
+    EXPECT_EQ(result.Str("type"), "result");
+    EXPECT_EQ(result.U64("exit"), 0u);
+    EXPECT_EQ(result.Str("stop"), "ok");
+    ::close(fd);
+  }
+  JsonValue status;
+  ASSERT_TRUE(ServeStatus(options.socket_path, &status));
+  EXPECT_EQ(status.U64("jobs_done"), 3u);
+  EXPECT_EQ(status.U64("jobs_canceled"), 0u);
+  EXPECT_EQ(status.U64("running"), 0u);
+  EXPECT_EQ(status.U64("queue_depth"), 0u);
+
+  EXPECT_EQ(daemon.Stop(), 0);
+}
+
+// Two submissions that differ only in scheduling flags must land on the
+// same injected --verdict-cache file, and daemon budgets are injected into
+// submissions that carry none. /bin/echo reflects the final argv back as
+// the job's "report".
+TEST(ServeQueue, SameFingerprintJobsShareOneCacheFile) {
+  fleet::ServeOptions options;
+  options.socket_path = TempPath("serve_cache.sock");
+  options.max_jobs = 2;
+  options.cache_dir = testing::TempDir();
+  options.budget_seconds = 60;
+  ServeDaemonGuard daemon(options, "/bin/echo");
+  ASSERT_TRUE(daemon.ok());
+
+  const std::vector<std::string> campaign = {"--target", "btree", "--ops",
+                                             "120"};
+  std::vector<std::string> rescheduled = campaign;
+  for (const char* extra :
+       {"--jobs", "4", "--fleet-workers", "3", "--budget-checks", "10"}) {
+    rescheduled.push_back(extra);
+  }
+
+  auto echoed_argv = [&](const std::vector<std::string>& args) {
+    const int fd = SubmitJob(options.socket_path, args);
+    EXPECT_GE(fd, 0);
+    FleetFrameDecoder decoder;
+    JsonValue result;
+    EXPECT_TRUE(ReadServeFrame(fd, &decoder, &result, 15000));
+    ::close(fd);
+    EXPECT_EQ(result.Str("stop"), "ok");
+    return result.Str("report");
+  };
+  auto cache_path_of = [](const std::string& echoed) {
+    const std::string flag = "--verdict-cache ";
+    const size_t at = echoed.find(flag);
+    if (at == std::string::npos) {
+      return std::string();
+    }
+    const size_t begin = at + flag.size();
+    return echoed.substr(begin, echoed.find_first_of(" \n", begin) - begin);
+  };
+
+  const std::string first = echoed_argv(campaign);
+  const std::string second = echoed_argv(rescheduled);
+  const std::string first_cache = cache_path_of(first);
+  ASSERT_FALSE(first_cache.empty()) << first;
+  EXPECT_EQ(cache_path_of(second), first_cache) << second;
+  EXPECT_EQ(first_cache, options.cache_dir + "/" +
+                             fleet::SubmitCacheKey(campaign) + ".mvc");
+  // The daemon budget reaches a submission with no --budget-seconds of its
+  // own; the second submission's own --budget-checks is left alone.
+  EXPECT_NE(first.find("--budget-seconds 60"), std::string::npos) << first;
+  EXPECT_NE(second.find("--budget-checks 10"), std::string::npos) << second;
+
+  EXPECT_EQ(daemon.Stop(), 0);
+}
+
+#ifdef MUMAK_CLI_PATH
+// Queue + warm-cache composition with the real CLI: the second submission
+// of the same campaign (differing only in scheduling flags) replays every
+// verdict out of the shared cache file the first one wrote.
+TEST(ServeQueue, SecondSameFingerprintJobStartsWarm) {
+  fleet::ServeOptions options;
+  options.socket_path = TempPath("serve_warm.sock");
+  options.max_jobs = 1;
+  options.cache_dir = testing::TempDir();
+  ServeDaemonGuard daemon(options, MUMAK_CLI_PATH);
+  ASSERT_TRUE(daemon.ok());
+
+  const std::vector<std::string> campaign = {
+      "--target", "btree", "--ops", "300", "--keys", "50",
+      "--bug", "btree.split_unlogged", "--strategy", "replay"};
+  std::vector<std::string> rescheduled = campaign;
+  rescheduled.push_back("--jobs");
+  rescheduled.push_back("1");
+
+  auto run = [&](const std::vector<std::string>& args, JsonValue* result) {
+    const int fd = SubmitJob(options.socket_path, args);
+    ASSERT_GE(fd, 0);
+    FleetFrameDecoder decoder;
+    ASSERT_TRUE(ReadServeFrame(fd, &decoder, result, 120000));
+    ::close(fd);
+  };
+
+  JsonValue cold;
+  run(campaign, &cold);
+  EXPECT_EQ(cold.U64("exit"), 1u);  // the seeded bug was found
+  EXPECT_EQ(cold.Str("stop"), "bugs");
+  EXPECT_NE(cold.Str("report").find(" saved ("), std::string::npos)
+      << cold.Str("report");
+
+  JsonValue warm;
+  run(rescheduled, &warm);
+  EXPECT_EQ(warm.U64("exit"), 1u);
+  EXPECT_EQ(warm.Str("stop"), "bugs");
+  // Fully warm: zero fresh images, every verdict from the shared cache.
+  EXPECT_NE(warm.Str("report").find("image dedup: 0 distinct image(s)"),
+            std::string::npos)
+      << warm.Str("report");
+
+  EXPECT_EQ(daemon.Stop(), 0);
+}
+#endif  // MUMAK_CLI_PATH
 
 }  // namespace
 }  // namespace mumak

@@ -1,6 +1,9 @@
-// Shared fuzz-style harness for the three framed protocols: MMK1 (sandbox
+// Shared fuzz-style harness for the framed protocols: MMK1 (sandbox
 // verdicts, src/sandbox/wire.h), MJN1 (campaign journal,
-// src/observability/journal.h) and MFL1 (fleet wire, src/fleet/wire.h).
+// src/observability/journal.h), MFL1 (fleet wire, src/fleet/wire.h) and
+// the MFL1 handshake decoder (src/fleet/transport.h), which shares the
+// framing but enforces a much tighter length cap on the first frame of a
+// TCP connection.
 // Every protocol reader faces bytes written by a process that may have
 // been SIGKILLed mid-write (torn tails), a child that crashed while
 // serialising (corrupt lengths/CRCs), or plain garbage. The invariants a
@@ -19,7 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "src/fleet/transport.h"
 #include "src/fleet/wire.h"
+#include "src/observability/flat_json.h"
 #include "src/observability/journal.h"
 #include "src/sandbox/wire.h"
 
@@ -163,11 +168,46 @@ ProtocolHarness MakeMfl1Harness() {
   return h;
 }
 
+// --- MFL1 handshake: the length-capped first frame --------------------------
+
+ProtocolHarness MakeHandshakeHarness() {
+  ProtocolHarness h;
+  h.name = "MFL1-handshake";
+  h.frame_count = 4;
+  for (size_t i = 0; i < h.frame_count; ++i) {
+    fleet::FleetHandshake hs;
+    hs.proto = fleet::kFleetProtoVersion;
+    hs.role = (i % 2) == 0 ? "worker" : "scheduler";
+    hs.worker = static_cast<uint32_t>(i);
+    hs.fingerprint = 0xfeedface00000000ull + i;
+    const std::string frame = FleetFrame(fleet::HandshakeMessage(hs));
+    h.valid.insert(h.valid.end(), frame.begin(), frame.end());
+  }
+  h.decode = [](const std::vector<uint8_t>& bytes) {
+    size_t accepted = 0;
+    size_t at = 0;
+    while (at < bytes.size()) {
+      std::string payload;
+      size_t consumed = 0;
+      if (fleet::DecodeHandshakeFrame(bytes.data() + at, bytes.size() - at,
+                                      &payload,
+                                      &consumed) != FleetDecodeStatus::kOk) {
+        break;  // torn / corrupt / over the handshake cap: stop
+      }
+      ++accepted;
+      at += consumed;
+    }
+    return accepted;
+  };
+  return h;
+}
+
 std::vector<ProtocolHarness> AllHarnesses() {
   std::vector<ProtocolHarness> all;
   all.push_back(MakeMmk1Harness());
   all.push_back(MakeMjn1Harness());
   all.push_back(MakeMfl1Harness());
+  all.push_back(MakeHandshakeHarness());
   return all;
 }
 
@@ -265,6 +305,58 @@ TEST(FramingFuzz, RandomSplicesAreContained) {
           << start + len << ")";
     }
   }
+}
+
+// The handshake decoder's cap sits far below the general 1 MiB frame
+// limit: a frame between the two must decode fine mid-stream but be
+// rejected as the first frame of a TCP connection — an unauthenticated
+// peer does not get to make the scheduler buffer data.
+TEST(FramingFuzz, HandshakeCapIsTighterThanTheGeneralFrameLimit) {
+  std::string payload = "{\"type\": \"handshake\", \"pad\": \"";
+  payload.append(fleet::kFleetMaxHandshakeBytes * 2, 'x');
+  payload += "\"}";
+  ASSERT_GT(payload.size(), fleet::kFleetMaxHandshakeBytes);
+  ASSERT_LT(payload.size(), kFleetMaxPayload);
+  const std::string frame = FleetFrame(payload);
+
+  FleetFrameDecoder general;
+  general.Feed(frame.data(), frame.size());
+  std::string decoded;
+  EXPECT_EQ(general.Next(&decoded), FleetDecodeStatus::kOk);
+  EXPECT_EQ(decoded, payload);
+
+  std::string handshake_payload;
+  size_t consumed = 0;
+  EXPECT_EQ(fleet::DecodeHandshakeFrame(
+                reinterpret_cast<const uint8_t*>(frame.data()), frame.size(),
+                &handshake_payload, &consumed),
+            FleetDecodeStatus::kOversized);
+}
+
+// A decoded handshake frame parses back into the exact fields that were
+// sent (the fingerprint is 64-bit and must survive the JSON wire).
+TEST(FramingFuzz, HandshakeFieldsRoundTrip) {
+  fleet::FleetHandshake sent;
+  sent.proto = fleet::kFleetProtoVersion;
+  sent.role = "scheduler";
+  sent.worker = 7;
+  sent.fingerprint = 0xfedcba9876543210ull;
+  const std::string frame = FleetFrame(fleet::HandshakeMessage(sent));
+  std::string payload;
+  size_t consumed = 0;
+  ASSERT_EQ(fleet::DecodeHandshakeFrame(
+                reinterpret_cast<const uint8_t*>(frame.data()), frame.size(),
+                &payload, &consumed),
+            FleetDecodeStatus::kOk);
+  EXPECT_EQ(consumed, frame.size());
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParser(payload).Parse(&parsed));
+  fleet::FleetHandshake got;
+  ASSERT_TRUE(fleet::ParseHandshake(parsed, &got));
+  EXPECT_EQ(got.proto, sent.proto);
+  EXPECT_EQ(got.role, sent.role);
+  EXPECT_EQ(got.worker, sent.worker);
+  EXPECT_EQ(got.fingerprint, sent.fingerprint);
 }
 
 }  // namespace
